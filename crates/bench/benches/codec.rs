@@ -1,0 +1,103 @@
+//! Wire-codec benchmarks: encode/decode throughput of the frames the
+//! cluster runtime puts on its links, plus the metrics primitives that run
+//! on the simulator's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlm_cluster::codec::{decode, encode};
+use dlm_core::{LockId, Message, Mode, NodeId, QueuedRequest};
+use dlm_metrics::{Histogram, Summary};
+use std::collections::VecDeque;
+
+fn sample_messages() -> Vec<(LockId, Message)> {
+    vec![
+        (
+            LockId::entry(3),
+            Message::Request(QueuedRequest {
+                from: NodeId(17),
+                mode: Mode::Read,
+                upgrade: false,
+                priority: 0,
+            }),
+        ),
+        (LockId::TABLE, Message::Grant { mode: Mode::IntentRead }),
+        (
+            LockId::TABLE,
+            Message::Token {
+                mode: Mode::Write,
+                granter_owned: Mode::IntentRead,
+                queue: VecDeque::from(vec![
+                    QueuedRequest {
+                        from: NodeId(2),
+                        mode: Mode::Read,
+                        upgrade: false,
+                        priority: 0,
+                    };
+                    4
+                ]),
+                frozen: dlm_core::ModeSet::from_modes([Mode::IntentRead, Mode::Read]),
+            },
+        ),
+        (
+            LockId::entry(1),
+            Message::Release {
+                new_owned: Mode::NoLock,
+                ack: 42,
+            },
+        ),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs = sample_messages();
+    let frames: Vec<_> = msgs.iter().map(|(l, m)| encode(*l, m)).collect();
+
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("encode_4_frames", |b| {
+        b.iter(|| {
+            for (l, m) in &msgs {
+                black_box(encode(black_box(*l), black_box(m)));
+            }
+        })
+    });
+    g.bench_function("decode_4_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                black_box(decode(black_box(f.clone())).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.bench_function("histogram_record_x1000", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for i in 0..1000u64 {
+                h.record(black_box(i * 37 % 100_000));
+            }
+            h.count()
+        })
+    });
+    g.bench_function("histogram_quantile", |b| {
+        let mut h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(i * 37 % 1_000_000);
+        }
+        b.iter(|| h.quantile(black_box(0.99)))
+    });
+    g.bench_function("summary_record_x1000", |b| {
+        b.iter(|| {
+            let mut s = Summary::new();
+            for i in 0..1000 {
+                s.record(black_box(i as f64 * 0.37));
+            }
+            s.mean()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! One representative simulation point per paper figure, as wall-clock
+//! benchmarks of the end-to-end experiment pipeline (workload generation,
+//! protocol execution, metric folding). The actual figure *data* comes from
+//! `dlm-harness`; these benches track the cost of producing it and catch
+//! performance regressions in the simulator and the protocol hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
+
+fn point(nodes: usize, protocol: ProtocolKind) -> WorkloadParams {
+    let mut p = WorkloadParams::linux_cluster(nodes, protocol);
+    p.ops_per_node = 15;
+    p
+}
+
+fn bench_fig7_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_points");
+    g.sample_size(10);
+    for protocol in [
+        ProtocolKind::Hier,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::NaimiSameWork,
+    ] {
+        g.bench_function(format!("linux_cluster_n16_{}", protocol.label()), |b| {
+            b.iter(|| {
+                let report = run_workload(black_box(&point(16, protocol)));
+                assert!(report.complete());
+                report.messages
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_fig10_points");
+    g.sample_size(10);
+    for ratio in [1u32, 25] {
+        g.bench_function(format!("ibm_sp_n64_ratio{ratio}"), |b| {
+            b.iter(|| {
+                let mut p = WorkloadParams::ibm_sp(64, ratio);
+                p.ops_per_node = 15;
+                let report = run_workload(black_box(&p));
+                assert!(report.complete());
+                report.messages
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_points");
+    g.sample_size(10);
+    for (label, config) in [
+        ("paper", dlm_core::ProtocolConfig::paper()),
+        (
+            "literal_rule_3_2",
+            dlm_core::ProtocolConfig::paper().literal_rule_3_2(),
+        ),
+    ] {
+        g.bench_function(format!("linux_cluster_n16_{label}"), |b| {
+            b.iter(|| {
+                let mut p = point(16, ProtocolKind::Hier);
+                p.hier_config = config;
+                let report = run_workload(black_box(&p));
+                assert!(report.complete());
+                report.messages
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7_8, bench_fig9_10, bench_ablation_point);
+criterion_main!(benches);

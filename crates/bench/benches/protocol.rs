@@ -1,0 +1,141 @@
+//! Protocol hot-path microbenchmarks: rule-table lookups, state-machine
+//! event handling, and end-to-end lock churn on the lock-step runtime,
+//! including the Naimi baseline for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlm_core::testkit::LockStepNet;
+use dlm_core::{HierNode, Message, Mode, NodeId, ProtocolConfig, QueuedRequest};
+use dlm_modes::{child_can_grant, compatible, freeze_set, queue_or_forward, REQUEST_MODES};
+use dlm_naimi::testkit::NaimiNet;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("compatible_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &a in &REQUEST_MODES {
+                for &m in &REQUEST_MODES {
+                    acc += compatible(black_box(a), black_box(m)) as u32;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("child_can_grant_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &a in &REQUEST_MODES {
+                for &m in &REQUEST_MODES {
+                    acc += child_can_grant(black_box(a), black_box(m)) as u32;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("queue_or_forward_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &a in &REQUEST_MODES {
+                for &m in &REQUEST_MODES {
+                    acc += (queue_or_forward(black_box(a), black_box(m))
+                        == dlm_modes::QueueOrForward::Queue) as u32;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("freeze_set_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &a in &REQUEST_MODES {
+                for &m in &REQUEST_MODES {
+                    acc += freeze_set(black_box(a), black_box(m)).len();
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_state_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_machine");
+    // A token node fielding a grantable remote request end to end.
+    g.bench_function("token_handles_compatible_request", |b| {
+        b.iter_batched(
+            || {
+                let mut node = HierNode::with_token(NodeId(0), ProtocolConfig::paper());
+                let _ = node.on_acquire(Mode::IntentRead).unwrap();
+                node
+            },
+            |mut node| {
+                node.on_message(
+                    NodeId(1),
+                    Message::Request(QueuedRequest::plain(NodeId(1), Mode::IntentRead)),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    // The Rule 2 message-free local admit.
+    g.bench_function("local_admit_fast_path", |b| {
+        b.iter_batched(
+            || HierNode::with_token(NodeId(0), ProtocolConfig::paper()),
+            |mut node| {
+                let eff = node.on_acquire(black_box(Mode::Read)).unwrap();
+                black_box(eff)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockstep_churn");
+    g.sample_size(20);
+    for mode in [Mode::IntentRead, Mode::Read, Mode::Write] {
+        g.bench_function(format!("acquire_release_x100_{mode}"), |b| {
+            b.iter(|| bench::churn(black_box(100), mode))
+        });
+    }
+    // Naimi equivalent for comparison.
+    g.bench_function("naimi_acquire_release_x100", |b| {
+        b.iter(|| {
+            let mut net = NaimiNet::star(2);
+            for _ in 0..100 {
+                net.acquire(1).unwrap();
+                net.deliver_all();
+                net.release(1).unwrap();
+                net.deliver_all();
+            }
+            net.messages_sent
+        })
+    });
+    // Fan-in: 8 nodes hammering one write lock through the full protocol.
+    g.bench_function("eight_writers_contending_x25", |b| {
+        b.iter(|| {
+            let mut net = LockStepNet::star(8);
+            net.audit_each_step = false;
+            for _ in 0..25 {
+                for n in 1..8 {
+                    if net.node(n).held() == Mode::NoLock && net.node(n).pending().is_none() {
+                        net.acquire(n, Mode::Write);
+                    }
+                }
+                net.deliver_all();
+                for n in 0..8 {
+                    if net.node(n).held() != Mode::NoLock {
+                        net.release(n);
+                    }
+                }
+                net.deliver_all();
+            }
+            net.messages_sent
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_state_machine, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+use dlm_check::{explore, Op, Scenario};
+use dlm_core::{Mode, ProtocolConfig};
+fn main() {
+    let s = Scenario::star(
+        3,
+        vec![
+            vec![Op::Acquire(Mode::Read), Op::Release],
+            vec![Op::Acquire(Mode::Read), Op::Release],
+            vec![Op::Acquire(Mode::Write), Op::Release],
+        ],
+        ProtocolConfig::paper(),
+    );
+    let r = explore(&s, 5_000_000);
+    println!("states={} terminals={} verified={}", r.states, r.terminals, r.verified());
+}

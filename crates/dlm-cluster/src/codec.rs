@@ -1,0 +1,302 @@
+//! Compact binary wire format for protocol messages.
+//!
+//! The cluster runtime encodes every message into a [`bytes::Bytes`] frame
+//! before "transmission" and decodes it at the receiver, so the protocol's
+//! wire representation is a tested artifact rather than an afterthought.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! u32  lock id
+//! u8   message tag (1=Request 2=Grant 3=Token 4=Release 5=SetFrozen)
+//! ...  tag-specific payload
+//! ```
+//!
+//! Queued requests serialize as `(u32 from, u8 mode, u8 upgrade, u8 priority)`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dlm_core::{LockId, Message, Mode, ModeSet, NodeId, QueuedRequest};
+use std::collections::VecDeque;
+
+/// Errors raised while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame ended before the payload was complete.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// Invalid mode byte.
+    BadMode(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadMode(m) => write!(f, "invalid mode byte {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_mode(buf: &mut BytesMut, mode: Mode) {
+    buf.put_u8(mode.index() as u8);
+}
+
+fn get_mode(buf: &mut Bytes) -> Result<Mode, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let b = buf.get_u8();
+    Mode::from_index(b as usize).ok_or(DecodeError::BadMode(b))
+}
+
+fn put_modeset(buf: &mut BytesMut, set: ModeSet) {
+    let mut bits = 0u8;
+    for m in set.iter() {
+        bits |= 1 << m.index();
+    }
+    buf.put_u8(bits);
+}
+
+fn get_modeset(buf: &mut Bytes) -> Result<ModeSet, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let bits = buf.get_u8();
+    let mut set = ModeSet::new();
+    for i in 0..6 {
+        if bits & (1 << i) != 0 {
+            set.insert(Mode::from_index(i).expect("six modes"));
+        }
+    }
+    Ok(set)
+}
+
+fn put_queued(buf: &mut BytesMut, q: &QueuedRequest) {
+    buf.put_u32_le(q.from.0);
+    put_mode(buf, q.mode);
+    buf.put_u8(q.upgrade as u8);
+    buf.put_u8(q.priority);
+}
+
+fn get_queued(buf: &mut Bytes) -> Result<QueuedRequest, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let from = NodeId(buf.get_u32_le());
+    let mode = get_mode(buf)?;
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let upgrade = buf.get_u8() != 0;
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let priority = buf.get_u8();
+    Ok(QueuedRequest {
+        from,
+        mode,
+        upgrade,
+        priority,
+    })
+}
+
+/// Encode `(lock, message)` into a frame.
+pub fn encode(lock: LockId, message: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    buf.put_u32_le(lock.0);
+    match message {
+        Message::Request(q) => {
+            buf.put_u8(1);
+            put_queued(&mut buf, q);
+        }
+        Message::Grant { mode } => {
+            buf.put_u8(2);
+            put_mode(&mut buf, *mode);
+        }
+        Message::Token {
+            mode,
+            granter_owned,
+            queue,
+            frozen,
+        } => {
+            buf.put_u8(3);
+            put_mode(&mut buf, *mode);
+            put_mode(&mut buf, *granter_owned);
+            put_modeset(&mut buf, *frozen);
+            buf.put_u16_le(queue.len() as u16);
+            for q in queue {
+                put_queued(&mut buf, q);
+            }
+        }
+        Message::Release { new_owned, ack } => {
+            buf.put_u8(4);
+            put_mode(&mut buf, *new_owned);
+            buf.put_u64_le(*ack);
+        }
+        Message::SetFrozen { modes } => {
+            buf.put_u8(5);
+            put_modeset(&mut buf, *modes);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a frame back into `(lock, message)`.
+pub fn decode(mut frame: Bytes) -> Result<(LockId, Message), DecodeError> {
+    if frame.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let lock = LockId(frame.get_u32_le());
+    let tag = frame.get_u8();
+    let message = match tag {
+        1 => Message::Request(get_queued(&mut frame)?),
+        2 => Message::Grant {
+            mode: get_mode(&mut frame)?,
+        },
+        3 => {
+            let mode = get_mode(&mut frame)?;
+            let granter_owned = get_mode(&mut frame)?;
+            let frozen = get_modeset(&mut frame)?;
+            if frame.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let len = frame.get_u16_le() as usize;
+            let mut queue = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                queue.push_back(get_queued(&mut frame)?);
+            }
+            Message::Token {
+                mode,
+                granter_owned,
+                queue,
+                frozen,
+            }
+        }
+        4 => {
+            let new_owned = get_mode(&mut frame)?;
+            if frame.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let ack = frame.get_u64_le();
+            Message::Release { new_owned, ack }
+        }
+        5 => Message::SetFrozen {
+            modes: get_modeset(&mut frame)?,
+        },
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    Ok((lock, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(lock: LockId, msg: Message) {
+        let frame = encode(lock, &msg);
+        let (l2, m2) = decode(frame).expect("decodes");
+        assert_eq!(l2, lock);
+        assert_eq!(m2, msg);
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        round_trip(
+            LockId(3),
+            Message::Request(QueuedRequest {
+                from: NodeId(7),
+                mode: Mode::Upgrade,
+                upgrade: false,
+                priority: 0,
+            }),
+        );
+        round_trip(LockId::TABLE, Message::Grant { mode: Mode::Read });
+        round_trip(
+            LockId(9),
+            Message::Token {
+                mode: Mode::Write,
+                granter_owned: Mode::IntentRead,
+                queue: VecDeque::from(vec![
+                    QueuedRequest {
+                        from: NodeId(1),
+                        mode: Mode::Write,
+                        upgrade: true,
+                        priority: 0,
+                    },
+                    QueuedRequest {
+                        from: NodeId(2),
+                        mode: Mode::IntentWrite,
+                        upgrade: false,
+                        priority: 255,
+                    },
+                ]),
+                frozen: ModeSet::from_modes([Mode::IntentRead, Mode::Read]),
+            },
+        );
+        round_trip(
+            LockId(1),
+            Message::Release {
+                new_owned: Mode::NoLock,
+                ack: u64::MAX,
+            },
+        );
+        round_trip(
+            LockId(2),
+            Message::SetFrozen {
+                modes: ModeSet::ALL,
+            },
+        );
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = encode(
+            LockId(0),
+            &Message::Release {
+                new_owned: Mode::Read,
+                ack: 5,
+            },
+        );
+        for cut in 0..frame.len() {
+            let partial = frame.slice(0..cut);
+            assert!(
+                decode(partial).is_err(),
+                "decoding a {cut}-byte prefix must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_mode_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u8(99);
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::BadTag(99)));
+
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u8(2); // Grant
+        buf.put_u8(200); // invalid mode
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::BadMode(200)));
+    }
+
+    #[test]
+    fn frames_are_compact() {
+        let frame = encode(LockId(0), &Message::Grant { mode: Mode::Read });
+        assert_eq!(frame.len(), 6, "grant frame is 6 bytes");
+        let frame = encode(
+            LockId(0),
+            &Message::Token {
+                mode: Mode::Write,
+                granter_owned: Mode::NoLock,
+                queue: VecDeque::new(),
+                frozen: ModeSet::EMPTY,
+            },
+        );
+        assert_eq!(frame.len(), 10, "empty token frame is 10 bytes");
+    }
+}

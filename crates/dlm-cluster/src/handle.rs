@@ -1,0 +1,112 @@
+//! Blocking application-side handles.
+
+use crate::runtime::Input;
+use crossbeam::channel::{bounded, Sender};
+use dlm_core::{AcquireError, LockId, Mode, NodeId, ReleaseError, UpgradeError};
+
+/// Application-visible failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Acquire misuse (double acquire, NoLock request, …).
+    Acquire(AcquireError),
+    /// Upgrade misuse (not holding U, …).
+    Upgrade(UpgradeError),
+    /// Release misuse (not holding).
+    Release(ReleaseError),
+    /// The node thread is gone (cluster shut down).
+    Disconnected,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Acquire(e) => write!(f, "acquire: {e}"),
+            ClusterError::Upgrade(e) => write!(f, "upgrade: {e}"),
+            ClusterError::Release(e) => write!(f, "release: {e}"),
+            ClusterError::Disconnected => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One-shot completion channel used by the node thread to answer a blocking
+/// application call.
+pub(crate) struct Reply(Sender<Result<(), ClusterError>>);
+
+impl Reply {
+    pub(crate) fn complete(self, result: Result<(), ClusterError>) {
+        // The application side may have given up (timeout); ignore.
+        let _ = self.0.send(result);
+    }
+}
+
+/// One-shot boolean answer for `try_acquire`.
+pub(crate) struct TryReply(Sender<bool>);
+
+impl TryReply {
+    pub(crate) fn complete(self, granted: bool) {
+        let _ = self.0.send(granted);
+    }
+}
+
+/// A cloneable, blocking handle to one cluster node.
+///
+/// All operations are forwarded to the node's thread; `acquire` and
+/// `upgrade` block until the protocol grants. A node supports one
+/// outstanding operation per lock (the protocol's single-pending model);
+/// concurrent misuse surfaces as [`ClusterError`].
+#[derive(Clone)]
+pub struct NodeHandle {
+    node: NodeId,
+    tx: Sender<Input>,
+}
+
+impl NodeHandle {
+    pub(crate) fn new(node: NodeId, tx: Sender<Input>) -> Self {
+        NodeHandle { node, tx }
+    }
+
+    /// The node this handle drives.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn call(&self, make: impl FnOnce(Reply) -> Input) -> Result<(), ClusterError> {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(make(Reply(tx)))
+            .map_err(|_| ClusterError::Disconnected)?;
+        rx.recv().map_err(|_| ClusterError::Disconnected)?
+    }
+
+    /// Acquire `lock` in `mode`; blocks until granted.
+    pub fn acquire(&self, lock: LockId, mode: Mode) -> Result<(), ClusterError> {
+        self.call(|reply| Input::Acquire { lock, mode, reply })
+    }
+
+    /// Acquire `lock` in `mode` only if this node can admit it locally with
+    /// zero messages (the conservative CosConcurrency `try_lock` semantic);
+    /// returns whether the lock was taken.
+    pub fn try_acquire(&self, lock: LockId, mode: Mode) -> Result<bool, ClusterError> {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(Input::TryAcquire {
+                lock,
+                mode,
+                reply: TryReply(tx),
+            })
+            .map_err(|_| ClusterError::Disconnected)?;
+        rx.recv().map_err(|_| ClusterError::Disconnected)
+    }
+
+    /// Atomically upgrade a held `U` lock to `W`; blocks until complete.
+    pub fn upgrade(&self, lock: LockId) -> Result<(), ClusterError> {
+        self.call(|reply| Input::Upgrade { lock, reply })
+    }
+
+    /// Release `lock`.
+    pub fn release(&self, lock: LockId) -> Result<(), ClusterError> {
+        self.call(|reply| Input::Release { lock, reply })
+    }
+}

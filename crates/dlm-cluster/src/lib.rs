@@ -1,0 +1,28 @@
+//! A thread-per-node, channel-connected **in-process cluster** running the
+//! hierarchical locking protocol — the "real concurrency" counterpart to the
+//! deterministic simulator in `dlm-sim`, standing in for the paper's
+//! TCP/MPI testbeds.
+//!
+//! * every node is an OS thread owning its per-lock [`dlm_core::HierNode`]s,
+//! * links are crossbeam channels; every protocol message is round-tripped
+//!   through the compact binary [`codec`] (so the wire format is exercised,
+//!   not just in-memory moves),
+//! * an optional router thread injects artificial per-message latency,
+//! * applications drive nodes through cloneable blocking [`NodeHandle`]s
+//!   (`acquire` / `release` / `upgrade`).
+//!
+//! The runtime exists to demonstrate the protocol under true parallelism
+//! (`cargo run --example cluster_demo`) and to cross-validate the simulator:
+//! the same state machines, byte-identical rules, different scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod handle;
+mod runtime;
+
+pub use handle::{ClusterError, NodeHandle};
+pub use runtime::{Cluster, ClusterConfig, ClusterReport};
+
+pub use dlm_core::{LockId, Mode, NodeId};

@@ -1,0 +1,315 @@
+//! The cluster runtime: node threads, the optional latency router, and
+//! lifecycle management.
+
+use crate::codec;
+use crate::handle::{ClusterError, NodeHandle, Reply};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dlm_core::{audit, AuditError, Effect, HierNode, LockId, Mode, NodeId, ProtocolConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of node threads.
+    pub nodes: usize,
+    /// Number of lock objects hosted (ids `0..locks`).
+    pub locks: usize,
+    /// Protocol feature toggles.
+    pub protocol: ProtocolConfig,
+    /// Artificial one-way latency added by the router thread; `None` routes
+    /// directly (FIFO per channel either way).
+    pub delay: Option<Duration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            locks: 1,
+            protocol: ProtocolConfig::paper(),
+            delay: None,
+        }
+    }
+}
+
+/// What a node thread receives.
+pub(crate) enum Input {
+    /// An encoded protocol frame from `from`.
+    Net { from: NodeId, frame: bytes::Bytes },
+    /// Application request: acquire `lock` in `mode`; answer on `reply`.
+    Acquire {
+        lock: LockId,
+        mode: Mode,
+        reply: Reply,
+    },
+    /// Application request: acquire `lock` in `mode` only if that is
+    /// possible locally without waiting; answer on `reply` with
+    /// `Ok(granted)`.
+    TryAcquire {
+        lock: LockId,
+        mode: Mode,
+        reply: crate::handle::TryReply,
+    },
+    /// Application request: Rule 7 upgrade on `lock`.
+    Upgrade { lock: LockId, reply: Reply },
+    /// Application request: release `lock`.
+    Release { lock: LockId, reply: Reply },
+    /// Tear down the node thread; it returns its protocol states.
+    Shutdown,
+}
+
+/// Final report of a shut-down cluster.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Total protocol messages transmitted.
+    pub messages_sent: u64,
+    /// Per-lock audit findings on the final states (with the cluster
+    /// quiesced, these should all be empty).
+    pub audit_errors: Vec<AuditError>,
+}
+
+/// An in-process cluster of protocol nodes.
+pub struct Cluster {
+    inputs: Vec<Sender<Input>>,
+    joins: Vec<JoinHandle<Vec<HierNode>>>,
+    router_join: Option<JoinHandle<()>>,
+    router_tx: Option<Sender<RouterMsg>>,
+    messages: Arc<AtomicU64>,
+    locks: usize,
+}
+
+enum RouterMsg {
+    Forward {
+        from: NodeId,
+        to: NodeId,
+        frame: bytes::Bytes,
+    },
+    Shutdown,
+}
+
+impl Cluster {
+    /// Spawn the cluster. Node 0 initially holds every token.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.nodes >= 1);
+        assert!(config.locks >= 1);
+        let messages = Arc::new(AtomicU64::new(0));
+
+        let channels: Vec<(Sender<Input>, Receiver<Input>)> =
+            (0..config.nodes).map(|_| unbounded()).collect();
+        let inputs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        // Optional latency router.
+        let (router_tx, router_join) = if let Some(delay) = config.delay {
+            let (tx, rx) = unbounded::<RouterMsg>();
+            let outs = inputs.clone();
+            let join = std::thread::Builder::new()
+                .name("dlm-router".into())
+                .spawn(move || router_loop(rx, outs, delay))
+                .expect("spawn router");
+            (Some(tx), Some(join))
+        } else {
+            (None, None)
+        };
+
+        let mut joins = Vec::with_capacity(config.nodes);
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let me = NodeId(i as u32);
+            let outs = inputs.clone();
+            let router = router_tx.clone();
+            let counter = Arc::clone(&messages);
+            let cfg = config;
+            let join = std::thread::Builder::new()
+                .name(format!("dlm-node-{i}"))
+                .spawn(move || node_loop(me, cfg, rx, outs, router, counter))
+                .expect("spawn node thread");
+            joins.push(join);
+        }
+
+        Cluster {
+            inputs,
+            joins,
+            router_join,
+            router_tx,
+            messages,
+            locks: config.locks,
+        }
+    }
+
+    /// A cloneable blocking handle to node `id`.
+    pub fn handle(&self, id: u32) -> NodeHandle {
+        NodeHandle::new(NodeId(id), self.inputs[id as usize].clone())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Always false (a cluster has at least one node).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Protocol messages transmitted so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Crude quiescence wait: poll until the message counter stays stable
+    /// for `settle` (returns the final count). Use after all application
+    /// operations completed to let release waves drain.
+    pub fn quiesce(&self, settle: Duration) -> u64 {
+        let mut last = self.messages_sent();
+        loop {
+            std::thread::sleep(settle);
+            let now = self.messages_sent();
+            if now == last {
+                return now;
+            }
+            last = now;
+        }
+    }
+
+    /// Shut down all threads and audit the final protocol states per lock.
+    pub fn shutdown(self) -> ClusterReport {
+        for tx in &self.inputs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        let mut states: Vec<Vec<HierNode>> = Vec::with_capacity(self.joins.len());
+        for join in self.joins {
+            states.push(join.join().expect("node thread panicked"));
+        }
+        if let Some(tx) = self.router_tx {
+            let _ = tx.send(RouterMsg::Shutdown);
+        }
+        if let Some(j) = self.router_join {
+            let _ = j.join();
+        }
+
+        let mut audit_errors = Vec::new();
+        for lock in 0..self.locks {
+            let nodes: Vec<HierNode> = states.iter().map(|s| s[lock].clone()).collect();
+            audit_errors.extend(audit(&nodes, &[], true));
+        }
+        ClusterReport {
+            messages_sent: self.messages.load(Ordering::Relaxed),
+            audit_errors,
+        }
+    }
+}
+
+fn router_loop(rx: Receiver<RouterMsg>, outs: Vec<Sender<Input>>, delay: Duration) {
+    // Single router + constant delay ⇒ global FIFO, which implies the
+    // per-channel FIFO the protocol's fairness machinery assumes.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            RouterMsg::Forward { from, to, frame } => {
+                std::thread::sleep(delay);
+                let _ = outs[to.index()].send(Input::Net { from, frame });
+            }
+            RouterMsg::Shutdown => return,
+        }
+    }
+}
+
+fn node_loop(
+    me: NodeId,
+    config: ClusterConfig,
+    rx: Receiver<Input>,
+    outs: Vec<Sender<Input>>,
+    router: Option<Sender<RouterMsg>>,
+    counter: Arc<AtomicU64>,
+) -> Vec<HierNode> {
+    let mut locks: Vec<HierNode> = (0..config.locks)
+        .map(|_| {
+            if me == NodeId(0) {
+                HierNode::with_token(me, config.protocol)
+            } else {
+                HierNode::new(me, NodeId(0), config.protocol)
+            }
+        })
+        .collect();
+    // Application waiters per lock: at most one outstanding op per lock.
+    let mut waiters: HashMap<LockId, Reply> = HashMap::new();
+
+    let mut transmit = |from: NodeId, to: NodeId, lock: LockId, message: &dlm_core::Message| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        let frame = codec::encode(lock, message);
+        match &router {
+            Some(r) => {
+                let _ = r.send(RouterMsg::Forward { from, to, frame });
+            }
+            None => {
+                let _ = outs[to.index()].send(Input::Net { from, frame });
+            }
+        }
+    };
+
+    let absorb = |lock: LockId,
+                      effects: Vec<Effect>,
+                      waiters: &mut HashMap<LockId, Reply>,
+                      transmit: &mut dyn FnMut(NodeId, NodeId, LockId, &dlm_core::Message)| {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, message } => transmit(me, to, lock, &message),
+                Effect::Granted { .. } | Effect::Upgraded => {
+                    if let Some(reply) = waiters.remove(&lock) {
+                        reply.complete(Ok(()));
+                    }
+                }
+            }
+        }
+    };
+
+    while let Ok(input) = rx.recv() {
+        match input {
+            Input::Net { from, frame } => {
+                let (lock, message) = codec::decode(frame).expect("peer sends valid frames");
+                let effects = locks[lock.index()].on_message(from, message);
+                absorb(lock, effects, &mut waiters, &mut transmit);
+            }
+            Input::Acquire { lock, mode, reply } => {
+                match locks[lock.index()].on_acquire(mode) {
+                    Ok(effects) => {
+                        waiters.insert(lock, reply);
+                        absorb(lock, effects, &mut waiters, &mut transmit);
+                    }
+                    Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
+                }
+            }
+            Input::TryAcquire { lock, mode, reply } => {
+                let node = &mut locks[lock.index()];
+                if node.can_admit_locally(mode) {
+                    let effects = node.on_acquire(mode).expect("local admit is well-formed");
+                    debug_assert!(effects
+                        .iter()
+                        .all(|e| matches!(e, Effect::Granted { .. } | Effect::Send { .. })));
+                    absorb(lock, effects, &mut waiters, &mut transmit);
+                    reply.complete(true);
+                } else {
+                    reply.complete(false);
+                }
+            }
+            Input::Upgrade { lock, reply } => match locks[lock.index()].on_upgrade() {
+                Ok(effects) => {
+                    waiters.insert(lock, reply);
+                    absorb(lock, effects, &mut waiters, &mut transmit);
+                }
+                Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
+            },
+            Input::Release { lock, reply } => match locks[lock.index()].on_release() {
+                Ok(effects) => {
+                    absorb(lock, effects, &mut waiters, &mut transmit);
+                    reply.complete(Ok(()));
+                }
+                Err(e) => reply.complete(Err(ClusterError::Release(e))),
+            },
+            Input::Shutdown => break,
+        }
+    }
+    locks
+}

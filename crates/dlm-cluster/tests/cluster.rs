@@ -1,0 +1,212 @@
+//! Integration tests for the threaded cluster runtime: the protocol under
+//! true parallelism, with wire-codec round-trips on every message.
+
+use dlm_cluster::{Cluster, ClusterConfig, ClusterError, LockId, Mode};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cluster(nodes: usize, locks: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes,
+        locks,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn single_node_local_grants() {
+    let c = cluster(1, 1);
+    let h = c.handle(0);
+    h.acquire(LockId::TABLE, Mode::Write).unwrap();
+    h.release(LockId::TABLE).unwrap();
+    let report = c.shutdown();
+    assert_eq!(report.messages_sent, 0);
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+#[test]
+fn two_nodes_exclusive_handoff() {
+    let c = cluster(2, 1);
+    let a = c.handle(0);
+    let b = c.handle(1);
+    a.acquire(LockId::TABLE, Mode::Write).unwrap();
+    // b's acquire must block until a releases: drive it from a thread.
+    let b2 = b.clone();
+    let t = std::thread::spawn(move || b2.acquire(LockId::TABLE, Mode::Write));
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(!t.is_finished(), "W must wait for W");
+    a.release(LockId::TABLE).unwrap();
+    t.join().unwrap().unwrap();
+    b.release(LockId::TABLE).unwrap();
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+    assert!(report.messages_sent >= 2);
+}
+
+#[test]
+fn readers_share_writers_exclude() {
+    let c = cluster(4, 1);
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        handles.push(c.handle(i));
+    }
+    // All four take R concurrently — all must succeed while held.
+    let in_cs = Arc::new(AtomicU32::new(0));
+    let peak = Arc::new(AtomicU32::new(0));
+    let threads: Vec<_> = handles
+        .iter()
+        .cloned()
+        .map(|h| {
+            let in_cs = Arc::clone(&in_cs);
+            let peak = Arc::clone(&peak);
+            std::thread::spawn(move || {
+                h.acquire(LockId::TABLE, Mode::Read).unwrap();
+                let now = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                in_cs.fetch_sub(1, Ordering::SeqCst);
+                h.release(LockId::TABLE).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(
+        peak.load(Ordering::SeqCst) >= 2,
+        "read locks should overlap (peak {})",
+        peak.load(Ordering::SeqCst)
+    );
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+#[test]
+fn writers_never_overlap_under_contention() {
+    let c = cluster(6, 1);
+    let in_cs = Arc::new(AtomicU32::new(0));
+    let violations = Arc::new(AtomicU32::new(0));
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            let h = c.handle(i);
+            let in_cs = Arc::clone(&in_cs);
+            let violations = Arc::clone(&violations);
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    h.acquire(LockId::TABLE, Mode::Write).unwrap();
+                    if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                    h.release(LockId::TABLE).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(violations.load(Ordering::SeqCst), 0, "mutual exclusion");
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+#[test]
+fn hierarchical_intent_plus_entry_across_locks() {
+    let c = cluster(3, 4); // table + 3 entries
+    let threads: Vec<_> = (0..3)
+        .map(|i| {
+            let h = c.handle(i);
+            std::thread::spawn(move || {
+                for round in 0..10u32 {
+                    let entry = LockId::entry((round + i) % 3);
+                    h.acquire(LockId::TABLE, Mode::IntentWrite).unwrap();
+                    h.acquire(entry, Mode::Write).unwrap();
+                    std::thread::sleep(Duration::from_micros(200));
+                    h.release(entry).unwrap();
+                    h.release(LockId::TABLE).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+#[test]
+fn upgrade_is_atomic_under_contention() {
+    let c = cluster(3, 1);
+    let h0 = c.handle(0);
+    let h1 = c.handle(1);
+    h1.acquire(LockId::TABLE, Mode::Upgrade).unwrap();
+    // A competing reader takes IR concurrently (compatible with U).
+    h0.acquire(LockId::TABLE, Mode::IntentRead).unwrap();
+    // The upgrade must wait for the IR holder.
+    let h1b = h1.clone();
+    let t = std::thread::spawn(move || h1b.upgrade(LockId::TABLE));
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(!t.is_finished(), "upgrade waits for the IR holder");
+    h0.release(LockId::TABLE).unwrap();
+    t.join().unwrap().unwrap();
+    h1.release(LockId::TABLE).unwrap();
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+#[test]
+fn api_misuse_is_reported() {
+    let c = cluster(2, 1);
+    let h = c.handle(0);
+    assert!(matches!(
+        h.release(LockId::TABLE),
+        Err(ClusterError::Release(_))
+    ));
+    h.acquire(LockId::TABLE, Mode::Read).unwrap();
+    assert!(matches!(
+        h.acquire(LockId::TABLE, Mode::Write),
+        Err(ClusterError::Acquire(_))
+    ));
+    assert!(matches!(
+        h.upgrade(LockId::TABLE),
+        Err(ClusterError::Upgrade(_))
+    ));
+    h.release(LockId::TABLE).unwrap();
+    c.shutdown();
+}
+
+#[test]
+fn router_delay_variant_works() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 3,
+        locks: 1,
+        delay: Some(Duration::from_micros(300)),
+        ..Default::default()
+    });
+    let threads: Vec<_> = (0..3)
+        .map(|i| {
+            let h = c.handle(i);
+            std::thread::spawn(move || {
+                for _ in 0..3 {
+                    h.acquire(LockId::TABLE, Mode::Write).unwrap();
+                    h.release(LockId::TABLE).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    c.quiesce(Duration::from_millis(20));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}

@@ -1,0 +1,131 @@
+//! Protocol feature toggles.
+
+use serde::{Deserialize, Serialize};
+
+/// Feature toggles for the hierarchical protocol.
+///
+/// The full protocol enables everything. The switches exist for the ablation
+/// experiments in `dlm-harness`: the paper credits its message savings to
+/// local queueing, child granting and release suppression (§4.1), and its
+/// fairness to freezing (§3.3); each can be disabled to quantify its
+/// contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Rule 4.1 / Table 1(c): allow non-token nodes to queue requests locally.
+    /// When off, a non-token node that cannot grant always forwards.
+    pub local_queueing: bool,
+    /// Rule 3.1 / Table 1(b): allow non-token nodes to copy-grant requests.
+    /// When off, only the token node grants.
+    pub child_grants: bool,
+    /// Rule 5.2: send a release to the parent only when the owned mode
+    /// weakens. When off, every release/receipt is propagated upward
+    /// (the "more eager variant" the paper compares against in §3.2).
+    pub release_suppression: bool,
+    /// Rule 6 / Table 1(d): freeze modes that could starve queued requests.
+    /// When off, compatible latecomers may overtake queued requests
+    /// indefinitely (the starvation scenario of §3.3).
+    pub freezing: bool,
+    /// Token-transfer policy for an **idle** token (owned mode `NoLock`).
+    ///
+    /// Rule 3.2's text transfers whenever `MO < MR`, which for an idle token
+    /// means *every* grant migrates the token; since this protocol (unlike
+    /// Naimi's) cannot path-reverse on forwarding (see `handlers.rs`), those
+    /// migrations degrade the parent graph into O(n) history chains and the
+    /// measured message overhead grows far beyond the paper's ≈3-message
+    /// asymptote. Following the Li/Hudak ownership discipline the paper's
+    /// copysets generalize — *reads copy, writes migrate ownership* — the
+    /// default (`false`) keeps an idle token in place for shared-mode
+    /// requests (IR, R, IW) and migrates it only for exclusive ones (U, W).
+    /// Every worked example in the paper involves a non-idle token and is
+    /// unaffected. Set `true` for the literal reading of Rule 3.2; the
+    /// ablation harness quantifies the difference (DESIGN.md §3).
+    pub eager_idle_transfer: bool,
+}
+
+impl ProtocolConfig {
+    /// The protocol exactly as published.
+    pub const fn paper() -> Self {
+        ProtocolConfig {
+            local_queueing: true,
+            child_grants: true,
+            release_suppression: true,
+            freezing: true,
+            eager_idle_transfer: false,
+        }
+    }
+
+    /// The literal reading of Rule 3.2: an idle token migrates on every
+    /// grant. See [`ProtocolConfig::eager_idle_transfer`].
+    pub const fn literal_rule_3_2(mut self) -> Self {
+        self.eager_idle_transfer = true;
+        self
+    }
+
+    /// Disable one feature relative to the paper configuration; used by the
+    /// ablation harness.
+    pub fn without(mut self, feature: Ablation) -> Self {
+        match feature {
+            Ablation::LocalQueueing => self.local_queueing = false,
+            Ablation::ChildGrants => self.child_grants = false,
+            Ablation::ReleaseSuppression => self.release_suppression = false,
+            Ablation::Freezing => self.freezing = false,
+        }
+        self
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A protocol feature that can be ablated. See [`ProtocolConfig::without`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ablation {
+    /// Disable Rule 4.1 local queueing.
+    LocalQueueing,
+    /// Disable Rule 3.1 child grants.
+    ChildGrants,
+    /// Disable Rule 5.2 release suppression.
+    ReleaseSuppression,
+    /// Disable Rule 6 freezing.
+    Freezing,
+}
+
+/// All ablatable features, for sweep loops.
+pub const ALL_ABLATIONS: [Ablation; 4] = [
+    Ablation::LocalQueueing,
+    Ablation::ChildGrants,
+    Ablation::ReleaseSuppression,
+    Ablation::Freezing,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_enables_everything() {
+        let c = ProtocolConfig::paper();
+        assert!(c.local_queueing && c.child_grants && c.release_suppression && c.freezing);
+        assert_eq!(ProtocolConfig::default(), c);
+    }
+
+    #[test]
+    fn without_disables_exactly_one_feature() {
+        for &a in &ALL_ABLATIONS {
+            let c = ProtocolConfig::paper().without(a);
+            let disabled = [
+                !c.local_queueing,
+                !c.child_grants,
+                !c.release_suppression,
+                !c.freezing,
+            ]
+            .iter()
+            .filter(|&&d| d)
+            .count();
+            assert_eq!(disabled, 1, "{a:?} must disable exactly one feature");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Effects returned by the state machine for the runtime to execute.
+
+use crate::ids::NodeId;
+use crate::message::Message;
+use dlm_modes::Mode;
+
+/// An instruction from the protocol state machine to its runtime.
+///
+/// The state machine never performs IO; instead each entry point returns the
+/// effects the runtime must carry out. Runtimes count `Send` effects to obtain
+/// the paper's messages-per-request metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Transmit `message` to node `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        message: Message,
+    },
+    /// The local application's pending request has been granted; it may enter
+    /// the critical section in `mode`.
+    Granted {
+        /// The granted mode.
+        mode: Mode,
+    },
+    /// The local application's Rule 7 upgrade completed: its held `U` lock is
+    /// now a `W` lock (no intermediate release happened).
+    Upgraded,
+}
+
+impl Effect {
+    /// Convenience constructor for a send effect.
+    pub fn send(to: NodeId, message: Message) -> Self {
+        Effect::Send { to, message }
+    }
+
+    /// True if this effect is a message transmission.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Effect::Send { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_helper_and_predicate() {
+        let e = Effect::send(NodeId(2), Message::Grant { mode: Mode::Read });
+        assert!(e.is_send());
+        assert!(!Effect::Granted { mode: Mode::Read }.is_send());
+        assert!(!Effect::Upgraded.is_send());
+    }
+}

@@ -1,0 +1,78 @@
+//! Node identity.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a participating node (a cluster machine / server process).
+///
+/// Dense small integers so runtimes can index nodes by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of one lock object when several are multiplexed over one
+/// transport (each lock runs an independent instance of the protocol).
+///
+/// Convention used throughout this workspace for hierarchical data: id 0 is
+/// the coarsest granularity (e.g. a whole table) and ids `1..=E` are the
+/// finer-granularity objects underneath it (e.g. table entries).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// The coarsest-granularity lock (the table, in the paper's workload).
+    pub const TABLE: LockId = LockId(0);
+
+    /// The lock protecting fine-granularity object `i` (0-based).
+    pub fn entry(i: u32) -> LockId {
+        LockId(i + 1)
+    }
+
+    /// Dense index for vectors of per-lock state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == LockId::TABLE {
+            write!(f, "table")
+        } else {
+            write!(f, "entry{}", self.0 - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+    }
+}

@@ -1,0 +1,273 @@
+//! Global safety audits over a snapshot of every node plus in-flight
+//! messages.
+//!
+//! The paper's safety argument (§3, closing paragraph) rests on a
+//! monotonicity lemma — *if `a >= b` then anything compatible with `a` is
+//! compatible with `b`* (pinned by `strength_refines_compatibility_inclusion`
+//! in `dlm-modes`) — which makes the local test "compatible with my owned
+//! mode" sufficient for global mutual exclusion. These audits check the
+//! global statements directly, so the simulator and the property tests can
+//! verify them after every single event.
+
+use crate::ids::NodeId;
+use crate::message::Message;
+use crate::node::HierNode;
+use dlm_modes::{compatible, Mode};
+use std::collections::HashSet;
+
+/// A message in flight between two nodes, for audit purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InFlight {
+    /// Sender (transport hop).
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload.
+    pub message: Message,
+}
+
+/// A violated invariant found by [`audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// Two nodes hold incompatible modes at the same instant — mutual
+    /// exclusion is broken.
+    IncompatibleHolders {
+        /// First holder and its mode.
+        a: (NodeId, Mode),
+        /// Second holder and its mode.
+        b: (NodeId, Mode),
+    },
+    /// The number of tokens (node-resident plus in-flight) is not one.
+    TokenCount(usize),
+    /// A token-holding node has a parent, or a tokenless node has none.
+    ParentTokenMismatch(NodeId),
+    /// A node's cached owned mode disagrees with `join(held, copyset)`.
+    OwnedCacheStale(NodeId),
+    /// Parent links contain a cycle (checked at quiescence).
+    ParentCycle(NodeId),
+    /// At quiescence: a node's parent does not cover the node's owned mode in
+    /// its copyset (`copyset[child] >= child.owned` must hold — it is what
+    /// makes local grant decisions globally safe).
+    CopysetUnderestimates {
+        /// The parent whose record is too weak.
+        parent: NodeId,
+        /// The child whose owned mode is under-recorded.
+        child: NodeId,
+    },
+    /// At quiescence: a request is still pending — liveness failure.
+    StuckRequest(NodeId, Mode),
+    /// A defensive code path fired (`HierNode::anomalies` non-zero).
+    Anomaly(NodeId, u64),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::IncompatibleHolders { a, b } => write!(
+                f,
+                "mutual exclusion violated: {} holds {} while {} holds {}",
+                a.0, a.1, b.0, b.1
+            ),
+            AuditError::TokenCount(n) => write!(f, "{n} tokens in the system (expected 1)"),
+            AuditError::ParentTokenMismatch(n) => {
+                write!(f, "{n}: parent/token flag mismatch")
+            }
+            AuditError::OwnedCacheStale(n) => write!(f, "{n}: owned cache != join(held, copyset)"),
+            AuditError::ParentCycle(n) => write!(f, "parent cycle through {n}"),
+            AuditError::CopysetUnderestimates { parent, child } => write!(
+                f,
+                "{parent} records a copyset mode weaker than {child}'s owned mode"
+            ),
+            AuditError::StuckRequest(n, m) => {
+                write!(f, "{n}: request for {m} never granted (quiescent system)")
+            }
+            AuditError::Anomaly(n, c) => write!(f, "{n}: {c} defensive anomalies"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Audit a system snapshot.
+///
+/// Safety checks (mutual exclusion, single token, cache coherence) apply at
+/// *every* instant. Structural and liveness checks (tree shape, copyset
+/// coverage, no stuck requests) only hold at **quiescence** — no in-flight
+/// messages and no pending requests expected — and are enabled by
+/// `quiescent`.
+pub fn audit(nodes: &[HierNode], in_flight: &[InFlight], quiescent: bool) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+
+    // Mutual exclusion: all concurrently held modes pairwise compatible.
+    let holders: Vec<(NodeId, Mode)> = nodes
+        .iter()
+        .filter(|n| n.held() != Mode::NoLock)
+        .map(|n| (n.id(), n.held()))
+        .collect();
+    for (i, &a) in holders.iter().enumerate() {
+        for &b in &holders[i + 1..] {
+            if !compatible(a.1, b.1) {
+                errors.push(AuditError::IncompatibleHolders { a, b });
+            }
+        }
+    }
+
+    // Exactly one token, counting in-flight transfers.
+    let resident = nodes.iter().filter(|n| n.has_token()).count();
+    let flying = in_flight
+        .iter()
+        .filter(|m| matches!(m.message, Message::Token { .. }))
+        .count();
+    if resident + flying != 1 {
+        errors.push(AuditError::TokenCount(resident + flying));
+    }
+
+    for n in nodes {
+        // Parent iff not token. Exception: a node that sent the token away
+        // has a parent while the token flies — that still satisfies the rule
+        // (it is not a token node). A node AWAITING the token keeps its old
+        // parent. So the invariant is exact at all times.
+        if n.has_token() == n.parent().is_some() {
+            errors.push(AuditError::ParentTokenMismatch(n.id()));
+        }
+        if n.owned() != n.recompute_owned() {
+            errors.push(AuditError::OwnedCacheStale(n.id()));
+        }
+        if n.anomalies() > 0 {
+            errors.push(AuditError::Anomaly(n.id(), n.anomalies()));
+        }
+    }
+
+    if quiescent {
+        audit_quiescent(nodes, &mut errors);
+    }
+    errors
+}
+
+fn audit_quiescent(nodes: &[HierNode], errors: &mut Vec<AuditError>) {
+    // Tree acyclicity: follow parent links from every node; must reach the
+    // token node within n hops.
+    let n = nodes.len();
+    for start in nodes {
+        let mut cur = start;
+        let mut hops = 0;
+        while let Some(p) = cur.parent() {
+            hops += 1;
+            if hops > n {
+                errors.push(AuditError::ParentCycle(start.id()));
+                break;
+            }
+            match nodes.iter().find(|x| x.id() == p) {
+                Some(next) => cur = next,
+                None => break, // partial snapshot; cannot follow further
+            }
+        }
+    }
+
+    // Copyset coverage: parent's record dominates child's owned mode.
+    let ids: HashSet<NodeId> = nodes.iter().map(|n| n.id()).collect();
+    for child in nodes {
+        if child.owned() == Mode::NoLock || child.has_token() {
+            continue;
+        }
+        let Some(pid) = child.parent() else { continue };
+        if !ids.contains(&pid) {
+            continue;
+        }
+        let parent = nodes.iter().find(|x| x.id() == pid).expect("checked");
+        let recorded = parent
+            .copyset()
+            .get(&child.id())
+            .copied()
+            .unwrap_or(Mode::NoLock);
+        if !recorded.ge(child.owned()) {
+            errors.push(AuditError::CopysetUnderestimates {
+                parent: pid,
+                child: child.id(),
+            });
+        }
+    }
+
+    // Liveness: nothing pending, nothing queued.
+    for node in nodes {
+        if let Some(m) = node.pending() {
+            errors.push(AuditError::StuckRequest(node.id(), m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+
+    fn three_nodes() -> Vec<HierNode> {
+        vec![
+            HierNode::with_token(NodeId(0), ProtocolConfig::paper()),
+            HierNode::new(NodeId(1), NodeId(0), ProtocolConfig::paper()),
+            HierNode::new(NodeId(2), NodeId(0), ProtocolConfig::paper()),
+        ]
+    }
+
+    #[test]
+    fn fresh_system_passes_quiescent_audit() {
+        let nodes = three_nodes();
+        assert!(audit(&nodes, &[], true).is_empty());
+    }
+
+    #[test]
+    fn incompatible_holders_detected() {
+        let mut nodes = three_nodes();
+        // Reach held states through the public API to keep caches coherent:
+        // n0 (token) takes W locally; hand-craft n1 as a bogus R holder by
+        // driving it with a forged grant.
+        let eff = nodes[0].on_acquire(Mode::Write).unwrap();
+        assert!(eff.iter().any(|e| matches!(e, crate::Effect::Granted { .. })));
+        let eff = nodes[1].on_acquire(Mode::Read).unwrap();
+        assert_eq!(eff.len(), 1); // request sent, not granted
+        let _ = nodes[1].on_message(NodeId(0), Message::Grant { mode: Mode::Read });
+        let errors = audit(&nodes, &[], false);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::IncompatibleHolders { .. })));
+    }
+
+    #[test]
+    fn token_count_detects_in_flight_token() {
+        let nodes = three_nodes();
+        let flight = InFlight {
+            from: NodeId(0),
+            to: NodeId(1),
+            message: Message::Token {
+                mode: Mode::Write,
+                granter_owned: Mode::NoLock,
+                queue: Default::default(),
+                frozen: Default::default(),
+            },
+        };
+        // One resident + one flying = 2 tokens: error.
+        let errors = audit(&nodes, std::slice::from_ref(&flight), false);
+        assert!(errors.iter().any(|e| matches!(e, AuditError::TokenCount(2))));
+    }
+
+    #[test]
+    fn stuck_request_reported_at_quiescence_only() {
+        let mut nodes = three_nodes();
+        let _ = nodes[1].on_acquire(Mode::Write).unwrap();
+        assert!(audit(&nodes, &[], false)
+            .iter()
+            .all(|e| !matches!(e, AuditError::StuckRequest(..))));
+        assert!(audit(&nodes, &[], true)
+            .iter()
+            .any(|e| matches!(e, AuditError::StuckRequest(n, Mode::Write) if *n == NodeId(1))));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = AuditError::IncompatibleHolders {
+            a: (NodeId(0), Mode::Write),
+            b: (NodeId(1), Mode::Read),
+        };
+        assert!(e.to_string().contains("mutual exclusion"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Application-facing entry points: acquire (Rule 2), upgrade (Rule 7) and
+//! release (Rule 5.1/5.2).
+
+use super::HierNode;
+use crate::effect::Effect;
+use crate::error::{AcquireError, ReleaseError, UpgradeError};
+use crate::message::{Message, QueuedRequest};
+use dlm_modes::{compatible, Mode};
+
+impl HierNode {
+    /// True if an [`Self::on_acquire`] for `mode` would be admitted locally,
+    /// with zero messages and zero waiting (the Rule 2 / Rule 3.2 fast
+    /// path). This is what a CosConcurrency-style `try_lock` consults: a
+    /// *conservative*, purely local test — it never initiates remote
+    /// traffic, so a `false` does not prove the lock is unavailable
+    /// system-wide, only that acquiring it would have to wait on messages.
+    pub fn can_admit_locally(&self, mode: Mode) -> bool {
+        if mode == Mode::NoLock || self.held != Mode::NoLock || self.pending.is_some() {
+            return false;
+        }
+        if self.frozen.contains(mode) || !compatible(self.owned, mode) {
+            return false;
+        }
+        // The token node may self-grant anything compatible; a non-token
+        // node only what its owned mode already covers.
+        self.has_token || self.owned.ge(mode)
+    }
+
+    /// The local application requests the lock in `mode`.
+    ///
+    /// Rule 2: a request message is sent iff the owned mode is strictly weaker
+    /// than (or incomparable with) the requested mode, or the two are
+    /// incompatible; otherwise the node admits itself locally and enters the
+    /// critical section with zero messages. A frozen mode (Rule 6) also
+    /// forces a request, so the token can order us behind the queued request
+    /// that caused the freeze.
+    ///
+    /// On a local admit, the returned effects contain [`Effect::Granted`]; on
+    /// a sent request, the grant arrives later through [`Self::on_message`].
+    pub fn on_acquire(&mut self, mode: Mode) -> Result<Vec<Effect>, AcquireError> {
+        self.on_acquire_with_priority(mode, 0)
+    }
+
+    /// [`Self::on_acquire`] with a request priority (the prior-work
+    /// extension; see [`crate::QueuedRequest::priority`]). Priority 0 is the
+    /// paper's plain FIFO protocol.
+    pub fn on_acquire_with_priority(
+        &mut self,
+        mode: Mode,
+        priority: u8,
+    ) -> Result<Vec<Effect>, AcquireError> {
+        if mode == Mode::NoLock {
+            return Err(AcquireError::NoLockRequested);
+        }
+        if self.held != Mode::NoLock {
+            return Err(AcquireError::AlreadyHeld(self.held));
+        }
+        if let Some(p) = self.pending {
+            return Err(AcquireError::AlreadyPending(p.mode));
+        }
+
+        let req = QueuedRequest {
+            from: self.id,
+            mode,
+            upgrade: false,
+            priority,
+        };
+        let mut effects = Vec::new();
+
+        if self.has_token {
+            // The token node answers itself by Rule 3.2 + Rule 6: grant iff
+            // compatible with owned and not frozen; otherwise queue locally
+            // (Rule 4.2) and freeze per Table 1(d).
+            if compatible(self.owned, mode) && !self.frozen.contains(mode) {
+                self.held = mode;
+                self.owned = self.recompute_owned();
+                effects.push(Effect::Granted { mode });
+                self.refresh_frozen(&mut effects);
+            } else {
+                self.pending = Some(req);
+                self.enqueue(req);
+                self.refresh_frozen(&mut effects);
+            }
+            return Ok(effects);
+        }
+
+        // Non-token node, Rule 2.
+        let local_ok = self.owned.ge(mode)
+            && compatible(self.owned, mode)
+            && !self.frozen.contains(mode);
+        if local_ok {
+            self.held = mode;
+            // owned already dominates `mode`; it does not change.
+            debug_assert_eq!(self.recompute_owned(), self.owned);
+            effects.push(Effect::Granted { mode });
+        } else {
+            self.pending = Some(req);
+            let parent = self
+                .parent
+                .expect("non-token node always has a parent");
+            effects.push(Effect::send(parent, Message::Request(req)));
+        }
+        Ok(effects)
+    }
+
+    /// Rule 7: atomically upgrade a held `U` lock to `W` without releasing.
+    ///
+    /// The upgraded request travels (or queues) like a `W` request, except
+    /// that compatibility checks exclude the requester's own `U`
+    /// contribution — upgrades only wait for *other* nodes.
+    pub fn on_upgrade(&mut self) -> Result<Vec<Effect>, UpgradeError> {
+        if self.held != Mode::Upgrade {
+            return Err(UpgradeError::NotHoldingUpgradeLock(self.held));
+        }
+        if let Some(p) = self.pending {
+            return Err(UpgradeError::AlreadyPending(p.mode));
+        }
+
+        let req = QueuedRequest {
+            from: self.id,
+            mode: Mode::Write,
+            upgrade: true,
+            priority: 0,
+        };
+        let mut effects = Vec::new();
+
+        if self.has_token {
+            // Fig. 6: the token node holding U checks everything *except its
+            // own U*. If the rest of the tree is quiescent, the upgrade
+            // completes immediately; otherwise it queues (freezing weaker
+            // modes) and completes when the children release.
+            let rest = self.owned_excluding(self.id);
+            if rest == Mode::NoLock && !self.frozen.contains(Mode::Write) {
+                self.held = Mode::Write;
+                self.owned = self.recompute_owned();
+                effects.push(Effect::Upgraded);
+                self.refresh_frozen(&mut effects);
+            } else {
+                self.pending = Some(req);
+                self.enqueue(req);
+                self.refresh_frozen(&mut effects);
+            }
+            return Ok(effects);
+        }
+
+        self.pending = Some(req);
+        let parent = self.parent.expect("non-token node always has a parent");
+        effects.push(Effect::send(parent, Message::Request(req)));
+        Ok(effects)
+    }
+
+    /// The local application releases its held lock (Rule 5).
+    ///
+    /// Rule 5.1: the token node re-examines its queue. Rule 5.2: a non-token
+    /// node notifies its parent only if the release weakened its owned mode
+    /// (unless release suppression is ablated, in which case it always
+    /// notifies — the "eager variant" of §3.2).
+    pub fn on_release(&mut self) -> Result<Vec<Effect>, ReleaseError> {
+        if self.held == Mode::NoLock {
+            return Err(ReleaseError::NotHeld);
+        }
+        if self.pending.map(|p| p.upgrade).unwrap_or(false) {
+            // Rule 7 forbids releasing U mid-upgrade; the upgrade is atomic.
+            return Err(ReleaseError::UpgradePending);
+        }
+
+        self.held = Mode::NoLock;
+        let old_owned = self.owned;
+        self.owned = self.recompute_owned();
+
+        let mut effects = Vec::new();
+        if self.has_token {
+            self.serve_queue_token(&mut effects);
+        } else {
+            self.propagate_weakening(old_owned, &mut effects);
+        }
+        Ok(effects)
+    }
+
+    /// Rule 5.2 (plus the eager-release ablation): tell the parent about an
+    /// owned-mode change if warranted.
+    pub(crate) fn propagate_weakening(&mut self, old_owned: Mode, effects: &mut Vec<Effect>) {
+        let weakened = self.owned != old_owned && old_owned.ge(self.owned);
+        let notify = if self.config.release_suppression {
+            weakened
+        } else {
+            true
+        };
+        if notify {
+            if let Some(parent) = self.parent {
+                effects.push(Effect::send(
+                    parent,
+                    Message::Release {
+                        new_owned: self.owned,
+                        ack: self.release_ack(parent),
+                    },
+                ));
+                if self.owned == Mode::NoLock {
+                    // Reporting NoLock removes us from the parent's copyset.
+                    // (If the report is dropped as stale, the grant that made
+                    // it stale re-registers us on receipt, so the flag heals.)
+                    self.registered = false;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The per-node, per-lock protocol state machine.
+
+mod acquire;
+mod handlers;
+mod queue;
+
+use crate::config::ProtocolConfig;
+use crate::ids::NodeId;
+use crate::message::QueuedRequest;
+use dlm_modes::{Mode, ModeSet};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One node's instance of the hierarchical locking protocol for one lock
+/// object.
+///
+/// The paper's per-node state is the tuple `(MO, MH, MP)` — owned, held and
+/// pending mode — plus the parent link, the copyset, the local queue, the
+/// frozen-mode set and the token flag. All protocol activity goes through
+/// four entry points which return [`crate::Effect`]s for the runtime:
+///
+/// * [`HierNode::on_acquire`] — the application requests the lock (Rule 2),
+/// * [`HierNode::on_upgrade`] — atomic `U`→`W` upgrade (Rule 7),
+/// * [`HierNode::on_release`] — the application leaves its critical section
+///   (Rule 5),
+/// * [`HierNode::on_message`] — a protocol message arrived (Rules 3–6).
+///
+/// ```
+/// use dlm_core::{Effect, HierNode, Message, Mode, NodeId, ProtocolConfig, QueuedRequest};
+///
+/// // A two-node system driven by hand: node 0 has the token.
+/// let mut token = HierNode::with_token(NodeId(0), ProtocolConfig::paper());
+/// let mut leaf = HierNode::new(NodeId(1), NodeId(0), ProtocolConfig::paper());
+///
+/// // The leaf requests Read; one request message comes out.
+/// let effects = leaf.on_acquire(Mode::Read).unwrap();
+/// let Effect::Send { to, message } = &effects[0] else { panic!() };
+/// assert_eq!(*to, NodeId(0));
+///
+/// // Deliver it to the token node: an idle token copy-grants shared modes.
+/// let effects = token.on_message(NodeId(1), message.clone());
+/// let Effect::Send { message: grant, .. } = &effects[0] else { panic!() };
+///
+/// // Deliver the grant: the leaf enters its critical section.
+/// let effects = leaf.on_message(NodeId(0), grant.clone());
+/// assert!(effects.iter().any(|e| matches!(e, Effect::Granted { mode: Mode::Read })));
+/// assert_eq!(leaf.held(), Mode::Read);
+/// assert_eq!(token.owned(), Mode::Read); // the copyset records the grant
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierNode {
+    /// This node's identity.
+    id: NodeId,
+    /// Feature toggles (ablations); `ProtocolConfig::paper()` is the paper.
+    config: ProtocolConfig,
+    /// Parent in the dynamic tree (`None` iff this node holds the token).
+    parent: Option<NodeId>,
+    /// True iff this node is the token node.
+    has_token: bool,
+    /// `MH`: the mode this node's application currently holds.
+    held: Mode,
+    /// `MO` (Definition 3): the strongest mode held anywhere in the subtree
+    /// rooted here, as far as this node knows. Cached; always equals
+    /// `join(held, copyset modes)`.
+    owned: Mode,
+    /// `MP`: the outstanding request of the local application, if any.
+    pending: Option<QueuedRequest>,
+    /// Children whose requests this node granted (Definition 4), with the
+    /// owned mode they last reported. Sorted map for deterministic iteration.
+    copyset: BTreeMap<NodeId, Mode>,
+    /// The local request queue (Rule 4); FIFO.
+    queue: VecDeque<QueuedRequest>,
+    /// Modes frozen at this node (Rule 6). At the token node this is
+    /// recomputed from the queue; elsewhere it is whatever the parent last
+    /// pushed via `SetFrozen`.
+    frozen: ModeSet,
+    /// The frozen set last communicated to each copyset child, so freeze
+    /// updates are only sent to children for which they matter.
+    frozen_sent: BTreeMap<NodeId, ModeSet>,
+    /// Grants (copy grants and token transfers) sent per peer; used to
+    /// detect stale releases (see `Message::Release::ack`).
+    grants_sent: BTreeMap<NodeId, u64>,
+    /// Grants received per peer; stamped into outgoing releases.
+    grants_received: BTreeMap<NodeId, u64>,
+    /// True while this node believes its current parent holds a copyset
+    /// entry for it. Set on grant/token interactions, cleared when the node
+    /// reports `NoLock` to its parent. Drives the *detach* message on
+    /// re-parenting (see `handlers.rs`): without it, a node granted by a
+    /// non-parent would leave a permanently stale entry at its old parent,
+    /// inflating that subtree's owned mode forever and starving queued
+    /// writers (found by the property tests; DESIGN.md §3).
+    registered: bool,
+    /// Count of defensively handled impossible-by-design situations (e.g. a
+    /// node receiving its own already-answered request). Zero in every test.
+    anomalies: u64,
+}
+
+impl HierNode {
+    /// Create a node without the token whose initial parent is `parent`.
+    pub fn new(id: NodeId, parent: NodeId, config: ProtocolConfig) -> Self {
+        HierNode {
+            id,
+            config,
+            parent: Some(parent),
+            has_token: false,
+            held: Mode::NoLock,
+            owned: Mode::NoLock,
+            pending: None,
+            copyset: BTreeMap::new(),
+            queue: VecDeque::new(),
+            frozen: ModeSet::EMPTY,
+            frozen_sent: BTreeMap::new(),
+            grants_sent: BTreeMap::new(),
+            grants_received: BTreeMap::new(),
+            registered: false,
+            anomalies: 0,
+        }
+    }
+
+    /// Create the initial token node (the root of the initial tree).
+    pub fn with_token(id: NodeId, config: ProtocolConfig) -> Self {
+        HierNode {
+            parent: None,
+            has_token: true,
+            ..HierNode::new(id, id, config)
+        }
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The mode currently held by the local application (`MH`).
+    pub fn held(&self) -> Mode {
+        self.held
+    }
+
+    /// The owned mode (`MO`, Definition 3): strongest mode known to be held
+    /// in the subtree rooted here.
+    pub fn owned(&self) -> Mode {
+        self.owned
+    }
+
+    /// The pending request (`MP`), if any.
+    pub fn pending(&self) -> Option<Mode> {
+        self.pending.map(|p| p.mode)
+    }
+
+    /// True if the pending request is a Rule 7 upgrade.
+    pub fn pending_is_upgrade(&self) -> bool {
+        self.pending.map(|p| p.upgrade).unwrap_or(false)
+    }
+
+    /// True iff this node currently holds the token.
+    pub fn has_token(&self) -> bool {
+        self.has_token
+    }
+
+    /// Current parent link (`None` iff token node).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The copyset: children and the owned mode they last reported.
+    pub fn copyset(&self) -> &BTreeMap<NodeId, Mode> {
+        &self.copyset
+    }
+
+    /// Number of locally queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The locally queued requests, front (oldest) first.
+    pub fn queued(&self) -> impl Iterator<Item = &QueuedRequest> {
+        self.queue.iter()
+    }
+
+    /// Modes currently frozen at this node.
+    pub fn frozen(&self) -> ModeSet {
+        self.frozen
+    }
+
+    /// Defensive-path counter; see the field docs. Always zero under the
+    /// modelled semantics — asserted by the property tests.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// The protocol configuration this node runs.
+    pub fn protocol_config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// Recompute the owned mode from held + copyset (Definition 3).
+    pub(crate) fn recompute_owned(&self) -> Mode {
+        self.copyset
+            .values()
+            .fold(self.held, |acc, &m| acc.join(m))
+    }
+
+    /// The owned mode with node `who`'s copyset contribution removed, and —
+    /// when `who` is this node itself — the held mode removed too. Used for
+    /// Rule 7 upgrade compatibility checks: the upgrader's own `U` must not
+    /// conflict with its own `W` request.
+    pub(crate) fn owned_excluding(&self, who: NodeId) -> Mode {
+        let base = if who == self.id {
+            Mode::NoLock
+        } else {
+            self.held
+        };
+        self.copyset
+            .iter()
+            .filter(|(&c, _)| c != who)
+            .fold(base, |acc, (_, &m)| acc.join(m))
+    }
+
+    /// Record a weaker owned report from (or removal of) a copyset child.
+    pub(crate) fn update_copyset(&mut self, child: NodeId, reported: Mode) {
+        if reported == Mode::NoLock {
+            self.copyset.remove(&child);
+            self.frozen_sent.remove(&child);
+        } else {
+            self.copyset.insert(child, reported);
+        }
+    }
+
+    pub(crate) fn note_anomaly(&mut self) {
+        self.anomalies += 1;
+    }
+
+    /// Insert a request into the local queue: before the first entry of
+    /// strictly lower priority, after everything of equal or higher priority
+    /// (stable ⇒ FIFO within a priority level; all-zero priorities reproduce
+    /// the paper's plain FIFO exactly).
+    pub(crate) fn enqueue(&mut self, req: QueuedRequest) {
+        let at = self
+            .queue
+            .iter()
+            .position(|q| q.priority < req.priority)
+            .unwrap_or(self.queue.len());
+        self.queue.insert(at, req);
+    }
+
+    /// Record that a grant (copy or token) is being sent to `to`.
+    pub(crate) fn count_grant_sent(&mut self, to: NodeId) {
+        *self.grants_sent.entry(to).or_insert(0) += 1;
+    }
+
+    /// Record that a grant (copy or token) arrived from `from`.
+    pub(crate) fn count_grant_received(&mut self, from: NodeId) {
+        *self.grants_received.entry(from).or_insert(0) += 1;
+    }
+
+    /// The ack value to stamp into a release sent to `to`.
+    pub(crate) fn release_ack(&self, to: NodeId) -> u64 {
+        self.grants_received.get(&to).copied().unwrap_or(0)
+    }
+
+    /// True if a release from `child` carrying `ack` predates a grant this
+    /// node has already sent to `child` (i.e. the release is stale).
+    pub(crate) fn release_is_stale(&self, child: NodeId, ack: u64) -> bool {
+        ack < self.grants_sent.get(&child).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::paper()
+    }
+
+    #[test]
+    fn fresh_nodes_have_paper_initial_state() {
+        let root = HierNode::with_token(NodeId(0), cfg());
+        assert!(root.has_token());
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.held(), Mode::NoLock);
+        assert_eq!(root.owned(), Mode::NoLock);
+        assert_eq!(root.pending(), None);
+        assert_eq!(root.queue_len(), 0);
+        assert!(root.frozen().is_empty());
+
+        let leaf = HierNode::new(NodeId(3), NodeId(0), cfg());
+        assert!(!leaf.has_token());
+        assert_eq!(leaf.parent(), Some(NodeId(0)));
+        assert_eq!(leaf.anomalies(), 0);
+    }
+
+    #[test]
+    fn owned_is_join_of_held_and_copyset() {
+        let mut n = HierNode::with_token(NodeId(0), cfg());
+        n.held = Mode::IntentRead;
+        n.copyset.insert(NodeId(1), Mode::Read);
+        n.copyset.insert(NodeId(2), Mode::IntentRead);
+        assert_eq!(n.recompute_owned(), Mode::Read);
+        // Incomparable pair joins to Write.
+        n.copyset.insert(NodeId(3), Mode::IntentWrite);
+        assert_eq!(n.recompute_owned(), Mode::Write);
+    }
+
+    #[test]
+    fn owned_excluding_removes_one_contribution() {
+        let mut n = HierNode::with_token(NodeId(0), cfg());
+        n.held = Mode::Upgrade;
+        n.copyset.insert(NodeId(1), Mode::IntentRead);
+        assert_eq!(n.owned_excluding(NodeId(0)), Mode::IntentRead);
+        assert_eq!(n.owned_excluding(NodeId(1)), Mode::Upgrade);
+        assert_eq!(n.owned_excluding(NodeId(9)), Mode::Upgrade);
+    }
+
+    #[test]
+    fn update_copyset_removes_on_nolock() {
+        let mut n = HierNode::with_token(NodeId(0), cfg());
+        n.update_copyset(NodeId(1), Mode::Read);
+        assert_eq!(n.copyset().get(&NodeId(1)), Some(&Mode::Read));
+        n.update_copyset(NodeId(1), Mode::IntentRead);
+        assert_eq!(n.copyset().get(&NodeId(1)), Some(&Mode::IntentRead));
+        n.update_copyset(NodeId(1), Mode::NoLock);
+        assert!(n.copyset().is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! A deterministic, lock-step in-memory runtime for the protocol.
+//!
+//! [`LockStepNet`] hosts one [`HierNode`] per participant and a FIFO message
+//! bag, delivering one message at a time with a full safety [`audit`] after
+//! every step. It is the reference harness for unit, example-replay and
+//! property tests — and the simplest possible answer to "how do I drive this
+//! sans-IO state machine?" (the discrete-event simulator in `dlm-sim` and the
+//! threaded runtime in `dlm-cluster` follow the same pattern with real
+//! scheduling).
+
+use crate::config::ProtocolConfig;
+use crate::effect::Effect;
+use crate::error::{AcquireError, ReleaseError, UpgradeError};
+use crate::ids::NodeId;
+use crate::invariants::{audit, AuditError, InFlight};
+use crate::node::HierNode;
+use dlm_modes::Mode;
+use std::collections::VecDeque;
+
+/// A deterministic in-memory network of protocol nodes with FIFO delivery.
+#[derive(Debug, Clone)]
+pub struct LockStepNet {
+    nodes: Vec<HierNode>,
+    inbox: VecDeque<InFlight>,
+    /// Log of `(node, mode)` grants, in delivery order.
+    pub granted: Vec<(NodeId, Mode)>,
+    /// Log of completed upgrades, in delivery order.
+    pub upgraded: Vec<NodeId>,
+    /// Total protocol messages sent so far.
+    pub messages_sent: u64,
+    /// When true (default), every delivery step runs the instantaneous
+    /// safety audit and panics on violation.
+    pub audit_each_step: bool,
+}
+
+impl LockStepNet {
+    /// A star topology: node 0 holds the token, every other node's initial
+    /// parent is node 0.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 1, "need at least one node");
+        Self::star_with_config(n, ProtocolConfig::paper())
+    }
+
+    /// [`LockStepNet::star`] with a custom protocol configuration.
+    pub fn star_with_config(n: usize, config: ProtocolConfig) -> Self {
+        let mut parents = vec![None];
+        parents.extend((1..n).map(|_| Some(0u32)));
+        Self::with_parents(&parents, config)
+    }
+
+    /// Build an arbitrary initial tree. `parents[i]` is node `i`'s initial
+    /// parent; exactly one entry must be `None` (the initial token node).
+    pub fn with_parents(parents: &[Option<u32>], config: ProtocolConfig) -> Self {
+        let roots = parents.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 1, "exactly one root/token node required");
+        let nodes = parents
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                None => HierNode::with_token(NodeId(i as u32), config),
+                Some(parent) => {
+                    assert_ne!(*parent as usize, i, "node cannot parent itself");
+                    HierNode::new(NodeId(i as u32), NodeId(*parent), config)
+                }
+            })
+            .collect();
+        LockStepNet {
+            nodes,
+            inbox: VecDeque::new(),
+            granted: Vec::new(),
+            upgraded: Vec::new(),
+            messages_sent: 0,
+            audit_each_step: true,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the net has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, id: u32) -> &HierNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable access to a node, for tests that drive entry points the
+    /// convenience wrappers do not cover (e.g. prioritized acquires). Route
+    /// the returned effects back through [`Self::inject_effects`].
+    pub fn node_mut(&mut self, id: u32) -> &mut HierNode {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Feed effects produced by a direct [`Self::node_mut`] call into the
+    /// network (sends become in-flight messages; grants/upgrades are logged).
+    pub fn inject_effects(&mut self, from: NodeId, effects: Vec<Effect>) {
+        self.absorb(from, effects);
+    }
+
+    /// All nodes, for audits.
+    pub fn nodes(&self) -> &[HierNode] {
+        &self.nodes
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> Vec<InFlight> {
+        self.inbox.iter().cloned().collect()
+    }
+
+    /// Issue an acquire; panics on API misuse (see [`Self::try_acquire`]).
+    pub fn acquire(&mut self, id: u32, mode: Mode) {
+        self.try_acquire(id, mode).expect("acquire misuse");
+    }
+
+    /// Issue an acquire, surfacing API misuse as an error.
+    pub fn try_acquire(&mut self, id: u32, mode: Mode) -> Result<(), AcquireError> {
+        let effects = self.nodes[id as usize].on_acquire(mode)?;
+        self.absorb(NodeId(id), effects);
+        Ok(())
+    }
+
+    /// Issue a release; panics on API misuse.
+    pub fn release(&mut self, id: u32) {
+        self.try_release(id).expect("release misuse");
+    }
+
+    /// Issue a release, surfacing API misuse as an error.
+    pub fn try_release(&mut self, id: u32) -> Result<(), ReleaseError> {
+        let effects = self.nodes[id as usize].on_release()?;
+        self.absorb(NodeId(id), effects);
+        Ok(())
+    }
+
+    /// Issue a Rule 7 upgrade; panics on API misuse.
+    pub fn upgrade(&mut self, id: u32) {
+        self.try_upgrade(id).expect("upgrade misuse");
+    }
+
+    /// Issue a Rule 7 upgrade, surfacing API misuse as an error.
+    pub fn try_upgrade(&mut self, id: u32) -> Result<(), UpgradeError> {
+        let effects = self.nodes[id as usize].on_upgrade()?;
+        self.absorb(NodeId(id), effects);
+        Ok(())
+    }
+
+    /// Deliver the oldest in-flight message. Returns `false` when idle.
+    pub fn deliver_one(&mut self) -> bool {
+        let Some(flight) = self.inbox.pop_front() else {
+            return false;
+        };
+        let effects = self.nodes[flight.to.index()].on_message(flight.from, flight.message);
+        self.absorb(flight.to, effects);
+        if self.audit_each_step {
+            self.assert_safe();
+        }
+        true
+    }
+
+    /// Deliver messages until the network is quiet.
+    pub fn deliver_all(&mut self) {
+        let mut steps = 0u64;
+        while self.deliver_one() {
+            steps += 1;
+            assert!(
+                steps < 1_000_000,
+                "runaway message storm: protocol does not quiesce"
+            );
+        }
+    }
+
+    /// Run the instantaneous safety audit; panics with the violations.
+    pub fn assert_safe(&self) {
+        let errors = self.audit_now(false);
+        assert!(errors.is_empty(), "safety audit failed: {errors:?}");
+    }
+
+    /// Run the audit; `quiescent` additionally enables structural and
+    /// liveness checks (call only when the inbox is empty and no request is
+    /// expected to be outstanding).
+    pub fn audit_now(&self, quiescent: bool) -> Vec<AuditError> {
+        audit(&self.nodes, &self.in_flight(), quiescent)
+    }
+
+    fn absorb(&mut self, from: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, message } => {
+                    self.messages_sent += 1;
+                    self.inbox.push_back(InFlight { from, to, message });
+                }
+                Effect::Granted { mode } => self.granted.push((from, mode)),
+                Effect::Upgraded => self.upgraded.push(from),
+            }
+        }
+    }
+
+    /// Convenience: was `(node, mode)` granted at some point?
+    pub fn was_granted(&self, id: u32, mode: Mode) -> bool {
+        self.granted.contains(&(NodeId(id), mode))
+    }
+
+    /// Deliver all traffic, then assert full quiescent-state invariants.
+    pub fn settle(&mut self) {
+        self.deliver_all();
+        let errors = self.audit_now(true);
+        assert!(errors.is_empty(), "quiescent audit failed: {errors:?}");
+    }
+
+    /// Deliver one message chosen by `pick` among the in-flight *channels*,
+    /// preserving per-(sender, receiver) FIFO order — the guarantee TCP and
+    /// MPI give and the protocol assumes. `pick(k)` must return a value in
+    /// `0..k`; it selects which distinct channel's oldest message to deliver.
+    /// Returns `false` when idle.
+    pub fn deliver_one_with(&mut self, pick: impl FnOnce(usize) -> usize) -> bool {
+        // Collect the distinct (from, to) channels in first-appearance order.
+        let mut channels: Vec<(NodeId, NodeId)> = Vec::new();
+        for f in &self.inbox {
+            if !channels.contains(&(f.from, f.to)) {
+                channels.push((f.from, f.to));
+            }
+        }
+        if channels.is_empty() {
+            return false;
+        }
+        let chosen = channels[pick(channels.len()) % channels.len()];
+        let pos = self
+            .inbox
+            .iter()
+            .position(|f| (f.from, f.to) == chosen)
+            .expect("channel came from the inbox");
+        let flight = self.inbox.remove(pos).expect("position is valid");
+        let effects = self.nodes[flight.to.index()].on_message(flight.from, flight.message);
+        self.absorb(flight.to, effects);
+        if self.audit_each_step {
+            self.assert_safe();
+        }
+        true
+    }
+
+    /// Forward in-flight messages destined to `id` only (for tests that need
+    /// fine-grained interleavings). Returns how many were delivered.
+    pub fn deliver_to(&mut self, id: u32) -> usize {
+        let mut delivered = 0;
+        let mut rest = VecDeque::new();
+        while let Some(flight) = self.inbox.pop_front() {
+            if flight.to == NodeId(id) {
+                let effects =
+                    self.nodes[flight.to.index()].on_message(flight.from, flight.message);
+                self.absorb(flight.to, effects);
+                delivered += 1;
+                if self.audit_each_step {
+                    self.assert_safe();
+                }
+            } else {
+                rest.push_back(flight);
+            }
+        }
+        // Preserve relative order of the untouched messages, followed by any
+        // new traffic generated during delivery (absorb appended to inbox).
+        rest.extend(self.inbox.drain(..));
+        self.inbox = rest;
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_initialises_token_at_zero() {
+        let net = LockStepNet::star(4);
+        assert!(net.node(0).has_token());
+        for i in 1..4 {
+            assert_eq!(net.node(i).parent(), Some(NodeId(0)));
+        }
+        assert!(net.audit_now(true).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn with_parents_rejects_multiple_roots() {
+        let _ = LockStepNet::with_parents(&[None, None], ProtocolConfig::paper());
+    }
+
+    #[test]
+    fn token_node_self_grant_costs_no_messages() {
+        let mut net = LockStepNet::star(3);
+        net.acquire(0, Mode::Write);
+        assert!(net.was_granted(0, Mode::Write));
+        assert_eq!(net.messages_sent, 0);
+    }
+
+    #[test]
+    fn remote_grant_round_trip() {
+        let mut net = LockStepNet::star(3);
+        net.acquire(1, Mode::Read);
+        net.settle();
+        assert!(net.was_granted(1, Mode::Read));
+        assert_eq!(net.node(1).held(), Mode::Read);
+        // An idle token copy-grants shared modes and stays put (stable-root
+        // policy); the requester joins the copyset instead.
+        assert!(net.node(0).has_token());
+        assert_eq!(net.node(0).copyset().get(&NodeId(1)), Some(&Mode::Read));
+        net.release(1);
+        net.settle();
+        assert!(net.node(0).copyset().is_empty(), "release cleans the entry");
+
+        // An exclusive mode, by contrast, migrates the idle token.
+        net.acquire(1, Mode::Write);
+        net.settle();
+        assert!(net.node(1).has_token(), "W migrates ownership");
+        assert_eq!(net.node(0).parent(), Some(NodeId(1)));
+        net.release(1);
+        net.settle();
+    }
+
+    #[test]
+    fn deliver_to_filters_by_destination() {
+        let mut net = LockStepNet::star(3);
+        net.acquire(1, Mode::Read); // request to node 0 in flight
+        net.acquire(2, Mode::Read); // request to node 0 in flight
+        assert_eq!(net.deliver_to(0), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Regression for a safety violation found by proptest under the
+//! local-queueing ablation (kept minimized).
+
+use dlm_core::testkit::LockStepNet;
+use dlm_core::{Mode, ProtocolConfig};
+
+fn dump(net: &LockStepNet, label: &str) {
+    eprintln!("--- {label} ---");
+    for i in 0..net.len() as u32 {
+        let n = net.node(i);
+        eprintln!(
+            "  n{i}: token={} parent={:?} owned={} held={} pending={:?} queue={:?} frozen={} copyset={:?}",
+            n.has_token(),
+            n.parent(),
+            n.owned(),
+            n.held(),
+            n.pending(),
+            n.queued().collect::<Vec<_>>(),
+            n.frozen(),
+            n.copyset()
+        );
+    }
+    for f in net.in_flight() {
+        eprintln!("  flight {} -> {}: {:?}", f.from, f.to, f.message);
+    }
+}
+
+#[test]
+fn local_queueing_ablation_upgrade_race() {
+    let cfg = ProtocolConfig::paper().without(dlm_core::Ablation::LocalQueueing);
+    let mut net = LockStepNet::star_with_config(3, cfg);
+    net.acquire(0, Mode::IntentRead); // token self-grant
+    net.acquire(1, Mode::IntentRead); // request -> 0
+    net.deliver_one(); // request at 0 -> copy grant
+    net.deliver_one(); // grant at 1
+    net.acquire(2, Mode::Upgrade); // request -> 0
+    net.deliver_one(); // at 0: token transfer to 2
+    net.release(0); // release IR: owned stays IR via copyset{1:IR}
+    net.deliver_one(); // token at 2: holds U
+    dump(&net, "after token at 2");
+    net.acquire(0, Mode::Read); // 0 requests R via parent 2
+    net.deliver_one(); // at 2: copy grant R to 0
+    dump(&net, "after copy grant issued");
+    net.release(1); // 1 releases IR -> Release(NL) to 0
+    // Deliver 1's release to 0 BEFORE the grant from 2 reaches 0. Node 0's
+    // owned collapses to NoLock and it emits Release(NL) to its parent 2 —
+    // while 2's Grant(R) to node 0 is still in flight. Without the ack
+    // filter, that stale release erased 2's copyset entry for 0's R and the
+    // subsequent upgrade produced W concurrent with 0's R.
+    assert!(net.deliver_one_with(|channels| {
+        assert_eq!(channels, 2, "grant 2->0 and release 1->0 in flight");
+        1 // the (1 -> 0) release channel
+    }));
+    dump(&net, "after stale release generated");
+    // Deliver the stale release 0 -> 2 next, before 0 sees its grant.
+    assert!(net.deliver_one_with(|_| 1));
+    assert_eq!(
+        net.node(2).copyset().get(&dlm_core::NodeId(0)),
+        Some(&Mode::Read),
+        "stale release must not erase the in-flight grant from the copyset"
+    );
+    net.upgrade(2);
+    net.deliver_all();
+    dump(&net, "final");
+    // The upgrade must wait until node 0 actually releases its R.
+    assert_eq!(net.node(2).held(), Mode::Upgrade);
+    assert_eq!(net.node(0).held(), Mode::Read);
+    net.release(0);
+    net.deliver_all();
+    assert_eq!(net.node(2).held(), Mode::Write, "upgrade completes after release");
+    let errors = net.audit_now(false);
+    assert!(errors.is_empty(), "{errors:?}");
+}

@@ -1,0 +1,488 @@
+//! Systematic per-rule unit tests, one section per protocol rule, driving
+//! the state machine directly (no runtime) so each branch is pinned.
+
+use dlm_core::{
+    AcquireError, Effect, HierNode, Message, Mode, NodeId, ProtocolConfig, QueuedRequest,
+    ReleaseError, UpgradeError,
+};
+
+fn paper() -> ProtocolConfig {
+    ProtocolConfig::paper()
+}
+
+fn sends(effects: &[Effect]) -> usize {
+    effects.iter().filter(|e| e.is_send()).count()
+}
+
+fn granted(effects: &[Effect]) -> bool {
+    effects.iter().any(|e| matches!(e, Effect::Granted { .. }))
+}
+
+mod rule2_request_sending {
+    use super::*;
+
+    #[test]
+    fn token_node_self_grants_anything_compatible() {
+        for mode in [Mode::IntentRead, Mode::Read, Mode::Upgrade, Mode::Write] {
+            let mut n = HierNode::with_token(NodeId(0), paper());
+            let eff = n.on_acquire(mode).unwrap();
+            assert!(granted(&eff), "{mode}");
+            assert_eq!(sends(&eff), 0, "{mode}: token self-grant is free");
+        }
+    }
+
+    #[test]
+    fn non_token_with_sufficient_owned_admits_locally() {
+        // Owned R via a copyset child; acquiring R and IR is free.
+        let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
+        // Simulate a past grant: receive a grant for R, then release while a
+        // child keeps R alive. Simplest: become a granter via messages.
+        let mut token = HierNode::with_token(NodeId(0), paper());
+        let eff = n.on_acquire(Mode::Read).unwrap();
+        assert_eq!(sends(&eff), 1);
+        let eff = token.on_message(NodeId(1), Message::Request(QueuedRequest::plain(NodeId(1), Mode::Read)));
+        assert_eq!(sends(&eff), 1, "copy grant");
+        let eff = n.on_message(NodeId(0), Message::Grant { mode: Mode::Read });
+        assert!(granted(&eff));
+        // n now holds R; a grandchild asks for IR; n grants it itself.
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        assert!(matches!(
+            eff.as_slice(),
+            [Effect::Send {
+                to: NodeId(2),
+                message: Message::Grant {
+                    mode: Mode::IntentRead
+                }
+            }]
+        ));
+        // n releases; still owns IR through node 2 → re-acquiring IR is free.
+        let eff = n.on_release().unwrap();
+        assert_eq!(sends(&eff), 1, "owned weakened R->IR: release to parent");
+        let eff = n.on_acquire(Mode::IntentRead).unwrap();
+        assert!(granted(&eff));
+        assert_eq!(sends(&eff), 0, "Rule 2 free fast path");
+    }
+
+    #[test]
+    fn incompatible_owned_forces_a_request() {
+        // Node owns IW via child; wants R (incompatible) → must send.
+        let mut n = HierNode::with_token(NodeId(0), paper());
+        n.on_acquire(Mode::IntentWrite).unwrap();
+        // Hand the token away so n is a plain owner.
+        let eff = n.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::Write)),
+        );
+        // W is incompatible with IW: queued, not sent.
+        assert_eq!(sends(&eff), 0);
+        assert_eq!(n.queue_len(), 1);
+    }
+}
+
+mod rule3_granting {
+    use super::*;
+
+    #[test]
+    fn token_copy_grants_when_owned_dominates() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        t.on_acquire(Mode::Read).unwrap();
+        let eff = t.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::IntentRead)),
+        );
+        assert!(matches!(
+            eff.as_slice(),
+            [Effect::Send {
+                message: Message::Grant { .. },
+                ..
+            }]
+        ));
+        assert!(t.has_token(), "copy grant keeps the token");
+        assert_eq!(t.copyset().get(&NodeId(1)), Some(&Mode::IntentRead));
+    }
+
+    #[test]
+    fn token_transfers_for_stronger_compatible_mode() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        t.on_acquire(Mode::IntentRead).unwrap();
+        let eff = t.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::Read)),
+        );
+        assert!(matches!(
+            eff.as_slice(),
+            [Effect::Send {
+                message: Message::Token { .. },
+                ..
+            }]
+        ));
+        assert!(!t.has_token());
+        assert_eq!(t.parent(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn idle_token_copy_grants_shared_but_transfers_exclusive() {
+        for (mode, expect_transfer) in [
+            (Mode::IntentRead, false),
+            (Mode::Read, false),
+            (Mode::IntentWrite, false),
+            (Mode::Upgrade, true),
+            (Mode::Write, true),
+        ] {
+            let mut t = HierNode::with_token(NodeId(0), paper());
+            let eff = t.on_message(
+                NodeId(1),
+                Message::Request(QueuedRequest::plain(NodeId(1), mode)),
+            );
+            let transferred = matches!(
+                eff.as_slice(),
+                [Effect::Send {
+                    message: Message::Token { .. },
+                    ..
+                }]
+            );
+            assert_eq!(transferred, expect_transfer, "{mode}");
+        }
+    }
+
+    #[test]
+    fn literal_rule_3_2_always_transfers_from_idle() {
+        for mode in [Mode::IntentRead, Mode::Read, Mode::IntentWrite] {
+            let mut t = HierNode::with_token(NodeId(0), paper().literal_rule_3_2());
+            let eff = t.on_message(
+                NodeId(1),
+                Message::Request(QueuedRequest::plain(NodeId(1), mode)),
+            );
+            assert!(
+                matches!(
+                    eff.as_slice(),
+                    [Effect::Send {
+                        message: Message::Token { .. },
+                        ..
+                    }]
+                ),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn child_grant_disabled_by_ablation() {
+        let cfg = paper().without(dlm_core::Ablation::ChildGrants);
+        let mut n = HierNode::new(NodeId(1), NodeId(0), cfg);
+        // Even with owned R (via forged grant path), a non-token node must
+        // forward rather than grant.
+        let _ = n.on_acquire(Mode::Read).unwrap();
+        let _ = n.on_message(NodeId(0), Message::Grant { mode: Mode::Read });
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        assert!(matches!(
+            eff.as_slice(),
+            [Effect::Send {
+                to: NodeId(0),
+                message: Message::Request(_)
+            }]
+        ));
+    }
+}
+
+mod rule4_queue_or_forward {
+    use super::*;
+
+    #[test]
+    fn pending_node_queues_same_mode() {
+        let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
+        n.on_acquire(Mode::Read).unwrap();
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::Read)),
+        );
+        assert_eq!(sends(&eff), 0, "Table 1(c)[R][R] = Q");
+        assert_eq!(n.queue_len(), 1);
+    }
+
+    #[test]
+    fn pending_node_forwards_compatible_other_mode() {
+        let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
+        n.on_acquire(Mode::Read).unwrap();
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        assert_eq!(sends(&eff), 1, "Table 1(c)[R][IR] = F");
+        assert_eq!(n.queue_len(), 0);
+    }
+
+    #[test]
+    fn local_queueing_ablation_always_forwards() {
+        let cfg = paper().without(dlm_core::Ablation::LocalQueueing);
+        let mut n = HierNode::new(NodeId(1), NodeId(0), cfg);
+        n.on_acquire(Mode::Read).unwrap();
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::Read)),
+        );
+        assert_eq!(sends(&eff), 1);
+        assert_eq!(n.queue_len(), 0);
+    }
+}
+
+mod rule5_release {
+    use super::*;
+
+    /// A forged stale release must be dropped (ack filter): the copyset
+    /// entry created by an in-flight grant survives.
+    #[test]
+    fn stale_release_is_dropped() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        t.on_acquire(Mode::Read).unwrap();
+        // Grant node 1 IR (grants_sent[1] becomes 1).
+        let _ = t.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::IntentRead)),
+        );
+        assert_eq!(t.copyset().get(&NodeId(1)), Some(&Mode::IntentRead));
+        // A release with ack=0 predates that grant: stale, dropped.
+        let _ = t.on_message(
+            NodeId(1),
+            Message::Release {
+                new_owned: Mode::NoLock,
+                ack: 0,
+            },
+        );
+        assert_eq!(
+            t.copyset().get(&NodeId(1)),
+            Some(&Mode::IntentRead),
+            "stale release must not clobber the fresh grant"
+        );
+        // The up-to-date release (ack=1) is applied.
+        let _ = t.on_message(
+            NodeId(1),
+            Message::Release {
+                new_owned: Mode::NoLock,
+                ack: 1,
+            },
+        );
+        assert!(t.copyset().is_empty());
+    }
+
+    #[test]
+    fn eager_release_ablation_always_notifies() {
+        let cfg = paper().without(dlm_core::Ablation::ReleaseSuppression);
+        let mut t = HierNode::with_token(NodeId(0), cfg);
+        t.on_acquire(Mode::Read).unwrap();
+        let _ = t.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::IntentRead)),
+        );
+        // Move the node under test into a child role: build a child directly.
+        let mut c = HierNode::new(NodeId(1), NodeId(0), cfg);
+        let _ = c.on_acquire(Mode::IntentRead).unwrap();
+        let _ = c.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        // Grant a grandchild, so c's owned mode survives its own release.
+        let _ = c.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        let eff = c.on_release().unwrap();
+        assert_eq!(
+            sends(&eff),
+            1,
+            "eager variant notifies even though owned mode is unchanged"
+        );
+    }
+
+    #[test]
+    fn suppressed_release_when_owned_unchanged() {
+        let mut c = HierNode::new(NodeId(1), NodeId(0), paper());
+        let _ = c.on_acquire(Mode::IntentRead).unwrap();
+        let _ = c.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        let _ = c.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        let eff = c.on_release().unwrap();
+        assert_eq!(sends(&eff), 0, "Rule 5.2: owned still IR via the child");
+    }
+}
+
+mod rule6_freezing {
+    use super::*;
+
+    #[test]
+    fn token_freezes_on_incompatible_queue_and_notifies_capable_children() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        t.on_acquire(Mode::Read).unwrap();
+        // Child holding IR (can grant IR → must be told about an IR freeze).
+        let _ = t.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::IntentRead)),
+        );
+        let eff = t.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::Write)),
+        );
+        assert!(t.frozen().contains(Mode::IntentRead));
+        assert!(t.frozen().contains(Mode::Read));
+        assert!(t.frozen().contains(Mode::Upgrade));
+        let freeze_sends = eff
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        message: Message::SetFrozen { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(freeze_sends, 1, "exactly the IR-holding child is notified");
+    }
+
+    #[test]
+    fn frozen_node_refuses_grants_it_could_otherwise_make() {
+        let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
+        let _ = n.on_acquire(Mode::IntentRead).unwrap();
+        let _ = n.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        // Freeze IR at this node.
+        let _ = n.on_message(
+            NodeId(0),
+            Message::SetFrozen {
+                modes: dlm_core::ModeSet::from_modes([Mode::IntentRead]),
+            },
+        );
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        assert!(
+            matches!(
+                eff.as_slice(),
+                [Effect::Send {
+                    message: Message::Request(_),
+                    ..
+                }]
+            ),
+            "frozen IR is forwarded, not granted"
+        );
+    }
+
+    #[test]
+    fn unfreeze_restores_granting() {
+        let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
+        let _ = n.on_acquire(Mode::IntentRead).unwrap();
+        let _ = n.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        let _ = n.on_message(
+            NodeId(0),
+            Message::SetFrozen {
+                modes: dlm_core::ModeSet::from_modes([Mode::IntentRead]),
+            },
+        );
+        let _ = n.on_message(
+            NodeId(0),
+            Message::SetFrozen {
+                modes: dlm_core::ModeSet::EMPTY,
+            },
+        );
+        let eff = n.on_message(
+            NodeId(2),
+            Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
+        );
+        assert!(matches!(
+            eff.as_slice(),
+            [Effect::Send {
+                message: Message::Grant { .. },
+                ..
+            }]
+        ));
+    }
+}
+
+mod rule7_upgrade {
+    use super::*;
+
+    #[test]
+    fn immediate_upgrade_when_alone() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        t.on_acquire(Mode::Upgrade).unwrap();
+        let eff = t.on_upgrade().unwrap();
+        assert!(eff.iter().any(|e| matches!(e, Effect::Upgraded)));
+        assert_eq!(t.held(), Mode::Write);
+    }
+
+    #[test]
+    fn upgrade_errors() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        assert_eq!(
+            t.on_upgrade(),
+            Err(UpgradeError::NotHoldingUpgradeLock(Mode::NoLock))
+        );
+        t.on_acquire(Mode::Read).unwrap();
+        assert_eq!(
+            t.on_upgrade(),
+            Err(UpgradeError::NotHoldingUpgradeLock(Mode::Read))
+        );
+    }
+
+    #[test]
+    fn release_during_pending_upgrade_is_rejected() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        t.on_acquire(Mode::Upgrade).unwrap();
+        // A reader child keeps the upgrade pending.
+        let _ = t.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::IntentRead)),
+        );
+        let _ = t.on_upgrade().unwrap();
+        assert!(t.pending_is_upgrade());
+        assert_eq!(t.on_release(), Err(ReleaseError::UpgradePending));
+        assert_eq!(t.held(), Mode::Upgrade, "U never released mid-upgrade");
+    }
+}
+
+mod api_misuse {
+    use super::*;
+
+    #[test]
+    fn acquire_errors() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        assert_eq!(
+            t.on_acquire(Mode::NoLock),
+            Err(AcquireError::NoLockRequested)
+        );
+        t.on_acquire(Mode::Read).unwrap();
+        assert_eq!(
+            t.on_acquire(Mode::Read),
+            Err(AcquireError::AlreadyHeld(Mode::Read))
+        );
+        let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
+        n.on_acquire(Mode::Write).unwrap();
+        assert_eq!(
+            n.on_acquire(Mode::Read),
+            Err(AcquireError::AlreadyPending(Mode::Write))
+        );
+    }
+
+    #[test]
+    fn release_without_holding() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        assert_eq!(t.on_release(), Err(ReleaseError::NotHeld));
+    }
+
+    #[test]
+    fn can_admit_locally_matches_fast_path() {
+        let mut t = HierNode::with_token(NodeId(0), paper());
+        assert!(t.can_admit_locally(Mode::Write));
+        assert!(!t.can_admit_locally(Mode::NoLock));
+        t.on_acquire(Mode::Read).unwrap();
+        assert!(!t.can_admit_locally(Mode::Read), "already holding");
+        let n = HierNode::new(NodeId(1), NodeId(0), paper());
+        assert!(!n.can_admit_locally(Mode::IntentRead), "owns nothing");
+    }
+}

@@ -1,0 +1,10 @@
+//! Ablation study: disable each protocol feature in turn (16 nodes).
+
+use dlm_harness::{ablations, render_table, write_tsv, FigureOptions};
+
+fn main() {
+    let fig = ablations(&FigureOptions::default());
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

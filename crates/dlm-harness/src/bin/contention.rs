@@ -1,0 +1,54 @@
+//! Extension experiment: hot-spot contention. An increasing fraction of
+//! entry operations targets one "hot" fare; the hierarchical protocol's
+//! shared read modes keep hot readers concurrent, while Naimi serializes
+//! every access to the hot entry.
+
+use dlm_harness::{render_table, write_tsv, Figure, Series};
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams, WorkloadReport};
+
+const HOT: [u8; 5] = [0, 25, 50, 75, 90];
+
+fn run(protocol: ProtocolKind, hot: u8, metric: impl Fn(&WorkloadReport) -> f64) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..3u64 {
+        let mut params = WorkloadParams::linux_cluster(32, protocol);
+        params.hot_entry_percent = hot;
+        params.seed = 0xC0;
+        params.seed += seed * 101;
+        let report = run_workload(&params);
+        assert!(report.complete());
+        total += metric(&report);
+    }
+    total / 3.0
+}
+
+fn main() {
+    let mut series = Vec::new();
+    for protocol in [ProtocolKind::Hier, ProtocolKind::NaimiPure] {
+        series.push(Series {
+            label: format!("{}-wait-ms", protocol.label()),
+            values: HOT
+                .iter()
+                .map(|&h| run(protocol, h, |r| r.op_latency.mean() / 1000.0))
+                .collect(),
+        });
+        series.push(Series {
+            label: format!("{}-p99-ms", protocol.label()),
+            values: HOT
+                .iter()
+                .map(|&h| run(protocol, h, |r| r.op_latency.quantile(0.99) as f64 / 1000.0))
+                .collect(),
+        });
+    }
+    let fig = Figure {
+        name: "contention".into(),
+        title: "Hot-entry skew sensitivity (extension)".into(),
+        x_label: "hot%".into(),
+        y_label: "mean / p99 operation wait (ms)".into(),
+        x: HOT.iter().map(|&h| h as f64).collect(),
+        series,
+    };
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

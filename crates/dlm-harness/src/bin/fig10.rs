@@ -1,0 +1,10 @@
+//! Regenerate Figure 10 (absolute request latency vs. nodes per ratio).
+
+use dlm_harness::{fig10, render_table, write_tsv, FigureOptions};
+
+fn main() {
+    let fig = fig10(&FigureOptions::default());
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 7 (message overhead vs. nodes, three protocols).
+
+use dlm_harness::{fig7, render_table, write_tsv, FigureOptions};
+
+fn main() {
+    let fig = fig7(&FigureOptions::default());
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

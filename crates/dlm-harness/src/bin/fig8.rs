@@ -1,0 +1,10 @@
+//! Regenerate Figure 8 (request latency factor vs. nodes, three protocols).
+
+use dlm_harness::{fig8, render_table, write_tsv, FigureOptions};
+
+fn main() {
+    let fig = fig8(&FigureOptions::default());
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 9 (message overhead vs. nodes per ratio, SP config).
+
+use dlm_harness::{fig9, render_table, write_tsv, FigureOptions};
+
+fn main() {
+    let fig = fig9(&FigureOptions::default());
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,63 @@
+//! Extension experiment (not in the paper, motivated by its §1: replicated
+//! data "across geographically distant server farms"): two 16-node sites
+//! with fast intra-site links, sweeping the WAN latency between them.
+//!
+//! The hierarchical protocol's copy-grants and intent-mode locality keep
+//! most traffic intra-site once ownership settles; Naimi's token commutes
+//! across the WAN for every remote handoff.
+
+use dlm_harness::{render_table, write_tsv, Figure, Series};
+use dlm_sim::{LatencyModel, TwoSite, MICROS_PER_MS};
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
+
+const WAN_MS: [u64; 5] = [5, 25, 50, 100, 200];
+
+fn run(protocol: ProtocolKind, wan_ms: u64, metric: impl Fn(&dlm_workload::WorkloadReport) -> f64) -> f64 {
+    let mut params = WorkloadParams::linux_cluster(32, protocol);
+    params.latency = LatencyModel::uniform(MICROS_PER_MS); // 1 ms intra-site
+    params.geo = Some(TwoSite {
+        site_a: 16,
+        wan: LatencyModel::uniform(wan_ms * MICROS_PER_MS),
+    });
+    let mut total = 0.0;
+    for seed in 0..3u64 {
+        params.seed = 0x6E0 + seed;
+        let report = run_workload(&params);
+        assert!(report.complete());
+        total += metric(&report);
+    }
+    total / 3.0
+}
+
+fn main() {
+    let mut series = Vec::new();
+    for protocol in [ProtocolKind::Hier, ProtocolKind::NaimiPure] {
+        let values = WAN_MS
+            .iter()
+            .map(|&wan| run(protocol, wan, |r| r.op_latency.mean() / 1000.0))
+            .collect();
+        series.push(Series {
+            label: format!("{}-wait-ms", protocol.label()),
+            values,
+        });
+        let values = WAN_MS
+            .iter()
+            .map(|&wan| run(protocol, wan, |r| r.messages_per_request()))
+            .collect();
+        series.push(Series {
+            label: format!("{}-msgs", protocol.label()),
+            values,
+        });
+    }
+    let fig = Figure {
+        name: "geo".into(),
+        title: "Two-site deployment: WAN latency sensitivity (extension)".into(),
+        x_label: "wan_ms".into(),
+        y_label: "mean op wait (ms) / messages per request".into(),
+        x: WAN_MS.iter().map(|&w| w as f64).collect(),
+        series,
+    };
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

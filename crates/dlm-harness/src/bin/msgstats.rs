@@ -1,0 +1,38 @@
+//! Diagnostic: per-kind message breakdown for each protocol at a given node
+//! count (default 32). Usage: `msgstats [nodes]`.
+
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    for proto in [
+        ProtocolKind::Hier,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::NaimiSameWork,
+    ] {
+        let params = WorkloadParams::linux_cluster(nodes, proto);
+        let report = run_workload(&params);
+        println!(
+            "{:16} nodes={} ops={}/{} requests={} messages={} msgs/req={:.3} mean-wait={:.1}ms",
+            proto.label(),
+            nodes,
+            report.ops_completed,
+            report.ops_expected,
+            report.requests,
+            report.messages,
+            report.messages_per_request(),
+            report.op_latency.mean() / 1000.0,
+        );
+        for (kind, count) in report.sent_by_kind.iter() {
+            println!(
+                "    {:10} {:>8}  ({:.3}/req)",
+                kind,
+                count,
+                count as f64 / report.requests as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure data containers and rendering.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// One line in a figure: a label plus one y-value per x-point.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. "our-protocol", "ratio=25").
+    pub label: String,
+    /// One value per entry of the figure's x-axis.
+    pub values: Vec<f64>,
+}
+
+/// A reproduced figure: an x-axis plus several series over it.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. `fig7`.
+    pub name: String,
+    /// Human title, e.g. "Scalability of Message Overhead".
+    pub title: String,
+    /// X-axis label, e.g. "nodes".
+    pub x_label: String,
+    /// Y-axis label, e.g. "messages per lock request".
+    pub y_label: String,
+    /// X-axis values.
+    pub x: Vec<f64>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Look up a series by label (panics if absent — harness bug).
+    pub fn series(&self, label: &str) -> &Series {
+        self.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("no series {label:?} in {}", self.name))
+    }
+
+    /// Value of `label` at the largest x (the asymptote proxy).
+    pub fn tail(&self, label: &str) -> f64 {
+        *self
+            .series(label)
+            .values
+            .last()
+            .expect("series has values")
+    }
+}
+
+/// Render an aligned text table of the figure (x column + one column per
+/// series), matching what the paper's plots show.
+pub fn render_table(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", fig.name, fig.title));
+    out.push_str(&format!("# y: {}\n", fig.y_label));
+    out.push_str(&format!("{:>8}", fig.x_label));
+    for s in &fig.series {
+        out.push_str(&format!("  {:>18}", s.label));
+    }
+    out.push('\n');
+    for (i, x) in fig.x.iter().enumerate() {
+        out.push_str(&format!("{x:>8.0}"));
+        for s in &fig.series {
+            out.push_str(&format!("  {:>18.3}", s.values[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the figure as a TSV file (x column + one column per series).
+pub fn write_tsv(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.tsv", fig.name));
+    let mut f = std::fs::File::create(&path)?;
+    write!(f, "{}", fig.x_label)?;
+    for s in &fig.series {
+        write!(f, "\t{}", s.label)?;
+    }
+    writeln!(f)?;
+    for (i, x) in fig.x.iter().enumerate() {
+        write!(f, "{x}")?;
+        for s in &fig.series {
+            write!(f, "\t{}", s.values[i])?;
+        }
+        writeln!(f)?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            name: "figX".into(),
+            title: "Test".into(),
+            x_label: "nodes".into(),
+            y_label: "msgs".into(),
+            x: vec![2.0, 4.0],
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    values: vec![1.0, 2.0],
+                },
+                Series {
+                    label: "b".into(),
+                    values: vec![3.0, 4.5],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = render_table(&sample());
+        for needle in ["figX", "nodes", "a", "b", "1.000", "4.500"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn series_lookup_and_tail() {
+        let f = sample();
+        assert_eq!(f.series("a").values[0], 1.0);
+        assert_eq!(f.tail("b"), 4.5);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let dir = std::env::temp_dir().join("dlm-harness-test");
+        let path = write_tsv(&sample(), &dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("nodes\ta\tb\n"));
+        assert!(content.contains("2\t1\t3"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The per-figure sweeps, with the paper's parameters.
+
+use crate::figure::{Figure, Series};
+use dlm_core::{Ablation, ProtocolConfig};
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams, WorkloadReport};
+
+/// Sweep tuning: trade run time against smoothness. The defaults match the
+/// committed `results/`; `FigureOptions::quick()` is used by tests and CI.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureOptions {
+    /// Seeds averaged per point.
+    pub seeds: u32,
+    /// Operations per node per run.
+    pub ops_per_node: u32,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions {
+            seeds: 3,
+            ops_per_node: 40,
+        }
+    }
+}
+
+impl FigureOptions {
+    /// Reduced effort for tests.
+    pub fn quick() -> Self {
+        FigureOptions {
+            seeds: 2,
+            ops_per_node: 15,
+        }
+    }
+}
+
+/// Run `params` over the option's seed set and fold the metric.
+fn averaged(mut params: WorkloadParams, opts: &FigureOptions, metric: impl Fn(&WorkloadReport) -> f64) -> f64 {
+    params.ops_per_node = opts.ops_per_node;
+    let mut total = 0.0;
+    for seed in 0..opts.seeds {
+        params.seed = 0xFEED + seed as u64 * 7919;
+        let report = run_workload(&params);
+        assert!(
+            report.complete(),
+            "run must complete: {:?} n={} proto={:?} seed={}",
+            report.ops_completed,
+            params.nodes,
+            params.protocol,
+            params.seed
+        );
+        total += metric(&report);
+    }
+    total / opts.seeds as f64
+}
+
+/// Run the sweep for one series in parallel over the x-points.
+fn sweep<P: Sync>(
+    points: &[P],
+    run_point: impl Fn(&P) -> f64 + Sync,
+) -> Vec<f64> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .iter()
+            .map(|p| scope.spawn(|| run_point(p)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+    })
+}
+
+/// The node counts of the §4.1 Linux-cluster experiments (Figures 7 and 8).
+pub const FIG7_NODES: [usize; 9] = [2, 4, 6, 8, 12, 16, 20, 25, 32];
+
+/// The node counts of the §4.2 IBM-SP experiments (Figures 9 and 10).
+pub const FIG9_NODES: [usize; 9] = [2, 4, 8, 16, 32, 48, 64, 80, 120];
+
+/// The non-critical : critical ratios of §4.2.
+pub const RATIOS: [u32; 4] = [1, 5, 10, 25];
+
+fn linux_cluster_series(
+    protocol: ProtocolKind,
+    opts: &FigureOptions,
+    metric: impl Fn(&WorkloadReport) -> f64 + Sync,
+) -> Series {
+    let values = sweep(&FIG7_NODES, |&n| {
+        averaged(WorkloadParams::linux_cluster(n, protocol), opts, &metric)
+    });
+    Series {
+        label: protocol.label().to_string(),
+        values,
+    }
+}
+
+/// Figure 7: *Scalability of Message Overhead* — average messages per lock
+/// request on the Linux-cluster configuration, for the hierarchical protocol
+/// vs. the two Naimi variants.
+pub fn fig7(opts: &FigureOptions) -> Figure {
+    let protos = [
+        ProtocolKind::NaimiSameWork,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::Hier,
+    ];
+    let series = protos
+        .iter()
+        .map(|&p| {
+            linux_cluster_series(p, opts, move |r| {
+                if p == ProtocolKind::NaimiSameWork {
+                    // Same-work is normalized to *functional* requests (the
+                    // request count pure issues); its extra per-entry
+                    // acquisitions are overhead, which is the point of the
+                    // series.
+                    r.messages_per_functional_request()
+                } else {
+                    r.messages_per_request()
+                }
+            })
+        })
+        .collect();
+    Figure {
+        name: "fig7".into(),
+        title: "Scalability of Message Overhead".into(),
+        x_label: "nodes".into(),
+        y_label: "messages per lock request".into(),
+        x: FIG7_NODES.iter().map(|&n| n as f64).collect(),
+        series,
+    }
+}
+
+/// Figure 8: *Request Latency Factor* — mean request wait divided by the
+/// mean one-way network latency, same runs as Figure 7.
+pub fn fig8(opts: &FigureOptions) -> Figure {
+    let protos = [
+        ProtocolKind::NaimiSameWork,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::Hier,
+    ];
+    let series = protos
+        .iter()
+        .map(|&p| linux_cluster_series(p, opts, |r| r.latency_factor()))
+        .collect();
+    Figure {
+        name: "fig8".into(),
+        title: "Request Latency Factor".into(),
+        x_label: "nodes".into(),
+        y_label: "mean request wait / mean one-way latency".into(),
+        x: FIG7_NODES.iter().map(|&n| n as f64).collect(),
+        series,
+    }
+}
+
+fn sp_series(
+    ratio: u32,
+    opts: &FigureOptions,
+    metric: impl Fn(&WorkloadReport) -> f64 + Sync,
+) -> Series {
+    let values = sweep(&FIG9_NODES, |&n| {
+        averaged(WorkloadParams::ibm_sp(n, ratio), opts, &metric)
+    });
+    Series {
+        label: format!("ratio={ratio}"),
+        values,
+    }
+}
+
+/// Figure 9: *Messages for Non-Critical : Critical Ratios* — messages per
+/// request on the SP configuration, one series per ratio.
+pub fn fig9(opts: &FigureOptions) -> Figure {
+    let series = RATIOS
+        .iter()
+        .map(|&r| sp_series(r, opts, |rep| rep.messages_per_request()))
+        .collect();
+    Figure {
+        name: "fig9".into(),
+        title: "Messages for Non-Critical/Critical Ratios (IBM SP)".into(),
+        x_label: "nodes".into(),
+        y_label: "messages per lock request".into(),
+        x: FIG9_NODES.iter().map(|&n| n as f64).collect(),
+        series,
+    }
+}
+
+/// Figure 10: *Absolute Request Latency* — mean request wait in
+/// milliseconds on the SP configuration, one series per ratio.
+pub fn fig10(opts: &FigureOptions) -> Figure {
+    let series = RATIOS
+        .iter()
+        .map(|&r| sp_series(r, opts, |rep| rep.request_latency.mean() / 1000.0))
+        .collect();
+    Figure {
+        name: "fig10".into(),
+        title: "Absolute Request Latency (IBM SP)".into(),
+        x_label: "nodes".into(),
+        y_label: "mean request latency (ms)".into(),
+        x: FIG9_NODES.iter().map(|&n| n as f64).collect(),
+        series,
+    }
+}
+
+/// Ablation study over the §4.1 design claims: each protocol feature is
+/// disabled in turn at a fixed 16-node Linux-cluster configuration; the
+/// series report messages/request and mean operation wait.
+pub fn ablations(opts: &FigureOptions) -> Figure {
+    let configs: Vec<(String, ProtocolConfig)> = vec![
+        ("paper".into(), ProtocolConfig::paper()),
+        (
+            "no-local-queueing".into(),
+            ProtocolConfig::paper().without(Ablation::LocalQueueing),
+        ),
+        (
+            "no-child-grants".into(),
+            ProtocolConfig::paper().without(Ablation::ChildGrants),
+        ),
+        (
+            "eager-release".into(),
+            ProtocolConfig::paper().without(Ablation::ReleaseSuppression),
+        ),
+        (
+            "no-freezing".into(),
+            ProtocolConfig::paper().without(Ablation::Freezing),
+        ),
+    ];
+    // x-axis: 0 = msgs/request, 1 = mean op wait (ms), 2 = p99 write-op wait
+    // (ms — the starvation-sensitive metric freezing protects).
+    let series = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|(label, cfg)| {
+                let label = label.clone();
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let mut params = WorkloadParams::linux_cluster(16, ProtocolKind::Hier);
+                    params.hier_config = cfg;
+                    params.ops_per_node = opts.ops_per_node;
+                    let mut msgs = 0.0;
+                    let mut wait = 0.0;
+                    let mut w_p99 = 0.0;
+                    for seed in 0..opts.seeds {
+                        params.seed = 0xFEED + seed as u64 * 7919;
+                        let report = run_workload(&params);
+                        assert!(report.complete(), "ablation run stuck: {label}");
+                        msgs += report.messages_per_request();
+                        wait += report.op_latency.mean() / 1000.0;
+                        // Kind 4 = whole-table writes (see OpKind::index).
+                        w_p99 += report.op_latency_by_kind[4].quantile(0.99) as f64 / 1000.0;
+                    }
+                    let k = opts.seeds as f64;
+                    Series {
+                        label,
+                        values: vec![msgs / k, wait / k, w_p99 / k],
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ablation thread"))
+            .collect()
+    });
+    Figure {
+        name: "ablations".into(),
+        title: "Feature ablations at 16 nodes (Linux-cluster config)".into(),
+        x_label: "metric".into(),
+        y_label: "0: msgs/request   1: mean op wait (ms)   2: p99 W-op wait (ms)".into(),
+        x: vec![0.0, 1.0, 2.0],
+        series,
+    }
+}

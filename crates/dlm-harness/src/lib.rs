@@ -1,0 +1,23 @@
+//! Experiment harness: regenerates every figure of the paper's evaluation
+//! section on the simulator, with the paper's parameters.
+//!
+//! | Paper artifact | Generator | Metric |
+//! |---|---|---|
+//! | Fig. 7 (messages vs nodes, 3 protocols) | [`fig7`] | messages / lock request |
+//! | Fig. 8 (latency factor vs nodes)        | [`fig8`] | mean wait / mean net latency |
+//! | Fig. 9 (messages vs nodes per ratio)    | [`fig9`] | messages / lock request |
+//! | Fig. 10 (latency vs nodes per ratio)    | [`fig10`] | mean wait (ms) |
+//! | §4.1 design claims | [`ablations`] | per-feature deltas |
+//!
+//! Every binary prints an aligned table and writes a TSV under `results/`.
+//! Runs are averaged over a small fixed seed set; everything is
+//! deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod figure;
+mod figures;
+
+pub use figure::{render_table, write_tsv, Figure, Series};
+pub use figures::{ablations, fig10, fig7, fig8, fig9, FigureOptions};

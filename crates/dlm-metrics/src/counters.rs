@@ -1,0 +1,89 @@
+//! Small labelled counter sets.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A set of named monotonically increasing counters (message kinds, grant
+/// kinds, …). `BTreeMap` keeps report output deterministic. Serialize-only:
+/// counter names are `&'static str` labels baked into the binary.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum across all counters.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut c = CounterSet::new();
+        c.incr("request");
+        c.add("request", 2);
+        c.incr("grant");
+        assert_eq!(c.get("request"), 3);
+        assert_eq!(c.get("grant"), 1);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = CounterSet::new();
+        c.incr("zeta");
+        c.incr("alpha");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CounterSet::new();
+        a.add("x", 2);
+        let mut b = CounterSet::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Power-of-two bucketed histogram for latency distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sub-buckets per power-of-two octave (2 bits of precision,
+/// i.e. relative error bounded by 25 %; enough for latency *shape* studies
+/// while keeping the histogram at a fixed, small size).
+const SUBBUCKET_BITS: u32 = 2;
+const SUBBUCKETS: usize = 1 << SUBBUCKET_BITS;
+/// Octaves covered: values up to 2^40 (≈ 10^12) — far beyond any simulated
+/// latency in microseconds.
+const OCTAVES: usize = 40;
+
+/// A log-scaled histogram over `u64` observations (e.g. microseconds).
+///
+/// Bucketing is HDR-style: the octave is `floor(log2(x))` and each octave is
+/// split into four linear sub-buckets, so recording is two shifts and an
+/// index — no search, no allocation after construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; OCTAVES * SUBBUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUBBUCKETS as u64 {
+            // Values 0..4 land in the first octave's linear cells.
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros();
+        let shift = octave - SUBBUCKET_BITS;
+        let sub = ((value >> shift) & (SUBBUCKETS as u64 - 1)) as usize;
+        let idx = (octave as usize - SUBBUCKET_BITS as usize + 1) * SUBBUCKETS + sub;
+        idx.min(OCTAVES * SUBBUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) value of bucket `idx`.
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUBBUCKETS {
+            return idx as u64;
+        }
+        let octave = idx / SUBBUCKETS - 1 + SUBBUCKET_BITS as usize;
+        let sub = idx % SUBBUCKETS;
+        (1u64 << octave) + ((sub as u64) << (octave - SUBBUCKET_BITS as usize))
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.total += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded values (tracked exactly, not from buckets).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), accurate to the bucket's
+    /// 25 % relative width. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Merge another histogram (same fixed geometry) into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Iterate non-empty buckets as `(floor_value, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn bucket_floor_round_trips_within_error() {
+        // floor(bucket(v)) <= v and within 25 % relative error.
+        for v in [1u64, 5, 7, 100, 1000, 12345, 1 << 20, (1 << 30) + 12345] {
+            let idx = Histogram::bucket_index(v);
+            let floor = Histogram::bucket_floor(idx);
+            assert!(floor <= v, "floor({v}) = {floor}");
+            assert!(
+                (v - floor) as f64 <= 0.25 * v as f64 + 1.0,
+                "bucket error too large for {v}: floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 17 % 997 + 1);
+        }
+        let q10 = h.quantile(0.10);
+        let q50 = h.quantile(0.50);
+        let q99 = h.quantile(0.99);
+        assert!(q10 <= q50 && q50 <= q99);
+        assert!(q99 <= h.max());
+        assert!(q10 >= h.min());
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for i in 0..500u64 {
+            let v = (i * 31) % 10_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.mean(), combined.mean());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.quantile(0.9), combined.quantile(0.9));
+    }
+
+    #[test]
+    fn huge_values_saturate_into_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantile is clamped by the exact max.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the measurement primitives: histogram bucketing
+//! error bounds, quantile monotonicity, and summary/merge algebra.
+
+use dlm_metrics::{Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket floors never exceed the recorded value and the relative error
+    /// is bounded by the sub-bucket width (25 %).
+    #[test]
+    fn histogram_bucket_error_bounded(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact_max = *values.iter().max().unwrap();
+        let exact_min = *values.iter().min().unwrap();
+        prop_assert_eq!(h.max(), exact_max);
+        prop_assert_eq!(h.min(), exact_min);
+        // Quantiles live within [min, max] and are monotone.
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        prop_assert!(qs[0] >= exact_min);
+        prop_assert!(qs[5] <= exact_max);
+    }
+
+    /// The exact mean tracked by the histogram matches a reference fold.
+    #[test]
+    fn histogram_mean_is_exact(values in proptest::collection::vec(0u64..1_000_000u64, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let expected = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - expected).abs() < 1e-6);
+    }
+
+    /// Merging histograms is equivalent to recording everything into one.
+    #[test]
+    fn histogram_merge_homomorphic(
+        a in proptest::collection::vec(0u64..1_000_000u64, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000u64, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.mean(), hall.mean());
+        prop_assert_eq!(ha.quantile(0.5), hall.quantile(0.5));
+        prop_assert_eq!(ha.max(), hall.max());
+    }
+
+    /// Summary statistics match naive reference computations.
+    #[test]
+    fn summary_matches_reference(values in proptest::collection::vec(-1e6f64..1e6f64, 1..200)) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    }
+
+    /// Summary merge is associative with sequential recording.
+    #[test]
+    fn summary_merge_homomorphic(
+        a in proptest::collection::vec(-1e5f64..1e5f64, 0..100),
+        b in proptest::collection::vec(-1e5f64..1e5f64, 0..100),
+    ) {
+        let mut sa = Summary::new();
+        let mut sb = Summary::new();
+        let mut sall = Summary::new();
+        for &v in &a { sa.record(v); sall.record(v); }
+        for &v in &b { sb.record(v); sall.record(v); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), sall.count());
+        prop_assert!((sa.mean() - sall.mean()).abs() < 1e-6 * (1.0 + sall.mean().abs()));
+        prop_assert!((sa.variance() - sall.variance()).abs() < 1e-3 * (1.0 + sall.variance().abs()));
+    }
+}

@@ -1,0 +1,30 @@
+//! Lock modes and rule tables of the peer-to-peer hierarchical locking
+//! protocol from Desai & Mueller, *A Log(n) Multi-Mode Locking Protocol for
+//! Distributed Systems* (IPPS 2003).
+//!
+//! The paper specifies its protocol through a set of rules defined over four
+//! lookup tables (Table 1(a)–(d)). This crate is the authoritative encoding of
+//! those tables:
+//!
+//! * [`Mode`] — the five CosConcurrency access modes plus `NoLock`,
+//! * [`compatible`] — Table 1(a), the compatibility matrix (Rule 1),
+//! * the strength partial order ([`Mode::ge`], Definition 1 / inequality (1)),
+//! * [`child_can_grant`] — Table 1(b), legal non-token grants (Rule 3.1),
+//! * [`queue_or_forward`] — Table 1(c), local queueing vs. forwarding (Rule 4.1),
+//! * [`freeze_set`] — Table 1(d), modes frozen at the token node (Rule 6).
+//!
+//! Each table is stored as data *and* re-derived from first principles in the
+//! test suite, so a typo in either the data or the derivation is caught.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mode;
+mod modeset;
+mod tables;
+
+pub use mode::{Mode, ALL_MODES, REQUEST_MODES};
+pub use modeset::ModeSet;
+pub use tables::{
+    child_can_grant, compatible, freeze_set, queue_or_forward, strictly_weaker, QueueOrForward,
+};

@@ -1,0 +1,226 @@
+//! The access-mode enumeration and its strength partial order.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An access mode of the hierarchical locking protocol.
+///
+/// These are the five modes of the OMG Concurrency Service that the paper
+/// adopts (§3.1), plus the explicit "no lock" mode `NL` that the paper writes
+/// as the empty set. Intent modes (`IntentRead`, `IntentWrite`) are taken on a
+/// coarse-granularity lock (e.g. a whole table) to announce finer-granularity
+/// activity below it (e.g. on individual entries).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[repr(u8)]
+pub enum Mode {
+    /// No lock held (the paper's "∅"). Weakest; compatible with everything.
+    #[default]
+    NoLock = 0,
+    /// Intent read (IR): announces shared access at a finer granularity.
+    IntentRead = 1,
+    /// Read (R): shared access.
+    Read = 2,
+    /// Upgrade (U): exclusive read that may later be upgraded to `Write`.
+    /// U conflicts with U, which makes the upgrade path deadlock-free (§3.4).
+    Upgrade = 3,
+    /// Intent write (IW): announces exclusive access at a finer granularity.
+    IntentWrite = 4,
+    /// Write (W): exclusive access; conflicts with every mode.
+    Write = 5,
+}
+
+/// All six modes, ordered by discriminant (`NoLock` first).
+pub const ALL_MODES: [Mode; 6] = [
+    Mode::NoLock,
+    Mode::IntentRead,
+    Mode::Read,
+    Mode::Upgrade,
+    Mode::IntentWrite,
+    Mode::Write,
+];
+
+/// The five modes a node may actually request (everything but `NoLock`).
+pub const REQUEST_MODES: [Mode; 5] = [
+    Mode::IntentRead,
+    Mode::Read,
+    Mode::Upgrade,
+    Mode::IntentWrite,
+    Mode::Write,
+];
+
+impl Mode {
+    /// Index of this mode in [`ALL_MODES`]; used for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct a mode from its [`Mode::index`] value.
+    ///
+    /// Returns `None` for out-of-range values.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Option<Mode> {
+        match idx {
+            0 => Some(Mode::NoLock),
+            1 => Some(Mode::IntentRead),
+            2 => Some(Mode::Read),
+            3 => Some(Mode::Upgrade),
+            4 => Some(Mode::IntentWrite),
+            5 => Some(Mode::Write),
+            _ => None,
+        }
+    }
+
+    /// The short name the paper uses (`-`, `IR`, `R`, `U`, `IW`, `W`).
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Mode::NoLock => "-",
+            Mode::IntentRead => "IR",
+            Mode::Read => "R",
+            Mode::Upgrade => "U",
+            Mode::IntentWrite => "IW",
+            Mode::Write => "W",
+        }
+    }
+
+    /// Strength comparison: `self >= other` in the partial order of
+    /// Definition 1 / inequality (1) of the paper:
+    ///
+    /// ```text
+    /// NL < IR < R < U < W        NL < IR < IW < W
+    /// ```
+    ///
+    /// `U`/`IW` and `R`/`IW` are incomparable: neither constrains a superset of
+    /// the concurrency the other allows. This is the `MO >= MR` test of
+    /// Rule 3.1 and the `MO < MR` test of Rules 2 and 3.2.
+    #[inline]
+    pub fn ge(self, other: Mode) -> bool {
+        use Mode::*;
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            // Everything dominates NoLock; Write dominates everything.
+            (_, NoLock) | (Write, _) => true,
+            // Read chain: IR < R < U.
+            (Read, IntentRead) | (Upgrade, IntentRead) | (Upgrade, Read) => true,
+            // Write chain: IR < IW.
+            (IntentWrite, IntentRead) => true,
+            _ => false,
+        }
+    }
+
+    /// Strict strength: `self > other` in the partial order.
+    #[inline]
+    pub fn gt(self, other: Mode) -> bool {
+        self != other && self.ge(other)
+    }
+
+    /// True if the two modes are incomparable in the strength order
+    /// (exactly the pairs {U, IW} and {R, IW}).
+    #[inline]
+    pub fn incomparable(self, other: Mode) -> bool {
+        !self.ge(other) && !other.ge(self)
+    }
+
+    /// Least upper bound in the strength lattice.
+    ///
+    /// Used when recomputing a node's *owned* mode from the modes reported by
+    /// its copyset children plus its own held mode (Definition 3): the owned
+    /// mode must dominate every held mode in the subtree. For the incomparable
+    /// pairs the join is the smallest common dominator: `R ∨ IW = W` and
+    /// `U ∨ IW = W` (only `W` dominates both chains).
+    #[inline]
+    pub fn join(self, other: Mode) -> Mode {
+        if self.ge(other) {
+            self
+        } else if other.ge(self) {
+            other
+        } else {
+            // Incomparable pairs mix the read chain with IntentWrite; the only
+            // common upper bound is Write.
+            Mode::Write
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, &m) in ALL_MODES.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(Mode::from_index(i), Some(m));
+        }
+        assert_eq!(Mode::from_index(6), None);
+    }
+
+    #[test]
+    fn partial_order_matches_paper_inequality() {
+        use Mode::*;
+        // NL < IR < R < U  (read chain)
+        assert!(IntentRead.gt(NoLock));
+        assert!(Read.gt(IntentRead));
+        assert!(Upgrade.gt(Read));
+        // IW < W and IR < IW  (write chain)
+        assert!(IntentWrite.gt(IntentRead));
+        assert!(Write.gt(IntentWrite));
+        // W dominates the read chain too.
+        assert!(Write.gt(Upgrade));
+        // Incomparable pairs.
+        assert!(Upgrade.incomparable(IntentWrite));
+        assert!(Read.incomparable(IntentWrite));
+        assert!(!Upgrade.ge(IntentWrite));
+        assert!(!IntentWrite.ge(Upgrade));
+    }
+
+    #[test]
+    fn order_is_reflexive_transitive_antisymmetric() {
+        for &a in &ALL_MODES {
+            assert!(a.ge(a));
+            for &b in &ALL_MODES {
+                if a.ge(b) && b.ge(a) {
+                    assert_eq!(a, b, "antisymmetry violated for {a}/{b}");
+                }
+                for &c in &ALL_MODES {
+                    if a.ge(b) && b.ge(c) {
+                        assert!(a.ge(c), "transitivity violated: {a} >= {b} >= {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        for &a in &ALL_MODES {
+            for &b in &ALL_MODES {
+                let j = a.join(b);
+                assert!(j.ge(a) && j.ge(b), "join({a},{b})={j} not an upper bound");
+                assert_eq!(j, b.join(a), "join not commutative");
+                // Least: no strictly smaller upper bound exists.
+                for &c in &ALL_MODES {
+                    if c.ge(a) && c.ge(b) {
+                        assert!(c.ge(j), "join({a},{b})={j} not least (found {c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        let names: Vec<&str> = ALL_MODES.iter().map(|m| m.short_name()).collect();
+        assert_eq!(names, ["-", "IR", "R", "U", "IW", "W"]);
+    }
+}

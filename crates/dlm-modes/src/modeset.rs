@@ -1,0 +1,194 @@
+//! A small bitset over [`Mode`], used for frozen-mode bookkeeping.
+
+use crate::mode::{Mode, ALL_MODES};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A set of [`Mode`]s stored as a 6-bit mask.
+///
+/// Freeze messages (Rule 6 / Table 1(d)) carry mode sets, and every node keeps
+/// the set of modes currently frozen at it. A bitset keeps those messages and
+/// per-node state word-sized.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ModeSet(u8);
+
+impl ModeSet {
+    /// The empty set.
+    pub const EMPTY: ModeSet = ModeSet(0);
+
+    /// The set of every mode including `NoLock`.
+    pub const ALL: ModeSet = ModeSet(0b11_1111);
+
+    /// Create an empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        ModeSet(0)
+    }
+
+    /// Create a set from an iterator of modes.
+    pub fn from_modes<I: IntoIterator<Item = Mode>>(modes: I) -> Self {
+        let mut s = ModeSet::new();
+        for m in modes {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// Insert a mode; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, m: Mode) -> bool {
+        let bit = 1u8 << m.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Remove a mode; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, m: Mode) -> bool {
+        let bit = 1u8 << m.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, m: Mode) -> bool {
+        self.0 & (1u8 << m.index()) != 0
+    }
+
+    /// True if no mode is present.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of modes present.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: ModeSet) -> ModeSet {
+        ModeSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: ModeSet) -> ModeSet {
+        ModeSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub const fn difference(self, other: ModeSet) -> ModeSet {
+        ModeSet(self.0 & !other.0)
+    }
+
+    /// True if `self` and `other` share at least one mode.
+    #[inline]
+    pub const fn intersects(self, other: ModeSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate the contained modes in discriminant order.
+    pub fn iter(self) -> impl Iterator<Item = Mode> {
+        ALL_MODES.into_iter().filter(move |m| self.contains(*m))
+    }
+
+    /// Clear the set.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl FromIterator<Mode> for ModeSet {
+    fn from_iter<I: IntoIterator<Item = Mode>>(iter: I) -> Self {
+        ModeSet::from_modes(iter)
+    }
+}
+
+impl fmt::Debug for ModeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for m in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ModeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::REQUEST_MODES;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ModeSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Mode::Read));
+        assert!(!s.insert(Mode::Read), "double insert reports not-fresh");
+        assert!(s.contains(Mode::Read));
+        assert!(!s.contains(Mode::Write));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Mode::Read));
+        assert!(!s.remove(Mode::Read));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ModeSet::from_modes([Mode::IntentRead, Mode::Read, Mode::Upgrade]);
+        let b = ModeSet::from_modes([Mode::Upgrade, Mode::Write]);
+        assert_eq!(
+            a.union(b),
+            ModeSet::from_modes([Mode::IntentRead, Mode::Read, Mode::Upgrade, Mode::Write])
+        );
+        assert_eq!(a.intersection(b), ModeSet::from_modes([Mode::Upgrade]));
+        assert_eq!(
+            a.difference(b),
+            ModeSet::from_modes([Mode::IntentRead, Mode::Read])
+        );
+        assert!(a.intersects(b));
+        assert!(!a.difference(b).intersects(b));
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let s = ModeSet::from_modes([Mode::Write, Mode::IntentRead]);
+        let v: Vec<Mode> = s.iter().collect();
+        assert_eq!(v, vec![Mode::IntentRead, Mode::Write]);
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        for &m in &REQUEST_MODES {
+            assert!(ModeSet::ALL.contains(m));
+        }
+        assert!(ModeSet::ALL.contains(Mode::NoLock));
+        assert_eq!(ModeSet::ALL.len(), 6);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let s = ModeSet::from_modes([Mode::IntentRead, Mode::Read, Mode::Upgrade]);
+        assert_eq!(format!("{s:?}"), "{IR,R,U}");
+        assert_eq!(format!("{}", ModeSet::EMPTY), "{}");
+    }
+}

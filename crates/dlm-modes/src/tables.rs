@@ -1,0 +1,347 @@
+//! Table 1(a)–(d) of the paper, encoded as explicit lookup tables.
+//!
+//! Row index is the mode `M1` of the node examining a request, column index is
+//! the requested mode `M2`, both via [`Mode::index`]. Each table is written
+//! out literally (so it can be eyeballed against the paper) and re-derived
+//! from a closed-form rule in the tests (see `derivations` below), so a
+//! transcription slip in either form fails the suite.
+
+use crate::mode::{Mode, ALL_MODES};
+use crate::modeset::ModeSet;
+use serde::{Deserialize, Serialize};
+
+/// Table 1(a): `true` iff modes may be held concurrently by different nodes
+/// (Rule 1). This is the standard OMG Concurrency Service matrix the paper
+/// adopts. Symmetric; `NoLock` is compatible with everything.
+///
+/// Row/column order: `NL, IR, R, U, IW, W`.
+const COMPATIBLE: [[bool; 6]; 6] = [
+    //               NL     IR     R      U      IW     W
+    /* NL */ [true, true, true, true, true, true],
+    /* IR */ [true, true, true, true, true, false],
+    /* R  */ [true, true, true, true, false, false],
+    /* U  */ [true, true, true, false, false, false],
+    /* IW */ [true, true, false, false, true, false],
+    /* W  */ [true, false, false, false, false, false],
+];
+
+/// Rule 1 / Table 1(a): may `a` and `b` be held concurrently?
+#[inline]
+pub fn compatible(a: Mode, b: Mode) -> bool {
+    COMPATIBLE[a.index()][b.index()]
+}
+
+/// Rule 2 helper: `true` iff owned mode `owned` is *strictly weaker* than the
+/// requested mode `req` in the strength partial order, i.e. a request message
+/// must be sent. (Incomparable modes also force a request — the node's owned
+/// mode does not cover the requested one.)
+#[inline]
+pub fn strictly_weaker(owned: Mode, req: Mode) -> bool {
+    !owned.ge(req)
+}
+
+/// Table 1(b): may a *non-token* node that owns `owned` grant a request for
+/// `req` (Rule 3.1)?
+///
+/// Derivation: grant iff `compatible(owned, req) && owned >= req`. A non-token
+/// node can never own `W` (a `W` grant always carries the token), so the `W`
+/// row is unreachable in practice but still encoded per the paper (all-deny:
+/// `W` is compatible with nothing).
+#[inline]
+pub fn child_can_grant(owned: Mode, req: Mode) -> bool {
+    CHILD_GRANT[owned.index()][req.index()]
+}
+
+/// Table 1(b) as printed (the paper marks *illegal* grants with X; we store
+/// the legal ones as `true`). Row = owned mode of the non-token node,
+/// column = requested mode. Column order `NL, IR, R, U, IW, W`; the `NL`
+/// column is trivially grantable (an empty request never occurs).
+const CHILD_GRANT: [[bool; 6]; 6] = [
+    //               NL     IR     R      U      IW     W
+    /* NL */ [true, false, false, false, false, false],
+    /* IR */ [true, true, false, false, false, false],
+    /* R  */ [true, true, true, false, false, false],
+    /* U  */ [true, true, true, false, false, false],
+    /* IW */ [true, true, false, false, true, false],
+    /* W  */ [true, false, false, false, false, false],
+];
+
+/// The decision of Table 1(c) for a non-token node that cannot grant a request
+/// (Rule 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueOrForward {
+    /// Log the request in the local queue; it will be reconsidered when this
+    /// node's own pending request is granted or a release arrives.
+    Queue,
+    /// Relay the request to this node's parent.
+    Forward,
+}
+
+/// Table 1(c): queue locally or forward to the parent, keyed by the node's
+/// *pending* mode `pending` (the paper's `M1` in sub-table (c); `MP = NL`
+/// means no pending request) and the incoming request mode `req`.
+///
+/// Derivation (validated in tests): queue iff the request would have to
+/// serialize behind our pending request anyway (`req == pending` or
+/// `!compatible(pending, req)`) *and* we will be able to serve it once our
+/// pending request is granted — either because that grant makes us the token
+/// node (`pending ∈ {U, W}`: those grants always transfer the token) or
+/// because we will own a sufficient mode (`pending >= req &&
+/// compatible(pending, req)`). Anything compatible with our pending mode is
+/// forwarded instead so an ancestor can serve it concurrently.
+#[inline]
+pub fn queue_or_forward(pending: Mode, req: Mode) -> QueueOrForward {
+    if QUEUE[pending.index()][req.index()] {
+        QueueOrForward::Queue
+    } else {
+        QueueOrForward::Forward
+    }
+}
+
+/// Table 1(c) as printed (`true` = Q, `false` = F). Row = pending mode,
+/// column = requested mode. The paper's row fragments are
+/// `F F F F F / Q F F F F / F Q F F F / F F Q Q Q / F F F Q F / Q Q Q Q Q`
+/// for rows `NL, IR, R, U, IW, W` over columns `IR, R, U, IW, W`.
+const QUEUE: [[bool; 6]; 6] = [
+    //               NL     IR     R      U      IW     W
+    /* NL */ [false, false, false, false, false, false],
+    /* IR */ [false, true, false, false, false, false],
+    /* R  */ [false, false, true, false, false, false],
+    /* U  */ [false, false, false, true, true, true],
+    /* IW */ [false, false, false, false, true, false],
+    /* W  */ [false, true, true, true, true, true],
+];
+
+/// Table 1(d): the set of modes the token node freezes when it owns `owned`
+/// and must queue an incompatible request for `req` (Rule 6).
+///
+/// Derivation: `{ m ≠ NL : compatible(m, owned) && !compatible(m, req) }` —
+/// exactly the modes that could still be granted today (compatible with what
+/// the token owns) but would keep delaying the queued request (incompatible
+/// with it). Freezing them preserves FIFO and prevents starvation of strong
+/// requests by streams of weak ones (§3.3).
+pub fn freeze_set(owned: Mode, req: Mode) -> ModeSet {
+    let mut set = ModeSet::new();
+    for &m in &ALL_MODES {
+        if m != Mode::NoLock && compatible(m, owned) && !compatible(m, req) {
+            set.insert(m);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::REQUEST_MODES;
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for &a in &ALL_MODES {
+            for &b in &ALL_MODES {
+                assert_eq!(
+                    compatible(a, b),
+                    compatible(b, a),
+                    "asymmetry at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_matches_omg_matrix() {
+        use Mode::*;
+        // The conflicts listed in Table 1(a): IR–W, R–{IW,W}, U–{U,IW,W},
+        // IW–{R,U,W}, W–everything.
+        let conflicts = [
+            (IntentRead, Write),
+            (Read, IntentWrite),
+            (Read, Write),
+            (Upgrade, Upgrade),
+            (Upgrade, IntentWrite),
+            (Upgrade, Write),
+            (IntentWrite, Write),
+            (Write, Write),
+        ];
+        for &a in &ALL_MODES {
+            for &b in &ALL_MODES {
+                let conflict = conflicts
+                    .iter()
+                    .any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b));
+                assert_eq!(compatible(a, b), !conflict, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn nolock_compatible_with_all() {
+        for &m in &ALL_MODES {
+            assert!(compatible(Mode::NoLock, m));
+        }
+    }
+
+    /// Definition 1: stronger modes are compatible with fewer modes. Verify
+    /// the partial order is consistent with compatibility-set inclusion.
+    #[test]
+    fn strength_refines_compatibility_inclusion() {
+        for &a in &ALL_MODES {
+            for &b in &ALL_MODES {
+                if a.ge(b) {
+                    // Every mode compatible with the stronger `a` must be
+                    // compatible with the weaker `b`.
+                    for &m in &ALL_MODES {
+                        if compatible(m, a) {
+                            assert!(
+                                compatible(m, b),
+                                "{a} >= {b} but {m} compat {a} and not {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Table 1(b) must equal its closed-form derivation from Rule 3.1.
+    #[test]
+    fn child_grant_table_matches_rule_3_1() {
+        for &owned in &ALL_MODES {
+            for &req in &REQUEST_MODES {
+                let derived = compatible(owned, req) && owned.ge(req);
+                assert_eq!(
+                    child_can_grant(owned, req),
+                    derived,
+                    "Table 1(b) mismatch at owned={owned}, req={req}"
+                );
+            }
+        }
+    }
+
+    /// Spot-check Table 1(b) against the paper's printed rows (absence of X
+    /// means grantable): NL grants nothing; IR grants IR; R grants IR,R;
+    /// U grants IR,R; IW grants IR,IW; W row is all X.
+    #[test]
+    fn child_grant_rows_match_paper() {
+        use Mode::*;
+        let grantable = |owned: Mode| -> Vec<Mode> {
+            REQUEST_MODES
+                .into_iter()
+                .filter(|&r| child_can_grant(owned, r))
+                .collect()
+        };
+        assert_eq!(grantable(NoLock), vec![]);
+        assert_eq!(grantable(IntentRead), vec![IntentRead]);
+        assert_eq!(grantable(Read), vec![IntentRead, Read]);
+        assert_eq!(grantable(Upgrade), vec![IntentRead, Read]);
+        assert_eq!(grantable(IntentWrite), vec![IntentRead, IntentWrite]);
+        assert_eq!(grantable(Write), vec![]);
+    }
+
+    /// Table 1(c) must equal its closed-form derivation (see docs on
+    /// [`queue_or_forward`]).
+    #[test]
+    fn queue_table_matches_derivation() {
+        for &pending in &ALL_MODES {
+            for &req in &REQUEST_MODES {
+                let token_after = matches!(pending, Mode::Upgrade | Mode::Write);
+                let can_serve_after =
+                    token_after || (pending.ge(req) && compatible(pending, req));
+                let must_wait_here = req == pending || !compatible(pending, req);
+                let derived = must_wait_here && can_serve_after;
+                assert_eq!(
+                    queue_or_forward(pending, req) == QueueOrForward::Queue,
+                    derived,
+                    "Table 1(c) mismatch at pending={pending}, req={req}"
+                );
+            }
+        }
+    }
+
+    /// Spot-check Table 1(c) against the paper's printed rows over columns
+    /// (IR, R, U, IW, W):
+    /// NL: FFFFF — no pending request, always forward (Fig. 3(a/b) example).
+    /// IR: QFFFF, R: FQFFF, U: FFQQQ, IW: FFFQF, W: QQQQQ.
+    #[test]
+    fn queue_rows_match_paper() {
+        use Mode::*;
+        use QueueOrForward::*;
+        let row = |pending: Mode| -> Vec<QueueOrForward> {
+            REQUEST_MODES
+                .into_iter()
+                .map(|r| queue_or_forward(pending, r))
+                .collect()
+        };
+        assert_eq!(row(NoLock), vec![Forward; 5]);
+        assert_eq!(row(IntentRead), vec![Queue, Forward, Forward, Forward, Forward]);
+        assert_eq!(row(Read), vec![Forward, Queue, Forward, Forward, Forward]);
+        assert_eq!(row(Upgrade), vec![Forward, Forward, Queue, Queue, Queue]);
+        assert_eq!(row(IntentWrite), vec![Forward, Forward, Forward, Queue, Forward]);
+        assert_eq!(row(Write), vec![Queue; 5]);
+    }
+
+    /// Table 1(d) spot checks against every fragment legible in the paper:
+    /// row IR→W freezes {IR,R,U,IW}; row R: {R,U} for IW and {IR,R,U} for W;
+    /// row U: {} for U, {R} for IW, {IR,R} for W; row IW: {IW},{IW},{IR,IW}
+    /// for R,U,W; rows NL and W freeze nothing.
+    #[test]
+    fn freeze_sets_match_paper() {
+        use Mode::*;
+        let fs = |o, r| freeze_set(o, r);
+        assert_eq!(
+            fs(IntentRead, Write),
+            ModeSet::from_modes([IntentRead, Read, Upgrade, IntentWrite])
+        );
+        assert_eq!(fs(Read, IntentWrite), ModeSet::from_modes([Read, Upgrade]));
+        assert_eq!(
+            fs(Read, Write),
+            ModeSet::from_modes([IntentRead, Read, Upgrade])
+        );
+        assert_eq!(fs(Upgrade, Upgrade), ModeSet::EMPTY);
+        assert_eq!(fs(Upgrade, IntentWrite), ModeSet::from_modes([Read]));
+        assert_eq!(fs(Upgrade, Write), ModeSet::from_modes([IntentRead, Read]));
+        assert_eq!(fs(IntentWrite, Read), ModeSet::from_modes([IntentWrite]));
+        assert_eq!(fs(IntentWrite, Upgrade), ModeSet::from_modes([IntentWrite]));
+        assert_eq!(
+            fs(IntentWrite, Write),
+            ModeSet::from_modes([IntentRead, IntentWrite])
+        );
+        for &r in &REQUEST_MODES {
+            assert_eq!(fs(Write, r), ModeSet::EMPTY, "W owns nothing grantable");
+        }
+    }
+
+    /// Freezing is only ever needed for incompatible requests: when the
+    /// request is compatible, the token grants it and the freeze set is moot —
+    /// and indeed the derived set never blocks the requested mode itself
+    /// from the *requester's* perspective.
+    #[test]
+    fn freeze_set_never_contains_modes_compatible_with_request() {
+        for &owned in &ALL_MODES {
+            for &req in &REQUEST_MODES {
+                for m in freeze_set(owned, req).iter() {
+                    assert!(!compatible(m, req));
+                    assert!(compatible(m, owned));
+                }
+            }
+        }
+    }
+
+    /// The fairness argument of §3.3: every mode that the token node could
+    /// grant concurrently today (compatible with owned) and that would delay
+    /// the queued request (incompatible with it) is frozen.
+    #[test]
+    fn freeze_set_is_exactly_the_bypass_risk() {
+        for &owned in &ALL_MODES {
+            for &req in &REQUEST_MODES {
+                if compatible(owned, req) {
+                    continue; // would be granted, not queued
+                }
+                let f = freeze_set(owned, req);
+                for &m in &REQUEST_MODES {
+                    let bypass_risk = compatible(m, owned) && !compatible(m, req);
+                    assert_eq!(f.contains(m), bypass_risk, "owned={owned} req={req} m={m}");
+                }
+            }
+        }
+    }
+}

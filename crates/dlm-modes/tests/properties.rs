@@ -1,0 +1,91 @@
+//! Property tests for the mode lattice and bitset: set-algebra laws,
+//! order/compatibility interplay, and table consistency under arbitrary
+//! mode pairs (the exhaustive pair tests live in the unit suites; these
+//! cover the derived algebraic laws).
+
+use dlm_modes::{
+    child_can_grant, compatible, freeze_set, queue_or_forward, Mode, ModeSet, QueueOrForward,
+    ALL_MODES,
+};
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = Mode> {
+    proptest::sample::select(ALL_MODES.to_vec())
+}
+
+fn modeset_strategy() -> impl Strategy<Value = ModeSet> {
+    proptest::collection::vec(mode_strategy(), 0..6).prop_map(ModeSet::from_modes)
+}
+
+proptest! {
+    /// Union/intersection/difference satisfy the standard lattice laws.
+    #[test]
+    fn modeset_algebra_laws(a in modeset_strategy(), b in modeset_strategy(), c in modeset_strategy()) {
+        // Commutativity & associativity.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        // Absorption.
+        prop_assert_eq!(a.union(a.intersection(b)), a);
+        prop_assert_eq!(a.intersection(a.union(b)), a);
+        // Difference/complement relations.
+        prop_assert_eq!(a.difference(b).intersection(b), ModeSet::EMPTY);
+        prop_assert_eq!(a.difference(b).union(a.intersection(b)), a);
+        // intersects <=> non-empty intersection.
+        prop_assert_eq!(a.intersects(b), !a.intersection(b).is_empty());
+    }
+
+    /// Membership matches construction.
+    #[test]
+    fn modeset_membership(modes in proptest::collection::vec(mode_strategy(), 0..6)) {
+        let set = ModeSet::from_modes(modes.clone());
+        for &m in &ALL_MODES {
+            prop_assert_eq!(set.contains(m), modes.contains(&m));
+        }
+        prop_assert_eq!(set.iter().count(), set.len());
+    }
+
+    /// The grant predicate implies both of its defining conditions; a
+    /// non-grantable pair fails at least one (Rule 3.1 soundness both ways).
+    #[test]
+    fn child_grant_iff_compatible_and_dominating(owned in mode_strategy(), req in mode_strategy()) {
+        if req == Mode::NoLock { return Ok(()); }
+        prop_assert_eq!(
+            child_can_grant(owned, req),
+            compatible(owned, req) && owned.ge(req)
+        );
+    }
+
+    /// Queue decisions never queue something the node could have granted
+    /// (granting is checked first in the protocol, so Table 1(c) only ever
+    /// sees non-grantable requests — but the table itself must also never
+    /// contradict the service guarantee: queued ⇒ servable after pending).
+    #[test]
+    fn queued_requests_are_servable_after_pending(pending in mode_strategy(), req in mode_strategy()) {
+        if req == Mode::NoLock { return Ok(()); }
+        if queue_or_forward(pending, req) == QueueOrForward::Queue {
+            let token_after = matches!(pending, Mode::Upgrade | Mode::Write);
+            let servable = token_after || (pending.ge(req) && compatible(pending, req));
+            prop_assert!(servable, "queued ({pending},{req}) but not servable");
+        }
+    }
+
+    /// Freeze sets only contain modes that are live threats: compatible with
+    /// what is owned, incompatible with what waits.
+    #[test]
+    fn freeze_sets_are_threat_sets(owned in mode_strategy(), req in mode_strategy()) {
+        for m in freeze_set(owned, req).iter() {
+            prop_assert!(compatible(m, owned));
+            prop_assert!(!compatible(m, req));
+            prop_assert!(m != Mode::NoLock);
+        }
+    }
+
+    /// Join dominates, monotonically: joining more modes never weakens.
+    #[test]
+    fn join_monotone(a in mode_strategy(), b in mode_strategy(), c in mode_strategy()) {
+        let ab = a.join(b);
+        prop_assert!(ab.join(c).ge(ab.join(Mode::NoLock)));
+        prop_assert!(a.join(b).ge(a));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the Naimi–Trehel baseline: mutual exclusion and
+//! liveness under random schedules, and FIFO service order under sequential
+//! propagation.
+
+use dlm_naimi::testkit::NaimiNet;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Deliver,
+    Acquire(u8),
+    Release(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => Just(Step::Deliver),
+        3 => any::<u8>().prop_map(Step::Acquire),
+        2 => any::<u8>().prop_map(Step::Release),
+    ]
+}
+
+proptest! {
+    /// Random schedules keep the single-token / single-CS invariants (the
+    /// testkit asserts them on every delivery) and drain to everyone served.
+    #[test]
+    fn random_schedules_stay_safe_and_live(
+        n in 2usize..8,
+        steps in proptest::collection::vec(step_strategy(), 1..100),
+    ) {
+        let mut net = NaimiNet::star(n);
+        for step in steps {
+            match step {
+                Step::Deliver => {
+                    let _ = net.deliver_one();
+                }
+                Step::Acquire(who) => {
+                    let id = (who as usize % n) as u32;
+                    if !net.node(id).in_cs() && !net.node(id).waiting() {
+                        net.acquire(id).unwrap();
+                    }
+                }
+                Step::Release(who) => {
+                    let id = (who as usize % n) as u32;
+                    if net.node(id).in_cs() {
+                        net.release(id).unwrap();
+                    }
+                }
+            }
+        }
+        // Drain: release holders until nobody waits.
+        for _ in 0..10_000 {
+            net.deliver_all();
+            let holder = (0..n as u32).find(|&i| net.node(i).in_cs());
+            let waiting = (0..n as u32).any(|i| net.node(i).waiting());
+            match holder {
+                Some(h) => net.release(h).unwrap(),
+                None if !waiting => break,
+                None => {}
+            }
+        }
+        net.deliver_all();
+        for i in 0..n as u32 {
+            prop_assert!(!net.node(i).waiting(), "node {i} starved");
+        }
+    }
+
+    /// With full propagation between requests, service order is exactly
+    /// request order (the distributed next-queue is FIFO).
+    #[test]
+    fn sequential_requests_serve_fifo(order in proptest::sample::subsequence(vec![1u32,2,3,4,5,6], 2..6)) {
+        let mut net = NaimiNet::star(7);
+        for &id in &order {
+            net.acquire(id).unwrap();
+            net.deliver_all();
+        }
+        let mut served = Vec::new();
+        for _ in 0..order.len() {
+            let holder = (0..7u32).find(|&i| net.node(i).in_cs()).expect("a holder");
+            served.push(holder);
+            net.release(holder).unwrap();
+            net.deliver_all();
+        }
+        prop_assert_eq!(served, order);
+    }
+}

@@ -1,0 +1,169 @@
+//! Network latency models.
+//!
+//! The paper randomizes message latency around a mean (150 ms on the TCP/WAN
+//! configuration of §4.1; interconnect-class sub-millisecond values on the
+//! IBM SP of §4.2). The model here samples a per-message latency from a
+//! configurable distribution and, by default, enforces per-channel FIFO
+//! delivery — the guarantee both TCP and MPI provide and the protocols
+//! assume for their FIFO fairness (never for safety).
+
+use crate::time::Micros;
+use dlm_core::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Shape of the per-message latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyDistribution {
+    /// Every message takes exactly the mean.
+    Fixed,
+    /// Uniform on `[mean/2, 3·mean/2]` (the "randomized around a mean" of the
+    /// paper's experiments).
+    Uniform,
+    /// Exponential with the given mean (memoryless WAN-ish tail).
+    Exponential,
+}
+
+/// A latency model: distribution + mean + FIFO discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Mean one-way latency.
+    pub mean: Micros,
+    /// Distribution shape.
+    pub distribution: LatencyDistribution,
+    /// Enforce per-(sender, receiver) FIFO ordering (TCP/MPI semantics).
+    pub fifo: bool,
+}
+
+impl LatencyModel {
+    /// The §4.1 Linux-cluster configuration: uniform around 150 ms.
+    pub fn lan_cluster() -> Self {
+        LatencyModel {
+            mean: 150 * crate::time::MICROS_PER_MS,
+            distribution: LatencyDistribution::Uniform,
+            fifo: true,
+        }
+    }
+
+    /// An SP-class interconnect: uniform around 50 µs one-way (user-level
+    /// MPI over the Colony switch is tens of microseconds).
+    pub fn sp_switch() -> Self {
+        LatencyModel {
+            mean: 50,
+            distribution: LatencyDistribution::Uniform,
+            fifo: true,
+        }
+    }
+
+    /// Uniform latency around `mean` microseconds.
+    pub fn uniform(mean: Micros) -> Self {
+        LatencyModel {
+            mean,
+            distribution: LatencyDistribution::Uniform,
+            fifo: true,
+        }
+    }
+
+    /// Fixed latency of exactly `mean` microseconds.
+    pub fn fixed(mean: Micros) -> Self {
+        LatencyModel {
+            mean,
+            distribution: LatencyDistribution::Fixed,
+            fifo: true,
+        }
+    }
+
+    /// Sample one latency.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Micros {
+        match self.distribution {
+            LatencyDistribution::Fixed => self.mean,
+            LatencyDistribution::Uniform => {
+                let half = self.mean / 2;
+                let lo = self.mean - half;
+                rng.gen_range(lo..=self.mean + half)
+            }
+            LatencyDistribution::Exponential => {
+                // Inverse-CDF with a guard against ln(0).
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let x = -(u.ln()) * self.mean as f64;
+                x.min(u64::MAX as f64 / 2.0) as Micros
+            }
+        }
+    }
+}
+
+/// Tracks last-arrival times per channel to enforce FIFO delivery under
+/// randomized latencies.
+#[derive(Debug, Default)]
+pub(crate) struct FifoClamp {
+    last_arrival: HashMap<(NodeId, NodeId), Micros>,
+}
+
+impl FifoClamp {
+    /// Given a tentative arrival time for a message on `from → to`, return
+    /// the (possibly delayed) arrival that preserves channel order.
+    pub fn clamp(&mut self, from: NodeId, to: NodeId, arrival: Micros) -> Micros {
+        let slot = self.last_arrival.entry((from, to)).or_insert(0);
+        let fixed = arrival.max(*slot + 1);
+        *slot = fixed;
+        fixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::fixed(123);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 123);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = LatencyModel::uniform(1000);
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            let x = m.sample(&mut rng);
+            assert!((500..=1500).contains(&x), "{x} out of bounds");
+            sum += x;
+        }
+        let mean = sum as f64 / 10_000.0;
+        assert!((mean - 1000.0).abs() < 25.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_matches() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m = LatencyModel {
+            mean: 1000,
+            distribution: LatencyDistribution::Exponential,
+            fifo: true,
+        };
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn fifo_clamp_preserves_channel_order() {
+        let mut clamp = FifoClamp::default();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let t1 = clamp.clamp(a, b, 100);
+        let t2 = clamp.clamp(a, b, 50); // sampled earlier than prior arrival
+        assert!(t2 > t1, "later send must arrive later on the same channel");
+        // Other channels are unaffected.
+        let t3 = clamp.clamp(b, a, 10);
+        assert_eq!(t3, 10);
+    }
+}

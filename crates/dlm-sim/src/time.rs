@@ -1,0 +1,20 @@
+//! Virtual time.
+
+/// Virtual time in microseconds since simulation start.
+pub type Micros = u64;
+
+/// One millisecond in [`Micros`].
+pub const MICROS_PER_MS: Micros = 1_000;
+
+/// One second in [`Micros`].
+pub const MICROS_PER_SEC: Micros = 1_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_relations() {
+        assert_eq!(MICROS_PER_SEC, 1000 * MICROS_PER_MS);
+    }
+}

@@ -1,0 +1,290 @@
+//! The per-node application actor: an airline-reservation client issuing
+//! randomized lock operations against its protocol stack.
+
+use crate::params::WorkloadParams;
+use crate::plan::{OpKind, OpPlan};
+use crate::proto::{wire_kind, ProtoEvent, ProtoStack};
+use crate::LockId;
+use dlm_core::{Message, NodeId};
+use dlm_metrics::{CounterSet, Histogram};
+use dlm_naimi::NaimiMessage;
+use dlm_sim::{Actor, Ctx, Micros};
+use rand::Rng;
+
+/// Wire payload multiplexing both protocols over multiple lock objects.
+#[derive(Debug, Clone)]
+pub enum Wire {
+    /// A hierarchical-protocol message for one lock object.
+    Hier {
+        /// Target lock.
+        lock: LockId,
+        /// Protocol payload.
+        message: Message,
+    },
+    /// A Naimi–Trehel message for one lock object.
+    Naimi {
+        /// Target lock.
+        lock: LockId,
+        /// Protocol payload.
+        message: NaimiMessage,
+    },
+}
+
+const TIMER_IDLE: u64 = 1;
+const TIMER_CS: u64 = 2;
+const TIMER_CS_POST_UPGRADE: u64 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting out the inter-request idle time.
+    Idle,
+    /// Waiting for the grant of `plan.locks[step]`.
+    Acquiring,
+    /// Inside the critical section (primary part).
+    InCs,
+    /// Waiting for the Rule 7 upgrade to complete.
+    Upgrading,
+    /// Inside the post-upgrade write section.
+    InCsUpgraded,
+    /// All operations performed.
+    Done,
+}
+
+/// One node of the workload: protocol stack + application state machine +
+/// local measurements.
+pub struct AppActor {
+    params: WorkloadParams,
+    stack: ProtoStack,
+    phase: Phase,
+    plan: Option<OpPlan>,
+    step: usize,
+    ops_done: u32,
+    issue_time: Micros,
+    op_start: Micros,
+    /// Lock requests issued (including message-free local admissions).
+    pub requests_issued: u64,
+    /// Per-request wait: request issue → grant, in µs.
+    pub request_latency: Histogram,
+    /// Per-operation wait: first acquire → critical-section entry, in µs.
+    pub op_latency: Histogram,
+    /// Per-operation wait split by operation kind (indexed like
+    /// [`OpKind::index`]); feeds the fairness/starvation analyses.
+    pub op_latency_by_kind: [Histogram; 5],
+    /// Completed operations.
+    pub ops_completed: u32,
+    /// Upgrades performed.
+    pub upgrades_done: u32,
+    /// Messages sent by this node, tallied by protocol message kind.
+    pub sent_by_kind: CounterSet,
+}
+
+impl AppActor {
+    /// Build the actor for node `me`.
+    pub fn new(me: NodeId, params: WorkloadParams) -> Self {
+        params.validate();
+        let stack = match params.protocol {
+            crate::params::ProtocolKind::Hier => {
+                ProtoStack::new_hier(me, params.lock_count(), params.hier_config)
+            }
+            _ => ProtoStack::new_naimi(me, params.lock_count()),
+        };
+        AppActor {
+            params,
+            stack,
+            phase: Phase::Idle,
+            plan: None,
+            step: 0,
+            ops_done: 0,
+            issue_time: 0,
+            op_start: 0,
+            requests_issued: 0,
+            request_latency: Histogram::new(),
+            op_latency: Histogram::new(),
+            op_latency_by_kind: Default::default(),
+            ops_completed: 0,
+            upgrades_done: 0,
+            sent_by_kind: CounterSet::new(),
+        }
+    }
+
+    fn send_all(&mut self, out: Vec<(NodeId, Wire)>, ctx: &mut Ctx<'_, Wire>) {
+        for (to, wire) in out {
+            self.sent_by_kind.incr(wire_kind(&wire));
+            ctx.send(to, wire);
+        }
+    }
+
+    /// The application phase as a coarse liveness probe: `true` once all
+    /// operations completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Expose the protocol stack (for post-run audits).
+    pub fn stack(&self) -> &ProtoStack {
+        &self.stack
+    }
+
+    fn sample_around(mean: Micros, rng: &mut impl Rng) -> Micros {
+        // "Randomized around the mean" (§4): uniform on [mean/2, 3·mean/2].
+        if mean == 0 {
+            return 0;
+        }
+        let half = mean / 2;
+        rng.gen_range(mean - half..=mean + half)
+    }
+
+    fn begin_operation(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let kind = OpKind::sample(&self.params.mix, ctx.rng());
+        let entry = if self.params.hot_entry_percent > 0
+            && ctx.rng().gen_range(0u8..100) < self.params.hot_entry_percent
+        {
+            0 // the hot fare
+        } else {
+            ctx.rng().gen_range(0..self.params.entries)
+        };
+        let mut plan = OpPlan::expand(kind, self.params.protocol, entry, self.params.entries);
+        plan.upgrade &= self.params.upgrade_u_ops;
+        self.plan = Some(plan);
+        self.step = 0;
+        self.phase = Phase::Acquiring;
+        self.op_start = ctx.now();
+        self.advance_acquisition(ctx);
+    }
+
+    /// Issue acquires until one blocks or the plan is fully acquired.
+    fn advance_acquisition(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        loop {
+            let plan = self.plan.as_ref().expect("acquiring implies a plan");
+            if self.step == plan.locks.len() {
+                self.enter_cs(ctx);
+                return;
+            }
+            let (lock, mode) = plan.locks[self.step];
+            let mut out = Vec::new();
+            let mut events = Vec::new();
+            self.requests_issued += 1;
+            self.issue_time = ctx.now();
+            self.stack.acquire(lock, mode, &mut out, &mut events);
+            if !out.is_empty() {
+                self.sent_by_kind.incr("request.initial");
+            }
+            self.send_all(out, ctx);
+            if events.contains(&ProtoEvent::Granted(lock)) {
+                // Local admission (Rule 2 fast path): zero latency.
+                self.request_latency.record(0);
+                self.step += 1;
+                continue;
+            }
+            return; // wait for the grant message
+        }
+    }
+
+    fn enter_cs(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        self.phase = Phase::InCs;
+        let wait = ctx.now().saturating_sub(self.op_start);
+        self.op_latency.record(wait);
+        let kind = self.plan.as_ref().expect("in an operation").kind;
+        self.op_latency_by_kind[kind.index()].record(wait);
+        let cs = Self::sample_around(self.params.cs_mean, ctx.rng());
+        ctx.set_timer(cs, TIMER_CS);
+    }
+
+    fn finish_operation(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let plan = self.plan.take().expect("finishing implies a plan");
+        // Release in reverse acquisition order (entry before table).
+        for &(lock, _) in plan.locks.iter().rev() {
+            let mut out = Vec::new();
+            let mut events = Vec::new();
+            self.stack.release(lock, &mut out, &mut events);
+            debug_assert!(events.is_empty(), "release grants nothing locally");
+            self.send_all(out, ctx);
+        }
+        self.ops_completed += 1;
+        self.ops_done += 1;
+        if self.ops_done < self.params.ops_per_node {
+            self.phase = Phase::Idle;
+            let idle = Self::sample_around(self.params.idle_mean, ctx.rng());
+            ctx.set_timer(idle, TIMER_IDLE);
+        } else {
+            self.phase = Phase::Done;
+        }
+    }
+
+    fn handle_events(&mut self, events: Vec<ProtoEvent>, ctx: &mut Ctx<'_, Wire>) {
+        for event in events {
+            match event {
+                ProtoEvent::Granted(lock) => {
+                    assert_eq!(self.phase, Phase::Acquiring, "unexpected grant");
+                    let plan = self.plan.as_ref().expect("grant implies a plan");
+                    assert_eq!(plan.locks[self.step].0, lock, "grant for awaited lock");
+                    self.request_latency
+                        .record(ctx.now().saturating_sub(self.issue_time));
+                    self.step += 1;
+                    self.advance_acquisition(ctx);
+                }
+                ProtoEvent::Upgraded(lock) => {
+                    assert_eq!(lock, LockId::TABLE);
+                    assert_eq!(self.phase, Phase::Upgrading, "unexpected upgrade completion");
+                    self.request_latency
+                        .record(ctx.now().saturating_sub(self.issue_time));
+                    self.upgrades_done += 1;
+                    self.phase = Phase::InCsUpgraded;
+                    let cs = Self::sample_around(self.params.cs_mean / 2, ctx.rng());
+                    ctx.set_timer(cs, TIMER_CS_POST_UPGRADE);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for AppActor {
+    type Msg = Wire;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if self.params.ops_per_node == 0 {
+            self.phase = Phase::Done;
+            return;
+        }
+        let idle = Self::sample_around(self.params.idle_mean, ctx.rng());
+        ctx.set_timer(idle, TIMER_IDLE);
+    }
+
+    fn on_message(&mut self, from: NodeId, wire: Wire, ctx: &mut Ctx<'_, Wire>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        self.stack.on_wire(from, wire, &mut out, &mut events);
+        self.send_all(out, ctx);
+        self.handle_events(events, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Wire>) {
+        match tag {
+            TIMER_IDLE => {
+                debug_assert_eq!(self.phase, Phase::Idle);
+                self.begin_operation(ctx);
+            }
+            TIMER_CS => {
+                debug_assert_eq!(self.phase, Phase::InCs);
+                let wants_upgrade = self.plan.as_ref().map(|p| p.upgrade).unwrap_or(false);
+                if wants_upgrade {
+                    self.phase = Phase::Upgrading;
+                    self.requests_issued += 1;
+                    self.issue_time = ctx.now();
+                    let mut out = Vec::new();
+                    let mut events = Vec::new();
+                    self.stack.upgrade(LockId::TABLE, &mut out, &mut events);
+                    self.send_all(out, ctx);
+                    self.handle_events(events, ctx);
+                } else {
+                    self.finish_operation(ctx);
+                }
+            }
+            TIMER_CS_POST_UPGRADE => {
+                debug_assert_eq!(self.phase, Phase::InCsUpgraded);
+                self.finish_operation(ctx);
+            }
+            other => unreachable!("unknown timer tag {other}"),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Workload parameters (the knobs of the paper's experiments).
+
+use dlm_core::ProtocolConfig;
+use dlm_sim::{LatencyModel, Micros, MICROS_PER_MS};
+use serde::{Deserialize, Serialize};
+
+/// Which protocol drives the run (the three series of Figures 7/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The hierarchical multi-mode protocol (the paper's contribution).
+    Hier,
+    /// Naimi–Trehel, one lock request where the hierarchical protocol issues
+    /// one (functionally weaker on whole-table operations).
+    NaimiPure,
+    /// Naimi–Trehel doing the same work: whole-table operations acquire every
+    /// entry lock sequentially in fixed order.
+    NaimiSameWork,
+}
+
+impl ProtocolKind {
+    /// Label used in reports and figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Hier => "our-protocol",
+            ProtocolKind::NaimiPure => "naimi-pure",
+            ProtocolKind::NaimiSameWork => "naimi-same-work",
+        }
+    }
+}
+
+/// Table-level request-mode mix, in percent (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeMix {
+    /// Intent-read share.
+    pub ir: u8,
+    /// Read share.
+    pub r: u8,
+    /// Upgrade share.
+    pub u: u8,
+    /// Intent-write share.
+    pub iw: u8,
+    /// Write share.
+    pub w: u8,
+}
+
+impl ModeMix {
+    /// The paper's §4 mix: IR 80 %, R 10 %, U 4 %, IW 5 %, W 1 %.
+    pub const fn paper() -> Self {
+        ModeMix {
+            ir: 80,
+            r: 10,
+            u: 4,
+            iw: 5,
+            w: 1,
+        }
+    }
+
+    /// Sum of the shares (validated to 100 at workload construction).
+    pub fn total(&self) -> u32 {
+        self.ir as u32 + self.r as u32 + self.u as u32 + self.iw as u32 + self.w as u32
+    }
+}
+
+impl Default for ModeMix {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Full description of one simulated experiment run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of participating nodes.
+    pub nodes: usize,
+    /// Number of table entries (each with its own lock).
+    pub entries: u32,
+    /// Mean critical-section length (paper: 15 ms).
+    pub cs_mean: Micros,
+    /// Mean inter-request idle time (paper §4.1: 150 ms; §4.2: ratio × cs).
+    pub idle_mean: Micros,
+    /// Operations each node performs before stopping.
+    pub ops_per_node: u32,
+    /// Table-mode mix.
+    pub mix: ModeMix,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Hierarchical-protocol feature toggles (ignored by the Naimi drivers).
+    pub hier_config: ProtocolConfig,
+    /// Network model.
+    pub latency: LatencyModel,
+    /// Master seed.
+    pub seed: u64,
+    /// Follow each table-`U` operation with a Rule 7 upgrade to `W`
+    /// mid-critical-section. The paper's mode mix counts U *requests*; an
+    /// upgrade stalls the entire table (W is compatible with nothing), so
+    /// the figure reproductions leave this off and the upgrade-path tests
+    /// turn it on.
+    pub upgrade_u_ops: bool,
+    /// Optional geo-distributed two-site topology (see
+    /// [`dlm_sim::TwoSite`]): the `latency` field becomes the intra-site
+    /// model and cross-site traffic uses the WAN model. Serialized reports
+    /// skip it (the TSV output records it via the experiment name).
+    #[serde(skip)]
+    pub geo: Option<dlm_sim::TwoSite>,
+    /// Entry-access skew: probability (percent) that an entry-scoped
+    /// operation touches entry 0 (the "hot" fare) instead of a uniformly
+    /// random entry. 0 = the paper's uniform access. Drives the contention
+    /// extension experiment.
+    pub hot_entry_percent: u8,
+}
+
+impl WorkloadParams {
+    /// The §4.1 Linux-cluster configuration at `nodes` nodes: CS 15 ms, idle
+    /// 150 ms, 150 ms uniform network latency, paper mix, 8-entry table.
+    pub fn linux_cluster(nodes: usize, protocol: ProtocolKind) -> Self {
+        WorkloadParams {
+            nodes,
+            entries: 8,
+            cs_mean: 15 * MICROS_PER_MS,
+            idle_mean: 150 * MICROS_PER_MS,
+            ops_per_node: 40,
+            mix: ModeMix::paper(),
+            protocol,
+            hier_config: ProtocolConfig::paper(),
+            latency: LatencyModel::lan_cluster(),
+            seed: 0x5EED,
+            upgrade_u_ops: false,
+            geo: None,
+            hot_entry_percent: 0,
+        }
+    }
+
+    /// The §4.2 IBM-SP configuration: CS 15 ms, idle = `ratio` × 15 ms,
+    /// SP-switch latency; always the hierarchical protocol.
+    pub fn ibm_sp(nodes: usize, ratio: u32) -> Self {
+        WorkloadParams {
+            nodes,
+            entries: 8,
+            cs_mean: 15 * MICROS_PER_MS,
+            idle_mean: ratio as u64 * 15 * MICROS_PER_MS,
+            ops_per_node: 40,
+            mix: ModeMix::paper(),
+            protocol: ProtocolKind::Hier,
+            hier_config: ProtocolConfig::paper(),
+            latency: LatencyModel::sp_switch(),
+            seed: 0x5EED,
+            upgrade_u_ops: false,
+            geo: None,
+            hot_entry_percent: 0,
+        }
+    }
+
+    /// Total lock objects (table + entries).
+    pub fn lock_count(&self) -> usize {
+        1 + self.entries as usize
+    }
+
+    /// Panics if the parameters are inconsistent.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "need at least one node");
+        assert!(self.entries >= 1, "need at least one entry");
+        assert_eq!(self.mix.total(), 100, "mode mix must sum to 100");
+        assert!(self.ops_per_node >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_sums_to_100() {
+        assert_eq!(ModeMix::paper().total(), 100);
+    }
+
+    #[test]
+    fn presets_validate() {
+        WorkloadParams::linux_cluster(16, ProtocolKind::Hier).validate();
+        WorkloadParams::ibm_sp(120, 25).validate();
+        assert_eq!(
+            WorkloadParams::ibm_sp(8, 10).idle_mean,
+            150 * MICROS_PER_MS,
+            "ratio 10 × 15 ms = 150 ms idle"
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            ProtocolKind::Hier.label(),
+            ProtocolKind::NaimiPure.label(),
+            ProtocolKind::NaimiSameWork.label(),
+        ];
+        assert_eq!(
+            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

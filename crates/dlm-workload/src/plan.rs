@@ -1,0 +1,256 @@
+//! Operation planning: drawing a table-mode from the mix and expanding it
+//! into the per-protocol lock acquisition sequence.
+
+use crate::params::{ModeMix, ProtocolKind};
+use crate::LockId;
+use dlm_core::Mode;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The application-level operation class, named by its table-level mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read one entry (table IR + entry R).
+    ReadEntry,
+    /// Read the whole table (table R).
+    ReadTable,
+    /// Read-modify-write the whole table (table U, upgraded to W mid-way).
+    UpgradeTable,
+    /// Write one entry (table IW + entry W).
+    WriteEntry,
+    /// Write the whole table (table W).
+    WriteTable,
+}
+
+impl OpKind {
+    /// Draw an operation from the mix.
+    pub fn sample<R: Rng>(mix: &ModeMix, rng: &mut R) -> OpKind {
+        let roll = rng.gen_range(0u32..100);
+        let ir = mix.ir as u32;
+        let r = ir + mix.r as u32;
+        let u = r + mix.u as u32;
+        let iw = u + mix.iw as u32;
+        if roll < ir {
+            OpKind::ReadEntry
+        } else if roll < r {
+            OpKind::ReadTable
+        } else if roll < u {
+            OpKind::UpgradeTable
+        } else if roll < iw {
+            OpKind::WriteEntry
+        } else {
+            OpKind::WriteTable
+        }
+    }
+
+    /// The table-level mode of this operation in the hierarchical protocol.
+    pub fn table_mode(self) -> Mode {
+        match self {
+            OpKind::ReadEntry => Mode::IntentRead,
+            OpKind::ReadTable => Mode::Read,
+            OpKind::UpgradeTable => Mode::Upgrade,
+            OpKind::WriteEntry => Mode::IntentWrite,
+            OpKind::WriteTable => Mode::Write,
+        }
+    }
+
+    /// True for operations whose table mode is an intent mode (they also
+    /// lock one entry underneath).
+    pub fn is_intent(self) -> bool {
+        matches!(self, OpKind::ReadEntry | OpKind::WriteEntry)
+    }
+
+    /// Dense index (mix order: IR, R, U, IW, W) for per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::ReadEntry => 0,
+            OpKind::ReadTable => 1,
+            OpKind::UpgradeTable => 2,
+            OpKind::WriteEntry => 3,
+            OpKind::WriteTable => 4,
+        }
+    }
+
+    /// All operation kinds in mix order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::ReadEntry,
+        OpKind::ReadTable,
+        OpKind::UpgradeTable,
+        OpKind::WriteEntry,
+        OpKind::WriteTable,
+    ];
+
+    /// Short label for report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::ReadEntry => "read-entry(IR)",
+            OpKind::ReadTable => "read-table(R)",
+            OpKind::UpgradeTable => "upgrade-table(U)",
+            OpKind::WriteEntry => "write-entry(IW)",
+            OpKind::WriteTable => "write-table(W)",
+        }
+    }
+}
+
+/// A fully expanded operation: the ordered list of lock acquisitions, and
+/// whether a Rule 7 upgrade happens mid-critical-section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpPlan {
+    /// The drawn operation class.
+    pub kind: OpKind,
+    /// Locks to acquire, in order, with the hierarchical mode. The Naimi
+    /// drivers ignore the mode (every acquisition is exclusive).
+    pub locks: Vec<(LockId, Mode)>,
+    /// Perform an atomic U→W upgrade on the table lock mid-CS
+    /// (hierarchical protocol only).
+    pub upgrade: bool,
+}
+
+impl OpPlan {
+    /// Expand `kind` for `protocol`, touching `entry` (0-based) where the
+    /// operation is entry-scoped. `entries` is the table size (for
+    /// same-work whole-table expansion).
+    pub fn expand(kind: OpKind, protocol: ProtocolKind, entry: u32, entries: u32) -> OpPlan {
+        let locks = match protocol {
+            ProtocolKind::Hier => match kind {
+                // Intent ops: coarse intent + one fine lock (the paper's
+                // hierarchical pattern — the intent reacquisition is usually
+                // message-free under Rule 2).
+                OpKind::ReadEntry => vec![
+                    (LockId::TABLE, Mode::IntentRead),
+                    (LockId::entry(entry), Mode::Read),
+                ],
+                OpKind::WriteEntry => vec![
+                    (LockId::TABLE, Mode::IntentWrite),
+                    (LockId::entry(entry), Mode::Write),
+                ],
+                // Whole-table ops: a single coarse lock.
+                OpKind::ReadTable => vec![(LockId::TABLE, Mode::Read)],
+                OpKind::UpgradeTable => vec![(LockId::TABLE, Mode::Upgrade)],
+                OpKind::WriteTable => vec![(LockId::TABLE, Mode::Write)],
+            },
+            ProtocolKind::NaimiPure => match kind {
+                // Entry ops need only the entry lock (§4.1: intent-mode table
+                // locking has no counterpart in Naimi).
+                OpKind::ReadEntry | OpKind::WriteEntry => {
+                    vec![(LockId::entry(entry), Mode::Write)]
+                }
+                // Whole-table ops: a single lock — functionally weaker, the
+                // paper's "pure" variant.
+                OpKind::ReadTable | OpKind::UpgradeTable | OpKind::WriteTable => {
+                    vec![(LockId::TABLE, Mode::Write)]
+                }
+            },
+            ProtocolKind::NaimiSameWork => match kind {
+                OpKind::ReadEntry | OpKind::WriteEntry => {
+                    vec![(LockId::entry(entry), Mode::Write)]
+                }
+                // Whole-table ops lock every entry, in fixed index order —
+                // the deadlock-avoidance total order the paper charges to
+                // Naimi's account in Fig. 8.
+                OpKind::ReadTable | OpKind::UpgradeTable | OpKind::WriteTable => (0..entries)
+                    .map(|e| (LockId::entry(e), Mode::Write))
+                    .collect(),
+            },
+        };
+        OpPlan {
+            kind,
+            locks,
+            upgrade: protocol == ProtocolKind::Hier && kind == OpKind::UpgradeTable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_mix_roughly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mix = ModeMix::paper();
+        let mut counts = [0u32; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            match OpKind::sample(&mix, &mut rng) {
+                OpKind::ReadEntry => counts[0] += 1,
+                OpKind::ReadTable => counts[1] += 1,
+                OpKind::UpgradeTable => counts[2] += 1,
+                OpKind::WriteEntry => counts[3] += 1,
+                OpKind::WriteTable => counts[4] += 1,
+            }
+        }
+        let pct = |c: u32| c as f64 * 100.0 / n as f64;
+        assert!((pct(counts[0]) - 80.0).abs() < 1.0);
+        assert!((pct(counts[1]) - 10.0).abs() < 0.5);
+        assert!((pct(counts[2]) - 4.0).abs() < 0.5);
+        assert!((pct(counts[3]) - 5.0).abs() < 0.5);
+        assert!((pct(counts[4]) - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn degenerate_mix_always_samples_that_op() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mix = ModeMix {
+            ir: 0,
+            r: 0,
+            u: 0,
+            iw: 0,
+            w: 100,
+        };
+        for _ in 0..100 {
+            assert_eq!(OpKind::sample(&mix, &mut rng), OpKind::WriteTable);
+        }
+    }
+
+    #[test]
+    fn hier_expansion_uses_hierarchy() {
+        let p = OpPlan::expand(OpKind::ReadEntry, ProtocolKind::Hier, 3, 8);
+        assert_eq!(
+            p.locks,
+            vec![
+                (LockId::TABLE, Mode::IntentRead),
+                (LockId::entry(3), Mode::Read)
+            ]
+        );
+        assert!(!p.upgrade);
+        let p = OpPlan::expand(OpKind::UpgradeTable, ProtocolKind::Hier, 0, 8);
+        assert_eq!(p.locks, vec![(LockId::TABLE, Mode::Upgrade)]);
+        assert!(p.upgrade);
+    }
+
+    #[test]
+    fn same_work_expands_whole_table() {
+        let p = OpPlan::expand(OpKind::WriteTable, ProtocolKind::NaimiSameWork, 5, 4);
+        assert_eq!(p.locks.len(), 4);
+        // Fixed index order: deadlock-free total order.
+        let ids: Vec<u32> = p.locks.iter().map(|(l, _)| l.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        assert!(!p.upgrade);
+    }
+
+    #[test]
+    fn pure_locks_exactly_one_object() {
+        for kind in [
+            OpKind::ReadEntry,
+            OpKind::ReadTable,
+            OpKind::UpgradeTable,
+            OpKind::WriteEntry,
+            OpKind::WriteTable,
+        ] {
+            let p = OpPlan::expand(kind, ProtocolKind::NaimiPure, 2, 8);
+            assert_eq!(p.locks.len(), 1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn table_modes_match_kinds() {
+        assert_eq!(OpKind::ReadEntry.table_mode(), Mode::IntentRead);
+        assert_eq!(OpKind::WriteTable.table_mode(), Mode::Write);
+        assert!(OpKind::ReadEntry.is_intent());
+        assert!(OpKind::WriteEntry.is_intent());
+        assert!(!OpKind::ReadTable.is_intent());
+    }
+}

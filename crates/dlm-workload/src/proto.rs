@@ -1,0 +1,279 @@
+//! A per-node adapter holding one protocol instance per lock object and
+//! translating between protocol effects and simulator sends, so the
+//! application actor is protocol-agnostic.
+
+use crate::actor::Wire;
+use crate::LockId;
+use dlm_core::{Effect, HierNode, Message, Mode, NodeId, ProtocolConfig};
+use dlm_naimi::{NaimiEffect, NaimiMessage, NaimiNode};
+
+/// A protocol-level notification back to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// Lock `LockId` was granted (in the requested mode).
+    Granted(LockId),
+    /// The U→W upgrade on `LockId` completed.
+    Upgraded(LockId),
+}
+
+/// One node's protocol state across all lock objects.
+#[derive(Debug, Clone)]
+pub enum ProtoStack {
+    /// Hierarchical protocol: one state machine per lock.
+    Hier(Vec<HierNode>),
+    /// Naimi–Trehel: one state machine per lock.
+    Naimi(Vec<NaimiNode>),
+}
+
+impl ProtoStack {
+    /// Build the per-lock protocol instances for node `me` out of `n` nodes
+    /// and `locks` lock objects. Node 0 initially holds every token (star
+    /// topology, as in the experiments).
+    pub fn new_hier(me: NodeId, locks: usize, config: ProtocolConfig) -> Self {
+        let nodes = (0..locks)
+            .map(|_| {
+                if me == NodeId(0) {
+                    HierNode::with_token(me, config)
+                } else {
+                    HierNode::new(me, NodeId(0), config)
+                }
+            })
+            .collect();
+        ProtoStack::Hier(nodes)
+    }
+
+    /// Naimi–Trehel equivalent of [`Self::new_hier`].
+    pub fn new_naimi(me: NodeId, locks: usize) -> Self {
+        let nodes = (0..locks)
+            .map(|_| {
+                if me == NodeId(0) {
+                    NaimiNode::with_token(me)
+                } else {
+                    NaimiNode::new(me, NodeId(0))
+                }
+            })
+            .collect();
+        ProtoStack::Naimi(nodes)
+    }
+
+    /// Immutable access to the hierarchical instance for `lock` (None when
+    /// running Naimi). Used by the post-run audits.
+    pub fn hier(&self, lock: LockId) -> Option<&HierNode> {
+        match self {
+            ProtoStack::Hier(v) => v.get(lock.index()),
+            ProtoStack::Naimi(_) => None,
+        }
+    }
+
+    /// Request `lock` in `mode` (mode ignored by Naimi: always exclusive).
+    pub fn acquire(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        out: &mut Vec<(NodeId, Wire)>,
+        events: &mut Vec<ProtoEvent>,
+    ) {
+        match self {
+            ProtoStack::Hier(v) => {
+                let effects = v[lock.index()]
+                    .on_acquire(mode)
+                    .expect("workload issues well-formed acquires");
+                absorb_hier(lock, effects, out, events);
+            }
+            ProtoStack::Naimi(v) => {
+                let effects = v[lock.index()]
+                    .on_acquire()
+                    .expect("workload issues well-formed acquires");
+                absorb_naimi(lock, effects, out, events);
+            }
+        }
+    }
+
+    /// Release `lock`.
+    pub fn release(
+        &mut self,
+        lock: LockId,
+        out: &mut Vec<(NodeId, Wire)>,
+        events: &mut Vec<ProtoEvent>,
+    ) {
+        match self {
+            ProtoStack::Hier(v) => {
+                let effects = v[lock.index()]
+                    .on_release()
+                    .expect("workload releases only held locks");
+                absorb_hier(lock, effects, out, events);
+            }
+            ProtoStack::Naimi(v) => {
+                let effects = v[lock.index()]
+                    .on_release()
+                    .expect("workload releases only held locks");
+                absorb_naimi(lock, effects, out, events);
+            }
+        }
+    }
+
+    /// Rule 7 upgrade on `lock` (hierarchical protocol only).
+    pub fn upgrade(
+        &mut self,
+        lock: LockId,
+        out: &mut Vec<(NodeId, Wire)>,
+        events: &mut Vec<ProtoEvent>,
+    ) {
+        match self {
+            ProtoStack::Hier(v) => {
+                let effects = v[lock.index()]
+                    .on_upgrade()
+                    .expect("workload upgrades only held U locks");
+                absorb_hier(lock, effects, out, events);
+            }
+            ProtoStack::Naimi(_) => panic!("Naimi has no upgrade operation"),
+        }
+    }
+
+    /// Route an incoming wire message to the right lock instance.
+    pub fn on_wire(
+        &mut self,
+        from: NodeId,
+        wire: Wire,
+        out: &mut Vec<(NodeId, Wire)>,
+        events: &mut Vec<ProtoEvent>,
+    ) {
+        match (self, wire) {
+            (ProtoStack::Hier(v), Wire::Hier { lock, message }) => {
+                let effects = v[lock.index()].on_message(from, message);
+                absorb_hier(lock, effects, out, events);
+            }
+            (ProtoStack::Naimi(v), Wire::Naimi { lock, message }) => {
+                let effects = v[lock.index()].on_message(from, message);
+                absorb_naimi(lock, effects, out, events);
+            }
+            _ => panic!("wire message for the wrong protocol"),
+        }
+    }
+}
+
+fn absorb_hier(
+    lock: LockId,
+    effects: Vec<Effect>,
+    out: &mut Vec<(NodeId, Wire)>,
+    events: &mut Vec<ProtoEvent>,
+) {
+    for effect in effects {
+        match effect {
+            Effect::Send { to, message } => out.push((to, Wire::Hier { lock, message })),
+            Effect::Granted { .. } => events.push(ProtoEvent::Granted(lock)),
+            Effect::Upgraded => events.push(ProtoEvent::Upgraded(lock)),
+        }
+    }
+}
+
+fn absorb_naimi(
+    lock: LockId,
+    effects: Vec<NaimiEffect>,
+    out: &mut Vec<(NodeId, Wire)>,
+    events: &mut Vec<ProtoEvent>,
+) {
+    for effect in effects {
+        match effect {
+            NaimiEffect::Send { to, message } => out.push((to, Wire::Naimi { lock, message })),
+            NaimiEffect::Granted => events.push(ProtoEvent::Granted(lock)),
+        }
+    }
+}
+
+/// Label a [`Wire`] by protocol message kind and lock class (table vs
+/// entry), for per-kind accounting in reports.
+pub fn wire_kind(wire: &Wire) -> &'static str {
+    match wire {
+        Wire::Hier { message, lock } => {
+            let table = *lock == LockId::TABLE;
+            match message {
+                Message::Request(_) if table => "request.table",
+                Message::Request(_) => "request.entry",
+                Message::Grant { .. } if table => "grant.table",
+                Message::Grant { .. } => "grant.entry",
+                Message::Token { .. } if table => "token.table",
+                Message::Token { .. } => "token.entry",
+                Message::Release { .. } if table => "release.table",
+                Message::Release { .. } => "release.entry",
+                Message::SetFrozen { .. } if table => "freeze.table",
+                Message::SetFrozen { .. } => "freeze.entry",
+            }
+        }
+        Wire::Naimi { message, lock } => {
+            let table = *lock == LockId::TABLE;
+            match message {
+                NaimiMessage::Request { .. } if table => "request.table",
+                NaimiMessage::Request { .. } => "request.entry",
+                NaimiMessage::Token if table => "token.table",
+                NaimiMessage::Token => "token.entry",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hier_stack_local_token_grant() {
+        let mut stack = ProtoStack::new_hier(NodeId(0), 3, ProtocolConfig::paper());
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        stack.acquire(LockId::TABLE, Mode::Read, &mut out, &mut events);
+        assert!(out.is_empty(), "token node grants itself locally");
+        assert_eq!(events, vec![ProtoEvent::Granted(LockId::TABLE)]);
+    }
+
+    #[test]
+    fn hier_stack_remote_sends_request() {
+        let mut stack = ProtoStack::new_hier(NodeId(1), 2, ProtocolConfig::paper());
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        stack.acquire(LockId::entry(0), Mode::Write, &mut out, &mut events);
+        assert_eq!(out.len(), 1);
+        assert!(events.is_empty());
+        let (to, wire) = &out[0];
+        assert_eq!(*to, NodeId(0));
+        assert_eq!(wire_kind(wire), "request.entry");
+        match wire {
+            Wire::Hier { lock, .. } => assert_eq!(*lock, LockId::entry(0)),
+            _ => panic!("wrong wire"),
+        }
+    }
+
+    #[test]
+    fn naimi_stack_round_trip_between_two_stacks() {
+        let mut a = ProtoStack::new_naimi(NodeId(0), 1, );
+        let mut b = ProtoStack::new_naimi(NodeId(1), 1);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        b.acquire(LockId::TABLE, Mode::Write, &mut out, &mut events);
+        let (to, wire) = out.pop().unwrap();
+        assert_eq!(to, NodeId(0));
+        a.on_wire(NodeId(1), wire, &mut out, &mut events);
+        let (to, wire) = out.pop().unwrap();
+        assert_eq!(to, NodeId(1));
+        assert_eq!(wire_kind(&wire), "token.table");
+        b.on_wire(NodeId(0), wire, &mut out, &mut events);
+        assert_eq!(events, vec![ProtoEvent::Granted(LockId::TABLE)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong protocol")]
+    fn cross_protocol_wire_panics() {
+        let mut a = ProtoStack::new_naimi(NodeId(0), 1);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        a.on_wire(
+            NodeId(1),
+            Wire::Hier {
+                lock: LockId::TABLE,
+                message: Message::Grant { mode: Mode::Read },
+            },
+            &mut out,
+            &mut events,
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Building and running one simulated experiment.
+
+use crate::actor::AppActor;
+use crate::params::{ProtocolKind, WorkloadParams};
+use crate::report::WorkloadReport;
+use crate::{LockId, Wire};
+use dlm_core::{audit, AuditError, InFlight, NodeId};
+use dlm_metrics::Histogram;
+use dlm_sim::{Sim, SimConfig};
+
+/// Run one workload to completion and aggregate the measurements.
+///
+/// Deterministic: the same `params` (including seed) produce bit-identical
+/// reports.
+pub fn run_workload(params: &WorkloadParams) -> WorkloadReport {
+    params.validate();
+    let actors: Vec<AppActor> = (0..params.nodes)
+        .map(|i| AppActor::new(NodeId(i as u32), *params))
+        .collect();
+    let mut sim = Sim::new(
+        actors,
+        SimConfig {
+            latency: params.latency,
+            two_site: params.geo,
+            seed: params.seed,
+            // Generous safety horizon: a run that exceeds it is stuck.
+            horizon: u64::MAX,
+            max_events: 50_000_000,
+        },
+    );
+    let stats = sim.run();
+    aggregate(params, sim.actors(), &stats)
+}
+
+/// Fold per-actor measurements into one report.
+fn aggregate(
+    params: &WorkloadParams,
+    actors: &[AppActor],
+    stats: &dlm_sim::RunStats,
+) -> WorkloadReport {
+    let mut request_latency = Histogram::new();
+    let mut op_latency = Histogram::new();
+    let mut op_latency_by_kind: [Histogram; 5] = Default::default();
+    let mut requests = 0;
+    let mut ops_completed = 0;
+    let mut upgrades = 0;
+    let mut sent_by_kind = dlm_metrics::CounterSet::new();
+    for actor in actors {
+        requests += actor.requests_issued;
+        ops_completed += actor.ops_completed as u64;
+        upgrades += actor.upgrades_done as u64;
+        request_latency.merge(&actor.request_latency);
+        op_latency.merge(&actor.op_latency);
+        sent_by_kind.merge(&actor.sent_by_kind);
+        for (agg, one) in op_latency_by_kind.iter_mut().zip(&actor.op_latency_by_kind) {
+            agg.merge(one);
+        }
+    }
+    WorkloadReport {
+        params: *params,
+        requests,
+        messages: stats.messages_sent,
+        ops_completed,
+        ops_expected: params.nodes as u64 * params.ops_per_node as u64,
+        upgrades,
+        end_time: stats.end_time,
+        quiesced: stats.quiesced,
+        request_latency,
+        op_latency,
+        op_latency_by_kind,
+        sent_by_kind,
+    }
+}
+
+/// Run a hierarchical-protocol workload and, at quiescence, audit every lock
+/// object's global state (single token, coherent tree/copysets, no stuck
+/// requests). Returns the report plus any violations (empty = clean).
+pub fn audit_hier_run(params: &WorkloadParams) -> (WorkloadReport, Vec<AuditError>) {
+    assert_eq!(
+        params.protocol,
+        ProtocolKind::Hier,
+        "auditing applies to the hierarchical protocol"
+    );
+    params.validate();
+    let actors: Vec<AppActor> = (0..params.nodes)
+        .map(|i| AppActor::new(NodeId(i as u32), *params))
+        .collect();
+    let mut sim = Sim::new(
+        actors,
+        SimConfig {
+            latency: params.latency,
+            two_site: params.geo,
+            seed: params.seed,
+            horizon: u64::MAX,
+            max_events: 50_000_000,
+        },
+    );
+    let stats = sim.run();
+
+    let mut errors = Vec::new();
+    for lock_idx in 0..params.lock_count() {
+        let lock = LockId(lock_idx as u32);
+        let nodes: Vec<dlm_core::HierNode> = sim
+            .actors()
+            .iter()
+            .map(|a| {
+                a.stack()
+                    .hier(lock)
+                    .expect("hier protocol stack")
+                    .clone()
+            })
+            .collect();
+        let in_flight: Vec<InFlight> = sim
+            .in_flight()
+            .filter_map(|(from, to, wire)| match wire {
+                Wire::Hier { lock: l, message } if *l == lock => Some(InFlight {
+                    from,
+                    to,
+                    message: message.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        errors.extend(audit(&nodes, &in_flight, stats.quiesced));
+    }
+
+    let report = aggregate(params, sim.actors(), &stats);
+    (report, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlm_sim::{LatencyModel, MICROS_PER_MS};
+
+    fn small(protocol: ProtocolKind, nodes: usize, seed: u64) -> WorkloadParams {
+        WorkloadParams {
+            nodes,
+            entries: 4,
+            cs_mean: 2 * MICROS_PER_MS,
+            idle_mean: 10 * MICROS_PER_MS,
+            ops_per_node: 10,
+            mix: Default::default(),
+            protocol,
+            hier_config: Default::default(),
+            latency: LatencyModel::uniform(MICROS_PER_MS),
+            seed,
+            // Exercise the full Rule 7 path in the correctness tests.
+            upgrade_u_ops: true,
+            geo: None,
+            hot_entry_percent: 0,
+        }
+    }
+
+    #[test]
+    fn hier_run_completes_and_audits_clean() {
+        let (report, errors) = audit_hier_run(&small(ProtocolKind::Hier, 6, 42));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert!(report.complete(), "{report:?}");
+        assert!(report.quiesced);
+        assert!(report.requests > 0);
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn naimi_pure_run_completes() {
+        let report = run_workload(&small(ProtocolKind::NaimiPure, 6, 42));
+        assert!(report.complete());
+        assert!(report.quiesced);
+    }
+
+    #[test]
+    fn naimi_same_work_issues_more_requests() {
+        let pure = run_workload(&small(ProtocolKind::NaimiPure, 6, 42));
+        let same = run_workload(&small(ProtocolKind::NaimiSameWork, 6, 42));
+        assert!(same.complete());
+        assert!(
+            same.requests > pure.requests,
+            "same-work expands whole-table ops into per-entry locks: {} vs {}",
+            same.requests,
+            pure.requests
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_workload(&small(ProtocolKind::Hier, 5, 7));
+        let b = run_workload(&small(ProtocolKind::Hier, 5, 7));
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.request_latency.mean(), b.request_latency.mean());
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let a = run_workload(&small(ProtocolKind::Hier, 5, 1));
+        let b = run_workload(&small(ProtocolKind::Hier, 5, 2));
+        assert_ne!(
+            (a.messages, a.end_time),
+            (b.messages, b.end_time),
+            "distinct seeds should give distinct traces"
+        );
+    }
+
+    #[test]
+    fn single_node_needs_no_messages() {
+        let report = run_workload(&small(ProtocolKind::Hier, 1, 3));
+        assert!(report.complete());
+        assert_eq!(
+            report.messages, 0,
+            "a lone token holder self-grants everything"
+        );
+        assert_eq!(report.request_latency.max(), 0);
+    }
+
+    #[test]
+    fn upgrades_happen_under_paper_mix() {
+        let mut p = small(ProtocolKind::Hier, 4, 11);
+        p.ops_per_node = 60;
+        let (report, errors) = audit_hier_run(&p);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert!(report.upgrades > 0, "4% of ops upgrade: {report:?}");
+    }
+}

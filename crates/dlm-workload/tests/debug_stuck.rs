@@ -1,0 +1,69 @@
+//! Diagnostic for the stuck-run scenario (kept as a regression test once
+//! fixed; the dump only prints on failure).
+
+use dlm_core::{NodeId, ProtocolConfig};
+use dlm_sim::{LatencyModel, Sim, SimConfig, MICROS_PER_MS};
+use dlm_workload::{AppActor, LockId, ModeMix, ProtocolKind, WorkloadParams};
+
+#[test]
+fn six_node_hier_run_is_live() {
+    let params = WorkloadParams {
+        nodes: 6,
+        entries: 4,
+        cs_mean: 2 * MICROS_PER_MS,
+        idle_mean: 10 * MICROS_PER_MS,
+        ops_per_node: 10,
+        mix: ModeMix::paper(),
+        protocol: ProtocolKind::Hier,
+        hier_config: ProtocolConfig::paper(),
+        latency: LatencyModel::uniform(MICROS_PER_MS),
+        seed: 42,
+        upgrade_u_ops: true,
+        geo: None,
+        hot_entry_percent: 0,
+    };
+    let actors: Vec<AppActor> = (0..params.nodes)
+        .map(|i| AppActor::new(NodeId(i as u32), params))
+        .collect();
+    let mut sim = Sim::new(
+        actors,
+        SimConfig {
+            latency: params.latency,
+            seed: params.seed,
+            ..Default::default()
+        },
+    );
+    sim.run();
+    let all_done = sim.actors().iter().all(|a| a.is_done());
+    if !all_done {
+        let mut dump = String::new();
+        for lock in 0..=params.entries {
+            let lock = LockId(lock);
+            let any_pending = sim
+                .actors()
+                .iter()
+                .any(|a| a.stack().hier(lock).unwrap().pending().is_some());
+            if !any_pending {
+                continue;
+            }
+            dump.push_str(&format!("== lock {lock} ==\n"));
+            for a in sim.actors() {
+                let n = a.stack().hier(lock).unwrap();
+                dump.push_str(&format!(
+                    "  {}: token={} parent={:?} owned={} held={} pending={:?}(upg={}) queue={:?} frozen={} copyset={:?}\n",
+                    n.id(),
+                    n.has_token(),
+                    n.parent(),
+                    n.owned(),
+                    n.held(),
+                    n.pending(),
+                    n.pending_is_upgrade(),
+                    n.queued().collect::<Vec<_>>(),
+                    n.frozen(),
+                    n.copyset(),
+                ));
+            }
+        }
+        panic!("run did not complete:\n{dump}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Tests for the workload extensions: hot-entry skew and the two-site
+//! (geo) topology.
+
+use dlm_core::ProtocolConfig;
+use dlm_sim::{LatencyModel, TwoSite, MICROS_PER_MS};
+use dlm_workload::{audit_hier_run, run_workload, ModeMix, ProtocolKind, WorkloadParams};
+
+fn base(protocol: ProtocolKind) -> WorkloadParams {
+    WorkloadParams {
+        nodes: 8,
+        entries: 4,
+        cs_mean: 2 * MICROS_PER_MS,
+        idle_mean: 8 * MICROS_PER_MS,
+        ops_per_node: 15,
+        mix: ModeMix::paper(),
+        protocol,
+        hier_config: ProtocolConfig::paper(),
+        latency: LatencyModel::uniform(MICROS_PER_MS),
+        seed: 77,
+        upgrade_u_ops: false,
+        geo: None,
+        hot_entry_percent: 0,
+    }
+}
+
+#[test]
+fn hot_skew_completes_and_audits_clean() {
+    for hot in [0u8, 50, 100] {
+        let mut params = base(ProtocolKind::Hier);
+        params.hot_entry_percent = hot;
+        let (report, errors) = audit_hier_run(&params);
+        assert!(errors.is_empty(), "hot={hot}: {errors:?}");
+        assert!(report.complete(), "hot={hot}");
+    }
+}
+
+#[test]
+fn full_skew_increases_naimi_contention() {
+    let uniform = run_workload(&base(ProtocolKind::NaimiPure));
+    let mut skewed_params = base(ProtocolKind::NaimiPure);
+    skewed_params.hot_entry_percent = 100;
+    let skewed = run_workload(&skewed_params);
+    assert!(skewed.complete());
+    assert!(
+        skewed.op_latency.mean() > uniform.op_latency.mean(),
+        "all ops on one exclusive entry must wait longer: {} vs {}",
+        skewed.op_latency.mean(),
+        uniform.op_latency.mean()
+    );
+}
+
+#[test]
+fn geo_topology_completes_and_audits_clean() {
+    let mut params = base(ProtocolKind::Hier);
+    params.geo = Some(TwoSite {
+        site_a: 4,
+        wan: LatencyModel::uniform(20 * MICROS_PER_MS),
+    });
+    let (report, errors) = audit_hier_run(&params);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert!(report.complete());
+}
+
+#[test]
+fn wan_latency_slows_cross_site_work() {
+    let near = run_workload(&base(ProtocolKind::Hier));
+    let mut far_params = base(ProtocolKind::Hier);
+    far_params.geo = Some(TwoSite {
+        site_a: 4,
+        wan: LatencyModel::uniform(50 * MICROS_PER_MS),
+    });
+    let far = run_workload(&far_params);
+    assert!(far.complete());
+    assert!(
+        far.end_time > near.end_time,
+        "a 50x WAN must stretch the run: {} vs {}",
+        far.end_time,
+        near.end_time
+    );
+    assert!(far.op_latency.mean() > near.op_latency.mean());
+}
+
+#[test]
+fn geo_is_deterministic_too() {
+    let mk = || {
+        let mut p = base(ProtocolKind::Hier);
+        p.geo = Some(TwoSite {
+            site_a: 4,
+            wan: LatencyModel::uniform(10 * MICROS_PER_MS),
+        });
+        run_workload(&p)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.end_time, b.end_time);
+}

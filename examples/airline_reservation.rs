@@ -1,0 +1,57 @@
+//! The paper's §4 motivating application: a multi-airline reservation
+//! system. Ticket prices live in a shared table; every node runs an agent
+//! issuing a realistic mix of lookups (IR+R), table scans (R), priced
+//! updates (U), single-seat bookings (IW+W) and full re-pricings (W).
+//!
+//! This example runs the workload on the discrete-event simulator under all
+//! three protocols of Figure 7 and prints the comparison the paper's
+//! evaluation is built on.
+//!
+//! Run with: `cargo run --release --example airline_reservation`
+
+use dlm::workload::{run_workload, ProtocolKind, WorkloadParams};
+
+fn main() {
+    let nodes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16usize);
+
+    println!("multi-airline reservation, {nodes} nodes, paper mix IR/R/U/IW/W = 80/10/4/5/1");
+    println!("(critical section ~15 ms, idle ~150 ms, WAN-ish 150 ms links)\n");
+    println!(
+        "{:<18} {:>9} {:>10} {:>10} {:>12} {:>12}",
+        "protocol", "ops", "requests", "messages", "msgs/req", "mean wait"
+    );
+
+    for protocol in [
+        ProtocolKind::Hier,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::NaimiSameWork,
+    ] {
+        let params = WorkloadParams::linux_cluster(nodes, protocol);
+        let report = run_workload(&params);
+        assert!(report.complete(), "workload must finish");
+        println!(
+            "{:<18} {:>9} {:>10} {:>10} {:>12.3} {:>9.1} ms",
+            protocol.label(),
+            report.ops_completed,
+            report.requests,
+            report.messages,
+            report.messages_per_request(),
+            report.op_latency.mean() / 1000.0,
+        );
+    }
+
+    println!("\nPer-kind traffic of the hierarchical protocol:");
+    let report = run_workload(&WorkloadParams::linux_cluster(nodes, ProtocolKind::Hier));
+    for (kind, count) in report.sent_by_kind.iter() {
+        println!("  {kind:<16} {count:>8}");
+    }
+    println!(
+        "\nNote the shape of the comparison: the hierarchical protocol does MORE\n\
+         work than naimi-pure (it really locks the whole table on table-level\n\
+         operations) with FEWER messages per request, while naimi-same-work\n\
+         pays for equivalent functionality with a superlinear latency blow-up."
+    );
+}

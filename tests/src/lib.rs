@@ -1,0 +1,27 @@
+//! Workspace-level integration tests live in this package's `tests/`
+//! directory; the library itself only hosts shared helpers.
+
+#![forbid(unsafe_code)]
+
+use dlm_core::ProtocolConfig;
+use dlm_sim::{LatencyModel, MICROS_PER_MS};
+use dlm_workload::{ModeMix, ProtocolKind, WorkloadParams};
+
+/// A small, fast workload configuration for integration tests.
+pub fn small_params(protocol: ProtocolKind, nodes: usize, seed: u64) -> WorkloadParams {
+    WorkloadParams {
+        nodes,
+        entries: 4,
+        cs_mean: 2 * MICROS_PER_MS,
+        idle_mean: 10 * MICROS_PER_MS,
+        ops_per_node: 12,
+        mix: ModeMix::paper(),
+        protocol,
+        hier_config: ProtocolConfig::paper(),
+        latency: LatencyModel::uniform(MICROS_PER_MS),
+        seed,
+        upgrade_u_ops: true,
+        geo: None,
+        hot_entry_percent: 0,
+    }
+}
