@@ -19,7 +19,12 @@ fn sample_messages() -> Vec<(LockId, Message)> {
                 priority: 0,
             }),
         ),
-        (LockId::TABLE, Message::Grant { mode: Mode::IntentRead }),
+        (
+            LockId::TABLE,
+            Message::Grant {
+                mode: Mode::IntentRead,
+            },
+        ),
         (
             LockId::TABLE,
             Message::Token {

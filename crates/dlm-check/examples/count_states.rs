@@ -11,5 +11,10 @@ fn main() {
         ProtocolConfig::paper(),
     );
     let r = explore(&s, 5_000_000);
-    println!("states={} terminals={} verified={}", r.states, r.terminals, r.verified());
+    println!(
+        "states={} terminals={} verified={}",
+        r.states,
+        r.terminals,
+        r.verified()
+    );
 }

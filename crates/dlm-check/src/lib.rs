@@ -354,7 +354,11 @@ mod tests {
         );
         let r = explore(&s, 4_000_000);
         assert!(r.verified(), "{r:?}");
-        assert!(r.states > 1_000, "expected a deep interleaving space, got {}", r.states);
+        assert!(
+            r.states > 1_000,
+            "expected a deep interleaving space, got {}",
+            r.states
+        );
     }
 
     #[test]
@@ -420,11 +424,7 @@ mod tests {
             3,
             vec![
                 vec![Op::Acquire(Mode::IntentRead), Op::Release],
-                vec![
-                    Op::Acquire(Mode::Upgrade),
-                    Op::Upgrade,
-                    Op::Release,
-                ],
+                vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
                 vec![Op::Acquire(Mode::Read), Op::Release],
             ],
             paper(),

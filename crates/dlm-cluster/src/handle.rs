@@ -3,6 +3,8 @@
 use crate::runtime::Input;
 use crossbeam::channel::{bounded, Sender};
 use dlm_core::{AcquireError, LockId, Mode, NodeId, ReleaseError, UpgradeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Application-visible failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,21 +34,32 @@ impl std::error::Error for ClusterError {}
 
 /// One-shot completion channel used by the node thread to answer a blocking
 /// application call.
-pub(crate) struct Reply(Sender<Result<(), ClusterError>>);
+pub(crate) struct Reply {
+    tx: Sender<Result<(), ClusterError>>,
+    dropped: Arc<AtomicU64>,
+}
 
 impl Reply {
     pub(crate) fn complete(self, result: Result<(), ClusterError>) {
-        // The application side may have given up (timeout); ignore.
-        let _ = self.0.send(result);
+        // The application side may have given up; an answer nobody hears is
+        // not an error, but it must not vanish silently either.
+        if self.tx.send(result).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
 /// One-shot boolean answer for `try_acquire`.
-pub(crate) struct TryReply(Sender<bool>);
+pub(crate) struct TryReply {
+    tx: Sender<bool>,
+    dropped: Arc<AtomicU64>,
+}
 
 impl TryReply {
     pub(crate) fn complete(self, granted: bool) {
-        let _ = self.0.send(granted);
+        if self.tx.send(granted).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -60,11 +73,16 @@ impl TryReply {
 pub struct NodeHandle {
     node: NodeId,
     tx: Sender<Input>,
+    replies_dropped: Arc<AtomicU64>,
 }
 
 impl NodeHandle {
-    pub(crate) fn new(node: NodeId, tx: Sender<Input>) -> Self {
-        NodeHandle { node, tx }
+    pub(crate) fn new(node: NodeId, tx: Sender<Input>, replies_dropped: Arc<AtomicU64>) -> Self {
+        NodeHandle {
+            node,
+            tx,
+            replies_dropped,
+        }
     }
 
     /// The node this handle drives.
@@ -74,8 +92,12 @@ impl NodeHandle {
 
     fn call(&self, make: impl FnOnce(Reply) -> Input) -> Result<(), ClusterError> {
         let (tx, rx) = bounded(1);
+        let reply = Reply {
+            tx,
+            dropped: Arc::clone(&self.replies_dropped),
+        };
         self.tx
-            .send(make(Reply(tx)))
+            .send(make(reply))
             .map_err(|_| ClusterError::Disconnected)?;
         rx.recv().map_err(|_| ClusterError::Disconnected)?
     }
@@ -94,7 +116,10 @@ impl NodeHandle {
             .send(Input::TryAcquire {
                 lock,
                 mode,
-                reply: TryReply(tx),
+                reply: TryReply {
+                    tx,
+                    dropped: Arc::clone(&self.replies_dropped),
+                },
             })
             .map_err(|_| ClusterError::Disconnected)?;
         rx.recv().map_err(|_| ClusterError::Disconnected)

@@ -26,3 +26,4 @@ pub use handle::{ClusterError, NodeHandle};
 pub use runtime::{Cluster, ClusterConfig, ClusterReport};
 
 pub use dlm_core::{LockId, Mode, NodeId};
+pub use dlm_trace::TraceRecord;

@@ -5,11 +5,12 @@ use crate::codec;
 use crate::handle::{ClusterError, NodeHandle, Reply};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlm_core::{audit, AuditError, Effect, HierNode, LockId, Mode, NodeId, ProtocolConfig};
+use dlm_trace::{merge_records, NullObserver, Observer, RingRecorder, Stamp, TraceRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +24,11 @@ pub struct ClusterConfig {
     /// Artificial one-way latency added by the router thread; `None` routes
     /// directly (FIFO per channel either way).
     pub delay: Option<Duration>,
+    /// Per-node flight-recorder capacity for structured protocol events;
+    /// `0` disables tracing (node threads then pay one branch per event
+    /// site). Retained records are merged at shutdown into
+    /// [`ClusterReport::trace`].
+    pub trace_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -32,6 +38,7 @@ impl Default for ClusterConfig {
             locks: 1,
             protocol: ProtocolConfig::paper(),
             delay: None,
+            trace_capacity: 0,
         }
     }
 }
@@ -70,16 +77,35 @@ pub struct ClusterReport {
     /// Per-lock audit findings on the final states (with the cluster
     /// quiesced, these should all be empty).
     pub audit_errors: Vec<AuditError>,
+    /// Merged structured event trace (wall-clock µs since cluster start;
+    /// empty when [`ClusterConfig::trace_capacity`] is 0). Ordered by
+    /// `(at, node)` with a fresh global sequence.
+    pub trace: Vec<TraceRecord>,
+    /// Events evicted from the per-node flight recorders before shutdown
+    /// (0 means [`Self::trace`] is complete).
+    pub trace_dropped: u64,
+    /// Completion replies whose application-side receiver had already gone
+    /// away (e.g. a handle dropped mid-call). Non-zero values mean some
+    /// caller never saw its outcome.
+    pub replies_dropped: u64,
 }
 
 /// An in-process cluster of protocol nodes.
 pub struct Cluster {
     inputs: Vec<Sender<Input>>,
-    joins: Vec<JoinHandle<Vec<HierNode>>>,
+    joins: Vec<JoinHandle<NodeExit>>,
     router_join: Option<JoinHandle<()>>,
     router_tx: Option<Sender<RouterMsg>>,
     messages: Arc<AtomicU64>,
+    replies_dropped: Arc<AtomicU64>,
     locks: usize,
+}
+
+/// What a node thread hands back at shutdown.
+struct NodeExit {
+    locks: Vec<HierNode>,
+    trace: Vec<TraceRecord>,
+    trace_dropped: u64,
 }
 
 enum RouterMsg {
@@ -97,6 +123,10 @@ impl Cluster {
         assert!(config.nodes >= 1);
         assert!(config.locks >= 1);
         let messages = Arc::new(AtomicU64::new(0));
+        let replies_dropped = Arc::new(AtomicU64::new(0));
+        // One epoch shared by every node thread, so wall-clock trace stamps
+        // are comparable across threads and merge into one timeline.
+        let epoch = Instant::now();
 
         let channels: Vec<(Sender<Input>, Receiver<Input>)> =
             (0..config.nodes).map(|_| unbounded()).collect();
@@ -124,7 +154,7 @@ impl Cluster {
             let cfg = config;
             let join = std::thread::Builder::new()
                 .name(format!("dlm-node-{i}"))
-                .spawn(move || node_loop(me, cfg, rx, outs, router, counter))
+                .spawn(move || node_loop(me, cfg, rx, outs, router, counter, epoch))
                 .expect("spawn node thread");
             joins.push(join);
         }
@@ -135,13 +165,18 @@ impl Cluster {
             router_join,
             router_tx,
             messages,
+            replies_dropped,
             locks: config.locks,
         }
     }
 
     /// A cloneable blocking handle to node `id`.
     pub fn handle(&self, id: u32) -> NodeHandle {
-        NodeHandle::new(NodeId(id), self.inputs[id as usize].clone())
+        NodeHandle::new(
+            NodeId(id),
+            self.inputs[id as usize].clone(),
+            Arc::clone(&self.replies_dropped),
+        )
     }
 
     /// Number of nodes.
@@ -157,6 +192,12 @@ impl Cluster {
     /// Protocol messages transmitted so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Completion replies dropped so far because the application-side
+    /// receiver was already gone (see [`ClusterReport::replies_dropped`]).
+    pub fn replies_dropped(&self) -> u64 {
+        self.replies_dropped.load(Ordering::Relaxed)
     }
 
     /// Crude quiescence wait: poll until the message counter stays stable
@@ -180,8 +221,13 @@ impl Cluster {
             let _ = tx.send(Input::Shutdown);
         }
         let mut states: Vec<Vec<HierNode>> = Vec::with_capacity(self.joins.len());
+        let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len());
+        let mut trace_dropped = 0;
         for join in self.joins {
-            states.push(join.join().expect("node thread panicked"));
+            let exit = join.join().expect("node thread panicked");
+            states.push(exit.locks);
+            traces.push(exit.trace);
+            trace_dropped += exit.trace_dropped;
         }
         if let Some(tx) = self.router_tx {
             let _ = tx.send(RouterMsg::Shutdown);
@@ -198,6 +244,9 @@ impl Cluster {
         ClusterReport {
             messages_sent: self.messages.load(Ordering::Relaxed),
             audit_errors,
+            trace: merge_records(traces),
+            trace_dropped,
+            replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -216,6 +265,27 @@ fn router_loop(rx: Receiver<RouterMsg>, outs: Vec<Sender<Input>>, delay: Duratio
     }
 }
 
+/// Drive one protocol entry point, stamping its events with wall-clock µs
+/// since the cluster epoch when this node records a trace.
+fn observed<T>(
+    recorder: &mut Option<RingRecorder>,
+    epoch: Instant,
+    lock: LockId,
+    f: impl FnOnce(&mut dyn Observer) -> T,
+) -> T {
+    match recorder {
+        Some(ring) => {
+            let mut stamp = Stamp {
+                at: epoch.elapsed().as_micros() as u64,
+                lock: lock.0,
+                sink: ring,
+            };
+            f(&mut stamp)
+        }
+        None => f(&mut NullObserver),
+    }
+}
+
 fn node_loop(
     me: NodeId,
     config: ClusterConfig,
@@ -223,7 +293,10 @@ fn node_loop(
     outs: Vec<Sender<Input>>,
     router: Option<Sender<RouterMsg>>,
     counter: Arc<AtomicU64>,
-) -> Vec<HierNode> {
+    epoch: Instant,
+) -> NodeExit {
+    let mut recorder: Option<RingRecorder> =
+        (config.trace_capacity > 0).then(|| RingRecorder::new(config.trace_capacity));
     let mut locks: Vec<HierNode> = (0..config.locks)
         .map(|_| {
             if me == NodeId(0) {
@@ -249,31 +322,37 @@ fn node_loop(
         }
     };
 
-    let absorb = |lock: LockId,
-                      effects: Vec<Effect>,
-                      waiters: &mut HashMap<LockId, Reply>,
-                      transmit: &mut dyn FnMut(NodeId, NodeId, LockId, &dlm_core::Message)| {
-        for effect in effects {
-            match effect {
-                Effect::Send { to, message } => transmit(me, to, lock, &message),
-                Effect::Granted { .. } | Effect::Upgraded => {
-                    if let Some(reply) = waiters.remove(&lock) {
-                        reply.complete(Ok(()));
+    let absorb =
+        |lock: LockId,
+         effects: Vec<Effect>,
+         waiters: &mut HashMap<LockId, Reply>,
+         transmit: &mut dyn FnMut(NodeId, NodeId, LockId, &dlm_core::Message)| {
+            for effect in effects {
+                match effect {
+                    Effect::Send { to, message } => transmit(me, to, lock, &message),
+                    Effect::Granted { .. } | Effect::Upgraded => {
+                        if let Some(reply) = waiters.remove(&lock) {
+                            reply.complete(Ok(()));
+                        }
                     }
                 }
             }
-        }
-    };
+        };
 
     while let Ok(input) = rx.recv() {
         match input {
             Input::Net { from, frame } => {
                 let (lock, message) = codec::decode(frame).expect("peer sends valid frames");
-                let effects = locks[lock.index()].on_message(from, message);
+                let effects = observed(&mut recorder, epoch, lock, |obs| {
+                    locks[lock.index()].on_message_observed(from, message, obs)
+                });
                 absorb(lock, effects, &mut waiters, &mut transmit);
             }
             Input::Acquire { lock, mode, reply } => {
-                match locks[lock.index()].on_acquire(mode) {
+                let result = observed(&mut recorder, epoch, lock, |obs| {
+                    locks[lock.index()].on_acquire_observed(mode, 0, obs)
+                });
+                match result {
                     Ok(effects) => {
                         waiters.insert(lock, reply);
                         absorb(lock, effects, &mut waiters, &mut transmit);
@@ -284,7 +363,10 @@ fn node_loop(
             Input::TryAcquire { lock, mode, reply } => {
                 let node = &mut locks[lock.index()];
                 if node.can_admit_locally(mode) {
-                    let effects = node.on_acquire(mode).expect("local admit is well-formed");
+                    let effects = observed(&mut recorder, epoch, lock, |obs| {
+                        node.on_acquire_observed(mode, 0, obs)
+                            .expect("local admit is well-formed")
+                    });
                     debug_assert!(effects
                         .iter()
                         .all(|e| matches!(e, Effect::Granted { .. } | Effect::Send { .. })));
@@ -294,22 +376,43 @@ fn node_loop(
                     reply.complete(false);
                 }
             }
-            Input::Upgrade { lock, reply } => match locks[lock.index()].on_upgrade() {
-                Ok(effects) => {
-                    waiters.insert(lock, reply);
-                    absorb(lock, effects, &mut waiters, &mut transmit);
+            Input::Upgrade { lock, reply } => {
+                let result = observed(&mut recorder, epoch, lock, |obs| {
+                    locks[lock.index()].on_upgrade_observed(obs)
+                });
+                match result {
+                    Ok(effects) => {
+                        waiters.insert(lock, reply);
+                        absorb(lock, effects, &mut waiters, &mut transmit);
+                    }
+                    Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
                 }
-                Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
-            },
-            Input::Release { lock, reply } => match locks[lock.index()].on_release() {
-                Ok(effects) => {
-                    absorb(lock, effects, &mut waiters, &mut transmit);
-                    reply.complete(Ok(()));
+            }
+            Input::Release { lock, reply } => {
+                let result = observed(&mut recorder, epoch, lock, |obs| {
+                    locks[lock.index()].on_release_observed(obs)
+                });
+                match result {
+                    Ok(effects) => {
+                        absorb(lock, effects, &mut waiters, &mut transmit);
+                        reply.complete(Ok(()));
+                    }
+                    Err(e) => reply.complete(Err(ClusterError::Release(e))),
                 }
-                Err(e) => reply.complete(Err(ClusterError::Release(e))),
-            },
+            }
             Input::Shutdown => break,
         }
     }
-    locks
+    let (trace, trace_dropped) = match recorder {
+        Some(ring) => {
+            let dropped = ring.dropped();
+            (ring.into_records(), dropped)
+        }
+        None => (Vec::new(), 0),
+    };
+    NodeExit {
+        locks,
+        trace,
+        trace_dropped,
+    }
 }

@@ -185,6 +185,52 @@ fn api_misuse_is_reported() {
 }
 
 #[test]
+fn trace_capture_matches_message_count() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 3,
+        locks: 2,
+        trace_capacity: 1 << 16,
+        ..Default::default()
+    });
+    let threads: Vec<_> = (0..3)
+        .map(|i| {
+            let h = c.handle(i);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    h.acquire(LockId::TABLE, Mode::IntentWrite).unwrap();
+                    h.acquire(LockId::entry(0), Mode::Write).unwrap();
+                    h.release(LockId::entry(0)).unwrap();
+                    h.release(LockId::TABLE).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+    assert_eq!(report.trace_dropped, 0, "capacity covers the whole run");
+    assert_eq!(report.replies_dropped, 0, "every caller saw its outcome");
+    assert!(!report.trace.is_empty());
+    // The 1:1 contract: one send-class event per transmitted message.
+    let sends = report
+        .trace
+        .iter()
+        .filter(|r| r.event.send_class().is_some())
+        .count() as u64;
+    assert_eq!(sends, report.messages_sent);
+    // Merged trace is one timeline: stamps non-decreasing, seq renumbered.
+    assert!(report.trace.windows(2).all(|w| w[0].at <= w[1].at));
+    assert!(report
+        .trace
+        .iter()
+        .enumerate()
+        .all(|(i, r)| r.seq == i as u64));
+}
+
+#[test]
 fn router_delay_variant_works() {
     let c = Cluster::new(ClusterConfig {
         nodes: 3,

@@ -35,9 +35,7 @@ impl From<u32> for NodeId {
 /// Convention used throughout this workspace for hierarchical data: id 0 is
 /// the coarsest granularity (e.g. a whole table) and ids `1..=E` are the
 /// finer-granularity objects underneath it (e.g. table entries).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LockId(pub u32);
 
 impl LockId {

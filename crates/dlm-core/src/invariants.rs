@@ -222,7 +222,9 @@ mod tests {
         // n0 (token) takes W locally; hand-craft n1 as a bogus R holder by
         // driving it with a forged grant.
         let eff = nodes[0].on_acquire(Mode::Write).unwrap();
-        assert!(eff.iter().any(|e| matches!(e, crate::Effect::Granted { .. })));
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, crate::Effect::Granted { .. })));
         let eff = nodes[1].on_acquire(Mode::Read).unwrap();
         assert_eq!(eff.len(), 1); // request sent, not granted
         let _ = nodes[1].on_message(NodeId(0), Message::Grant { mode: Mode::Read });
@@ -247,7 +249,9 @@ mod tests {
         };
         // One resident + one flying = 2 tokens: error.
         let errors = audit(&nodes, std::slice::from_ref(&flight), false);
-        assert!(errors.iter().any(|e| matches!(e, AuditError::TokenCount(2))));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::TokenCount(2))));
     }
 
     #[test]

@@ -58,3 +58,5 @@ pub use message::{Message, MessageKind, QueuedRequest, ALL_MESSAGE_KINDS};
 pub use node::HierNode;
 
 pub use dlm_modes::{Mode, ModeSet};
+
+pub use dlm_trace::{NullObserver, Observer, ProtocolEvent};

@@ -166,7 +166,10 @@ mod tests {
     fn kind_maps_every_variant() {
         let q = QueuedRequest::plain(NodeId(1), Mode::Read);
         assert_eq!(Message::Request(q).kind(), MessageKind::Request);
-        assert_eq!(Message::Grant { mode: Mode::Read }.kind(), MessageKind::Grant);
+        assert_eq!(
+            Message::Grant { mode: Mode::Read }.kind(),
+            MessageKind::Grant
+        );
         assert_eq!(
             Message::Token {
                 mode: Mode::Write,

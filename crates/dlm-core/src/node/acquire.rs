@@ -6,6 +6,7 @@ use crate::effect::Effect;
 use crate::error::{AcquireError, ReleaseError, UpgradeError};
 use crate::message::{Message, QueuedRequest};
 use dlm_modes::{compatible, Mode};
+use dlm_trace::{NullObserver, Observer, ProtocolEvent};
 
 impl HierNode {
     /// True if an [`Self::on_acquire`] for `mode` would be admitted locally,
@@ -38,7 +39,7 @@ impl HierNode {
     /// On a local admit, the returned effects contain [`Effect::Granted`]; on
     /// a sent request, the grant arrives later through [`Self::on_message`].
     pub fn on_acquire(&mut self, mode: Mode) -> Result<Vec<Effect>, AcquireError> {
-        self.on_acquire_with_priority(mode, 0)
+        self.on_acquire_observed(mode, 0, &mut NullObserver)
     }
 
     /// [`Self::on_acquire`] with a request priority (the prior-work
@@ -48,6 +49,19 @@ impl HierNode {
         &mut self,
         mode: Mode,
         priority: u8,
+    ) -> Result<Vec<Effect>, AcquireError> {
+        self.on_acquire_observed(mode, priority, &mut NullObserver)
+    }
+
+    /// [`Self::on_acquire_with_priority`] with an [`Observer`] receiving the
+    /// structured protocol events of this operation. All acquire entry
+    /// points funnel here; the plain variants pass [`NullObserver`], which
+    /// costs one branch per potential event.
+    pub fn on_acquire_observed(
+        &mut self,
+        mode: Mode,
+        priority: u8,
+        obs: &mut dyn Observer,
     ) -> Result<Vec<Effect>, AcquireError> {
         if mode == Mode::NoLock {
             return Err(AcquireError::NoLockRequested);
@@ -75,30 +89,43 @@ impl HierNode {
                 self.held = mode;
                 self.owned = self.recompute_owned();
                 effects.push(Effect::Granted { mode });
-                self.refresh_frozen(&mut effects);
+                if obs.enabled() {
+                    obs.emit(self.id.0, ProtocolEvent::LocalGrant { mode });
+                }
+                self.refresh_frozen(&mut effects, obs);
             } else {
                 self.pending = Some(req);
-                self.enqueue(req);
-                self.refresh_frozen(&mut effects);
+                self.enqueue(req, obs);
+                self.refresh_frozen(&mut effects, obs);
             }
             return Ok(effects);
         }
 
         // Non-token node, Rule 2.
-        let local_ok = self.owned.ge(mode)
-            && compatible(self.owned, mode)
-            && !self.frozen.contains(mode);
+        let local_ok =
+            self.owned.ge(mode) && compatible(self.owned, mode) && !self.frozen.contains(mode);
         if local_ok {
             self.held = mode;
             // owned already dominates `mode`; it does not change.
             debug_assert_eq!(self.recompute_owned(), self.owned);
             effects.push(Effect::Granted { mode });
+            if obs.enabled() {
+                obs.emit(self.id.0, ProtocolEvent::LocalGrant { mode });
+            }
         } else {
             self.pending = Some(req);
-            let parent = self
-                .parent
-                .expect("non-token node always has a parent");
+            let parent = self.parent.expect("non-token node always has a parent");
             effects.push(Effect::send(parent, Message::Request(req)));
+            if obs.enabled() {
+                obs.emit(
+                    self.id.0,
+                    ProtocolEvent::RequestSent {
+                        to: parent.0,
+                        mode,
+                        upgrade: false,
+                    },
+                );
+            }
         }
         Ok(effects)
     }
@@ -109,11 +136,23 @@ impl HierNode {
     /// that compatibility checks exclude the requester's own `U`
     /// contribution — upgrades only wait for *other* nodes.
     pub fn on_upgrade(&mut self) -> Result<Vec<Effect>, UpgradeError> {
+        self.on_upgrade_observed(&mut NullObserver)
+    }
+
+    /// [`Self::on_upgrade`] with an [`Observer`] receiving the structured
+    /// protocol events of this operation.
+    pub fn on_upgrade_observed(
+        &mut self,
+        obs: &mut dyn Observer,
+    ) -> Result<Vec<Effect>, UpgradeError> {
         if self.held != Mode::Upgrade {
             return Err(UpgradeError::NotHoldingUpgradeLock(self.held));
         }
         if let Some(p) = self.pending {
             return Err(UpgradeError::AlreadyPending(p.mode));
+        }
+        if obs.enabled() {
+            obs.emit(self.id.0, ProtocolEvent::UpgradeStarted);
         }
 
         let req = QueuedRequest {
@@ -134,11 +173,14 @@ impl HierNode {
                 self.held = Mode::Write;
                 self.owned = self.recompute_owned();
                 effects.push(Effect::Upgraded);
-                self.refresh_frozen(&mut effects);
+                if obs.enabled() {
+                    obs.emit(self.id.0, ProtocolEvent::Upgraded);
+                }
+                self.refresh_frozen(&mut effects, obs);
             } else {
                 self.pending = Some(req);
-                self.enqueue(req);
-                self.refresh_frozen(&mut effects);
+                self.enqueue(req, obs);
+                self.refresh_frozen(&mut effects, obs);
             }
             return Ok(effects);
         }
@@ -146,6 +188,16 @@ impl HierNode {
         self.pending = Some(req);
         let parent = self.parent.expect("non-token node always has a parent");
         effects.push(Effect::send(parent, Message::Request(req)));
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::RequestSent {
+                    to: parent.0,
+                    mode: Mode::Write,
+                    upgrade: true,
+                },
+            );
+        }
         Ok(effects)
     }
 
@@ -156,6 +208,15 @@ impl HierNode {
     /// (unless release suppression is ablated, in which case it always
     /// notifies — the "eager variant" of §3.2).
     pub fn on_release(&mut self) -> Result<Vec<Effect>, ReleaseError> {
+        self.on_release_observed(&mut NullObserver)
+    }
+
+    /// [`Self::on_release`] with an [`Observer`] receiving the structured
+    /// protocol events of this operation.
+    pub fn on_release_observed(
+        &mut self,
+        obs: &mut dyn Observer,
+    ) -> Result<Vec<Effect>, ReleaseError> {
         if self.held == Mode::NoLock {
             return Err(ReleaseError::NotHeld);
         }
@@ -170,16 +231,21 @@ impl HierNode {
 
         let mut effects = Vec::new();
         if self.has_token {
-            self.serve_queue_token(&mut effects);
+            self.serve_queue_token(&mut effects, obs);
         } else {
-            self.propagate_weakening(old_owned, &mut effects);
+            self.propagate_weakening(old_owned, &mut effects, obs);
         }
         Ok(effects)
     }
 
     /// Rule 5.2 (plus the eager-release ablation): tell the parent about an
     /// owned-mode change if warranted.
-    pub(crate) fn propagate_weakening(&mut self, old_owned: Mode, effects: &mut Vec<Effect>) {
+    pub(crate) fn propagate_weakening(
+        &mut self,
+        old_owned: Mode,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         let weakened = self.owned != old_owned && old_owned.ge(self.owned);
         let notify = if self.config.release_suppression {
             weakened
@@ -188,13 +254,24 @@ impl HierNode {
         };
         if notify {
             if let Some(parent) = self.parent {
+                let ack = self.release_ack(parent);
                 effects.push(Effect::send(
                     parent,
                     Message::Release {
                         new_owned: self.owned,
-                        ack: self.release_ack(parent),
+                        ack,
                     },
                 ));
+                if obs.enabled() {
+                    obs.emit(
+                        self.id.0,
+                        ProtocolEvent::ReleaseSent {
+                            to: parent.0,
+                            new_owned: self.owned,
+                            ack,
+                        },
+                    );
+                }
                 if self.owned == Mode::NoLock {
                     // Reporting NoLock removes us from the parent's copyset.
                     // (If the report is dropped as stale, the grant that made

@@ -7,31 +7,48 @@ use crate::message::{Message, QueuedRequest};
 use dlm_modes::{
     child_can_grant, compatible, queue_or_forward, Mode, ModeSet, QueueOrForward, REQUEST_MODES,
 };
+use dlm_trace::{NullObserver, Observer, ProtocolEvent};
 
 impl HierNode {
     /// Dispatch a received protocol message. `from` is the transport-level
     /// sender (the immediate hop, not necessarily the original requester).
     pub fn on_message(&mut self, from: NodeId, message: Message) -> Vec<Effect> {
+        self.on_message_observed(from, message, &mut NullObserver)
+    }
+
+    /// [`Self::on_message`] with an [`Observer`] receiving the structured
+    /// protocol events of this operation.
+    pub fn on_message_observed(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        obs: &mut dyn Observer,
+    ) -> Vec<Effect> {
         let mut effects = Vec::new();
         match message {
-            Message::Request(req) => self.handle_request(req, &mut effects),
-            Message::Grant { mode } => self.handle_grant(from, mode, &mut effects),
+            Message::Request(req) => self.handle_request(req, &mut effects, obs),
+            Message::Grant { mode } => self.handle_grant(from, mode, &mut effects, obs),
             Message::Token {
                 mode,
                 granter_owned,
                 queue,
                 frozen,
-            } => self.handle_token(from, mode, granter_owned, queue, frozen, &mut effects),
+            } => self.handle_token(from, mode, granter_owned, queue, frozen, &mut effects, obs),
             Message::Release { new_owned, ack } => {
-                self.handle_release(from, new_owned, ack, &mut effects)
+                self.handle_release(from, new_owned, ack, &mut effects, obs)
             }
-            Message::SetFrozen { modes } => self.handle_set_frozen(modes, &mut effects),
+            Message::SetFrozen { modes } => self.handle_set_frozen(modes, &mut effects, obs),
         }
         effects
     }
 
     /// Rules 3, 4 and 6: a request reached this node.
-    fn handle_request(&mut self, req: QueuedRequest, effects: &mut Vec<Effect>) {
+    fn handle_request(
+        &mut self,
+        req: QueuedRequest,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         if req.from == self.id {
             // A request can only chase its own sender through stale routing
             // after its answer already arrived; re-issue it if it is somehow
@@ -42,19 +59,34 @@ impl HierNode {
             if self.pending == Some(req) && !self.has_token {
                 let parent = self.parent.expect("non-token node has a parent");
                 effects.push(Effect::send(parent, Message::Request(req)));
+                if obs.enabled() {
+                    obs.emit(
+                        self.id.0,
+                        ProtocolEvent::RequestSent {
+                            to: parent.0,
+                            mode: req.mode,
+                            upgrade: req.upgrade,
+                        },
+                    );
+                }
             }
             return;
         }
 
         if self.has_token {
-            self.token_handle_request(req, effects);
+            self.token_handle_request(req, effects, obs);
         } else {
-            self.nontoken_handle_request(req, effects);
+            self.nontoken_handle_request(req, effects, obs);
         }
     }
 
     /// Rule 3.2 + Rule 4.2 + Rule 6 at the token node.
-    fn token_handle_request(&mut self, req: QueuedRequest, effects: &mut Vec<Effect>) {
+    fn token_handle_request(
+        &mut self,
+        req: QueuedRequest,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         let eff_owned = if req.upgrade {
             self.owned_excluding(req.from)
         } else {
@@ -67,29 +99,34 @@ impl HierNode {
         let grantable = compatible(eff_owned, req.mode) && !self.frozen.contains(req.mode);
         if grantable {
             if !req.upgrade && self.keeps_token_for(eff_owned, req.mode) {
-                self.grant_copy(req, effects);
+                self.grant_copy(req, effects, obs);
             } else {
                 // Stronger than everything owned (for an upgrade:
                 // everything else is quiescent): move the token.
-                self.grant_token_transfer(req, effects);
+                self.grant_token_transfer(req, effects, obs);
                 return;
             }
         } else {
             // Rule 4.2: the token node queues what it cannot grant,
             // then freezes bypass-capable modes (Rule 6 / Table 1(d)).
-            self.enqueue(req);
+            self.enqueue(req, obs);
         }
-        self.refresh_frozen(effects);
+        self.refresh_frozen(effects, obs);
     }
 
     /// Rule 3.1 + Rule 4.1 at a non-token node.
-    fn nontoken_handle_request(&mut self, req: QueuedRequest, effects: &mut Vec<Effect>) {
+    fn nontoken_handle_request(
+        &mut self,
+        req: QueuedRequest,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         let grantable = self.protocol_config().child_grants
             && !req.upgrade
             && child_can_grant(self.owned, req.mode)
             && !self.frozen.contains(req.mode);
         if grantable {
-            self.grant_copy(req, effects);
+            self.grant_copy(req, effects, obs);
             return;
         }
         // Rule 4.1 / Table 1(c): queue locally or forward to the parent,
@@ -101,7 +138,7 @@ impl HierNode {
             QueueOrForward::Forward
         };
         match decision {
-            QueueOrForward::Queue => self.enqueue(req),
+            QueueOrForward::Queue => self.enqueue(req, obs),
             QueueOrForward::Forward => {
                 // Note: unlike Naimi's protocol, the forwarder must NOT
                 // re-point its parent at the requester. Table 1(c)
@@ -116,6 +153,16 @@ impl HierNode {
                 // eager_idle_transfer`).
                 let parent = self.parent.expect("non-token node has a parent");
                 effects.push(Effect::send(parent, Message::Request(req)));
+                if obs.enabled() {
+                    obs.emit(
+                        self.id.0,
+                        ProtocolEvent::RequestForwarded {
+                            to: parent.0,
+                            requester: req.from.0,
+                            mode: req.mode,
+                        },
+                    );
+                }
             }
         }
     }
@@ -124,18 +171,40 @@ impl HierNode {
     /// We hold the mode, re-parent under the granter (path compression) and
     /// re-examine anything we queued while waiting (Rule 4 trigger
     /// "the pending request comes through").
-    fn handle_grant(&mut self, from: NodeId, mode: Mode, effects: &mut Vec<Effect>) {
+    fn handle_grant(
+        &mut self,
+        from: NodeId,
+        mode: Mode,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         debug_assert_eq!(self.pending.map(|p| p.mode), Some(mode));
         debug_assert!(!self.pending.map(|p| p.upgrade).unwrap_or(false));
         self.count_grant_received(from);
-        self.detach_from_old_parent(from, effects);
+        self.detach_from_old_parent(from, effects, obs);
+        let old_parent = self.parent;
         self.pending = None;
         self.held = mode;
         self.parent = Some(from);
         self.registered = true;
         self.owned = self.recompute_owned();
         effects.push(Effect::Granted { mode });
-        self.serve_queue_nontoken(effects);
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::GrantReceived { from: from.0, mode },
+            );
+            if old_parent != Some(from) {
+                obs.emit(
+                    self.id.0,
+                    ProtocolEvent::ParentChanged {
+                        old: old_parent.map(|p| p.0),
+                        new: Some(from.0),
+                    },
+                );
+            }
+        }
+        self.serve_queue_nontoken(effects, obs);
     }
 
     /// On re-parenting to `new_parent`, clear any copyset entry the *old*
@@ -150,7 +219,12 @@ impl HierNode {
     /// node's whole subtree and the old parent's entry is redundant — but
     /// left in place it would never be cleaned (releases go to the new
     /// parent only) and would starve incompatible requests forever.
-    fn detach_from_old_parent(&mut self, new_parent: NodeId, effects: &mut Vec<Effect>) {
+    fn detach_from_old_parent(
+        &mut self,
+        new_parent: NodeId,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         if !self.registered {
             return;
         }
@@ -160,19 +234,31 @@ impl HierNode {
         if old_parent == new_parent {
             return;
         }
+        let ack = self.release_ack(old_parent);
         effects.push(Effect::send(
             old_parent,
             Message::Release {
                 new_owned: Mode::NoLock,
-                ack: self.release_ack(old_parent),
+                ack,
             },
         ));
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::ReleaseSent {
+                    to: old_parent.0,
+                    new_owned: Mode::NoLock,
+                    ack,
+                },
+            );
+        }
         self.registered = false;
     }
 
     /// Rule 3.2 token receipt: we are the new token node. Adopt the old
     /// token node as a child, merge the carried queue ahead of our local one
     /// (it is older in the distributed FIFO), then serve.
+    #[allow(clippy::too_many_arguments)]
     fn handle_token(
         &mut self,
         from: NodeId,
@@ -181,19 +267,42 @@ impl HierNode {
         carried_queue: std::collections::VecDeque<QueuedRequest>,
         carried_frozen: ModeSet,
         effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
     ) {
         debug_assert_eq!(self.pending.map(|p| p.mode), Some(mode));
         self.count_grant_received(from);
-        self.detach_from_old_parent(from, effects);
+        self.detach_from_old_parent(from, effects, obs);
+        let old_parent = self.parent;
         let upgrade = self.pending.map(|p| p.upgrade).unwrap_or(false);
         self.pending = None;
         self.has_token = true;
         self.parent = None;
         self.registered = false;
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::TokenReceived {
+                    from: from.0,
+                    queued: carried_queue.len(),
+                },
+            );
+            if old_parent.is_some() {
+                obs.emit(
+                    self.id.0,
+                    ProtocolEvent::ParentChanged {
+                        old: old_parent.map(|p| p.0),
+                        new: None,
+                    },
+                );
+            }
+        }
         if upgrade {
             debug_assert_eq!(self.held, Mode::Upgrade);
             self.held = Mode::Write;
             effects.push(Effect::Upgraded);
+            if obs.enabled() {
+                obs.emit(self.id.0, ProtocolEvent::Upgraded);
+            }
         } else {
             self.held = mode;
             effects.push(Effect::Granted { mode });
@@ -212,12 +321,30 @@ impl HierNode {
         self.queue
             .retain(|q| !(q.from == me && q.mode == mode && q.upgrade == upgrade));
         self.frozen = carried_frozen;
-        self.serve_queue_token(effects);
+        self.serve_queue_token(effects, obs);
     }
 
     /// Rule 5 release receipt: a copyset child's owned mode changed.
-    fn handle_release(&mut self, from: NodeId, new_owned: Mode, ack: u64, effects: &mut Vec<Effect>) {
-        if self.release_is_stale(from, ack) {
+    fn handle_release(
+        &mut self,
+        from: NodeId,
+        new_owned: Mode,
+        ack: u64,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
+        let stale = self.release_is_stale(from, ack);
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::ReleaseApplied {
+                    from: from.0,
+                    new_owned,
+                    stale,
+                },
+            );
+        }
+        if stale {
             // A grant to `from` is (or was) in flight when this release was
             // emitted: the release predates state this node already pushed
             // toward `from`, so applying it would erase a live grant from the
@@ -231,17 +358,22 @@ impl HierNode {
         self.owned = self.recompute_owned();
         if self.has_token {
             // Rule 5.1: weakened ownership may unblock queued requests.
-            self.serve_queue_token(effects);
+            self.serve_queue_token(effects, obs);
         } else {
             // Rule 5.2: propagate the weakening toward the token if our own
             // aggregate changed (always, under the eager-release ablation).
-            self.propagate_weakening(old_owned, effects);
+            self.propagate_weakening(old_owned, effects, obs);
         }
     }
 
     /// Rule 6 transitive freezing: replace our frozen set with the parent's
     /// and forward to copyset children for which the change matters.
-    fn handle_set_frozen(&mut self, modes: ModeSet, effects: &mut Vec<Effect>) {
+    fn handle_set_frozen(
+        &mut self,
+        modes: ModeSet,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         if self.has_token {
             // Stale: we became the token after this was sent; our own queue
             // now defines the frozen set.
@@ -252,6 +384,13 @@ impl HierNode {
         if old == modes {
             return;
         }
+        if obs.enabled() {
+            if modes.is_empty() {
+                obs.emit(self.id.0, ProtocolEvent::Unfrozen);
+            } else {
+                obs.emit(self.id.0, ProtocolEvent::Frozen { modes });
+            }
+        }
         let delta = modes.difference(old).union(old.difference(modes));
         let children: Vec<(NodeId, Mode)> = self.copyset.iter().map(|(&c, &m)| (c, m)).collect();
         for (child, child_mode) in children {
@@ -261,6 +400,9 @@ impl HierNode {
             if relevant {
                 self.frozen_sent.insert(child, modes);
                 effects.push(Effect::send(child, Message::SetFrozen { modes }));
+                if obs.enabled() {
+                    obs.emit(self.id.0, ProtocolEvent::FreezeSent { to: child.0, modes });
+                }
             }
         }
     }

@@ -8,6 +8,7 @@ use crate::config::ProtocolConfig;
 use crate::ids::NodeId;
 use crate::message::QueuedRequest;
 use dlm_modes::{Mode, ModeSet};
+use dlm_trace::{Observer, ProtocolEvent};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One node's instance of the hierarchical locking protocol for one lock
@@ -194,9 +195,7 @@ impl HierNode {
 
     /// Recompute the owned mode from held + copyset (Definition 3).
     pub(crate) fn recompute_owned(&self) -> Mode {
-        self.copyset
-            .values()
-            .fold(self.held, |acc, &m| acc.join(m))
+        self.copyset.values().fold(self.held, |acc, &m| acc.join(m))
     }
 
     /// The owned mode with node `who`'s copyset contribution removed, and —
@@ -233,13 +232,23 @@ impl HierNode {
     /// strictly lower priority, after everything of equal or higher priority
     /// (stable ⇒ FIFO within a priority level; all-zero priorities reproduce
     /// the paper's plain FIFO exactly).
-    pub(crate) fn enqueue(&mut self, req: QueuedRequest) {
+    pub(crate) fn enqueue(&mut self, req: QueuedRequest, obs: &mut dyn Observer) {
         let at = self
             .queue
             .iter()
             .position(|q| q.priority < req.priority)
             .unwrap_or(self.queue.len());
         self.queue.insert(at, req);
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::RequestQueued {
+                    requester: req.from.0,
+                    mode: req.mode,
+                    depth: self.queue.len(),
+                },
+            );
+        }
     }
 
     /// Record that a grant (copy or token) is being sent to `to`.

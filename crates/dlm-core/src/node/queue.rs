@@ -4,6 +4,7 @@ use super::HierNode;
 use crate::effect::Effect;
 use crate::message::{Message, QueuedRequest};
 use dlm_modes::{child_can_grant, compatible, freeze_set, Mode, ModeSet, REQUEST_MODES};
+use dlm_trace::{Observer, ProtocolEvent};
 
 impl HierNode {
     /// Rule 5.1 queue service at the token node.
@@ -14,7 +15,7 @@ impl HierNode {
     /// granted, no later entry incompatible with it may overtake. A grant
     /// that must move the token ships the *remaining* queue along with it and
     /// ends this node's authority.
-    pub(crate) fn serve_queue_token(&mut self, effects: &mut Vec<Effect>) {
+    pub(crate) fn serve_queue_token(&mut self, effects: &mut Vec<Effect>, obs: &mut dyn Observer) {
         debug_assert!(self.has_token);
         'rescan: loop {
             let mut blocked = ModeSet::EMPTY;
@@ -45,14 +46,24 @@ impl HierNode {
                     continue;
                 }
                 self.queue.remove(i);
+                if obs.enabled() {
+                    obs.emit(
+                        self.id.0,
+                        ProtocolEvent::QueueServed {
+                            requester: entry.from.0,
+                            mode: entry.mode,
+                            depth: self.queue.len(),
+                        },
+                    );
+                }
                 if entry.from == self.id {
-                    self.grant_self(entry, effects);
+                    self.grant_self(entry, effects, obs);
                 } else if !entry.upgrade && self.keeps_token_for(eff_owned, entry.mode) {
-                    self.grant_copy(entry, effects);
+                    self.grant_copy(entry, effects, obs);
                 } else {
                     // Stronger than everything owned: the token itself moves,
                     // along with whatever is still queued.
-                    self.grant_token_transfer(entry, effects);
+                    self.grant_token_transfer(entry, effects, obs);
                     return;
                 }
                 // Owned may have changed (self-grant) and an entry was
@@ -61,7 +72,7 @@ impl HierNode {
             }
             break;
         }
-        self.refresh_frozen(effects);
+        self.refresh_frozen(effects, obs);
     }
 
     /// Queue service at a non-token node after its own pending request was
@@ -71,35 +82,71 @@ impl HierNode {
     /// granted; the rest are forwarded to the parent — their queueing
     /// justification (Table 1(c)) referred to the pending mode that has just
     /// been resolved, so holding them longer could strand them.
-    pub(crate) fn serve_queue_nontoken(&mut self, effects: &mut Vec<Effect>) {
+    pub(crate) fn serve_queue_nontoken(
+        &mut self,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         debug_assert!(!self.has_token);
         let entries: Vec<QueuedRequest> = self.queue.drain(..).collect();
-        for entry in entries {
+        let total = entries.len();
+        for (i, entry) in entries.into_iter().enumerate() {
+            if obs.enabled() {
+                obs.emit(
+                    self.id.0,
+                    ProtocolEvent::QueueServed {
+                        requester: entry.from.0,
+                        mode: entry.mode,
+                        depth: total - i - 1,
+                    },
+                );
+            }
             let grantable = self.config.child_grants
                 && !entry.upgrade
                 && entry.from != self.id
                 && child_can_grant(self.owned, entry.mode)
                 && !self.frozen.contains(entry.mode);
             if grantable {
-                self.grant_copy(entry, effects);
+                self.grant_copy(entry, effects, obs);
             } else {
                 let parent = self.parent.expect("non-token node has a parent");
                 effects.push(Effect::send(parent, Message::Request(entry)));
+                if obs.enabled() {
+                    obs.emit(
+                        self.id.0,
+                        ProtocolEvent::RequestForwarded {
+                            to: parent.0,
+                            requester: entry.from.0,
+                            mode: entry.mode,
+                        },
+                    );
+                }
             }
         }
     }
 
     /// Grant the local application's queued request (token node only).
-    pub(crate) fn grant_self(&mut self, entry: QueuedRequest, effects: &mut Vec<Effect>) {
+    pub(crate) fn grant_self(
+        &mut self,
+        entry: QueuedRequest,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         debug_assert_eq!(entry.from, self.id);
         self.pending = None;
         if entry.upgrade {
             debug_assert_eq!(self.held, Mode::Upgrade);
             self.held = Mode::Write;
             effects.push(Effect::Upgraded);
+            if obs.enabled() {
+                obs.emit(self.id.0, ProtocolEvent::Upgraded);
+            }
         } else {
             self.held = entry.mode;
             effects.push(Effect::Granted { mode: entry.mode });
+            if obs.enabled() {
+                obs.emit(self.id.0, ProtocolEvent::LocalGrant { mode: entry.mode });
+            }
         }
         self.owned = self.recompute_owned();
     }
@@ -125,7 +172,12 @@ impl HierNode {
     /// Legal when `owned >= entry.mode` (then `owned` is unchanged) or at an
     /// idle token retaining the token for a shared mode (then `owned`
     /// becomes the granted mode).
-    pub(crate) fn grant_copy(&mut self, entry: QueuedRequest, effects: &mut Vec<Effect>) {
+    pub(crate) fn grant_copy(
+        &mut self,
+        entry: QueuedRequest,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         debug_assert!(self.owned.ge(entry.mode) || (self.has_token && self.owned == Mode::NoLock));
         let recorded = self
             .copyset
@@ -136,13 +188,30 @@ impl HierNode {
         self.copyset.insert(entry.from, recorded);
         self.owned = self.recompute_owned();
         self.count_grant_sent(entry.from);
-        effects.push(Effect::send(entry.from, Message::Grant { mode: entry.mode }));
+        effects.push(Effect::send(
+            entry.from,
+            Message::Grant { mode: entry.mode },
+        ));
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::ChildGrant {
+                    to: entry.from.0,
+                    mode: entry.mode,
+                },
+            );
+        }
     }
 
     /// Rule 3.2 token transfer: the requested mode exceeds everything owned.
     /// The old token node becomes a child of the requester; the residual
     /// queue and frozen set travel with the token (DESIGN.md §3 item 2).
-    pub(crate) fn grant_token_transfer(&mut self, entry: QueuedRequest, effects: &mut Vec<Effect>) {
+    pub(crate) fn grant_token_transfer(
+        &mut self,
+        entry: QueuedRequest,
+        effects: &mut Vec<Effect>,
+        obs: &mut dyn Observer,
+    ) {
         debug_assert!(self.has_token);
         debug_assert_ne!(entry.from, self.id);
         // The requester stops being our child: its mode (e.g. the U of an
@@ -162,6 +231,23 @@ impl HierNode {
         self.registered = self.owned != Mode::NoLock;
 
         self.count_grant_sent(entry.from);
+        if obs.enabled() {
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::TokenSent {
+                    to: entry.from.0,
+                    mode: entry.mode,
+                    queued: queue.len(),
+                },
+            );
+            obs.emit(
+                self.id.0,
+                ProtocolEvent::ParentChanged {
+                    old: None,
+                    new: Some(entry.from.0),
+                },
+            );
+        }
         effects.push(Effect::send(
             entry.from,
             Message::Token {
@@ -176,7 +262,7 @@ impl HierNode {
     /// Rule 6 / Table 1(d): recompute the frozen set at the token node from
     /// the queued requests and push deltas to copyset children that could
     /// otherwise grant a frozen mode.
-    pub(crate) fn refresh_frozen(&mut self, effects: &mut Vec<Effect>) {
+    pub(crate) fn refresh_frozen(&mut self, effects: &mut Vec<Effect>, obs: &mut dyn Observer) {
         debug_assert!(self.has_token);
         let mut fresh = ModeSet::EMPTY;
         if self.config.freezing {
@@ -198,6 +284,13 @@ impl HierNode {
             return;
         }
         self.frozen = fresh;
+        if obs.enabled() {
+            if fresh.is_empty() {
+                obs.emit(self.id.0, ProtocolEvent::Unfrozen);
+            } else {
+                obs.emit(self.id.0, ProtocolEvent::Frozen { modes: fresh });
+            }
+        }
         // Notify exactly the children for which the change matters: those
         // whose recorded mode lets them grant some mode whose frozen status
         // changed (transitive freezing, §3.3).
@@ -219,6 +312,15 @@ impl HierNode {
             if relevant {
                 self.frozen_sent.insert(child, fresh);
                 effects.push(Effect::send(child, Message::SetFrozen { modes: fresh }));
+                if obs.enabled() {
+                    obs.emit(
+                        self.id.0,
+                        ProtocolEvent::FreezeSent {
+                            to: child.0,
+                            modes: fresh,
+                        },
+                    );
+                }
             }
         }
     }

@@ -15,10 +15,14 @@ use crate::ids::NodeId;
 use crate::invariants::{audit, AuditError, InFlight};
 use crate::node::HierNode;
 use dlm_modes::Mode;
+use dlm_trace::{NullObserver, Observer, Recorder, Stamp};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
 
 /// A deterministic in-memory network of protocol nodes with FIFO delivery.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LockStepNet {
     nodes: Vec<HierNode>,
     inbox: VecDeque<InFlight>,
@@ -31,6 +35,29 @@ pub struct LockStepNet {
     /// When true (default), every delivery step runs the instantaneous
     /// safety audit and panics on violation.
     pub audit_each_step: bool,
+    /// Operations driven so far (entry-point calls + deliveries); the
+    /// timestamp stamped onto trace records.
+    steps: u64,
+    /// Optional shared event sink (cloning the net shares the sink).
+    recorder: Option<Rc<RefCell<dyn Recorder>>>,
+    /// Lock id stamped onto trace records.
+    trace_lock: u32,
+}
+
+impl fmt::Debug for LockStepNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockStepNet")
+            .field("nodes", &self.nodes)
+            .field("inbox", &self.inbox)
+            .field("granted", &self.granted)
+            .field("upgraded", &self.upgraded)
+            .field("messages_sent", &self.messages_sent)
+            .field("audit_each_step", &self.audit_each_step)
+            .field("steps", &self.steps)
+            .field("recording", &self.recorder.is_some())
+            .field("trace_lock", &self.trace_lock)
+            .finish()
+    }
 }
 
 impl LockStepNet {
@@ -71,6 +98,39 @@ impl LockStepNet {
             upgraded: Vec::new(),
             messages_sent: 0,
             audit_each_step: true,
+            steps: 0,
+            recorder: None,
+            trace_lock: 0,
+        }
+    }
+
+    /// Attach a shared [`Recorder`]: every subsequent operation emits its
+    /// structured protocol events into `sink`, stamped with the net's step
+    /// count as the timestamp and `lock` as the lock id.
+    pub fn record_into(&mut self, lock: u32, sink: Rc<RefCell<dyn Recorder>>) {
+        self.trace_lock = lock;
+        self.recorder = Some(sink);
+    }
+
+    /// Drive one observed operation against node `node`: bumps the step
+    /// clock and hands the entry point a [`Stamp`] (or [`NullObserver`] when
+    /// no recorder is attached).
+    fn drive<T>(
+        &mut self,
+        node: usize,
+        f: impl FnOnce(&mut HierNode, &mut dyn Observer) -> T,
+    ) -> T {
+        self.steps += 1;
+        match self.recorder.clone() {
+            Some(mut rec) => {
+                let mut stamp = Stamp {
+                    at: self.steps,
+                    lock: self.trace_lock,
+                    sink: &mut rec,
+                };
+                f(&mut self.nodes[node], &mut stamp)
+            }
+            None => f(&mut self.nodes[node], &mut NullObserver),
         }
     }
 
@@ -119,7 +179,7 @@ impl LockStepNet {
 
     /// Issue an acquire, surfacing API misuse as an error.
     pub fn try_acquire(&mut self, id: u32, mode: Mode) -> Result<(), AcquireError> {
-        let effects = self.nodes[id as usize].on_acquire(mode)?;
+        let effects = self.drive(id as usize, |n, obs| n.on_acquire_observed(mode, 0, obs))?;
         self.absorb(NodeId(id), effects);
         Ok(())
     }
@@ -131,7 +191,7 @@ impl LockStepNet {
 
     /// Issue a release, surfacing API misuse as an error.
     pub fn try_release(&mut self, id: u32) -> Result<(), ReleaseError> {
-        let effects = self.nodes[id as usize].on_release()?;
+        let effects = self.drive(id as usize, |n, obs| n.on_release_observed(obs))?;
         self.absorb(NodeId(id), effects);
         Ok(())
     }
@@ -143,7 +203,7 @@ impl LockStepNet {
 
     /// Issue a Rule 7 upgrade, surfacing API misuse as an error.
     pub fn try_upgrade(&mut self, id: u32) -> Result<(), UpgradeError> {
-        let effects = self.nodes[id as usize].on_upgrade()?;
+        let effects = self.drive(id as usize, |n, obs| n.on_upgrade_observed(obs))?;
         self.absorb(NodeId(id), effects);
         Ok(())
     }
@@ -153,7 +213,9 @@ impl LockStepNet {
         let Some(flight) = self.inbox.pop_front() else {
             return false;
         };
-        let effects = self.nodes[flight.to.index()].on_message(flight.from, flight.message);
+        let effects = self.drive(flight.to.index(), |n, obs| {
+            n.on_message_observed(flight.from, flight.message, obs)
+        });
         self.absorb(flight.to, effects);
         if self.audit_each_step {
             self.assert_safe();
@@ -234,7 +296,9 @@ impl LockStepNet {
             .position(|f| (f.from, f.to) == chosen)
             .expect("channel came from the inbox");
         let flight = self.inbox.remove(pos).expect("position is valid");
-        let effects = self.nodes[flight.to.index()].on_message(flight.from, flight.message);
+        let effects = self.drive(flight.to.index(), |n, obs| {
+            n.on_message_observed(flight.from, flight.message, obs)
+        });
         self.absorb(flight.to, effects);
         if self.audit_each_step {
             self.assert_safe();
@@ -249,8 +313,9 @@ impl LockStepNet {
         let mut rest = VecDeque::new();
         while let Some(flight) = self.inbox.pop_front() {
             if flight.to == NodeId(id) {
-                let effects =
-                    self.nodes[flight.to.index()].on_message(flight.from, flight.message);
+                let effects = self.drive(flight.to.index(), |n, obs| {
+                    n.on_message_observed(flight.from, flight.message, obs)
+                });
                 self.absorb(flight.to, effects);
                 delivered += 1;
                 if self.audit_each_step {
@@ -318,6 +383,30 @@ mod tests {
         assert_eq!(net.node(0).parent(), Some(NodeId(1)));
         net.release(1);
         net.settle();
+    }
+
+    #[test]
+    fn recorder_counts_every_send() {
+        use dlm_trace::TraceStats;
+        let stats: Rc<RefCell<TraceStats>> = Rc::new(RefCell::new(TraceStats::new()));
+        let mut net = LockStepNet::star(4);
+        net.record_into(7, stats.clone());
+        net.acquire(1, Mode::Read);
+        net.settle();
+        net.acquire(2, Mode::Write); // queues at the token; freezes R
+        net.release(1);
+        net.settle();
+        net.release(2);
+        net.settle();
+        let stats = stats.borrow();
+        assert_eq!(
+            stats.total_sends(),
+            net.messages_sent,
+            "send-class events must equal messages sent: {:?}",
+            stats.sends
+        );
+        assert!(stats.kinds.get("request_sent") >= 1);
+        assert!(stats.kinds.get("token_sent") >= 1, "W moves the token");
     }
 
     #[test]

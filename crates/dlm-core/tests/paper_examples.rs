@@ -46,7 +46,10 @@ fn figure_2_request_granting() {
         Some(&Mode::IntentRead),
         "E joins A's copyset"
     );
-    assert!(net.node(A).has_token(), "copy grant does not move the token");
+    assert!(
+        net.node(A).has_token(),
+        "copy grant does not move the token"
+    );
 
     // (b) B requests R: MO(A)=IR < R, so the token transfers.
     net.acquire(B, Mode::Read);
@@ -58,7 +61,11 @@ fn figure_2_request_granting() {
     assert_state(&net, B, Mode::Read, Mode::Read, None);
     assert_state(&net, A, Mode::IntentRead, Mode::IntentRead, None);
     assert_state(&net, E, Mode::IntentRead, Mode::IntentRead, None);
-    assert_eq!(net.node(A).parent(), Some(NodeId(B)), "A re-parents under B");
+    assert_eq!(
+        net.node(A).parent(),
+        Some(NodeId(B)),
+        "A re-parents under B"
+    );
     assert_eq!(
         net.node(B).copyset().get(&NodeId(A)),
         Some(&Mode::IntentRead),
@@ -95,8 +102,16 @@ fn figure_3_queue_and_forward() {
     // request C->B, forward B->A, grant A->C: exactly 3 messages.
     assert_eq!(net.messages_sent - msgs_before + 1, 3);
     assert_state(&net, C, Mode::IntentRead, Mode::IntentRead, None);
-    assert_eq!(net.node(C).parent(), Some(NodeId(A)), "C re-parents to granter A");
-    assert_eq!(net.node(B).queue_len(), 0, "B forwarded, not queued (MP=NL)");
+    assert_eq!(
+        net.node(C).parent(),
+        Some(NodeId(A)),
+        "C re-parents to granter A"
+    );
+    assert_eq!(
+        net.node(B).queue_len(),
+        0,
+        "B forwarded, not queued (MP=NL)"
+    );
 
     // (c): B requests R; D requests R.
     net.acquire(B, Mode::Read);
@@ -183,7 +198,11 @@ fn figure_4_release_propagation() {
     net.settle();
     assert!(net.node(C).has_token());
     assert_state(&net, C, Mode::IntentWrite, Mode::IntentWrite, None);
-    assert_eq!(net.node(A).parent(), Some(NodeId(C)), "A re-parents under C");
+    assert_eq!(
+        net.node(A).parent(),
+        Some(NodeId(C)),
+        "A re-parents under C"
+    );
 }
 
 /// Figure 5: frozen modes (Rule 6).
@@ -261,8 +280,7 @@ fn figure_5_freezing_preserves_fifo() {
         .granted
         .iter()
         .position(|&(n, m)| n == NodeId(E) && m == Mode::IntentRead)
-        .expect("E granted after D releases? no—after D holds")
-        ;
+        .expect("E granted after D releases? no—after D holds");
     assert!(pos_w < pos_ir, "frozen IR must not overtake the queued W");
     assert_state(&net, E, Mode::IntentRead, Mode::IntentRead, None);
 }
@@ -321,10 +339,8 @@ fn figure_6_atomic_upgrade() {
 #[test]
 fn intent_reacquisition_is_message_free() {
     // Chain A <- B <- C so that C's request routes through B.
-    let mut net = LockStepNet::with_parents(
-        &[None, Some(A), Some(B)],
-        dlm_core::ProtocolConfig::paper(),
-    );
+    let mut net =
+        LockStepNet::with_parents(&[None, Some(A), Some(B)], dlm_core::ProtocolConfig::paper());
     // B acquires IR and then grants C (so B's subtree owns IR even while B
     // itself holds nothing).
     net.acquire(B, Mode::IntentRead);

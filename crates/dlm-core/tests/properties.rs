@@ -78,9 +78,7 @@ fn run_schedule(mut net: LockStepNet, steps: &[Step]) -> LockStepNet {
     for _round in 0..10_000 {
         net.deliver_all();
         let holders: Vec<u32> = (0..net.len() as u32)
-            .filter(|&i| {
-                net.node(i).held() != Mode::NoLock && !net.node(i).pending_is_upgrade()
-            })
+            .filter(|&i| net.node(i).held() != Mode::NoLock && !net.node(i).pending_is_upgrade())
             .collect();
         let anyone_pending = (0..net.len() as u32).any(|i| net.node(i).pending().is_some());
         if holders.is_empty() && !anyone_pending {
@@ -156,6 +154,25 @@ proptest! {
         let config = ProtocolConfig::paper().without(dlm_core::ALL_ABLATIONS[which]);
         let net = LockStepNet::star_with_config(n, config);
         let _ = run_schedule(net, &steps);
+    }
+
+    /// The 1:1 send contract of the trace pipeline: on arbitrary schedules,
+    /// every `Effect::Send` the state machines produce is matched by exactly
+    /// one send-class trace event — so trace-derived message accounting is
+    /// exact, never approximate.
+    #[test]
+    fn trace_send_events_match_message_count(
+        n in 2usize..9,
+        steps in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        use dlm_trace::{Recorder, TraceStats};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let stats = Rc::new(RefCell::new(TraceStats::new()));
+        let mut net = LockStepNet::star(n);
+        net.record_into(0, Rc::clone(&stats) as Rc<RefCell<dyn Recorder>>);
+        let net = run_schedule(net, &steps);
+        prop_assert_eq!(stats.borrow().total_sends(), net.messages_sent);
     }
 
     /// Message-free fast path: a node that owns a sufficient compatible mode

@@ -42,11 +42,11 @@ fn local_queueing_ablation_upgrade_race() {
     net.deliver_one(); // at 2: copy grant R to 0
     dump(&net, "after copy grant issued");
     net.release(1); // 1 releases IR -> Release(NL) to 0
-    // Deliver 1's release to 0 BEFORE the grant from 2 reaches 0. Node 0's
-    // owned collapses to NoLock and it emits Release(NL) to its parent 2 —
-    // while 2's Grant(R) to node 0 is still in flight. Without the ack
-    // filter, that stale release erased 2's copyset entry for 0's R and the
-    // subsequent upgrade produced W concurrent with 0's R.
+                    // Deliver 1's release to 0 BEFORE the grant from 2 reaches 0. Node 0's
+                    // owned collapses to NoLock and it emits Release(NL) to its parent 2 —
+                    // while 2's Grant(R) to node 0 is still in flight. Without the ack
+                    // filter, that stale release erased 2's copyset entry for 0's R and the
+                    // subsequent upgrade produced W concurrent with 0's R.
     assert!(net.deliver_one_with(|channels| {
         assert_eq!(channels, 2, "grant 2->0 and release 1->0 in flight");
         1 // the (1 -> 0) release channel
@@ -67,7 +67,11 @@ fn local_queueing_ablation_upgrade_race() {
     assert_eq!(net.node(0).held(), Mode::Read);
     net.release(0);
     net.deliver_all();
-    assert_eq!(net.node(2).held(), Mode::Write, "upgrade completes after release");
+    assert_eq!(
+        net.node(2).held(),
+        Mode::Write,
+        "upgrade completes after release"
+    );
     let errors = net.audit_now(false);
     assert!(errors.is_empty(), "{errors:?}");
 }

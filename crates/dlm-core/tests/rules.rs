@@ -40,7 +40,10 @@ mod rule2_request_sending {
         let mut token = HierNode::with_token(NodeId(0), paper());
         let eff = n.on_acquire(Mode::Read).unwrap();
         assert_eq!(sends(&eff), 1);
-        let eff = token.on_message(NodeId(1), Message::Request(QueuedRequest::plain(NodeId(1), Mode::Read)));
+        let eff = token.on_message(
+            NodeId(1),
+            Message::Request(QueuedRequest::plain(NodeId(1), Mode::Read)),
+        );
         assert_eq!(sends(&eff), 1, "copy grant");
         let eff = n.on_message(NodeId(0), Message::Grant { mode: Mode::Read });
         assert!(granted(&eff));
@@ -283,7 +286,12 @@ mod rule5_release {
         // Move the node under test into a child role: build a child directly.
         let mut c = HierNode::new(NodeId(1), NodeId(0), cfg);
         let _ = c.on_acquire(Mode::IntentRead).unwrap();
-        let _ = c.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        let _ = c.on_message(
+            NodeId(0),
+            Message::Grant {
+                mode: Mode::IntentRead,
+            },
+        );
         // Grant a grandchild, so c's owned mode survives its own release.
         let _ = c.on_message(
             NodeId(2),
@@ -301,7 +309,12 @@ mod rule5_release {
     fn suppressed_release_when_owned_unchanged() {
         let mut c = HierNode::new(NodeId(1), NodeId(0), paper());
         let _ = c.on_acquire(Mode::IntentRead).unwrap();
-        let _ = c.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        let _ = c.on_message(
+            NodeId(0),
+            Message::Grant {
+                mode: Mode::IntentRead,
+            },
+        );
         let _ = c.on_message(
             NodeId(2),
             Message::Request(QueuedRequest::plain(NodeId(2), Mode::IntentRead)),
@@ -349,7 +362,12 @@ mod rule6_freezing {
     fn frozen_node_refuses_grants_it_could_otherwise_make() {
         let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
         let _ = n.on_acquire(Mode::IntentRead).unwrap();
-        let _ = n.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        let _ = n.on_message(
+            NodeId(0),
+            Message::Grant {
+                mode: Mode::IntentRead,
+            },
+        );
         // Freeze IR at this node.
         let _ = n.on_message(
             NodeId(0),
@@ -377,7 +395,12 @@ mod rule6_freezing {
     fn unfreeze_restores_granting() {
         let mut n = HierNode::new(NodeId(1), NodeId(0), paper());
         let _ = n.on_acquire(Mode::IntentRead).unwrap();
-        let _ = n.on_message(NodeId(0), Message::Grant { mode: Mode::IntentRead });
+        let _ = n.on_message(
+            NodeId(0),
+            Message::Grant {
+                mode: Mode::IntentRead,
+            },
+        );
         let _ = n.on_message(
             NodeId(0),
             Message::SetFrozen {

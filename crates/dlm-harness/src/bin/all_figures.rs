@@ -5,7 +5,13 @@ use dlm_harness::{ablations, fig10, fig7, fig8, fig9, render_table, write_tsv, F
 fn main() {
     let opts = FigureOptions::default();
     let dir = std::path::Path::new("results");
-    for fig in [fig7(&opts), fig8(&opts), fig9(&opts), fig10(&opts), ablations(&opts)] {
+    for fig in [
+        fig7(&opts),
+        fig8(&opts),
+        fig9(&opts),
+        fig10(&opts),
+        ablations(&opts),
+    ] {
         println!("{}", render_table(&fig));
         let path = write_tsv(&fig, dir).expect("write tsv");
         eprintln!("wrote {}\n", path.display());

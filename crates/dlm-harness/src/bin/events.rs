@@ -1,0 +1,164 @@
+//! Structured-trace analyzer: per-rule breakdowns, per-lock causal chains,
+//! queue-depth and freeze-span extremes from a JSONL protocol trace.
+//!
+//! * `events <trace.jsonl>` — analyze an existing trace file.
+//! * `events [nodes]` — capture a fresh trace from the Fig. 7 workload
+//!   (hierarchical protocol, linux-cluster parameters, default 16 nodes),
+//!   write it to `results/fig7-trace.jsonl`, re-read it from disk, analyze
+//!   it, and verify the 1:1 send contract: the trace's send-class totals
+//!   must sum to exactly the workload report's message count.
+//!
+//! Run with: `cargo run -p dlm-harness --bin events [-- <trace.jsonl>|<nodes>]`
+
+use dlm_trace::{jsonl, ProtocolEvent, Recorder, TraceRecord, TraceStats, VecRecorder};
+use dlm_workload::{run_workload_traced, ProtocolKind, WorkloadParams};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::rc::Rc;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let records = match arg.as_deref() {
+        Some(path) if !path.chars().all(|c| c.is_ascii_digit()) => {
+            let file = File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+            let records = jsonl::read_jsonl(BufReader::new(file))
+                .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+            println!("loaded {} records from {path}", records.len());
+            records
+        }
+        nodes => capture(nodes.and_then(|s| s.parse().ok()).unwrap_or(16)),
+    };
+    analyze(&records);
+}
+
+/// Run the Fig. 7 hierarchical workload with a full recorder attached,
+/// round-trip the trace through the JSONL file format, and check the
+/// send-event totals against the report's message counter.
+fn capture(nodes: usize) -> Vec<TraceRecord> {
+    let params = WorkloadParams::linux_cluster(nodes, ProtocolKind::Hier);
+    let rec: Rc<RefCell<VecRecorder>> = Rc::new(RefCell::new(VecRecorder::new()));
+    let report = run_workload_traced(&params, Some(Rc::clone(&rec) as Rc<RefCell<dyn Recorder>>));
+    assert!(report.complete(), "workload must complete");
+    let records = rec.borrow().records.clone();
+
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig7-trace.jsonl");
+    let file = File::create(&path).expect("create trace file");
+    jsonl::write_jsonl(BufWriter::new(file), &records).expect("write trace");
+
+    // Re-read from disk so the analysis below exercises the parser too.
+    let back = jsonl::read_jsonl(BufReader::new(File::open(&path).expect("reopen")))
+        .expect("trace file round-trips");
+    assert_eq!(back, records, "JSONL round-trip is lossless");
+
+    let sends = back
+        .iter()
+        .filter(|r| r.event.send_class().is_some())
+        .count() as u64;
+    assert_eq!(
+        sends, report.messages,
+        "send-class events must equal the report's message count"
+    );
+    println!(
+        "captured {} records ({} sends = report messages) from {} nodes -> {}",
+        back.len(),
+        sends,
+        nodes,
+        path.display()
+    );
+    back
+}
+
+fn analyze(records: &[TraceRecord]) {
+    let mut stats = TraceStats::new();
+    for r in records {
+        stats.absorb(r);
+    }
+
+    println!("\nper-rule breakdown:");
+    for (rule, count) in stats.rules.iter() {
+        println!("  {rule:24} {count:>8}");
+    }
+
+    println!("\nsend-class events (1:1 with wire messages):");
+    for (class, count) in stats.sends.iter() {
+        println!("  {class:10} {count:>8}");
+    }
+    println!("  {:10} {:>8}", "total", stats.total_sends());
+
+    if stats.queue_depth.count() > 0 {
+        println!(
+            "\nqueue depth: max {} (mean {:.2} over {} insertions)",
+            stats.queue_depth.max(),
+            stats.queue_depth.mean(),
+            stats.queue_depth.count()
+        );
+    }
+    if stats.freeze_spans.count() > 0 {
+        println!(
+            "freeze spans: max {} (mean {:.1} over {} freezes)",
+            stats.freeze_spans.max(),
+            stats.freeze_spans.mean(),
+            stats.freeze_spans.count()
+        );
+    }
+
+    chains(records);
+}
+
+/// For each lock (most active first), follow one exemplar request from its
+/// `request_sent` to the grant that answered it.
+fn chains(records: &[TraceRecord]) {
+    let mut by_lock: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        by_lock.entry(r.lock).or_default().push(r);
+    }
+    let mut locks: Vec<(u32, Vec<&TraceRecord>)> = by_lock.into_iter().collect();
+    locks.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
+
+    println!("\nper-lock causal chains (one exemplar request each):");
+    for (lock, recs) in locks.iter().take(8) {
+        let Some(start) = recs
+            .iter()
+            .position(|r| matches!(r.event, ProtocolEvent::RequestSent { .. }))
+        else {
+            println!("  lock {lock}: {} events, no remote request", recs.len());
+            continue;
+        };
+        let requester = recs[start].node;
+        let mut chain = vec![recs[start]];
+        for r in &recs[start + 1..] {
+            if r.node != requester && r.event.peer() != Some(requester) {
+                continue;
+            }
+            chain.push(r);
+            let done = r.node == requester
+                && matches!(
+                    r.event,
+                    ProtocolEvent::GrantReceived { .. }
+                        | ProtocolEvent::TokenReceived { .. }
+                        | ProtocolEvent::LocalGrant { .. }
+                );
+            if done {
+                break;
+            }
+        }
+        let span = chain.last().expect("nonempty").at - chain[0].at;
+        let shown = chain.len().min(10);
+        let rendered: Vec<String> = chain[..shown]
+            .iter()
+            .map(|r| format!("n{}:{}", r.node, r.event.kind()))
+            .collect();
+        let ellipsis = if chain.len() > shown { " …" } else { "" };
+        println!(
+            "  lock {lock} ({} events): {}{} [span {span}]",
+            recs.len(),
+            rendered.join(" -> "),
+            ellipsis
+        );
+    }
+}

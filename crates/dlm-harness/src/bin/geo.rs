@@ -12,7 +12,11 @@ use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
 
 const WAN_MS: [u64; 5] = [5, 25, 50, 100, 200];
 
-fn run(protocol: ProtocolKind, wan_ms: u64, metric: impl Fn(&dlm_workload::WorkloadReport) -> f64) -> f64 {
+fn run(
+    protocol: ProtocolKind,
+    wan_ms: u64,
+    metric: impl Fn(&dlm_workload::WorkloadReport) -> f64,
+) -> f64 {
     let mut params = WorkloadParams::linux_cluster(32, protocol);
     params.latency = LatencyModel::uniform(MICROS_PER_MS); // 1 ms intra-site
     params.geo = Some(TwoSite {

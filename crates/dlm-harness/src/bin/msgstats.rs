@@ -34,5 +34,22 @@ fn main() {
                 count as f64 / report.requests as f64
             );
         }
+        // Structured-trace view: how often each paper rule fired (empty for
+        // the Naimi series, which is not instrumented).
+        if report.rule_counters.total() > 0 {
+            println!(
+                "  rule firings (trace sends {} = messages {}):",
+                report.trace_sends.total(),
+                report.messages,
+            );
+            for (rule, count) in report.rule_counters.iter() {
+                println!(
+                    "    {:24} {:>8}  ({:.3}/req)",
+                    rule,
+                    count,
+                    count as f64 / report.requests as f64
+                );
+            }
+        }
     }
 }

@@ -1,48 +1,63 @@
 //! Message-by-message protocol trace of a contended scenario, for study and
-//! debugging: two readers, a writer and an upgrader on five nodes, every
-//! protocol message printed as it is delivered together with the state of
-//! the receiving node.
+//! debugging: two readers, a writer and an upgrader on five nodes. Every
+//! protocol message is printed as it is delivered — described by the
+//! *structured events* the receiving state machine emits (rule firings,
+//! queue churn, parent changes) — together with the state of the receiving
+//! node.
 //!
 //! Run with: `cargo run -p dlm-harness --bin trace`
 
 use dlm_core::testkit::LockStepNet;
-use dlm_core::{Mode, NodeId};
+use dlm_core::Mode;
+use dlm_trace::{ProtocolEvent, Recorder, VecRecorder};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 struct Tracer {
     net: LockStepNet,
+    rec: Rc<RefCell<VecRecorder>>,
     step: u32,
 }
 
 impl Tracer {
     fn new(n: usize) -> Self {
-        Tracer {
-            net: LockStepNet::star(n),
-            step: 0,
-        }
+        let mut net = LockStepNet::star(n);
+        let rec = Rc::new(RefCell::new(VecRecorder::new()));
+        net.record_into(0, Rc::clone(&rec) as Rc<RefCell<dyn Recorder>>);
+        Tracer { net, rec, step: 0 }
+    }
+
+    /// Events recorded since index `from`, rendered one per line.
+    fn emitted_since(&self, from: usize) -> Vec<String> {
+        self.rec.borrow().records[from..]
+            .iter()
+            .map(|r| format!("n{}: {}", r.node, concise(&r.event)))
+            .collect()
     }
 
     fn app(&mut self, what: &str, f: impl FnOnce(&mut LockStepNet)) {
         println!("\n>> {what}");
+        let before = self.rec.borrow().records.len();
         f(&mut self.net);
+        for line in self.emitted_since(before) {
+            println!("        . {line}");
+        }
         self.drain();
     }
 
     fn drain(&mut self) {
-        loop {
-            let Some(flight) = self.net.in_flight().first().cloned() else {
-                break;
-            };
+        while let Some(flight) = self.net.in_flight().first().cloned() {
             self.step += 1;
+            let before = self.rec.borrow().records.len();
+            self.net.deliver_one();
             let kind = flight.message.kind().label();
             println!(
-                "  [{:>3}] {} -> {}  {:<8} {:?}",
-                self.step,
-                flight.from,
-                flight.to,
-                kind,
-                concise(&flight.message),
+                "  [{:>3}] {} -> {}  {:<8}",
+                self.step, flight.from, flight.to, kind,
             );
-            self.net.deliver_one();
+            for line in self.emitted_since(before) {
+                println!("        . {line}");
+            }
             let receiver = self.net.node(flight.to.0);
             println!(
                 "        {} now: token={} owned={} held={} pending={:?} q={} frozen={}",
@@ -58,22 +73,63 @@ impl Tracer {
     }
 }
 
-fn concise(message: &dlm_core::Message) -> String {
-    use dlm_core::Message::*;
-    match message {
-        Request(q) => format!("{} wants {}", q.from, q.mode),
-        Grant { mode } => format!("granted {mode}"),
-        Token { mode, queue, .. } => format!("token for {mode} (+{} queued)", queue.len()),
-        Release { new_owned, .. } => format!("owned now {new_owned}"),
-        SetFrozen { modes } => format!("frozen := {modes}"),
+/// One-line human rendering of a structured event.
+fn concise(event: &ProtocolEvent) -> String {
+    use ProtocolEvent::*;
+    match event {
+        RequestSent { to, mode, upgrade } => {
+            let tag = if *upgrade { " (upgrade)" } else { "" };
+            format!("requests {mode}{tag} from n{to}")
+        }
+        RequestForwarded {
+            to,
+            requester,
+            mode,
+        } => format!("forwards n{requester}'s {mode} request to n{to}"),
+        RequestQueued {
+            requester,
+            mode,
+            depth,
+        } => format!("queues n{requester}'s {mode} request (depth {depth})"),
+        QueueServed {
+            requester,
+            mode,
+            depth,
+        } => format!("serves n{requester}'s queued {mode} request ({depth} left)"),
+        ChildGrant { to, mode } => format!("grants {mode} copy to n{to}"),
+        LocalGrant { mode } => format!("now holds {mode}"),
+        GrantReceived { from, mode } => format!("granted {mode} by n{from}"),
+        TokenSent { to, mode, queued } => {
+            format!("sends token to n{to} for {mode} (+{queued} queued)")
+        }
+        TokenReceived { from, queued } => format!("receives token from n{from} (+{queued} queued)"),
+        ReleaseSent { to, new_owned, .. } => format!("tells n{to}: owned now {new_owned}"),
+        ReleaseApplied {
+            from,
+            new_owned,
+            stale,
+        } => {
+            let tag = if *stale { " (stale, ignored)" } else { "" };
+            format!("applies n{from}'s release, child owns {new_owned}{tag}")
+        }
+        Frozen { modes } => format!("frozen := {modes}"),
+        Unfrozen => "unfrozen".into(),
+        FreezeSent { to, modes } => format!("tells n{to}: frozen := {modes}"),
+        UpgradeStarted => "starts U->W upgrade".into(),
+        Upgraded => "upgraded to W".into(),
+        ParentChanged { old, new } => {
+            let f = |p: &Option<u32>| p.map(|n| format!("n{n}")).unwrap_or("root".into());
+            format!("parent {} -> {}", f(old), f(new))
+        }
     }
 }
 
 fn main() {
     let mut t = Tracer::new(5);
-    t.app("n1 acquires R (idle token copy-grants, stays at n0)", |net| {
-        net.acquire(1, Mode::Read)
-    });
+    t.app(
+        "n1 acquires R (idle token copy-grants, stays at n0)",
+        |net| net.acquire(1, Mode::Read),
+    );
     t.app("n2 acquires IR (compatible, shares)", |net| {
         net.acquire(2, Mode::IntentRead)
     });
@@ -84,10 +140,13 @@ fn main() {
         net.acquire(4, Mode::IntentRead)
     });
     t.app("n1 releases R", |net| net.release(1));
-    t.app("n2 releases IR (drains the table; W is served by token transfer, then n4's IR)", |net| {
-        net.release(2)
+    t.app(
+        "n2 releases IR (drains the table; W is served by token transfer, then n4's IR)",
+        |net| net.release(2),
+    );
+    t.app("n3 releases W (n4's parked IR finally granted)", |net| {
+        net.release(3)
     });
-    t.app("n3 releases W (n4's parked IR finally granted)", |net| net.release(3));
     t.app("n4 releases IR", |net| net.release(4));
 
     println!(
@@ -99,6 +158,19 @@ fn main() {
             .map(|(n, m)| format!("{n}:{m}"))
             .collect::<Vec<_>>()
     );
+    let recorded = t.rec.borrow();
+    let sends = recorded
+        .records
+        .iter()
+        .filter(|r| r.event.send_class().is_some())
+        .count() as u64;
+    assert_eq!(sends, t.net.messages_sent, "1:1 send-event contract");
+    println!(
+        "trace: {} events, {} send-class (= messages)",
+        recorded.records.len(),
+        sends
+    );
+    drop(recorded);
     let errors = t.net.audit_now(true);
     assert!(errors.is_empty(), "{errors:?}");
     println!("final audit: clean");

@@ -40,11 +40,7 @@ impl Figure {
 
     /// Value of `label` at the largest x (the asymptote proxy).
     pub fn tail(&self, label: &str) -> f64 {
-        *self
-            .series(label)
-            .values
-            .last()
-            .expect("series has values")
+        *self.series(label).values.last().expect("series has values")
     }
 }
 

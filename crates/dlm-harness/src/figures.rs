@@ -34,7 +34,11 @@ impl FigureOptions {
 }
 
 /// Run `params` over the option's seed set and fold the metric.
-fn averaged(mut params: WorkloadParams, opts: &FigureOptions, metric: impl Fn(&WorkloadReport) -> f64) -> f64 {
+fn averaged(
+    mut params: WorkloadParams,
+    opts: &FigureOptions,
+    metric: impl Fn(&WorkloadReport) -> f64,
+) -> f64 {
     params.ops_per_node = opts.ops_per_node;
     let mut total = 0.0;
     for seed in 0..opts.seeds {
@@ -54,16 +58,16 @@ fn averaged(mut params: WorkloadParams, opts: &FigureOptions, metric: impl Fn(&W
 }
 
 /// Run the sweep for one series in parallel over the x-points.
-fn sweep<P: Sync>(
-    points: &[P],
-    run_point: impl Fn(&P) -> f64 + Sync,
-) -> Vec<f64> {
+fn sweep<P: Sync>(points: &[P], run_point: impl Fn(&P) -> f64 + Sync) -> Vec<f64> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = points
             .iter()
             .map(|p| scope.spawn(|| run_point(p)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     })
 }
 

@@ -85,6 +85,19 @@ impl Mode {
         }
     }
 
+    /// Inverse of [`Mode::short_name`]; `None` for unknown strings.
+    pub fn from_short_name(name: &str) -> Option<Mode> {
+        match name {
+            "-" => Some(Mode::NoLock),
+            "IR" => Some(Mode::IntentRead),
+            "R" => Some(Mode::Read),
+            "U" => Some(Mode::Upgrade),
+            "IW" => Some(Mode::IntentWrite),
+            "W" => Some(Mode::Write),
+            _ => None,
+        }
+    }
+
     /// Strength comparison: `self >= other` in the partial order of
     /// Definition 1 / inequality (1) of the paper:
     ///

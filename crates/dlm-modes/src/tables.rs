@@ -17,7 +17,8 @@ use serde::{Deserialize, Serialize};
 /// Row/column order: `NL, IR, R, U, IW, W`.
 const COMPATIBLE: [[bool; 6]; 6] = [
     //               NL     IR     R      U      IW     W
-    /* NL */ [true, true, true, true, true, true],
+    /* NL */
+    [true, true, true, true, true, true],
     /* IR */ [true, true, true, true, true, false],
     /* R  */ [true, true, true, true, false, false],
     /* U  */ [true, true, true, false, false, false],
@@ -58,7 +59,8 @@ pub fn child_can_grant(owned: Mode, req: Mode) -> bool {
 /// column is trivially grantable (an empty request never occurs).
 const CHILD_GRANT: [[bool; 6]; 6] = [
     //               NL     IR     R      U      IW     W
-    /* NL */ [true, false, false, false, false, false],
+    /* NL */
+    [true, false, false, false, false, false],
     /* IR */ [true, true, false, false, false, false],
     /* R  */ [true, true, true, false, false, false],
     /* U  */ [true, true, true, false, false, false],
@@ -104,7 +106,8 @@ pub fn queue_or_forward(pending: Mode, req: Mode) -> QueueOrForward {
 /// for rows `NL, IR, R, U, IW, W` over columns `IR, R, U, IW, W`.
 const QUEUE: [[bool; 6]; 6] = [
     //               NL     IR     R      U      IW     W
-    /* NL */ [false, false, false, false, false, false],
+    /* NL */
+    [false, false, false, false, false, false],
     /* IR */ [false, true, false, false, false, false],
     /* R  */ [false, false, true, false, false, false],
     /* U  */ [false, false, false, true, true, true],
@@ -139,11 +142,7 @@ mod tests {
     fn compatibility_is_symmetric() {
         for &a in &ALL_MODES {
             for &b in &ALL_MODES {
-                assert_eq!(
-                    compatible(a, b),
-                    compatible(b, a),
-                    "asymmetry at ({a},{b})"
-                );
+                assert_eq!(compatible(a, b), compatible(b, a), "asymmetry at ({a},{b})");
             }
         }
     }
@@ -244,8 +243,7 @@ mod tests {
         for &pending in &ALL_MODES {
             for &req in &REQUEST_MODES {
                 let token_after = matches!(pending, Mode::Upgrade | Mode::Write);
-                let can_serve_after =
-                    token_after || (pending.ge(req) && compatible(pending, req));
+                let can_serve_after = token_after || (pending.ge(req) && compatible(pending, req));
                 let must_wait_here = req == pending || !compatible(pending, req);
                 let derived = must_wait_here && can_serve_after;
                 assert_eq!(
@@ -272,10 +270,16 @@ mod tests {
                 .collect()
         };
         assert_eq!(row(NoLock), vec![Forward; 5]);
-        assert_eq!(row(IntentRead), vec![Queue, Forward, Forward, Forward, Forward]);
+        assert_eq!(
+            row(IntentRead),
+            vec![Queue, Forward, Forward, Forward, Forward]
+        );
         assert_eq!(row(Read), vec![Forward, Queue, Forward, Forward, Forward]);
         assert_eq!(row(Upgrade), vec![Forward, Forward, Queue, Queue, Queue]);
-        assert_eq!(row(IntentWrite), vec![Forward, Forward, Forward, Queue, Forward]);
+        assert_eq!(
+            row(IntentWrite),
+            vec![Forward, Forward, Forward, Queue, Forward]
+        );
         assert_eq!(row(Write), vec![Queue; 5]);
     }
 

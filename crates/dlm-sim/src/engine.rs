@@ -3,10 +3,13 @@
 use crate::network::{FifoClamp, LatencyModel};
 use crate::time::Micros;
 use dlm_core::NodeId;
+use dlm_trace::{NullObserver, Observer, Recorder, Stamp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// A simulated node: reacts to start, messages and timers through a context
 /// that can send messages, set timers and draw random numbers.
@@ -34,6 +37,7 @@ pub struct Ctx<'a, M> {
     node: NodeId,
     rng: &'a mut SmallRng,
     outgoing: &'a mut Vec<Outgoing<M>>,
+    recorder: Option<&'a Rc<RefCell<dyn Recorder>>>,
 }
 
 enum Outgoing<M> {
@@ -65,6 +69,34 @@ impl<M> Ctx<'_, M> {
     /// Deterministic per-node random stream.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// True when a trace recorder is attached to the simulation — lets
+    /// actors skip building per-event arguments entirely when disabled.
+    pub fn tracing(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Run `f` with an [`Observer`] stamping events of lock `lock` at the
+    /// current virtual time. Without an attached recorder `f` receives the
+    /// [`NullObserver`], so the protocol pays only the enabled-branch:
+    ///
+    /// ```ignore
+    /// let effects = ctx.observe(lock, |obs| node.on_message_observed(from, msg, obs));
+    /// ```
+    pub fn observe<T>(&mut self, lock: u32, f: impl FnOnce(&mut dyn Observer) -> T) -> T {
+        match self.recorder {
+            Some(rc) => {
+                let mut sink = Rc::clone(rc);
+                let mut stamp = Stamp {
+                    at: self.now,
+                    lock,
+                    sink: &mut sink,
+                };
+                f(&mut stamp)
+            }
+            None => f(&mut NullObserver),
+        }
     }
 }
 
@@ -130,8 +162,15 @@ pub struct RunStats {
 }
 
 enum Pending<M> {
-    Message { from: NodeId, to: NodeId, payload: M },
-    Timer { node: NodeId, tag: u64 },
+    Message {
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
 }
 
 /// The discrete-event engine.
@@ -151,6 +190,7 @@ pub struct Sim<A: Actor> {
     config: SimConfig,
     stats: RunStats,
     scratch: Vec<Outgoing<A::Msg>>,
+    recorder: Option<Rc<RefCell<dyn Recorder>>>,
 }
 
 impl<A: Actor> Sim<A> {
@@ -158,7 +198,11 @@ impl<A: Actor> Sim<A> {
     pub fn new(actors: Vec<A>, config: SimConfig) -> Self {
         let n = actors.len();
         let rngs = (0..n)
-            .map(|i| SmallRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+            .map(|i| {
+                SmallRng::seed_from_u64(
+                    config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
             .collect();
         Sim {
             actors,
@@ -172,7 +216,15 @@ impl<A: Actor> Sim<A> {
             config,
             stats: RunStats::default(),
             scratch: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attach a shared [`Recorder`]: actors reach it through
+    /// [`Ctx::observe`], with events stamped at the virtual time of the
+    /// invoking event.
+    pub fn record_into(&mut self, sink: Rc<RefCell<dyn Recorder>>) {
+        self.recorder = Some(sink);
     }
 
     /// Current virtual time.
@@ -236,6 +288,7 @@ impl<A: Actor> Sim<A> {
             node,
             rng: &mut self.rngs[node.index()],
             outgoing: &mut self.scratch,
+            recorder: self.recorder.as_ref(),
         };
         f(&mut self.actors[node.index()], &mut ctx);
         self.flush_outgoing(node);

@@ -1,0 +1,367 @@
+//! The protocol event vocabulary.
+
+use dlm_modes::{Mode, ModeSet};
+use serde::Serialize;
+
+/// Which wire-message kind a send-class event corresponds to. The labels
+/// match `dlm_core::MessageKind::label` so per-rule counters line up with
+/// per-kind message counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum SendClass {
+    /// A `Request` frame (fresh, re-issued, or forwarded).
+    Request,
+    /// A `Grant` frame (Rule 3.1 child grant).
+    Grant,
+    /// A `Token` frame (ownership transfer).
+    Token,
+    /// A `Release` frame (Rule 5 weakening propagation).
+    Release,
+    /// A `SetFrozen` frame (Rule 6 freeze distribution).
+    Freeze,
+}
+
+impl SendClass {
+    /// Stable label, matching `MessageKind::label`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SendClass::Request => "request",
+            SendClass::Grant => "grant",
+            SendClass::Token => "token",
+            SendClass::Release => "release",
+            SendClass::Freeze => "freeze",
+        }
+    }
+}
+
+/// One structured protocol action, as observed at the emitting node.
+///
+/// Send-class variants (those with a [`ProtocolEvent::send_class`]) are
+/// emitted exactly once per `Effect::Send` the state machine produces, so
+/// counting them reproduces the runtime's message counter exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ProtocolEvent {
+    /// Rule 1: this node sent its own (or its re-issued) request to its
+    /// probable owner `to`.
+    RequestSent {
+        /// Receiver (current parent / probable owner).
+        to: u32,
+        /// Requested mode.
+        mode: Mode,
+        /// True when this request asks for the Rule 7 U→W upgrade.
+        upgrade: bool,
+    },
+    /// Rule 4.1 decided *forward*: a child's request was passed up toward
+    /// the token.
+    RequestForwarded {
+        /// Receiver (this node's parent).
+        to: u32,
+        /// The node whose request is being forwarded.
+        requester: u32,
+        /// Requested mode.
+        mode: Mode,
+    },
+    /// Rule 4.1 decided *queue* (or the token node queued an incompatible
+    /// request): the request joined this node's local queue.
+    RequestQueued {
+        /// The waiting node.
+        requester: u32,
+        /// Requested mode.
+        mode: Mode,
+        /// Queue length *after* insertion.
+        depth: usize,
+    },
+    /// A queued request left this node's local queue to be served.
+    QueueServed {
+        /// The node whose request is now being served.
+        requester: u32,
+        /// Requested mode.
+        mode: Mode,
+        /// Queue length *after* removal.
+        depth: usize,
+    },
+    /// Rule 3.1: this node granted a compatible copy to child `to` without
+    /// surrendering the token.
+    ChildGrant {
+        /// The grantee child.
+        to: u32,
+        /// Granted mode.
+        mode: Mode,
+    },
+    /// A request completed locally with zero or more messages: the node now
+    /// holds `mode` (self-admit under Rule 2/3.2, or the final application
+    /// of a remote grant/token).
+    LocalGrant {
+        /// The mode now held.
+        mode: Mode,
+    },
+    /// A `Grant` frame arrived from `from` (triggers path compression:
+    /// the granter becomes the new probable owner).
+    GrantReceived {
+        /// The granter.
+        from: u32,
+        /// Granted mode.
+        mode: Mode,
+    },
+    /// Token transfer sent: ownership (queue + frozen set included) moved to
+    /// `to`.
+    TokenSent {
+        /// The new token node.
+        to: u32,
+        /// Mode granted alongside the token.
+        mode: Mode,
+        /// Queued requests travelling with the token.
+        queued: usize,
+    },
+    /// Token transfer received from `from`; this node is now the root.
+    TokenReceived {
+        /// The previous token node.
+        from: u32,
+        /// Queued requests that arrived with the token.
+        queued: usize,
+    },
+    /// Rule 5: this node propagated a release/weakening to its parent.
+    ReleaseSent {
+        /// Receiver (parent).
+        to: u32,
+        /// The sender's new owned mode.
+        new_owned: Mode,
+        /// Release acknowledgement counter (stale-detection).
+        ack: u64,
+    },
+    /// Rule 5: a child's release/weakening was applied (or detected stale
+    /// and dropped).
+    ReleaseApplied {
+        /// The releasing child.
+        from: u32,
+        /// The child's new owned mode.
+        new_owned: Mode,
+        /// True when the release was stale and ignored.
+        stale: bool,
+    },
+    /// Rule 6: this node's mode set froze (`modes` may no longer be granted
+    /// locally until the token returns/unfreezes).
+    Frozen {
+        /// The frozen set.
+        modes: ModeSet,
+    },
+    /// Rule 6: this node's frozen set cleared.
+    Unfrozen,
+    /// Rule 6: this node sent a `SetFrozen` frame to `to`.
+    FreezeSent {
+        /// Receiver.
+        to: u32,
+        /// The set being distributed (empty = unfreeze).
+        modes: ModeSet,
+    },
+    /// Rule 7: this node began an in-place U→W upgrade.
+    UpgradeStarted,
+    /// Rule 7: the upgrade completed; the node now holds `W`.
+    Upgraded,
+    /// Path compression / probable-owner update: this node's parent pointer
+    /// changed.
+    ParentChanged {
+        /// Previous parent (`None` = was root).
+        old: Option<u32>,
+        /// New parent (`None` = became root).
+        new: Option<u32>,
+    },
+}
+
+impl ProtocolEvent {
+    /// Stable snake_case discriminator (the JSONL `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolEvent::RequestSent { .. } => "request_sent",
+            ProtocolEvent::RequestForwarded { .. } => "request_forwarded",
+            ProtocolEvent::RequestQueued { .. } => "request_queued",
+            ProtocolEvent::QueueServed { .. } => "queue_served",
+            ProtocolEvent::ChildGrant { .. } => "child_grant",
+            ProtocolEvent::LocalGrant { .. } => "local_grant",
+            ProtocolEvent::GrantReceived { .. } => "grant_received",
+            ProtocolEvent::TokenSent { .. } => "token_sent",
+            ProtocolEvent::TokenReceived { .. } => "token_received",
+            ProtocolEvent::ReleaseSent { .. } => "release_sent",
+            ProtocolEvent::ReleaseApplied { .. } => "release_applied",
+            ProtocolEvent::Frozen { .. } => "frozen",
+            ProtocolEvent::Unfrozen => "unfrozen",
+            ProtocolEvent::FreezeSent { .. } => "freeze_sent",
+            ProtocolEvent::UpgradeStarted => "upgrade_started",
+            ProtocolEvent::Upgraded => "upgraded",
+            ProtocolEvent::ParentChanged { .. } => "parent_changed",
+        }
+    }
+
+    /// The paper rule (or protocol mechanism) this event belongs to.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            ProtocolEvent::RequestSent { .. } => "rule1-request",
+            ProtocolEvent::RequestForwarded { .. } | ProtocolEvent::RequestQueued { .. } => {
+                "rule4.1-queue-or-forward"
+            }
+            ProtocolEvent::QueueServed { .. } => "rule4.2-serve",
+            ProtocolEvent::ChildGrant { .. } => "rule3.1-child-grant",
+            ProtocolEvent::LocalGrant { .. } | ProtocolEvent::GrantReceived { .. } => {
+                "rule2-local-admit"
+            }
+            ProtocolEvent::TokenSent { .. } | ProtocolEvent::TokenReceived { .. } => {
+                "token-transfer"
+            }
+            ProtocolEvent::ReleaseSent { .. } | ProtocolEvent::ReleaseApplied { .. } => {
+                "rule5-release"
+            }
+            ProtocolEvent::Frozen { .. }
+            | ProtocolEvent::Unfrozen
+            | ProtocolEvent::FreezeSent { .. } => "rule6-freeze",
+            ProtocolEvent::UpgradeStarted | ProtocolEvent::Upgraded => "rule7-upgrade",
+            ProtocolEvent::ParentChanged { .. } => "path-compression",
+        }
+    }
+
+    /// `Some(class)` iff this event corresponds 1:1 to an outgoing message.
+    pub fn send_class(&self) -> Option<SendClass> {
+        match self {
+            ProtocolEvent::RequestSent { .. } | ProtocolEvent::RequestForwarded { .. } => {
+                Some(SendClass::Request)
+            }
+            ProtocolEvent::ChildGrant { .. } => Some(SendClass::Grant),
+            ProtocolEvent::TokenSent { .. } => Some(SendClass::Token),
+            ProtocolEvent::ReleaseSent { .. } => Some(SendClass::Release),
+            ProtocolEvent::FreezeSent { .. } => Some(SendClass::Freeze),
+            _ => None,
+        }
+    }
+
+    /// The peer this event names, if any (receiver for sends, sender for
+    /// receives, requester for queue events).
+    pub fn peer(&self) -> Option<u32> {
+        match self {
+            ProtocolEvent::RequestSent { to, .. }
+            | ProtocolEvent::RequestForwarded { to, .. }
+            | ProtocolEvent::ChildGrant { to, .. }
+            | ProtocolEvent::TokenSent { to, .. }
+            | ProtocolEvent::ReleaseSent { to, .. }
+            | ProtocolEvent::FreezeSent { to, .. } => Some(*to),
+            ProtocolEvent::GrantReceived { from, .. }
+            | ProtocolEvent::TokenReceived { from, .. }
+            | ProtocolEvent::ReleaseApplied { from, .. } => Some(*from),
+            ProtocolEvent::RequestQueued { requester, .. }
+            | ProtocolEvent::QueueServed { requester, .. } => Some(*requester),
+            _ => None,
+        }
+    }
+}
+
+/// One fully-stamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceRecord {
+    /// Monotone per-recorder sequence number (total order within a node
+    /// thread; merge order across threads).
+    pub seq: u64,
+    /// Timestamp: delivery steps (testkit), virtual µs (sim), or wall-clock
+    /// µs since runtime start (cluster).
+    pub at: u64,
+    /// The node that observed the event.
+    pub node: u32,
+    /// The lock the event belongs to.
+    pub lock: u32,
+    /// What happened.
+    pub event: ProtocolEvent,
+}
+
+/// One of every variant — test fixture shared with the JSONL round-trip
+/// tests.
+#[cfg(test)]
+pub(crate) fn one_of_each() -> Vec<ProtocolEvent> {
+    let mut frozen = ModeSet::new();
+    frozen.insert(Mode::Read);
+    frozen.insert(Mode::Upgrade);
+    vec![
+        ProtocolEvent::RequestSent {
+            to: 0,
+            mode: Mode::Read,
+            upgrade: false,
+        },
+        ProtocolEvent::RequestForwarded {
+            to: 1,
+            requester: 3,
+            mode: Mode::Write,
+        },
+        ProtocolEvent::RequestQueued {
+            requester: 2,
+            mode: Mode::IntentWrite,
+            depth: 2,
+        },
+        ProtocolEvent::QueueServed {
+            requester: 2,
+            mode: Mode::IntentWrite,
+            depth: 1,
+        },
+        ProtocolEvent::ChildGrant {
+            to: 4,
+            mode: Mode::IntentRead,
+        },
+        ProtocolEvent::LocalGrant {
+            mode: Mode::Upgrade,
+        },
+        ProtocolEvent::GrantReceived {
+            from: 0,
+            mode: Mode::Read,
+        },
+        ProtocolEvent::TokenSent {
+            to: 5,
+            mode: Mode::Write,
+            queued: 3,
+        },
+        ProtocolEvent::TokenReceived { from: 0, queued: 3 },
+        ProtocolEvent::ReleaseSent {
+            to: 0,
+            new_owned: Mode::NoLock,
+            ack: 7,
+        },
+        ProtocolEvent::ReleaseApplied {
+            from: 2,
+            new_owned: Mode::IntentRead,
+            stale: true,
+        },
+        ProtocolEvent::Frozen { modes: frozen },
+        ProtocolEvent::Unfrozen,
+        ProtocolEvent::FreezeSent {
+            to: 1,
+            modes: ModeSet::new(),
+        },
+        ProtocolEvent::UpgradeStarted,
+        ProtocolEvent::Upgraded,
+        ProtocolEvent::ParentChanged {
+            old: Some(0),
+            new: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let events = one_of_each();
+        let kinds: std::collections::BTreeSet<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn send_classes_cover_every_message_kind() {
+        let classes: std::collections::BTreeSet<_> = one_of_each()
+            .iter()
+            .filter_map(|e| e.send_class())
+            .collect();
+        assert_eq!(classes.len(), 5, "request/grant/token/release/freeze");
+    }
+
+    #[test]
+    fn every_event_has_a_rule() {
+        for e in one_of_each() {
+            assert!(!e.rule().is_empty(), "{:?}", e);
+        }
+    }
+}

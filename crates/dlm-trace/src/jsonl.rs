@@ -1,0 +1,577 @@
+//! JSONL trace format: one flat JSON object per record, hand-rolled.
+//!
+//! The build environment is offline, so no `serde_json`; the format is
+//! deliberately flat (string/integer/bool/null values only, no nesting) and
+//! both directions live here, covered by round-trip tests over every
+//! [`ProtocolEvent`] variant.
+//!
+//! Example line:
+//!
+//! ```text
+//! {"seq":12,"at":4500,"node":3,"lock":0,"event":"token_sent","to":1,"mode":"W","queued":2}
+//! ```
+//!
+//! Modes use the paper's short names (`IR`, `W`, …); mode sets join them
+//! with `|` (`"R|U"`, empty string for the empty set); absent optional
+//! parents are `null`.
+
+use crate::event::{ProtocolEvent, TraceRecord};
+use dlm_modes::{Mode, ModeSet};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Errors raised while parsing a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed JSON on `line` (1-based).
+    Json { line: usize, reason: String },
+    /// Structurally valid JSON that is not a valid trace record.
+    Record { line: usize, reason: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Json { line, reason } => write!(f, "line {line}: bad JSON: {reason}"),
+            ParseError::Record { line, reason } => write!(f, "line {line}: bad record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------- writing
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental flat-object builder.
+struct Obj(String);
+
+impl Obj {
+    fn new() -> Self {
+        Obj(String::from("{"))
+    }
+
+    fn sep(&mut self) {
+        if self.0.len() > 1 {
+            self.0.push(',');
+        }
+    }
+
+    fn num(&mut self, key: &str, v: u64) -> &mut Self {
+        self.sep();
+        self.0.push_str(&format!("\"{key}\":{v}"));
+        self
+    }
+
+    fn boolean(&mut self, key: &str, v: bool) -> &mut Self {
+        self.sep();
+        self.0.push_str(&format!("\"{key}\":{v}"));
+        self
+    }
+
+    fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.sep();
+        self.0.push_str(&format!("\"{key}\":\""));
+        escape_into(&mut self.0, v);
+        self.0.push('"');
+        self
+    }
+
+    fn opt_num(&mut self, key: &str, v: Option<u32>) -> &mut Self {
+        match v {
+            Some(n) => self.num(key, n as u64),
+            None => {
+                self.sep();
+                self.0.push_str(&format!("\"{key}\":null"));
+                self
+            }
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.0.push('}');
+        self.0
+    }
+}
+
+fn modeset_to_string(set: ModeSet) -> String {
+    set.iter()
+        .map(Mode::short_name)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Render one record as a single JSON line (no trailing newline).
+pub fn record_to_json(r: &TraceRecord) -> String {
+    let mut o = Obj::new();
+    o.num("seq", r.seq)
+        .num("at", r.at)
+        .num("node", r.node as u64)
+        .num("lock", r.lock as u64)
+        .str("event", r.event.kind());
+    match &r.event {
+        ProtocolEvent::RequestSent { to, mode, upgrade } => {
+            o.num("to", *to as u64)
+                .str("mode", mode.short_name())
+                .boolean("upgrade", *upgrade);
+        }
+        ProtocolEvent::RequestForwarded {
+            to,
+            requester,
+            mode,
+        } => {
+            o.num("to", *to as u64)
+                .num("requester", *requester as u64)
+                .str("mode", mode.short_name());
+        }
+        ProtocolEvent::RequestQueued {
+            requester,
+            mode,
+            depth,
+        }
+        | ProtocolEvent::QueueServed {
+            requester,
+            mode,
+            depth,
+        } => {
+            o.num("requester", *requester as u64)
+                .str("mode", mode.short_name())
+                .num("depth", *depth as u64);
+        }
+        ProtocolEvent::ChildGrant { to, mode } => {
+            o.num("to", *to as u64).str("mode", mode.short_name());
+        }
+        ProtocolEvent::LocalGrant { mode } => {
+            o.str("mode", mode.short_name());
+        }
+        ProtocolEvent::GrantReceived { from, mode } => {
+            o.num("from", *from as u64).str("mode", mode.short_name());
+        }
+        ProtocolEvent::TokenSent { to, mode, queued } => {
+            o.num("to", *to as u64)
+                .str("mode", mode.short_name())
+                .num("queued", *queued as u64);
+        }
+        ProtocolEvent::TokenReceived { from, queued } => {
+            o.num("from", *from as u64).num("queued", *queued as u64);
+        }
+        ProtocolEvent::ReleaseSent { to, new_owned, ack } => {
+            o.num("to", *to as u64)
+                .str("new_owned", new_owned.short_name())
+                .num("ack", *ack);
+        }
+        ProtocolEvent::ReleaseApplied {
+            from,
+            new_owned,
+            stale,
+        } => {
+            o.num("from", *from as u64)
+                .str("new_owned", new_owned.short_name())
+                .boolean("stale", *stale);
+        }
+        ProtocolEvent::Frozen { modes } => {
+            o.str("modes", &modeset_to_string(*modes));
+        }
+        ProtocolEvent::Unfrozen | ProtocolEvent::UpgradeStarted | ProtocolEvent::Upgraded => {}
+        ProtocolEvent::FreezeSent { to, modes } => {
+            o.num("to", *to as u64)
+                .str("modes", &modeset_to_string(*modes));
+        }
+        ProtocolEvent::ParentChanged { old, new } => {
+            o.opt_num("old", *old).opt_num("new", *new);
+        }
+    }
+    o.finish()
+}
+
+/// Write `records` as JSONL.
+pub fn write_jsonl<W: Write>(mut w: W, records: &[TraceRecord]) -> io::Result<()> {
+    for r in records {
+        writeln!(w, "{}", record_to_json(r))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parse a flat JSON object (string/unsigned-integer/bool/null values only).
+fn parse_flat_object(s: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut out = BTreeMap::new();
+    let mut chars = s.trim().chars().peekable();
+    let expect =
+        |chars: &mut std::iter::Peekable<std::str::Chars>, want: char| -> Result<(), String> {
+            match chars.next() {
+                Some(c) if c == want => Ok(()),
+                other => Err(format!("expected {want:?}, got {other:?}")),
+            }
+        };
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        s.push(char::from_u32(code).ok_or("bad codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => s.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        expect(&mut chars, '"')?;
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let val = match chars.peek() {
+            Some('"') => {
+                chars.next();
+                Val::Str(parse_string(&mut chars)?)
+            }
+            Some('t') => {
+                for want in "true".chars() {
+                    expect(&mut chars, want)?;
+                }
+                Val::Bool(true)
+            }
+            Some('f') => {
+                for want in "false".chars() {
+                    expect(&mut chars, want)?;
+                }
+                Val::Bool(false)
+            }
+            Some('n') => {
+                for want in "null".chars() {
+                    expect(&mut chars, want)?;
+                }
+                Val::Null
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    digits.push(chars.next().expect("peeked"));
+                }
+                Val::Num(
+                    digits
+                        .parse()
+                        .map_err(|_| format!("bad number {digits:?}"))?,
+                )
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        };
+        out.insert(key, val);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(extra) = chars.next() {
+        return Err(format!("trailing content starting at {extra:?}"));
+    }
+    Ok(out)
+}
+
+struct Fields<'a> {
+    map: &'a BTreeMap<String, Val>,
+}
+
+impl Fields<'_> {
+    fn num(&self, key: &str) -> Result<u64, String> {
+        match self.map.get(key) {
+            Some(Val::Num(n)) => Ok(*n),
+            other => Err(format!("field {key:?}: expected number, got {other:?}")),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.num(key)?).map_err(|_| format!("field {key:?}: out of u32 range"))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        usize::try_from(self.num(key)?).map_err(|_| format!("field {key:?}: out of range"))
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.map.get(key) {
+            Some(Val::Bool(b)) => Ok(*b),
+            other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.map.get(key) {
+            Some(Val::Str(s)) => Ok(s),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+
+    fn mode(&self, key: &str) -> Result<Mode, String> {
+        let s = self.str(key)?;
+        Mode::from_short_name(s).ok_or_else(|| format!("field {key:?}: unknown mode {s:?}"))
+    }
+
+    fn modeset(&self, key: &str) -> Result<ModeSet, String> {
+        let s = self.str(key)?;
+        let mut set = ModeSet::new();
+        for part in s.split('|').filter(|p| !p.is_empty()) {
+            set.insert(
+                Mode::from_short_name(part)
+                    .ok_or_else(|| format!("field {key:?}: unknown mode {part:?}"))?,
+            );
+        }
+        Ok(set)
+    }
+
+    fn opt_u32(&self, key: &str) -> Result<Option<u32>, String> {
+        match self.map.get(key) {
+            Some(Val::Null) | None => Ok(None),
+            Some(Val::Num(n)) => u32::try_from(*n)
+                .map(Some)
+                .map_err(|_| format!("field {key:?}: out of u32 range")),
+            other => Err(format!(
+                "field {key:?}: expected number|null, got {other:?}"
+            )),
+        }
+    }
+}
+
+/// Parse one JSONL line into a record.
+pub fn parse_record(line: &str) -> Result<TraceRecord, String> {
+    let map = parse_flat_object(line)?;
+    let f = Fields { map: &map };
+    let kind = f.str("event")?.to_string();
+    let event = match kind.as_str() {
+        "request_sent" => ProtocolEvent::RequestSent {
+            to: f.u32("to")?,
+            mode: f.mode("mode")?,
+            upgrade: f.boolean("upgrade")?,
+        },
+        "request_forwarded" => ProtocolEvent::RequestForwarded {
+            to: f.u32("to")?,
+            requester: f.u32("requester")?,
+            mode: f.mode("mode")?,
+        },
+        "request_queued" => ProtocolEvent::RequestQueued {
+            requester: f.u32("requester")?,
+            mode: f.mode("mode")?,
+            depth: f.usize("depth")?,
+        },
+        "queue_served" => ProtocolEvent::QueueServed {
+            requester: f.u32("requester")?,
+            mode: f.mode("mode")?,
+            depth: f.usize("depth")?,
+        },
+        "child_grant" => ProtocolEvent::ChildGrant {
+            to: f.u32("to")?,
+            mode: f.mode("mode")?,
+        },
+        "local_grant" => ProtocolEvent::LocalGrant {
+            mode: f.mode("mode")?,
+        },
+        "grant_received" => ProtocolEvent::GrantReceived {
+            from: f.u32("from")?,
+            mode: f.mode("mode")?,
+        },
+        "token_sent" => ProtocolEvent::TokenSent {
+            to: f.u32("to")?,
+            mode: f.mode("mode")?,
+            queued: f.usize("queued")?,
+        },
+        "token_received" => ProtocolEvent::TokenReceived {
+            from: f.u32("from")?,
+            queued: f.usize("queued")?,
+        },
+        "release_sent" => ProtocolEvent::ReleaseSent {
+            to: f.u32("to")?,
+            new_owned: f.mode("new_owned")?,
+            ack: f.num("ack")?,
+        },
+        "release_applied" => ProtocolEvent::ReleaseApplied {
+            from: f.u32("from")?,
+            new_owned: f.mode("new_owned")?,
+            stale: f.boolean("stale")?,
+        },
+        "frozen" => ProtocolEvent::Frozen {
+            modes: f.modeset("modes")?,
+        },
+        "unfrozen" => ProtocolEvent::Unfrozen,
+        "freeze_sent" => ProtocolEvent::FreezeSent {
+            to: f.u32("to")?,
+            modes: f.modeset("modes")?,
+        },
+        "upgrade_started" => ProtocolEvent::UpgradeStarted,
+        "upgraded" => ProtocolEvent::Upgraded,
+        "parent_changed" => ProtocolEvent::ParentChanged {
+            old: f.opt_u32("old")?,
+            new: f.opt_u32("new")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TraceRecord {
+        seq: f.num("seq")?,
+        at: f.num("at")?,
+        node: f.u32("node")?,
+        lock: f.u32("lock")?,
+        event,
+    })
+}
+
+/// Read a whole JSONL trace (blank lines ignored).
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<Vec<TraceRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| ParseError::Json {
+            line: i + 1,
+            reason: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_record(&line).map_err(|reason| ParseError::Record {
+            line: i + 1,
+            reason,
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::one_of_each;
+
+    #[test]
+    fn round_trip_every_variant() {
+        let records: Vec<TraceRecord> = one_of_each()
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TraceRecord {
+                seq: i as u64,
+                at: 1000 + i as u64,
+                node: i as u32 % 5,
+                lock: i as u32 % 3,
+                event,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).expect("write to vec");
+        let text = String::from_utf8(buf).expect("utf8");
+        let back = read_jsonl(text.as_bytes()).expect("parse back");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn lines_are_flat_single_objects() {
+        let records: Vec<TraceRecord> = one_of_each()
+            .into_iter()
+            .map(|event| TraceRecord {
+                seq: 0,
+                at: 0,
+                node: 0,
+                lock: 0,
+                event,
+            })
+            .collect();
+        for r in &records {
+            let line = record_to_json(r);
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(!line.contains('\n'));
+            // Flat: no nested objects or arrays.
+            assert_eq!(line.matches('{').count(), 1, "{line}");
+            assert!(!line.contains('['), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_record("not json").is_err());
+        assert!(parse_record("{}").is_err());
+        assert!(parse_record(r#"{"seq":0,"at":0,"node":0,"lock":0,"event":"nope"}"#).is_err());
+        assert!(parse_record(
+            r#"{"seq":0,"at":0,"node":0,"lock":0,"event":"local_grant","mode":"XX"}"#
+        )
+        .is_err());
+        let err = read_jsonl("{\"seq\":0}\n".as_bytes());
+        assert!(matches!(err, Err(ParseError::Record { line: 1, .. })));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let rec = TraceRecord {
+            seq: 9,
+            at: 8,
+            node: 7,
+            lock: 6,
+            event: ProtocolEvent::Unfrozen,
+        };
+        let text = format!("\n{}\n\n", record_to_json(&rec));
+        let back = read_jsonl(text.as_bytes()).expect("parse");
+        assert_eq!(back, vec![rec]);
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        // The format never emits exotic strings today, but the writer/parser
+        // pair must still agree on escapes.
+        let mut s = String::new();
+        super::escape_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+        let parsed = super::parse_flat_object(&format!("{{\"k\":\"{s}\"}}")).expect("parse");
+        assert_eq!(
+            parsed.get("k"),
+            Some(&Val::Str("a\"b\\c\nd\te\u{1}".into()))
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Structured protocol event tracing.
+//!
+//! The paper's evaluation is entirely about *why* messages happen — which of
+//! the seven rules fired, when the token froze modes, when a request was
+//! queued instead of forwarded. This crate defines the machine-readable
+//! event stream that explains those decisions:
+//!
+//! * [`ProtocolEvent`] — one enum variant per interesting protocol action
+//!   (rule firings, token transfer, path compression, queue churn), each
+//!   classified by [`ProtocolEvent::rule`] and, for events that correspond
+//!   1:1 to an outgoing message, [`ProtocolEvent::send_class`].
+//! * [`Observer`] — the sink the `dlm-core` state machine emits into. The
+//!   no-op [`NullObserver`] reports `enabled() == false`, so the hot path
+//!   pays a single branch and never constructs an event.
+//! * [`Recorder`] — a time-stamped, lock-scoped store of [`TraceRecord`]s:
+//!   unbounded [`VecRecorder`], bounded [`RingRecorder`], statistics-only
+//!   [`TraceStats`], and combinators ([`Tee`], `Rc<RefCell<_>>` sharing).
+//! * [`jsonl`] — a line-oriented trace file format (one flat JSON object per
+//!   record) with a reader, writer, and round-trip guarantees.
+//!
+//! The three runtimes stamp time differently: the lock-step testkit counts
+//! delivery steps, the simulator uses virtual microseconds, and the cluster
+//! uses wall-clock microseconds since runtime start. Everything downstream
+//! (per-rule counters, causal-chain reconstruction, the `events` analysis
+//! bin) is agnostic to which clock produced `at`.
+
+mod event;
+pub mod jsonl;
+mod observer;
+mod recorder;
+
+pub use event::{ProtocolEvent, SendClass, TraceRecord};
+pub use observer::{NullObserver, Observer, Stamp};
+pub use recorder::{merge_records, Recorder, RingRecorder, Tee, TraceStats, VecRecorder};

@@ -1,0 +1,92 @@
+//! The emission side: what the protocol state machine talks to.
+
+use crate::event::ProtocolEvent;
+use crate::recorder::Recorder;
+
+/// Sink for protocol events, threaded through the `dlm-core` entry points.
+///
+/// The contract that keeps tracing off the hot path: emitters must guard
+/// event *construction* behind [`Observer::enabled`], so a disabled observer
+/// costs exactly one branch per potential event:
+///
+/// ```ignore
+/// if obs.enabled() {
+///     obs.emit(node, ProtocolEvent::ChildGrant { to, mode });
+/// }
+/// ```
+pub trait Observer {
+    /// False for sinks that discard everything — callers skip event
+    /// construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record `event`, observed at `node`. Only called when
+    /// [`Observer::enabled`] is true.
+    fn emit(&mut self, node: u32, event: ProtocolEvent);
+}
+
+/// The disabled observer: `enabled()` is false and `emit` unreachable in
+/// practice (a no-op if called anyway).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _node: u32, _event: ProtocolEvent) {}
+}
+
+/// Binds a clock reading and a lock id to a [`Recorder`], yielding the
+/// [`Observer`] a single protocol operation emits into.
+///
+/// Runtimes build one per entry-point call (it is two words), reading their
+/// clock once: the testkit stamps delivery steps, the simulator virtual
+/// time, the cluster wall-clock micros.
+pub struct Stamp<'a> {
+    /// Timestamp every event of this operation carries.
+    pub at: u64,
+    /// The lock the driven `HierNode` instance belongs to.
+    pub lock: u32,
+    /// Where records go.
+    pub sink: &'a mut dyn Recorder,
+}
+
+impl Observer for Stamp<'_> {
+    fn emit(&mut self, node: u32, event: ProtocolEvent) {
+        self.sink.record(self.at, self.lock, node, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::VecRecorder;
+    use dlm_modes::Mode;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let mut obs = NullObserver;
+        assert!(!obs.enabled());
+        obs.emit(0, ProtocolEvent::Upgraded); // must be harmless
+    }
+
+    #[test]
+    fn stamp_binds_time_and_lock() {
+        let mut rec = VecRecorder::new();
+        {
+            let mut obs = Stamp {
+                at: 42,
+                lock: 3,
+                sink: &mut rec,
+            };
+            assert!(obs.enabled());
+            obs.emit(7, ProtocolEvent::LocalGrant { mode: Mode::Read });
+        }
+        assert_eq!(rec.records.len(), 1);
+        let r = &rec.records[0];
+        assert_eq!((r.at, r.lock, r.node, r.seq), (42, 3, 7, 0));
+    }
+}

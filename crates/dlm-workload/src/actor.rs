@@ -30,6 +30,15 @@ pub enum Wire {
     },
 }
 
+impl Wire {
+    /// The lock this payload targets.
+    pub fn lock(&self) -> LockId {
+        match self {
+            Wire::Hier { lock, .. } | Wire::Naimi { lock, .. } => *lock,
+        }
+    }
+}
+
 const TIMER_IDLE: u64 = 1;
 const TIMER_CS: u64 = 2;
 const TIMER_CS_POST_UPGRADE: u64 = 3;
@@ -165,7 +174,10 @@ impl AppActor {
             let mut events = Vec::new();
             self.requests_issued += 1;
             self.issue_time = ctx.now();
-            self.stack.acquire(lock, mode, &mut out, &mut events);
+            let stack = &mut self.stack;
+            ctx.observe(lock.0, |obs| {
+                stack.acquire(lock, mode, &mut out, &mut events, obs)
+            });
             if !out.is_empty() {
                 self.sent_by_kind.incr("request.initial");
             }
@@ -196,7 +208,10 @@ impl AppActor {
         for &(lock, _) in plan.locks.iter().rev() {
             let mut out = Vec::new();
             let mut events = Vec::new();
-            self.stack.release(lock, &mut out, &mut events);
+            let stack = &mut self.stack;
+            ctx.observe(lock.0, |obs| {
+                stack.release(lock, &mut out, &mut events, obs)
+            });
             debug_assert!(events.is_empty(), "release grants nothing locally");
             self.send_all(out, ctx);
         }
@@ -225,7 +240,11 @@ impl AppActor {
                 }
                 ProtoEvent::Upgraded(lock) => {
                     assert_eq!(lock, LockId::TABLE);
-                    assert_eq!(self.phase, Phase::Upgrading, "unexpected upgrade completion");
+                    assert_eq!(
+                        self.phase,
+                        Phase::Upgrading,
+                        "unexpected upgrade completion"
+                    );
                     self.request_latency
                         .record(ctx.now().saturating_sub(self.issue_time));
                     self.upgrades_done += 1;
@@ -253,7 +272,11 @@ impl Actor for AppActor {
     fn on_message(&mut self, from: NodeId, wire: Wire, ctx: &mut Ctx<'_, Wire>) {
         let mut out = Vec::new();
         let mut events = Vec::new();
-        self.stack.on_wire(from, wire, &mut out, &mut events);
+        let lock = wire.lock();
+        let stack = &mut self.stack;
+        ctx.observe(lock.0, |obs| {
+            stack.on_wire(from, wire, &mut out, &mut events, obs)
+        });
         self.send_all(out, ctx);
         self.handle_events(events, ctx);
     }
@@ -273,7 +296,10 @@ impl Actor for AppActor {
                     self.issue_time = ctx.now();
                     let mut out = Vec::new();
                     let mut events = Vec::new();
-                    self.stack.upgrade(LockId::TABLE, &mut out, &mut events);
+                    let stack = &mut self.stack;
+                    ctx.observe(LockId::TABLE.0, |obs| {
+                        stack.upgrade(LockId::TABLE, &mut out, &mut events, obs)
+                    });
                     self.send_all(out, ctx);
                     self.handle_events(events, ctx);
                 } else {

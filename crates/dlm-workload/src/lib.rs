@@ -32,6 +32,6 @@ pub use actor::{AppActor, Wire};
 pub use params::{ModeMix, ProtocolKind, WorkloadParams};
 pub use plan::{OpKind, OpPlan};
 pub use report::WorkloadReport;
-pub use runner::{audit_hier_run, run_workload};
+pub use runner::{audit_hier_run, run_workload, run_workload_traced};
 
 pub use dlm_core::{LockId, NodeId};

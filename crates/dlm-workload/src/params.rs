@@ -192,7 +192,10 @@ mod tests {
             ProtocolKind::NaimiSameWork.label(),
         ];
         assert_eq!(
-            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             3
         );
     }

@@ -4,7 +4,7 @@
 
 use crate::actor::Wire;
 use crate::LockId;
-use dlm_core::{Effect, HierNode, Message, Mode, NodeId, ProtocolConfig};
+use dlm_core::{Effect, HierNode, Message, Mode, NodeId, Observer, ProtocolConfig};
 use dlm_naimi::{NaimiEffect, NaimiMessage, NaimiNode};
 
 /// A protocol-level notification back to the application.
@@ -66,17 +66,20 @@ impl ProtoStack {
     }
 
     /// Request `lock` in `mode` (mode ignored by Naimi: always exclusive).
+    /// `obs` receives the structured protocol events of the hierarchical
+    /// protocol (Naimi is not instrumented).
     pub fn acquire(
         &mut self,
         lock: LockId,
         mode: Mode,
         out: &mut Vec<(NodeId, Wire)>,
         events: &mut Vec<ProtoEvent>,
+        obs: &mut dyn Observer,
     ) {
         match self {
             ProtoStack::Hier(v) => {
                 let effects = v[lock.index()]
-                    .on_acquire(mode)
+                    .on_acquire_observed(mode, 0, obs)
                     .expect("workload issues well-formed acquires");
                 absorb_hier(lock, effects, out, events);
             }
@@ -95,11 +98,12 @@ impl ProtoStack {
         lock: LockId,
         out: &mut Vec<(NodeId, Wire)>,
         events: &mut Vec<ProtoEvent>,
+        obs: &mut dyn Observer,
     ) {
         match self {
             ProtoStack::Hier(v) => {
                 let effects = v[lock.index()]
-                    .on_release()
+                    .on_release_observed(obs)
                     .expect("workload releases only held locks");
                 absorb_hier(lock, effects, out, events);
             }
@@ -118,11 +122,12 @@ impl ProtoStack {
         lock: LockId,
         out: &mut Vec<(NodeId, Wire)>,
         events: &mut Vec<ProtoEvent>,
+        obs: &mut dyn Observer,
     ) {
         match self {
             ProtoStack::Hier(v) => {
                 let effects = v[lock.index()]
-                    .on_upgrade()
+                    .on_upgrade_observed(obs)
                     .expect("workload upgrades only held U locks");
                 absorb_hier(lock, effects, out, events);
             }
@@ -137,10 +142,11 @@ impl ProtoStack {
         wire: Wire,
         out: &mut Vec<(NodeId, Wire)>,
         events: &mut Vec<ProtoEvent>,
+        obs: &mut dyn Observer,
     ) {
         match (self, wire) {
             (ProtoStack::Hier(v), Wire::Hier { lock, message }) => {
-                let effects = v[lock.index()].on_message(from, message);
+                let effects = v[lock.index()].on_message_observed(from, message, obs);
                 absorb_hier(lock, effects, out, events);
             }
             (ProtoStack::Naimi(v), Wire::Naimi { lock, message }) => {
@@ -215,13 +221,20 @@ pub fn wire_kind(wire: &Wire) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlm_core::NullObserver;
 
     #[test]
     fn hier_stack_local_token_grant() {
         let mut stack = ProtoStack::new_hier(NodeId(0), 3, ProtocolConfig::paper());
         let mut out = Vec::new();
         let mut events = Vec::new();
-        stack.acquire(LockId::TABLE, Mode::Read, &mut out, &mut events);
+        stack.acquire(
+            LockId::TABLE,
+            Mode::Read,
+            &mut out,
+            &mut events,
+            &mut NullObserver,
+        );
         assert!(out.is_empty(), "token node grants itself locally");
         assert_eq!(events, vec![ProtoEvent::Granted(LockId::TABLE)]);
     }
@@ -231,7 +244,13 @@ mod tests {
         let mut stack = ProtoStack::new_hier(NodeId(1), 2, ProtocolConfig::paper());
         let mut out = Vec::new();
         let mut events = Vec::new();
-        stack.acquire(LockId::entry(0), Mode::Write, &mut out, &mut events);
+        stack.acquire(
+            LockId::entry(0),
+            Mode::Write,
+            &mut out,
+            &mut events,
+            &mut NullObserver,
+        );
         assert_eq!(out.len(), 1);
         assert!(events.is_empty());
         let (to, wire) = &out[0];
@@ -245,18 +264,24 @@ mod tests {
 
     #[test]
     fn naimi_stack_round_trip_between_two_stacks() {
-        let mut a = ProtoStack::new_naimi(NodeId(0), 1, );
+        let mut a = ProtoStack::new_naimi(NodeId(0), 1);
         let mut b = ProtoStack::new_naimi(NodeId(1), 1);
         let mut out = Vec::new();
         let mut events = Vec::new();
-        b.acquire(LockId::TABLE, Mode::Write, &mut out, &mut events);
+        b.acquire(
+            LockId::TABLE,
+            Mode::Write,
+            &mut out,
+            &mut events,
+            &mut NullObserver,
+        );
         let (to, wire) = out.pop().unwrap();
         assert_eq!(to, NodeId(0));
-        a.on_wire(NodeId(1), wire, &mut out, &mut events);
+        a.on_wire(NodeId(1), wire, &mut out, &mut events, &mut NullObserver);
         let (to, wire) = out.pop().unwrap();
         assert_eq!(to, NodeId(1));
         assert_eq!(wire_kind(&wire), "token.table");
-        b.on_wire(NodeId(0), wire, &mut out, &mut events);
+        b.on_wire(NodeId(0), wire, &mut out, &mut events, &mut NullObserver);
         assert_eq!(events, vec![ProtoEvent::Granted(LockId::TABLE)]);
     }
 
@@ -274,6 +299,7 @@ mod tests {
             },
             &mut out,
             &mut events,
+            &mut NullObserver,
         );
     }
 }

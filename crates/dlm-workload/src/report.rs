@@ -36,6 +36,18 @@ pub struct WorkloadReport {
     pub op_latency_by_kind: [Histogram; 5],
     /// Messages by protocol kind (request/grant/token/release/freeze).
     pub sent_by_kind: dlm_metrics::CounterSet,
+    /// Structured-trace events per paper rule (`rule3.1-child-grant`, …).
+    /// Empty for Naimi runs (only the hierarchical protocol is traced).
+    pub rule_counters: dlm_metrics::CounterSet,
+    /// Send-class trace events per wire kind; sums to [`Self::messages`]
+    /// exactly on hierarchical runs (the 1:1 event↔send contract).
+    pub trace_sends: dlm_metrics::CounterSet,
+    /// Local queue depth observed at every queue insertion.
+    #[serde(skip)]
+    pub queue_depth: Histogram,
+    /// Per-(lock, node) freeze durations, µs of virtual time.
+    #[serde(skip)]
+    pub freeze_spans: Histogram,
 }
 
 impl WorkloadReport {

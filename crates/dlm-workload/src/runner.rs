@@ -7,17 +7,15 @@ use crate::{LockId, Wire};
 use dlm_core::{audit, AuditError, InFlight, NodeId};
 use dlm_metrics::Histogram;
 use dlm_sim::{Sim, SimConfig};
+use dlm_trace::{Recorder, Tee, TraceStats};
+use std::cell::RefCell;
+use std::rc::Rc;
 
-/// Run one workload to completion and aggregate the measurements.
-///
-/// Deterministic: the same `params` (including seed) produce bit-identical
-/// reports.
-pub fn run_workload(params: &WorkloadParams) -> WorkloadReport {
-    params.validate();
+fn build_sim(params: &WorkloadParams) -> Sim<AppActor> {
     let actors: Vec<AppActor> = (0..params.nodes)
         .map(|i| AppActor::new(NodeId(i as u32), *params))
         .collect();
-    let mut sim = Sim::new(
+    Sim::new(
         actors,
         SimConfig {
             latency: params.latency,
@@ -27,9 +25,44 @@ pub fn run_workload(params: &WorkloadParams) -> WorkloadReport {
             horizon: u64::MAX,
             max_events: 50_000_000,
         },
-    );
+    )
+}
+
+/// Attach the always-on statistics sink (plus an optional full-trace sink)
+/// and return the handle the report is filled from.
+fn attach_trace(
+    sim: &mut Sim<AppActor>,
+    extra: Option<Rc<RefCell<dyn Recorder>>>,
+) -> Rc<RefCell<TraceStats>> {
+    let stats: Rc<RefCell<TraceStats>> = Rc::new(RefCell::new(TraceStats::new()));
+    match extra {
+        Some(sink) => sim.record_into(Rc::new(RefCell::new(Tee(Rc::clone(&stats), sink)))),
+        None => sim.record_into(Rc::clone(&stats) as Rc<RefCell<dyn Recorder>>),
+    }
+    stats
+}
+
+/// Run one workload to completion and aggregate the measurements.
+///
+/// Deterministic: the same `params` (including seed) produce bit-identical
+/// reports.
+pub fn run_workload(params: &WorkloadParams) -> WorkloadReport {
+    run_workload_traced(params, None)
+}
+
+/// [`run_workload`] with an optional extra [`Recorder`] receiving the full
+/// structured event stream (e.g. a `VecRecorder` destined for a JSONL trace
+/// file). The per-rule statistics in the report are collected either way.
+pub fn run_workload_traced(
+    params: &WorkloadParams,
+    extra: Option<Rc<RefCell<dyn Recorder>>>,
+) -> WorkloadReport {
+    params.validate();
+    let mut sim = build_sim(params);
+    let trace = attach_trace(&mut sim, extra);
     let stats = sim.run();
-    aggregate(params, sim.actors(), &stats)
+    let trace = trace.borrow().clone();
+    aggregate(params, sim.actors(), &stats, trace)
 }
 
 /// Fold per-actor measurements into one report.
@@ -37,6 +70,7 @@ fn aggregate(
     params: &WorkloadParams,
     actors: &[AppActor],
     stats: &dlm_sim::RunStats,
+    trace: TraceStats,
 ) -> WorkloadReport {
     let mut request_latency = Histogram::new();
     let mut op_latency = Histogram::new();
@@ -69,6 +103,10 @@ fn aggregate(
         op_latency,
         op_latency_by_kind,
         sent_by_kind,
+        rule_counters: trace.rules,
+        trace_sends: trace.sends,
+        queue_depth: trace.queue_depth,
+        freeze_spans: trace.freeze_spans,
     }
 }
 
@@ -82,19 +120,8 @@ pub fn audit_hier_run(params: &WorkloadParams) -> (WorkloadReport, Vec<AuditErro
         "auditing applies to the hierarchical protocol"
     );
     params.validate();
-    let actors: Vec<AppActor> = (0..params.nodes)
-        .map(|i| AppActor::new(NodeId(i as u32), *params))
-        .collect();
-    let mut sim = Sim::new(
-        actors,
-        SimConfig {
-            latency: params.latency,
-            two_site: params.geo,
-            seed: params.seed,
-            horizon: u64::MAX,
-            max_events: 50_000_000,
-        },
-    );
+    let mut sim = build_sim(params);
+    let trace = attach_trace(&mut sim, None);
     let stats = sim.run();
 
     let mut errors = Vec::new();
@@ -103,12 +130,7 @@ pub fn audit_hier_run(params: &WorkloadParams) -> (WorkloadReport, Vec<AuditErro
         let nodes: Vec<dlm_core::HierNode> = sim
             .actors()
             .iter()
-            .map(|a| {
-                a.stack()
-                    .hier(lock)
-                    .expect("hier protocol stack")
-                    .clone()
-            })
+            .map(|a| a.stack().hier(lock).expect("hier protocol stack").clone())
             .collect();
         let in_flight: Vec<InFlight> = sim
             .in_flight()
@@ -124,7 +146,8 @@ pub fn audit_hier_run(params: &WorkloadParams) -> (WorkloadReport, Vec<AuditErro
         errors.extend(audit(&nodes, &in_flight, stats.quiesced));
     }
 
-    let report = aggregate(params, sim.actors(), &stats);
+    let trace = trace.borrow().clone();
+    let report = aggregate(params, sim.actors(), &stats, trace);
     (report, errors)
 }
 
@@ -212,6 +235,44 @@ mod tests {
             "a lone token holder self-grants everything"
         );
         assert_eq!(report.request_latency.max(), 0);
+    }
+
+    #[test]
+    fn trace_sends_equal_messages() {
+        let report = run_workload(&small(ProtocolKind::Hier, 6, 42));
+        assert_eq!(
+            report.trace_sends.total(),
+            report.messages,
+            "one send-class event per wire message"
+        );
+        assert!(report.rule_counters.total() > 0);
+        assert!(report.rule_counters.get("rule1-request") > 0);
+    }
+
+    #[test]
+    fn naimi_runs_produce_empty_trace() {
+        let report = run_workload(&small(ProtocolKind::NaimiPure, 4, 42));
+        assert_eq!(report.rule_counters.total(), 0);
+        assert_eq!(report.trace_sends.total(), 0);
+    }
+
+    #[test]
+    fn extra_recorder_sees_the_full_stream() {
+        use dlm_trace::VecRecorder;
+        let rec: Rc<RefCell<VecRecorder>> = Rc::new(RefCell::new(VecRecorder::new()));
+        let report = run_workload_traced(
+            &small(ProtocolKind::Hier, 5, 9),
+            Some(Rc::clone(&rec) as Rc<RefCell<dyn Recorder>>),
+        );
+        let records = rec.borrow();
+        let sends = records
+            .records
+            .iter()
+            .filter(|r| r.event.send_class().is_some())
+            .count() as u64;
+        assert_eq!(sends, report.messages);
+        // Virtual-time stamps are monotone within the single-threaded sim.
+        assert!(records.records.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

@@ -84,7 +84,10 @@ fn main() {
     }
 
     let remaining: i64 = seats.iter().map(|s| s.load(Ordering::SeqCst)).sum();
-    println!("\nseats remaining: {remaining} / {}", FLIGHTS as i64 * SEATS_PER_FLIGHT);
+    println!(
+        "\nseats remaining: {remaining} / {}",
+        FLIGHTS as i64 * SEATS_PER_FLIGHT
+    );
     println!("seats booked:    {total_booked}");
     assert_eq!(
         remaining + total_booked,

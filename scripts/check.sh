@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Pre-commit gate: formatting, lints, and the tier-1 build+test suite.
+# Fully offline — everything below works without network access.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests: cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -94,7 +94,10 @@ fn fig9_shapes() {
     let n = fig.x.len();
     let r1 = fig.series("ratio=1").values[n - 1];
     let r25 = fig.series("ratio=25").values[n - 1];
-    assert!(r1 < r25, "ratio 1 ({r1}) must cost fewer msgs than ratio 25 ({r25})");
+    assert!(
+        r1 < r25,
+        "ratio 1 ({r1}) must cost fewer msgs than ratio 25 ({r25})"
+    );
     for label in ["ratio=1", "ratio=5", "ratio=10", "ratio=25"] {
         let tail = fig.series(label).values[n - 1];
         assert!(

@@ -1,0 +1,218 @@
+//! Offline shim for `bytes`: the subset the wire codec uses.
+//!
+//! [`Bytes`] is a cheaply-clonable shared byte view whose [`Buf`] reads
+//! consume from the front (advancing a cursor rather than reallocating);
+//! [`BytesMut`] is a growable builder whose [`BufMut`] writes append, frozen
+//! into a [`Bytes`] when complete. See `vendor/README.md`.
+
+use std::sync::Arc;
+
+/// Read cursor over a byte sequence; reads consume from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume and return one byte; panics when empty.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a little-endian `u16`; panics when short.
+    fn get_u16_le(&mut self) -> u16;
+    /// Consume a little-endian `u32`; panics when short.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consume a little-endian `u64`; panics when short.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Append-only byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable shared byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed (or empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new view of the sub-range `range` of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        let view = &self.as_ref()[range];
+        Bytes {
+            data: Arc::from(view),
+            pos: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "Bytes: read past end");
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+/// Growable byte builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Finish building: an immutable shared [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 1);
+        let mut f = b.freeze();
+        assert_eq!(f.len(), 15);
+        assert_eq!(f.get_u8(), 7);
+        assert_eq!(f.get_u16_le(), 0xBEEF);
+        assert_eq!(f.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(f.get_u64_le(), u64::MAX - 1);
+        assert_eq!(f.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_independent() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3, 4]);
+        let f = b.freeze();
+        let mut s = f.slice(1..3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get_u8(), 2);
+        assert_eq!(f.len(), 4, "slicing does not consume the source");
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut f = Bytes::from(vec![1]);
+        let _ = f.get_u16_le();
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline shim for `proptest`: the subset the workspace's property tests
+//! use.
+//!
+//! Semantics: every `proptest!` test runs `ProptestConfig::cases` cases, each
+//! sampling its strategies from an RNG seeded deterministically from the test
+//! path and case index — so failures are reproducible run-to-run. There is
+//! **no shrinking**: a failing case prints its full inputs and panics. See
+//! `vendor/README.md`.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests: optional `#![proptest_config(..)]`, then test
+/// functions whose arguments bind `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ( $($strat,)+ );
+                for __case in 0..__config.cases as u64 {
+                    let mut __rng = $crate::test_runner::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ( $($arg,)+ ) = {
+                        let ( $(ref $arg,)+ ) = __strategies;
+                        ( $($crate::strategy::Strategy::sample($arg, &mut __rng),)+ )
+                    };
+                    let __inputs = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(&format!(
+                                concat!("    ", stringify!($arg), " = {:?}\n"),
+                                &$arg
+                            ));
+                        )+
+                        __s
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            }
+                        )
+                    );
+                    match __outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(__msg)) => panic!(
+                            "property failed at case {}/{}: {}\n  inputs:\n{}",
+                            __case, __config.cases, __msg, __inputs
+                        ),
+                        Err(__payload) => {
+                            eprintln!(
+                                "property panicked at case {}/{}\n  inputs:\n{}",
+                                __case, __config.cases, __inputs
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strat`) or uniform (`strat, ...`) choice between
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failure aborts the case with its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                concat!(
+                    "assertion failed: ",
+                    stringify!($left),
+                    " == ",
+                    stringify!($right),
+                    "\n  left: {:?}\n  right: {:?}"
+                ),
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                concat!(
+                    "assertion failed: ",
+                    stringify!($left),
+                    " != ",
+                    stringify!($right),
+                    "\n  both: {:?}"
+                ),
+                __l
+            ));
+        }
+    }};
+}

@@ -1,0 +1,60 @@
+//! Sampling strategies over explicit value pools
+//! (`proptest::sample::{select, subsequence}`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The strategy returned by [`select`].
+pub struct Select<T: Clone> {
+    pool: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.pool[rng.gen_range(0..self.pool.len())].clone()
+    }
+}
+
+/// Uniformly pick one element of `pool`.
+pub fn select<T: Clone + 'static>(pool: Vec<T>) -> Select<T> {
+    assert!(!pool.is_empty(), "select: empty pool");
+    Select { pool }
+}
+
+/// The strategy returned by [`subsequence`].
+pub struct Subsequence<T: Clone> {
+    pool: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<T> {
+        let len = self.size.pick(rng).min(self.pool.len());
+        // Choose `len` distinct indices via partial Fisher–Yates, then emit
+        // them in pool order (a subsequence preserves relative order).
+        let mut indices: Vec<usize> = (0..self.pool.len()).collect();
+        for i in 0..len {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        let mut chosen = indices[..len].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.pool[i].clone()).collect()
+    }
+}
+
+/// Order-preserving random subsequences of `pool`, with length in `size`.
+pub fn subsequence<T: Clone + 'static>(pool: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    let size = size.into();
+    assert!(
+        size.max_len() <= pool.len(),
+        "subsequence: length range exceeds pool size"
+    );
+    Subsequence { pool, size }
+}

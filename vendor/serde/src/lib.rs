@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for future wire
+//! formats); nothing calls a serializer, so empty marker traits satisfy every
+//! in-tree use. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; never invoked).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; never invoked).
+pub trait Deserialize<'de> {}

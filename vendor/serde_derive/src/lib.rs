@@ -1,0 +1,50 @@
+//! Offline shim for `serde_derive`: emits empty marker-trait impls.
+//!
+//! Nothing in the workspace ever invokes a real serializer, so the derives
+//! only need to make `#[derive(Serialize, Deserialize)]` (including
+//! `#[serde(...)]` helper attributes) compile. No type in the tree derives
+//! serde on a generic container, so generics are rejected loudly rather than
+//! handled.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following `struct` / `enum` / `union`.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde shim cannot derive for generic type {name}"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("serde shim: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim: no struct/enum/union in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
