@@ -1,0 +1,591 @@
+//! `check` — the model-checking CLI.
+//!
+//! ```text
+//! check list                         # named scenarios and their expected outcomes
+//! check scenario <name> [options]    # run one named scenario
+//! check family [options]             # sweep an auto-enumerated scenario family
+//! check gate                         # fast CI gate (seconds, not minutes)
+//!
+//! options:
+//!   --reduction on|off|both   search mode (default both: run and compare)
+//!   --budget N                max distinct states (default 4000000)
+//!   --jsonl PATH              write the first counterexample as dlm-trace JSONL
+//!   --topology star|chain|btree   (family) initial tree shape
+//!   --nodes N                 (family) node count
+//!   --pairs N                 (family) max acquire/release pairs
+//!   --modes IR,R,U,IW,W       (family) acquire-mode alphabet
+//! ```
+//!
+//! Exit status is 0 when every run matches its expected outcome (named
+//! scenarios carry one; families and ad-hoc runs expect full verification)
+//! and 1 otherwise, so the bin doubles as a CI gate.
+
+use dlm_check::enumerate::{Family, Topology};
+use dlm_check::{
+    explore_with, replay, schedule_trace, walkthrough, CheckReport, Op, Options, Reduction,
+    Scenario, Schedule,
+};
+use dlm_core::{Mode, ProtocolConfig};
+
+/// What a named scenario is supposed to produce.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Expected {
+    Verified,
+    Deadlock,
+    Violation,
+}
+
+impl std::fmt::Display for Expected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expected::Verified => write!(f, "verified"),
+            Expected::Deadlock => write!(f, "deadlock"),
+            Expected::Violation => write!(f, "violation"),
+        }
+    }
+}
+
+struct Named {
+    name: &'static str,
+    about: &'static str,
+    expected: Expected,
+    build: fn() -> Scenario,
+}
+
+fn acquire_release(mode: Mode) -> Vec<Op> {
+    vec![Op::Acquire(mode), Op::Release]
+}
+
+const NAMED: &[Named] = &[
+    Named {
+        name: "two_writers",
+        about: "two W requests race through a shared parent",
+        expected: Expected::Verified,
+        build: || {
+            Scenario::star(
+                3,
+                vec![
+                    vec![],
+                    acquire_release(Mode::Write),
+                    acquire_release(Mode::Write),
+                ],
+                ProtocolConfig::paper(),
+            )
+        },
+    },
+    Named {
+        name: "readers_writer",
+        about: "two readers and a writer on a star",
+        expected: Expected::Verified,
+        build: || {
+            Scenario::star(
+                3,
+                vec![
+                    acquire_release(Mode::Read),
+                    acquire_release(Mode::Read),
+                    acquire_release(Mode::Write),
+                ],
+                ProtocolConfig::paper(),
+            )
+        },
+    },
+    Named {
+        name: "upgrade_race",
+        about: "a U→W upgrade racing a reader",
+        expected: Expected::Verified,
+        build: || {
+            Scenario::star(
+                3,
+                vec![
+                    vec![],
+                    vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
+                    acquire_release(Mode::Read),
+                ],
+                ProtocolConfig::paper(),
+            )
+        },
+    },
+    Named {
+        name: "chain_freeze",
+        about: "4-node chain: forwarding, freezing, token movement",
+        expected: Expected::Verified,
+        build: || {
+            Scenario::chain(
+                4,
+                vec![
+                    acquire_release(Mode::IntentRead),
+                    acquire_release(Mode::IntentRead),
+                    acquire_release(Mode::Write),
+                    acquire_release(Mode::IntentRead),
+                ],
+                ProtocolConfig::paper(),
+            )
+        },
+    },
+    Named {
+        name: "grant_release_race",
+        about: "release racing a grant from the moved token (ack counters)",
+        expected: Expected::Verified,
+        build: || {
+            Scenario::star(
+                3,
+                vec![
+                    acquire_release(Mode::IntentRead),
+                    vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
+                    acquire_release(Mode::Read),
+                ],
+                ProtocolConfig::paper(),
+            )
+        },
+    },
+    Named {
+        name: "deadlock",
+        about: "a reader that never releases strands a writer (liveness)",
+        expected: Expected::Deadlock,
+        build: || {
+            Scenario::star(
+                3,
+                vec![
+                    vec![],
+                    vec![Op::Acquire(Mode::Read)],
+                    acquire_release(Mode::Write),
+                ],
+                ProtocolConfig::paper(),
+            )
+        },
+    },
+    Named {
+        name: "seeded_bug",
+        about: "test-only stale-release bug: mutual exclusion breaks",
+        expected: Expected::Violation,
+        build: || {
+            Scenario::star(
+                3,
+                vec![
+                    acquire_release(Mode::Read),
+                    acquire_release(Mode::IntentRead),
+                    vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
+                ],
+                ProtocolConfig::paper().with_seeded_stale_release_bug(),
+            )
+        },
+    },
+];
+
+struct Cli {
+    reduction: Option<Reduction>, // None = both
+    budget: usize,
+    jsonl: Option<String>,
+    topology: Topology,
+    nodes: usize,
+    pairs: usize,
+    modes: Vec<Mode>,
+    rest: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("{}", include_usage());
+    std::process::exit(2);
+}
+
+fn include_usage() -> &'static str {
+    "usage: check list
+       check scenario <name> [--reduction on|off|both] [--budget N] [--jsonl PATH]
+       check family [--topology star|chain|btree] [--nodes N] [--pairs N] \
+[--modes IR,R,..] [--reduction ..] [--budget N]
+       check gate"
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        reduction: None,
+        budget: 4_000_000,
+        jsonl: None,
+        topology: Topology::Star,
+        nodes: 3,
+        pairs: 2,
+        modes: vec![
+            Mode::IntentRead,
+            Mode::Read,
+            Mode::Upgrade,
+            Mode::IntentWrite,
+            Mode::Write,
+        ],
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--reduction" => {
+                cli.reduction = match value("--reduction").as_str() {
+                    "on" => Some(Reduction::On),
+                    "off" => Some(Reduction::Off),
+                    "both" => None,
+                    other => {
+                        eprintln!("unknown reduction mode {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--budget" => {
+                cli.budget = value("--budget").parse().unwrap_or_else(|_| {
+                    eprintln!("--budget takes a number");
+                    usage()
+                })
+            }
+            "--jsonl" => cli.jsonl = Some(value("--jsonl")),
+            "--topology" => {
+                let v = value("--topology");
+                cli.topology = Topology::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown topology {v:?}");
+                    usage()
+                })
+            }
+            "--nodes" => {
+                cli.nodes = value("--nodes").parse().unwrap_or_else(|_| {
+                    eprintln!("--nodes takes a number");
+                    usage()
+                })
+            }
+            "--pairs" => {
+                cli.pairs = value("--pairs").parse().unwrap_or_else(|_| {
+                    eprintln!("--pairs takes a number");
+                    usage()
+                })
+            }
+            "--modes" => {
+                let v = value("--modes");
+                cli.modes = v
+                    .split(',')
+                    .map(|m| {
+                        Mode::from_short_name(m.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown mode {m:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag {a:?}");
+                usage()
+            }
+            _ => cli.rest.push(a.clone()),
+        }
+    }
+    cli
+}
+
+fn options(reduction: Reduction, budget: usize) -> Options {
+    match reduction {
+        Reduction::Off => Options::exhaustive(budget),
+        Reduction::On => Options::reduced(budget),
+    }
+}
+
+fn print_stats(label: &str, r: &CheckReport) {
+    println!(
+        "  [{label}] states={} transitions={} terminals={} violations={} deadlocks={}{}",
+        r.states,
+        r.transitions,
+        r.terminals,
+        r.violations.len(),
+        r.deadlocks.len(),
+        if r.truncated { " (TRUNCATED)" } else { "" },
+    );
+}
+
+fn outcome(r: &CheckReport) -> Expected {
+    if !r.violations.is_empty() {
+        Expected::Violation
+    } else if !r.deadlocks.is_empty() {
+        Expected::Deadlock
+    } else {
+        Expected::Verified
+    }
+}
+
+/// The first counterexample schedule a report carries, if any.
+fn first_schedule(r: &CheckReport) -> Option<(&'static str, &Schedule)> {
+    if let Some(v) = r.violations.first() {
+        Some(("violation", &v.schedule))
+    } else {
+        r.deadlocks.first().map(|d| ("deadlock", &d.schedule))
+    }
+}
+
+fn show_counterexample(s: &Scenario, r: &CheckReport, jsonl: Option<&str>) -> bool {
+    let Some((kind, schedule)) = first_schedule(r) else {
+        return true;
+    };
+    println!(
+        "  minimal replayable {kind} schedule ({} steps):",
+        schedule.0.len()
+    );
+    println!("    {schedule}");
+    println!("  walkthrough:");
+    for line in walkthrough(s, schedule).lines() {
+        println!("    {line}");
+    }
+    let replayed = replay(s, schedule);
+    for e in replayed.errors() {
+        println!("  reproduced: {e}");
+    }
+    if let Some(path) = jsonl {
+        let records = schedule_trace(s, schedule);
+        match std::fs::File::create(path) {
+            Ok(f) => match dlm_trace::jsonl::write_jsonl(f, &records) {
+                Ok(()) => println!("  wrote {} trace records to {path}", records.len()),
+                Err(e) => {
+                    eprintln!("  failed to write {path}: {e}");
+                    return false;
+                }
+            },
+            Err(e) => {
+                eprintln!("  failed to create {path}: {e}");
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Run one scenario under the requested mode(s). Returns the reports in
+/// the order run, and whether cross-mode agreement held.
+fn run_modes(s: &Scenario, cli: &Cli) -> (Vec<(Reduction, CheckReport)>, bool) {
+    let modes: &[Reduction] = match cli.reduction {
+        Some(Reduction::On) => &[Reduction::On],
+        Some(Reduction::Off) => &[Reduction::Off],
+        None => &[Reduction::Off, Reduction::On],
+    };
+    let reports: Vec<(Reduction, CheckReport)> = modes
+        .iter()
+        .map(|&m| (m, explore_with(s, options(m, cli.budget))))
+        .collect();
+    let mut agree = true;
+    if let [(_, off), (_, on)] = &reports[..] {
+        if !off.truncated && !on.truncated {
+            if outcome(off) != outcome(on) {
+                println!(
+                    "  !! modes disagree: off={} on={}",
+                    outcome(off),
+                    outcome(on)
+                );
+                agree = false;
+            }
+            if off.terminal_fingerprints != on.terminal_fingerprints {
+                println!("  !! terminal state sets differ between modes");
+                agree = false;
+            }
+            let saved = off.states.saturating_sub(on.states);
+            println!(
+                "  reduction: {} -> {} distinct states ({:.2}x, {} fewer)",
+                off.states,
+                on.states,
+                off.states as f64 / on.states.max(1) as f64,
+                saved
+            );
+        }
+    }
+    (reports, agree)
+}
+
+fn cmd_list() -> i32 {
+    println!("named scenarios (check scenario <name>):");
+    for n in NAMED {
+        println!(
+            "  {:20} expect {:9} — {}",
+            n.name,
+            n.expected.to_string(),
+            n.about
+        );
+    }
+    0
+}
+
+fn cmd_scenario(cli: &Cli) -> i32 {
+    let Some(name) = cli.rest.first() else {
+        eprintln!("check scenario: which one? (see `check list`)");
+        return 2;
+    };
+    let Some(named) = NAMED.iter().find(|n| n.name == *name) else {
+        eprintln!("unknown scenario {name:?} (see `check list`)");
+        return 2;
+    };
+    let s = (named.build)();
+    println!(
+        "scenario {} — {} (expect {})",
+        named.name, named.about, named.expected
+    );
+    let (reports, agree) = run_modes(&s, cli);
+    let mut ok = agree;
+    for (mode, r) in &reports {
+        print_stats(&mode.to_string(), r);
+        if r.truncated {
+            println!("  !! truncated at {} states; raise --budget", r.states);
+            ok = false;
+        } else if outcome(r) != named.expected {
+            println!("  !! expected {}, got {}", named.expected, outcome(r));
+            ok = false;
+        }
+    }
+    if let Some((_, r)) = reports.iter().find(|(_, r)| first_schedule(r).is_some()) {
+        if !show_counterexample(&s, r, cli.jsonl.as_deref()) {
+            ok = false;
+        }
+    }
+    println!("{}", if ok { "OK" } else { "FAILED" });
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
+fn cmd_family(cli: &Cli) -> i32 {
+    let fam = Family {
+        topology: cli.topology,
+        nodes: cli.nodes,
+        modes: cli.modes.clone(),
+        pairs: cli.pairs,
+        config: ProtocolConfig::paper(),
+    };
+    let scenarios = fam.scenarios();
+    println!(
+        "family {} n={} pairs<={} modes=[{}]: {} scenarios after symmetry dedup",
+        fam.topology,
+        fam.nodes,
+        fam.pairs,
+        fam.modes
+            .iter()
+            .map(|m| m.short_name())
+            .collect::<Vec<_>>()
+            .join(","),
+        scenarios.len()
+    );
+    let reduction = cli.reduction.unwrap_or(Reduction::Off);
+    let mut states = 0usize;
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+    let mut truncated = 0usize;
+    let mut failed = 0usize;
+    for (i, s) in scenarios.iter().enumerate() {
+        let r = explore_with(s, options(reduction, cli.budget));
+        states += r.states;
+        transitions += r.transitions;
+        terminals += r.terminals;
+        if r.truncated {
+            truncated += 1;
+            continue;
+        }
+        if outcome(&r) != Expected::Verified {
+            failed += 1;
+            println!("scenario #{i}: {}", outcome(&r));
+            for (node, script) in s.scripts.iter().enumerate() {
+                let ops: Vec<String> = script.iter().map(|o| o.to_string()).collect();
+                println!("  n{node}: [{}]", ops.join(", "));
+            }
+            show_counterexample(s, &r, None);
+        }
+    }
+    println!(
+        "swept {} scenarios [{reduction}]: {} states, {} transitions, {} terminals; \
+         {} truncated, {} failed",
+        scenarios.len(),
+        states,
+        transitions,
+        terminals,
+        truncated,
+        failed
+    );
+    if failed == 0 {
+        println!("OK");
+        0
+    } else {
+        println!("FAILED");
+        1
+    }
+}
+
+/// The CI gate: every named scenario in both modes (cross-checked), plus a
+/// small star family sweep. Budgets are sized to finish in seconds.
+fn cmd_gate() -> i32 {
+    let mut status = 0;
+    for n in NAMED {
+        let cli = Cli {
+            reduction: None,
+            budget: 1_000_000,
+            jsonl: None,
+            topology: Topology::Star,
+            nodes: 3,
+            pairs: 2,
+            modes: Vec::new(),
+            rest: vec![n.name.to_string()],
+        };
+        let s = (n.build)();
+        let (reports, agree) = run_modes(&s, &cli);
+        let mut ok = agree;
+        for (mode, r) in &reports {
+            if r.truncated || outcome(r) != n.expected {
+                println!(
+                    "gate: {} [{mode}]: expected {}, got {}",
+                    n.name,
+                    n.expected,
+                    outcome(r)
+                );
+                ok = false;
+            }
+        }
+        println!("gate: {:20} {}", n.name, if ok { "ok" } else { "FAILED" });
+        if !ok {
+            status = 1;
+        }
+    }
+    let fam_cli = Cli {
+        reduction: Some(Reduction::Off),
+        budget: 200_000,
+        jsonl: None,
+        topology: Topology::Star,
+        nodes: 3,
+        pairs: 2,
+        modes: vec![
+            Mode::IntentRead,
+            Mode::Read,
+            Mode::Upgrade,
+            Mode::IntentWrite,
+            Mode::Write,
+        ],
+        rest: Vec::new(),
+    };
+    if cmd_family(&fam_cli) != 0 {
+        status = 1;
+    }
+    if status == 0 {
+        println!("gate: OK");
+    } else {
+        println!("gate: FAILED");
+    }
+    status
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let cli = parse_cli(&args[1..]);
+    let status = match cmd.as_str() {
+        "list" => cmd_list(),
+        "scenario" => cmd_scenario(&cli),
+        "family" => cmd_family(&cli),
+        "gate" => cmd_gate(),
+        _ => {
+            eprintln!("unknown command {cmd:?}");
+            usage()
+        }
+    };
+    std::process::exit(status);
+}

@@ -1,0 +1,234 @@
+//! Replayable counterexample schedules: deterministic re-execution,
+//! `dlm-trace` event-stream export, and human-readable walkthroughs.
+
+use crate::scenario::Scenario;
+use crate::state::{Action, State};
+use dlm_core::{audit, AuditError, Message, Mode};
+use dlm_trace::{Stamp, TraceRecord, VecRecorder};
+
+/// A replayable schedule: the exact sequence of actions (deliveries and
+/// script steps) leading from a scenario's initial state to the reported
+/// state. Schedules found by the exhaustive (BFS) search are minimal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule(pub Vec<Action>);
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic re-execution of a [`Schedule`].
+pub struct Replay {
+    /// Every intermediate state: `states[0]` is the initial state,
+    /// `states[k]` the state after `schedule.0[..k]`.
+    pub states: Vec<State>,
+    /// FIFO grant-order violations committed along the way, tagged with
+    /// the (1-based) step that committed them.
+    pub fifo_errors: Vec<(usize, AuditError)>,
+    /// Audit errors in the final state (in-flight–aware safety audit, plus
+    /// the quiescent audit when the final state is quiet).
+    pub final_errors: Vec<AuditError>,
+}
+
+impl Replay {
+    /// All errors the schedule reproduces, in discovery order.
+    pub fn errors(&self) -> Vec<AuditError> {
+        self.fifo_errors
+            .iter()
+            .map(|(_, e)| e.clone())
+            .chain(self.final_errors.iter().cloned())
+            .collect()
+    }
+
+    /// The state the schedule ends in.
+    pub fn final_state(&self) -> &State {
+        self.states.last().expect("at least the initial state")
+    }
+}
+
+/// Re-execute `schedule` from `scenario`'s initial state. The state machine
+/// is deterministic, so this reproduces exactly the states the exploration
+/// saw — which is what makes reported schedules genuine counterexamples
+/// rather than lossy diagnostics.
+pub fn replay(scenario: &Scenario, schedule: &Schedule) -> Replay {
+    let mut states = vec![State::initial(scenario)];
+    let mut fifo_errors = Vec::new();
+    for (k, &action) in schedule.0.iter().enumerate() {
+        let step = states.last().unwrap().apply(scenario, action);
+        for e in step.fifo_errors {
+            fifo_errors.push((k + 1, e));
+        }
+        states.push(step.state);
+    }
+    let last = states.last().unwrap();
+    let mut final_errors = audit(&last.nodes, &last.in_flight(), false);
+    if last.quiet() {
+        let quiescent = audit(&last.nodes, &[], true);
+        for e in quiescent {
+            if !final_errors.contains(&e) {
+                final_errors.push(e);
+            }
+        }
+    }
+    Replay {
+        states,
+        fifo_errors,
+        final_errors,
+    }
+}
+
+/// Replay `schedule` with `dlm-trace` observers attached, producing the
+/// protocol event stream of the counterexample execution. Each record's
+/// `at` is the 1-based schedule step that emitted it (`lock` is 0: the
+/// checker drives a single lock object), so the stream lines up with the
+/// [`walkthrough`] and round-trips through `dlm_trace::jsonl`.
+pub fn schedule_trace(scenario: &Scenario, schedule: &Schedule) -> Vec<TraceRecord> {
+    let mut recorder = VecRecorder::new();
+    let mut state = State::initial(scenario);
+    for (k, &action) in schedule.0.iter().enumerate() {
+        let mut stamp = Stamp {
+            at: (k + 1) as u64,
+            lock: 0,
+            sink: &mut recorder,
+        };
+        state = state.apply_observed(scenario, action, &mut stamp).state;
+    }
+    recorder.into_records()
+}
+
+fn mode_str(m: Mode) -> &'static str {
+    m.short_name()
+}
+
+fn describe_message(m: &Message) -> String {
+    match m {
+        Message::Request(q) => {
+            if q.upgrade {
+                format!("request({}, upgrade, from {})", mode_str(q.mode), q.from)
+            } else {
+                format!("request({}, from {})", mode_str(q.mode), q.from)
+            }
+        }
+        Message::Grant { mode } => format!("grant({})", mode_str(*mode)),
+        Message::Token { mode, queue, .. } => {
+            format!("token({}, {} queued)", mode_str(*mode), queue.len())
+        }
+        Message::Release { new_owned, ack } => {
+            format!("release(owned→{}, ack {ack})", mode_str(*new_owned))
+        }
+        Message::SetFrozen { modes } => format!("set-frozen({modes:?})"),
+    }
+}
+
+fn describe_action(state: &State, scenario: &Scenario, action: Action) -> String {
+    match action {
+        Action::Deliver { from, to } => {
+            let head = state
+                .channels
+                .get(&(from, to))
+                .and_then(|q| q.front())
+                .map(describe_message)
+                .unwrap_or_else(|| "<empty channel>".into());
+            format!("deliver n{from}→n{to}: {head}")
+        }
+        Action::Script { node } => {
+            let op = scenario.scripts[node as usize]
+                .get(state.pos[node as usize])
+                .map(|op| op.to_string())
+                .unwrap_or_else(|| "<script exhausted>".into());
+            format!("n{node} runs {op}")
+        }
+    }
+}
+
+fn render_node(state: &State, i: usize) -> String {
+    let n = &state.nodes[i];
+    let mut s = format!("n{i}");
+    if n.has_token() {
+        s.push_str("[T]");
+    }
+    s.push_str(&format!(" held={}", mode_str(n.held())));
+    if n.owned() != n.held() {
+        s.push_str(&format!(" owned={}", mode_str(n.owned())));
+    }
+    if let Some(p) = n.pending() {
+        if n.pending_is_upgrade() {
+            s.push_str(&format!(" pending={}⇑", mode_str(p)));
+        } else {
+            s.push_str(&format!(" pending={}", mode_str(p)));
+        }
+    }
+    if n.queue_len() > 0 {
+        let q: Vec<String> = n
+            .queued()
+            .map(|r| format!("{}:{}", r.from, mode_str(r.mode)))
+            .collect();
+        s.push_str(&format!(" queue=[{}]", q.join(",")));
+    }
+    if !n.frozen().is_empty() {
+        s.push_str(&format!(" frozen={:?}", n.frozen()));
+    }
+    s
+}
+
+fn render_state(state: &State) -> String {
+    let nodes: Vec<String> = (0..state.nodes.len())
+        .map(|i| render_node(state, i))
+        .collect();
+    let mut s = nodes.join(" | ");
+    if !state.channels.is_empty() {
+        let chans: Vec<String> = state
+            .channels
+            .iter()
+            .map(|(&(f, t), q)| {
+                let msgs: Vec<String> = q.iter().map(describe_message).collect();
+                format!("n{f}→n{t}: {}", msgs.join(", "))
+            })
+            .collect();
+        s.push_str(&format!("\n    in flight: {}", chans.join(" ⋮ ")));
+    }
+    s
+}
+
+/// Render a schedule as a per-step human-readable walkthrough: each step
+/// shows the action taken (with the delivered message or script op spelled
+/// out) and the resulting system state, ending with the errors the replay
+/// reproduces.
+pub fn walkthrough(scenario: &Scenario, schedule: &Schedule) -> String {
+    let replayed = replay(scenario, schedule);
+    let mut out = String::new();
+    out.push_str(&format!("initial: {}\n", render_state(&replayed.states[0])));
+    for (k, &action) in schedule.0.iter().enumerate() {
+        let pre = &replayed.states[k];
+        let post = &replayed.states[k + 1];
+        out.push_str(&format!(
+            "step {}: {}\n    {}\n",
+            k + 1,
+            describe_action(pre, scenario, action),
+            render_state(post)
+        ));
+        for (step, e) in &replayed.fifo_errors {
+            if *step == k + 1 {
+                out.push_str(&format!("    !! {e}\n"));
+            }
+        }
+    }
+    if replayed.final_errors.is_empty() && replayed.fifo_errors.is_empty() {
+        out.push_str("result: no errors reproduced\n");
+    } else {
+        for e in &replayed.final_errors {
+            out.push_str(&format!("result: {e}\n"));
+        }
+        for (step, e) in &replayed.fifo_errors {
+            out.push_str(&format!("result: step {step}: {e}\n"));
+        }
+    }
+    out
+}

@@ -1,0 +1,549 @@
+//! Dynamic partial-order reduction (Flanagan–Godefroid backtrack sets plus
+//! Godefroid sleep sets), with happens-before interval detection restoring
+//! full mutual-exclusion soundness.
+//!
+//! # Why reduction is possible
+//!
+//! Every transition of the explored system executes at exactly one node: a
+//! delivery pops one channel head and runs `on_message` at the receiver; a
+//! script step runs one entry point at its node. Sends only *append* to
+//! channel tails, and a FIFO pop-head commutes with an append-tail, so two
+//! transitions at **distinct nodes commute** — executing them in either
+//! order from any state where both are enabled reaches the same state.
+//! Exploring both orders (as the exhaustive search does) is redundant.
+//!
+//! The *processes* of the reduction are the ordered channels `Chan(x→y)`
+//! (whose transitions are that channel's deliveries, executing at `y`) and
+//! the per-node scripts `Scr(i)`; each process has at most one enabled
+//! transition per state. Two transitions are **dependent** iff they execute
+//! at the same node; send→delivery causality is captured separately by
+//! stamping each message with the vector clock of its sending transition.
+//!
+//! # What the reduction preserves, and how
+//!
+//! A Mazurkiewicz trace (an equivalence class of executions under swaps of
+//! adjacent independent transitions) has a linearization-invariant final
+//! state and linearization-invariant per-node projections. Exploring at
+//! least one linearization per trace therefore preserves *exactly*:
+//!
+//! * the set of terminal states — so the quiescent audit, freeze
+//!   convergence and deadlock detection are as strong as the exhaustive
+//!   search (the equivalence property tests assert bit-identical terminal
+//!   fingerprint sets);
+//! * every node-local check — the FIFO grant-order shield is a function of
+//!   the executing node's pre-state, which is trace-invariant.
+//!
+//! What a single linearization does **not** preserve is visibility of
+//! *global intermediate* states: if node 1's release and node 2's grant are
+//! causally unordered, one linearization shows the two critical sections
+//! overlapping and another does not — and both are in the same trace class.
+//! An interleaving-state audit alone would therefore miss mutual-exclusion
+//! violations under reduction. The checker closes this gap structurally:
+//! it tracks every critical section (a node's held-mode interval) with the
+//! vector clocks of its opening and closing transitions, and at the end of
+//! each explored path tests every incompatible pair of sections at distinct
+//! nodes for happens-before order. If neither section's close happens
+//! before the other's open, some linearization of the trace puts both
+//! holders in one state — the standard predictive-race argument — and the
+//! checker *synthesizes* that linearization (the causal past of both opens,
+//! in stack order, then the two opens) as a replayable witness schedule
+//! whose final state genuinely fails the safety audit. Reduced runs thus
+//! detect every mutual-exclusion violation the exhaustive search can, even
+//! on interleavings they never walk.
+//!
+//! # The algorithm
+//!
+//! Depth-first search over transition sequences. At each prefix, every
+//! process's next transition `t` is compared (via vector clocks) against
+//! the executed stack: the latest executed transition `S_i` that is
+//! dependent with `t` but not happens-before it marks a state where the
+//! exploration must also try `t`-first — a *backtrack point* (Flanagan–
+//! Godefroid's `E`-rule picks which process to schedule there). Sleep sets
+//! prune the redundant re-exploration of commuting siblings: after a
+//! process is explored from a state, it is put to sleep for the sibling
+//! branches and stays asleep in descendants until a dependent transition
+//! executes. The search is stateless (no pruning on revisited states —
+//! caching is unsound combined with backtrack sets), so it counts
+//! *distinct* states and *transitions* separately.
+
+use crate::counterexample::Schedule;
+use crate::explore::{record_terminal, CheckReport, Options, Reduction, Violation};
+use crate::scenario::Scenario;
+use crate::state::{Action, State};
+use dlm_core::{audit, Effect, Mode};
+use dlm_modes::compatible;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// Interned vector clocks (indexed by process id, values are 1-based
+/// positions in the executed stack).
+struct Clocks {
+    arena: Vec<Vec<u32>>,
+}
+
+type ClockId = u32;
+const ZERO: ClockId = 0;
+
+impl Clocks {
+    fn new() -> Self {
+        Clocks {
+            arena: vec![Vec::new()],
+        }
+    }
+
+    fn get(&self, id: ClockId, proc_id: usize) -> u32 {
+        self.arena[id as usize].get(proc_id).copied().unwrap_or(0)
+    }
+
+    fn join(&mut self, a: ClockId, b: ClockId) -> ClockId {
+        if a == b || b == ZERO {
+            return a;
+        }
+        if a == ZERO {
+            return b;
+        }
+        let (va, vb) = (&self.arena[a as usize], &self.arena[b as usize]);
+        let mut out = vec![0u32; va.len().max(vb.len())];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = va
+                .get(i)
+                .copied()
+                .unwrap_or(0)
+                .max(vb.get(i).copied().unwrap_or(0));
+        }
+        self.alloc(out)
+    }
+
+    /// `base` with `clock[proc_id] = index` (a transition's own clock).
+    fn with(&mut self, base: ClockId, proc_id: usize, index: u32) -> ClockId {
+        let mut v = self.arena[base as usize].clone();
+        if v.len() <= proc_id {
+            v.resize(proc_id + 1, 0);
+        }
+        v[proc_id] = v[proc_id].max(index);
+        self.alloc(v)
+    }
+
+    fn alloc(&mut self, v: Vec<u32>) -> ClockId {
+        self.arena.push(v);
+        (self.arena.len() - 1) as ClockId
+    }
+}
+
+/// Message clocks mirror `State::channels` exactly: one send-clock per
+/// in-flight message.
+type MsgClocks = BTreeMap<(u32, u32), VecDeque<ClockId>>;
+
+/// One executed transition on the current DFS path.
+struct Exec {
+    action: Action,
+    proc_id: usize,
+}
+
+/// A critical section on the current DFS path: one contiguous held-mode
+/// interval at one node, bracketed by the vector clocks of the transitions
+/// that opened and (if closed) closed it.
+struct Section {
+    node: u32,
+    mode: Mode,
+    /// 0-based stack position and clock of the opening transition.
+    start: (usize, ClockId),
+    /// Same for the closing transition; `None` while still held.
+    end: Option<(usize, ClockId)>,
+}
+
+/// Per-prefix exploration frame.
+struct Frame {
+    enabled: Vec<Action>,
+    procs: Vec<usize>,
+    backtrack: BTreeSet<usize>,
+    done: BTreeSet<usize>,
+    /// Entry sleep set plus the procs already explored from this frame.
+    sleep: BTreeSet<usize>,
+}
+
+struct Explorer<'a> {
+    scenario: &'a Scenario,
+    opts: Options,
+    report: CheckReport,
+    clocks: Clocks,
+    proc_ids: BTreeMap<(u8, u32, u32), usize>,
+    /// The (static) executing node of each process.
+    proc_node: Vec<u32>,
+    proc_clock: Vec<ClockId>,
+    node_clock: Vec<ClockId>,
+    stack: Vec<Exec>,
+    frames: Vec<Frame>,
+    sections: Vec<Section>,
+    /// Index into `sections` of each node's currently open section.
+    open: Vec<Option<usize>>,
+    seen: HashSet<u128>,
+    flagged: HashSet<u128>,
+    aborted: bool,
+}
+
+/// Run the reduced exploration.
+pub(crate) fn run(scenario: &Scenario, opts: Options) -> CheckReport {
+    let mut report = CheckReport {
+        states: 0,
+        transitions: 0,
+        terminals: 0,
+        violations: Vec::new(),
+        deadlocks: Vec::new(),
+        truncated: false,
+        reduction: Reduction::On,
+        terminal_fingerprints: BTreeSet::new(),
+    };
+    if opts.max_states == 0 {
+        report.truncated = true;
+        return report;
+    }
+    let mut explorer = Explorer {
+        scenario,
+        opts,
+        report,
+        clocks: Clocks::new(),
+        proc_ids: BTreeMap::new(),
+        proc_node: Vec::new(),
+        proc_clock: Vec::new(),
+        node_clock: vec![ZERO; scenario.parents.len()],
+        stack: Vec::new(),
+        frames: Vec::new(),
+        sections: Vec::new(),
+        open: vec![None; scenario.parents.len()],
+        seen: HashSet::new(),
+        flagged: HashSet::new(),
+        aborted: false,
+    };
+    explorer.visit(State::initial(scenario), MsgClocks::new(), BTreeSet::new());
+    explorer.report
+}
+
+impl Explorer<'_> {
+    fn intern(&mut self, action: Action) -> usize {
+        let key = match action {
+            Action::Script { node } => (0u8, node, 0u32),
+            Action::Deliver { from, to } => (1u8, from, to),
+        };
+        let next = self.proc_ids.len();
+        let id = *self.proc_ids.entry(key).or_insert(next);
+        if self.proc_clock.len() <= id {
+            self.proc_clock.resize(id + 1, ZERO);
+            self.proc_node.resize(id + 1, 0);
+            self.proc_node[id] = action.node();
+        }
+        id
+    }
+
+    fn current_schedule(&self) -> Schedule {
+        Schedule(self.stack.iter().map(|e| e.action).collect())
+    }
+
+    /// The Flanagan–Godefroid backtrack scan, run once per visited prefix:
+    /// for every process's next transition `t`, find the latest executed
+    /// transition dependent with `t` but not happens-before it, and add a
+    /// backtrack point at the prefix preceding it.
+    fn scan(&mut self, state: &State, mclocks: &MsgClocks) {
+        if self.stack.is_empty() {
+            return;
+        }
+        // Candidates: every *enabled* transition. Disabled script ops need
+        // no candidacy: a node's script enabledness changes only through
+        // transitions at that same node, which the node clock totally
+        // orders, so a disabled op can never be the first same-node
+        // transition of a reordered continuation — the race is always
+        // mediated by its enabling delivery, which the scan sees as an
+        // enabled candidate at the prefix where it exists.
+        for t in state.enabled_actions(self.scenario) {
+            let p = self.intern(t);
+            let mut c = self.proc_clock[p];
+            if let Action::Deliver { from, to } = t {
+                let head = mclocks
+                    .get(&(from, to))
+                    .and_then(|q| q.front())
+                    .copied()
+                    .expect("message clocks mirror channels");
+                c = self.clocks.join(c, head);
+            }
+            // The latest executed transition dependent with t that t could
+            // have preceded. Dependent = same node. Co-enabledness matters
+            // for script candidates: a script op's enabledness changes only
+            // through transitions at its own node, so an op that was not
+            // enabled at frame i cannot precede S_i in any trace — frames
+            // where it was disabled are not races (this is FG's "may be
+            // co-enabled" side condition). Deliveries stay unconditioned:
+            // a message can always arrive earlier via its send chain, and
+            // the E-rule proxy below schedules that chain.
+            let is_script = matches!(t, Action::Script { .. });
+            let Some(i) = (0..self.stack.len()).rev().find(|&i| {
+                let e = &self.stack[i];
+                e.action.node() == t.node() && (!is_script || self.frames[i].enabled.contains(&t))
+            }) else {
+                continue;
+            };
+            if self.clocks.get(c, self.stack[i].proc_id) >= (i + 1) as u32 {
+                continue; // already happens-before ordered: not a race
+            }
+            // E-rule: prefer scheduling t's own process at frame i if it is
+            // enabled there; else any process whose executed transition is
+            // in t's causal past; else everything enabled at frame i.
+            let frame_procs = self.frames[i].procs.clone();
+            if let Some(idx) = frame_procs.iter().position(|&q| q == p) {
+                self.frames[i].backtrack.insert(idx);
+                continue;
+            }
+            let proxy = (i + 1..self.stack.len()).find_map(|j| {
+                let pj = self.stack[j].proc_id;
+                if self.clocks.get(c, pj) >= (j + 1) as u32 {
+                    frame_procs.iter().position(|&q| q == pj)
+                } else {
+                    None
+                }
+            });
+            match proxy {
+                Some(idx) => {
+                    self.frames[i].backtrack.insert(idx);
+                }
+                None => {
+                    for idx in 0..frame_procs.len() {
+                        self.frames[i].backtrack.insert(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Does section `x`'s close happen before section `y`'s open?
+    /// An unclosed section happens-before nothing.
+    fn closes_before(&self, x: &Section, y: &Section) -> bool {
+        match x.end {
+            None => false,
+            Some((pos, _)) => {
+                self.clocks.get(y.start.1, self.stack[pos].proc_id) >= (pos + 1) as u32
+            }
+        }
+    }
+
+    /// The synthesized linearization exposing an unordered overlap: the
+    /// causal past of both opens (in stack order — a valid linearization of
+    /// any happens-before–downward-closed subset of the path), then the two
+    /// opens. In its final state both sections are open at once.
+    fn witness(&self, a: &Section, b: &Section) -> Schedule {
+        let mut acts = Vec::new();
+        for (i, e) in self.stack.iter().enumerate() {
+            if i == a.start.0 || i == b.start.0 {
+                continue;
+            }
+            let idx = (i + 1) as u32;
+            if self.clocks.get(a.start.1, e.proc_id) >= idx
+                || self.clocks.get(b.start.1, e.proc_id) >= idx
+            {
+                acts.push(e.action);
+            }
+        }
+        acts.push(self.stack[a.start.0].action);
+        acts.push(self.stack[b.start.0].action);
+        Schedule(acts)
+    }
+
+    /// At the end of an explored path: test every incompatible pair of
+    /// critical sections at distinct nodes for happens-before order, and
+    /// report each unordered pair with its synthesized witness schedule.
+    fn check_overlaps(&mut self) {
+        for i in 0..self.sections.len() {
+            for j in i + 1..self.sections.len() {
+                let (a, b) = (&self.sections[i], &self.sections[j]);
+                if a.node == b.node || compatible(a.mode, b.mode) {
+                    continue;
+                }
+                if self.closes_before(a, b) || self.closes_before(b, a) {
+                    continue;
+                }
+                if self.report.violations.len() >= CheckReport::MAX_RECORDED {
+                    return;
+                }
+                let schedule = self.witness(a, b);
+                let mut st = State::initial(self.scenario);
+                for &act in &schedule.0 {
+                    st = st.apply(self.scenario, act).state;
+                }
+                if !self.flagged.insert(st.fingerprint().0) {
+                    continue;
+                }
+                let errors = audit(&st.nodes, &st.in_flight(), false);
+                debug_assert!(
+                    !errors.is_empty(),
+                    "witness for an unordered incompatible pair must fail the audit"
+                );
+                if !errors.is_empty() {
+                    self.report.violations.push(Violation { errors, schedule });
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, state: State, mclocks: MsgClocks, sleep: BTreeSet<usize>) {
+        if self.aborted {
+            return;
+        }
+        let fp = state.fingerprint();
+        if self.seen.insert(fp.0) {
+            if self.report.states == self.opts.max_states {
+                self.report.truncated = true;
+                self.aborted = true;
+                return;
+            }
+            self.report.states += 1;
+        }
+
+        let errors = audit(&state.nodes, &state.in_flight(), false);
+        if !errors.is_empty() {
+            if self.flagged.insert(fp.0) && self.report.violations.len() < CheckReport::MAX_RECORDED
+            {
+                let schedule = self.current_schedule();
+                self.report.violations.push(Violation { errors, schedule });
+            }
+            return; // do not expand an already-broken state
+        }
+
+        let enabled = state.enabled_actions(self.scenario);
+        if enabled.is_empty() {
+            let schedule = self.current_schedule();
+            record_terminal(&mut self.report, self.scenario, &state, fp, || schedule);
+            self.check_overlaps();
+            return;
+        }
+
+        let procs: Vec<usize> = enabled.iter().map(|&a| self.intern(a)).collect();
+        // Sleep-set–blocked: every continuation from here is a sibling
+        // branch's job; this prefix's trace classes are covered there.
+        let Some(first_awake) = (0..procs.len()).find(|&i| !sleep.contains(&procs[i])) else {
+            return;
+        };
+
+        self.scan(&state, &mclocks);
+
+        let mut backtrack = BTreeSet::new();
+        backtrack.insert(first_awake);
+        self.frames.push(Frame {
+            enabled,
+            procs,
+            backtrack,
+            done: BTreeSet::new(),
+            sleep,
+        });
+        let depth = self.frames.len() - 1;
+
+        loop {
+            let pick = {
+                let f = &self.frames[depth];
+                f.backtrack.iter().copied().find(|i| !f.done.contains(i))
+            };
+            let Some(choice) = pick else { break };
+            self.frames[depth].done.insert(choice);
+            let action = self.frames[depth].enabled[choice];
+            let proc_id = self.frames[depth].procs[choice];
+            if self.frames[depth].sleep.contains(&proc_id) {
+                continue; // already explored from here, or covered by a sibling
+            }
+
+            if self.report.transitions >= self.opts.transition_budget() {
+                self.report.truncated = true;
+                self.aborted = true;
+                break;
+            }
+            let step = state.apply(self.scenario, action);
+            self.report.transitions += 1;
+
+            // Vector-clock bookkeeping for the executed transition.
+            let index = (self.stack.len() + 1) as u32;
+            let node = action.node() as usize;
+            let mut c = self.node_clock[node];
+            let mut child_mclocks = mclocks.clone();
+            if let Action::Deliver { from, to } = action {
+                let q = child_mclocks
+                    .get_mut(&(from, to))
+                    .expect("message clocks mirror channels");
+                let send_clock = q.pop_front().expect("non-empty channel");
+                if q.is_empty() {
+                    child_mclocks.remove(&(from, to));
+                }
+                c = self.clocks.join(c, send_clock);
+            }
+            let clock = self.clocks.with(c, proc_id, index);
+            for effect in &step.effects {
+                if let Effect::Send { to, .. } = effect {
+                    child_mclocks
+                        .entry((action.node(), to.0))
+                        .or_default()
+                        .push_back(clock);
+                }
+            }
+            let saved_proc = self.proc_clock[proc_id];
+            let saved_node = self.node_clock[node];
+            self.proc_clock[proc_id] = clock;
+            self.node_clock[node] = clock;
+
+            // Critical-section bookkeeping: a held-mode change closes the
+            // node's open section and/or opens a new one.
+            let pos = self.stack.len();
+            let (pre_held, post_held) = (state.nodes[node].held(), step.state.nodes[node].held());
+            let saved_open = self.open[node];
+            let mut closed = None;
+            let mut opened = false;
+            if pre_held != post_held {
+                if let Some(si) = self.open[node].take() {
+                    self.sections[si].end = Some((pos, clock));
+                    closed = Some(si);
+                }
+                if post_held != Mode::NoLock {
+                    self.open[node] = Some(self.sections.len());
+                    self.sections.push(Section {
+                        node: node as u32,
+                        mode: post_held,
+                        start: (pos, clock),
+                        end: None,
+                    });
+                    opened = true;
+                }
+            }
+            self.stack.push(Exec { action, proc_id });
+
+            if step.fifo_errors.is_empty() {
+                let child_sleep: BTreeSet<usize> = self.frames[depth]
+                    .sleep
+                    .iter()
+                    .copied()
+                    .filter(|&q| self.proc_node[q] != action.node())
+                    .collect();
+                self.visit(step.state, child_mclocks, child_sleep);
+            } else {
+                let sfp = step.state.fingerprint();
+                if self.flagged.insert(sfp.0)
+                    && self.report.violations.len() < CheckReport::MAX_RECORDED
+                {
+                    let schedule = self.current_schedule();
+                    self.report.violations.push(Violation {
+                        errors: step.fifo_errors,
+                        schedule,
+                    });
+                }
+            }
+
+            self.stack.pop();
+            if opened {
+                self.sections.pop();
+            }
+            self.open[node] = saved_open;
+            if let Some(si) = closed {
+                self.sections[si].end = None;
+            }
+            self.proc_clock[proc_id] = saved_proc;
+            self.node_clock[node] = saved_node;
+            if self.aborted {
+                break;
+            }
+            self.frames[depth].sleep.insert(proc_id);
+        }
+        self.frames.pop();
+    }
+}

@@ -1,0 +1,268 @@
+//! Auto-enumerated scenario families with symmetry deduplication.
+//!
+//! A family is "every way to hand out up to `pairs` acquire/release pairs
+//! over a mode alphabet to the nodes of a fixed topology". Scripts are
+//! built from *atoms* — `[Acquire(m), Release]`, plus `[Acquire(U),
+//! Upgrade, Release]` when `U` is in the alphabet — so every enumerated
+//! scenario is deadlock-free by construction and any reported deadlock or
+//! violation is a protocol bug, not a script artifact.
+//!
+//! Node permutations that fix the topology (leaf swaps in a star, subtree
+//! swaps in a complete binary tree) map scenarios onto behaviourally
+//! identical ones, so only one representative per orbit is kept.
+
+use crate::scenario::{Op, Scenario};
+use dlm_core::ProtocolConfig;
+use dlm_modes::Mode;
+use std::collections::HashSet;
+
+/// Initial-tree shapes for enumerated families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Node 0 is the root; everyone else is its direct child.
+    Star,
+    /// `0 ← 1 ← 2 ← …` (maximal forwarding depth).
+    Chain,
+    /// Complete binary tree (`parents[i] = (i-1)/2`).
+    BinaryTree,
+}
+
+impl Topology {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Topology> {
+        match s {
+            "star" => Some(Topology::Star),
+            "chain" => Some(Topology::Chain),
+            "btree" | "binary-tree" | "tree" => Some(Topology::BinaryTree),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Topology::Star => write!(f, "star"),
+            Topology::Chain => write!(f, "chain"),
+            Topology::BinaryTree => write!(f, "btree"),
+        }
+    }
+}
+
+/// An auto-enumerated scenario family.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Initial tree shape.
+    pub topology: Topology,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Mode alphabet for acquire atoms.
+    pub modes: Vec<Mode>,
+    /// Maximum total acquire/release pairs across all nodes (each scenario
+    /// uses between 1 and `pairs`).
+    pub pairs: usize,
+    /// Protocol configuration every scenario runs.
+    pub config: ProtocolConfig,
+}
+
+impl Family {
+    /// Enumerate all scenarios of the family, one representative per
+    /// symmetry orbit, in deterministic order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        assert!(self.nodes >= 1);
+        let atoms = atoms(&self.modes);
+        let mut scripts_per_count: Vec<Vec<Vec<Op>>> = vec![vec![Vec::new()]];
+        for count in 1..=self.pairs {
+            let mut level = Vec::new();
+            for prefix in &scripts_per_count[count - 1] {
+                for atom in &atoms {
+                    let mut s = prefix.clone();
+                    s.extend_from_slice(atom);
+                    level.push(s);
+                }
+            }
+            scripts_per_count.push(level);
+        }
+
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut out = Vec::new();
+        let mut assignment: Vec<Vec<Op>> = vec![Vec::new(); self.nodes];
+        self.assign(
+            0,
+            self.pairs,
+            false,
+            &scripts_per_count,
+            &mut assignment,
+            &mut seen,
+            &mut out,
+        );
+        out
+    }
+
+    /// Recursively choose each node's script (by atom count, then by
+    /// content), keeping only canonical representatives.
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &self,
+        node: usize,
+        budget: usize,
+        any_used: bool,
+        scripts_per_count: &[Vec<Vec<Op>>],
+        assignment: &mut Vec<Vec<Op>>,
+        seen: &mut HashSet<String>,
+        out: &mut Vec<Scenario>,
+    ) {
+        if node == self.nodes {
+            if !any_used {
+                return; // the all-empty scenario is trivial
+            }
+            let key = self.canonical_key(assignment);
+            if seen.insert(key) {
+                out.push(self.build(assignment.clone()));
+            }
+            return;
+        }
+        for count in 0..=budget {
+            for script in &scripts_per_count[count] {
+                assignment[node] = script.clone();
+                self.assign(
+                    node + 1,
+                    budget - count,
+                    any_used || count > 0,
+                    scripts_per_count,
+                    assignment,
+                    seen,
+                    out,
+                );
+            }
+        }
+        assignment[node] = Vec::new();
+    }
+
+    fn build(&self, scripts: Vec<Vec<Op>>) -> Scenario {
+        match self.topology {
+            Topology::Star => Scenario::star(self.nodes, scripts, self.config),
+            Topology::Chain => Scenario::chain(self.nodes, scripts, self.config),
+            Topology::BinaryTree => Scenario::binary_tree(self.nodes, scripts, self.config),
+        }
+    }
+
+    /// A canonical encoding of the script assignment under the topology's
+    /// automorphism group: star leaves are interchangeable (sort their
+    /// scripts); complete-binary-tree siblings with equal subtree sizes are
+    /// interchangeable (sort their subtree encodings); a chain has no
+    /// non-trivial automorphisms.
+    fn canonical_key(&self, scripts: &[Vec<Op>]) -> String {
+        match self.topology {
+            Topology::Chain => format!("{scripts:?}"),
+            Topology::Star => {
+                let mut leaves: Vec<&Vec<Op>> = scripts[1..].iter().collect();
+                leaves.sort();
+                format!("{:?}|{leaves:?}", scripts[0])
+            }
+            Topology::BinaryTree => btree_canon(scripts, 0),
+        }
+    }
+}
+
+/// Subtree size of node `i` in a complete binary tree over `n` nodes.
+fn btree_size(n: usize, i: usize) -> usize {
+    if i >= n {
+        return 0;
+    }
+    1 + btree_size(n, 2 * i + 1) + btree_size(n, 2 * i + 2)
+}
+
+/// Canonical encoding of the subtree rooted at `i`: equal-sized sibling
+/// subtrees (which, in a complete tree, have identical shapes) are sorted.
+fn btree_canon(scripts: &[Vec<Op>], i: usize) -> String {
+    let n = scripts.len();
+    if i >= n {
+        return String::new();
+    }
+    let (l, r) = (2 * i + 1, 2 * i + 2);
+    let mut kids = [btree_canon(scripts, l), btree_canon(scripts, r)];
+    if btree_size(n, l) == btree_size(n, r) {
+        kids.sort();
+    }
+    format!("({:?}[{}][{}])", scripts[i], kids[0], kids[1])
+}
+
+/// The script atoms over a mode alphabet.
+fn atoms(modes: &[Mode]) -> Vec<Vec<Op>> {
+    let mut out = Vec::new();
+    for &m in modes {
+        out.push(vec![Op::Acquire(m), Op::Release]);
+        if m == Mode::Upgrade {
+            out.push(vec![Op::Acquire(m), Op::Upgrade, Op::Release]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family(topology: Topology, nodes: usize, pairs: usize) -> Family {
+        Family {
+            topology,
+            nodes,
+            modes: vec![Mode::Read, Mode::Write],
+            pairs,
+            config: ProtocolConfig::paper(),
+        }
+    }
+
+    #[test]
+    fn star_symmetry_dedup_collapses_leaf_permutations() {
+        // 3-node star, one pair: the pair goes to the root (2 mode choices)
+        // or to *a* leaf (2 mode choices — which leaf is symmetric).
+        let f = family(Topology::Star, 3, 1);
+        assert_eq!(f.scenarios().len(), 4);
+
+        // Without symmetry the leaf placements would double: a chain of 3
+        // distinguishes all positions.
+        let f = family(Topology::Chain, 3, 1);
+        assert_eq!(f.scenarios().len(), 6);
+    }
+
+    #[test]
+    fn btree_sibling_subtrees_are_deduped() {
+        // 3-node binary tree = root + two symmetric leaves: same counts as
+        // the 3-node star.
+        let star = family(Topology::Star, 3, 2).scenarios().len();
+        let btree = family(Topology::BinaryTree, 3, 2).scenarios().len();
+        assert_eq!(star, btree);
+    }
+
+    #[test]
+    fn upgrade_mode_contributes_the_rule7_atom() {
+        let f = Family {
+            topology: Topology::Star,
+            nodes: 2,
+            modes: vec![Mode::Upgrade],
+            pairs: 1,
+            config: ProtocolConfig::paper(),
+        };
+        let scenarios = f.scenarios();
+        // One pair on root or leaf, each with plain-U and U-then-upgrade
+        // variants: 4 scenarios, one containing Op::Upgrade per placement.
+        assert_eq!(scenarios.len(), 4);
+        assert!(scenarios
+            .iter()
+            .any(|s| s.scripts.iter().any(|sc| sc.contains(&Op::Upgrade))));
+    }
+
+    #[test]
+    fn scenarios_respect_the_pair_budget() {
+        for s in family(Topology::Chain, 3, 2).scenarios() {
+            let pairs: usize = s
+                .scripts
+                .iter()
+                .map(|sc| sc.iter().filter(|op| matches!(op, Op::Release)).count())
+                .sum();
+            assert!((1..=2).contains(&pairs));
+        }
+    }
+}

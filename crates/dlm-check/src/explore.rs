@@ -1,0 +1,309 @@
+//! The exploration drivers: exhaustive BFS and the DPOR-reduced search.
+
+use crate::counterexample::Schedule;
+use crate::scenario::Scenario;
+use crate::state::{Action, State};
+use dlm_core::{audit, frozen_residue, AuditError, Fingerprint};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Which state-space reduction to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Explore every interleaving (breadth-first, so counterexample
+    /// schedules are minimal).
+    #[default]
+    Off,
+    /// Sleep-set–style dynamic partial-order reduction: explore one
+    /// representative per Mazurkiewicz trace class, exploiting the
+    /// commutativity of deliveries on disjoint channels (see
+    /// [`crate::dpor`] for the dependence relation and soundness notes).
+    On,
+}
+
+impl std::fmt::Display for Reduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reduction::Off => write!(f, "off"),
+            Reduction::On => write!(f, "on"),
+        }
+    }
+}
+
+/// Exploration options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Budget on distinct states; exceeding it truncates the run (exactly:
+    /// a truncated report never counts more than `max_states` states).
+    pub max_states: usize,
+    /// Reduction mode.
+    pub reduction: Reduction,
+    /// Optional budget on executed transitions (the reduced search can
+    /// re-traverse states; this bounds total work). `None` = derived as
+    /// `32 × max_states`.
+    pub max_transitions: Option<usize>,
+}
+
+impl Options {
+    /// Exhaustive exploration with the given state budget.
+    pub fn exhaustive(max_states: usize) -> Self {
+        Options {
+            max_states,
+            reduction: Reduction::Off,
+            max_transitions: None,
+        }
+    }
+
+    /// Reduced exploration with the given state budget.
+    pub fn reduced(max_states: usize) -> Self {
+        Options {
+            max_states,
+            reduction: Reduction::On,
+            max_transitions: None,
+        }
+    }
+
+    pub(crate) fn transition_budget(&self) -> usize {
+        self.max_transitions
+            .unwrap_or_else(|| self.max_states.saturating_mul(32))
+    }
+}
+
+/// A safety violation with its replayable counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The audit errors observed in (or on the transition into) the state.
+    pub errors: Vec<AuditError>,
+    /// Actions from the initial state into the violating state. Minimal
+    /// (shortest possible) when found with [`Reduction::Off`]; a valid
+    /// witness path when found with [`Reduction::On`].
+    pub schedule: Schedule,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsafe after {} steps: ", self.schedule.0.len())?;
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A deadlock: a terminal state with unfinished scripts or waiting nodes.
+#[derive(Debug, Clone)]
+pub struct Deadlock {
+    /// Nodes whose scripts did not run to completion.
+    pub stuck_scripts: Vec<usize>,
+    /// Nodes with a pending, never-granted request.
+    pub waiting: Vec<u32>,
+    /// Actions from the initial state into the deadlocked terminal state.
+    pub schedule: Schedule,
+}
+
+impl std::fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadlock after {} steps: scripts stuck at {:?}, nodes waiting {:?}",
+            self.schedule.0.len(),
+            self.stuck_scripts,
+            self.waiting
+        )
+    }
+}
+
+/// Result of an exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions executed (the reduced search may execute several
+    /// transitions into one already-counted state).
+    pub transitions: usize,
+    /// Terminal (quiescent) states reached.
+    pub terminals: usize,
+    /// Safety violations (empty = every explored state is safe), each with
+    /// a replayable counterexample schedule. Capped at
+    /// [`CheckReport::MAX_RECORDED`] distinct violating states.
+    pub violations: Vec<Violation>,
+    /// Deadlocks, each with a replayable schedule. Same cap.
+    pub deadlocks: Vec<Deadlock>,
+    /// True if the exploration hit a budget before completing.
+    pub truncated: bool,
+    /// The reduction mode this report was produced under.
+    pub reduction: Reduction,
+    /// Fingerprints of all terminal states (the reduction-soundness
+    /// property tests compare these across reduction modes).
+    pub terminal_fingerprints: BTreeSet<Fingerprint>,
+}
+
+impl CheckReport {
+    /// Cap on recorded violations/deadlocks (counting continues; only the
+    /// stored schedules are bounded).
+    pub const MAX_RECORDED: usize = 32;
+
+    fn new(reduction: Reduction) -> Self {
+        CheckReport {
+            states: 0,
+            transitions: 0,
+            terminals: 0,
+            violations: Vec::new(),
+            deadlocks: Vec::new(),
+            truncated: false,
+            reduction,
+            terminal_fingerprints: BTreeSet::new(),
+        }
+    }
+
+    /// True when the scenario is fully verified: no violations, no
+    /// deadlocks, and the exploration completed within budget.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks.is_empty() && !self.truncated
+    }
+}
+
+/// Exhaustively explore `scenario`; `max_states` bounds the search (a
+/// generous budget for 3–4 node scenarios is 1–5 million).
+///
+/// Equivalent to [`explore_with`] under [`Options::exhaustive`].
+pub fn explore(scenario: &Scenario, max_states: usize) -> CheckReport {
+    explore_with(scenario, Options::exhaustive(max_states))
+}
+
+/// Explore `scenario` under explicit [`Options`].
+pub fn explore_with(scenario: &Scenario, opts: Options) -> CheckReport {
+    assert_eq!(scenario.scripts.len(), scenario.parents.len());
+    match opts.reduction {
+        Reduction::Off => bfs(scenario, opts),
+        Reduction::On => crate::dpor::run(scenario, opts),
+    }
+}
+
+/// Classify a terminal state, updating the report. Shared by both drivers.
+pub(crate) fn record_terminal(
+    report: &mut CheckReport,
+    scenario: &Scenario,
+    state: &State,
+    fp: Fingerprint,
+    schedule: impl FnOnce() -> Schedule,
+) {
+    if !report.terminal_fingerprints.insert(fp) {
+        return;
+    }
+    report.terminals += 1;
+    let stuck_scripts: Vec<usize> = (0..state.pos.len())
+        .filter(|&i| state.pos[i] < scenario.scripts[i].len())
+        .collect();
+    let waiting: Vec<u32> = state
+        .nodes
+        .iter()
+        .filter(|nd| nd.pending().is_some())
+        .map(|nd| nd.id().0)
+        .collect();
+    if !stuck_scripts.is_empty() || !waiting.is_empty() {
+        if report.deadlocks.len() < CheckReport::MAX_RECORDED {
+            report.deadlocks.push(Deadlock {
+                stuck_scripts,
+                waiting,
+                schedule: schedule(),
+            });
+        }
+        return;
+    }
+    // A clean terminal: full quiescent audit, plus freeze convergence —
+    // every path ends in a terminal, so a frozen node here is a frozen
+    // node from which no thaw is reachable.
+    let mut errors = audit(&state.nodes, &[], true);
+    errors.extend(frozen_residue(&state.nodes));
+    if !errors.is_empty() && report.violations.len() < CheckReport::MAX_RECORDED {
+        report.violations.push(Violation {
+            errors,
+            schedule: schedule(),
+        });
+    }
+}
+
+/// Breadth-first exhaustive exploration. BFS (rather than the seed's DFS)
+/// so that the parent-pointer chain to any violating or deadlocked state is
+/// a *shortest* schedule — counterexamples come out minimal by construction.
+fn bfs(scenario: &Scenario, opts: Options) -> CheckReport {
+    let mut report = CheckReport::new(Reduction::Off);
+    let initial = State::initial(scenario);
+    let initial_fp = initial.fingerprint();
+
+    // fp → (parent fp, action into this state); the root maps to None.
+    let mut visited: HashMap<Fingerprint, Option<(Fingerprint, Action)>> = HashMap::new();
+    let mut frontier: VecDeque<(State, Fingerprint)> = VecDeque::new();
+    visited.insert(initial_fp, None);
+    report.states = 1;
+    if opts.max_states == 0 {
+        report.truncated = true;
+        return report;
+    }
+    frontier.push_back((initial, initial_fp));
+
+    let path = |visited: &HashMap<Fingerprint, Option<(Fingerprint, Action)>>,
+                mut fp: Fingerprint| {
+        let mut actions = Vec::new();
+        while let Some(&Some((parent, action))) = visited.get(&fp) {
+            actions.push(action);
+            fp = parent;
+        }
+        actions.reverse();
+        Schedule(actions)
+    };
+
+    while let Some((state, fp)) = frontier.pop_front() {
+        // Safety in every reachable state.
+        let errors = audit(&state.nodes, &state.in_flight(), false);
+        if !errors.is_empty() {
+            if report.violations.len() < CheckReport::MAX_RECORDED {
+                report.violations.push(Violation {
+                    errors,
+                    schedule: path(&visited, fp),
+                });
+            }
+            continue; // do not expand an already-broken state
+        }
+
+        let enabled = state.enabled_actions(scenario);
+        if enabled.is_empty() {
+            record_terminal(&mut report, scenario, &state, fp, || path(&visited, fp));
+            continue;
+        }
+
+        for action in enabled {
+            let step = state.apply(scenario, action);
+            report.transitions += 1;
+            let next_fp = step.state.fingerprint();
+            if !step.fifo_errors.is_empty() {
+                // A FIFO overtake is a property of the transition, not the
+                // successor state; report it with the path including the
+                // offending action and do not continue past it.
+                if report.violations.len() < CheckReport::MAX_RECORDED {
+                    let mut schedule = path(&visited, fp);
+                    schedule.0.push(action);
+                    report.violations.push(Violation {
+                        errors: step.fifo_errors,
+                        schedule,
+                    });
+                }
+                continue;
+            }
+            if visited.contains_key(&next_fp) {
+                continue;
+            }
+            if report.states == opts.max_states {
+                report.truncated = true;
+                continue;
+            }
+            visited.insert(next_fp, Some((fp, action)));
+            report.states += 1;
+            frontier.push_back((step.state, next_fp));
+        }
+    }
+    report
+}

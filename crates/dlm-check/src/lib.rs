@@ -2,279 +2,59 @@
 //! protocol.
 //!
 //! Property tests sample random schedules; this crate goes further for
-//! small configurations: it explores **every** reachable interleaving of
+//! small configurations: it explores the reachable interleavings of
 //! message deliveries (per-channel FIFO, as TCP/MPI guarantee) and
 //! application actions, asserting the global safety invariants in every
-//! reachable state and liveness (no deadlock, clean quiescence) in every
-//! terminal state.
+//! reachable state and liveness (no deadlock, clean quiescence, freeze
+//! convergence) in every terminal state.
 //!
-//! State-space search is a memoized DFS over a canonical encoding of the
-//! full system state (all node states plus all channel contents). Scenarios
-//! with 3–4 nodes and a handful of operations explore tens of thousands of
-//! states in milliseconds — more than enough to cover the races that bit
-//! during development (grant/release channel races, re-parenting orphans,
-//! upgrade/FIFO interaction; see DESIGN.md §3).
+//! The verification subsystem has three layers:
+//!
+//! * **Exploration** ([`explore_with`]): either exhaustive breadth-first
+//!   search over a 128-bit structural state fingerprint (minimal
+//!   counterexamples, exact state budgets), or a sleep-set dynamic
+//!   partial-order reduction ([`Reduction::On`], module [`dpor`]) that
+//!   exploits the commutativity of deliveries on disjoint channels. The
+//!   reduced search is trace-optimal (one execution per Mazurkiewicz
+//!   trace), touches 2–4× fewer distinct states on forwarding-heavy
+//!   topologies (growing with scale), and needs only a 16-byte
+//!   fingerprint per state where the BFS keeps full states; see
+//!   `EXPERIMENTS.md` for measurements and the honest limits.
+//! * **Counterexamples** (module [`counterexample`]): every violation and
+//!   deadlock carries a replayable [`Schedule`]; schedules re-execute
+//!   deterministically ([`replay`]), export as `dlm-trace` JSONL event
+//!   streams ([`schedule_trace`]) and render as per-step walkthroughs
+//!   ([`walkthrough`]).
+//! * **Scenario supply**: hand-written scenarios ([`Scenario`]) and
+//!   auto-enumerated families over star/chain/binary-tree topologies with
+//!   symmetry deduplication (module [`enumerate`]), driven by the `check`
+//!   CLI bin.
+//!
+//! Checked properties: pairwise holder compatibility, single token,
+//! owned-cache coherence, copyset coverage and quiescence at terminals
+//! (via `dlm_core::audit`), per-lock FIFO grant order at the token node
+//! (via `dlm_core::fifo_overtakes`, checked on every transition), and
+//! freeze convergence at terminals (via `dlm_core::frozen_residue`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dlm_core::{audit, HierNode, InFlight, Message, Mode, NodeId, ProtocolConfig};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+pub mod counterexample;
+pub mod dpor;
+pub mod enumerate;
+pub mod explore;
+pub mod scenario;
+pub mod state;
 
-/// One scripted application action at a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Op {
-    /// Acquire the lock in a mode (enabled when idle).
-    Acquire(Mode),
-    /// Release the held lock (enabled while holding, not mid-upgrade).
-    Release,
-    /// Rule 7 upgrade (enabled while holding `U`).
-    Upgrade,
-}
-
-/// A scenario: an initial tree plus one script per node.
-#[derive(Debug, Clone)]
-pub struct Scenario {
-    /// `parents[i]` is node `i`'s initial parent; exactly one `None` (root).
-    pub parents: Vec<Option<u32>>,
-    /// Per-node operation scripts, executed in order as they become enabled.
-    pub scripts: Vec<Vec<Op>>,
-    /// Protocol configuration.
-    pub config: ProtocolConfig,
-}
-
-impl Scenario {
-    /// A star of `n` nodes rooted at node 0 with the given scripts.
-    pub fn star(n: usize, scripts: Vec<Vec<Op>>, config: ProtocolConfig) -> Self {
-        assert_eq!(scripts.len(), n);
-        let mut parents = vec![None];
-        parents.extend((1..n).map(|_| Some(0)));
-        Scenario {
-            parents,
-            scripts,
-            config,
-        }
-    }
-
-    /// A chain `0 ← 1 ← 2 ← …` (node 0 is the root); requests from the tail
-    /// traverse every intermediate node, exercising forwarding, queueing and
-    /// transitive freezing.
-    pub fn chain(n: usize, scripts: Vec<Vec<Op>>, config: ProtocolConfig) -> Self {
-        assert_eq!(scripts.len(), n);
-        let mut parents = vec![None];
-        parents.extend((1..n).map(|i| Some(i as u32 - 1)));
-        Scenario {
-            parents,
-            scripts,
-            config,
-        }
-    }
-}
-
-/// Result of an exploration.
-#[derive(Debug, Clone)]
-pub struct CheckReport {
-    /// Distinct states visited.
-    pub states: usize,
-    /// Terminal (quiescent) states reached.
-    pub terminals: usize,
-    /// Safety violations (empty = every reachable state is safe).
-    pub violations: Vec<String>,
-    /// Deadlocks: terminal states with unfinished scripts or waiting nodes.
-    pub deadlocks: Vec<String>,
-    /// True if the exploration hit the state budget before completing.
-    pub truncated: bool,
-}
-
-impl CheckReport {
-    /// True when the scenario is fully verified: no violations, no
-    /// deadlocks, and the exploration completed within budget.
-    pub fn verified(&self) -> bool {
-        self.violations.is_empty() && self.deadlocks.is_empty() && !self.truncated
-    }
-}
-
-#[derive(Clone)]
-struct State {
-    nodes: Vec<HierNode>,
-    /// FIFO per ordered channel (from, to).
-    channels: BTreeMap<(u32, u32), VecDeque<Message>>,
-    /// Next unexecuted op per node.
-    pos: Vec<usize>,
-}
-
-impl State {
-    fn fingerprint(&self) -> String {
-        // HierNode's Debug output covers every protocol-relevant field and
-        // iterates BTreeMaps deterministically; channels and positions are
-        // appended. A canonical string is slower than a hand-rolled hash but
-        // removes any risk of missed fields as the struct evolves.
-        format!("{:?}|{:?}|{:?}", self.nodes, self.channels, self.pos)
-    }
-
-    fn in_flight(&self) -> Vec<InFlight> {
-        self.channels
-            .iter()
-            .flat_map(|(&(from, to), q)| {
-                q.iter().map(move |m| InFlight {
-                    from: NodeId(from),
-                    to: NodeId(to),
-                    message: m.clone(),
-                })
-            })
-            .collect()
-    }
-}
-
-/// Exhaustively explore `scenario`; `max_states` bounds the search (a
-/// generous budget for 3–4 node scenarios is 1–5 million).
-pub fn explore(scenario: &Scenario, max_states: usize) -> CheckReport {
-    let n = scenario.parents.len();
-    assert_eq!(scenario.scripts.len(), n);
-    let nodes: Vec<HierNode> = scenario
-        .parents
-        .iter()
-        .enumerate()
-        .map(|(i, p)| match p {
-            None => HierNode::with_token(NodeId(i as u32), scenario.config),
-            Some(parent) => HierNode::new(NodeId(i as u32), NodeId(*parent), scenario.config),
-        })
-        .collect();
-    let initial = State {
-        nodes,
-        channels: BTreeMap::new(),
-        pos: vec![0; n],
-    };
-
-    let mut report = CheckReport {
-        states: 0,
-        terminals: 0,
-        violations: Vec::new(),
-        deadlocks: Vec::new(),
-        truncated: false,
-    };
-    let mut visited: HashSet<String> = HashSet::new();
-    let mut stack = vec![initial];
-
-    while let Some(state) = stack.pop() {
-        let fp = state.fingerprint();
-        if !visited.insert(fp) {
-            continue;
-        }
-        report.states += 1;
-        if report.states > max_states {
-            report.truncated = true;
-            break;
-        }
-
-        // Safety in every reachable state.
-        let errors = audit(&state.nodes, &state.in_flight(), false);
-        if !errors.is_empty() {
-            report.violations.push(format!(
-                "unsafe state after {} states: {errors:?}",
-                report.states
-            ));
-            continue; // do not expand an already-broken state
-        }
-
-        let successors = expand(&state, scenario);
-        if successors.is_empty() {
-            report.terminals += 1;
-            // Terminal: scripts must be done, nobody waiting, full audit.
-            let unfinished: Vec<usize> = (0..state.pos.len())
-                .filter(|&i| state.pos[i] < scenario.scripts[i].len())
-                .collect();
-            let waiting: Vec<u32> = state
-                .nodes
-                .iter()
-                .filter(|nd| nd.pending().is_some())
-                .map(|nd| nd.id().0)
-                .collect();
-            let quiescent_errors = audit(&state.nodes, &[], true);
-            if !unfinished.is_empty() || !waiting.is_empty() {
-                report.deadlocks.push(format!(
-                    "deadlock: scripts stuck at {unfinished:?}, nodes waiting {waiting:?}"
-                ));
-            } else if !quiescent_errors.is_empty() {
-                report.violations.push(format!(
-                    "terminal state fails quiescent audit: {quiescent_errors:?}"
-                ));
-            }
-            continue;
-        }
-        stack.extend(successors);
-    }
-    report
-}
-
-/// All successor states: deliver the head of any channel, or run the next
-/// enabled script op of any node.
-fn expand(state: &State, scenario: &Scenario) -> Vec<State> {
-    let mut out = Vec::new();
-
-    // Message deliveries (per-channel FIFO: only heads are eligible).
-    for (&(from, to), queue) in &state.channels {
-        if queue.is_empty() {
-            continue;
-        }
-        let mut next = state.clone();
-        let message = next
-            .channels
-            .get_mut(&(from, to))
-            .expect("channel exists")
-            .pop_front()
-            .expect("non-empty");
-        if next.channels[&(from, to)].is_empty() {
-            next.channels.remove(&(from, to));
-        }
-        let effects = next.nodes[to as usize].on_message(NodeId(from), message);
-        absorb(&mut next, to, effects);
-        out.push(next);
-    }
-
-    // Script steps.
-    for i in 0..state.nodes.len() {
-        let Some(&op) = scenario.scripts[i].get(state.pos[i]) else {
-            continue;
-        };
-        let node = &state.nodes[i];
-        let enabled = match op {
-            Op::Acquire(_) => node.held() == Mode::NoLock && node.pending().is_none(),
-            Op::Release => node.held() != Mode::NoLock && !node.pending_is_upgrade(),
-            Op::Upgrade => node.held() == Mode::Upgrade && node.pending().is_none(),
-        };
-        if !enabled {
-            continue;
-        }
-        let mut next = state.clone();
-        next.pos[i] += 1;
-        let effects = match op {
-            Op::Acquire(mode) => next.nodes[i].on_acquire(mode).expect("enabled acquire"),
-            Op::Release => next.nodes[i].on_release().expect("enabled release"),
-            Op::Upgrade => next.nodes[i].on_upgrade().expect("enabled upgrade"),
-        };
-        absorb(&mut next, i as u32, effects);
-        out.push(next);
-    }
-    out
-}
-
-fn absorb(state: &mut State, from: u32, effects: Vec<dlm_core::Effect>) {
-    for effect in effects {
-        if let dlm_core::Effect::Send { to, message } = effect {
-            state
-                .channels
-                .entry((from, to.0))
-                .or_default()
-                .push_back(message);
-        }
-        // Granted/Upgraded are implicit in node state (held mode).
-    }
-}
+pub use counterexample::{replay, schedule_trace, walkthrough, Replay, Schedule};
+pub use explore::{explore, explore_with, CheckReport, Deadlock, Options, Reduction, Violation};
+pub use scenario::{Op, Scenario};
+pub use state::{Action, State, Step};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlm_core::{Mode, ProtocolConfig};
 
     fn paper() -> ProtocolConfig {
         ProtocolConfig::paper()
@@ -413,6 +193,15 @@ mod tests {
             "a never-released R must strand the W: {r:?}"
         );
         assert!(r.violations.is_empty(), "stranded, but never unsafe: {r:?}");
+        // Deadlock schedules replay into a state that really is stuck.
+        let d = &r.deadlocks[0];
+        let replayed = replay(&s, &d.schedule);
+        let end = replayed.final_state();
+        assert!(end.quiet(), "deadlock replay must end quiescent");
+        assert!(
+            end.nodes.iter().any(|n| n.pending().is_some()),
+            "someone must still be waiting"
+        );
     }
 
     #[test]
@@ -431,5 +220,138 @@ mod tests {
         );
         let r = explore(&s, 4_000_000);
         assert!(r.verified(), "{r:?}");
+    }
+
+    /// Satellite: the state budget is exact — a truncated report never
+    /// counts more states than `max_states` (the seed incremented before
+    /// checking, reporting budget+1).
+    #[test]
+    fn state_budget_is_exact() {
+        let s = Scenario::star(
+            3,
+            vec![
+                vec![],
+                vec![Op::Acquire(Mode::Write), Op::Release],
+                vec![Op::Acquire(Mode::Write), Op::Release],
+            ],
+            paper(),
+        );
+        let full = explore(&s, 1_000_000);
+        assert!(full.verified());
+        // Exact budget: completes, not truncated.
+        let exact = explore(&s, full.states);
+        assert!(!exact.truncated, "{exact:?}");
+        assert_eq!(exact.states, full.states);
+        // One below: truncated, and the count equals the budget exactly.
+        for budget in [1usize, 2, full.states - 1] {
+            let r = explore(&s, budget);
+            assert!(r.truncated, "budget {budget}: {r:?}");
+            assert_eq!(r.states, budget, "budget {budget} must be exact");
+            assert!(!r.verified());
+        }
+        // Same contract under reduction.
+        let reduced = explore_with(&s, Options::reduced(3));
+        assert!(reduced.truncated);
+        assert_eq!(reduced.states, 3);
+    }
+
+    /// Tentpole: the partial-order reduction must agree with the
+    /// exhaustive search bit-for-bit on what matters — verdict and
+    /// terminal-state set — while touching measurably fewer distinct
+    /// states on the forwarding-heavy chain (the reduced search is
+    /// trace-optimal: it runs exactly one execution per Mazurkiewicz
+    /// trace, which on this scenario halves the states; see
+    /// EXPERIMENTS.md for why 2× is the commutativity structure's actual
+    /// yield here, not a tuning shortfall).
+    #[test]
+    fn reduction_agrees_with_exhaustive_search_and_shrinks_the_chain() {
+        let s = Scenario::chain(
+            4,
+            vec![
+                vec![Op::Acquire(Mode::IntentRead), Op::Release],
+                vec![Op::Acquire(Mode::IntentRead), Op::Release],
+                vec![Op::Acquire(Mode::Write), Op::Release],
+                vec![Op::Acquire(Mode::IntentRead), Op::Release],
+            ],
+            paper(),
+        );
+        let off = explore_with(&s, Options::exhaustive(4_000_000));
+        let on = explore_with(&s, Options::reduced(4_000_000));
+        assert!(off.verified(), "{off:?}");
+        assert!(on.verified(), "{on:?}");
+        assert_eq!(
+            off.terminal_fingerprints, on.terminal_fingerprints,
+            "reduction must preserve the exact set of terminal states"
+        );
+        assert_eq!(off.terminals, on.terminals);
+        assert!(
+            2 * on.states <= off.states,
+            "reduction must at least halve distinct states on the chain: \
+             off={} on={}",
+            off.states,
+            on.states
+        );
+    }
+
+    /// Tentpole acceptance: a seeded protocol bug (accepting stale
+    /// releases, gated behind a test-only config flag) must surface as a
+    /// mutual-exclusion violation with a *replayable* counterexample: the
+    /// schedule re-executes to the same errors, exports as a `dlm-trace`
+    /// JSONL stream that round-trips, and renders as a per-step
+    /// walkthrough.
+    #[test]
+    fn seeded_stale_release_bug_yields_replayable_counterexample() {
+        let scripts = vec![
+            vec![Op::Acquire(Mode::Read), Op::Release],
+            vec![Op::Acquire(Mode::IntentRead), Op::Release],
+            vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
+        ];
+        // Sanity: the correct protocol verifies this exact scenario.
+        let sound = Scenario::star(3, scripts.clone(), paper());
+        assert!(explore(&sound, 1_000_000).verified());
+
+        let s = Scenario::star(3, scripts, paper().with_seeded_stale_release_bug());
+        for opts in [Options::exhaustive(1_000_000), Options::reduced(1_000_000)] {
+            let mode = opts.reduction;
+            let r = explore_with(&s, opts);
+            assert!(
+                !r.violations.is_empty(),
+                "{mode}: seeded bug must be caught: {r:?}"
+            );
+            let v = &r.violations[0];
+
+            // The schedule replays deterministically to real audit errors.
+            let replayed = replay(&s, &v.schedule);
+            let errors = replayed.errors();
+            assert!(!errors.is_empty(), "{mode}: replay must reproduce errors");
+            assert!(
+                errors
+                    .iter()
+                    .any(|e| matches!(e, dlm_core::AuditError::IncompatibleHolders { .. })),
+                "{mode}: the stale release must break mutual exclusion: {errors:?}"
+            );
+
+            // The schedule exports as a dlm-trace stream that round-trips
+            // through JSONL.
+            let records = schedule_trace(&s, &v.schedule);
+            assert!(!records.is_empty());
+            let mut buf = Vec::new();
+            dlm_trace::jsonl::write_jsonl(&mut buf, &records).unwrap();
+            let back = dlm_trace::jsonl::read_jsonl(&buf[..]).unwrap();
+            assert_eq!(records, back, "{mode}: JSONL round-trip must be lossless");
+
+            // The walkthrough renders every step plus the resulting error.
+            let text = walkthrough(&s, &v.schedule);
+            for k in 1..=v.schedule.0.len() {
+                assert!(
+                    text.contains(&format!("step {k}:")),
+                    "{mode}: walkthrough must render step {k}:\n{text}"
+                );
+            }
+            assert!(
+                text.contains("mutual exclusion violated"),
+                "{mode}: walkthrough must state the violation:\n{text}"
+            );
+        }
     }
 }

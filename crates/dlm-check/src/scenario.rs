@@ -1,0 +1,97 @@
+//! Scenario descriptions: an initial tree plus one script per node.
+
+use dlm_core::{HierNode, NodeId, ProtocolConfig};
+use dlm_modes::Mode;
+
+/// One scripted application action at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Op {
+    /// Acquire the lock in a mode (enabled when idle).
+    Acquire(Mode),
+    /// Release the held lock (enabled while holding, not mid-upgrade).
+    Release,
+    /// Rule 7 upgrade (enabled while holding `U`).
+    Upgrade,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Acquire(m) => write!(f, "acquire({m})"),
+            Op::Release => write!(f, "release"),
+            Op::Upgrade => write!(f, "upgrade"),
+        }
+    }
+}
+
+/// A scenario: an initial tree plus one script per node.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// `parents[i]` is node `i`'s initial parent; exactly one `None` (root).
+    pub parents: Vec<Option<u32>>,
+    /// Per-node operation scripts, executed in order as they become enabled.
+    pub scripts: Vec<Vec<Op>>,
+    /// Protocol configuration.
+    pub config: ProtocolConfig,
+}
+
+impl Scenario {
+    /// A star of `n` nodes rooted at node 0 with the given scripts.
+    pub fn star(n: usize, scripts: Vec<Vec<Op>>, config: ProtocolConfig) -> Self {
+        assert_eq!(scripts.len(), n);
+        let mut parents = vec![None];
+        parents.extend((1..n).map(|_| Some(0)));
+        Scenario {
+            parents,
+            scripts,
+            config,
+        }
+    }
+
+    /// A chain `0 ← 1 ← 2 ← …` (node 0 is the root); requests from the tail
+    /// traverse every intermediate node, exercising forwarding, queueing and
+    /// transitive freezing.
+    pub fn chain(n: usize, scripts: Vec<Vec<Op>>, config: ProtocolConfig) -> Self {
+        assert_eq!(scripts.len(), n);
+        let mut parents = vec![None];
+        parents.extend((1..n).map(|i| Some(i as u32 - 1)));
+        Scenario {
+            parents,
+            scripts,
+            config,
+        }
+    }
+
+    /// A complete binary tree rooted at node 0 (`parents[i] = (i-1)/2`):
+    /// the balanced log(n) topology the paper's message-count argument
+    /// assumes.
+    pub fn binary_tree(n: usize, scripts: Vec<Vec<Op>>, config: ProtocolConfig) -> Self {
+        assert_eq!(scripts.len(), n);
+        let parents = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some((i as u32 - 1) / 2)
+                }
+            })
+            .collect();
+        Scenario {
+            parents,
+            scripts,
+            config,
+        }
+    }
+
+    /// The initial node states (the root holds the token).
+    pub fn initial_nodes(&self) -> Vec<HierNode> {
+        self.parents
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                None => HierNode::with_token(NodeId(i as u32), self.config),
+                Some(parent) => HierNode::new(NodeId(i as u32), NodeId(*parent), self.config),
+            })
+            .collect()
+    }
+}

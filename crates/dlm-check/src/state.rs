@@ -1,0 +1,286 @@
+//! The explored system state and its transition function.
+
+use crate::scenario::{Op, Scenario};
+use dlm_core::{
+    fifo_overtakes, AuditError, Effect, Fingerprint, FpHasher, GrantInfo, HierNode, InFlight,
+    Message, Mode, NodeId,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One atomic transition of the explored system: deliver the head of a
+/// FIFO channel, or run a node's next script operation. Either way exactly
+/// one node executes, which is what makes actions at distinct nodes
+/// commute (the basis of the partial-order reduction in [`crate::dpor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    /// Deliver the head message of channel `from → to` (executes at `to`).
+    Deliver {
+        /// Sending endpoint of the channel.
+        from: u32,
+        /// Receiving endpoint (the executing node).
+        to: u32,
+    },
+    /// Run node `node`'s next script operation.
+    Script {
+        /// The executing node.
+        node: u32,
+    },
+}
+
+impl Action {
+    /// The node whose state this action mutates.
+    pub fn node(&self) -> u32 {
+        match *self {
+            Action::Deliver { to, .. } => to,
+            Action::Script { node } => node,
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Deliver { from, to } => write!(f, "deliver n{from}→n{to}"),
+            Action::Script { node } => write!(f, "script n{node}"),
+        }
+    }
+}
+
+/// The full system state: every node, every channel, every script cursor.
+#[derive(Clone)]
+pub struct State {
+    /// Per-node protocol state.
+    pub nodes: Vec<HierNode>,
+    /// FIFO per ordered channel (from, to). Empty channels are removed so
+    /// the map is canonical.
+    pub channels: BTreeMap<(u32, u32), VecDeque<Message>>,
+    /// Next unexecuted op per node.
+    pub pos: Vec<usize>,
+}
+
+/// The result of applying one [`Action`].
+pub struct Step {
+    /// The successor state.
+    pub state: State,
+    /// The effects the executing node returned (sends already absorbed
+    /// into `state.channels`, in order).
+    pub effects: Vec<Effect>,
+    /// Per-lock FIFO grant-order violations committed by this transition
+    /// (checked against the executing node's pre-transition queue).
+    pub fifo_errors: Vec<AuditError>,
+}
+
+impl State {
+    /// The initial state of a scenario: fresh nodes, no messages in flight.
+    pub fn initial(scenario: &Scenario) -> Self {
+        State {
+            nodes: scenario.initial_nodes(),
+            channels: BTreeMap::new(),
+            pos: vec![0; scenario.parents.len()],
+        }
+    }
+
+    /// Structural 128-bit digest of the complete state (nodes feed every
+    /// field via `dlm-core`'s compiler-checked hash visitor).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_usize(self.nodes.len());
+        for n in &self.nodes {
+            h.write(n);
+        }
+        h.write_usize(self.channels.len());
+        for (&(from, to), q) in &self.channels {
+            h.write_u32(from);
+            h.write_u32(to);
+            h.write_usize(q.len());
+            for m in q {
+                h.write(m);
+            }
+        }
+        for &p in &self.pos {
+            h.write_usize(p);
+        }
+        h.finish()
+    }
+
+    /// All in-flight messages, for the global audit.
+    pub fn in_flight(&self) -> Vec<InFlight> {
+        self.channels
+            .iter()
+            .flat_map(|(&(from, to), q)| {
+                q.iter().map(move |m| InFlight {
+                    from: NodeId(from),
+                    to: NodeId(to),
+                    message: m.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// True when nothing is in flight (part of the terminal condition).
+    pub fn quiet(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Whether node `i`'s next script op is currently enabled.
+    pub fn script_enabled(&self, scenario: &Scenario, i: usize) -> bool {
+        let Some(&op) = scenario.scripts[i].get(self.pos[i]) else {
+            return false;
+        };
+        let node = &self.nodes[i];
+        match op {
+            Op::Acquire(_) => node.held() == Mode::NoLock && node.pending().is_none(),
+            Op::Release => node.held() != Mode::NoLock && !node.pending_is_upgrade(),
+            Op::Upgrade => node.held() == Mode::Upgrade && node.pending().is_none(),
+        }
+    }
+
+    /// All enabled actions: one per non-empty channel (FIFO heads only)
+    /// plus one per node with an enabled script op. Deterministic order.
+    pub fn enabled_actions(&self, scenario: &Scenario) -> Vec<Action> {
+        let mut out: Vec<Action> = self
+            .channels
+            .keys()
+            .map(|&(from, to)| Action::Deliver { from, to })
+            .collect();
+        for i in 0..self.nodes.len() {
+            if self.script_enabled(scenario, i) {
+                out.push(Action::Script { node: i as u32 });
+            }
+        }
+        out
+    }
+
+    /// Apply one enabled action, producing the successor state plus the
+    /// transition's effects and FIFO-shield verdict.
+    ///
+    /// Panics if the action is not enabled (callers only pass actions from
+    /// [`State::enabled_actions`] or a schedule being replayed).
+    pub fn apply(&self, scenario: &Scenario, action: Action) -> Step {
+        self.apply_observed(scenario, action, &mut dlm_core::NullObserver)
+    }
+
+    /// [`State::apply`] with a `dlm-trace` observer attached to the
+    /// executing entry point — used when replaying a counterexample
+    /// schedule into a protocol event stream.
+    pub fn apply_observed(
+        &self,
+        scenario: &Scenario,
+        action: Action,
+        obs: &mut dyn dlm_core::Observer,
+    ) -> Step {
+        let mut next = self.clone();
+        let executor = action.node() as usize;
+        let pre = self.nodes[executor].clone();
+        let (effects, delivered) = match action {
+            Action::Deliver { from, to } => {
+                let q = next
+                    .channels
+                    .get_mut(&(from, to))
+                    .expect("delivery on existing channel");
+                let message = q.pop_front().expect("delivery from non-empty channel");
+                if q.is_empty() {
+                    next.channels.remove(&(from, to));
+                }
+                let effects =
+                    next.nodes[to as usize].on_message_observed(NodeId(from), message.clone(), obs);
+                (effects, Some(message))
+            }
+            Action::Script { node } => {
+                let i = node as usize;
+                assert!(self.script_enabled(scenario, i), "script op not enabled");
+                let op = scenario.scripts[i][self.pos[i]];
+                next.pos[i] += 1;
+                let effects = match op {
+                    Op::Acquire(mode) => next.nodes[i]
+                        .on_acquire_observed(mode, 0, obs)
+                        .expect("enabled acquire"),
+                    Op::Release => next.nodes[i]
+                        .on_release_observed(obs)
+                        .expect("enabled release"),
+                    Op::Upgrade => next.nodes[i]
+                        .on_upgrade_observed(obs)
+                        .expect("enabled upgrade"),
+                };
+                (effects, None)
+            }
+        };
+        for effect in &effects {
+            if let Effect::Send { to, message } = effect {
+                next.channels
+                    .entry((action.node(), to.0))
+                    .or_default()
+                    .push_back(message.clone());
+            }
+            // Granted/Upgraded are implicit in node state (held mode).
+        }
+        let grants = grant_infos(&pre, &effects, delivered.as_ref());
+        let fifo_errors = fifo_overtakes(&pre, &grants);
+        Step {
+            state: next,
+            effects,
+            fifo_errors,
+        }
+    }
+}
+
+/// Classify the grants a transition issued, recovering each grant's upgrade
+/// flag and priority from the request it answers: the delivered request, the
+/// pre-state queue entry, or (for self-grants) the pre-state pending record.
+fn grant_infos(pre: &HierNode, effects: &[Effect], delivered: Option<&Message>) -> Vec<GrantInfo> {
+    let classify = |to: NodeId, mode: Mode| -> GrantInfo {
+        if let Some(Message::Request(req)) = delivered {
+            if req.from == to {
+                return GrantInfo {
+                    to,
+                    mode,
+                    upgrade: req.upgrade,
+                    priority: req.priority,
+                };
+            }
+        }
+        if let Some(entry) = pre.queued().find(|q| q.from == to) {
+            return GrantInfo {
+                to,
+                mode,
+                upgrade: entry.upgrade,
+                priority: entry.priority,
+            };
+        }
+        GrantInfo {
+            to,
+            mode,
+            upgrade: false,
+            priority: 0,
+        }
+    };
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send {
+                to,
+                message: Message::Grant { mode },
+            }
+            | Effect::Send {
+                to,
+                message: Message::Token { mode, .. },
+            } => Some(classify(*to, *mode)),
+            Effect::Granted { mode } => {
+                let (upgrade, priority) = pre
+                    .pending_request()
+                    .map(|p| (p.upgrade, p.priority))
+                    .unwrap_or((false, 0));
+                Some(GrantInfo {
+                    to: pre.id(),
+                    mode: *mode,
+                    upgrade,
+                    priority,
+                })
+            }
+            // An Upgraded effect is the completion of a Rule 7 upgrade,
+            // which is exempt from the FIFO shield by design.
+            Effect::Upgraded => None,
+            Effect::Send { .. } => None,
+        })
+        .collect()
+}

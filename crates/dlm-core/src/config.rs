@@ -40,6 +40,14 @@ pub struct ProtocolConfig {
     /// unaffected. Set `true` for the literal reading of Rule 3.2; the
     /// ablation harness quantifies the difference (DESIGN.md §3).
     pub eager_idle_transfer: bool,
+    /// **Seeded bug — test-only.** Accept stale releases instead of dropping
+    /// them, reintroducing the grant/release channel race documented at
+    /// [`crate::Message::Release::ack`]: a release racing a grant on the
+    /// opposite channel erases the granted mode from the granter's copyset
+    /// and breaks mutual exclusion. The model checker uses this flag to
+    /// prove its counterexample machinery finds a real, replayable violation
+    /// (dlm-check's `seeded_bug` tests). Never enable it outside tests.
+    pub accept_stale_releases: bool,
 }
 
 impl ProtocolConfig {
@@ -51,6 +59,7 @@ impl ProtocolConfig {
             release_suppression: true,
             freezing: true,
             eager_idle_transfer: false,
+            accept_stale_releases: false,
         }
     }
 
@@ -58,6 +67,13 @@ impl ProtocolConfig {
     /// grant. See [`ProtocolConfig::eager_idle_transfer`].
     pub const fn literal_rule_3_2(mut self) -> Self {
         self.eager_idle_transfer = true;
+        self
+    }
+
+    /// Enable the test-only seeded stale-release bug. See
+    /// [`ProtocolConfig::accept_stale_releases`].
+    pub const fn with_seeded_stale_release_bug(mut self) -> Self {
+        self.accept_stale_releases = true;
         self
     }
 

@@ -12,7 +12,7 @@
 use crate::ids::NodeId;
 use crate::message::Message;
 use crate::node::HierNode;
-use dlm_modes::{compatible, Mode};
+use dlm_modes::{compatible, Mode, ModeSet};
 use std::collections::HashSet;
 
 /// A message in flight between two nodes, for audit purposes.
@@ -58,6 +58,28 @@ pub enum AuditError {
     StuckRequest(NodeId, Mode),
     /// A defensive code path fired (`HierNode::anomalies` non-zero).
     Anomaly(NodeId, u64),
+    /// The token node granted a request past an earlier incompatible queued
+    /// request of equal-or-higher priority (Rule 6's FIFO guarantee broken).
+    /// Found by [`fifo_overtakes`], which the model checker runs after every
+    /// transition.
+    FifoOvertake {
+        /// The granting (token) node.
+        node: NodeId,
+        /// The request that was granted.
+        granted: (NodeId, Mode),
+        /// The earlier queued request it overtook.
+        bypassed: (NodeId, Mode),
+    },
+    /// A node is still frozen in a state from which no thaw is reachable
+    /// (checked by the model checker at terminal states: every path ends in
+    /// a terminal, so thaw-free terminals are exactly the states violating
+    /// freeze convergence). Found by [`frozen_residue`].
+    FrozenResidue {
+        /// The still-frozen node.
+        node: NodeId,
+        /// The modes left frozen.
+        modes: ModeSet,
+    },
 }
 
 impl std::fmt::Display for AuditError {
@@ -82,6 +104,18 @@ impl std::fmt::Display for AuditError {
                 write!(f, "{n}: request for {m} never granted (quiescent system)")
             }
             AuditError::Anomaly(n, c) => write!(f, "{n}: {c} defensive anomalies"),
+            AuditError::FifoOvertake {
+                node,
+                granted,
+                bypassed,
+            } => write!(
+                f,
+                "{node} granted {} to {} past earlier incompatible queued {} from {}",
+                granted.1, granted.0, bypassed.1, bypassed.0
+            ),
+            AuditError::FrozenResidue { node, modes } => {
+                write!(f, "{node} left frozen ({modes:?}) with no thaw reachable")
+            }
         }
     }
 }
@@ -196,6 +230,83 @@ fn audit_quiescent(nodes: &[HierNode], errors: &mut Vec<AuditError>) {
     }
 }
 
+/// One grant decision taken by a node during a single transition, for
+/// [`fifo_overtakes`]. The model checker builds these from the transition's
+/// [`crate::Effect`]s (copy grants, token transfers, self-grants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantInfo {
+    /// The node whose request was granted.
+    pub to: NodeId,
+    /// The granted mode.
+    pub mode: Mode,
+    /// True for Rule 7 upgrades, which are exempt from the FIFO shield (they
+    /// must overtake: the upgrader already holds `U` and blocks the queue).
+    pub upgrade: bool,
+    /// The granted request's priority (FIFO applies within a level).
+    pub priority: u8,
+}
+
+/// Check per-lock FIFO grant order at the token node for one transition.
+///
+/// `node` is the granting node's state **before** the transition and
+/// `grants` the grant decisions it took during it. A grant overtakes — and
+/// Rule 6 freezing exists precisely to prevent this — when an earlier
+/// incompatible queued request of equal-or-higher priority was still waiting
+/// in front of it. The shield only covers the token node's queue (the
+/// distributed FIFO of §3.2 lives there: non-token queues drain through it),
+/// and only applies with freezing enabled (the `Freezing` ablation
+/// deliberately gives up this guarantee, §3.3).
+pub fn fifo_overtakes(node: &HierNode, grants: &[GrantInfo]) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    if !node.has_token() || !node.protocol_config().freezing {
+        return errors;
+    }
+    for g in grants {
+        if g.upgrade {
+            continue;
+        }
+        for queued in node.queued() {
+            if queued.from == g.to {
+                // Reached the grant's own queue entry: everything behind it
+                // queued later and cannot have been overtaken.
+                break;
+            }
+            if queued.priority >= g.priority && !compatible(queued.mode, g.mode) {
+                errors.push(AuditError::FifoOvertake {
+                    node: node.id(),
+                    granted: (g.to, g.mode),
+                    bypassed: (queued.from, queued.mode),
+                });
+            }
+        }
+    }
+    errors
+}
+
+/// Check freeze convergence over a terminal (successor-free) state.
+///
+/// Freezing is a *temporary* shield: Rule 6 freezes modes only while an
+/// incompatible request waits, and the token node recomputes its frozen
+/// set from its queue on every dequeue. In a finite exploration every
+/// state has a path to some terminal state, so "the authority thaws once
+/// every request is served" holds exactly when no terminal state leaves
+/// the *token node* frozen — which is what this audits.
+///
+/// Non-token nodes are exempt on purpose: after a token transfer a former
+/// copyset member may retain a stale, over-large frozen set. That is a
+/// documented cost trade-off (it only makes the node forward requests it
+/// could have granted; the token serves them), not a convergence failure.
+pub fn frozen_residue(nodes: &[HierNode]) -> Vec<AuditError> {
+    nodes
+        .iter()
+        .filter(|n| n.has_token() && !n.frozen().is_empty())
+        .map(|n| AuditError::FrozenResidue {
+            node: n.id(),
+            modes: n.frozen(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +375,83 @@ mod tests {
         assert!(audit(&nodes, &[], true)
             .iter()
             .any(|e| matches!(e, AuditError::StuckRequest(n, Mode::Write) if *n == NodeId(1))));
+    }
+
+    #[test]
+    fn fifo_overtake_flagged_only_for_real_overtakes() {
+        use crate::message::QueuedRequest;
+        let mut token = HierNode::with_token(NodeId(0), ProtocolConfig::paper());
+        let mut obs = dlm_trace::NullObserver;
+        token.enqueue(QueuedRequest::plain(NodeId(1), Mode::Write), &mut obs);
+        token.enqueue(QueuedRequest::plain(NodeId(2), Mode::Read), &mut obs);
+
+        // Granting R to n3 past n1's queued W is an overtake…
+        let overtake = GrantInfo {
+            to: NodeId(3),
+            mode: Mode::Read,
+            upgrade: false,
+            priority: 0,
+        };
+        let errors = fifo_overtakes(&token, &[overtake]);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, AuditError::FifoOvertake { .. })),
+            "{errors:?}"
+        );
+
+        // …but serving n1's own head-of-queue W is not, and neither is an
+        // upgrade (exempt) or a compatible mode (IR passes a queued R).
+        let serve_head = GrantInfo {
+            to: NodeId(1),
+            mode: Mode::Write,
+            upgrade: false,
+            priority: 0,
+        };
+        let upgrade = GrantInfo {
+            to: NodeId(3),
+            mode: Mode::Write,
+            upgrade: true,
+            priority: 0,
+        };
+        assert!(fifo_overtakes(&token, &[serve_head]).is_empty());
+        assert!(fifo_overtakes(&token, &[upgrade]).is_empty());
+
+        // A non-token node's grants are outside the shield.
+        let mut child = HierNode::new(NodeId(5), NodeId(0), ProtocolConfig::paper());
+        child.enqueue(QueuedRequest::plain(NodeId(1), Mode::Write), &mut obs);
+        assert!(fifo_overtakes(&child, &[overtake]).is_empty());
+    }
+
+    #[test]
+    fn frozen_residue_reports_only_the_token_node() {
+        let mut nodes = three_nodes();
+        assert!(frozen_residue(&nodes).is_empty());
+
+        // A stale frozen set at a *non-token* node is a documented cost
+        // trade-off, not a convergence failure: exempt.
+        let mut set = dlm_modes::ModeSet::new();
+        set.insert(Mode::Read);
+        let _ = nodes[1].on_message(NodeId(0), Message::SetFrozen { modes: set });
+        assert!(frozen_residue(&nodes).is_empty());
+
+        // The token node freezes R while an incompatible W waits behind a
+        // held R; if that survived to a terminal state it would be residue.
+        let _ = nodes[0].on_acquire(Mode::Read).unwrap();
+        let _ = nodes[0].on_message(
+            NodeId(2),
+            Message::Request(crate::message::QueuedRequest::plain(NodeId(2), Mode::Write)),
+        );
+        assert!(!nodes[0].frozen().is_empty(), "W behind R must freeze");
+        let errors = frozen_residue(&nodes);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            errors[0],
+            AuditError::FrozenResidue {
+                node: NodeId(0),
+                ..
+            }
+        ));
     }
 
     #[test]

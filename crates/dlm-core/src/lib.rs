@@ -43,6 +43,7 @@
 mod config;
 mod effect;
 mod error;
+mod fingerprint;
 mod ids;
 mod invariants;
 mod message;
@@ -52,8 +53,9 @@ pub mod testkit;
 pub use config::{Ablation, ProtocolConfig, ALL_ABLATIONS};
 pub use effect::Effect;
 pub use error::{AcquireError, ReleaseError, UpgradeError};
+pub use fingerprint::{Fingerprint, Fingerprintable, FpHasher};
 pub use ids::{LockId, NodeId};
-pub use invariants::{audit, AuditError, InFlight};
+pub use invariants::{audit, fifo_overtakes, frozen_residue, AuditError, GrantInfo, InFlight};
 pub use message::{Message, MessageKind, QueuedRequest, ALL_MESSAGE_KINDS};
 pub use node::HierNode;
 

@@ -147,6 +147,12 @@ impl HierNode {
         self.pending.map(|p| p.mode)
     }
 
+    /// The full pending request record (mode + upgrade flag + priority), if
+    /// any. The model checker uses this to classify self-grants.
+    pub fn pending_request(&self) -> Option<QueuedRequest> {
+        self.pending
+    }
+
     /// True if the pending request is a Rule 7 upgrade.
     pub fn pending_is_upgrade(&self) -> bool {
         self.pending.map(|p| p.upgrade).unwrap_or(false)
@@ -269,7 +275,77 @@ impl HierNode {
     /// True if a release from `child` carrying `ack` predates a grant this
     /// node has already sent to `child` (i.e. the release is stale).
     pub(crate) fn release_is_stale(&self, child: NodeId, ack: u64) -> bool {
+        if self.config.accept_stale_releases {
+            // Test-only seeded bug: treat every release as fresh. See
+            // `ProtocolConfig::accept_stale_releases`.
+            return false;
+        }
         ack < self.grants_sent.get(&child).copied().unwrap_or(0)
+    }
+}
+
+impl crate::fingerprint::Fingerprintable for HierNode {
+    fn fingerprint_into(&self, h: &mut crate::fingerprint::FpHasher) {
+        // Exhaustive destructuring: adding a field to HierNode without
+        // extending this fingerprint is a compile error (the model checker
+        // must never key its memoization on a partial view of node state).
+        let HierNode {
+            id,
+            config,
+            parent,
+            has_token,
+            held,
+            owned,
+            pending,
+            copyset,
+            queue,
+            frozen,
+            frozen_sent,
+            grants_sent,
+            grants_received,
+            registered,
+            anomalies,
+        } = self;
+        h.write(id);
+        h.write(config);
+        h.write(parent);
+        h.write_bool(*has_token);
+        h.write(held);
+        h.write(owned);
+        match pending {
+            None => h.write_u8(0),
+            Some(req) => {
+                h.write_u8(1);
+                h.write(req);
+            }
+        }
+        h.write_usize(copyset.len());
+        for (child, mode) in copyset {
+            h.write(child);
+            h.write(mode);
+        }
+        h.write_usize(queue.len());
+        for req in queue {
+            h.write(req);
+        }
+        h.write(frozen);
+        h.write_usize(frozen_sent.len());
+        for (child, set) in frozen_sent {
+            h.write(child);
+            h.write(set);
+        }
+        h.write_usize(grants_sent.len());
+        for (peer, count) in grants_sent {
+            h.write(peer);
+            h.write_u64(*count);
+        }
+        h.write_usize(grants_received.len());
+        for (peer, count) in grants_received {
+            h.write(peer);
+            h.write_u64(*count);
+        }
+        h.write_bool(*registered);
+        h.write_u64(*anomalies);
     }
 }
 

@@ -24,9 +24,19 @@ use std::io::{self, BufRead, Write};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// Malformed JSON on `line` (1-based).
-    Json { line: usize, reason: String },
+    Json {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What the tokenizer rejected.
+        reason: String,
+    },
     /// Structurally valid JSON that is not a valid trace record.
-    Record { line: usize, reason: String },
+    Record {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Which field was missing or malformed.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {

@@ -24,6 +24,9 @@
 //! (per-rule counters, causal-chain reconstruction, the `events` analysis
 //! bin) is agnostic to which clock produced `at`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod event;
 pub mod jsonl;
 mod observer;

@@ -21,4 +21,7 @@ cargo test -q
 echo "==> workspace tests: cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> model-check gate: check gate"
+cargo run --release -q -p dlm-check --bin check -- gate
+
 echo "All checks passed."
