@@ -2,55 +2,10 @@
 //! cluster runtime puts on its links, plus the metrics primitives that run
 //! on the simulator's hot path.
 
+use bench::sample_messages;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dlm_cluster::codec::{decode, encode};
-use dlm_core::{LockId, Message, Mode, NodeId, QueuedRequest};
+use dlm_cluster::codec::{decode, encode, encode_into};
 use dlm_metrics::{Histogram, Summary};
-use std::collections::VecDeque;
-
-fn sample_messages() -> Vec<(LockId, Message)> {
-    vec![
-        (
-            LockId::entry(3),
-            Message::Request(QueuedRequest {
-                from: NodeId(17),
-                mode: Mode::Read,
-                upgrade: false,
-                priority: 0,
-            }),
-        ),
-        (
-            LockId::TABLE,
-            Message::Grant {
-                mode: Mode::IntentRead,
-            },
-        ),
-        (
-            LockId::TABLE,
-            Message::Token {
-                mode: Mode::Write,
-                granter_owned: Mode::IntentRead,
-                queue: VecDeque::from(vec![
-                    QueuedRequest {
-                        from: NodeId(2),
-                        mode: Mode::Read,
-                        upgrade: false,
-                        priority: 0,
-                    };
-                    4
-                ]),
-                frozen: dlm_core::ModeSet::from_modes([Mode::IntentRead, Mode::Read]),
-            },
-        ),
-        (
-            LockId::entry(1),
-            Message::Release {
-                new_owned: Mode::NoLock,
-                ack: 42,
-            },
-        ),
-    ]
-}
 
 fn bench_codec(c: &mut Criterion) {
     let msgs = sample_messages();
@@ -61,6 +16,15 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| {
             for (l, m) in &msgs {
                 black_box(encode(black_box(*l), black_box(m)));
+            }
+        })
+    });
+    // The runtime's hot path: one long-lived scratch buffer across frames.
+    g.bench_function("encode_into_4_frames_reused_buffer", |b| {
+        let mut scratch = bytes::BytesMut::with_capacity(64);
+        b.iter(|| {
+            for (l, m) in &msgs {
+                black_box(encode_into(black_box(*l), black_box(m), &mut scratch));
             }
         })
     });

@@ -1,0 +1,27 @@
+//! Simulator event-loop throughput: a message flood over a ring of actors
+//! whose per-event work is a counter bump and a re-send, so the measurement
+//! isolates the engine itself — the inline-payload event queue, timer
+//! dispatch, and outgoing-message drain — from protocol logic.
+
+use bench::flood_run;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_event_loop(c: &mut Criterion) {
+    const BUDGET: u64 = 100_000;
+    let mut g = c.benchmark_group("sim_event_loop");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(BUDGET));
+    for (n, fan_out) in [(8usize, 4u32), (64, 4), (64, 32)] {
+        g.bench_function(format!("flood_n{n}_fanout{fan_out}"), |b| {
+            b.iter(|| {
+                let stats = flood_run(black_box(n), fan_out, BUDGET);
+                assert_eq!(stats.messages_delivered + stats.timers_fired, BUDGET);
+                stats
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

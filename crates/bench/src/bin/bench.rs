@@ -1,0 +1,148 @@
+//! Persisted benchmark baseline: measures the hot paths the Criterion
+//! benches cover, but as a small fixed suite whose results are written to
+//! `BENCH_sim.json` at the repo root — the machine-readable perf trajectory
+//! successive PRs are judged against.
+//!
+//! Usage: `cargo run --release -p bench --bin bench [-- <out-path>]`
+//! `BENCH_SMOKE=1` shrinks every budget for CI smoke runs.
+
+use bench::{churn, flood_run, sample_messages};
+use dlm_cluster::codec::{decode, encode_into};
+use dlm_core::Mode;
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock of `f`, in nanoseconds.
+fn best_ns(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn figure_point(nodes: usize, protocol: ProtocolKind, ops: u32) -> WorkloadParams {
+    let mut p = WorkloadParams::linux_cluster(nodes, protocol);
+    p.ops_per_node = ops;
+    p
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (flood_budget, reps, ops) = if smoke {
+        (100_000u64, 2u32, 5u32)
+    } else {
+        (1_000_000, 3, 15)
+    };
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+
+    // 1. Raw event-loop throughput: a message flood where per-event work is
+    //    a counter bump and a re-send, so the engine dominates.
+    for n in [8usize, 64] {
+        let ns = best_ns(reps, || {
+            let stats = flood_run(n, 4, flood_budget);
+            assert_eq!(stats.messages_delivered + stats.timers_fired, flood_budget);
+        });
+        let events_per_sec = flood_budget as f64 / (ns / 1e9);
+        results.push((format!("sim_flood_n{n}_events_per_sec"), events_per_sec));
+    }
+
+    // 2. Wire codec: ns per frame over one frame of every message shape,
+    //    with the runtime's reusable encode buffer.
+    {
+        let msgs = sample_messages();
+        let frames: Vec<_> = {
+            let mut scratch = bytes::BytesMut::with_capacity(64);
+            msgs.iter()
+                .map(|(l, m)| encode_into(*l, m, &mut scratch))
+                .collect()
+        };
+        let iters = if smoke { 20_000 } else { 200_000 };
+        let ns = best_ns(reps, || {
+            let mut scratch = bytes::BytesMut::with_capacity(64);
+            for _ in 0..iters {
+                for (l, m) in &msgs {
+                    std::hint::black_box(encode_into(*l, m, &mut scratch));
+                }
+            }
+        });
+        results.push((
+            "codec_encode_ns_per_frame".into(),
+            ns / (iters as f64 * msgs.len() as f64),
+        ));
+        let ns = best_ns(reps, || {
+            for _ in 0..iters {
+                for f in &frames {
+                    std::hint::black_box(decode(f.clone()).unwrap());
+                }
+            }
+        });
+        results.push((
+            "codec_decode_ns_per_frame".into(),
+            ns / (iters as f64 * frames.len() as f64),
+        ));
+    }
+
+    // 3. Per-mode protocol churn on the lock-step runtime (state machine +
+    //    table lookups, no simulator).
+    for (label, mode) in [
+        ("ir", Mode::IntentRead),
+        ("r", Mode::Read),
+        ("w", Mode::Write),
+    ] {
+        let rounds = if smoke { 200 } else { 2_000 };
+        let ns = best_ns(reps, || {
+            std::hint::black_box(churn(rounds, mode));
+        });
+        results.push((format!("churn_{label}_ns_per_op"), ns / rounds as f64));
+    }
+
+    // 4. One end-to-end workload point per paper figure.
+    let points: Vec<(&str, WorkloadParams)> = vec![
+        (
+            "fig7_linux_n16_hier",
+            figure_point(16, ProtocolKind::Hier, ops),
+        ),
+        (
+            "fig8_linux_n16_naimi",
+            figure_point(16, ProtocolKind::NaimiPure, ops),
+        ),
+        ("fig9_sp_n64_ratio25", {
+            let mut p = WorkloadParams::ibm_sp(64, 25);
+            p.ops_per_node = ops;
+            p
+        }),
+        ("fig10_sp_n64_ratio1", {
+            let mut p = WorkloadParams::ibm_sp(64, 1);
+            p.ops_per_node = ops;
+            p
+        }),
+    ];
+    for (label, params) in points {
+        let ns = best_ns(reps, || {
+            let report = run_workload(&params);
+            assert!(report.complete());
+        });
+        results.push((format!("{label}_ms"), ns / 1e6));
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"dlm-bench/v1\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"benches\": {\n");
+    for (i, (name, value)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {value:.1}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out, &json).expect("write BENCH_sim.json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -105,17 +105,32 @@ fn get_queued(buf: &mut Bytes) -> Result<QueuedRequest, DecodeError> {
 }
 
 /// Encode `(lock, message)` into a frame.
+///
+/// Convenience wrapper over [`encode_into`] that allocates a fresh scratch
+/// buffer; hot paths (the cluster runtime's per-node transmit loop) hold a
+/// long-lived scratch and call [`encode_into`] directly so every frame
+/// reuses one allocation.
 pub fn encode(lock: LockId, message: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
+    encode_into(lock, message, &mut BytesMut::with_capacity(32))
+}
+
+/// Encode `(lock, message)` into a frame built inside `scratch`.
+///
+/// `scratch` is cleared first and left empty (capacity retained), so a
+/// caller encoding many frames pays zero buffer growth after the largest
+/// frame seen.
+pub fn encode_into(lock: LockId, message: &Message, scratch: &mut BytesMut) -> Bytes {
+    scratch.clear();
+    let buf = scratch;
     buf.put_u32_le(lock.0);
     match message {
         Message::Request(q) => {
             buf.put_u8(1);
-            put_queued(&mut buf, q);
+            put_queued(buf, q);
         }
         Message::Grant { mode } => {
             buf.put_u8(2);
-            put_mode(&mut buf, *mode);
+            put_mode(buf, *mode);
         }
         Message::Token {
             mode,
@@ -124,25 +139,25 @@ pub fn encode(lock: LockId, message: &Message) -> Bytes {
             frozen,
         } => {
             buf.put_u8(3);
-            put_mode(&mut buf, *mode);
-            put_mode(&mut buf, *granter_owned);
-            put_modeset(&mut buf, *frozen);
+            put_mode(buf, *mode);
+            put_mode(buf, *granter_owned);
+            put_modeset(buf, *frozen);
             buf.put_u16_le(queue.len() as u16);
             for q in queue {
-                put_queued(&mut buf, q);
+                put_queued(buf, q);
             }
         }
         Message::Release { new_owned, ack } => {
             buf.put_u8(4);
-            put_mode(&mut buf, *new_owned);
+            put_mode(buf, *new_owned);
             buf.put_u64_le(*ack);
         }
         Message::SetFrozen { modes } => {
             buf.put_u8(5);
-            put_modeset(&mut buf, *modes);
+            put_modeset(buf, *modes);
         }
     }
-    buf.freeze()
+    buf.take_frame()
 }
 
 /// Decode a frame back into `(lock, message)`.

@@ -3,10 +3,10 @@
 
 use crate::codec;
 use crate::handle::{ClusterError, NodeHandle, Reply};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dlm_core::{audit, AuditError, Effect, HierNode, LockId, Mode, NodeId, ProtocolConfig};
 use dlm_trace::{merge_records, NullObserver, Observer, RingRecorder, Stamp, TraceRecord};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -200,18 +200,39 @@ impl Cluster {
         self.replies_dropped.load(Ordering::Relaxed)
     }
 
-    /// Crude quiescence wait: poll until the message counter stays stable
-    /// for `settle` (returns the final count). Use after all application
-    /// operations completed to let release waves drain.
-    pub fn quiesce(&self, settle: Duration) -> u64 {
+    /// Quiescence wait: returns once the message counter has stayed stable
+    /// for `idle`, bounded by a generous default timeout. Use after all
+    /// application operations completed to let release waves drain.
+    ///
+    /// Unlike the original fixed settle-sleep (which slept a full `settle`
+    /// period per counter check and was unbounded under sustained traffic),
+    /// this polls at a fine grain — a quiet cluster returns after one
+    /// `idle` window, an active one as soon as traffic stops, and a runaway
+    /// one after the bound instead of never.
+    pub fn quiesce(&self, idle: Duration) -> u64 {
+        self.quiesce_within(idle, Duration::from_secs(30))
+    }
+
+    /// [`Self::quiesce`] with an explicit upper bound: returns the final
+    /// message count once the counter is stable for `idle`, or whatever the
+    /// count is when `timeout` elapses first.
+    pub fn quiesce_within(&self, idle: Duration, timeout: Duration) -> u64 {
+        let start = Instant::now();
+        let tick = (idle / 8).max(Duration::from_micros(200)).min(idle);
         let mut last = self.messages_sent();
+        let mut stable_since = Instant::now();
         loop {
-            std::thread::sleep(settle);
-            let now = self.messages_sent();
-            if now == last {
-                return now;
+            if start.elapsed() >= timeout {
+                return self.messages_sent();
             }
-            last = now;
+            std::thread::sleep(tick);
+            let count = self.messages_sent();
+            if count != last {
+                last = count;
+                stable_since = Instant::now();
+            } else if stable_since.elapsed() >= idle {
+                return count;
+            }
         }
     }
 
@@ -251,16 +272,97 @@ impl Cluster {
     }
 }
 
+/// A frame parked in the router until its delivery deadline.
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    frame: bytes::Bytes,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for Delayed {}
+
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, earliest deadline first;
+        // ingress sequence breaks ties so equal deadlines stay FIFO.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
 fn router_loop(rx: Receiver<RouterMsg>, outs: Vec<Sender<Input>>, delay: Duration) {
-    // Single router + constant delay ⇒ global FIFO, which implies the
-    // per-channel FIFO the protocol's fairness machinery assumes.
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            RouterMsg::Forward { from, to, frame } => {
-                std::thread::sleep(delay);
-                let _ = outs[to.index()].send(Input::Net { from, frame });
+    // Deadline-sorted delivery: every frame is stamped `ingress + delay` on
+    // arrival and parked in a min-heap; each wakeup drains *all* frames
+    // whose deadline has passed. N frames in flight concurrently therefore
+    // all arrive after ~`delay`, not ~`N × delay` — the original
+    // sleep-per-message loop serialized the artificial latency, so delivery
+    // time grew with queue depth instead of modeling a parallel link.
+    //
+    // Single router + constant delay ⇒ deadlines are ingress-ordered ⇒
+    // global FIFO, which implies the per-channel FIFO the protocol's
+    // fairness machinery assumes.
+    let mut parked: BinaryHeap<Delayed> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut park = |parked: &mut BinaryHeap<Delayed>, from, to, frame| {
+        parked.push(Delayed {
+            due: Instant::now() + delay,
+            seq,
+            from,
+            to,
+            frame,
+        });
+        seq += 1;
+    };
+    loop {
+        // Deliver everything due (sends to already-exited nodes are no-ops).
+        let now = Instant::now();
+        while parked.peek().is_some_and(|d| d.due <= now) {
+            let d = parked.pop().expect("peeked frame");
+            let _ = outs[d.to.index()].send(Input::Net {
+                from: d.from,
+                frame: d.frame,
+            });
+        }
+        // Wait for new traffic, but never past the earliest deadline.
+        let msg = match parked.peek() {
+            Some(next) => {
+                match rx.recv_timeout(next.due.saturating_duration_since(Instant::now())) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => None,
+                }
             }
-            RouterMsg::Shutdown => return,
+            None => rx.recv().ok(),
+        };
+        match msg {
+            Some(RouterMsg::Forward { from, to, frame }) => {
+                park(&mut parked, from, to, frame);
+            }
+            // Shutdown (or all senders gone): flush whatever is still
+            // parked without honoring deadlines — the cluster is going
+            // down and no one is measuring latency any more.
+            Some(RouterMsg::Shutdown) | None => {
+                while let Some(d) = parked.pop() {
+                    let _ = outs[d.to.index()].send(Input::Net {
+                        from: d.from,
+                        frame: d.frame,
+                    });
+                }
+                return;
+            }
         }
     }
 }
@@ -309,9 +411,13 @@ fn node_loop(
     // Application waiters per lock: at most one outstanding op per lock.
     let mut waiters: HashMap<LockId, Reply> = HashMap::new();
 
+    // One long-lived encode buffer per node thread: every outgoing frame is
+    // built in place and copied out, so steady-state transmission does no
+    // buffer growth.
+    let mut encode_scratch = bytes::BytesMut::with_capacity(64);
     let mut transmit = |from: NodeId, to: NodeId, lock: LockId, message: &dlm_core::Message| {
         counter.fetch_add(1, Ordering::Relaxed);
-        let frame = codec::encode(lock, message);
+        let frame = codec::encode_into(lock, message, &mut encode_scratch);
         match &router {
             Some(r) => {
                 let _ = r.send(RouterMsg::Forward { from, to, frame });

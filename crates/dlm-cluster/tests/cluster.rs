@@ -230,6 +230,127 @@ fn trace_capture_matches_message_count() {
         .all(|(i, r)| r.seq == i as u64));
 }
 
+/// Regression for the router's cumulative-latency bug: the original router
+/// slept `delay` *per message*, so N concurrent in-flight messages arrived
+/// after ~N·delay. The deadline-sorted router must deliver them all after
+/// ~delay.
+#[test]
+fn concurrent_delayed_messages_share_the_wire() {
+    const DELAY_MS: u64 = 25;
+    const REQUESTERS: u32 = 8;
+    let c = Cluster::new(ClusterConfig {
+        nodes: REQUESTERS as usize + 1,
+        locks: REQUESTERS as usize + 1, // table + one entry per requester
+        delay: Some(Duration::from_millis(DELAY_MS)),
+        ..Default::default()
+    });
+    // Each requester grabs its own entry lock: disjoint queues, so every
+    // acquire is an independent request/grant pair through the router.
+    let start = std::time::Instant::now();
+    let threads: Vec<_> = (1..=REQUESTERS)
+        .map(|i| {
+            let h = c.handle(i);
+            std::thread::spawn(move || {
+                h.acquire(LockId::entry(i - 1), Mode::Write).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    // Two one-way hops (request, grant) of 25 ms each: ~50 ms concurrent.
+    // The old serializing router needed ≥ 2·8·25 ms = 400 ms. Allow ample
+    // scheduling slack while still catching any per-message serialization.
+    assert!(
+        elapsed >= Duration::from_millis(2 * DELAY_MS),
+        "latency model must still apply: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(8 * DELAY_MS),
+        "concurrent in-flight messages must not serialize the delay: {elapsed:?}"
+    );
+    for i in 1..=REQUESTERS {
+        c.handle(i).release(LockId::entry(i - 1)).unwrap();
+    }
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+/// A quiet cluster's quiesce returns promptly (one idle window, not a fixed
+/// settle schedule), and it is bounded even under sustained traffic.
+#[test]
+fn quiesce_is_prompt_when_quiet_and_bounded_when_not() {
+    let c = cluster(2, 1);
+    let start = std::time::Instant::now();
+    let count = c.quiesce_within(Duration::from_millis(5), Duration::from_secs(10));
+    assert_eq!(count, 0);
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "quiet cluster must settle in ~one idle window: {:?}",
+        start.elapsed()
+    );
+
+    // Sustained traffic: the bound, not stability, ends the wait.
+    let stop = Arc::new(AtomicU32::new(0));
+    let h = c.handle(1);
+    let churner = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while stop.load(Ordering::SeqCst) == 0 {
+                h.acquire(LockId::TABLE, Mode::Read).unwrap();
+                h.release(LockId::TABLE).unwrap();
+            }
+        })
+    };
+    let start = std::time::Instant::now();
+    c.quiesce_within(Duration::from_secs(5), Duration::from_millis(100));
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "quiesce must respect its bound under load: {:?}",
+        start.elapsed()
+    );
+    stop.store(1, Ordering::SeqCst);
+    churner.join().unwrap();
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
+/// An *active* cluster (delayed release waves still in the router) must
+/// still quiesce fully before shutdown — no audit errors from cutting the
+/// drain short.
+#[test]
+fn active_cluster_still_quiesces_fully() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 4,
+        locks: 1,
+        delay: Some(Duration::from_millis(5)),
+        ..Default::default()
+    });
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let h = c.handle(i);
+            std::thread::spawn(move || {
+                for _ in 0..3 {
+                    h.acquire(LockId::TABLE, Mode::Write).unwrap();
+                    h.release(LockId::TABLE).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // Release traffic may still be parked in the 5 ms router; quiesce must
+    // wait it out so the final audit sees a coherent global state.
+    let settled = c.quiesce(Duration::from_millis(25));
+    let report = c.shutdown();
+    assert_eq!(settled, report.messages_sent, "quiesce saw the final count");
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+}
+
 #[test]
 fn router_delay_variant_works() {
     let c = Cluster::new(ClusterConfig {

@@ -1,17 +1,14 @@
-//! Regenerate every figure and the ablation study in one go.
+//! Regenerate every figure and the ablation study in one go, from one
+//! shared plan: Figures 7/8 and 9/10 each read two metrics off the same
+//! simulation runs, and every `(point, seed)` job fans out over the worker
+//! pool.
 
-use dlm_harness::{ablations, fig10, fig7, fig8, fig9, render_table, write_tsv, FigureOptions};
+use dlm_harness::{all_figures, render_table, write_tsv, FigureOptions};
 
 fn main() {
     let opts = FigureOptions::default();
     let dir = std::path::Path::new("results");
-    for fig in [
-        fig7(&opts),
-        fig8(&opts),
-        fig9(&opts),
-        fig10(&opts),
-        ablations(&opts),
-    ] {
+    for fig in all_figures(&opts) {
         println!("{}", render_table(&fig));
         let path = write_tsv(&fig, dir).expect("write tsv");
         eprintln!("wrote {}\n", path.display());

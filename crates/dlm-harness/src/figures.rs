@@ -1,6 +1,17 @@
 //! The per-figure sweeps, with the paper's parameters.
+//!
+//! Every figure is described as a *plan*: a set of workload points, each
+//! tagged with the `(figure, series, x)` slots its metrics feed. The plan's
+//! jobs — one per `(point, seed)` pair — fan out over the worker pool in
+//! [`crate::pool`], and the ordered merge folds each slot's per-seed values
+//! in ascending seed order, so the output is bit-identical to the old
+//! sequential sweep for any worker count. Plans also let figures that read
+//! different metrics off the *same* runs (7 with 8, 9 with 10) share one
+//! simulation per point instead of re-running it, which is where
+//! [`all_figures`] gets most of its speedup.
 
 use crate::figure::{Figure, Series};
+use crate::pool::run_jobs;
 use dlm_core::{Ablation, ProtocolConfig};
 use dlm_workload::{run_workload, ProtocolKind, WorkloadParams, WorkloadReport};
 
@@ -12,6 +23,9 @@ pub struct FigureOptions {
     pub seeds: u32,
     /// Operations per node per run.
     pub ops_per_node: u32,
+    /// Worker threads for the sweep pool; `0` = one per available core.
+    /// Any value produces identical figures — only wall-clock changes.
+    pub workers: usize,
 }
 
 impl Default for FigureOptions {
@@ -19,6 +33,7 @@ impl Default for FigureOptions {
         FigureOptions {
             seeds: 3,
             ops_per_node: 40,
+            workers: 0,
         }
     }
 }
@@ -29,46 +44,18 @@ impl FigureOptions {
         FigureOptions {
             seeds: 2,
             ops_per_node: 15,
+            workers: 0,
         }
     }
-}
 
-/// Run `params` over the option's seed set and fold the metric.
-fn averaged(
-    mut params: WorkloadParams,
-    opts: &FigureOptions,
-    metric: impl Fn(&WorkloadReport) -> f64,
-) -> f64 {
-    params.ops_per_node = opts.ops_per_node;
-    let mut total = 0.0;
-    for seed in 0..opts.seeds {
-        params.seed = 0xFEED + seed as u64 * 7919;
-        let report = run_workload(&params);
-        assert!(
-            report.complete(),
-            "run must complete: {:?} n={} proto={:?} seed={}",
-            report.ops_completed,
-            params.nodes,
-            params.protocol,
-            params.seed
-        );
-        total += metric(&report);
+    fn worker_count(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
-    total / opts.seeds as f64
-}
-
-/// Run the sweep for one series in parallel over the x-points.
-fn sweep<P: Sync>(points: &[P], run_point: impl Fn(&P) -> f64 + Sync) -> Vec<f64> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .iter()
-            .map(|p| scope.spawn(|| run_point(p)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread"))
-            .collect()
-    })
 }
 
 /// The node counts of the §4.1 Linux-cluster experiments (Figures 7 and 8).
@@ -80,130 +67,212 @@ pub const FIG9_NODES: [usize; 9] = [2, 4, 8, 16, 32, 48, 64, 80, 120];
 /// The non-critical : critical ratios of §4.2.
 pub const RATIOS: [u32; 4] = [1, 5, 10, 25];
 
-fn linux_cluster_series(
-    protocol: ProtocolKind,
-    opts: &FigureOptions,
-    metric: impl Fn(&WorkloadReport) -> f64 + Sync,
-) -> Series {
-    let values = sweep(&FIG7_NODES, |&n| {
-        averaged(WorkloadParams::linux_cluster(n, protocol), opts, &metric)
-    });
-    Series {
-        label: protocol.label().to_string(),
-        values,
-    }
+/// Where one metric value lands: `figures[fig].series[series].values[x]`.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    fig: usize,
+    series: usize,
+    x: usize,
 }
 
-/// Figure 7: *Scalability of Message Overhead* — average messages per lock
-/// request on the Linux-cluster configuration, for the hierarchical protocol
-/// vs. the two Naimi variants.
-pub fn fig7(opts: &FigureOptions) -> Figure {
-    let protos = [
-        ProtocolKind::NaimiSameWork,
-        ProtocolKind::NaimiPure,
-        ProtocolKind::Hier,
-    ];
-    let series = protos
+type Metric = Box<dyn Fn(&WorkloadReport) -> f64 + Send + Sync>;
+
+/// A figure index paired with a constructor from the series parameter to
+/// the metric its slots record.
+type FigMetric<P> = (usize, fn(P) -> Metric);
+
+/// One workload configuration and the slots its runs feed. A point with
+/// several outputs is simulated **once** per seed; every metric reads the
+/// same report.
+struct Point {
+    params: WorkloadParams,
+    outputs: Vec<(Slot, Metric)>,
+}
+
+/// A figure minus its values; `run_plan` fills the series in.
+struct Skeleton {
+    name: &'static str,
+    title: &'static str,
+    x_label: &'static str,
+    y_label: &'static str,
+    x: Vec<f64>,
+    series_labels: Vec<String>,
+}
+
+/// Execute every `(point, seed)` job across the pool and fold the metric
+/// values into figures.
+///
+/// Jobs are enumerated point-major / seed-minor and the pool returns results
+/// in job order, so each slot accumulates its seed values in ascending seed
+/// order — the same floating-point fold the sequential per-point loop did.
+fn run_plan(skeletons: Vec<Skeleton>, points: Vec<Point>, opts: &FigureOptions) -> Vec<Figure> {
+    let jobs: Vec<(usize, u32)> = (0..points.len())
+        .flat_map(|p| (0..opts.seeds).map(move |s| (p, s)))
+        .collect();
+    let results = run_jobs(jobs, opts.worker_count(), |(p, seed)| {
+        let point = &points[p];
+        let mut params = point.params;
+        params.ops_per_node = opts.ops_per_node;
+        params.seed = 0xFEED + seed as u64 * 7919;
+        let report = run_workload(&params);
+        assert!(
+            report.complete(),
+            "run must complete: {:?} n={} proto={:?} seed={}",
+            report.ops_completed,
+            params.nodes,
+            params.protocol,
+            params.seed
+        );
+        point
+            .outputs
+            .iter()
+            .map(|(slot, metric)| (*slot, metric(&report)))
+            .collect::<Vec<(Slot, f64)>>()
+    });
+
+    let mut sums: Vec<Vec<Vec<f64>>> = skeletons
         .iter()
-        .map(|&p| {
-            linux_cluster_series(p, opts, move |r| {
-                if p == ProtocolKind::NaimiSameWork {
-                    // Same-work is normalized to *functional* requests (the
-                    // request count pure issues); its extra per-entry
-                    // acquisitions are overhead, which is the point of the
-                    // series.
-                    r.messages_per_functional_request()
-                } else {
-                    r.messages_per_request()
-                }
-            })
+        .map(|sk| vec![vec![0.0; sk.x.len()]; sk.series_labels.len()])
+        .collect();
+    for job_outputs in results {
+        for (slot, value) in job_outputs {
+            sums[slot.fig][slot.series][slot.x] += value;
+        }
+    }
+    let k = opts.seeds as f64;
+    skeletons
+        .into_iter()
+        .zip(sums)
+        .map(|(sk, fig_sums)| Figure {
+            name: sk.name.into(),
+            title: sk.title.into(),
+            x_label: sk.x_label.into(),
+            y_label: sk.y_label.into(),
+            x: sk.x,
+            series: sk
+                .series_labels
+                .into_iter()
+                .zip(fig_sums)
+                .map(|(label, values)| Series {
+                    label,
+                    values: values.into_iter().map(|v| v / k).collect(),
+                })
+                .collect(),
         })
-        .collect();
-    Figure {
-        name: "fig7".into(),
-        title: "Scalability of Message Overhead".into(),
-        x_label: "nodes".into(),
-        y_label: "messages per lock request".into(),
+        .collect()
+}
+
+/// Figures 7 and 8 sweep the three protocols over the Linux-cluster nodes.
+const LINUX_PROTOS: [ProtocolKind; 3] = [
+    ProtocolKind::NaimiSameWork,
+    ProtocolKind::NaimiPure,
+    ProtocolKind::Hier,
+];
+
+fn fig7_metric(p: ProtocolKind) -> Metric {
+    if p == ProtocolKind::NaimiSameWork {
+        // Same-work is normalized to *functional* requests (the request
+        // count pure issues); its extra per-entry acquisitions are overhead,
+        // which is the point of the series.
+        Box::new(|r: &WorkloadReport| r.messages_per_functional_request())
+    } else {
+        Box::new(|r: &WorkloadReport| r.messages_per_request())
+    }
+}
+
+fn fig8_metric(_p: ProtocolKind) -> Metric {
+    Box::new(|r: &WorkloadReport| r.latency_factor())
+}
+
+/// One point per `(protocol, node-count)`; each point feeds every requested
+/// `(figure index, metric)` pair.
+fn linux_points(figs: &[FigMetric<ProtocolKind>]) -> Vec<Point> {
+    let mut points = Vec::new();
+    for (series, &proto) in LINUX_PROTOS.iter().enumerate() {
+        for (x, &n) in FIG7_NODES.iter().enumerate() {
+            points.push(Point {
+                params: WorkloadParams::linux_cluster(n, proto),
+                outputs: figs
+                    .iter()
+                    .map(|&(fig, mk)| (Slot { fig, series, x }, mk(proto)))
+                    .collect(),
+            });
+        }
+    }
+    points
+}
+
+fn skeleton_fig7() -> Skeleton {
+    Skeleton {
+        name: "fig7",
+        title: "Scalability of Message Overhead",
+        x_label: "nodes",
+        y_label: "messages per lock request",
         x: FIG7_NODES.iter().map(|&n| n as f64).collect(),
-        series,
+        series_labels: LINUX_PROTOS.iter().map(|p| p.label().to_string()).collect(),
     }
 }
 
-/// Figure 8: *Request Latency Factor* — mean request wait divided by the
-/// mean one-way network latency, same runs as Figure 7.
-pub fn fig8(opts: &FigureOptions) -> Figure {
-    let protos = [
-        ProtocolKind::NaimiSameWork,
-        ProtocolKind::NaimiPure,
-        ProtocolKind::Hier,
-    ];
-    let series = protos
-        .iter()
-        .map(|&p| linux_cluster_series(p, opts, |r| r.latency_factor()))
-        .collect();
-    Figure {
-        name: "fig8".into(),
-        title: "Request Latency Factor".into(),
-        x_label: "nodes".into(),
-        y_label: "mean request wait / mean one-way latency".into(),
+fn skeleton_fig8() -> Skeleton {
+    Skeleton {
+        name: "fig8",
+        title: "Request Latency Factor",
+        x_label: "nodes",
+        y_label: "mean request wait / mean one-way latency",
         x: FIG7_NODES.iter().map(|&n| n as f64).collect(),
-        series,
+        series_labels: LINUX_PROTOS.iter().map(|p| p.label().to_string()).collect(),
     }
 }
 
-fn sp_series(
-    ratio: u32,
-    opts: &FigureOptions,
-    metric: impl Fn(&WorkloadReport) -> f64 + Sync,
-) -> Series {
-    let values = sweep(&FIG9_NODES, |&n| {
-        averaged(WorkloadParams::ibm_sp(n, ratio), opts, &metric)
-    });
-    Series {
-        label: format!("ratio={ratio}"),
-        values,
-    }
+fn fig9_metric(_r: u32) -> Metric {
+    Box::new(|rep: &WorkloadReport| rep.messages_per_request())
 }
 
-/// Figure 9: *Messages for Non-Critical : Critical Ratios* — messages per
-/// request on the SP configuration, one series per ratio.
-pub fn fig9(opts: &FigureOptions) -> Figure {
-    let series = RATIOS
-        .iter()
-        .map(|&r| sp_series(r, opts, |rep| rep.messages_per_request()))
-        .collect();
-    Figure {
-        name: "fig9".into(),
-        title: "Messages for Non-Critical/Critical Ratios (IBM SP)".into(),
-        x_label: "nodes".into(),
-        y_label: "messages per lock request".into(),
+fn fig10_metric(_r: u32) -> Metric {
+    Box::new(|rep: &WorkloadReport| rep.request_latency.mean() / 1000.0)
+}
+
+/// One point per `(ratio, node-count)` on the SP configuration.
+fn sp_points(figs: &[FigMetric<u32>]) -> Vec<Point> {
+    let mut points = Vec::new();
+    for (series, &ratio) in RATIOS.iter().enumerate() {
+        for (x, &n) in FIG9_NODES.iter().enumerate() {
+            points.push(Point {
+                params: WorkloadParams::ibm_sp(n, ratio),
+                outputs: figs
+                    .iter()
+                    .map(|&(fig, mk)| (Slot { fig, series, x }, mk(ratio)))
+                    .collect(),
+            });
+        }
+    }
+    points
+}
+
+fn skeleton_fig9() -> Skeleton {
+    Skeleton {
+        name: "fig9",
+        title: "Messages for Non-Critical/Critical Ratios (IBM SP)",
+        x_label: "nodes",
+        y_label: "messages per lock request",
         x: FIG9_NODES.iter().map(|&n| n as f64).collect(),
-        series,
+        series_labels: RATIOS.iter().map(|r| format!("ratio={r}")).collect(),
     }
 }
 
-/// Figure 10: *Absolute Request Latency* — mean request wait in
-/// milliseconds on the SP configuration, one series per ratio.
-pub fn fig10(opts: &FigureOptions) -> Figure {
-    let series = RATIOS
-        .iter()
-        .map(|&r| sp_series(r, opts, |rep| rep.request_latency.mean() / 1000.0))
-        .collect();
-    Figure {
-        name: "fig10".into(),
-        title: "Absolute Request Latency (IBM SP)".into(),
-        x_label: "nodes".into(),
-        y_label: "mean request latency (ms)".into(),
+fn skeleton_fig10() -> Skeleton {
+    Skeleton {
+        name: "fig10",
+        title: "Absolute Request Latency (IBM SP)",
+        x_label: "nodes",
+        y_label: "mean request latency (ms)",
         x: FIG9_NODES.iter().map(|&n| n as f64).collect(),
-        series,
+        series_labels: RATIOS.iter().map(|r| format!("ratio={r}")).collect(),
     }
 }
 
-/// Ablation study over the §4.1 design claims: each protocol feature is
-/// disabled in turn at a fixed 16-node Linux-cluster configuration; the
-/// series report messages/request and mean operation wait.
-pub fn ablations(opts: &FigureOptions) -> Figure {
-    let configs: Vec<(String, ProtocolConfig)> = vec![
+fn ablation_configs() -> Vec<(String, ProtocolConfig)> {
+    vec![
         ("paper".into(), ProtocolConfig::paper()),
         (
             "no-local-queueing".into(),
@@ -221,50 +290,102 @@ pub fn ablations(opts: &FigureOptions) -> Figure {
             "no-freezing".into(),
             ProtocolConfig::paper().without(Ablation::Freezing),
         ),
-    ];
-    // x-axis: 0 = msgs/request, 1 = mean op wait (ms), 2 = p99 write-op wait
-    // (ms — the starvation-sensitive metric freezing protects).
-    let series = std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|(label, cfg)| {
-                let label = label.clone();
-                let cfg = *cfg;
-                scope.spawn(move || {
-                    let mut params = WorkloadParams::linux_cluster(16, ProtocolKind::Hier);
-                    params.hier_config = cfg;
-                    params.ops_per_node = opts.ops_per_node;
-                    let mut msgs = 0.0;
-                    let mut wait = 0.0;
-                    let mut w_p99 = 0.0;
-                    for seed in 0..opts.seeds {
-                        params.seed = 0xFEED + seed as u64 * 7919;
-                        let report = run_workload(&params);
-                        assert!(report.complete(), "ablation run stuck: {label}");
-                        msgs += report.messages_per_request();
-                        wait += report.op_latency.mean() / 1000.0;
-                        // Kind 4 = whole-table writes (see OpKind::index).
-                        w_p99 += report.op_latency_by_kind[4].quantile(0.99) as f64 / 1000.0;
-                    }
-                    let k = opts.seeds as f64;
-                    Series {
-                        label,
-                        values: vec![msgs / k, wait / k, w_p99 / k],
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("ablation thread"))
-            .collect()
-    });
-    Figure {
-        name: "ablations".into(),
-        title: "Feature ablations at 16 nodes (Linux-cluster config)".into(),
-        x_label: "metric".into(),
-        y_label: "0: msgs/request   1: mean op wait (ms)   2: p99 W-op wait (ms)".into(),
+    ]
+}
+
+/// One point per ablation config; x-axis slots 0..3 are the three metrics.
+fn ablation_points(fig: usize) -> Vec<Point> {
+    ablation_configs()
+        .into_iter()
+        .enumerate()
+        .map(|(series, (_, cfg))| {
+            let mut params = WorkloadParams::linux_cluster(16, ProtocolKind::Hier);
+            params.hier_config = cfg;
+            let metrics: [Metric; 3] = [
+                Box::new(|r: &WorkloadReport| r.messages_per_request()),
+                Box::new(|r: &WorkloadReport| r.op_latency.mean() / 1000.0),
+                // Kind 4 = whole-table writes (see OpKind::index) — the
+                // starvation-sensitive metric freezing protects.
+                Box::new(|r: &WorkloadReport| {
+                    r.op_latency_by_kind[4].quantile(0.99) as f64 / 1000.0
+                }),
+            ];
+            Point {
+                params,
+                outputs: metrics
+                    .into_iter()
+                    .enumerate()
+                    .map(|(x, metric)| (Slot { fig, series, x }, metric))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn skeleton_ablations() -> Skeleton {
+    Skeleton {
+        name: "ablations",
+        title: "Feature ablations at 16 nodes (Linux-cluster config)",
+        x_label: "metric",
+        y_label: "0: msgs/request   1: mean op wait (ms)   2: p99 W-op wait (ms)",
         x: vec![0.0, 1.0, 2.0],
-        series,
+        series_labels: ablation_configs().into_iter().map(|(l, _)| l).collect(),
     }
+}
+
+fn single(skeleton: Skeleton, points: Vec<Point>, opts: &FigureOptions) -> Figure {
+    run_plan(vec![skeleton], points, opts)
+        .pop()
+        .expect("one figure per skeleton")
+}
+
+/// Figure 7: *Scalability of Message Overhead* — average messages per lock
+/// request on the Linux-cluster configuration, for the hierarchical protocol
+/// vs. the two Naimi variants.
+pub fn fig7(opts: &FigureOptions) -> Figure {
+    single(skeleton_fig7(), linux_points(&[(0, fig7_metric)]), opts)
+}
+
+/// Figure 8: *Request Latency Factor* — mean request wait divided by the
+/// mean one-way network latency, same runs as Figure 7.
+pub fn fig8(opts: &FigureOptions) -> Figure {
+    single(skeleton_fig8(), linux_points(&[(0, fig8_metric)]), opts)
+}
+
+/// Figure 9: *Messages for Non-Critical : Critical Ratios* — messages per
+/// request on the SP configuration, one series per ratio.
+pub fn fig9(opts: &FigureOptions) -> Figure {
+    single(skeleton_fig9(), sp_points(&[(0, fig9_metric)]), opts)
+}
+
+/// Figure 10: *Absolute Request Latency* — mean request wait in
+/// milliseconds on the SP configuration, one series per ratio.
+pub fn fig10(opts: &FigureOptions) -> Figure {
+    single(skeleton_fig10(), sp_points(&[(0, fig10_metric)]), opts)
+}
+
+/// Ablation study over the §4.1 design claims: each protocol feature is
+/// disabled in turn at a fixed 16-node Linux-cluster configuration; the
+/// series report messages/request, mean operation wait, and p99 write wait.
+pub fn ablations(opts: &FigureOptions) -> Figure {
+    single(skeleton_ablations(), ablation_points(0), opts)
+}
+
+/// Every figure plus the ablations from **one shared plan**: Figures 7 and 8
+/// read their metrics off the same Linux-cluster runs, 9 and 10 off the same
+/// SP runs, so the whole set costs roughly half the simulations of calling
+/// the figure functions one by one — and the output is value-identical to
+/// them.
+pub fn all_figures(opts: &FigureOptions) -> Vec<Figure> {
+    let skeletons = vec![
+        skeleton_fig7(),
+        skeleton_fig8(),
+        skeleton_fig9(),
+        skeleton_fig10(),
+        skeleton_ablations(),
+    ];
+    let mut points = linux_points(&[(0, fig7_metric), (1, fig8_metric)]);
+    points.extend(sp_points(&[(2, fig9_metric), (3, fig10_metric)]));
+    points.extend(ablation_points(4));
+    run_plan(skeletons, points, opts)
 }

@@ -1,14 +1,13 @@
 //! The event loop: a total-ordered heap of message deliveries and timers.
 
 use crate::network::{FifoClamp, LatencyModel};
+use crate::queue::EventQueue;
 use crate::time::Micros;
 use dlm_core::NodeId;
 use dlm_trace::{NullObserver, Observer, Recorder, Stamp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// A simulated node: reacts to start, messages and timers through a context
@@ -178,11 +177,13 @@ enum Pending<M> {
 /// Event order is the total order `(arrival_time, sequence_number)`, with the
 /// sequence assigned at scheduling time — two runs with the same seed and the
 /// same actor logic process identical event sequences.
+///
+/// Events live in a single [`EventQueue`] whose heap entries carry the
+/// payload inline, so scheduling and dispatch are pure heap operations — no
+/// payload side-table on the hot path.
 pub struct Sim<A: Actor> {
     actors: Vec<A>,
-    heap: BinaryHeap<Reverse<(Micros, u64)>>,
-    payloads: std::collections::HashMap<u64, Pending<A::Msg>>,
-    seq: u64,
+    queue: EventQueue<Pending<A::Msg>>,
     clock: Micros,
     rngs: Vec<SmallRng>,
     net_rng: SmallRng,
@@ -206,16 +207,14 @@ impl<A: Actor> Sim<A> {
             .collect();
         Sim {
             actors,
-            heap: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
-            seq: 0,
+            queue: EventQueue::with_capacity(4 * n + 16),
             clock: 0,
             rngs,
             net_rng: SmallRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A_DEAD_BEEF),
-            fifo: FifoClamp::default(),
+            fifo: FifoClamp::new(n),
             config,
             stats: RunStats::default(),
-            scratch: Vec::new(),
+            scratch: Vec::with_capacity(16),
             recorder: None,
         }
     }
@@ -247,16 +246,11 @@ impl<A: Actor> Sim<A> {
         &self.stats
     }
 
-    fn push_event(&mut self, at: Micros, pending: Pending<A::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse((at, seq)));
-        self.payloads.insert(seq, pending);
-    }
-
     fn flush_outgoing(&mut self, from: NodeId) {
-        let outgoing = std::mem::take(&mut self.scratch);
-        for out in outgoing {
+        // The scratch buffer is moved out, drained, and handed back so its
+        // capacity is reused across every actor invocation of the run.
+        let mut outgoing = std::mem::take(&mut self.scratch);
+        for out in outgoing.drain(..) {
             match out {
                 Outgoing::Message { to, payload } => {
                     self.stats.messages_sent += 1;
@@ -269,13 +263,16 @@ impl<A: Actor> Sim<A> {
                     if model.fifo {
                         arrival = self.fifo.clamp(from, to, arrival);
                     }
-                    self.push_event(arrival, Pending::Message { from, to, payload });
+                    self.queue
+                        .push(arrival, Pending::Message { from, to, payload });
                 }
                 Outgoing::Timer { delay, tag } => {
-                    self.push_event(self.clock + delay, Pending::Timer { node: from, tag });
+                    self.queue
+                        .push(self.clock + delay, Pending::Timer { node: from, tag });
                 }
             }
         }
+        self.scratch = outgoing;
     }
 
     fn invoke<F>(&mut self, node: NodeId, f: F)
@@ -309,19 +306,18 @@ impl<A: Actor> Sim<A> {
         {
             return false;
         }
-        let Some(Reverse((at, seq))) = self.heap.pop() else {
+        let Some(at) = self.queue.peek_time() else {
             self.stats.quiesced = true;
             return false;
         };
         if at > self.config.horizon {
             // Leave the event unprocessed; the run is over.
-            self.heap.push(Reverse((at, seq)));
             return false;
         }
+        let event = self.queue.pop().expect("peeked event");
         self.clock = at;
         self.stats.end_time = at;
-        let pending = self.payloads.remove(&seq).expect("payload for queued seq");
-        match pending {
+        match event.payload {
             Pending::Message { from, to, payload } => {
                 self.stats.messages_delivered += 1;
                 self.invoke(to, |a, ctx| a.on_message(from, payload, ctx));
@@ -349,7 +345,7 @@ impl<A: Actor> Sim<A> {
     /// Iterate messages currently in flight as `(from, to, payload)` —
     /// needed by audits that must account for e.g. an in-flight token.
     pub fn in_flight(&self) -> impl Iterator<Item = (NodeId, NodeId, &A::Msg)> {
-        self.payloads.values().filter_map(|p| match p {
+        self.queue.iter().filter_map(|s| match &s.payload {
             Pending::Message { from, to, payload } => Some((*from, *to, payload)),
             Pending::Timer { .. } => None,
         })

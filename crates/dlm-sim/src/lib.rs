@@ -16,6 +16,7 @@
 
 mod engine;
 mod network;
+mod queue;
 mod time;
 
 pub use engine::{Actor, Ctx, RunStats, Sim, SimConfig, TwoSite};

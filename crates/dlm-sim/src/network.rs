@@ -11,7 +11,6 @@ use crate::time::Micros;
 use dlm_core::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Shape of the per-message latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,16 +94,30 @@ impl LatencyModel {
 
 /// Tracks last-arrival times per channel to enforce FIFO delivery under
 /// randomized latencies.
+///
+/// Channels are a dense `n × n` matrix indexed by `(from, to)` — the clamp
+/// runs once per message sent, and the flat lookup replaces a per-message
+/// hash of the channel key. Zero means "nothing sent yet", which composes
+/// with the clamp's `+ 1` floor since virtual time starts at 0.
 #[derive(Debug, Default)]
 pub(crate) struct FifoClamp {
-    last_arrival: HashMap<(NodeId, NodeId), Micros>,
+    nodes: usize,
+    last_arrival: Vec<Micros>,
 }
 
 impl FifoClamp {
+    /// A clamp for a simulation of `nodes` actors.
+    pub fn new(nodes: usize) -> Self {
+        FifoClamp {
+            nodes,
+            last_arrival: vec![0; nodes * nodes],
+        }
+    }
+
     /// Given a tentative arrival time for a message on `from → to`, return
     /// the (possibly delayed) arrival that preserves channel order.
     pub fn clamp(&mut self, from: NodeId, to: NodeId, arrival: Micros) -> Micros {
-        let slot = self.last_arrival.entry((from, to)).or_insert(0);
+        let slot = &mut self.last_arrival[from.index() * self.nodes + to.index()];
         let fixed = arrival.max(*slot + 1);
         *slot = fixed;
         fixed
@@ -156,7 +169,7 @@ mod tests {
 
     #[test]
     fn fifo_clamp_preserves_channel_order() {
-        let mut clamp = FifoClamp::default();
+        let mut clamp = FifoClamp::new(2);
         let a = NodeId(0);
         let b = NodeId(1);
         let t1 = clamp.clamp(a, b, 100);

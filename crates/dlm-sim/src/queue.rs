@@ -1,0 +1,184 @@
+//! The event queue: a single binary heap whose entries carry their payload
+//! inline.
+//!
+//! The engine's first implementation kept a `BinaryHeap<Reverse<(Micros,
+//! u64)>>` of keys plus a `HashMap<u64, Pending>` side-table of payloads, so
+//! every scheduled event paid a hash insert and every dispatched event a
+//! hash remove — two hash-map operations per event on the hottest loop of
+//! the whole reproduction. Here the payload rides inside the heap entry and
+//! ordering is a manual [`Ord`] over `(time, seq)` **only** (the payload is
+//! never compared), which keeps the total order bit-identical to the old
+//! two-structure design while eliminating the side-table entirely.
+
+use crate::time::Micros;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: delivery time, scheduling sequence number, and the
+/// payload to dispatch.
+pub(crate) struct Scheduled<T> {
+    /// Virtual delivery time.
+    pub at: Micros,
+    /// Sequence number assigned at scheduling time; ties on `at` dispatch
+    /// in scheduling order.
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, and the earliest
+        // `(time, seq)` must surface first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Min-queue over `(time, seq)` with inline payloads.
+pub(crate) struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `at`; sequence numbers are assigned here, in
+    /// call order, exactly as the old split design assigned them.
+    pub fn push(&mut self, at: Micros, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Delivery time of the earliest event without removing it — lets the
+    /// engine stop at a horizon without a pop/re-push round trip.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        self.heap.pop()
+    }
+
+    /// Visit every queued event in unspecified order (audits only).
+    pub fn iter(&self) -> impl Iterator<Item = &Scheduled<T>> {
+        self.heap.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::cmp::Reverse;
+    use std::collections::HashMap;
+
+    /// The engine's original queue: heap of keys + payload side-table.
+    /// Kept here as the reference semantics the inline queue must match.
+    struct SplitQueue<T> {
+        heap: BinaryHeap<Reverse<(Micros, u64)>>,
+        payloads: HashMap<u64, T>,
+        seq: u64,
+    }
+
+    impl<T> SplitQueue<T> {
+        fn new() -> Self {
+            SplitQueue {
+                heap: BinaryHeap::new(),
+                payloads: HashMap::new(),
+                seq: 0,
+            }
+        }
+
+        fn push(&mut self, at: Micros, payload: T) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Reverse((at, seq)));
+            self.payloads.insert(seq, payload);
+        }
+
+        fn pop(&mut self) -> Option<(Micros, u64, T)> {
+            let Reverse((at, seq)) = self.heap.pop()?;
+            let payload = self.payloads.remove(&seq).expect("payload for seq");
+            Some((at, seq, payload))
+        }
+    }
+
+    /// Differential check: an arbitrary interleaving of pushes and pops
+    /// drains both queues in the identical `(time, seq, payload)` order.
+    #[test]
+    fn inline_queue_matches_split_queue_exactly() {
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+            let mut inline = EventQueue::with_capacity(8);
+            let mut split = SplitQueue::new();
+            let mut tag = 0u32;
+            for _ in 0..400 {
+                if rng.gen_range(0..3) > 0 {
+                    // Deliberately collide times so seq tie-breaks matter.
+                    let at = rng.gen_range(0..50u64);
+                    inline.push(at, tag);
+                    split.push(at, tag);
+                    tag += 1;
+                } else {
+                    let a = inline.pop().map(|s| (s.at, s.seq, s.payload));
+                    let b = split.pop();
+                    assert_eq!(a, b, "pop divergence (seed {seed})");
+                }
+            }
+            loop {
+                let a = inline.pop().map(|s| (s.at, s.seq, s.payload));
+                let b = split.pop();
+                assert_eq!(a, b, "drain divergence (seed {seed})");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_dispatch_in_scheduling_order() {
+        let mut q = EventQueue::with_capacity(4);
+        q.push(7, "b");
+        q.push(3, "a");
+        q.push(7, "c");
+        q.push(3, "z");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, vec!["a", "z", "b", "c"]);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::with_capacity(4);
+        assert_eq!(q.peek_time(), None);
+        q.push(9, ());
+        q.push(2, ());
+        assert_eq!(q.peek_time(), Some(2));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(9));
+    }
+}

@@ -1,0 +1,270 @@
+//! Golden-value differential tests for the simulator's event engine.
+//!
+//! The constants below are full `WorkloadReport` fingerprints captured from
+//! the engine **before** the inline-payload event-queue rewrite (the
+//! `BinaryHeap<Reverse<(Micros, u64)>>` + side `HashMap` design). The
+//! current engine must reproduce them bit-for-bit — means are compared via
+//! `f64::to_bits`, not with a tolerance — across both protocols, both
+//! cluster configurations, and a sweep of seeds, proving the queue swap
+//! changed *how* events are stored, not *which order* they dispatch in.
+//!
+//! If a deliberate protocol or workload change invalidates these, recapture
+//! with the snippet in `fingerprint`'s doc comment.
+
+use dlm_workload::{run_workload, ProtocolKind, WorkloadParams, WorkloadReport};
+
+/// The observable surface of a report, flattened to exactly-comparable
+/// integers: counts, virtual end time, latency means (as IEEE-754 bit
+/// patterns), maxima, and the trace/queue/freeze tallies.
+/// Order: messages, requests, ops_completed, upgrades, end_time,
+/// request_latency mean bits, request_latency max, op_latency mean bits,
+/// op_latency max, rule_counters total, trace_sends total, queue_depth
+/// count, freeze_spans count.
+type Fingerprint = [u64; 13];
+
+/// Capture a report's fingerprint. To regenerate the golden constants after
+/// an intentional behavior change, print
+/// `println!("{:?}", fingerprint(&run_workload(&params)));` for each case.
+fn fingerprint(r: &WorkloadReport) -> Fingerprint {
+    [
+        r.messages,
+        r.requests,
+        r.ops_completed,
+        r.upgrades,
+        r.end_time,
+        r.request_latency.mean().to_bits(),
+        r.request_latency.max(),
+        r.op_latency.mean().to_bits(),
+        r.op_latency.max(),
+        r.rule_counters.total(),
+        r.trace_sends.total(),
+        r.queue_depth.count(),
+        r.freeze_spans.count(),
+    ]
+}
+
+fn check(params: WorkloadParams, golden: &[(u64, Fingerprint)]) {
+    for &(seed, expected) in golden {
+        let mut p = params;
+        p.seed = seed;
+        let report = run_workload(&p);
+        assert!(report.complete(), "golden run must complete (seed {seed})");
+        assert_eq!(
+            fingerprint(&report),
+            expected,
+            "report drifted from the pre-rewrite engine: n={} proto={:?} seed={seed}",
+            p.nodes,
+            p.protocol,
+        );
+    }
+}
+
+#[test]
+fn hier_linux_cluster_matches_pre_rewrite_engine() {
+    let mut params = WorkloadParams::linux_cluster(8, ProtocolKind::Hier);
+    params.ops_per_node = 12;
+    check(
+        params,
+        &[
+            (
+                7919,
+                [
+                    418,
+                    182,
+                    96,
+                    0,
+                    10547026,
+                    0x41106147a05a05a0,
+                    1474967,
+                    0x411f0dc275555555,
+                    1474967,
+                    802,
+                    418,
+                    10,
+                    0,
+                ],
+            ),
+            (
+                15838,
+                [
+                    457,
+                    180,
+                    96,
+                    0,
+                    12345196,
+                    0x4116320282d82d83,
+                    2138780,
+                    0x4124cee25aaaaaab,
+                    2138780,
+                    890,
+                    457,
+                    24,
+                    3,
+                ],
+            ),
+            (
+                23757,
+                [
+                    400,
+                    181,
+                    96,
+                    0,
+                    10172781,
+                    0x410d871c6b7de0e2,
+                    983459,
+                    0x411bd60975555555,
+                    983772,
+                    759,
+                    400,
+                    7,
+                    0,
+                ],
+            ),
+            (
+                31676,
+                [
+                    414,
+                    179,
+                    96,
+                    0,
+                    10377377,
+                    0x410f160107269d52,
+                    1010935,
+                    0x411cfb2e4aaaaaab,
+                    1327673,
+                    811,
+                    414,
+                    15,
+                    5,
+                ],
+            ),
+        ],
+    );
+}
+
+#[test]
+fn hier_ibm_sp_matches_pre_rewrite_engine() {
+    let mut params = WorkloadParams::ibm_sp(16, 5);
+    params.ops_per_node = 12;
+    check(
+        params,
+        &[
+            (
+                104729,
+                [
+                    1250,
+                    358,
+                    192,
+                    0,
+                    1309778,
+                    0x4091d266f8d962ae,
+                    36623,
+                    0x40a09d7d55555555,
+                    36623,
+                    2197,
+                    1250,
+                    23,
+                    4,
+                ],
+            ),
+            (
+                209458,
+                [
+                    1243,
+                    356,
+                    192,
+                    0,
+                    1224991,
+                    0x407fd42e05c0b817,
+                    16368,
+                    0x408d820aaaaaaaab,
+                    16368,
+                    2190,
+                    1243,
+                    15,
+                    2,
+                ],
+            ),
+            (
+                314187,
+                [
+                    1285,
+                    354,
+                    192,
+                    0,
+                    1223934,
+                    0x40884a4850fe8dbd,
+                    34481,
+                    0x4096647aaaaaaaab,
+                    34618,
+                    2226,
+                    1285,
+                    14,
+                    1,
+                ],
+            ),
+        ],
+    );
+}
+
+#[test]
+fn naimi_same_work_matches_pre_rewrite_engine() {
+    let mut params = WorkloadParams::linux_cluster(6, ProtocolKind::NaimiSameWork);
+    params.ops_per_node = 10;
+    check(
+        params,
+        &[
+            (
+                31,
+                [
+                    309,
+                    130,
+                    60,
+                    0,
+                    32706045,
+                    0x41329f40295a95a9,
+                    14710627,
+                    0x41442c8582222222,
+                    17570500,
+                    0,
+                    0,
+                    0,
+                    0,
+                ],
+            ),
+            (
+                62,
+                [
+                    298,
+                    130,
+                    60,
+                    0,
+                    33206965,
+                    0x41322f766e46e46e,
+                    9129251,
+                    0x4143b36af7777777,
+                    11435488,
+                    0,
+                    0,
+                    0,
+                    0,
+                ],
+            ),
+        ],
+    );
+}
+
+/// Same run, same seed, run twice → identical fingerprints. Catches any
+/// hidden nondeterminism (iteration-order dependence, time-of-day leakage)
+/// the golden constants alone would not, because it holds for *any* seed.
+#[test]
+fn repeated_runs_are_bit_identical_across_a_seed_sweep() {
+    for seed in (0..10).map(|s| 0xFEED + s * 7919) {
+        let mut params = WorkloadParams::linux_cluster(5, ProtocolKind::Hier);
+        params.ops_per_node = 8;
+        params.seed = seed;
+        let a = fingerprint(&run_workload(&params));
+        let b = fingerprint(&run_workload(&params));
+        assert_eq!(a, b, "seed {seed} is not reproducible");
+    }
+}

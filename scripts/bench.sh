@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Benchmark harness: smoke-runs the Criterion suites (shim: each prints its
+# median ns/iter) and regenerates the persisted baseline `BENCH_sim.json`
+# at the repo root.
+#
+# Usage: scripts/bench.sh [--full]
+#   default   smoke mode: shrunken budgets, suitable for CI (~a minute)
+#   --full    full budgets, for refreshing the committed baseline numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=1
+if [[ "${1:-}" == "--full" ]]; then
+  SMOKE=0
+fi
+
+echo "==> cargo build --release -p bench (benches + baseline binary)"
+cargo build --release -p bench --benches --bins
+
+echo "==> criterion suites (protocol, codec, sim, figures)"
+cargo bench -q -p bench
+
+if [[ "$SMOKE" == "1" ]]; then
+  echo "==> baseline: BENCH_SMOKE=1 bench -> BENCH_sim.json (smoke budgets)"
+  BENCH_SMOKE=1 cargo run --release -q -p bench --bin bench
+else
+  echo "==> baseline: bench -> BENCH_sim.json (full budgets)"
+  cargo run --release -q -p bench --bin bench
+fi
+
+echo "Benchmarks complete; baseline written to BENCH_sim.json."

@@ -2,10 +2,39 @@
 //! paper's evaluation must hold on reduced (fast) sweeps. These are the
 //! executable version of EXPERIMENTS.md.
 
-use dlm_harness::{ablations, fig10, fig7, fig8, fig9, FigureOptions};
+use dlm_harness::{ablations, all_figures, fig10, fig7, fig8, fig9, FigureOptions};
 
 fn opts() -> FigureOptions {
     FigureOptions::quick()
+}
+
+/// The shared-run plan behind `all_figures` (figs 7+8 and 9+10 each read
+/// two metrics off one set of runs) and the per-figure entry points must
+/// produce bit-identical values, for any worker count — the parallel merge
+/// folds seeds in the same order the sequential sweep did.
+#[test]
+fn shared_plan_matches_standalone_figures() {
+    let shared = all_figures(&opts());
+    let mut serial_opts = opts();
+    serial_opts.workers = 1;
+    let standalone = [
+        fig7(&serial_opts),
+        fig8(&serial_opts),
+        fig9(&serial_opts),
+        fig10(&serial_opts),
+        ablations(&serial_opts),
+    ];
+    assert_eq!(shared.len(), standalone.len());
+    for (a, b) in shared.iter().zip(&standalone) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.x, b.x);
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.label, sb.label, "{}", a.name);
+            let a_bits: Vec<u64> = sa.values.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = sb.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "{} series {}", a.name, sa.label);
+        }
+    }
 }
 
 /// Figure 7's claims: the hierarchical protocol's message overhead

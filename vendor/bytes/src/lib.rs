@@ -170,6 +170,25 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Discard everything written so far, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Copy the written bytes out as an immutable [`Bytes`] and clear the
+    /// builder, **retaining its capacity** for the next frame. This is the
+    /// shim's stand-in for the real crate's `split().freeze()` idiom: a
+    /// long-lived encoder reuses one builder allocation across frames
+    /// instead of growing a fresh `BytesMut` per frame.
+    pub fn take_frame(&mut self) -> Bytes {
+        let frame = Bytes {
+            data: Arc::from(&self.data[..]),
+            pos: 0,
+        };
+        self.data.clear();
+        frame
+    }
 }
 
 impl BufMut for BytesMut {
@@ -207,6 +226,19 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.get_u8(), 2);
         assert_eq!(f.len(), 4, "slicing does not consume the source");
+    }
+
+    #[test]
+    fn take_frame_reuses_capacity() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(&[1, 2, 3]);
+        let f1 = b.take_frame();
+        assert_eq!(f1.as_ref(), &[1, 2, 3]);
+        assert!(b.is_empty(), "builder is cleared");
+        b.put_slice(&[9]);
+        let f2 = b.take_frame();
+        assert_eq!(f2.as_ref(), &[9]);
+        assert_eq!(f1.as_ref(), &[1, 2, 3], "earlier frames are unaffected");
     }
 
     #[test]

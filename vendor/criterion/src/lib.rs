@@ -78,6 +78,10 @@ impl Bencher {
     }
 
     fn report(&self, name: &str) {
+        self.report_with(name, None);
+    }
+
+    fn report_with(&self, name: &str, throughput: Option<Throughput>) {
         if self.samples.is_empty() {
             println!("{name:<40} (no samples)");
             return;
@@ -89,14 +93,35 @@ impl Bencher {
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let median = per_iter[per_iter.len() / 2];
-        println!("{name:<40} time: [{median:>12.1} ns/iter]");
+        match throughput {
+            None => println!("{name:<40} time: [{median:>12.1} ns/iter]"),
+            Some(t) => {
+                let (count, unit) = match t {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                let rate = count as f64 / (median / 1e9);
+                println!("{name:<40} time: [{median:>12.1} ns/iter]  thrpt: [{rate:>14.0} {unit}]");
+            }
+        }
     }
+}
+
+/// Units the shim converts a per-iteration time into when a group declares
+/// its throughput, as the real crate does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many abstract elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
 }
 
 /// A named group of benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_count: usize,
+    throughput: Option<Throughput>,
     _c: &'a mut Criterion,
 }
 
@@ -112,6 +137,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Report each benchmark's rate (elements or bytes per second) alongside
+    /// its per-iteration time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Run one benchmark in this group.
     pub fn bench_function(
         &mut self,
@@ -121,7 +153,7 @@ impl BenchmarkGroup<'_> {
         let mut f = f;
         let mut b = Bencher::new(self.sample_count);
         f(&mut b);
-        b.report(&format!("{}/{}", self.name, id.into()));
+        b.report_with(&format!("{}/{}", self.name, id.into()), self.throughput);
         self
     }
 
@@ -139,6 +171,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_count: 20,
+            throughput: None,
             _c: self,
         }
     }

@@ -23,6 +23,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
+
     enum Tx<T> {
         Unbounded(mpsc::Sender<T>),
         Bounded(mpsc::SyncSender<T>),
@@ -65,6 +74,14 @@ pub mod channel {
             self.0.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block for at most `timeout` waiting for a value.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
 
@@ -114,6 +131,22 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(50)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }
