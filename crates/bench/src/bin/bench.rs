@@ -6,7 +6,10 @@
 //! Usage: `cargo run --release -p bench --bin bench [-- <out-path>]`
 //! `BENCH_SMOKE=1` shrinks every budget for CI smoke runs.
 
-use bench::{churn, flood_run, sample_messages};
+use bench::{
+    churn, copyset_churn, effectbuf_alloc_run, effectbuf_reuse_run, flood_run, freeze_lut_run,
+    freeze_scan_run, sample_messages,
+};
 use dlm_cluster::codec::{decode, encode_into};
 use dlm_core::Mode;
 use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
@@ -91,17 +94,67 @@ fn main() {
     }
 
     // 3. Per-mode protocol churn on the lock-step runtime (state machine +
-    //    table lookups, no simulator).
+    //    table lookups, no simulator). These are the numbers the CI perf
+    //    gate compares against the committed baseline, so they keep their
+    //    full budget even under BENCH_SMOKE (a few ms total — short runs
+    //    never warm up and would not be comparable) and use a larger rep
+    //    count: best-of-N is a tighter estimator of the achievable minimum
+    //    under scheduler noise.
     for (label, mode) in [
         ("ir", Mode::IntentRead),
         ("r", Mode::Read),
         ("w", Mode::Write),
     ] {
-        let rounds = if smoke { 200 } else { 2_000 };
-        let ns = best_ns(reps, || {
+        let rounds = 2_000;
+        let ns = best_ns(7, || {
             std::hint::black_box(churn(rounds, mode));
         });
         results.push((format!("churn_{label}_ns_per_op"), ns / rounds as f64));
+    }
+
+    // 3b. Core-level microbenches: what the zero-allocation plumbing buys.
+    {
+        let rounds = if smoke { 5_000 } else { 50_000 };
+        let ns = best_ns(reps, || {
+            std::hint::black_box(effectbuf_reuse_run(rounds, Mode::Read));
+        });
+        results.push(("core_effectbuf_reuse_ns_per_op".into(), ns / rounds as f64));
+        let ns = best_ns(reps, || {
+            std::hint::black_box(effectbuf_alloc_run(rounds, Mode::Read));
+        });
+        results.push(("core_effectbuf_alloc_ns_per_op".into(), ns / rounds as f64));
+
+        // Flat-copyset churn at resident sizes spanning inline (2), small
+        // spill (8), and wide fan-out (64).
+        for size in [2u32, 8, 64] {
+            let rounds = if smoke { 2_000 } else { 20_000 };
+            let ns = best_ns(reps, || {
+                std::hint::black_box(copyset_churn(size, rounds));
+            });
+            results.push((
+                format!("core_copyset_n{size}_ns_per_op"),
+                ns / rounds as f64,
+            ));
+        }
+
+        // Table 1(d) lookup: compiled bitmask LUT vs. the pre-LUT
+        // compatibility-scan derivation. Reported per (owned, req) pair.
+        let rounds = if smoke { 20_000 } else { 200_000 };
+        let pairs = (6 * 5) as f64; // ALL_MODES x REQUEST_MODES
+        let ns = best_ns(reps, || {
+            std::hint::black_box(freeze_lut_run(rounds));
+        });
+        results.push((
+            "core_table_freeze_lut_ns_per_lookup".into(),
+            ns / (rounds as f64 * pairs),
+        ));
+        let ns = best_ns(reps, || {
+            std::hint::black_box(freeze_scan_run(rounds));
+        });
+        results.push((
+            "core_table_freeze_scan_ns_per_lookup".into(),
+            ns / (rounds as f64 * pairs),
+        ));
     }
 
     // 4. One end-to-end workload point per paper figure.

@@ -172,7 +172,11 @@ impl State {
         let mut next = self.clone();
         let executor = action.node() as usize;
         let pre = self.nodes[executor].clone();
-        let (effects, delivered) = match action {
+        // Effects land in a stack-inline sink first; only the surviving
+        // `Step.effects` Vec is heap-allocated (it is consumed downstream by
+        // the DPOR explorer and counterexample replay, so it stays owned).
+        let mut buf = dlm_core::EffectBuf::new();
+        let delivered = match action {
             Action::Deliver { from, to } => {
                 let q = next
                     .channels
@@ -182,29 +186,34 @@ impl State {
                 if q.is_empty() {
                     next.channels.remove(&(from, to));
                 }
-                let effects =
-                    next.nodes[to as usize].on_message_observed(NodeId(from), message.clone(), obs);
-                (effects, Some(message))
+                next.nodes[to as usize].on_message_into(
+                    NodeId(from),
+                    message.clone(),
+                    &mut buf,
+                    obs,
+                );
+                Some(message)
             }
             Action::Script { node } => {
                 let i = node as usize;
                 assert!(self.script_enabled(scenario, i), "script op not enabled");
                 let op = scenario.scripts[i][self.pos[i]];
                 next.pos[i] += 1;
-                let effects = match op {
+                match op {
                     Op::Acquire(mode) => next.nodes[i]
-                        .on_acquire_observed(mode, 0, obs)
+                        .on_acquire_into(mode, 0, &mut buf, obs)
                         .expect("enabled acquire"),
                     Op::Release => next.nodes[i]
-                        .on_release_observed(obs)
+                        .on_release_into(&mut buf, obs)
                         .expect("enabled release"),
                     Op::Upgrade => next.nodes[i]
-                        .on_upgrade_observed(obs)
+                        .on_upgrade_into(&mut buf, obs)
                         .expect("enabled upgrade"),
                 };
-                (effects, None)
+                None
             }
         };
+        let effects = buf.take_vec();
         for effect in &effects {
             if let Effect::Send { to, message } = effect {
                 next.channels

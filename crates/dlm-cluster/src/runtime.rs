@@ -4,7 +4,9 @@
 use crate::codec;
 use crate::handle::{ClusterError, NodeHandle, Reply};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use dlm_core::{audit, AuditError, Effect, HierNode, LockId, Mode, NodeId, ProtocolConfig};
+use dlm_core::{
+    audit, AuditError, Effect, EffectBuf, HierNode, LockId, Mode, NodeId, ProtocolConfig,
+};
 use dlm_trace::{merge_records, NullObserver, Observer, RingRecorder, Stamp, TraceRecord};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -428,12 +430,17 @@ fn node_loop(
         }
     };
 
+    // One long-lived effect sink per node thread: every protocol entry point
+    // drains into it via the `*_into` API, so steady-state protocol steps do
+    // no heap allocation for effects.
+    let mut effect_buf = EffectBuf::new();
+
     let absorb =
         |lock: LockId,
-         effects: Vec<Effect>,
+         effects: &mut EffectBuf,
          waiters: &mut HashMap<LockId, Reply>,
          transmit: &mut dyn FnMut(NodeId, NodeId, LockId, &dlm_core::Message)| {
-            for effect in effects {
+            for effect in effects.drain() {
                 match effect {
                     Effect::Send { to, message } => transmit(me, to, lock, &message),
                     Effect::Granted { .. } | Effect::Upgraded => {
@@ -449,19 +456,19 @@ fn node_loop(
         match input {
             Input::Net { from, frame } => {
                 let (lock, message) = codec::decode(frame).expect("peer sends valid frames");
-                let effects = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_message_observed(from, message, obs)
+                observed(&mut recorder, epoch, lock, |obs| {
+                    locks[lock.index()].on_message_into(from, message, &mut effect_buf, obs)
                 });
-                absorb(lock, effects, &mut waiters, &mut transmit);
+                absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
             }
             Input::Acquire { lock, mode, reply } => {
                 let result = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_acquire_observed(mode, 0, obs)
+                    locks[lock.index()].on_acquire_into(mode, 0, &mut effect_buf, obs)
                 });
                 match result {
-                    Ok(effects) => {
+                    Ok(()) => {
                         waiters.insert(lock, reply);
-                        absorb(lock, effects, &mut waiters, &mut transmit);
+                        absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
                     }
                     Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
                 }
@@ -469,14 +476,14 @@ fn node_loop(
             Input::TryAcquire { lock, mode, reply } => {
                 let node = &mut locks[lock.index()];
                 if node.can_admit_locally(mode) {
-                    let effects = observed(&mut recorder, epoch, lock, |obs| {
-                        node.on_acquire_observed(mode, 0, obs)
+                    observed(&mut recorder, epoch, lock, |obs| {
+                        node.on_acquire_into(mode, 0, &mut effect_buf, obs)
                             .expect("local admit is well-formed")
                     });
-                    debug_assert!(effects
+                    debug_assert!(effect_buf
                         .iter()
                         .all(|e| matches!(e, Effect::Granted { .. } | Effect::Send { .. })));
-                    absorb(lock, effects, &mut waiters, &mut transmit);
+                    absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
                     reply.complete(true);
                 } else {
                     reply.complete(false);
@@ -484,23 +491,23 @@ fn node_loop(
             }
             Input::Upgrade { lock, reply } => {
                 let result = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_upgrade_observed(obs)
+                    locks[lock.index()].on_upgrade_into(&mut effect_buf, obs)
                 });
                 match result {
-                    Ok(effects) => {
+                    Ok(()) => {
                         waiters.insert(lock, reply);
-                        absorb(lock, effects, &mut waiters, &mut transmit);
+                        absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
                     }
                     Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
                 }
             }
             Input::Release { lock, reply } => {
                 let result = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_release_observed(obs)
+                    locks[lock.index()].on_release_into(&mut effect_buf, obs)
                 });
                 match result {
-                    Ok(effects) => {
-                        absorb(lock, effects, &mut waiters, &mut transmit);
+                    Ok(()) => {
+                        absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
                         reply.complete(Ok(()));
                     }
                     Err(e) => reply.complete(Err(ClusterError::Release(e))),

@@ -44,6 +44,7 @@ mod config;
 mod effect;
 mod error;
 mod fingerprint;
+mod flatmap;
 mod ids;
 mod invariants;
 mod message;
@@ -51,9 +52,10 @@ mod node;
 pub mod testkit;
 
 pub use config::{Ablation, ProtocolConfig, ALL_ABLATIONS};
-pub use effect::Effect;
+pub use effect::{Effect, EffectBuf};
 pub use error::{AcquireError, ReleaseError, UpgradeError};
 pub use fingerprint::{Fingerprint, Fingerprintable, FpHasher};
+pub use flatmap::{CopySet, FlatMap, MAP_INLINE};
 pub use ids::{LockId, NodeId};
 pub use invariants::{audit, fifo_overtakes, frozen_residue, AuditError, GrantInfo, InFlight};
 pub use message::{Message, MessageKind, QueuedRequest, ALL_MESSAGE_KINDS};

@@ -2,7 +2,7 @@
 //! release (Rule 5.1/5.2).
 
 use super::HierNode;
-use crate::effect::Effect;
+use crate::effect::{Effect, EffectBuf};
 use crate::error::{AcquireError, ReleaseError, UpgradeError};
 use crate::message::{Message, QueuedRequest};
 use dlm_modes::{compatible, Mode};
@@ -38,6 +38,9 @@ impl HierNode {
     ///
     /// On a local admit, the returned effects contain [`Effect::Granted`]; on
     /// a sent request, the grant arrives later through [`Self::on_message`].
+    ///
+    /// Convenience wrapper over [`Self::on_acquire_into`] that allocates a
+    /// fresh `Vec` per call; hot paths keep a reusable [`EffectBuf`] instead.
     pub fn on_acquire(&mut self, mode: Mode) -> Result<Vec<Effect>, AcquireError> {
         self.on_acquire_observed(mode, 0, &mut NullObserver)
     }
@@ -54,15 +57,29 @@ impl HierNode {
     }
 
     /// [`Self::on_acquire_with_priority`] with an [`Observer`] receiving the
-    /// structured protocol events of this operation. All acquire entry
-    /// points funnel here; the plain variants pass [`NullObserver`], which
-    /// costs one branch per potential event.
-    pub fn on_acquire_observed(
+    /// structured protocol events of this operation, returning a fresh `Vec`.
+    pub fn on_acquire_observed<O: Observer + ?Sized>(
         &mut self,
         mode: Mode,
         priority: u8,
-        obs: &mut dyn Observer,
+        obs: &mut O,
     ) -> Result<Vec<Effect>, AcquireError> {
+        let mut effects = EffectBuf::new();
+        self.on_acquire_into(mode, priority, &mut effects, obs)?;
+        Ok(effects.take_vec())
+    }
+
+    /// The allocation-free acquire entry point: effects are pushed into the
+    /// caller-owned `effects` sink. All acquire entry points funnel here.
+    /// The observer is a generic parameter so the [`NullObserver`] path
+    /// monomorphizes to straight-line code with every event site removed.
+    pub fn on_acquire_into<O: Observer + ?Sized>(
+        &mut self,
+        mode: Mode,
+        priority: u8,
+        effects: &mut EffectBuf,
+        obs: &mut O,
+    ) -> Result<(), AcquireError> {
         if mode == Mode::NoLock {
             return Err(AcquireError::NoLockRequested);
         }
@@ -79,7 +96,6 @@ impl HierNode {
             upgrade: false,
             priority,
         };
-        let mut effects = Vec::new();
 
         if self.has_token {
             // The token node answers itself by Rule 3.2 + Rule 6: grant iff
@@ -92,13 +108,13 @@ impl HierNode {
                 if obs.enabled() {
                     obs.emit(self.id.0, ProtocolEvent::LocalGrant { mode });
                 }
-                self.refresh_frozen(&mut effects, obs);
+                self.refresh_frozen(effects, obs);
             } else {
                 self.pending = Some(req);
                 self.enqueue(req, obs);
-                self.refresh_frozen(&mut effects, obs);
+                self.refresh_frozen(effects, obs);
             }
-            return Ok(effects);
+            return Ok(());
         }
 
         // Non-token node, Rule 2.
@@ -127,7 +143,7 @@ impl HierNode {
                 );
             }
         }
-        Ok(effects)
+        Ok(())
     }
 
     /// Rule 7: atomically upgrade a held `U` lock to `W` without releasing.
@@ -140,11 +156,23 @@ impl HierNode {
     }
 
     /// [`Self::on_upgrade`] with an [`Observer`] receiving the structured
-    /// protocol events of this operation.
-    pub fn on_upgrade_observed(
+    /// protocol events of this operation, returning a fresh `Vec`.
+    pub fn on_upgrade_observed<O: Observer + ?Sized>(
         &mut self,
-        obs: &mut dyn Observer,
+        obs: &mut O,
     ) -> Result<Vec<Effect>, UpgradeError> {
+        let mut effects = EffectBuf::new();
+        self.on_upgrade_into(&mut effects, obs)?;
+        Ok(effects.take_vec())
+    }
+
+    /// The allocation-free upgrade entry point (Rule 7); see
+    /// [`Self::on_acquire_into`] for the sink/observer contract.
+    pub fn on_upgrade_into<O: Observer + ?Sized>(
+        &mut self,
+        effects: &mut EffectBuf,
+        obs: &mut O,
+    ) -> Result<(), UpgradeError> {
         if self.held != Mode::Upgrade {
             return Err(UpgradeError::NotHoldingUpgradeLock(self.held));
         }
@@ -161,7 +189,6 @@ impl HierNode {
             upgrade: true,
             priority: 0,
         };
-        let mut effects = Vec::new();
 
         if self.has_token {
             // Fig. 6: the token node holding U checks everything *except its
@@ -176,13 +203,13 @@ impl HierNode {
                 if obs.enabled() {
                     obs.emit(self.id.0, ProtocolEvent::Upgraded);
                 }
-                self.refresh_frozen(&mut effects, obs);
+                self.refresh_frozen(effects, obs);
             } else {
                 self.pending = Some(req);
                 self.enqueue(req, obs);
-                self.refresh_frozen(&mut effects, obs);
+                self.refresh_frozen(effects, obs);
             }
-            return Ok(effects);
+            return Ok(());
         }
 
         self.pending = Some(req);
@@ -198,7 +225,7 @@ impl HierNode {
                 },
             );
         }
-        Ok(effects)
+        Ok(())
     }
 
     /// The local application releases its held lock (Rule 5).
@@ -212,11 +239,23 @@ impl HierNode {
     }
 
     /// [`Self::on_release`] with an [`Observer`] receiving the structured
-    /// protocol events of this operation.
-    pub fn on_release_observed(
+    /// protocol events of this operation, returning a fresh `Vec`.
+    pub fn on_release_observed<O: Observer + ?Sized>(
         &mut self,
-        obs: &mut dyn Observer,
+        obs: &mut O,
     ) -> Result<Vec<Effect>, ReleaseError> {
+        let mut effects = EffectBuf::new();
+        self.on_release_into(&mut effects, obs)?;
+        Ok(effects.take_vec())
+    }
+
+    /// The allocation-free release entry point (Rule 5); see
+    /// [`Self::on_acquire_into`] for the sink/observer contract.
+    pub fn on_release_into<O: Observer + ?Sized>(
+        &mut self,
+        effects: &mut EffectBuf,
+        obs: &mut O,
+    ) -> Result<(), ReleaseError> {
         if self.held == Mode::NoLock {
             return Err(ReleaseError::NotHeld);
         }
@@ -229,22 +268,21 @@ impl HierNode {
         let old_owned = self.owned;
         self.owned = self.recompute_owned();
 
-        let mut effects = Vec::new();
         if self.has_token {
-            self.serve_queue_token(&mut effects, obs);
+            self.serve_queue_token(effects, obs);
         } else {
-            self.propagate_weakening(old_owned, &mut effects, obs);
+            self.propagate_weakening(old_owned, effects, obs);
         }
-        Ok(effects)
+        Ok(())
     }
 
     /// Rule 5.2 (plus the eager-release ablation): tell the parent about an
     /// owned-mode change if warranted.
-    pub(crate) fn propagate_weakening(
+    pub(crate) fn propagate_weakening<O: Observer + ?Sized>(
         &mut self,
         old_owned: Mode,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         let weakened = self.owned != old_owned && old_owned.ge(self.owned);
         let notify = if self.config.release_suppression {

@@ -1,7 +1,7 @@
 //! Message receipt: the protocol reactions of Rules 3–6.
 
 use super::HierNode;
-use crate::effect::Effect;
+use crate::effect::{Effect, EffectBuf};
 use crate::ids::NodeId;
 use crate::message::{Message, QueuedRequest};
 use dlm_modes::{
@@ -12,42 +12,59 @@ use dlm_trace::{NullObserver, Observer, ProtocolEvent};
 impl HierNode {
     /// Dispatch a received protocol message. `from` is the transport-level
     /// sender (the immediate hop, not necessarily the original requester).
+    ///
+    /// Convenience wrapper over [`Self::on_message_into`] that allocates a
+    /// fresh `Vec` per call; hot paths keep a reusable [`EffectBuf`] instead.
     pub fn on_message(&mut self, from: NodeId, message: Message) -> Vec<Effect> {
         self.on_message_observed(from, message, &mut NullObserver)
     }
 
     /// [`Self::on_message`] with an [`Observer`] receiving the structured
-    /// protocol events of this operation.
-    pub fn on_message_observed(
+    /// protocol events of this operation, returning a fresh `Vec`.
+    pub fn on_message_observed<O: Observer + ?Sized>(
         &mut self,
         from: NodeId,
         message: Message,
-        obs: &mut dyn Observer,
+        obs: &mut O,
     ) -> Vec<Effect> {
-        let mut effects = Vec::new();
+        let mut effects = EffectBuf::new();
+        self.on_message_into(from, message, &mut effects, obs);
+        effects.take_vec()
+    }
+
+    /// The allocation-free message entry point: effects are pushed into the
+    /// caller-owned `effects` sink. The observer is a generic parameter so
+    /// the [`NullObserver`] path monomorphizes to straight-line code with
+    /// every event site removed.
+    pub fn on_message_into<O: Observer + ?Sized>(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        effects: &mut EffectBuf,
+        obs: &mut O,
+    ) {
         match message {
-            Message::Request(req) => self.handle_request(req, &mut effects, obs),
-            Message::Grant { mode } => self.handle_grant(from, mode, &mut effects, obs),
+            Message::Request(req) => self.handle_request(req, effects, obs),
+            Message::Grant { mode } => self.handle_grant(from, mode, effects, obs),
             Message::Token {
                 mode,
                 granter_owned,
                 queue,
                 frozen,
-            } => self.handle_token(from, mode, granter_owned, queue, frozen, &mut effects, obs),
+            } => self.handle_token(from, mode, granter_owned, queue, frozen, effects, obs),
             Message::Release { new_owned, ack } => {
-                self.handle_release(from, new_owned, ack, &mut effects, obs)
+                self.handle_release(from, new_owned, ack, effects, obs)
             }
-            Message::SetFrozen { modes } => self.handle_set_frozen(modes, &mut effects, obs),
+            Message::SetFrozen { modes } => self.handle_set_frozen(modes, effects, obs),
         }
-        effects
     }
 
     /// Rules 3, 4 and 6: a request reached this node.
-    fn handle_request(
+    fn handle_request<O: Observer + ?Sized>(
         &mut self,
         req: QueuedRequest,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         if req.from == self.id {
             // A request can only chase its own sender through stale routing
@@ -81,11 +98,11 @@ impl HierNode {
     }
 
     /// Rule 3.2 + Rule 4.2 + Rule 6 at the token node.
-    fn token_handle_request(
+    fn token_handle_request<O: Observer + ?Sized>(
         &mut self,
         req: QueuedRequest,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         let eff_owned = if req.upgrade {
             self.owned_excluding(req.from)
@@ -115,11 +132,11 @@ impl HierNode {
     }
 
     /// Rule 3.1 + Rule 4.1 at a non-token node.
-    fn nontoken_handle_request(
+    fn nontoken_handle_request<O: Observer + ?Sized>(
         &mut self,
         req: QueuedRequest,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         let grantable = self.protocol_config().child_grants
             && !req.upgrade
@@ -171,12 +188,12 @@ impl HierNode {
     /// We hold the mode, re-parent under the granter (path compression) and
     /// re-examine anything we queued while waiting (Rule 4 trigger
     /// "the pending request comes through").
-    fn handle_grant(
+    fn handle_grant<O: Observer + ?Sized>(
         &mut self,
         from: NodeId,
         mode: Mode,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         debug_assert_eq!(self.pending.map(|p| p.mode), Some(mode));
         debug_assert!(!self.pending.map(|p| p.upgrade).unwrap_or(false));
@@ -219,11 +236,11 @@ impl HierNode {
     /// node's whole subtree and the old parent's entry is redundant — but
     /// left in place it would never be cleaned (releases go to the new
     /// parent only) and would starve incompatible requests forever.
-    fn detach_from_old_parent(
+    fn detach_from_old_parent<O: Observer + ?Sized>(
         &mut self,
         new_parent: NodeId,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         if !self.registered {
             return;
@@ -259,15 +276,15 @@ impl HierNode {
     /// token node as a child, merge the carried queue ahead of our local one
     /// (it is older in the distributed FIFO), then serve.
     #[allow(clippy::too_many_arguments)]
-    fn handle_token(
+    fn handle_token<O: Observer + ?Sized>(
         &mut self,
         from: NodeId,
         mode: Mode,
         granter_owned: Mode,
         carried_queue: std::collections::VecDeque<QueuedRequest>,
         carried_frozen: ModeSet,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         debug_assert_eq!(self.pending.map(|p| p.mode), Some(mode));
         self.count_grant_received(from);
@@ -325,13 +342,13 @@ impl HierNode {
     }
 
     /// Rule 5 release receipt: a copyset child's owned mode changed.
-    fn handle_release(
+    fn handle_release<O: Observer + ?Sized>(
         &mut self,
         from: NodeId,
         new_owned: Mode,
         ack: u64,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         let stale = self.release_is_stale(from, ack);
         if obs.enabled() {
@@ -368,11 +385,11 @@ impl HierNode {
 
     /// Rule 6 transitive freezing: replace our frozen set with the parent's
     /// and forward to copyset children for which the change matters.
-    fn handle_set_frozen(
+    fn handle_set_frozen<O: Observer + ?Sized>(
         &mut self,
         modes: ModeSet,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         if self.has_token {
             // Stale: we became the token after this was sent; our own queue
@@ -392,8 +409,11 @@ impl HierNode {
             }
         }
         let delta = modes.difference(old).union(old.difference(modes));
-        let children: Vec<(NodeId, Mode)> = self.copyset.iter().map(|(&c, &m)| (c, m)).collect();
-        for (child, child_mode) in children {
+        // Walk the copyset by index (it is not mutated here — only
+        // `frozen_sent` is) instead of collecting the children into a
+        // temporary Vec.
+        for i in 0..self.copyset.len() {
+            let (child, child_mode) = self.copyset.get_index(i);
             let relevant = REQUEST_MODES
                 .iter()
                 .any(|&m| delta.contains(m) && child_can_grant(child_mode, m));

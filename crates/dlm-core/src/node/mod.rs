@@ -5,11 +5,12 @@ mod handlers;
 mod queue;
 
 use crate::config::ProtocolConfig;
+use crate::flatmap::{CopySet, FlatMap, MAP_INLINE};
 use crate::ids::NodeId;
 use crate::message::QueuedRequest;
 use dlm_modes::{Mode, ModeSet};
 use dlm_trace::{Observer, ProtocolEvent};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One node's instance of the hierarchical locking protocol for one lock
 /// object.
@@ -66,8 +67,9 @@ pub struct HierNode {
     /// `MP`: the outstanding request of the local application, if any.
     pending: Option<QueuedRequest>,
     /// Children whose requests this node granted (Definition 4), with the
-    /// owned mode they last reported. Sorted map for deterministic iteration.
-    copyset: BTreeMap<NodeId, Mode>,
+    /// owned mode they last reported. Sorted flat map (ascending `NodeId`,
+    /// same deterministic iteration order as the `BTreeMap` it replaced).
+    copyset: CopySet,
     /// The local request queue (Rule 4); FIFO.
     queue: VecDeque<QueuedRequest>,
     /// Modes frozen at this node (Rule 6). At the token node this is
@@ -76,12 +78,12 @@ pub struct HierNode {
     frozen: ModeSet,
     /// The frozen set last communicated to each copyset child, so freeze
     /// updates are only sent to children for which they matter.
-    frozen_sent: BTreeMap<NodeId, ModeSet>,
+    frozen_sent: FlatMap<ModeSet, MAP_INLINE>,
     /// Grants (copy grants and token transfers) sent per peer; used to
     /// detect stale releases (see `Message::Release::ack`).
-    grants_sent: BTreeMap<NodeId, u64>,
+    grants_sent: FlatMap<u64, MAP_INLINE>,
     /// Grants received per peer; stamped into outgoing releases.
-    grants_received: BTreeMap<NodeId, u64>,
+    grants_received: FlatMap<u64, MAP_INLINE>,
     /// True while this node believes its current parent holds a copyset
     /// entry for it. Set on grant/token interactions, cleared when the node
     /// reports `NoLock` to its parent. Drives the *detach* message on
@@ -106,12 +108,12 @@ impl HierNode {
             held: Mode::NoLock,
             owned: Mode::NoLock,
             pending: None,
-            copyset: BTreeMap::new(),
+            copyset: CopySet::new(),
             queue: VecDeque::new(),
             frozen: ModeSet::EMPTY,
-            frozen_sent: BTreeMap::new(),
-            grants_sent: BTreeMap::new(),
-            grants_received: BTreeMap::new(),
+            frozen_sent: FlatMap::new(),
+            grants_sent: FlatMap::new(),
+            grants_received: FlatMap::new(),
             registered: false,
             anomalies: 0,
         }
@@ -169,7 +171,7 @@ impl HierNode {
     }
 
     /// The copyset: children and the owned mode they last reported.
-    pub fn copyset(&self) -> &BTreeMap<NodeId, Mode> {
+    pub fn copyset(&self) -> &CopySet {
         &self.copyset
     }
 
@@ -201,7 +203,9 @@ impl HierNode {
 
     /// Recompute the owned mode from held + copyset (Definition 3).
     pub(crate) fn recompute_owned(&self) -> Mode {
-        self.copyset.values().fold(self.held, |acc, &m| acc.join(m))
+        self.copyset
+            .iter()
+            .fold(self.held, |acc, (_, m)| acc.join(m))
     }
 
     /// The owned mode with node `who`'s copyset contribution removed, and —
@@ -216,8 +220,8 @@ impl HierNode {
         };
         self.copyset
             .iter()
-            .filter(|(&c, _)| c != who)
-            .fold(base, |acc, (_, &m)| acc.join(m))
+            .filter(|&(c, _)| c != who)
+            .fold(base, |acc, (_, m)| acc.join(m))
     }
 
     /// Record a weaker owned report from (or removal of) a copyset child.
@@ -238,7 +242,7 @@ impl HierNode {
     /// strictly lower priority, after everything of equal or higher priority
     /// (stable ⇒ FIFO within a priority level; all-zero priorities reproduce
     /// the paper's plain FIFO exactly).
-    pub(crate) fn enqueue(&mut self, req: QueuedRequest, obs: &mut dyn Observer) {
+    pub(crate) fn enqueue<O: Observer + ?Sized>(&mut self, req: QueuedRequest, obs: &mut O) {
         let at = self
             .queue
             .iter()
@@ -259,12 +263,14 @@ impl HierNode {
 
     /// Record that a grant (copy or token) is being sent to `to`.
     pub(crate) fn count_grant_sent(&mut self, to: NodeId) {
-        *self.grants_sent.entry(to).or_insert(0) += 1;
+        let n = self.grants_sent.get(&to).copied().unwrap_or(0);
+        self.grants_sent.insert(to, n + 1);
     }
 
     /// Record that a grant (copy or token) arrived from `from`.
     pub(crate) fn count_grant_received(&mut self, from: NodeId) {
-        *self.grants_received.entry(from).or_insert(0) += 1;
+        let n = self.grants_received.get(&from).copied().unwrap_or(0);
+        self.grants_received.insert(from, n + 1);
     }
 
     /// The ack value to stamp into a release sent to `to`.
@@ -320,9 +326,9 @@ impl crate::fingerprint::Fingerprintable for HierNode {
             }
         }
         h.write_usize(copyset.len());
-        for (child, mode) in copyset {
-            h.write(child);
-            h.write(mode);
+        for (child, mode) in copyset.iter() {
+            h.write(&child);
+            h.write(&mode);
         }
         h.write_usize(queue.len());
         for req in queue {
@@ -330,19 +336,19 @@ impl crate::fingerprint::Fingerprintable for HierNode {
         }
         h.write(frozen);
         h.write_usize(frozen_sent.len());
-        for (child, set) in frozen_sent {
-            h.write(child);
-            h.write(set);
+        for (child, set) in frozen_sent.iter() {
+            h.write(&child);
+            h.write(&set);
         }
         h.write_usize(grants_sent.len());
-        for (peer, count) in grants_sent {
-            h.write(peer);
-            h.write_u64(*count);
+        for (peer, count) in grants_sent.iter() {
+            h.write(&peer);
+            h.write_u64(count);
         }
         h.write_usize(grants_received.len());
-        for (peer, count) in grants_received {
-            h.write(peer);
-            h.write_u64(*count);
+        for (peer, count) in grants_received.iter() {
+            h.write(&peer);
+            h.write_u64(count);
         }
         h.write_bool(*registered);
         h.write_u64(*anomalies);

@@ -1,7 +1,7 @@
 //! Local-queue service and freeze maintenance (Rules 4–6).
 
 use super::HierNode;
-use crate::effect::Effect;
+use crate::effect::{Effect, EffectBuf};
 use crate::message::{Message, QueuedRequest};
 use dlm_modes::{child_can_grant, compatible, freeze_set, Mode, ModeSet, REQUEST_MODES};
 use dlm_trace::{Observer, ProtocolEvent};
@@ -15,7 +15,11 @@ impl HierNode {
     /// granted, no later entry incompatible with it may overtake. A grant
     /// that must move the token ships the *remaining* queue along with it and
     /// ends this node's authority.
-    pub(crate) fn serve_queue_token(&mut self, effects: &mut Vec<Effect>, obs: &mut dyn Observer) {
+    pub(crate) fn serve_queue_token<O: Observer + ?Sized>(
+        &mut self,
+        effects: &mut EffectBuf,
+        obs: &mut O,
+    ) {
         debug_assert!(self.has_token);
         'rescan: loop {
             let mut blocked = ModeSet::EMPTY;
@@ -82,22 +86,23 @@ impl HierNode {
     /// granted; the rest are forwarded to the parent — their queueing
     /// justification (Table 1(c)) referred to the pending mode that has just
     /// been resolved, so holding them longer could strand them.
-    pub(crate) fn serve_queue_nontoken(
+    pub(crate) fn serve_queue_nontoken<O: Observer + ?Sized>(
         &mut self,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         debug_assert!(!self.has_token);
-        let entries: Vec<QueuedRequest> = self.queue.drain(..).collect();
-        let total = entries.len();
-        for (i, entry) in entries.into_iter().enumerate() {
+        // Pop-in-place: nothing below touches the queue, so this visits the
+        // same entries in the same order as the drain-and-collect it
+        // replaced, without the temporary Vec.
+        while let Some(entry) = self.queue.pop_front() {
             if obs.enabled() {
                 obs.emit(
                     self.id.0,
                     ProtocolEvent::QueueServed {
                         requester: entry.from.0,
                         mode: entry.mode,
-                        depth: total - i - 1,
+                        depth: self.queue.len(),
                     },
                 );
             }
@@ -126,11 +131,11 @@ impl HierNode {
     }
 
     /// Grant the local application's queued request (token node only).
-    pub(crate) fn grant_self(
+    pub(crate) fn grant_self<O: Observer + ?Sized>(
         &mut self,
         entry: QueuedRequest,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         debug_assert_eq!(entry.from, self.id);
         self.pending = None;
@@ -172,11 +177,11 @@ impl HierNode {
     /// Legal when `owned >= entry.mode` (then `owned` is unchanged) or at an
     /// idle token retaining the token for a shared mode (then `owned`
     /// becomes the granted mode).
-    pub(crate) fn grant_copy(
+    pub(crate) fn grant_copy<O: Observer + ?Sized>(
         &mut self,
         entry: QueuedRequest,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         debug_assert!(self.owned.ge(entry.mode) || (self.has_token && self.owned == Mode::NoLock));
         let recorded = self
@@ -206,11 +211,11 @@ impl HierNode {
     /// Rule 3.2 token transfer: the requested mode exceeds everything owned.
     /// The old token node becomes a child of the requester; the residual
     /// queue and frozen set travel with the token (DESIGN.md §3 item 2).
-    pub(crate) fn grant_token_transfer(
+    pub(crate) fn grant_token_transfer<O: Observer + ?Sized>(
         &mut self,
         entry: QueuedRequest,
-        effects: &mut Vec<Effect>,
-        obs: &mut dyn Observer,
+        effects: &mut EffectBuf,
+        obs: &mut O,
     ) {
         debug_assert!(self.has_token);
         debug_assert_ne!(entry.from, self.id);
@@ -262,7 +267,11 @@ impl HierNode {
     /// Rule 6 / Table 1(d): recompute the frozen set at the token node from
     /// the queued requests and push deltas to copyset children that could
     /// otherwise grant a frozen mode.
-    pub(crate) fn refresh_frozen(&mut self, effects: &mut Vec<Effect>, obs: &mut dyn Observer) {
+    pub(crate) fn refresh_frozen<O: Observer + ?Sized>(
+        &mut self,
+        effects: &mut EffectBuf,
+        obs: &mut O,
+    ) {
         debug_assert!(self.has_token);
         let mut fresh = ModeSet::EMPTY;
         if self.config.freezing {
@@ -293,10 +302,11 @@ impl HierNode {
         }
         // Notify exactly the children for which the change matters: those
         // whose recorded mode lets them grant some mode whose frozen status
-        // changed (transitive freezing, §3.3).
-        let children: Vec<(crate::ids::NodeId, Mode)> =
-            self.copyset.iter().map(|(&c, &m)| (c, m)).collect();
-        for (child, child_mode) in children {
+        // changed (transitive freezing, §3.3). Walk the copyset by index
+        // (only `frozen_sent` is mutated in the loop) instead of collecting
+        // the children into a temporary Vec.
+        for i in 0..self.copyset.len() {
+            let (child, child_mode) = self.copyset.get_index(i);
             let last = self
                 .frozen_sent
                 .get(&child)

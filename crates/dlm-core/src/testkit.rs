@@ -9,17 +9,49 @@
 //! scheduling).
 
 use crate::config::ProtocolConfig;
-use crate::effect::Effect;
+use crate::effect::{Effect, EffectBuf};
 use crate::error::{AcquireError, ReleaseError, UpgradeError};
 use crate::ids::NodeId;
 use crate::invariants::{audit, AuditError, InFlight};
 use crate::node::HierNode;
 use dlm_modes::Mode;
-use dlm_trace::{NullObserver, Observer, Recorder, Stamp};
+use dlm_trace::{NullObserver, Recorder, Stamp};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+
+/// Drive one observed operation against a node: bump the step clock, hand
+/// the entry point the net's reusable [`EffectBuf`] and an observer, and
+/// evaluate `$body` once per observer type. A macro rather than a closure so
+/// the no-recorder arm passes a concrete [`NullObserver`] — the generic entry
+/// points then monomorphize with every event site compiled out, and the hot
+/// path borrows the node and scratch buffer disjointly with zero allocation.
+macro_rules! drive_into {
+    ($net:expr, $node:expr, |$n:ident, $buf:ident, $obs:ident| $body:expr) => {{
+        $net.steps += 1;
+        match $net.recorder.clone() {
+            Some(mut rec) => {
+                let mut stamp = Stamp {
+                    at: $net.steps,
+                    lock: $net.trace_lock,
+                    sink: &mut rec,
+                };
+                let $n = &mut $net.nodes[$node];
+                let $buf = &mut $net.scratch;
+                let $obs = &mut stamp;
+                $body
+            }
+            None => {
+                let mut null = NullObserver;
+                let $n = &mut $net.nodes[$node];
+                let $buf = &mut $net.scratch;
+                let $obs = &mut null;
+                $body
+            }
+        }
+    }};
+}
 
 /// A deterministic in-memory network of protocol nodes with FIFO delivery.
 #[derive(Clone)]
@@ -38,6 +70,10 @@ pub struct LockStepNet {
     /// Operations driven so far (entry-point calls + deliveries); the
     /// timestamp stamped onto trace records.
     steps: u64,
+    /// Reusable effect sink shared by every driven operation; drained into
+    /// the inbox/logs after each entry-point call, so steady-state steps
+    /// allocate nothing.
+    scratch: EffectBuf,
     /// Optional shared event sink (cloning the net shares the sink).
     recorder: Option<Rc<RefCell<dyn Recorder>>>,
     /// Lock id stamped onto trace records.
@@ -99,6 +135,7 @@ impl LockStepNet {
             messages_sent: 0,
             audit_each_step: true,
             steps: 0,
+            scratch: EffectBuf::new(),
             recorder: None,
             trace_lock: 0,
         }
@@ -110,28 +147,6 @@ impl LockStepNet {
     pub fn record_into(&mut self, lock: u32, sink: Rc<RefCell<dyn Recorder>>) {
         self.trace_lock = lock;
         self.recorder = Some(sink);
-    }
-
-    /// Drive one observed operation against node `node`: bumps the step
-    /// clock and hands the entry point a [`Stamp`] (or [`NullObserver`] when
-    /// no recorder is attached).
-    fn drive<T>(
-        &mut self,
-        node: usize,
-        f: impl FnOnce(&mut HierNode, &mut dyn Observer) -> T,
-    ) -> T {
-        self.steps += 1;
-        match self.recorder.clone() {
-            Some(mut rec) => {
-                let mut stamp = Stamp {
-                    at: self.steps,
-                    lock: self.trace_lock,
-                    sink: &mut rec,
-                };
-                f(&mut self.nodes[node], &mut stamp)
-            }
-            None => f(&mut self.nodes[node], &mut NullObserver),
-        }
     }
 
     /// Number of nodes.
@@ -159,7 +174,10 @@ impl LockStepNet {
     /// Feed effects produced by a direct [`Self::node_mut`] call into the
     /// network (sends become in-flight messages; grants/upgrades are logged).
     pub fn inject_effects(&mut self, from: NodeId, effects: Vec<Effect>) {
-        self.absorb(from, effects);
+        for effect in effects {
+            self.scratch.push(effect);
+        }
+        self.absorb_scratch(from);
     }
 
     /// All nodes, for audits.
@@ -179,9 +197,10 @@ impl LockStepNet {
 
     /// Issue an acquire, surfacing API misuse as an error.
     pub fn try_acquire(&mut self, id: u32, mode: Mode) -> Result<(), AcquireError> {
-        let effects = self.drive(id as usize, |n, obs| n.on_acquire_observed(mode, 0, obs))?;
-        self.absorb(NodeId(id), effects);
-        Ok(())
+        let result = drive_into!(self, id as usize, |n, buf, obs| n
+            .on_acquire_into(mode, 0, buf, obs));
+        self.absorb_scratch(NodeId(id));
+        result
     }
 
     /// Issue a release; panics on API misuse.
@@ -191,9 +210,9 @@ impl LockStepNet {
 
     /// Issue a release, surfacing API misuse as an error.
     pub fn try_release(&mut self, id: u32) -> Result<(), ReleaseError> {
-        let effects = self.drive(id as usize, |n, obs| n.on_release_observed(obs))?;
-        self.absorb(NodeId(id), effects);
-        Ok(())
+        let result = drive_into!(self, id as usize, |n, buf, obs| n.on_release_into(buf, obs));
+        self.absorb_scratch(NodeId(id));
+        result
     }
 
     /// Issue a Rule 7 upgrade; panics on API misuse.
@@ -203,9 +222,9 @@ impl LockStepNet {
 
     /// Issue a Rule 7 upgrade, surfacing API misuse as an error.
     pub fn try_upgrade(&mut self, id: u32) -> Result<(), UpgradeError> {
-        let effects = self.drive(id as usize, |n, obs| n.on_upgrade_observed(obs))?;
-        self.absorb(NodeId(id), effects);
-        Ok(())
+        let result = drive_into!(self, id as usize, |n, buf, obs| n.on_upgrade_into(buf, obs));
+        self.absorb_scratch(NodeId(id));
+        result
     }
 
     /// Deliver the oldest in-flight message. Returns `false` when idle.
@@ -213,10 +232,14 @@ impl LockStepNet {
         let Some(flight) = self.inbox.pop_front() else {
             return false;
         };
-        let effects = self.drive(flight.to.index(), |n, obs| {
-            n.on_message_observed(flight.from, flight.message, obs)
-        });
-        self.absorb(flight.to, effects);
+        let to = flight.to;
+        drive_into!(self, to.index(), |n, buf, obs| n.on_message_into(
+            flight.from,
+            flight.message,
+            buf,
+            obs
+        ));
+        self.absorb_scratch(to);
         if self.audit_each_step {
             self.assert_safe();
         }
@@ -248,15 +271,26 @@ impl LockStepNet {
         audit(&self.nodes, &self.in_flight(), quiescent)
     }
 
-    fn absorb(&mut self, from: NodeId, effects: Vec<Effect>) {
-        for effect in effects {
+    /// Drain the scratch sink into the network: sends become in-flight
+    /// messages, grants/upgrades are logged. Disjoint field borrows keep
+    /// this a single pass with no temporary.
+    fn absorb_scratch(&mut self, from: NodeId) {
+        let LockStepNet {
+            scratch,
+            inbox,
+            granted,
+            upgraded,
+            messages_sent,
+            ..
+        } = self;
+        for effect in scratch.drain() {
             match effect {
                 Effect::Send { to, message } => {
-                    self.messages_sent += 1;
-                    self.inbox.push_back(InFlight { from, to, message });
+                    *messages_sent += 1;
+                    inbox.push_back(InFlight { from, to, message });
                 }
-                Effect::Granted { mode } => self.granted.push((from, mode)),
-                Effect::Upgraded => self.upgraded.push(from),
+                Effect::Granted { mode } => granted.push((from, mode)),
+                Effect::Upgraded => upgraded.push(from),
             }
         }
     }
@@ -296,10 +330,14 @@ impl LockStepNet {
             .position(|f| (f.from, f.to) == chosen)
             .expect("channel came from the inbox");
         let flight = self.inbox.remove(pos).expect("position is valid");
-        let effects = self.drive(flight.to.index(), |n, obs| {
-            n.on_message_observed(flight.from, flight.message, obs)
-        });
-        self.absorb(flight.to, effects);
+        let to = flight.to;
+        drive_into!(self, to.index(), |n, buf, obs| n.on_message_into(
+            flight.from,
+            flight.message,
+            buf,
+            obs
+        ));
+        self.absorb_scratch(to);
         if self.audit_each_step {
             self.assert_safe();
         }
@@ -313,10 +351,14 @@ impl LockStepNet {
         let mut rest = VecDeque::new();
         while let Some(flight) = self.inbox.pop_front() {
             if flight.to == NodeId(id) {
-                let effects = self.drive(flight.to.index(), |n, obs| {
-                    n.on_message_observed(flight.from, flight.message, obs)
-                });
-                self.absorb(flight.to, effects);
+                let to = flight.to;
+                drive_into!(self, to.index(), |n, buf, obs| n.on_message_into(
+                    flight.from,
+                    flight.message,
+                    buf,
+                    obs
+                ));
+                self.absorb_scratch(to);
                 delivered += 1;
                 if self.audit_each_step {
                     self.assert_safe();

@@ -1,0 +1,236 @@
+//! Differential test for the zero-allocation plumbing: the `Vec`-returning
+//! wrapper API and the `*_into` [`EffectBuf`] API must be observationally
+//! identical. Two replicas of the same topology are driven through the same
+//! random operation/delivery schedule — one per API, the `*_into` replica
+//! reusing a single scratch buffer across every call — and every step's
+//! effect stream plus every node's closing 128-bit structural fingerprint
+//! must match bit for bit.
+
+use dlm_core::{
+    AcquireError, Effect, EffectBuf, Fingerprintable, HierNode, Mode, NodeId, NullObserver,
+    ProtocolConfig, ReleaseError, UpgradeError,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// The paper's request-mode mix (§4).
+fn paper_mode(w: u8) -> Mode {
+    match w % 100 {
+        0..=79 => Mode::IntentRead,
+        80..=89 => Mode::Read,
+        90..=93 => Mode::Upgrade,
+        94..=98 => Mode::IntentWrite,
+        _ => Mode::Write,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Deliver(u8),
+    Acquire(u8, u8),
+    Release(u8),
+    Upgrade(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => any::<u8>().prop_map(Step::Deliver),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(n, m)| Step::Acquire(n, m)),
+        3 => any::<u8>().prop_map(Step::Release),
+        1 => any::<u8>().prop_map(Step::Upgrade),
+    ]
+}
+
+/// Parent links for the three exercised topologies over `n` nodes; node 0 is
+/// always the initial token node.
+fn parents(topology: usize, n: usize) -> Vec<Option<u32>> {
+    (0..n as u32)
+        .map(|i| match topology {
+            // Star: everyone under the token.
+            0 => (i != 0).then_some(0),
+            // Chain: i under i-1.
+            1 => i.checked_sub(1),
+            // Binary tree: i under (i-1)/2.
+            _ => i.checked_sub(1).map(|p| p / 2),
+        })
+        .collect()
+}
+
+/// One replica: the protocol nodes plus an in-order message queue. The
+/// `Vec`-API and `EffectBuf`-API replicas share this state shape so the only
+/// varying ingredient is which entry points execute the schedule.
+struct World {
+    nodes: Vec<HierNode>,
+    inbox: VecDeque<(NodeId, NodeId, dlm_core::Message)>,
+}
+
+impl World {
+    fn new(topology: usize, n: usize) -> Self {
+        let config = ProtocolConfig::paper();
+        let nodes = parents(topology, n)
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Some(parent) => HierNode::new(NodeId(i as u32), NodeId(*parent), config),
+                None => HierNode::with_token(NodeId(i as u32), config),
+            })
+            .collect();
+        World {
+            nodes,
+            inbox: VecDeque::new(),
+        }
+    }
+
+    fn absorb(&mut self, from: NodeId, effects: &[Effect]) {
+        for effect in effects {
+            if let Effect::Send { to, message } = effect {
+                self.inbox.push_back((from, *to, message.clone()));
+            }
+        }
+    }
+}
+
+type StepOutcome = (
+    Vec<Effect>,
+    Option<Result<(), AcquireError>>,
+    Option<Result<(), ReleaseError>>,
+    Option<Result<(), UpgradeError>>,
+);
+
+/// Execute one schedule step in `world` through the Vec wrappers (`buf`
+/// `None`) or through `*_into` with the shared scratch buffer, returning the
+/// step's effect stream and entry-point verdicts for comparison.
+fn execute(world: &mut World, step: &Step, mut buf: Option<&mut EffectBuf>) -> StepOutcome {
+    let n = world.nodes.len() as u8;
+    match *step {
+        Step::Deliver(k) => {
+            if world.inbox.is_empty() {
+                return (Vec::new(), None, None, None);
+            }
+            let pos = k as usize % world.inbox.len();
+            let (from, to, message) = world.inbox.remove(pos).expect("position in range");
+            let node = &mut world.nodes[to.0 as usize];
+            let effects = match buf.as_deref_mut() {
+                None => node.on_message(from, message),
+                Some(b) => {
+                    node.on_message_into(from, message, b, &mut NullObserver);
+                    b.take_vec()
+                }
+            };
+            world.absorb(to, &effects);
+            (effects, None, None, None)
+        }
+        Step::Acquire(who, m) => {
+            let id = NodeId((who % n) as u32);
+            let mode = paper_mode(m);
+            let node = &mut world.nodes[id.0 as usize];
+            let (effects, result) = match buf.as_deref_mut() {
+                None => match node.on_acquire(mode) {
+                    Ok(eff) => (eff, Ok(())),
+                    Err(e) => (Vec::new(), Err(e)),
+                },
+                Some(b) => {
+                    let r = node.on_acquire_into(mode, 0, b, &mut NullObserver);
+                    (b.take_vec(), r)
+                }
+            };
+            world.absorb(id, &effects);
+            (effects, Some(result), None, None)
+        }
+        Step::Release(who) => {
+            let id = NodeId((who % n) as u32);
+            let node = &mut world.nodes[id.0 as usize];
+            let (effects, result) = match buf.as_deref_mut() {
+                None => match node.on_release() {
+                    Ok(eff) => (eff, Ok(())),
+                    Err(e) => (Vec::new(), Err(e)),
+                },
+                Some(b) => {
+                    let r = node.on_release_into(b, &mut NullObserver);
+                    (b.take_vec(), r)
+                }
+            };
+            world.absorb(id, &effects);
+            (effects, None, Some(result), None)
+        }
+        Step::Upgrade(who) => {
+            let id = NodeId((who % n) as u32);
+            let node = &mut world.nodes[id.0 as usize];
+            let (effects, result) = match buf {
+                None => match node.on_upgrade() {
+                    Ok(eff) => (eff, Ok(())),
+                    Err(e) => (Vec::new(), Err(e)),
+                },
+                Some(b) => {
+                    let r = node.on_upgrade_into(b, &mut NullObserver);
+                    (b.take_vec(), r)
+                }
+            };
+            world.absorb(id, &effects);
+            (effects, None, None, Some(result))
+        }
+    }
+}
+
+fn run_differential(topology: usize, n: usize, steps: &[Step]) {
+    let mut vec_world = World::new(topology, n);
+    let mut buf_world = World::new(topology, n);
+    // ONE buffer reused across the whole schedule: stale-state leakage from
+    // any earlier call would corrupt a later step's stream and be caught.
+    let mut scratch = EffectBuf::new();
+    for (i, step) in steps.iter().enumerate() {
+        let vec_out = execute(&mut vec_world, step, None);
+        let buf_out = execute(&mut buf_world, step, Some(&mut scratch));
+        assert_eq!(vec_out, buf_out, "step {i} diverged on {step:?}");
+    }
+    for (a, b) in vec_world.nodes.iter().zip(&buf_world.nodes) {
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "closing fingerprints diverged at node {:?}",
+            a.id()
+        );
+    }
+    assert_eq!(
+        vec_world.inbox, buf_world.inbox,
+        "in-flight traffic diverged"
+    );
+}
+
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(96)))]
+
+    /// Vec API ≡ EffectBuf API on star, chain, and binary-tree topologies.
+    #[test]
+    fn effectbuf_api_matches_vec_api(
+        topology in 0usize..3,
+        n in 2usize..7,
+        steps in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        run_differential(topology, n, &steps);
+    }
+}
+
+/// A deterministic smoke of each topology so a plain `cargo test` without
+/// proptest shrinking still exercises all three shapes.
+#[test]
+fn all_topologies_smoke() {
+    let steps: Vec<Step> = (0..60)
+        .map(|i| match i % 4 {
+            0 => Step::Acquire(i, i.wrapping_mul(37)),
+            1 => Step::Deliver(i.wrapping_mul(13)),
+            2 => Step::Release(i),
+            _ => Step::Deliver(i),
+        })
+        .collect();
+    for topology in 0..3 {
+        run_differential(topology, 5, &steps);
+    }
+}

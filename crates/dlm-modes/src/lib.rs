@@ -26,5 +26,6 @@ mod tables;
 pub use mode::{Mode, ALL_MODES, REQUEST_MODES};
 pub use modeset::ModeSet;
 pub use tables::{
-    child_can_grant, compatible, freeze_set, queue_or_forward, strictly_weaker, QueueOrForward,
+    child_can_grant, compatible, compatible_set, freeze_set, queue_or_forward, strictly_weaker,
+    QueueOrForward,
 };

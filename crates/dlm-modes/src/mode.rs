@@ -108,21 +108,14 @@ impl Mode {
     /// `U`/`IW` and `R`/`IW` are incomparable: neither constrains a superset of
     /// the concurrency the other allows. This is the `MO >= MR` test of
     /// Rule 3.1 and the `MO < MR` test of Rules 2 and 3.2.
+    ///
+    /// Encoded as a downset bitmask per mode (bit `i` set iff this mode
+    /// dominates the mode with index `i`), so the comparison is one indexed
+    /// load and an AND; the tests re-derive the masks from the chain
+    /// definition above.
     #[inline]
     pub fn ge(self, other: Mode) -> bool {
-        use Mode::*;
-        if self == other {
-            return true;
-        }
-        match (self, other) {
-            // Everything dominates NoLock; Write dominates everything.
-            (_, NoLock) | (Write, _) => true,
-            // Read chain: IR < R < U.
-            (Read, IntentRead) | (Upgrade, IntentRead) | (Upgrade, Read) => true,
-            // Write chain: IR < IW.
-            (IntentWrite, IntentRead) => true,
-            _ => false,
-        }
+        GE_MASK[self.index()] & (1 << other.index()) != 0
     }
 
     /// Strict strength: `self > other` in the partial order.
@@ -158,6 +151,20 @@ impl Mode {
         }
     }
 }
+
+/// Downsets of the strength partial order: `GE_MASK[m]` has bit `i` set iff
+/// `m >= ALL_MODES[i]`. Bit order `NL, IR, R, U, IW, W` (LSB first).
+///
+/// Rows: NL dominates only itself; IR adds NL; R adds IR; U adds R; IW
+/// dominates {NL, IR, IW}; W dominates everything.
+const GE_MASK: [u8; 6] = [
+    0b00_0001, // NL
+    0b00_0011, // IR
+    0b00_0111, // R
+    0b00_1111, // U
+    0b01_0011, // IW
+    0b11_1111, // W
+];
 
 impl fmt::Display for Mode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -195,6 +202,29 @@ mod tests {
         assert!(Read.incomparable(IntentWrite));
         assert!(!Upgrade.ge(IntentWrite));
         assert!(!IntentWrite.ge(Upgrade));
+    }
+
+    /// `GE_MASK` must equal the case analysis it replaced: reflexivity, the
+    /// read chain `NL < IR < R < U`, the write chain `NL < IR < IW < W`, and
+    /// `W` dominating everything.
+    #[test]
+    fn ge_mask_matches_chain_definition() {
+        use Mode::*;
+        for &a in &ALL_MODES {
+            for &b in &ALL_MODES {
+                let derived = a == b
+                    || matches!(
+                        (a, b),
+                        (_, NoLock)
+                            | (Write, _)
+                            | (Read, IntentRead)
+                            | (Upgrade, IntentRead)
+                            | (Upgrade, Read)
+                            | (IntentWrite, IntentRead)
+                    );
+                assert_eq!(a.ge(b), derived, "GE_MASK mismatch at ({a},{b})");
+            }
+        }
     }
 
     #[test]

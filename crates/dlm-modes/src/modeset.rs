@@ -25,6 +25,20 @@ impl ModeSet {
         ModeSet(0)
     }
 
+    /// Create a set directly from a 6-bit mask (bit `i` = mode with index
+    /// `i`). Bits above the mode range are discarded. This is how the
+    /// compiled Table 1(d) LUT materializes freeze sets in one load.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Self {
+        ModeSet(bits & 0b11_1111)
+    }
+
+    /// The raw 6-bit mask (inverse of [`ModeSet::from_bits`]).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
     /// Create a set from an iterator of modes.
     pub fn from_modes<I: IntoIterator<Item = Mode>>(modes: I) -> Self {
         let mut s = ModeSet::new();

@@ -2,13 +2,41 @@
 //!
 //! Row index is the mode `M1` of the node examining a request, column index is
 //! the requested mode `M2`, both via [`Mode::index`]. Each table is written
-//! out literally (so it can be eyeballed against the paper) and re-derived
-//! from a closed-form rule in the tests (see `derivations` below), so a
-//! transcription slip in either form fails the suite.
+//! out literally (so it can be eyeballed against the paper), then compiled at
+//! `const` time into per-row `u8` bitmasks — one load plus one AND per lookup,
+//! and Table 1(d) becomes a single indexed [`ModeSet`] load. The literal
+//! matrices stay the source of truth: the masks are derived from them by
+//! `const fn`, and the tests re-derive both forms from the closed-form rules
+//! (see `derivations` below), so a transcription slip in any form fails the
+//! suite.
 
-use crate::mode::{Mode, ALL_MODES};
+use crate::mode::Mode;
 use crate::modeset::ModeSet;
 use serde::{Deserialize, Serialize};
+
+/// Compress one boolean table row into a bitmask (bit `i` = column `i`).
+const fn row_mask(row: &[bool; 6]) -> u8 {
+    let mut mask = 0u8;
+    let mut i = 0;
+    while i < 6 {
+        if row[i] {
+            mask |= 1 << i;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Compress a 6×6 boolean table into six row masks.
+const fn table_masks(table: &[[bool; 6]; 6]) -> [u8; 6] {
+    let mut out = [0u8; 6];
+    let mut r = 0;
+    while r < 6 {
+        out[r] = row_mask(&table[r]);
+        r += 1;
+    }
+    out
+}
 
 /// Table 1(a): `true` iff modes may be held concurrently by different nodes
 /// (Rule 1). This is the standard OMG Concurrency Service matrix the paper
@@ -26,10 +54,22 @@ const COMPATIBLE: [[bool; 6]; 6] = [
     /* W  */ [true, false, false, false, false, false],
 ];
 
+/// Table 1(a) compiled to row masks: bit `b` of `COMPAT_MASK[a]` is
+/// `COMPATIBLE[a][b]`.
+const COMPAT_MASK: [u8; 6] = table_masks(&COMPATIBLE);
+
 /// Rule 1 / Table 1(a): may `a` and `b` be held concurrently?
 #[inline]
 pub fn compatible(a: Mode, b: Mode) -> bool {
-    COMPATIBLE[a.index()][b.index()]
+    COMPAT_MASK[a.index()] & (1 << b.index()) != 0
+}
+
+/// Rule 1 extended to sets: the set of modes compatible with `a`, as a
+/// [`ModeSet`] — one indexed load, so "is any held mode incompatible with
+/// `a`" is a single AND against the complement.
+#[inline]
+pub fn compatible_set(a: Mode) -> ModeSet {
+    ModeSet::from_bits(COMPAT_MASK[a.index()])
 }
 
 /// Rule 2 helper: `true` iff owned mode `owned` is *strictly weaker* than the
@@ -50,7 +90,7 @@ pub fn strictly_weaker(owned: Mode, req: Mode) -> bool {
 /// `W` is compatible with nothing).
 #[inline]
 pub fn child_can_grant(owned: Mode, req: Mode) -> bool {
-    CHILD_GRANT[owned.index()][req.index()]
+    CHILD_GRANT_MASK[owned.index()] & (1 << req.index()) != 0
 }
 
 /// Table 1(b) as printed (the paper marks *illegal* grants with X; we store
@@ -67,6 +107,9 @@ const CHILD_GRANT: [[bool; 6]; 6] = [
     /* IW */ [true, true, false, false, true, false],
     /* W  */ [true, false, false, false, false, false],
 ];
+
+/// Table 1(b) compiled to row masks (row = owned mode, bit = requested mode).
+const CHILD_GRANT_MASK: [u8; 6] = table_masks(&CHILD_GRANT);
 
 /// The decision of Table 1(c) for a non-token node that cannot grant a request
 /// (Rule 4.1).
@@ -93,7 +136,7 @@ pub enum QueueOrForward {
 /// forwarded instead so an ancestor can serve it concurrently.
 #[inline]
 pub fn queue_or_forward(pending: Mode, req: Mode) -> QueueOrForward {
-    if QUEUE[pending.index()][req.index()] {
+    if QUEUE_MASK[pending.index()] & (1 << req.index()) != 0 {
         QueueOrForward::Queue
     } else {
         QueueOrForward::Forward
@@ -115,6 +158,9 @@ const QUEUE: [[bool; 6]; 6] = [
     /* W  */ [false, true, true, true, true, true],
 ];
 
+/// Table 1(c) compiled to row masks (row = pending mode, bit set = Queue).
+const QUEUE_MASK: [u8; 6] = table_masks(&QUEUE);
+
 /// Table 1(d): the set of modes the token node freezes when it owns `owned`
 /// and must queue an incompatible request for `req` (Rule 6).
 ///
@@ -123,20 +169,81 @@ const QUEUE: [[bool; 6]; 6] = [
 /// the token owns) but would keep delaying the queued request (incompatible
 /// with it). Freezing them preserves FIFO and prevents starvation of strong
 /// requests by streams of weak ones (§3.3).
+#[inline]
 pub fn freeze_set(owned: Mode, req: Mode) -> ModeSet {
-    let mut set = ModeSet::new();
-    for &m in &ALL_MODES {
-        if m != Mode::NoLock && compatible(m, owned) && !compatible(m, req) {
-            set.insert(m);
-        }
-    }
-    set
+    ModeSet::from_bits(FREEZE_LUT[owned.index()][req.index()])
 }
+
+/// Table 1(d) fully materialized: `FREEZE_LUT[owned][req]` is the freeze set
+/// as a `ModeSet` bit pattern. By symmetry of Table 1(a), "`m` compatible with
+/// `owned`" is bit `m` of `COMPAT_MASK[owned]`, so the whole derivation above
+/// collapses to `COMPAT_MASK[owned] & !COMPAT_MASK[req]` with the `NL` bit
+/// cleared.
+const FREEZE_LUT: [[u8; 6]; 6] = {
+    let nl_bit = 1u8; // Mode::NoLock has index 0
+    let mut out = [[0u8; 6]; 6];
+    let mut owned = 0;
+    while owned < 6 {
+        let mut req = 0;
+        while req < 6 {
+            out[owned][req] = COMPAT_MASK[owned] & !COMPAT_MASK[req] & !nl_bit;
+            req += 1;
+        }
+        owned += 1;
+    }
+    out
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mode::REQUEST_MODES;
+    use crate::mode::{ALL_MODES, REQUEST_MODES};
+
+    /// The compiled bitmask LUTs must agree, cell for cell, with the literal
+    /// boolean matrices transcribed from the paper. Together with the
+    /// closed-form derivation tests below this proves the mask encoding is a
+    /// faithful compilation of Tables 1(a)–(d).
+    #[test]
+    fn masks_match_literal_tables() {
+        for &a in &ALL_MODES {
+            for &b in &ALL_MODES {
+                let (i, j) = (a.index(), b.index());
+                assert_eq!(compatible(a, b), COMPATIBLE[i][j], "1(a) at ({a},{b})");
+                assert_eq!(compatible_set(a).contains(b), COMPATIBLE[i][j]);
+                assert_eq!(
+                    child_can_grant(a, b),
+                    CHILD_GRANT[i][j],
+                    "1(b) at ({a},{b})"
+                );
+                assert_eq!(
+                    queue_or_forward(a, b) == QueueOrForward::Queue,
+                    QUEUE[i][j],
+                    "1(c) at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    /// `FREEZE_LUT` must equal the loop derivation of Table 1(d) it replaced:
+    /// `{ m ≠ NL : compatible(m, owned) && !compatible(m, req) }`.
+    #[test]
+    fn freeze_lut_matches_loop_derivation() {
+        for &owned in &ALL_MODES {
+            for &req in &ALL_MODES {
+                let mut derived = ModeSet::new();
+                for &m in &ALL_MODES {
+                    if m != Mode::NoLock && compatible(m, owned) && !compatible(m, req) {
+                        derived.insert(m);
+                    }
+                }
+                assert_eq!(
+                    freeze_set(owned, req),
+                    derived,
+                    "1(d) mismatch at owned={owned}, req={req}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn compatibility_is_symmetric() {

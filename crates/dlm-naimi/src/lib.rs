@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dlm_core::NodeId;
+use dlm_core::{EffectBuf, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// A Naimi–Trehel protocol message.
@@ -148,6 +148,19 @@ impl NaimiNode {
     /// message-free; otherwise one `Request` goes to the probable owner and
     /// this node becomes the new virtual root (`owner = None`).
     pub fn on_acquire(&mut self) -> Result<Vec<NaimiEffect>, NaimiError> {
+        let mut effects = EffectBuf::new();
+        self.on_acquire_into(&mut effects)?;
+        Ok(effects.take_vec())
+    }
+
+    /// The allocation-free form of [`Self::on_acquire`]: effects go into the
+    /// caller-owned reusable sink (mirrors `HierNode::on_acquire_into`, so
+    /// the same runtimes can drive both protocols with one scratch buffer
+    /// discipline).
+    pub fn on_acquire_into(
+        &mut self,
+        effects: &mut EffectBuf<NaimiEffect>,
+    ) -> Result<(), NaimiError> {
         if self.requesting || self.in_cs {
             return Err(NaimiError::Busy);
         }
@@ -155,21 +168,33 @@ impl NaimiNode {
         if self.has_token {
             debug_assert!(self.owner.is_none(), "token holder is the root");
             self.in_cs = true;
-            return Ok(vec![NaimiEffect::Granted]);
+            effects.push(NaimiEffect::Granted);
+            return Ok(());
         }
         let owner = self
             .owner
             .expect("a tokenless idle node always has a probable owner");
         self.owner = None;
-        Ok(vec![NaimiEffect::Send {
+        effects.push(NaimiEffect::Send {
             to: owner,
             message: NaimiMessage::Request { requester: self.id },
-        }])
+        });
+        Ok(())
     }
 
     /// Leave the critical section; pass the token to the queued successor if
     /// one exists, keep it otherwise.
     pub fn on_release(&mut self) -> Result<Vec<NaimiEffect>, NaimiError> {
+        let mut effects = EffectBuf::new();
+        self.on_release_into(&mut effects)?;
+        Ok(effects.take_vec())
+    }
+
+    /// The allocation-free form of [`Self::on_release`].
+    pub fn on_release_into(
+        &mut self,
+        effects: &mut EffectBuf<NaimiEffect>,
+    ) -> Result<(), NaimiError> {
         if !self.in_cs {
             return Err(NaimiError::NotHeld);
         }
@@ -179,25 +204,36 @@ impl NaimiNode {
             self.has_token = false;
             // The successor is about to be the token holder; our probable
             // owner already points at the latest requester via path reversal.
-            return Ok(vec![NaimiEffect::Send {
+            effects.push(NaimiEffect::Send {
                 to: next,
                 message: NaimiMessage::Token,
-            }]);
+            });
         }
-        Ok(Vec::new())
+        Ok(())
     }
 
     /// Handle a received message.
-    pub fn on_message(&mut self, _from: NodeId, message: NaimiMessage) -> Vec<NaimiEffect> {
+    pub fn on_message(&mut self, from: NodeId, message: NaimiMessage) -> Vec<NaimiEffect> {
+        let mut effects = EffectBuf::new();
+        self.on_message_into(from, message, &mut effects);
+        effects.take_vec()
+    }
+
+    /// The allocation-free form of [`Self::on_message`].
+    pub fn on_message_into(
+        &mut self,
+        _from: NodeId,
+        message: NaimiMessage,
+        effects: &mut EffectBuf<NaimiEffect>,
+    ) {
         match message {
-            NaimiMessage::Request { requester } => self.handle_request(requester),
-            NaimiMessage::Token => self.handle_token(),
+            NaimiMessage::Request { requester } => self.handle_request(requester, effects),
+            NaimiMessage::Token => self.handle_token(effects),
         }
     }
 
-    fn handle_request(&mut self, requester: NodeId) -> Vec<NaimiEffect> {
+    fn handle_request(&mut self, requester: NodeId, effects: &mut EffectBuf<NaimiEffect>) {
         debug_assert_ne!(requester, self.id, "requests never loop back");
-        let mut effects = Vec::new();
         match self.owner {
             None => {
                 // We are the root: the requester is either queued behind us
@@ -233,14 +269,13 @@ impl NaimiNode {
         }
         // Path reversal: whoever asked will soon be the most recent owner.
         self.owner = Some(requester);
-        effects
     }
 
-    fn handle_token(&mut self) -> Vec<NaimiEffect> {
+    fn handle_token(&mut self, effects: &mut EffectBuf<NaimiEffect>) {
         debug_assert!(self.requesting, "token arrives only on request");
         self.has_token = true;
         self.in_cs = true;
-        vec![NaimiEffect::Granted]
+        effects.push(NaimiEffect::Granted);
     }
 }
 

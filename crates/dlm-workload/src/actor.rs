@@ -64,6 +64,10 @@ enum Phase {
 pub struct AppActor {
     params: WorkloadParams,
     stack: ProtoStack,
+    /// Reusable outbound-send scratch, drained by [`Self::send_all`]. The
+    /// protocol-event buffers must stay per-call (`handle_events` re-enters
+    /// `advance_acquisition`), but the send list never nests.
+    out: Vec<(NodeId, Wire)>,
     phase: Phase,
     plan: Option<OpPlan>,
     step: usize,
@@ -100,6 +104,7 @@ impl AppActor {
         AppActor {
             params,
             stack,
+            out: Vec::new(),
             phase: Phase::Idle,
             plan: None,
             step: 0,
@@ -116,9 +121,13 @@ impl AppActor {
         }
     }
 
-    fn send_all(&mut self, out: Vec<(NodeId, Wire)>, ctx: &mut Ctx<'_, Wire>) {
-        for (to, wire) in out {
-            self.sent_by_kind.incr(wire_kind(&wire));
+    /// Drain the `out` scratch into the simulator, tallying per-kind counts.
+    fn send_all(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let AppActor {
+            out, sent_by_kind, ..
+        } = self;
+        for (to, wire) in out.drain(..) {
+            sent_by_kind.incr(wire_kind(&wire));
             ctx.send(to, wire);
         }
     }
@@ -170,18 +179,17 @@ impl AppActor {
                 return;
             }
             let (lock, mode) = plan.locks[self.step];
-            let mut out = Vec::new();
             let mut events = Vec::new();
             self.requests_issued += 1;
             self.issue_time = ctx.now();
-            let stack = &mut self.stack;
+            let AppActor { stack, out, .. } = self;
             ctx.observe(lock.0, |obs| {
-                stack.acquire(lock, mode, &mut out, &mut events, obs)
+                stack.acquire(lock, mode, out, &mut events, obs)
             });
-            if !out.is_empty() {
+            if !self.out.is_empty() {
                 self.sent_by_kind.incr("request.initial");
             }
-            self.send_all(out, ctx);
+            self.send_all(ctx);
             if events.contains(&ProtoEvent::Granted(lock)) {
                 // Local admission (Rule 2 fast path): zero latency.
                 self.request_latency.record(0);
@@ -206,14 +214,11 @@ impl AppActor {
         let plan = self.plan.take().expect("finishing implies a plan");
         // Release in reverse acquisition order (entry before table).
         for &(lock, _) in plan.locks.iter().rev() {
-            let mut out = Vec::new();
             let mut events = Vec::new();
-            let stack = &mut self.stack;
-            ctx.observe(lock.0, |obs| {
-                stack.release(lock, &mut out, &mut events, obs)
-            });
+            let AppActor { stack, out, .. } = self;
+            ctx.observe(lock.0, |obs| stack.release(lock, out, &mut events, obs));
             debug_assert!(events.is_empty(), "release grants nothing locally");
-            self.send_all(out, ctx);
+            self.send_all(ctx);
         }
         self.ops_completed += 1;
         self.ops_done += 1;
@@ -270,14 +275,13 @@ impl Actor for AppActor {
     }
 
     fn on_message(&mut self, from: NodeId, wire: Wire, ctx: &mut Ctx<'_, Wire>) {
-        let mut out = Vec::new();
         let mut events = Vec::new();
         let lock = wire.lock();
-        let stack = &mut self.stack;
+        let AppActor { stack, out, .. } = self;
         ctx.observe(lock.0, |obs| {
-            stack.on_wire(from, wire, &mut out, &mut events, obs)
+            stack.on_wire(from, wire, out, &mut events, obs)
         });
-        self.send_all(out, ctx);
+        self.send_all(ctx);
         self.handle_events(events, ctx);
     }
 
@@ -294,13 +298,12 @@ impl Actor for AppActor {
                     self.phase = Phase::Upgrading;
                     self.requests_issued += 1;
                     self.issue_time = ctx.now();
-                    let mut out = Vec::new();
                     let mut events = Vec::new();
-                    let stack = &mut self.stack;
+                    let AppActor { stack, out, .. } = self;
                     ctx.observe(LockId::TABLE.0, |obs| {
-                        stack.upgrade(LockId::TABLE, &mut out, &mut events, obs)
+                        stack.upgrade(LockId::TABLE, out, &mut events, obs)
                     });
-                    self.send_all(out, ctx);
+                    self.send_all(ctx);
                     self.handle_events(events, ctx);
                 } else {
                     self.finish_operation(ctx);

@@ -4,7 +4,7 @@
 
 use crate::actor::Wire;
 use crate::LockId;
-use dlm_core::{Effect, HierNode, Message, Mode, NodeId, Observer, ProtocolConfig};
+use dlm_core::{Effect, EffectBuf, HierNode, Message, Mode, NodeId, Observer, ProtocolConfig};
 use dlm_naimi::{NaimiEffect, NaimiMessage, NaimiNode};
 
 /// A protocol-level notification back to the application.
@@ -16,13 +16,24 @@ pub enum ProtoEvent {
     Upgraded(LockId),
 }
 
-/// One node's protocol state across all lock objects.
+/// The per-lock protocol instances, one variant per protocol under study.
 #[derive(Debug, Clone)]
-pub enum ProtoStack {
+enum Inner {
     /// Hierarchical protocol: one state machine per lock.
     Hier(Vec<HierNode>),
     /// Naimi–Trehel: one state machine per lock.
     Naimi(Vec<NaimiNode>),
+}
+
+/// One node's protocol state across all lock objects, plus the reusable
+/// effect sinks the allocation-free protocol entry points drain into.
+#[derive(Debug, Clone)]
+pub struct ProtoStack {
+    inner: Inner,
+    /// Scratch sink for hierarchical-protocol effects, reused across calls.
+    hier_buf: EffectBuf,
+    /// Scratch sink for Naimi–Trehel effects, reused across calls.
+    naimi_buf: EffectBuf<NaimiEffect>,
 }
 
 impl ProtoStack {
@@ -39,7 +50,11 @@ impl ProtoStack {
                 }
             })
             .collect();
-        ProtoStack::Hier(nodes)
+        ProtoStack {
+            inner: Inner::Hier(nodes),
+            hier_buf: EffectBuf::new(),
+            naimi_buf: EffectBuf::new(),
+        }
     }
 
     /// Naimi–Trehel equivalent of [`Self::new_hier`].
@@ -53,15 +68,19 @@ impl ProtoStack {
                 }
             })
             .collect();
-        ProtoStack::Naimi(nodes)
+        ProtoStack {
+            inner: Inner::Naimi(nodes),
+            hier_buf: EffectBuf::new(),
+            naimi_buf: EffectBuf::new(),
+        }
     }
 
     /// Immutable access to the hierarchical instance for `lock` (None when
     /// running Naimi). Used by the post-run audits.
     pub fn hier(&self, lock: LockId) -> Option<&HierNode> {
-        match self {
-            ProtoStack::Hier(v) => v.get(lock.index()),
-            ProtoStack::Naimi(_) => None,
+        match &self.inner {
+            Inner::Hier(v) => v.get(lock.index()),
+            Inner::Naimi(_) => None,
         }
     }
 
@@ -76,18 +95,23 @@ impl ProtoStack {
         events: &mut Vec<ProtoEvent>,
         obs: &mut dyn Observer,
     ) {
-        match self {
-            ProtoStack::Hier(v) => {
-                let effects = v[lock.index()]
-                    .on_acquire_observed(mode, 0, obs)
+        let ProtoStack {
+            inner,
+            hier_buf,
+            naimi_buf,
+        } = self;
+        match inner {
+            Inner::Hier(v) => {
+                v[lock.index()]
+                    .on_acquire_into(mode, 0, hier_buf, obs)
                     .expect("workload issues well-formed acquires");
-                absorb_hier(lock, effects, out, events);
+                absorb_hier(lock, hier_buf, out, events);
             }
-            ProtoStack::Naimi(v) => {
-                let effects = v[lock.index()]
-                    .on_acquire()
+            Inner::Naimi(v) => {
+                v[lock.index()]
+                    .on_acquire_into(naimi_buf)
                     .expect("workload issues well-formed acquires");
-                absorb_naimi(lock, effects, out, events);
+                absorb_naimi(lock, naimi_buf, out, events);
             }
         }
     }
@@ -100,18 +124,23 @@ impl ProtoStack {
         events: &mut Vec<ProtoEvent>,
         obs: &mut dyn Observer,
     ) {
-        match self {
-            ProtoStack::Hier(v) => {
-                let effects = v[lock.index()]
-                    .on_release_observed(obs)
+        let ProtoStack {
+            inner,
+            hier_buf,
+            naimi_buf,
+        } = self;
+        match inner {
+            Inner::Hier(v) => {
+                v[lock.index()]
+                    .on_release_into(hier_buf, obs)
                     .expect("workload releases only held locks");
-                absorb_hier(lock, effects, out, events);
+                absorb_hier(lock, hier_buf, out, events);
             }
-            ProtoStack::Naimi(v) => {
-                let effects = v[lock.index()]
-                    .on_release()
+            Inner::Naimi(v) => {
+                v[lock.index()]
+                    .on_release_into(naimi_buf)
                     .expect("workload releases only held locks");
-                absorb_naimi(lock, effects, out, events);
+                absorb_naimi(lock, naimi_buf, out, events);
             }
         }
     }
@@ -124,14 +153,17 @@ impl ProtoStack {
         events: &mut Vec<ProtoEvent>,
         obs: &mut dyn Observer,
     ) {
-        match self {
-            ProtoStack::Hier(v) => {
-                let effects = v[lock.index()]
-                    .on_upgrade_observed(obs)
+        let ProtoStack {
+            inner, hier_buf, ..
+        } = self;
+        match inner {
+            Inner::Hier(v) => {
+                v[lock.index()]
+                    .on_upgrade_into(hier_buf, obs)
                     .expect("workload upgrades only held U locks");
-                absorb_hier(lock, effects, out, events);
+                absorb_hier(lock, hier_buf, out, events);
             }
-            ProtoStack::Naimi(_) => panic!("Naimi has no upgrade operation"),
+            Inner::Naimi(_) => panic!("Naimi has no upgrade operation"),
         }
     }
 
@@ -144,14 +176,19 @@ impl ProtoStack {
         events: &mut Vec<ProtoEvent>,
         obs: &mut dyn Observer,
     ) {
-        match (self, wire) {
-            (ProtoStack::Hier(v), Wire::Hier { lock, message }) => {
-                let effects = v[lock.index()].on_message_observed(from, message, obs);
-                absorb_hier(lock, effects, out, events);
+        let ProtoStack {
+            inner,
+            hier_buf,
+            naimi_buf,
+        } = self;
+        match (inner, wire) {
+            (Inner::Hier(v), Wire::Hier { lock, message }) => {
+                v[lock.index()].on_message_into(from, message, hier_buf, obs);
+                absorb_hier(lock, hier_buf, out, events);
             }
-            (ProtoStack::Naimi(v), Wire::Naimi { lock, message }) => {
-                let effects = v[lock.index()].on_message(from, message);
-                absorb_naimi(lock, effects, out, events);
+            (Inner::Naimi(v), Wire::Naimi { lock, message }) => {
+                v[lock.index()].on_message_into(from, message, naimi_buf);
+                absorb_naimi(lock, naimi_buf, out, events);
             }
             _ => panic!("wire message for the wrong protocol"),
         }
@@ -160,11 +197,11 @@ impl ProtoStack {
 
 fn absorb_hier(
     lock: LockId,
-    effects: Vec<Effect>,
+    effects: &mut EffectBuf,
     out: &mut Vec<(NodeId, Wire)>,
     events: &mut Vec<ProtoEvent>,
 ) {
-    for effect in effects {
+    for effect in effects.drain() {
         match effect {
             Effect::Send { to, message } => out.push((to, Wire::Hier { lock, message })),
             Effect::Granted { .. } => events.push(ProtoEvent::Granted(lock)),
@@ -175,11 +212,11 @@ fn absorb_hier(
 
 fn absorb_naimi(
     lock: LockId,
-    effects: Vec<NaimiEffect>,
+    effects: &mut EffectBuf<NaimiEffect>,
     out: &mut Vec<(NodeId, Wire)>,
     events: &mut Vec<ProtoEvent>,
 ) {
-    for effect in effects {
+    for effect in effects.drain() {
         match effect {
             NaimiEffect::Send { to, message } => out.push((to, Wire::Naimi { lock, message })),
             NaimiEffect::Granted => events.push(ProtoEvent::Granted(lock)),

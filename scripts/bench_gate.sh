@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench-regression smoke gate: re-measures the protocol churn numbers with a
+# BENCH_SMOKE=1 run (the churn section keeps its full budget under smoke, so
+# the numbers are comparable with the committed full-budget baseline) and
+# fails if churn_ir_ns_per_op regressed more than 25% against the baseline
+# committed in BENCH_sim.json.
+#
+# The baseline is read from git (HEAD), not the working tree, because
+# scripts/bench.sh overwrites BENCH_sim.json in place.
+#
+# Usage: scripts/bench_gate.sh [threshold-percent]   (default 25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${1:-25}"
+METRIC="churn_ir_ns_per_op"
+OUT="$(mktemp -t bench_gate.XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+
+extract() { # extract <metric> <file>
+  awk -F': ' -v m="\"$1\"" '$0 ~ m { gsub(/[ ,]/, "", $2); print $2 }' "$2"
+}
+
+BASELINE_JSON="$(mktemp -t bench_base.XXXXXX.json)"
+trap 'rm -f "$OUT" "$BASELINE_JSON"' EXIT
+git show HEAD:BENCH_sim.json > "$BASELINE_JSON"
+base="$(extract "$METRIC" "$BASELINE_JSON")"
+if [[ -z "$base" ]]; then
+  echo "bench_gate: no $METRIC in committed BENCH_sim.json; skipping" >&2
+  exit 0
+fi
+
+limit="$(awk -v b="$base" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 + t / 100) }')"
+
+# Two attempts: a shared CI runner can have a noisy neighbour for the first
+# measurement; a true regression fails both.
+for attempt in 1 2; do
+  echo "==> bench_gate: BENCH_SMOKE=1 bench -> $OUT (attempt $attempt)"
+  BENCH_SMOKE=1 cargo run --release -q -p bench --bin bench "$OUT" >/dev/null
+  new="$(extract "$METRIC" "$OUT")"
+  if [[ -z "$new" ]]; then
+    echo "bench_gate: smoke run produced no $METRIC" >&2
+    exit 1
+  fi
+  echo "bench_gate: $METRIC baseline=${base}ns new=${new}ns limit=${limit}ns (+${THRESHOLD}%)"
+  if awk -v n="$new" -v l="$limit" 'BEGIN { exit !(n <= l) }'; then
+    echo "bench_gate: OK"
+    exit 0
+  fi
+done
+echo "bench_gate: FAIL — $METRIC regressed ${new}ns > ${limit}ns on both attempts" >&2
+exit 1
