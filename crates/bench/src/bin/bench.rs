@@ -7,10 +7,11 @@
 //! `BENCH_SMOKE=1` shrinks every budget for CI smoke runs.
 
 use bench::{
-    churn, copyset_churn, effectbuf_alloc_run, effectbuf_reuse_run, flood_run, freeze_lut_run,
-    freeze_scan_run, sample_messages,
+    churn, cluster_roundtrips, copyset_churn, effectbuf_alloc_run, effectbuf_reuse_run, flood_run,
+    freeze_lut_run, freeze_scan_run, sample_messages,
 };
 use dlm_cluster::codec::{decode, encode_into};
+use dlm_cluster::{ClusterConfig, FaultConfig, ReliableConfig, TransportKind};
 use dlm_core::Mode;
 use dlm_workload::{run_workload, ProtocolKind, WorkloadParams};
 use std::fmt::Write as _;
@@ -155,6 +156,50 @@ fn main() {
             "core_table_freeze_scan_ns_per_lookup".into(),
             ns / (rounds as f64 * pairs),
         ));
+    }
+
+    // 3c. Cluster transport round trips (request → grant → release through
+    //     real threads, channels, and the wire codec): the Direct baseline,
+    //     the reliability shim's framing overhead on a perfect link, and a
+    //     10%-lossy link where the retransmission timeout sets the floor.
+    {
+        let rounds = if smoke { 50 } else { 400 };
+        let lossy_rounds = if smoke { 20 } else { 100 };
+        let configs: [(&str, u32, ClusterConfig); 3] = [
+            (
+                "cluster_direct_roundtrip_ns",
+                rounds,
+                ClusterConfig {
+                    nodes: 2,
+                    ..Default::default()
+                },
+            ),
+            (
+                "cluster_reliable_roundtrip_ns",
+                rounds,
+                ClusterConfig {
+                    nodes: 2,
+                    reliable: Some(ReliableConfig::default()),
+                    ..Default::default()
+                },
+            ),
+            (
+                "cluster_lossy10_roundtrip_ns",
+                lossy_rounds,
+                ClusterConfig {
+                    nodes: 2,
+                    transport: TransportKind::Faulty(FaultConfig::lossy(0xC1A0, 0.10)),
+                    reliable: Some(ReliableConfig::default()),
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (label, n, cfg) in configs {
+            let ns = best_ns(reps, || {
+                std::hint::black_box(cluster_roundtrips(cfg, n));
+            });
+            results.push((label.into(), ns / n as f64));
+        }
     }
 
     // 4. One end-to-end workload point per paper figure.

@@ -15,6 +15,9 @@ pub enum ClusterError {
     Upgrade(UpgradeError),
     /// Release misuse (not holding).
     Release(ReleaseError),
+    /// The lock already has an outstanding `acquire`/`upgrade` on this node
+    /// (the protocol's single-pending model); retry after it completes.
+    Busy,
     /// The node thread is gone (cluster shut down).
     Disconnected,
 }
@@ -25,6 +28,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Acquire(e) => write!(f, "acquire: {e}"),
             ClusterError::Upgrade(e) => write!(f, "upgrade: {e}"),
             ClusterError::Release(e) => write!(f, "release: {e}"),
+            ClusterError::Busy => {
+                write!(f, "lock already has an outstanding operation on this node")
+            }
             ClusterError::Disconnected => write!(f, "cluster is shut down"),
         }
     }

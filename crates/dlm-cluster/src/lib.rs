@@ -4,26 +4,37 @@
 //! TCP/MPI testbeds.
 //!
 //! * every node is an OS thread owning its per-lock [`dlm_core::HierNode`]s,
-//! * links are crossbeam channels; every protocol message is round-tripped
-//!   through the compact binary [`codec`] (so the wire format is exercised,
-//!   not just in-memory moves),
-//! * an optional router thread injects artificial per-message latency,
+//! * links are a pluggable [`transport::Transport`] — perfect channels,
+//!   constant-latency routing, or seeded fault injection
+//!   ([`TransportKind`]); every protocol message is round-tripped through
+//!   the compact binary [`codec`] (so the wire format is exercised, not
+//!   just in-memory moves),
+//! * an optional reliability shim ([`ReliableConfig`]) rebuilds the FIFO
+//!   reliable links the protocol assumes on top of a lossy transport:
+//!   per-link sequence numbers, cumulative acks, retransmission with capped
+//!   exponential backoff, and receive-side dedup/reorder buffering,
 //! * applications drive nodes through cloneable blocking [`NodeHandle`]s
 //!   (`acquire` / `release` / `upgrade`).
 //!
 //! The runtime exists to demonstrate the protocol under true parallelism
-//! (`cargo run --example cluster_demo`) and to cross-validate the simulator:
-//! the same state machines, byte-identical rules, different scheduler.
+//! (`cargo run --example cluster_demo`), to cross-validate the simulator
+//! (same state machines, byte-identical rules, different scheduler), and —
+//! with [`TransportKind::Faulty`] — to show the protocol surviving an
+//! adversarial network that drops, duplicates, and reorders frames.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 mod handle;
+mod reliable;
 mod runtime;
+pub mod transport;
 
 pub use handle::{ClusterError, NodeHandle};
-pub use runtime::{Cluster, ClusterConfig, ClusterReport};
+pub use reliable::ReliableConfig;
+pub use runtime::{Cluster, ClusterConfig, ClusterReport, LinkReport};
+pub use transport::{FaultConfig, TransportKind};
 
 pub use dlm_core::{LockId, Mode, NodeId};
 pub use dlm_trace::TraceRecord;

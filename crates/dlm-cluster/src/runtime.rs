@@ -1,14 +1,23 @@
-//! The cluster runtime: node threads, the optional latency router, and
-//! lifecycle management.
+//! The cluster runtime: node threads, the pluggable transport, the optional
+//! reliability shim, and lifecycle management.
 
 use crate::codec;
 use crate::handle::{ClusterError, NodeHandle, Reply};
+use crate::reliable::{Endpoint, PeerSnapshot, ReliableConfig};
+use crate::transport::{
+    Delayed, Direct, Faulty, LinkFaults, Transport, TransportKind, TRANSPORT_LOCK,
+};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dlm_core::{
     audit, AuditError, Effect, EffectBuf, HierNode, LockId, Mode, NodeId, ProtocolConfig,
 };
-use dlm_trace::{merge_records, NullObserver, Observer, RingRecorder, Stamp, TraceRecord};
-use std::collections::{BinaryHeap, HashMap};
+use dlm_trace::{
+    merge_records, NullObserver, Observer, ProtocolEvent, Recorder, RingRecorder, Stamp,
+    TraceRecord,
+};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,9 +32,14 @@ pub struct ClusterConfig {
     pub locks: usize,
     /// Protocol feature toggles.
     pub protocol: ProtocolConfig,
-    /// Artificial one-way latency added by the router thread; `None` routes
-    /// directly (FIFO per channel either way).
-    pub delay: Option<Duration>,
+    /// The interconnect carrying encoded frames between nodes; see
+    /// [`TransportKind`].
+    pub transport: TransportKind,
+    /// When set, every protocol frame travels through the per-link
+    /// reliability shim (sequence numbers, cumulative acks, retransmission,
+    /// dedup/reorder buffering) — required for a clean run over
+    /// [`TransportKind::Faulty`] links with a non-zero drop rate.
+    pub reliable: Option<ReliableConfig>,
     /// Per-node flight-recorder capacity for structured protocol events;
     /// `0` disables tracing (node threads then pay one branch per event
     /// site). Retained records are merged at shutdown into
@@ -39,7 +53,8 @@ impl Default for ClusterConfig {
             nodes: 2,
             locks: 1,
             protocol: ProtocolConfig::paper(),
-            delay: None,
+            transport: TransportKind::Direct,
+            reliable: None,
             trace_capacity: 0,
         }
     }
@@ -47,8 +62,8 @@ impl Default for ClusterConfig {
 
 /// What a node thread receives.
 pub(crate) enum Input {
-    /// An encoded protocol frame from `from`.
-    Net { from: NodeId, frame: bytes::Bytes },
+    /// An encoded wire frame from `from`.
+    Net { from: NodeId, frame: Bytes },
     /// Application request: acquire `lock` in `mode`; answer on `reply`.
     Acquire {
         lock: LockId,
@@ -71,17 +86,48 @@ pub(crate) enum Input {
     Shutdown,
 }
 
+/// Per-directed-link telemetry merged from the reliability endpoints and the
+/// transport's fault tallies at shutdown. All counters are zero unless the
+/// corresponding machinery was configured ([`ClusterConfig::reliable`],
+/// [`TransportKind::Faulty`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Sender.
+    pub from: u32,
+    /// Receiver.
+    pub to: u32,
+    /// Data frames originally sent (retransmissions not included).
+    pub data_sent: u64,
+    /// Retransmissions of unacked data frames.
+    pub retransmits: u64,
+    /// Bare cumulative acks the receiver sent back for this link's data.
+    pub acks_sent: u64,
+    /// Duplicate data frames the receiver suppressed.
+    pub dups_suppressed: u64,
+    /// Out-of-order data frames the receiver parked until the gap filled.
+    pub reorders_buffered: u64,
+    /// Frames the transport dropped in flight.
+    pub dropped: u64,
+    /// Extra copies the transport injected.
+    pub duplicated: u64,
+    /// Frames the transport held back past later traffic.
+    pub reordered: u64,
+}
+
 /// Final report of a shut-down cluster.
 #[derive(Debug)]
 pub struct ClusterReport {
-    /// Total protocol messages transmitted.
+    /// Total protocol messages transmitted (retransmissions and acks are
+    /// link-layer frames and not counted here; see [`Self::links`]).
     pub messages_sent: u64,
     /// Per-lock audit findings on the final states (with the cluster
     /// quiesced, these should all be empty).
     pub audit_errors: Vec<AuditError>,
     /// Merged structured event trace (wall-clock µs since cluster start;
     /// empty when [`ClusterConfig::trace_capacity`] is 0). Ordered by
-    /// `(at, node)` with a fresh global sequence.
+    /// `(at, node)` with a fresh global sequence. Transport and reliability
+    /// events that no lock can claim carry the sentinel lock id
+    /// [`TRANSPORT_LOCK`].
     pub trace: Vec<TraceRecord>,
     /// Events evicted from the per-node flight recorders before shutdown
     /// (0 means [`Self::trace`] is complete).
@@ -90,16 +136,28 @@ pub struct ClusterReport {
     /// away (e.g. a handle dropped mid-call). Non-zero values mean some
     /// caller never saw its outcome.
     pub replies_dropped: u64,
+    /// Frames that arrived but could not be decoded (truncated, bad tag,
+    /// bad reliability header). The receiving node counts them and keeps
+    /// serving; on a healthy in-process transport this is always 0.
+    pub decode_errors: u64,
+    /// Per-link reliability/fault counters, sorted by `(from, to)`; empty
+    /// when neither the reliability shim nor fault injection was active.
+    pub links: Vec<LinkReport>,
 }
 
 /// An in-process cluster of protocol nodes.
 pub struct Cluster {
     inputs: Vec<Sender<Input>>,
     joins: Vec<JoinHandle<NodeExit>>,
-    router_join: Option<JoinHandle<()>>,
-    router_tx: Option<Sender<RouterMsg>>,
+    transport: Arc<dyn Transport>,
     messages: Arc<AtomicU64>,
     replies_dropped: Arc<AtomicU64>,
+    /// Physical frames created but not yet fully processed by their
+    /// receiving node (includes frames parked inside the transport).
+    in_flight: Arc<AtomicU64>,
+    /// Data sequences sent but not yet cumulatively acked (reliability shim
+    /// only; 0 otherwise).
+    unacked: Arc<AtomicU64>,
     locks: usize,
 }
 
@@ -108,15 +166,8 @@ struct NodeExit {
     locks: Vec<HierNode>,
     trace: Vec<TraceRecord>,
     trace_dropped: u64,
-}
-
-enum RouterMsg {
-    Forward {
-        from: NodeId,
-        to: NodeId,
-        frame: bytes::Bytes,
-    },
-    Shutdown,
+    decode_errors: u64,
+    links: Vec<PeerSnapshot>,
 }
 
 impl Cluster {
@@ -126,6 +177,8 @@ impl Cluster {
         assert!(config.locks >= 1);
         let messages = Arc::new(AtomicU64::new(0));
         let replies_dropped = Arc::new(AtomicU64::new(0));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let unacked = Arc::new(AtomicU64::new(0));
         // One epoch shared by every node thread, so wall-clock trace stamps
         // are comparable across threads and merge into one timeline.
         let epoch = Instant::now();
@@ -134,29 +187,32 @@ impl Cluster {
             (0..config.nodes).map(|_| unbounded()).collect();
         let inputs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
 
-        // Optional latency router.
-        let (router_tx, router_join) = if let Some(delay) = config.delay {
-            let (tx, rx) = unbounded::<RouterMsg>();
-            let outs = inputs.clone();
-            let join = std::thread::Builder::new()
-                .name("dlm-router".into())
-                .spawn(move || router_loop(rx, outs, delay))
-                .expect("spawn router");
-            (Some(tx), Some(join))
-        } else {
-            (None, None)
+        let transport: Arc<dyn Transport> = match config.transport {
+            TransportKind::Direct => Arc::new(Direct::new(inputs.clone(), Arc::clone(&in_flight))),
+            TransportKind::Delayed(delay) => {
+                Arc::new(Delayed::new(inputs.clone(), Arc::clone(&in_flight), delay))
+            }
+            TransportKind::Faulty(faults) => Arc::new(Faulty::new(
+                inputs.clone(),
+                Arc::clone(&in_flight),
+                faults,
+                config.nodes,
+                config.trace_capacity,
+                epoch,
+            )),
         };
 
         let mut joins = Vec::with_capacity(config.nodes);
         for (i, (_, rx)) in channels.into_iter().enumerate() {
             let me = NodeId(i as u32);
-            let outs = inputs.clone();
-            let router = router_tx.clone();
+            let link = Arc::clone(&transport);
             let counter = Arc::clone(&messages);
+            let gauge = Arc::clone(&in_flight);
+            let unacked_gauge = Arc::clone(&unacked);
             let cfg = config;
             let join = std::thread::Builder::new()
                 .name(format!("dlm-node-{i}"))
-                .spawn(move || node_loop(me, cfg, rx, outs, router, counter, epoch))
+                .spawn(move || node_loop(me, cfg, rx, link, counter, gauge, unacked_gauge, epoch))
                 .expect("spawn node thread");
             joins.push(join);
         }
@@ -164,10 +220,11 @@ impl Cluster {
         Cluster {
             inputs,
             joins,
-            router_join,
-            router_tx,
+            transport,
             messages,
             replies_dropped,
+            in_flight,
+            unacked,
             locks: config.locks,
         }
     }
@@ -202,22 +259,34 @@ impl Cluster {
         self.replies_dropped.load(Ordering::Relaxed)
     }
 
+    /// Test hook: push a raw wire frame into the cluster as if `from` had
+    /// sent it to `to`. The frame takes the normal transport path (so it is
+    /// subject to delay and fault injection) and counts as a physical frame
+    /// but not as a protocol message — fault-injection tests use this to
+    /// exercise the decode-error and reliability paths.
+    pub fn inject_frame(&self, from: u32, to: u32, frame: Vec<u8>) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.transport
+            .send(NodeId(from), NodeId(to), Bytes::from(frame));
+    }
+
     /// Quiescence wait: returns once the message counter has stayed stable
-    /// for `idle`, bounded by a generous default timeout. Use after all
-    /// application operations completed to let release waves drain.
-    ///
-    /// Unlike the original fixed settle-sleep (which slept a full `settle`
-    /// period per counter check and was unbounded under sustained traffic),
-    /// this polls at a fine grain — a quiet cluster returns after one
-    /// `idle` window, an active one as soon as traffic stops, and a runaway
-    /// one after the bound instead of never.
+    /// for `idle` *and* no physical frame is in flight or awaiting ack,
+    /// bounded by a generous default timeout. Use after all application
+    /// operations completed to let release waves drain.
     pub fn quiesce(&self, idle: Duration) -> u64 {
         self.quiesce_within(idle, Duration::from_secs(30))
     }
 
     /// [`Self::quiesce`] with an explicit upper bound: returns the final
-    /// message count once the counter is stable for `idle`, or whatever the
+    /// message count once the cluster is idle for `idle`, or whatever the
     /// count is when `timeout` elapses first.
+    ///
+    /// "Idle" consults the in-flight gauge, not just the send counter: a
+    /// frame parked in a [`TransportKind::Delayed`] router (or a dropped
+    /// frame awaiting retransmission) produces no sends for longer than a
+    /// small `idle` window, and judging by counter stability alone would
+    /// declare quiescence while the cluster still owes itself traffic.
     pub fn quiesce_within(&self, idle: Duration, timeout: Duration) -> u64 {
         let start = Instant::now();
         let tick = (idle / 8).max(Duration::from_micros(200)).min(idle);
@@ -229,7 +298,9 @@ impl Cluster {
             }
             std::thread::sleep(tick);
             let count = self.messages_sent();
-            if count != last {
+            let busy = self.in_flight.load(Ordering::Relaxed) > 0
+                || self.unacked.load(Ordering::Relaxed) > 0;
+            if count != last || busy {
                 last = count;
                 stable_since = Instant::now();
             } else if stable_since.elapsed() >= idle {
@@ -239,25 +310,49 @@ impl Cluster {
     }
 
     /// Shut down all threads and audit the final protocol states per lock.
+    ///
+    /// Teardown order matters:
+    /// 1. *Drain* — wait (bounded) until no physical frame is in flight and
+    ///    no data sequence is unacked, so nothing is still parked in a
+    ///    router heap or a retransmission queue.
+    /// 2. *Stop the transport* — any straggler still parked is flushed into
+    ///    its destination channel while the node threads are alive.
+    /// 3. *Stop the nodes* — `Shutdown` is queued behind the flushed
+    ///    frames, so every node processes all delivered traffic first.
+    ///
+    /// The original teardown ran 3 before 2 and lost parked frames: nodes
+    /// exited, then the router flushed into channels nobody would read,
+    /// and the final audit saw a cluster missing messages it was owed.
     pub fn shutdown(self) -> ClusterReport {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.in_flight.load(Ordering::Relaxed) > 0 || self.unacked.load(Ordering::Relaxed) > 0
+        {
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let transport_report = self.transport.shutdown();
+
         for tx in &self.inputs {
             let _ = tx.send(Input::Shutdown);
         }
         let mut states: Vec<Vec<HierNode>> = Vec::with_capacity(self.joins.len());
-        let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len());
-        let mut trace_dropped = 0;
-        for join in self.joins {
+        let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len() + 1);
+        let mut trace_dropped = transport_report.trace_dropped;
+        let mut decode_errors = 0;
+        let mut per_node: Vec<(u32, Vec<PeerSnapshot>)> = Vec::new();
+        for (i, join) in self.joins.into_iter().enumerate() {
             let exit = join.join().expect("node thread panicked");
             states.push(exit.locks);
             traces.push(exit.trace);
             trace_dropped += exit.trace_dropped;
+            decode_errors += exit.decode_errors;
+            if !exit.links.is_empty() {
+                per_node.push((i as u32, exit.links));
+            }
         }
-        if let Some(tx) = self.router_tx {
-            let _ = tx.send(RouterMsg::Shutdown);
-        }
-        if let Some(j) = self.router_join {
-            let _ = j.join();
-        }
+        traces.push(transport_report.trace);
 
         let mut audit_errors = Vec::new();
         for lock in 0..self.locks {
@@ -270,103 +365,44 @@ impl Cluster {
             trace: merge_records(traces),
             trace_dropped,
             replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
+            decode_errors,
+            links: merge_links(&per_node, &transport_report.faults),
         }
     }
 }
 
-/// A frame parked in the router until its delivery deadline.
-struct Delayed {
-    due: Instant,
-    seq: u64,
-    from: NodeId,
-    to: NodeId,
-    frame: bytes::Bytes,
-}
-
-impl PartialEq for Delayed {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-
-impl Eq for Delayed {}
-
-impl PartialOrd for Delayed {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Delayed {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: `BinaryHeap` is a max-heap, earliest deadline first;
-        // ingress sequence breaks ties so equal deadlines stay FIFO.
-        (other.due, other.seq).cmp(&(self.due, self.seq))
-    }
-}
-
-fn router_loop(rx: Receiver<RouterMsg>, outs: Vec<Sender<Input>>, delay: Duration) {
-    // Deadline-sorted delivery: every frame is stamped `ingress + delay` on
-    // arrival and parked in a min-heap; each wakeup drains *all* frames
-    // whose deadline has passed. N frames in flight concurrently therefore
-    // all arrive after ~`delay`, not ~`N × delay` — the original
-    // sleep-per-message loop serialized the artificial latency, so delivery
-    // time grew with queue depth instead of modeling a parallel link.
-    //
-    // Single router + constant delay ⇒ deadlines are ingress-ordered ⇒
-    // global FIFO, which implies the per-channel FIFO the protocol's
-    // fairness machinery assumes.
-    let mut parked: BinaryHeap<Delayed> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut park = |parked: &mut BinaryHeap<Delayed>, from, to, frame| {
-        parked.push(Delayed {
-            due: Instant::now() + delay,
-            seq,
+/// Combine per-node reliability snapshots and transport fault tallies into
+/// one directed-link table.
+fn merge_links(per_node: &[(u32, Vec<PeerSnapshot>)], faults: &[LinkFaults]) -> Vec<LinkReport> {
+    fn slot(map: &mut BTreeMap<(u32, u32), LinkReport>, from: u32, to: u32) -> &mut LinkReport {
+        map.entry((from, to)).or_insert_with(|| LinkReport {
             from,
             to,
-            frame,
-        });
-        seq += 1;
-    };
-    loop {
-        // Deliver everything due (sends to already-exited nodes are no-ops).
-        let now = Instant::now();
-        while parked.peek().is_some_and(|d| d.due <= now) {
-            let d = parked.pop().expect("peeked frame");
-            let _ = outs[d.to.index()].send(Input::Net {
-                from: d.from,
-                frame: d.frame,
-            });
-        }
-        // Wait for new traffic, but never past the earliest deadline.
-        let msg = match parked.peek() {
-            Some(next) => {
-                match rx.recv_timeout(next.due.saturating_duration_since(Instant::now())) {
-                    Ok(msg) => Some(msg),
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => None,
-                }
-            }
-            None => rx.recv().ok(),
-        };
-        match msg {
-            Some(RouterMsg::Forward { from, to, frame }) => {
-                park(&mut parked, from, to, frame);
-            }
-            // Shutdown (or all senders gone): flush whatever is still
-            // parked without honoring deadlines — the cluster is going
-            // down and no one is measuring latency any more.
-            Some(RouterMsg::Shutdown) | None => {
-                while let Some(d) = parked.pop() {
-                    let _ = outs[d.to.index()].send(Input::Net {
-                        from: d.from,
-                        frame: d.frame,
-                    });
-                }
-                return;
-            }
+            ..LinkReport::default()
+        })
+    }
+    let mut map: BTreeMap<(u32, u32), LinkReport> = BTreeMap::new();
+    for (node, snaps) in per_node {
+        for s in snaps {
+            // `s` is `node`'s endpoint state for peer `s.peer`: the sender
+            // half describes the `node → peer` link, the receiver half (and
+            // the acks it produced) describes `peer → node`.
+            let tx = slot(&mut map, *node, s.peer);
+            tx.data_sent += s.data_sent;
+            tx.retransmits += s.retransmits;
+            let rx = slot(&mut map, s.peer, *node);
+            rx.acks_sent += s.acks_sent;
+            rx.dups_suppressed += s.dups_suppressed;
+            rx.reorders_buffered += s.reorders_buffered;
         }
     }
+    for f in faults {
+        let link = slot(&mut map, f.from, f.to);
+        link.dropped += f.dropped;
+        link.duplicated += f.duplicated;
+        link.reordered += f.reordered;
+    }
+    map.into_values().collect()
 }
 
 /// Drive one protocol entry point, stamping its events with wall-clock µs
@@ -390,13 +426,47 @@ fn observed<T>(
     }
 }
 
+/// Drain the effects of one protocol entry point: sends are encoded,
+/// wrapped by the reliability endpoint when one is configured, and put on
+/// the wire; grants complete the lock's waiting application call.
+fn flush_effects(
+    lock: LockId,
+    effects: &mut EffectBuf,
+    waiters: &mut HashMap<LockId, Reply>,
+    scratch: &mut bytes::BytesMut,
+    endpoint: &mut Option<Endpoint>,
+    messages: &AtomicU64,
+    put: &dyn Fn(NodeId, Bytes),
+) {
+    for effect in effects.drain() {
+        match effect {
+            Effect::Send { to, message } => {
+                messages.fetch_add(1, Ordering::Relaxed);
+                let payload = codec::encode_into(lock, &message, scratch);
+                let frame = match endpoint {
+                    Some(ep) => ep.wrap_data(to, lock.0, payload, Instant::now()),
+                    None => payload,
+                };
+                put(to, frame);
+            }
+            Effect::Granted { .. } | Effect::Upgraded => {
+                if let Some(reply) = waiters.remove(&lock) {
+                    reply.complete(Ok(()));
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn node_loop(
     me: NodeId,
     config: ClusterConfig,
     rx: Receiver<Input>,
-    outs: Vec<Sender<Input>>,
-    router: Option<Sender<RouterMsg>>,
-    counter: Arc<AtomicU64>,
+    transport: Arc<dyn Transport>,
+    messages: Arc<AtomicU64>,
+    in_flight: Arc<AtomicU64>,
+    unacked: Arc<AtomicU64>,
     epoch: Instant,
 ) -> NodeExit {
     let mut recorder: Option<RingRecorder> =
@@ -410,110 +480,225 @@ fn node_loop(
             }
         })
         .collect();
-    // Application waiters per lock: at most one outstanding op per lock.
+    // Application waiters per lock: at most one outstanding op per lock —
+    // enforced below with `ClusterError::Busy`, never by silent clobbering.
     let mut waiters: HashMap<LockId, Reply> = HashMap::new();
+    let mut endpoint: Option<Endpoint> = config
+        .reliable
+        .map(|cfg| Endpoint::new(me, config.nodes, cfg, Arc::clone(&unacked)));
+    let mut decode_errors: u64 = 0;
 
     // One long-lived encode buffer per node thread: every outgoing frame is
     // built in place and copied out, so steady-state transmission does no
     // buffer growth.
     let mut encode_scratch = bytes::BytesMut::with_capacity(64);
-    let mut transmit = |from: NodeId, to: NodeId, lock: LockId, message: &dlm_core::Message| {
-        counter.fetch_add(1, Ordering::Relaxed);
-        let frame = codec::encode_into(lock, message, &mut encode_scratch);
-        match &router {
-            Some(r) => {
-                let _ = r.send(RouterMsg::Forward { from, to, frame });
-            }
-            None => {
-                let _ = outs[to.index()].send(Input::Net { from, frame });
-            }
-        }
+    // Every physical frame leaving this node raises the in-flight gauge;
+    // the gauge falls when the receiving node finishes processing it (or
+    // when the transport kills it).
+    let put = |to: NodeId, frame: Bytes| {
+        in_flight.fetch_add(1, Ordering::Relaxed);
+        transport.send(me, to, frame);
     };
 
     // One long-lived effect sink per node thread: every protocol entry point
     // drains into it via the `*_into` API, so steady-state protocol steps do
     // no heap allocation for effects.
     let mut effect_buf = EffectBuf::new();
+    // Reused per-iteration scratch for the reliability shim's outputs.
+    let mut inbox: Vec<Bytes> = Vec::new();
+    let mut rel_events: Vec<(u32, ProtocolEvent)> = Vec::new();
 
-    let absorb =
-        |lock: LockId,
-         effects: &mut EffectBuf,
-         waiters: &mut HashMap<LockId, Reply>,
-         transmit: &mut dyn FnMut(NodeId, NodeId, LockId, &dlm_core::Message)| {
-            for effect in effects.drain() {
-                match effect {
-                    Effect::Send { to, message } => transmit(me, to, lock, &message),
-                    Effect::Granted { .. } | Effect::Upgraded => {
-                        if let Some(reply) = waiters.remove(&lock) {
-                            reply.complete(Ok(()));
+    loop {
+        // With unacked frames outstanding, sleep only until the earliest
+        // retransmission deadline; otherwise block until input arrives.
+        let input = match endpoint.as_ref().and_then(Endpoint::next_due) {
+            Some(due) => match rx.recv_timeout(due.saturating_duration_since(Instant::now())) {
+                Ok(input) => Some(input),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+            None => match rx.recv() {
+                Ok(input) => Some(input),
+                Err(_) => break,
+            },
+        };
+        match input {
+            Some(Input::Net { from, frame }) => {
+                let mut direct = None;
+                let mut malformed = false;
+                match endpoint.as_mut() {
+                    Some(ep) => {
+                        malformed = ep
+                            .on_frame(
+                                from,
+                                frame,
+                                &mut |payload| inbox.push(payload),
+                                &mut |lock, event| rel_events.push((lock, event)),
+                            )
+                            .is_err();
+                    }
+                    None => direct = Some(frame),
+                }
+                for payload in direct.into_iter().chain(inbox.drain(..)) {
+                    match codec::decode(payload) {
+                        Ok((lock, message)) => {
+                            observed(&mut recorder, epoch, lock, |obs| {
+                                locks[lock.index()].on_message_into(
+                                    from,
+                                    message,
+                                    &mut effect_buf,
+                                    obs,
+                                )
+                            });
+                            flush_effects(
+                                lock,
+                                &mut effect_buf,
+                                &mut waiters,
+                                &mut encode_scratch,
+                                &mut endpoint,
+                                &messages,
+                                &put,
+                            );
+                        }
+                        // A malformed frame is the sender's bug (or an
+                        // injected fault), not a reason to take this node
+                        // down: count it, trace it, keep serving.
+                        Err(_) => malformed = true,
+                    }
+                }
+                if malformed {
+                    decode_errors += 1;
+                    if let Some(ring) = &mut recorder {
+                        ring.record(
+                            epoch.elapsed().as_micros() as u64,
+                            TRANSPORT_LOCK,
+                            me.0,
+                            ProtocolEvent::DecodeError { from: from.0 },
+                        );
+                    }
+                }
+                // This physical frame is fully absorbed; any traffic it
+                // caused has already raised the gauge above.
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+            }
+            Some(Input::Acquire { lock, mode, reply }) => {
+                match waiters.entry(lock) {
+                    // A second outstanding op on this lock would clobber the
+                    // first caller's reply channel; refuse loudly instead.
+                    Entry::Occupied(_) => reply.complete(Err(ClusterError::Busy)),
+                    Entry::Vacant(slot) => {
+                        let result = observed(&mut recorder, epoch, lock, |obs| {
+                            locks[lock.index()].on_acquire_into(mode, 0, &mut effect_buf, obs)
+                        });
+                        match result {
+                            Ok(()) => {
+                                slot.insert(reply);
+                                flush_effects(
+                                    lock,
+                                    &mut effect_buf,
+                                    &mut waiters,
+                                    &mut encode_scratch,
+                                    &mut endpoint,
+                                    &messages,
+                                    &put,
+                                );
+                            }
+                            Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
                         }
                     }
                 }
             }
-        };
-
-    while let Ok(input) = rx.recv() {
-        match input {
-            Input::Net { from, frame } => {
-                let (lock, message) = codec::decode(frame).expect("peer sends valid frames");
-                observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_message_into(from, message, &mut effect_buf, obs)
-                });
-                absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
-            }
-            Input::Acquire { lock, mode, reply } => {
-                let result = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_acquire_into(mode, 0, &mut effect_buf, obs)
-                });
-                match result {
-                    Ok(()) => {
-                        waiters.insert(lock, reply);
-                        absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
-                    }
-                    Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
-                }
-            }
-            Input::TryAcquire { lock, mode, reply } => {
+            Some(Input::TryAcquire { lock, mode, reply }) => {
                 let node = &mut locks[lock.index()];
                 if node.can_admit_locally(mode) {
                     observed(&mut recorder, epoch, lock, |obs| {
                         node.on_acquire_into(mode, 0, &mut effect_buf, obs)
                             .expect("local admit is well-formed")
                     });
-                    debug_assert!(effect_buf
-                        .iter()
-                        .all(|e| matches!(e, Effect::Granted { .. } | Effect::Send { .. })));
-                    absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
+                    // `can_admit_locally` promises "zero messages": the
+                    // admit may produce only the local grant, never a Send.
+                    debug_assert!(
+                        effect_buf
+                            .iter()
+                            .all(|e| matches!(e, Effect::Granted { .. })),
+                        "try_acquire fast path emitted network traffic"
+                    );
+                    flush_effects(
+                        lock,
+                        &mut effect_buf,
+                        &mut waiters,
+                        &mut encode_scratch,
+                        &mut endpoint,
+                        &messages,
+                        &put,
+                    );
                     reply.complete(true);
                 } else {
                     reply.complete(false);
                 }
             }
-            Input::Upgrade { lock, reply } => {
-                let result = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_upgrade_into(&mut effect_buf, obs)
-                });
-                match result {
-                    Ok(()) => {
-                        waiters.insert(lock, reply);
-                        absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
+            Some(Input::Upgrade { lock, reply }) => match waiters.entry(lock) {
+                Entry::Occupied(_) => reply.complete(Err(ClusterError::Busy)),
+                Entry::Vacant(slot) => {
+                    let result = observed(&mut recorder, epoch, lock, |obs| {
+                        locks[lock.index()].on_upgrade_into(&mut effect_buf, obs)
+                    });
+                    match result {
+                        Ok(()) => {
+                            slot.insert(reply);
+                            flush_effects(
+                                lock,
+                                &mut effect_buf,
+                                &mut waiters,
+                                &mut encode_scratch,
+                                &mut endpoint,
+                                &messages,
+                                &put,
+                            );
+                        }
+                        Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
                     }
-                    Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
                 }
-            }
-            Input::Release { lock, reply } => {
+            },
+            Some(Input::Release { lock, reply }) => {
                 let result = observed(&mut recorder, epoch, lock, |obs| {
                     locks[lock.index()].on_release_into(&mut effect_buf, obs)
                 });
                 match result {
                     Ok(()) => {
-                        absorb(lock, &mut effect_buf, &mut waiters, &mut transmit);
+                        flush_effects(
+                            lock,
+                            &mut effect_buf,
+                            &mut waiters,
+                            &mut encode_scratch,
+                            &mut endpoint,
+                            &messages,
+                            &put,
+                        );
                         reply.complete(Ok(()));
                     }
                     Err(e) => reply.complete(Err(ClusterError::Release(e))),
                 }
             }
-            Input::Shutdown => break,
+            Some(Input::Shutdown) => break,
+            // Timeout: fall through to the retransmission tick.
+            None => {}
+        }
+        if let Some(ep) = endpoint.as_mut() {
+            let now = Instant::now();
+            if ep.next_due().is_some_and(|due| due <= now) {
+                ep.on_tick(now, &mut |to, frame| put(to, frame), &mut |lock, event| {
+                    rel_events.push((lock, event))
+                });
+            }
+            // Flush cumulative acks owed after this round of input.
+            ep.take_acks(&mut |to, frame| put(to, frame));
+            if let Some(ring) = &mut recorder {
+                for (lock, event) in rel_events.drain(..) {
+                    ring.record(epoch.elapsed().as_micros() as u64, lock, me.0, event);
+                }
+            }
+            rel_events.clear();
         }
     }
     let (trace, trace_dropped) = match recorder {
@@ -527,5 +712,7 @@ fn node_loop(
         locks,
         trace,
         trace_dropped,
+        decode_errors,
+        links: endpoint.map(|ep| ep.snapshots()).unwrap_or_default(),
     }
 }

@@ -1,0 +1,527 @@
+//! Pluggable cluster interconnects.
+//!
+//! The node threads never talk to each other directly: every encoded frame
+//! goes through a [`Transport`], the seam where link behavior is decided.
+//! Three implementations ship with the runtime, selected by
+//! [`TransportKind`]:
+//!
+//! * [`Direct`] — frames land in the receiver's input channel immediately
+//!   (today's perfect in-process links; zero extra hops or threads),
+//! * [`Delayed`] — a router thread parks every frame in a deadline-sorted
+//!   heap for a constant per-message latency (the paper's LAN model),
+//! * [`Faulty`] — the same router, plus seeded drop / duplicate / reorder
+//!   injection at configurable rates ([`FaultConfig`]) — the adversarial
+//!   link the reliability shim in [`crate::reliable`] is built to survive.
+//!
+//! Fault decisions are drawn from a seeded SplitMix64 stream, so a given
+//! seed produces a reproducible fault pattern for a given frame arrival
+//! order (the OS scheduler still decides that order — true determinism is
+//! the simulator's job; the cluster's is realism).
+//!
+//! Transport-level trace records ([`dlm_trace::ProtocolEvent::FrameDropped`])
+//! don't belong to a lock the transport can see, so they are stamped with
+//! the sentinel lock id [`TRANSPORT_LOCK`].
+
+use crate::runtime::Input;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dlm_core::NodeId;
+use dlm_trace::{ProtocolEvent, Recorder, RingRecorder, TraceRecord};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sentinel lock id carried by transport-level trace records (a raw frame's
+/// lock is opaque to the link layer).
+pub const TRANSPORT_LOCK: u32 = u32::MAX;
+
+/// Which interconnect a [`crate::Cluster`] runs on.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum TransportKind {
+    /// Perfect in-process channels, zero added latency.
+    #[default]
+    Direct,
+    /// Constant one-way per-message latency through a router thread.
+    Delayed(Duration),
+    /// Seeded drop / duplicate / reorder / delay injection. Pair with
+    /// [`crate::ReliableConfig`] unless the test *wants* lost frames.
+    Faulty(FaultConfig),
+}
+
+/// Fault-injection parameters for [`TransportKind::Faulty`].
+///
+/// Rates are independent per-frame probabilities in `0.0..=1.0`; decisions
+/// come from a SplitMix64 stream seeded with `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// PRNG seed for every fault decision.
+    pub seed: u64,
+    /// Probability a frame vanishes in flight.
+    pub drop: f64,
+    /// Probability a frame is delivered twice (the copy arrives later).
+    pub duplicate: f64,
+    /// Probability a frame is held back by a random extra `jitter`,
+    /// letting later frames overtake it.
+    pub reorder: f64,
+    /// Base one-way latency applied to every frame.
+    pub delay: Duration,
+    /// Maximum extra hold-back for reordered (and duplicated) frames.
+    pub jitter: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 1,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: Duration::ZERO,
+            jitter: Duration::from_micros(500),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A uniformly hostile link: `rate` applied to drop, duplicate, and
+    /// reorder alike, with a 500 µs reorder window.
+    pub fn lossy(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            drop: rate,
+            duplicate: rate,
+            reorder: rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Per-link fault tallies reported by a transport at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Sender.
+    pub from: u32,
+    /// Receiver.
+    pub to: u32,
+    /// Frames dropped in flight.
+    pub dropped: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Frames held back past later traffic.
+    pub reordered: u64,
+}
+
+/// What a transport hands back when it stops.
+#[derive(Debug, Default)]
+pub struct TransportReport {
+    /// Transport-side trace records (frame drops), stamped with
+    /// [`TRANSPORT_LOCK`].
+    pub trace: Vec<TraceRecord>,
+    /// Records evicted from the transport's flight recorder.
+    pub trace_dropped: u64,
+    /// Per-link fault tallies (links with at least one fault).
+    pub faults: Vec<LinkFaults>,
+}
+
+/// A cluster interconnect: carries encoded frames between node threads.
+///
+/// `send` is called concurrently from every node thread. `shutdown` must
+/// flush every parked frame into its destination channel (the cluster calls
+/// it *before* stopping the node threads, so flushed frames are still
+/// processed) and stop any background threads; sends arriving after
+/// `shutdown` must still be delivered (directly, latency no longer
+/// modelled) — the cluster is going down, losing them would corrupt the
+/// final audit.
+pub trait Transport: Send + Sync {
+    /// Carry `frame` from `from` toward `to`'s input channel.
+    fn send(&self, from: NodeId, to: NodeId, frame: Bytes);
+
+    /// Flush parked frames, stop background threads, report telemetry.
+    /// Idempotent; later calls return an empty report.
+    fn shutdown(&self) -> TransportReport;
+}
+
+/// Deliver one frame into a node input channel, or account for its death if
+/// the node is already gone (only possible for post-shutdown stragglers).
+fn deliver(outs: &[Sender<Input>], in_flight: &AtomicU64, from: NodeId, to: NodeId, frame: Bytes) {
+    if outs[to.index()].send(Input::Net { from, frame }).is_err() {
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+// ------------------------------------------------------------------ Direct
+
+/// Perfect links: a send is an immediate channel handoff.
+pub struct Direct {
+    outs: Vec<Sender<Input>>,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl Direct {
+    pub(crate) fn new(outs: Vec<Sender<Input>>, in_flight: Arc<AtomicU64>) -> Self {
+        Direct { outs, in_flight }
+    }
+}
+
+impl Transport for Direct {
+    fn send(&self, from: NodeId, to: NodeId, frame: Bytes) {
+        deliver(&self.outs, &self.in_flight, from, to, frame);
+    }
+
+    fn shutdown(&self) -> TransportReport {
+        TransportReport::default()
+    }
+}
+
+// ------------------------------------------------- Delayed / Faulty router
+
+enum RouterMsg {
+    Forward {
+        from: NodeId,
+        to: NodeId,
+        frame: Bytes,
+    },
+    Shutdown,
+}
+
+/// A frame parked in the router until its delivery deadline.
+struct Parked {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    frame: Bytes,
+}
+
+impl PartialEq for Parked {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for Parked {}
+
+impl PartialOrd for Parked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Parked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, earliest deadline first;
+        // ingress sequence breaks ties so equal deadlines stay FIFO.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// The shared router chassis: a thread parking frames in a deadline heap.
+/// `Delayed` runs it fault-free; `Faulty` adds the fault stage at ingress.
+struct Router {
+    tx: Sender<RouterMsg>,
+    join: Mutex<Option<JoinHandle<TransportReport>>>,
+    /// Post-shutdown fallback path (and death accounting).
+    outs: Vec<Sender<Input>>,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl Router {
+    fn spawn(
+        outs: Vec<Sender<Input>>,
+        in_flight: Arc<AtomicU64>,
+        delay: Duration,
+        faults: Option<FaultState>,
+    ) -> Self {
+        let (tx, rx) = unbounded::<RouterMsg>();
+        let louts = outs.clone();
+        let lgauge = Arc::clone(&in_flight);
+        let join = std::thread::Builder::new()
+            .name("dlm-router".into())
+            .spawn(move || router_loop(rx, louts, lgauge, delay, faults))
+            .expect("spawn router");
+        Router {
+            tx,
+            join: Mutex::new(Some(join)),
+            outs,
+            in_flight,
+        }
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, frame: Bytes) {
+        // After shutdown the router channel is disconnected; deliver
+        // directly so late frames (e.g. cascades triggered by the flush)
+        // still reach their node before it exits.
+        if let Err(crossbeam::channel::SendError(RouterMsg::Forward { from, to, frame })) =
+            self.tx.send(RouterMsg::Forward { from, to, frame })
+        {
+            deliver(&self.outs, &self.in_flight, from, to, frame);
+        }
+    }
+
+    fn shutdown(&self) -> TransportReport {
+        let join = self.join.lock().expect("router join lock").take();
+        match join {
+            Some(handle) => {
+                let _ = self.tx.send(RouterMsg::Shutdown);
+                handle.join().expect("router thread panicked")
+            }
+            None => TransportReport::default(),
+        }
+    }
+}
+
+/// Constant-latency links through the deadline-heap router.
+pub struct Delayed(Router);
+
+impl Delayed {
+    pub(crate) fn new(
+        outs: Vec<Sender<Input>>,
+        in_flight: Arc<AtomicU64>,
+        delay: Duration,
+    ) -> Self {
+        Delayed(Router::spawn(outs, in_flight, delay, None))
+    }
+}
+
+impl Transport for Delayed {
+    fn send(&self, from: NodeId, to: NodeId, frame: Bytes) {
+        self.0.send(from, to, frame);
+    }
+
+    fn shutdown(&self) -> TransportReport {
+        self.0.shutdown()
+    }
+}
+
+/// Lossy, duplicating, reordering links (seeded).
+pub struct Faulty(Router);
+
+impl Faulty {
+    pub(crate) fn new(
+        outs: Vec<Sender<Input>>,
+        in_flight: Arc<AtomicU64>,
+        config: FaultConfig,
+        nodes: usize,
+        trace_capacity: usize,
+        epoch: Instant,
+    ) -> Self {
+        let faults = FaultState {
+            rng: SplitMix64::new(config.seed),
+            config,
+            nodes,
+            tallies: vec![LinkFaults::default(); nodes * nodes],
+            recorder: (trace_capacity > 0).then(|| RingRecorder::new(trace_capacity)),
+            epoch,
+        };
+        Faulty(Router::spawn(outs, in_flight, config.delay, Some(faults)))
+    }
+}
+
+impl Transport for Faulty {
+    fn send(&self, from: NodeId, to: NodeId, frame: Bytes) {
+        self.0.send(from, to, frame);
+    }
+
+    fn shutdown(&self) -> TransportReport {
+        self.0.shutdown()
+    }
+}
+
+/// The fault stage the router applies at frame ingress.
+struct FaultState {
+    rng: SplitMix64,
+    config: FaultConfig,
+    nodes: usize,
+    tallies: Vec<LinkFaults>,
+    recorder: Option<RingRecorder>,
+    epoch: Instant,
+}
+
+impl FaultState {
+    fn tally(&mut self, from: NodeId, to: NodeId) -> &mut LinkFaults {
+        let slot = &mut self.tallies[from.index() * self.nodes + to.index()];
+        slot.from = from.0;
+        slot.to = to.0;
+        slot
+    }
+}
+
+fn router_loop(
+    rx: Receiver<RouterMsg>,
+    outs: Vec<Sender<Input>>,
+    in_flight: Arc<AtomicU64>,
+    delay: Duration,
+    mut faults: Option<FaultState>,
+) -> TransportReport {
+    // Deadline-sorted delivery: every frame is stamped `ingress + delay` on
+    // arrival and parked in a min-heap; each wakeup drains *all* frames
+    // whose deadline has passed, so N frames in flight concurrently all
+    // arrive after ~`delay`, not ~`N × delay`.
+    //
+    // Fault-free with a constant delay, deadlines are ingress-ordered ⇒
+    // global FIFO, which implies the per-channel FIFO the protocol assumes.
+    // The fault stage breaks exactly that (reorder jitter, drops, dups) —
+    // which is the point: the reliability shim has to rebuild FIFO on top.
+    let mut parked: BinaryHeap<Parked> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut ingress = |parked: &mut BinaryHeap<Parked>,
+                       faults: &mut Option<FaultState>,
+                       from: NodeId,
+                       to: NodeId,
+                       frame: Bytes| {
+        let mut due = Instant::now() + delay;
+        if let Some(f) = faults {
+            if f.rng.chance(f.config.drop) {
+                f.tally(from, to).dropped += 1;
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                if let Some(ring) = &mut f.recorder {
+                    ring.record(
+                        f.epoch.elapsed().as_micros() as u64,
+                        TRANSPORT_LOCK,
+                        from.0,
+                        ProtocolEvent::FrameDropped { to: to.0 },
+                    );
+                }
+                return;
+            }
+            if f.rng.chance(f.config.reorder) {
+                f.tally(from, to).reordered += 1;
+                due += f.rng.jitter(f.config.jitter);
+            }
+            if f.rng.chance(f.config.duplicate) {
+                f.tally(from, to).duplicated += 1;
+                in_flight.fetch_add(1, Ordering::Relaxed);
+                let copy_due = due + f.rng.jitter(f.config.jitter);
+                parked.push(Parked {
+                    due: copy_due,
+                    seq,
+                    from,
+                    to,
+                    frame: frame.clone(),
+                });
+                seq += 1;
+            }
+        }
+        parked.push(Parked {
+            due,
+            seq,
+            from,
+            to,
+            frame,
+        });
+        seq += 1;
+    };
+    let report = |faults: Option<FaultState>| {
+        let mut report = TransportReport::default();
+        if let Some(f) = faults {
+            report.faults = f
+                .tallies
+                .into_iter()
+                .filter(|t| t.dropped + t.duplicated + t.reordered > 0)
+                .collect();
+            if let Some(ring) = f.recorder {
+                report.trace_dropped = ring.dropped();
+                report.trace = ring.into_records();
+            }
+        }
+        report
+    };
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while parked.peek().is_some_and(|d| d.due <= now) {
+            let d = parked.pop().expect("peeked frame");
+            deliver(&outs, &in_flight, d.from, d.to, d.frame);
+        }
+        // Wait for new traffic, but never past the earliest deadline.
+        let msg = match parked.peek() {
+            Some(next) => {
+                match rx.recv_timeout(next.due.saturating_duration_since(Instant::now())) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => None,
+                }
+            }
+            None => rx.recv().ok(),
+        };
+        match msg {
+            Some(RouterMsg::Forward { from, to, frame }) => {
+                ingress(&mut parked, &mut faults, from, to, frame);
+            }
+            // Shutdown (or all senders gone): flush whatever is still
+            // parked without honoring deadlines — the cluster is going
+            // down, and the node threads are still alive to process the
+            // flush (the cluster stops the transport *first*).
+            Some(RouterMsg::Shutdown) | None => {
+                while let Some(d) = parked.pop() {
+                    deliver(&outs, &in_flight, d.from, d.to, d.frame);
+                }
+                return report(faults);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- PRNG
+
+/// SplitMix64: tiny, seedable, dependency-free. Good enough for fault
+/// injection; not for cryptography.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `p`.
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform duration in `[0, max]`.
+    fn jitter(&mut self, max: Duration) -> Duration {
+        max.mul_f64(self.next_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64(), "different seed diverges");
+        // Rates empirically land near p.
+        let mut r = SplitMix64::new(7);
+        let hits = (0..10_000).filter(|_| r.chance(0.1)).count();
+        assert!((800..1200).contains(&hits), "~10% hit rate, got {hits}");
+    }
+
+    #[test]
+    fn chance_zero_never_fires_and_one_always() {
+        let mut r = SplitMix64::new(9);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -15,6 +15,13 @@ impl HierNode {
     /// *conservative*, purely local test — it never initiates remote
     /// traffic, so a `false` does not prove the lock is unavailable
     /// system-wide, only that acquiring it would have to wait on messages.
+    ///
+    /// "Zero messages" is literal: when this returns true, the subsequent
+    /// acquire produces only a local grant. On the token node that rules out
+    /// a non-empty queue — admitting a new holder recomputes the Table 1(d)
+    /// freeze set for the queued requests, and a changed set is distributed
+    /// to children as `SetFrozen` frames (and a try-lock that jumped ahead
+    /// of queued waiters would undermine FIFO anyway).
     pub fn can_admit_locally(&self, mode: Mode) -> bool {
         if mode == Mode::NoLock || self.held != Mode::NoLock || self.pending.is_some() {
             return false;
@@ -22,9 +29,15 @@ impl HierNode {
         if self.frozen.contains(mode) || !compatible(self.owned, mode) {
             return false;
         }
-        // The token node may self-grant anything compatible; a non-token
-        // node only what its owned mode already covers.
-        self.has_token || self.owned.ge(mode)
+        if self.has_token {
+            // Self-grant is message-free only while nothing is queued (an
+            // empty queue implies an empty freeze set, so `refresh_frozen`
+            // cannot change anything, so no `SetFrozen` traffic).
+            self.queue.is_empty() && self.frozen.is_empty()
+        } else {
+            // A non-token node can only admit what its owned mode covers.
+            self.owned.ge(mode)
+        }
     }
 
     /// The local application requests the lock in `mode`.

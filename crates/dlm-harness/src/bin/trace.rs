@@ -121,6 +121,12 @@ fn concise(event: &ProtocolEvent) -> String {
             let f = |p: &Option<u32>| p.map(|n| format!("n{n}")).unwrap_or("root".into());
             format!("parent {} -> {}", f(old), f(new))
         }
+        FrameDropped { to } => format!("frame to n{to} dropped in flight"),
+        Retransmit { to, seq, attempt } => {
+            format!("retransmits link-seq {seq} to n{to} (attempt {attempt})")
+        }
+        DupSuppressed { from, seq } => format!("suppresses duplicate link-seq {seq} from n{from}"),
+        DecodeError { from } => format!("drops malformed frame from n{from}"),
     }
 }
 

@@ -165,6 +165,36 @@ pub enum ProtocolEvent {
         /// New parent (`None` = became root).
         new: Option<u32>,
     },
+    /// Transport fault injection dropped a frame in flight (observed at the
+    /// sending side; the lock id may be unknown to the transport).
+    FrameDropped {
+        /// Intended receiver.
+        to: u32,
+    },
+    /// Reliability shim: an unacked frame's retransmission timer fired and
+    /// the frame was sent again.
+    Retransmit {
+        /// Receiver.
+        to: u32,
+        /// Link-level sequence number of the retransmitted frame.
+        seq: u64,
+        /// Retransmission attempt (1 = first retransmit).
+        attempt: u32,
+    },
+    /// Reliability shim: the receiver suppressed a duplicate of a frame it
+    /// had already accepted.
+    DupSuppressed {
+        /// Sender of the duplicate.
+        from: u32,
+        /// The duplicate's link-level sequence number.
+        seq: u64,
+    },
+    /// An incoming frame failed to decode and was dropped — counted, never
+    /// fatal (a malformed peer must not take the node down).
+    DecodeError {
+        /// Claimed sender of the malformed frame.
+        from: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -188,6 +218,10 @@ impl ProtocolEvent {
             ProtocolEvent::UpgradeStarted => "upgrade_started",
             ProtocolEvent::Upgraded => "upgraded",
             ProtocolEvent::ParentChanged { .. } => "parent_changed",
+            ProtocolEvent::FrameDropped { .. } => "frame_dropped",
+            ProtocolEvent::Retransmit { .. } => "retransmit",
+            ProtocolEvent::DupSuppressed { .. } => "dup_suppressed",
+            ProtocolEvent::DecodeError { .. } => "decode_error",
         }
     }
 
@@ -214,6 +248,10 @@ impl ProtocolEvent {
             | ProtocolEvent::FreezeSent { .. } => "rule6-freeze",
             ProtocolEvent::UpgradeStarted | ProtocolEvent::Upgraded => "rule7-upgrade",
             ProtocolEvent::ParentChanged { .. } => "path-compression",
+            ProtocolEvent::FrameDropped { .. }
+            | ProtocolEvent::Retransmit { .. }
+            | ProtocolEvent::DupSuppressed { .. }
+            | ProtocolEvent::DecodeError { .. } => "transport-reliability",
         }
     }
 
@@ -246,6 +284,10 @@ impl ProtocolEvent {
             | ProtocolEvent::ReleaseApplied { from, .. } => Some(*from),
             ProtocolEvent::RequestQueued { requester, .. }
             | ProtocolEvent::QueueServed { requester, .. } => Some(*requester),
+            ProtocolEvent::FrameDropped { to } | ProtocolEvent::Retransmit { to, .. } => Some(*to),
+            ProtocolEvent::DupSuppressed { from, .. } | ProtocolEvent::DecodeError { from } => {
+                Some(*from)
+            }
             _ => None,
         }
     }
@@ -335,6 +377,14 @@ pub(crate) fn one_of_each() -> Vec<ProtocolEvent> {
             old: Some(0),
             new: None,
         },
+        ProtocolEvent::FrameDropped { to: 2 },
+        ProtocolEvent::Retransmit {
+            to: 2,
+            seq: 41,
+            attempt: 3,
+        },
+        ProtocolEvent::DupSuppressed { from: 1, seq: 40 },
+        ProtocolEvent::DecodeError { from: 6 },
     ]
 }
 

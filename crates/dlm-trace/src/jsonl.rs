@@ -205,6 +205,20 @@ pub fn record_to_json(r: &TraceRecord) -> String {
         ProtocolEvent::ParentChanged { old, new } => {
             o.opt_num("old", *old).opt_num("new", *new);
         }
+        ProtocolEvent::FrameDropped { to } => {
+            o.num("to", *to as u64);
+        }
+        ProtocolEvent::Retransmit { to, seq, attempt } => {
+            o.num("to", *to as u64)
+                .num("link_seq", *seq)
+                .num("attempt", *attempt as u64);
+        }
+        ProtocolEvent::DupSuppressed { from, seq } => {
+            o.num("from", *from as u64).num("link_seq", *seq);
+        }
+        ProtocolEvent::DecodeError { from } => {
+            o.num("from", *from as u64);
+        }
     }
     o.finish()
 }
@@ -466,6 +480,19 @@ pub fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "parent_changed" => ProtocolEvent::ParentChanged {
             old: f.opt_u32("old")?,
             new: f.opt_u32("new")?,
+        },
+        "frame_dropped" => ProtocolEvent::FrameDropped { to: f.u32("to")? },
+        "retransmit" => ProtocolEvent::Retransmit {
+            to: f.u32("to")?,
+            seq: f.num("link_seq")?,
+            attempt: f.u32("attempt")?,
+        },
+        "dup_suppressed" => ProtocolEvent::DupSuppressed {
+            from: f.u32("from")?,
+            seq: f.num("link_seq")?,
+        },
+        "decode_error" => ProtocolEvent::DecodeError {
+            from: f.u32("from")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };

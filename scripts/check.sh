@@ -21,6 +21,9 @@ cargo test -q
 echo "==> workspace tests: cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> chaos smoke: seeded lossy-link schedules (DLM_CHAOS_CASES=${DLM_CHAOS_CASES:-4})"
+DLM_CHAOS_CASES="${DLM_CHAOS_CASES:-4}" cargo test -q -p dlm-cluster --test chaos
+
 echo "==> model-check gate: check gate"
 cargo run --release -q -p dlm-check --bin check -- gate
 
