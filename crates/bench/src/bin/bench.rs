@@ -243,4 +243,51 @@ fn main() {
     std::fs::write(&out, &json).expect("write BENCH_sim.json");
     print!("{json}");
     eprintln!("wrote {out}");
+
+    append_history(smoke, &results);
+}
+
+/// Append this run as one JSONL line to `results/bench_history.jsonl`: the
+/// per-commit perf trajectory, where `BENCH_sim.json` only keeps the latest
+/// point. Best-effort — a read-only checkout must not fail the bench run.
+fn append_history(smoke: bool, results: &[(String, f64)]) {
+    use std::io::Write as _;
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+
+    let mut line = format!(
+        "{{\"schema\":\"dlm-bench-history/v1\",\"unix_secs\":{unix_secs},\"commit\":\"{commit}\",\"smoke\":{smoke},\"benches\":{{"
+    );
+    for (i, (name, value)) in results.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "\"{name}\":{value:.1}");
+    }
+    line.push_str("}}");
+
+    let dir = format!("{}/../../results", env!("CARGO_MANIFEST_DIR"));
+    let path = format!("{dir}/bench_history.jsonl");
+    let appended = std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{line}"))
+            .is_ok();
+    if appended {
+        eprintln!("appended run to {path}");
+    } else {
+        eprintln!("warning: could not append bench history to {path}");
+    }
 }

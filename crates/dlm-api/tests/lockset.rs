@@ -116,3 +116,24 @@ fn read_then_write_is_consistent_under_racing_upgraders() {
     let report = c.shutdown();
     assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
 }
+
+#[test]
+fn metrics_snapshot_reflects_api_traffic() {
+    let (c, a, b) = two_node_sets();
+    a.lock(Mode::Write).unwrap();
+    a.unlock().unwrap();
+    b.lock(Mode::Write).unwrap();
+    b.unlock().unwrap();
+    let snap = dlm_api::metrics_snapshot(&c);
+    for needle in [
+        "# TYPE dlm_messages_total counter",
+        "dlm_acquires_total{node=\"0\"} 1",
+        "dlm_acquires_total{node=\"1\"} 1",
+        "dlm_releases_total{node=\"0\"} 1",
+        "dlm_acquire_latency_us{quantile=\"0.5\"}",
+        "dlm_acquire_hops_count 2",
+    ] {
+        assert!(snap.contains(needle), "snapshot missing {needle}:\n{snap}");
+    }
+    c.shutdown();
+}

@@ -13,6 +13,22 @@
 //! ```
 //!
 //! Queued requests serialize as `(u32 from, u8 mode, u8 upgrade, u8 priority)`.
+//!
+//! The *correlated* layout ([`encode_corr_into`] / [`decode_corr`]) inserts a
+//! request-span header between the lock id and the tag:
+//!
+//! ```text
+//! u32  lock id
+//! u64  request id  (0 = uncorrelated)
+//! u16  causal hop count of this frame
+//! u8   message tag
+//! ...  tag-specific payload
+//! ```
+//!
+//! Correlation lives in the frame header — not in `dlm_core::Message` — so
+//! the protocol state machine, its structural fingerprints, and the model
+//! checker never see request ids. The lock id stays first in both layouts,
+//! which keeps the reliability shim's `peek_lock` valid for either.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dlm_core::{LockId, Message, Mode, ModeSet, NodeId, QueuedRequest};
@@ -123,6 +139,35 @@ pub fn encode_into(lock: LockId, message: &Message, scratch: &mut BytesMut) -> B
     scratch.clear();
     let buf = scratch;
     buf.put_u32_le(lock.0);
+    put_body(buf, message);
+    buf.take_frame()
+}
+
+/// Encode `(lock, message)` with the request-correlation header: `req` is the
+/// request id whose causal chain this frame extends (0 = uncorrelated) and
+/// `hops` is the frame's causal depth (1 = the requester's own first send).
+pub fn encode_corr_into(
+    lock: LockId,
+    req: u64,
+    hops: u16,
+    message: &Message,
+    scratch: &mut BytesMut,
+) -> Bytes {
+    scratch.clear();
+    let buf = scratch;
+    buf.put_u32_le(lock.0);
+    buf.put_u64_le(req);
+    buf.put_u16_le(hops);
+    put_body(buf, message);
+    buf.take_frame()
+}
+
+/// Allocating convenience wrapper over [`encode_corr_into`] (tests, tools).
+pub fn encode_corr(lock: LockId, req: u64, hops: u16, message: &Message) -> Bytes {
+    encode_corr_into(lock, req, hops, message, &mut BytesMut::with_capacity(48))
+}
+
+fn put_body(buf: &mut BytesMut, message: &Message) {
     match message {
         Message::Request(q) => {
             buf.put_u8(1);
@@ -157,7 +202,6 @@ pub fn encode_into(lock: LockId, message: &Message, scratch: &mut BytesMut) -> B
             put_modeset(buf, *modes);
         }
     }
-    buf.take_frame()
 }
 
 /// Decode a frame back into `(lock, message)`.
@@ -166,23 +210,43 @@ pub fn decode(mut frame: Bytes) -> Result<(LockId, Message), DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let lock = LockId(frame.get_u32_le());
+    let message = get_body(&mut frame)?;
+    Ok((lock, message))
+}
+
+/// Decode a correlated frame back into `(lock, req, hops, message)`.
+pub fn decode_corr(mut frame: Bytes) -> Result<(LockId, u64, u16, Message), DecodeError> {
+    if frame.remaining() < 15 {
+        return Err(DecodeError::Truncated);
+    }
+    let lock = LockId(frame.get_u32_le());
+    let req = frame.get_u64_le();
+    let hops = frame.get_u16_le();
+    let message = get_body(&mut frame)?;
+    Ok((lock, req, hops, message))
+}
+
+fn get_body(frame: &mut Bytes) -> Result<Message, DecodeError> {
+    if frame.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
     let tag = frame.get_u8();
     let message = match tag {
-        1 => Message::Request(get_queued(&mut frame)?),
+        1 => Message::Request(get_queued(frame)?),
         2 => Message::Grant {
-            mode: get_mode(&mut frame)?,
+            mode: get_mode(frame)?,
         },
         3 => {
-            let mode = get_mode(&mut frame)?;
-            let granter_owned = get_mode(&mut frame)?;
-            let frozen = get_modeset(&mut frame)?;
+            let mode = get_mode(frame)?;
+            let granter_owned = get_mode(frame)?;
+            let frozen = get_modeset(frame)?;
             if frame.remaining() < 2 {
                 return Err(DecodeError::Truncated);
             }
             let len = frame.get_u16_le() as usize;
             let mut queue = VecDeque::with_capacity(len);
             for _ in 0..len {
-                queue.push_back(get_queued(&mut frame)?);
+                queue.push_back(get_queued(frame)?);
             }
             Message::Token {
                 mode,
@@ -192,7 +256,7 @@ pub fn decode(mut frame: Bytes) -> Result<(LockId, Message), DecodeError> {
             }
         }
         4 => {
-            let new_owned = get_mode(&mut frame)?;
+            let new_owned = get_mode(frame)?;
             if frame.remaining() < 8 {
                 return Err(DecodeError::Truncated);
             }
@@ -200,11 +264,11 @@ pub fn decode(mut frame: Bytes) -> Result<(LockId, Message), DecodeError> {
             Message::Release { new_owned, ack }
         }
         5 => Message::SetFrozen {
-            modes: get_modeset(&mut frame)?,
+            modes: get_modeset(frame)?,
         },
         t => return Err(DecodeError::BadTag(t)),
     };
-    Ok((lock, message))
+    Ok(message)
 }
 
 #[cfg(test)]
@@ -297,6 +361,41 @@ mod tests {
         buf.put_u8(2); // Grant
         buf.put_u8(200); // invalid mode
         assert_eq!(decode(buf.freeze()), Err(DecodeError::BadMode(200)));
+    }
+
+    #[test]
+    fn corr_frames_round_trip_and_keep_lock_first() {
+        let msg = Message::Request(QueuedRequest {
+            from: NodeId(7),
+            mode: Mode::Write,
+            upgrade: true,
+            priority: 3,
+        });
+        let req = (7u64 << 32) | 42;
+        let frame = encode_corr(LockId(11), req, 5, &msg);
+        // Lock id stays in bytes 0..4 so `peek_lock` works on either layout.
+        assert_eq!(&frame.as_ref()[0..4], &11u32.to_le_bytes());
+        let (lock, r, hops, m) = decode_corr(frame).expect("decodes");
+        assert_eq!(lock, LockId(11));
+        assert_eq!(r, req);
+        assert_eq!(hops, 5);
+        assert_eq!(m, msg);
+    }
+
+    #[test]
+    fn corr_truncated_frames_error() {
+        let frame = encode_corr(LockId(0), 1, 1, &Message::Grant { mode: Mode::Read });
+        assert_eq!(frame.len(), 16, "corr grant frame is 16 bytes");
+        for cut in 0..frame.len() {
+            assert!(
+                decode_corr(frame.slice(0..cut)).is_err(),
+                "decoding a {cut}-byte corr prefix must fail"
+            );
+        }
+        // A plain (uncorrelated) frame is too short for the corr layout
+        // unless its payload happens to pad it out; a 6-byte grant errors.
+        let plain = encode(LockId(0), &Message::Grant { mode: Mode::Read });
+        assert!(decode_corr(plain).is_err());
     }
 
     #[test]

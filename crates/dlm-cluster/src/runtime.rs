@@ -12,14 +12,14 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dlm_core::{
     audit, AuditError, Effect, EffectBuf, HierNode, LockId, Mode, NodeId, ProtocolConfig,
 };
+use dlm_metrics::Histogram;
 use dlm_trace::{
     merge_records, NullObserver, Observer, ProtocolEvent, Recorder, RingRecorder, Stamp,
     TraceRecord,
 };
-use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -143,6 +143,13 @@ pub struct ClusterReport {
     /// Per-link reliability/fault counters, sorted by `(from, to)`; empty
     /// when neither the reliability shim nor fault injection was active.
     pub links: Vec<LinkReport>,
+    /// Wall-clock latency (µs) of every completed application acquire and
+    /// upgrade, merged across nodes: issue at the node thread → grant
+    /// delivered to the waiter.
+    pub acquire_latency: Histogram,
+    /// Causal network hops on each completed operation's granting chain
+    /// (0 = local admit without any message).
+    pub acquire_hops: Histogram,
 }
 
 /// An in-process cluster of protocol nodes.
@@ -158,7 +165,29 @@ pub struct Cluster {
     /// Data sequences sent but not yet cumulatively acked (reliability shim
     /// only; 0 otherwise).
     unacked: Arc<AtomicU64>,
+    /// Per-node request metrics, shared with the node threads so
+    /// [`Cluster::metrics_snapshot`] can read them live. Each mutex is
+    /// touched once per completed *operation* (not per message), so the
+    /// steady-state message path never contends on it.
+    metrics: Vec<Arc<Mutex<NodeMetrics>>>,
     locks: usize,
+}
+
+/// Per-node operation metrics: request latency/hop distributions and
+/// operation counters. Owned by the node thread, read by
+/// [`Cluster::metrics_snapshot`] under a short-lived mutex.
+#[derive(Debug, Default)]
+struct NodeMetrics {
+    /// Wall-clock µs, issue → grant, for completed acquires and upgrades.
+    acquire_latency: Histogram,
+    /// Causal hop depth of the frame that delivered each grant.
+    acquire_hops: Histogram,
+    /// Completed acquire operations (blocking and try fast path).
+    acquires: u64,
+    /// Completed Rule 7 upgrades.
+    upgrades: u64,
+    /// Completed releases.
+    releases: u64,
 }
 
 /// What a node thread hands back at shutdown.
@@ -202,6 +231,10 @@ impl Cluster {
             )),
         };
 
+        let metrics: Vec<Arc<Mutex<NodeMetrics>>> = (0..config.nodes)
+            .map(|_| Arc::new(Mutex::new(NodeMetrics::default())))
+            .collect();
+
         let mut joins = Vec::with_capacity(config.nodes);
         for (i, (_, rx)) in channels.into_iter().enumerate() {
             let me = NodeId(i as u32);
@@ -209,10 +242,23 @@ impl Cluster {
             let counter = Arc::clone(&messages);
             let gauge = Arc::clone(&in_flight);
             let unacked_gauge = Arc::clone(&unacked);
+            let node_metrics = Arc::clone(&metrics[i]);
             let cfg = config;
             let join = std::thread::Builder::new()
                 .name(format!("dlm-node-{i}"))
-                .spawn(move || node_loop(me, cfg, rx, link, counter, gauge, unacked_gauge, epoch))
+                .spawn(move || {
+                    node_loop(
+                        me,
+                        cfg,
+                        rx,
+                        link,
+                        counter,
+                        gauge,
+                        unacked_gauge,
+                        epoch,
+                        node_metrics,
+                    )
+                })
                 .expect("spawn node thread");
             joins.push(join);
         }
@@ -225,6 +271,7 @@ impl Cluster {
             replies_dropped,
             in_flight,
             unacked,
+            metrics,
             locks: config.locks,
         }
     }
@@ -257,6 +304,101 @@ impl Cluster {
     /// receiver was already gone (see [`ClusterReport::replies_dropped`]).
     pub fn replies_dropped(&self) -> u64 {
         self.replies_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Render a Prometheus-text-format snapshot of the cluster's live
+    /// metrics: global counters and gauges, per-node operation counters,
+    /// and cluster-wide acquire-latency / hops-per-acquire summaries with
+    /// p50/p95/p99 quantiles.
+    ///
+    /// Safe to call at any time; each node's metrics mutex is held only long
+    /// enough to copy its histograms out.
+    pub fn metrics_snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "dlm_messages_total",
+            "Protocol messages transmitted.",
+            self.messages_sent(),
+        );
+        counter(
+            &mut out,
+            "dlm_replies_dropped_total",
+            "Completion replies whose receiver had gone away.",
+            self.replies_dropped(),
+        );
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        gauge(
+            &mut out,
+            "dlm_frames_in_flight",
+            "Physical frames sent but not yet fully processed.",
+            self.in_flight.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "dlm_frames_unacked",
+            "Data sequences sent but not yet cumulatively acked.",
+            self.unacked.load(Ordering::Relaxed),
+        );
+
+        let mut latency = Histogram::new();
+        let mut hops = Histogram::new();
+        let mut per_node: Vec<(u64, u64, u64)> = Vec::with_capacity(self.metrics.len());
+        for m in &self.metrics {
+            let m = m.lock().expect("metrics mutex");
+            latency.merge(&m.acquire_latency);
+            hops.merge(&m.acquire_hops);
+            per_node.push((m.acquires, m.upgrades, m.releases));
+        }
+        for (name, help, pick) in [
+            (
+                "dlm_acquires_total",
+                "Completed acquire operations.",
+                0usize,
+            ),
+            ("dlm_upgrades_total", "Completed Rule 7 upgrades.", 1),
+            ("dlm_releases_total", "Completed releases.", 2),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (node, row) in per_node.iter().enumerate() {
+                let v = [row.0, row.1, row.2][pick];
+                let _ = writeln!(out, "{name}{{node=\"{node}\"}} {v}");
+            }
+        }
+        for (name, help, h) in [
+            (
+                "dlm_acquire_latency_us",
+                "Issue-to-grant wall-clock latency of completed operations (microseconds).",
+                &latency,
+            ),
+            (
+                "dlm_acquire_hops",
+                "Causal network hops on each completed operation's granting chain.",
+                &hops,
+            ),
+        ] {
+            let p = h.percentiles();
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", p.p50);
+            let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", p.p95);
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", p.p99);
+            let sum = (h.mean() * h.count() as f64).round() as u64;
+            let _ = writeln!(out, "{name}_sum {sum}");
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
     }
 
     /// Test hook: push a raw wire frame into the cluster as if `from` had
@@ -359,6 +501,13 @@ impl Cluster {
             let nodes: Vec<HierNode> = states.iter().map(|s| s[lock].clone()).collect();
             audit_errors.extend(audit(&nodes, &[], true));
         }
+        let mut acquire_latency = Histogram::new();
+        let mut acquire_hops = Histogram::new();
+        for m in &self.metrics {
+            let m = m.lock().expect("metrics mutex");
+            acquire_latency.merge(&m.acquire_latency);
+            acquire_hops.merge(&m.acquire_hops);
+        }
         ClusterReport {
             messages_sent: self.messages.load(Ordering::Relaxed),
             audit_errors,
@@ -367,6 +516,8 @@ impl Cluster {
             replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
             decode_errors,
             links: merge_links(&per_node, &transport_report.faults),
+            acquire_latency,
+            acquire_hops,
         }
     }
 }
@@ -405,53 +556,139 @@ fn merge_links(per_node: &[(u32, Vec<PeerSnapshot>)], faults: &[LinkFaults]) -> 
     map.into_values().collect()
 }
 
-/// Drive one protocol entry point, stamping its events with wall-clock µs
-/// since the cluster epoch when this node records a trace.
-fn observed<T>(
-    recorder: &mut Option<RingRecorder>,
-    epoch: Instant,
-    lock: LockId,
-    f: impl FnOnce(&mut dyn Observer) -> T,
-) -> T {
-    match recorder {
-        Some(ring) => {
-            let mut stamp = Stamp {
-                at: epoch.elapsed().as_micros() as u64,
-                lock: lock.0,
-                sink: ring,
-            };
-            f(&mut stamp)
-        }
-        None => f(&mut NullObserver),
-    }
+/// A blocked application operation: its reply channel plus the request-span
+/// identity and issue time used for grant-side metrics and trace events.
+struct Waiter {
+    reply: Reply,
+    /// Request id assigned at issue (`node << 32 | per-node counter`).
+    req: u64,
+    /// Wall-clock issue time, for the acquire-latency histogram.
+    started: Instant,
 }
 
-/// Drain the effects of one protocol entry point: sends are encoded,
-/// wrapped by the reliability endpoint when one is configured, and put on
-/// the wire; grants complete the lock's waiting application call.
-fn flush_effects(
-    lock: LockId,
-    effects: &mut EffectBuf,
-    waiters: &mut HashMap<LockId, Reply>,
-    scratch: &mut bytes::BytesMut,
-    endpoint: &mut Option<Endpoint>,
-    messages: &AtomicU64,
-    put: &dyn Fn(NodeId, Bytes),
-) {
-    for effect in effects.drain() {
-        match effect {
-            Effect::Send { to, message } => {
-                messages.fetch_add(1, Ordering::Relaxed);
-                let payload = codec::encode_into(lock, &message, scratch);
-                let frame = match endpoint {
-                    Some(ep) => ep.wrap_data(to, lock.0, payload, Instant::now()),
-                    None => payload,
+/// Long-lived per-node-thread state threaded through every protocol entry
+/// point: trace recorder, application waiters, reliability endpoint, encode
+/// scratch, effect sink, shared metrics, and the request-id allocator.
+///
+/// Bundling these lets [`NodeCtx::flush`] — the one place effects become
+/// frames, grants, and metrics — borrow them together without a
+/// ten-argument function.
+struct NodeCtx<'a> {
+    me: NodeId,
+    epoch: Instant,
+    recorder: Option<RingRecorder>,
+    waiters: HashMap<LockId, Waiter>,
+    endpoint: Option<Endpoint>,
+    encode_scratch: bytes::BytesMut,
+    effect_buf: EffectBuf,
+    metrics: &'a Mutex<NodeMetrics>,
+    messages: Arc<AtomicU64>,
+    next_req: u64,
+}
+
+impl NodeCtx<'_> {
+    /// Allocate a fresh, never-zero request id: `node << 32 | counter`.
+    fn alloc_req(&mut self) -> u64 {
+        self.next_req += 1;
+        ((self.me.0 as u64) << 32) | self.next_req
+    }
+
+    /// Record one span/transport event at this node, if tracing is on.
+    fn trace(&mut self, lock: u32, event: ProtocolEvent) {
+        if let Some(ring) = &mut self.recorder {
+            ring.record(
+                self.epoch.elapsed().as_micros() as u64,
+                lock,
+                self.me.0,
+                event,
+            );
+        }
+    }
+
+    /// Drive one protocol entry point, stamping its events with wall-clock
+    /// µs since the cluster epoch when this node records a trace.
+    fn observed<T>(
+        &mut self,
+        lock: LockId,
+        f: impl FnOnce(&mut dyn Observer, &mut EffectBuf) -> T,
+    ) -> T {
+        match &mut self.recorder {
+            Some(ring) => {
+                let mut stamp = Stamp {
+                    at: self.epoch.elapsed().as_micros() as u64,
+                    lock: lock.0,
+                    sink: ring,
                 };
-                put(to, frame);
+                f(&mut stamp, &mut self.effect_buf)
             }
-            Effect::Granted { .. } | Effect::Upgraded => {
-                if let Some(reply) = waiters.remove(&lock) {
-                    reply.complete(Ok(()));
+            None => f(&mut NullObserver, &mut self.effect_buf),
+        }
+    }
+
+    /// Drain the effects of one protocol entry point. Sends are encoded
+    /// with the correlated frame header — `req` is the request chain being
+    /// extended (0 = uncorrelated) and `hops` the causal depth of whatever
+    /// triggered this step, so outgoing frames carry `hops + 1` — wrapped
+    /// by the reliability endpoint when one is configured, and put on the
+    /// wire. Grants complete the lock's waiting application call, record
+    /// its latency/hop metrics, and close its trace span.
+    fn flush(&mut self, lock: LockId, req: u64, hops: u16, put: &dyn Fn(NodeId, Bytes)) {
+        let NodeCtx {
+            me,
+            epoch,
+            recorder,
+            waiters,
+            endpoint,
+            encode_scratch,
+            effect_buf,
+            metrics,
+            messages,
+            ..
+        } = self;
+        for effect in effect_buf.drain() {
+            let upgraded = matches!(effect, Effect::Upgraded);
+            match effect {
+                Effect::Send { to, message } => {
+                    messages.fetch_add(1, Ordering::Relaxed);
+                    let payload = codec::encode_corr_into(
+                        lock,
+                        req,
+                        hops.saturating_add(1),
+                        &message,
+                        encode_scratch,
+                    );
+                    let frame = match endpoint {
+                        Some(ep) => ep.wrap_data(to, lock.0, payload, Instant::now()),
+                        None => payload,
+                    };
+                    put(to, frame);
+                }
+                Effect::Granted { .. } | Effect::Upgraded => {
+                    if let Some(w) = waiters.remove(&lock) {
+                        let latency = w.started.elapsed().as_micros() as u64;
+                        {
+                            let mut m = metrics.lock().expect("metrics mutex");
+                            m.acquire_latency.record(latency);
+                            m.acquire_hops.record(hops as u64);
+                            if upgraded {
+                                m.upgrades += 1;
+                            } else {
+                                m.acquires += 1;
+                            }
+                        }
+                        if let Some(ring) = recorder {
+                            ring.record(
+                                epoch.elapsed().as_micros() as u64,
+                                lock.0,
+                                me.0,
+                                ProtocolEvent::RequestGrant {
+                                    req: w.req,
+                                    hops: hops as u32,
+                                },
+                            );
+                        }
+                        w.reply.complete(Ok(()));
+                    }
                 }
             }
         }
@@ -468,9 +705,8 @@ fn node_loop(
     in_flight: Arc<AtomicU64>,
     unacked: Arc<AtomicU64>,
     epoch: Instant,
+    metrics: Arc<Mutex<NodeMetrics>>,
 ) -> NodeExit {
-    let mut recorder: Option<RingRecorder> =
-        (config.trace_capacity > 0).then(|| RingRecorder::new(config.trace_capacity));
     let mut locks: Vec<HierNode> = (0..config.locks)
         .map(|_| {
             if me == NodeId(0) {
@@ -480,18 +716,31 @@ fn node_loop(
             }
         })
         .collect();
-    // Application waiters per lock: at most one outstanding op per lock —
-    // enforced below with `ClusterError::Busy`, never by silent clobbering.
-    let mut waiters: HashMap<LockId, Reply> = HashMap::new();
-    let mut endpoint: Option<Endpoint> = config
-        .reliable
-        .map(|cfg| Endpoint::new(me, config.nodes, cfg, Arc::clone(&unacked)));
+    let mut ctx = NodeCtx {
+        me,
+        epoch,
+        recorder: (config.trace_capacity > 0).then(|| RingRecorder::new(config.trace_capacity)),
+        // Application waiters per lock: at most one outstanding op per lock
+        // — enforced below with `ClusterError::Busy`, never by silent
+        // clobbering.
+        waiters: HashMap::new(),
+        endpoint: config
+            .reliable
+            .map(|cfg| Endpoint::new(me, config.nodes, cfg, Arc::clone(&unacked))),
+        // One long-lived encode buffer per node thread: every outgoing
+        // frame is built in place and copied out, so steady-state
+        // transmission does no buffer growth.
+        encode_scratch: bytes::BytesMut::with_capacity(64),
+        // One long-lived effect sink per node thread: every protocol entry
+        // point drains into it via the `*_into` API, so steady-state
+        // protocol steps do no heap allocation for effects.
+        effect_buf: EffectBuf::new(),
+        metrics: &metrics,
+        messages,
+        next_req: 0,
+    };
     let mut decode_errors: u64 = 0;
 
-    // One long-lived encode buffer per node thread: every outgoing frame is
-    // built in place and copied out, so steady-state transmission does no
-    // buffer growth.
-    let mut encode_scratch = bytes::BytesMut::with_capacity(64);
     // Every physical frame leaving this node raises the in-flight gauge;
     // the gauge falls when the receiving node finishes processing it (or
     // when the transport kills it).
@@ -500,10 +749,6 @@ fn node_loop(
         transport.send(me, to, frame);
     };
 
-    // One long-lived effect sink per node thread: every protocol entry point
-    // drains into it via the `*_into` API, so steady-state protocol steps do
-    // no heap allocation for effects.
-    let mut effect_buf = EffectBuf::new();
     // Reused per-iteration scratch for the reliability shim's outputs.
     let mut inbox: Vec<Bytes> = Vec::new();
     let mut rel_events: Vec<(u32, ProtocolEvent)> = Vec::new();
@@ -511,7 +756,7 @@ fn node_loop(
     loop {
         // With unacked frames outstanding, sleep only until the earliest
         // retransmission deadline; otherwise block until input arrives.
-        let input = match endpoint.as_ref().and_then(Endpoint::next_due) {
+        let input = match ctx.endpoint.as_ref().and_then(Endpoint::next_due) {
             Some(due) => match rx.recv_timeout(due.saturating_duration_since(Instant::now())) {
                 Ok(input) => Some(input),
                 Err(RecvTimeoutError::Timeout) => None,
@@ -526,7 +771,7 @@ fn node_loop(
             Some(Input::Net { from, frame }) => {
                 let mut direct = None;
                 let mut malformed = false;
-                match endpoint.as_mut() {
+                match ctx.endpoint.as_mut() {
                     Some(ep) => {
                         malformed = ep
                             .on_frame(
@@ -540,25 +785,24 @@ fn node_loop(
                     None => direct = Some(frame),
                 }
                 for payload in direct.into_iter().chain(inbox.drain(..)) {
-                    match codec::decode(payload) {
-                        Ok((lock, message)) => {
-                            observed(&mut recorder, epoch, lock, |obs| {
-                                locks[lock.index()].on_message_into(
-                                    from,
-                                    message,
-                                    &mut effect_buf,
-                                    obs,
-                                )
+                    match codec::decode_corr(payload) {
+                        Ok((lock, req, hops, message)) => {
+                            // One network leg of request `req`'s causal
+                            // chain landed here; record it before the
+                            // handler so the hop precedes its consequences.
+                            if req != 0 {
+                                ctx.trace(
+                                    lock.0,
+                                    ProtocolEvent::RequestHop {
+                                        req,
+                                        hop: hops as u32,
+                                    },
+                                );
+                            }
+                            ctx.observed(lock, |obs, buf| {
+                                locks[lock.index()].on_message_into(from, message, buf, obs)
                             });
-                            flush_effects(
-                                lock,
-                                &mut effect_buf,
-                                &mut waiters,
-                                &mut encode_scratch,
-                                &mut endpoint,
-                                &messages,
-                                &put,
-                            );
+                            ctx.flush(lock, req, hops, &put);
                         }
                         // A malformed frame is the sender's bug (or an
                         // injected fault), not a reason to take this node
@@ -568,113 +812,129 @@ fn node_loop(
                 }
                 if malformed {
                     decode_errors += 1;
-                    if let Some(ring) = &mut recorder {
-                        ring.record(
-                            epoch.elapsed().as_micros() as u64,
-                            TRANSPORT_LOCK,
-                            me.0,
-                            ProtocolEvent::DecodeError { from: from.0 },
-                        );
-                    }
+                    ctx.trace(TRANSPORT_LOCK, ProtocolEvent::DecodeError { from: from.0 });
                 }
                 // This physical frame is fully absorbed; any traffic it
                 // caused has already raised the gauge above.
                 in_flight.fetch_sub(1, Ordering::Relaxed);
             }
             Some(Input::Acquire { lock, mode, reply }) => {
-                match waiters.entry(lock) {
-                    // A second outstanding op on this lock would clobber the
-                    // first caller's reply channel; refuse loudly instead.
-                    Entry::Occupied(_) => reply.complete(Err(ClusterError::Busy)),
-                    Entry::Vacant(slot) => {
-                        let result = observed(&mut recorder, epoch, lock, |obs| {
-                            locks[lock.index()].on_acquire_into(mode, 0, &mut effect_buf, obs)
-                        });
-                        match result {
-                            Ok(()) => {
-                                slot.insert(reply);
-                                flush_effects(
-                                    lock,
-                                    &mut effect_buf,
-                                    &mut waiters,
-                                    &mut encode_scratch,
-                                    &mut endpoint,
-                                    &messages,
-                                    &put,
-                                );
-                            }
-                            Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
+                // A second outstanding op on this lock would clobber the
+                // first caller's reply channel; refuse loudly instead.
+                if ctx.waiters.contains_key(&lock) {
+                    reply.complete(Err(ClusterError::Busy));
+                } else {
+                    let req = ctx.alloc_req();
+                    let started = Instant::now();
+                    ctx.trace(
+                        lock.0,
+                        ProtocolEvent::RequestStart {
+                            req,
+                            mode,
+                            upgrade: false,
+                        },
+                    );
+                    let result = ctx.observed(lock, |obs, buf| {
+                        locks[lock.index()].on_acquire_into(mode, 0, buf, obs)
+                    });
+                    match result {
+                        Ok(()) => {
+                            ctx.waiters.insert(
+                                lock,
+                                Waiter {
+                                    reply,
+                                    req,
+                                    started,
+                                },
+                            );
+                            ctx.flush(lock, req, 0, &put);
                         }
+                        Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
                     }
                 }
             }
             Some(Input::TryAcquire { lock, mode, reply }) => {
                 let node = &mut locks[lock.index()];
                 if node.can_admit_locally(mode) {
-                    observed(&mut recorder, epoch, lock, |obs| {
-                        node.on_acquire_into(mode, 0, &mut effect_buf, obs)
+                    let req = ctx.alloc_req();
+                    ctx.trace(
+                        lock.0,
+                        ProtocolEvent::RequestStart {
+                            req,
+                            mode,
+                            upgrade: false,
+                        },
+                    );
+                    ctx.observed(lock, |obs, buf| {
+                        node.on_acquire_into(mode, 0, buf, obs)
                             .expect("local admit is well-formed")
                     });
                     // `can_admit_locally` promises "zero messages": the
                     // admit may produce only the local grant, never a Send.
                     debug_assert!(
-                        effect_buf
+                        ctx.effect_buf
                             .iter()
                             .all(|e| matches!(e, Effect::Granted { .. })),
                         "try_acquire fast path emitted network traffic"
                     );
-                    flush_effects(
-                        lock,
-                        &mut effect_buf,
-                        &mut waiters,
-                        &mut encode_scratch,
-                        &mut endpoint,
-                        &messages,
-                        &put,
-                    );
+                    // The fast path registers no waiter, so close the span
+                    // and count the zero-message, zero-hop grant here.
+                    ctx.flush(lock, req, 0, &put);
+                    {
+                        let mut m = ctx.metrics.lock().expect("metrics mutex");
+                        m.acquire_latency.record(0);
+                        m.acquire_hops.record(0);
+                        m.acquires += 1;
+                    }
+                    ctx.trace(lock.0, ProtocolEvent::RequestGrant { req, hops: 0 });
                     reply.complete(true);
                 } else {
                     reply.complete(false);
                 }
             }
-            Some(Input::Upgrade { lock, reply }) => match waiters.entry(lock) {
-                Entry::Occupied(_) => reply.complete(Err(ClusterError::Busy)),
-                Entry::Vacant(slot) => {
-                    let result = observed(&mut recorder, epoch, lock, |obs| {
-                        locks[lock.index()].on_upgrade_into(&mut effect_buf, obs)
+            Some(Input::Upgrade { lock, reply }) => {
+                if ctx.waiters.contains_key(&lock) {
+                    reply.complete(Err(ClusterError::Busy));
+                } else {
+                    let req = ctx.alloc_req();
+                    let started = Instant::now();
+                    ctx.trace(
+                        lock.0,
+                        ProtocolEvent::RequestStart {
+                            req,
+                            mode: Mode::Write,
+                            upgrade: true,
+                        },
+                    );
+                    let result = ctx.observed(lock, |obs, buf| {
+                        locks[lock.index()].on_upgrade_into(buf, obs)
                     });
                     match result {
                         Ok(()) => {
-                            slot.insert(reply);
-                            flush_effects(
+                            ctx.waiters.insert(
                                 lock,
-                                &mut effect_buf,
-                                &mut waiters,
-                                &mut encode_scratch,
-                                &mut endpoint,
-                                &messages,
-                                &put,
+                                Waiter {
+                                    reply,
+                                    req,
+                                    started,
+                                },
                             );
+                            ctx.flush(lock, req, 0, &put);
                         }
                         Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
                     }
                 }
-            },
+            }
             Some(Input::Release { lock, reply }) => {
-                let result = observed(&mut recorder, epoch, lock, |obs| {
-                    locks[lock.index()].on_release_into(&mut effect_buf, obs)
+                let result = ctx.observed(lock, |obs, buf| {
+                    locks[lock.index()].on_release_into(buf, obs)
                 });
                 match result {
                     Ok(()) => {
-                        flush_effects(
-                            lock,
-                            &mut effect_buf,
-                            &mut waiters,
-                            &mut encode_scratch,
-                            &mut endpoint,
-                            &messages,
-                            &put,
-                        );
+                        // Releases open no span: their frames travel with
+                        // req 0 (uncorrelated).
+                        ctx.flush(lock, 0, 0, &put);
+                        ctx.metrics.lock().expect("metrics mutex").releases += 1;
                         reply.complete(Ok(()));
                     }
                     Err(e) => reply.complete(Err(ClusterError::Release(e))),
@@ -684,7 +944,7 @@ fn node_loop(
             // Timeout: fall through to the retransmission tick.
             None => {}
         }
-        if let Some(ep) = endpoint.as_mut() {
+        if let Some(ep) = ctx.endpoint.as_mut() {
             let now = Instant::now();
             if ep.next_due().is_some_and(|due| due <= now) {
                 ep.on_tick(now, &mut |to, frame| put(to, frame), &mut |lock, event| {
@@ -693,7 +953,7 @@ fn node_loop(
             }
             // Flush cumulative acks owed after this round of input.
             ep.take_acks(&mut |to, frame| put(to, frame));
-            if let Some(ring) = &mut recorder {
+            if let Some(ring) = &mut ctx.recorder {
                 for (lock, event) in rel_events.drain(..) {
                     ring.record(epoch.elapsed().as_micros() as u64, lock, me.0, event);
                 }
@@ -701,7 +961,7 @@ fn node_loop(
             rel_events.clear();
         }
     }
-    let (trace, trace_dropped) = match recorder {
+    let (trace, trace_dropped) = match ctx.recorder {
         Some(ring) => {
             let dropped = ring.dropped();
             (ring.into_records(), dropped)
@@ -713,6 +973,6 @@ fn node_loop(
         trace,
         trace_dropped,
         decode_errors,
-        links: endpoint.map(|ep| ep.snapshots()).unwrap_or_default(),
+        links: ctx.endpoint.map(|ep| ep.snapshots()).unwrap_or_default(),
     }
 }

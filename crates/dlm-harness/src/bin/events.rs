@@ -107,6 +107,44 @@ fn analyze(records: &[TraceRecord]) {
         );
     }
 
+    // Transport-reliability events (cluster traces only: frame drops,
+    // retransmissions, duplicate suppression, malformed frames).
+    let reliability: Vec<(&str, u64)> = stats
+        .kinds
+        .iter()
+        .filter(|(k, _)| {
+            matches!(
+                *k,
+                "frame_dropped" | "retransmit" | "dup_suppressed" | "decode_error"
+            )
+        })
+        .collect();
+    if !reliability.is_empty() {
+        println!("\ntransport reliability events:");
+        for (kind, count) in reliability {
+            println!("  {kind:16} {count:>8}");
+        }
+    }
+
+    // Request spans (start → grant pairs), when the trace carries them.
+    if stats.span_latency.count() > 0 {
+        let lat = stats.span_latency.percentiles();
+        println!(
+            "\nrequest spans: {} completed; latency µs p50 {} p95 {} p99 {} max {}",
+            stats.span_latency.count(),
+            lat.p50,
+            lat.p95,
+            lat.p99,
+            stats.span_latency.max()
+        );
+        println!(
+            "               hops mean {:.2} p99 {} max {}",
+            stats.span_hops.mean(),
+            stats.span_hops.quantile(0.99),
+            stats.span_hops.max()
+        );
+    }
+
     chains(records);
 }
 

@@ -1,0 +1,286 @@
+//! Request-span analyzer: reconstructs per-request critical paths from a
+//! structured JSONL trace (`RequestStart` → `RequestHop`* → `RequestGrant`)
+//! and reports hop-count and end-to-end latency distributions.
+//!
+//! * `spans <trace.jsonl>` — analyze an existing trace file.
+//! * `spans [nodes]` — capture a fresh trace from a threaded cluster run
+//!   (default 4 nodes), write it to `results/cluster<n>-trace.jsonl`,
+//!   re-read it from disk, and analyze it. Every completed acquire must
+//!   reconstruct into a span with a hop count and an end-to-end latency.
+//! * `spans sweep` — run clusters at n ∈ {4, 16, 64} and print the
+//!   hops-per-acquire vs log₂(n) table with p50/p95/p99 latencies (the
+//!   EXPERIMENTS.md table).
+//!
+//! Run with: `cargo run -p dlm-harness --bin spans [-- <trace.jsonl>|<nodes>|sweep]`
+
+use dlm_cluster::{Cluster, ClusterConfig, LockId, Mode};
+use dlm_metrics::Histogram;
+use dlm_trace::{jsonl, ProtocolEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::time::Duration;
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("sweep") => sweep(),
+        Some(path) if !path.chars().all(|c| c.is_ascii_digit()) => {
+            let file = File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+            let records = jsonl::read_jsonl(BufReader::new(file))
+                .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+            println!("loaded {} records from {path}", records.len());
+            let spans = reconstruct(&records);
+            report(&spans, true);
+        }
+        arg => {
+            let nodes = arg.and_then(|s| s.parse().ok()).unwrap_or(4);
+            let records = capture(nodes);
+            let spans = reconstruct(&records);
+            report(&spans, true);
+        }
+    }
+}
+
+/// One reconstructed request span: open event, the network legs of its
+/// causal chain, and (when completed) the closing grant.
+struct Span {
+    req: u64,
+    start_at: u64,
+    start_node: u32,
+    mode: Mode,
+    upgrade: bool,
+    /// `(at, node, hop)` for every network leg that landed, in hop order.
+    path: Vec<(u64, u32, u32)>,
+    /// `(at, hops)` of the closing grant; `None` for incomplete spans.
+    grant: Option<(u64, u32)>,
+}
+
+impl Span {
+    fn latency(&self) -> Option<u64> {
+        self.grant.map(|(at, _)| at.saturating_sub(self.start_at))
+    }
+}
+
+/// Group the span events of a trace by request id. Panics on traces that
+/// violate the span grammar (hop or grant without a start, double grant) —
+/// those are runtime bugs this analyzer exists to catch.
+fn reconstruct(records: &[TraceRecord]) -> Vec<Span> {
+    let mut spans: BTreeMap<u64, Span> = BTreeMap::new();
+    for r in records {
+        match r.event {
+            ProtocolEvent::RequestStart { req, mode, upgrade } => {
+                let prev = spans.insert(
+                    req,
+                    Span {
+                        req,
+                        start_at: r.at,
+                        start_node: r.node,
+                        mode,
+                        upgrade,
+                        path: Vec::new(),
+                        grant: None,
+                    },
+                );
+                assert!(prev.is_none(), "request id {req:#x} opened twice");
+            }
+            ProtocolEvent::RequestHop { req, hop } => {
+                let span = spans
+                    .get_mut(&req)
+                    .unwrap_or_else(|| panic!("hop for unopened request {req:#x}"));
+                span.path.push((r.at, r.node, hop));
+            }
+            ProtocolEvent::RequestGrant { req, hops } => {
+                let span = spans
+                    .get_mut(&req)
+                    .unwrap_or_else(|| panic!("grant for unopened request {req:#x}"));
+                assert!(span.grant.is_none(), "request {req:#x} granted twice");
+                span.grant = Some((r.at, hops));
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<Span> = spans.into_values().collect();
+    out.sort_by_key(|s| s.start_at);
+    out
+}
+
+/// Print distributions and exemplar critical paths.
+fn report(spans: &[Span], show_paths: bool) {
+    let completed: Vec<&Span> = spans.iter().filter(|s| s.grant.is_some()).collect();
+    println!(
+        "\n{} spans ({} completed, {} still open)",
+        spans.len(),
+        completed.len(),
+        spans.len() - completed.len()
+    );
+    if completed.is_empty() {
+        return;
+    }
+
+    let mut latency = Histogram::new();
+    let mut hops = Histogram::new();
+    for s in &completed {
+        latency.record(s.latency().expect("completed"));
+        hops.record(s.grant.expect("completed").1 as u64);
+    }
+    let lp = latency.percentiles();
+    println!(
+        "latency µs: p50 {} p95 {} p99 {} max {}",
+        lp.p50,
+        lp.p95,
+        lp.p99,
+        latency.max()
+    );
+    println!(
+        "hops: mean {:.2} p50 {} p99 {} max {}",
+        hops.mean(),
+        hops.quantile(0.50),
+        hops.quantile(0.99),
+        hops.max()
+    );
+
+    if !show_paths {
+        return;
+    }
+    // Exemplars: the longest chains are the interesting ones.
+    let mut by_hops: Vec<&&Span> = completed.iter().collect();
+    by_hops.sort_by_key(|s| std::cmp::Reverse(s.grant.expect("completed").1));
+    println!("\nlongest critical paths:");
+    for s in by_hops.iter().take(5) {
+        let (grant_at, grant_hops) = s.grant.expect("completed");
+        let mut path = format!("n{}", s.start_node);
+        for (_, node, hop) in &s.path {
+            path.push_str(&format!(" -[{hop}]-> n{node}"));
+        }
+        let tag = if s.upgrade { " upgrade" } else { "" };
+        println!(
+            "  req {:#x} {}{}: {} hops, {} µs  {}",
+            s.req,
+            s.mode,
+            tag,
+            grant_hops,
+            grant_at.saturating_sub(s.start_at),
+            path
+        );
+    }
+}
+
+/// Run a threaded cluster, dump the merged trace as JSONL, re-read it, and
+/// assert every completed acquire reconstructs into a completed span.
+fn capture(nodes: usize) -> Vec<TraceRecord> {
+    let (records, expected) = run_cluster(nodes, 6);
+
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("cluster{nodes}-trace.jsonl"));
+    let file = File::create(&path).expect("create trace file");
+    jsonl::write_jsonl(BufWriter::new(file), &records).expect("write trace");
+
+    // Re-read from disk so the analysis exercises the parser as well.
+    let back = jsonl::read_jsonl(BufReader::new(File::open(&path).expect("reopen")))
+        .expect("trace file round-trips");
+    assert_eq!(back, records, "JSONL round-trip is lossless");
+
+    let grants = back
+        .iter()
+        .filter(|r| matches!(r.event, ProtocolEvent::RequestGrant { .. }))
+        .count() as u64;
+    assert_eq!(
+        grants, expected,
+        "every completed acquire must close its span in the trace"
+    );
+    println!(
+        "captured {} records ({} completed acquires) from {} nodes -> {}",
+        back.len(),
+        grants,
+        nodes,
+        path.display()
+    );
+    back
+}
+
+/// Drive `ops` rounds of the two-level table/entry pattern on every node of
+/// an `n`-node cluster; returns the merged trace and the number of acquires
+/// performed (all of which complete).
+fn run_cluster(nodes: usize, ops: u32) -> (Vec<TraceRecord>, u64) {
+    let c = Cluster::new(ClusterConfig {
+        nodes,
+        locks: 3,
+        trace_capacity: 1 << 16,
+        ..Default::default()
+    });
+    let threads: Vec<_> = (0..nodes as u32)
+        .map(|i| {
+            let h = c.handle(i);
+            std::thread::spawn(move || {
+                // Simple per-node LCG so nodes spread over both entries
+                // without sharing a seed source.
+                let mut state = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..ops {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let entry = (state >> 33) % 2;
+                    h.acquire(LockId::TABLE, Mode::IntentWrite).unwrap();
+                    h.acquire(LockId::entry(entry as u32), Mode::Write).unwrap();
+                    h.release(LockId::entry(entry as u32)).unwrap();
+                    h.release(LockId::TABLE).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    c.quiesce(Duration::from_millis(20));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+    assert_eq!(report.trace_dropped, 0, "trace capacity covers the run");
+    let expected = (nodes as u64) * (ops as u64) * 2;
+    assert_eq!(report.acquire_latency.count(), expected);
+    (report.trace, expected)
+}
+
+/// The EXPERIMENTS.md table: hops per acquire vs log₂(n), with tail
+/// latencies, for n ∈ {4, 16, 64}.
+fn sweep() {
+    println!(
+        "{:>5} {:>8} {:>10} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "n",
+        "log2(n)",
+        "acquires",
+        "hops-mean",
+        "hops-p99",
+        "hops-max",
+        "lat-p50-µs",
+        "lat-p95-µs",
+        "lat-p99-µs"
+    );
+    for &nodes in &[4usize, 16, 64] {
+        let ops = if nodes >= 64 { 4 } else { 6 };
+        let (records, expected) = run_cluster(nodes, ops);
+        let spans = reconstruct(&records);
+        let completed: Vec<&Span> = spans.iter().filter(|s| s.grant.is_some()).collect();
+        assert_eq!(completed.len() as u64, expected);
+        let mut latency = Histogram::new();
+        let mut hops = Histogram::new();
+        for s in &completed {
+            latency.record(s.latency().expect("completed"));
+            hops.record(s.grant.expect("completed").1 as u64);
+        }
+        let lp = latency.percentiles();
+        println!(
+            "{:>5} {:>8.2} {:>10} {:>9.2} {:>9} {:>9} {:>12} {:>12} {:>12}",
+            nodes,
+            (nodes as f64).log2(),
+            completed.len(),
+            hops.mean(),
+            hops.quantile(0.99),
+            hops.max(),
+            lp.p50,
+            lp.p95,
+            lp.p99
+        );
+    }
+}

@@ -127,6 +127,12 @@ fn concise(event: &ProtocolEvent) -> String {
         }
         DupSuppressed { from, seq } => format!("suppresses duplicate link-seq {seq} from n{from}"),
         DecodeError { from } => format!("drops malformed frame from n{from}"),
+        RequestStart { req, mode, upgrade } => {
+            let tag = if *upgrade { " (upgrade)" } else { "" };
+            format!("opens request {req:#x} for {mode}{tag}")
+        }
+        RequestHop { req, hop } => format!("request {req:#x} hop {hop} lands"),
+        RequestGrant { req, hops } => format!("closes request {req:#x} after {hops} hops"),
     }
 }
 

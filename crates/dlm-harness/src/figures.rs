@@ -184,18 +184,42 @@ fn fig8_metric(_p: ProtocolKind) -> Metric {
     Box::new(|r: &WorkloadReport| r.latency_factor())
 }
 
+/// The request-latency percentiles of the tail figure, in series order.
+const TAIL_QS: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+
 /// One point per `(protocol, node-count)`; each point feeds every requested
-/// `(figure index, metric)` pair.
-fn linux_points(figs: &[FigMetric<ProtocolKind>]) -> Vec<Point> {
+/// `(figure index, metric)` pair. When `tail_fig` is set, the hierarchical
+/// protocol's runs additionally feed the latency-tail figure at that index —
+/// the percentile series ride the same simulations instead of re-running
+/// them. Points that would record nothing are skipped entirely.
+fn linux_points(figs: &[FigMetric<ProtocolKind>], tail_fig: Option<usize>) -> Vec<Point> {
     let mut points = Vec::new();
     for (series, &proto) in LINUX_PROTOS.iter().enumerate() {
         for (x, &n) in FIG7_NODES.iter().enumerate() {
+            let mut outputs: Vec<(Slot, Metric)> = figs
+                .iter()
+                .map(|&(fig, mk)| (Slot { fig, series, x }, mk(proto)))
+                .collect();
+            if let (Some(fig), ProtocolKind::Hier) = (tail_fig, proto) {
+                for (tail_series, &(q, _)) in TAIL_QS.iter().enumerate() {
+                    outputs.push((
+                        Slot {
+                            fig,
+                            series: tail_series,
+                            x,
+                        },
+                        Box::new(move |r: &WorkloadReport| {
+                            r.request_latency.quantile(q) as f64 / 1000.0
+                        }),
+                    ));
+                }
+            }
+            if outputs.is_empty() {
+                continue;
+            }
             points.push(Point {
                 params: WorkloadParams::linux_cluster(n, proto),
-                outputs: figs
-                    .iter()
-                    .map(|&(fig, mk)| (Slot { fig, series, x }, mk(proto)))
-                    .collect(),
+                outputs,
             });
         }
     }
@@ -247,6 +271,17 @@ fn sp_points(figs: &[FigMetric<u32>]) -> Vec<Point> {
         }
     }
     points
+}
+
+fn skeleton_latency_tail() -> Skeleton {
+    Skeleton {
+        name: "latency_tail",
+        title: "Request Latency Tail Percentiles (Linux cluster, hierarchical)",
+        x_label: "nodes",
+        y_label: "request latency (ms)",
+        x: FIG7_NODES.iter().map(|&n| n as f64).collect(),
+        series_labels: TAIL_QS.iter().map(|&(_, l)| l.to_string()).collect(),
+    }
 }
 
 fn skeleton_fig9() -> Skeleton {
@@ -343,13 +378,29 @@ fn single(skeleton: Skeleton, points: Vec<Point>, opts: &FigureOptions) -> Figur
 /// request on the Linux-cluster configuration, for the hierarchical protocol
 /// vs. the two Naimi variants.
 pub fn fig7(opts: &FigureOptions) -> Figure {
-    single(skeleton_fig7(), linux_points(&[(0, fig7_metric)]), opts)
+    single(
+        skeleton_fig7(),
+        linux_points(&[(0, fig7_metric)], None),
+        opts,
+    )
 }
 
 /// Figure 8: *Request Latency Factor* — mean request wait divided by the
 /// mean one-way network latency, same runs as Figure 7.
 pub fn fig8(opts: &FigureOptions) -> Figure {
-    single(skeleton_fig8(), linux_points(&[(0, fig8_metric)]), opts)
+    single(
+        skeleton_fig8(),
+        linux_points(&[(0, fig8_metric)], None),
+        opts,
+    )
+}
+
+/// Latency-tail figure: p50/p95/p99 per-request wait of the hierarchical
+/// protocol over the Linux-cluster node counts — the distribution behind
+/// Figure 8's mean. Mean-based series hide exactly the outliers a locking
+/// service gets paged for; this figure puts them on the y-axis.
+pub fn latency_tail(opts: &FigureOptions) -> Figure {
+    single(skeleton_latency_tail(), linux_points(&[], Some(0)), opts)
 }
 
 /// Figure 9: *Messages for Non-Critical : Critical Ratios* — messages per
@@ -383,8 +434,9 @@ pub fn all_figures(opts: &FigureOptions) -> Vec<Figure> {
         skeleton_fig9(),
         skeleton_fig10(),
         skeleton_ablations(),
+        skeleton_latency_tail(),
     ];
-    let mut points = linux_points(&[(0, fig7_metric), (1, fig8_metric)]);
+    let mut points = linux_points(&[(0, fig7_metric), (1, fig8_metric)], Some(5));
     points.extend(sp_points(&[(2, fig9_metric), (3, fig10_metric)]));
     points.extend(ablation_points(4));
     run_plan(skeletons, points, opts)

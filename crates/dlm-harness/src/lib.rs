@@ -21,5 +21,5 @@ mod figures;
 mod pool;
 
 pub use figure::{render_table, write_tsv, Figure, Series};
-pub use figures::{ablations, all_figures, fig10, fig7, fig8, fig9, FigureOptions};
+pub use figures::{ablations, all_figures, fig10, fig7, fig8, fig9, latency_tail, FigureOptions};
 pub use pool::run_jobs;

@@ -148,6 +148,103 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (Self::bucket_floor(i), c))
     }
+
+    /// The three tail quantiles every report in this repo cares about.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Serialize into the compact non-zero-bucket text encoding:
+    ///
+    /// ```text
+    /// v1;<count>;<total>;<min>;<max>;<idx>:<n>,<idx>:<n>,...
+    /// ```
+    ///
+    /// Only non-empty buckets are listed (an idle histogram is 160 zeros),
+    /// and the exact `count`/`total`/`min`/`max` ride alongside so a decoded
+    /// histogram reproduces `mean`, `min`, `max`, and every quantile
+    /// bit-for-bit. The workspace's serde is a no-op shim, so this string is
+    /// the real wire format used by report JSON and the bench baseline.
+    pub fn encode_compact(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "v1;{};{};{};{};",
+            self.count, self.total, self.min, self.max
+        );
+        let mut first = true;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{idx}:{c}");
+        }
+        out
+    }
+
+    /// Decode a string produced by [`Histogram::encode_compact`].
+    pub fn decode_compact(s: &str) -> Result<Histogram, String> {
+        let mut parts = s.splitn(6, ';');
+        let version = parts.next().ok_or("empty histogram encoding")?;
+        if version != "v1" {
+            return Err(format!("unknown histogram encoding version {version:?}"));
+        }
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("histogram encoding missing {name}"))
+        };
+        let count: u64 = field("count")?.parse().map_err(|e| format!("count: {e}"))?;
+        let total: u128 = field("total")?.parse().map_err(|e| format!("total: {e}"))?;
+        let min: u64 = field("min")?.parse().map_err(|e| format!("min: {e}"))?;
+        let max: u64 = field("max")?.parse().map_err(|e| format!("max: {e}"))?;
+        let buckets_str = field("buckets")?;
+        let mut h = Histogram::new();
+        h.count = count;
+        h.total = total;
+        h.min = min;
+        h.max = max;
+        let mut bucket_sum = 0u64;
+        if !buckets_str.is_empty() {
+            for pair in buckets_str.split(',') {
+                let (idx, c) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("malformed bucket entry {pair:?}"))?;
+                let idx: usize = idx.parse().map_err(|e| format!("bucket index: {e}"))?;
+                let c: u64 = c.parse().map_err(|e| format!("bucket count: {e}"))?;
+                if idx >= OCTAVES * SUBBUCKETS {
+                    return Err(format!("bucket index {idx} out of range"));
+                }
+                h.buckets[idx] += c;
+                bucket_sum += c;
+            }
+        }
+        if bucket_sum != count {
+            return Err(format!(
+                "bucket counts sum to {bucket_sum} but header count is {count}"
+            ));
+        }
+        Ok(h)
+    }
+}
+
+/// p50/p95/p99 extracted from a [`Histogram`], each accurate to the
+/// histogram's 25 % bucket width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median (0.50 quantile).
+    pub p50: u64,
+    /// 0.95 quantile.
+    pub p95: u64,
+    /// 0.99 quantile.
+    pub p99: u64,
 }
 
 #[cfg(test)]
@@ -241,5 +338,60 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         // Quantile is clamped by the exact max.
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn compact_encoding_round_trips() {
+        let mut h = Histogram::new();
+        for i in 0..700u64 {
+            h.record((i * 131) % 50_000);
+        }
+        let encoded = h.encode_compact();
+        let decoded = Histogram::decode_compact(&encoded).expect("decode");
+        assert_eq!(decoded.count(), h.count());
+        assert_eq!(decoded.mean(), h.mean());
+        assert_eq!(decoded.min(), h.min());
+        assert_eq!(decoded.max(), h.max());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(decoded.quantile(q), h.quantile(q), "quantile {q}");
+        }
+        // Round-tripping again is a fixed point.
+        assert_eq!(decoded.encode_compact(), encoded);
+    }
+
+    #[test]
+    fn compact_encoding_of_empty_histogram() {
+        let h = Histogram::new();
+        let decoded = Histogram::decode_compact(&h.encode_compact()).expect("decode");
+        assert_eq!(decoded.count(), 0);
+        assert_eq!(decoded.quantile(0.99), 0);
+        assert_eq!(decoded.max(), 0);
+    }
+
+    #[test]
+    fn compact_decode_rejects_malformed_input() {
+        for bad in [
+            "",
+            "v2;0;0;0;0;",
+            "v1;1;0;0;0;",      // count mismatch: header says 1, no buckets
+            "v1;1;0;0;0;999:1", // bucket index out of range
+            "v1;1;0;0;0;abc",   // malformed pair
+            "v1;not-a-number;0;0;0;",
+        ] {
+            assert!(Histogram::decode_compact(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn percentiles_match_individual_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.p50, h.quantile(0.50));
+        assert_eq!(p.p95, h.quantile(0.95));
+        assert_eq!(p.p99, h.quantile(0.99));
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
     }
 }

@@ -13,5 +13,5 @@ mod histogram;
 mod summary;
 
 pub use counters::CounterSet;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, Percentiles};
 pub use summary::Summary;

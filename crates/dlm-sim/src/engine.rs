@@ -83,6 +83,12 @@ impl<M> Ctx<'_, M> {
     /// ```ignore
     /// let effects = ctx.observe(lock, |obs| node.on_message_observed(from, msg, obs));
     /// ```
+    ///
+    /// Actors may also emit their own application-scope events through the
+    /// same observer (guarded by `obs.enabled()`): the workload's
+    /// request-span events (`RequestStart`/`RequestGrant`) ride this path,
+    /// which keeps them on the one shared timeline without a second
+    /// recorder plumbing.
     pub fn observe<T>(&mut self, lock: u32, f: impl FnOnce(&mut dyn Observer) -> T) -> T {
         match self.recorder {
             Some(rc) => {

@@ -195,6 +195,36 @@ pub enum ProtocolEvent {
         /// Claimed sender of the malformed frame.
         from: u32,
     },
+    /// Request span opened: a client operation (acquire or upgrade) was
+    /// issued and assigned a request id. Span events are observability
+    /// markers, not protocol actions — they carry no rule counter and no
+    /// send class, so differential fingerprints ignore them.
+    RequestStart {
+        /// Request id: `node << 32 | per-node counter`, unique per runtime.
+        req: u64,
+        /// Requested mode.
+        mode: Mode,
+        /// True for a Rule 7 U→W upgrade operation.
+        upgrade: bool,
+    },
+    /// A correlated frame arrived at this node while request `req` was in
+    /// flight: one network leg of the request's causal chain. `hop` is the
+    /// frame's causal depth (1 = the requester's own first send).
+    RequestHop {
+        /// The request whose chain this frame belongs to.
+        req: u64,
+        /// Causal depth of the delivering frame.
+        hop: u32,
+    },
+    /// Request span closed: the operation was granted. `hops` is the causal
+    /// depth of the frame that delivered the grant (0 = local admit, no
+    /// messages, or unknown — the simulator does not correlate frames).
+    RequestGrant {
+        /// The completed request.
+        req: u64,
+        /// Network legs on the granting chain.
+        hops: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -222,6 +252,9 @@ impl ProtocolEvent {
             ProtocolEvent::Retransmit { .. } => "retransmit",
             ProtocolEvent::DupSuppressed { .. } => "dup_suppressed",
             ProtocolEvent::DecodeError { .. } => "decode_error",
+            ProtocolEvent::RequestStart { .. } => "request_start",
+            ProtocolEvent::RequestHop { .. } => "request_hop",
+            ProtocolEvent::RequestGrant { .. } => "request_grant",
         }
     }
 
@@ -252,6 +285,9 @@ impl ProtocolEvent {
             | ProtocolEvent::Retransmit { .. }
             | ProtocolEvent::DupSuppressed { .. }
             | ProtocolEvent::DecodeError { .. } => "transport-reliability",
+            ProtocolEvent::RequestStart { .. }
+            | ProtocolEvent::RequestHop { .. }
+            | ProtocolEvent::RequestGrant { .. } => "request-span",
         }
     }
 
@@ -385,6 +421,19 @@ pub(crate) fn one_of_each() -> Vec<ProtocolEvent> {
         },
         ProtocolEvent::DupSuppressed { from: 1, seq: 40 },
         ProtocolEvent::DecodeError { from: 6 },
+        ProtocolEvent::RequestStart {
+            req: (3u64 << 32) | 17,
+            mode: Mode::Write,
+            upgrade: false,
+        },
+        ProtocolEvent::RequestHop {
+            req: (3u64 << 32) | 17,
+            hop: 2,
+        },
+        ProtocolEvent::RequestGrant {
+            req: (3u64 << 32) | 17,
+            hops: 3,
+        },
     ]
 }
 

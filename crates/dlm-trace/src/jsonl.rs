@@ -219,6 +219,17 @@ pub fn record_to_json(r: &TraceRecord) -> String {
         ProtocolEvent::DecodeError { from } => {
             o.num("from", *from as u64);
         }
+        ProtocolEvent::RequestStart { req, mode, upgrade } => {
+            o.num("req", *req)
+                .str("mode", mode.short_name())
+                .boolean("upgrade", *upgrade);
+        }
+        ProtocolEvent::RequestHop { req, hop } => {
+            o.num("req", *req).num("hop", *hop as u64);
+        }
+        ProtocolEvent::RequestGrant { req, hops } => {
+            o.num("req", *req).num("hops", *hops as u64);
+        }
     }
     o.finish()
 }
@@ -493,6 +504,19 @@ pub fn parse_record(line: &str) -> Result<TraceRecord, String> {
         },
         "decode_error" => ProtocolEvent::DecodeError {
             from: f.u32("from")?,
+        },
+        "request_start" => ProtocolEvent::RequestStart {
+            req: f.num("req")?,
+            mode: f.mode("mode")?,
+            upgrade: f.boolean("upgrade")?,
+        },
+        "request_hop" => ProtocolEvent::RequestHop {
+            req: f.num("req")?,
+            hop: f.u32("hop")?,
+        },
+        "request_grant" => ProtocolEvent::RequestGrant {
+            req: f.num("req")?,
+            hops: f.u32("hops")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };

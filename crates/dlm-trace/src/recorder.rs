@@ -137,8 +137,16 @@ pub struct TraceStats {
     pub queue_depth: Histogram,
     /// Time (in the producing runtime's clock units) each node spent frozen.
     pub freeze_spans: Histogram,
+    /// End-to-end request latency (`RequestStart` → `RequestGrant`, clock
+    /// units of the producing runtime).
+    pub span_latency: Histogram,
+    /// Network legs on each completed request's granting chain (the
+    /// `RequestGrant` `hops` field).
+    pub span_hops: Histogram,
     /// Open freeze intervals: `(lock, node) → at` of the `Frozen` event.
     freeze_since: BTreeMap<(u32, u32), u64>,
+    /// Open request spans: `req → at` of the `RequestStart` event.
+    span_since: BTreeMap<u64, u64>,
 }
 
 impl TraceStats {
@@ -159,6 +167,8 @@ impl TraceStats {
         self.sends.merge(&other.sends);
         self.queue_depth.merge(&other.queue_depth);
         self.freeze_spans.merge(&other.freeze_spans);
+        self.span_latency.merge(&other.span_latency);
+        self.span_hops.merge(&other.span_hops);
     }
 
     /// Absorb one already-stamped record (used when replaying stored
@@ -168,6 +178,30 @@ impl TraceStats {
     }
 
     fn observe(&mut self, at: u64, lock: u32, node: u32, event: &ProtocolEvent) {
+        // Request-span markers are observability metadata, not protocol
+        // actions: they feed the span histograms but deliberately stay out
+        // of the per-rule counters so differential fingerprints (golden
+        // reports, model-check gates) are identical with tracing on or off.
+        match event {
+            ProtocolEvent::RequestStart { req, .. } => {
+                self.kinds.add(event.kind(), 1);
+                self.span_since.insert(*req, at);
+                return;
+            }
+            ProtocolEvent::RequestHop { .. } => {
+                self.kinds.add(event.kind(), 1);
+                return;
+            }
+            ProtocolEvent::RequestGrant { req, hops } => {
+                self.kinds.add(event.kind(), 1);
+                if let Some(start) = self.span_since.remove(req) {
+                    self.span_latency.record(at.saturating_sub(start));
+                    self.span_hops.record(*hops as u64);
+                }
+                return;
+            }
+            _ => {}
+        }
         self.rules.add(event.rule(), 1);
         self.kinds.add(event.kind(), 1);
         if let Some(class) = event.send_class() {
@@ -274,6 +308,36 @@ mod tests {
         stats.record(160, 0, 4, ProtocolEvent::Unfrozen);
         assert_eq!(stats.freeze_spans.count(), 1);
         assert!(stats.freeze_spans.mean() >= 59.0);
+    }
+
+    #[test]
+    fn request_spans_pair_start_with_grant_and_skip_rule_counters() {
+        let mut stats = TraceStats::new();
+        let req = (2u64 << 32) | 5;
+        stats.record(
+            100,
+            0,
+            2,
+            ProtocolEvent::RequestStart {
+                req,
+                mode: Mode::Read,
+                upgrade: false,
+            },
+        );
+        stats.record(120, 0, 1, ProtocolEvent::RequestHop { req, hop: 1 });
+        stats.record(150, 0, 2, ProtocolEvent::RequestGrant { req, hops: 2 });
+        assert_eq!(stats.span_latency.count(), 1);
+        assert_eq!(stats.span_latency.max(), 50);
+        assert_eq!(stats.span_hops.max(), 2);
+        assert_eq!(stats.kinds.get("request_start"), 1);
+        assert_eq!(stats.kinds.get("request_hop"), 1);
+        assert_eq!(stats.kinds.get("request_grant"), 1);
+        // Span markers never touch the per-rule or send-class counters.
+        assert_eq!(stats.rules.total(), 0);
+        assert_eq!(stats.total_sends(), 0);
+        // A grant without a matching start is ignored, not a panic.
+        stats.record(160, 0, 3, ProtocolEvent::RequestGrant { req: 999, hops: 1 });
+        assert_eq!(stats.span_latency.count(), 1);
     }
 
     #[test]

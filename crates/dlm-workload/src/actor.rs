@@ -5,10 +5,11 @@ use crate::params::WorkloadParams;
 use crate::plan::{OpKind, OpPlan};
 use crate::proto::{wire_kind, ProtoEvent, ProtoStack};
 use crate::LockId;
-use dlm_core::{Message, NodeId};
+use dlm_core::{Message, Mode, NodeId};
 use dlm_metrics::{CounterSet, Histogram};
 use dlm_naimi::NaimiMessage;
 use dlm_sim::{Actor, Ctx, Micros};
+use dlm_trace::ProtocolEvent;
 use rand::Rng;
 
 /// Wire payload multiplexing both protocols over multiple lock objects.
@@ -62,6 +63,7 @@ enum Phase {
 /// One node of the workload: protocol stack + application state machine +
 /// local measurements.
 pub struct AppActor {
+    me: NodeId,
     params: WorkloadParams,
     stack: ProtoStack,
     /// Reusable outbound-send scratch, drained by [`Self::send_all`]. The
@@ -74,6 +76,11 @@ pub struct AppActor {
     ops_done: u32,
     issue_time: Micros,
     op_start: Micros,
+    /// Monotone per-node request counter; ids are `(node << 32) | counter`
+    /// so they are globally unique and never the `0` uncorrelated sentinel.
+    next_req: u64,
+    /// Request id of the in-flight acquire/upgrade (at most one at a time).
+    cur_req: u64,
     /// Lock requests issued (including message-free local admissions).
     pub requests_issued: u64,
     /// Per-request wait: request issue → grant, in µs.
@@ -102,6 +109,7 @@ impl AppActor {
             _ => ProtoStack::new_naimi(me, params.lock_count()),
         };
         AppActor {
+            me,
             params,
             stack,
             out: Vec::new(),
@@ -111,6 +119,8 @@ impl AppActor {
             ops_done: 0,
             issue_time: 0,
             op_start: 0,
+            next_req: 0,
+            cur_req: 0,
             requests_issued: 0,
             request_latency: Histogram::new(),
             op_latency: Histogram::new(),
@@ -141,6 +151,34 @@ impl AppActor {
     /// Expose the protocol stack (for post-run audits).
     pub fn stack(&self) -> &ProtoStack {
         &self.stack
+    }
+
+    /// Open a request span: allocate a fresh id and emit `RequestStart`.
+    /// Span events ride the same observer as protocol events but are
+    /// excluded from rule/send tallies, so differential fingerprints and
+    /// the 1:1 send contract are untouched.
+    fn open_span(&mut self, ctx: &mut Ctx<'_, Wire>, lock: LockId, mode: Mode, upgrade: bool) {
+        self.next_req += 1;
+        self.cur_req = ((self.me.0 as u64) << 32) | self.next_req;
+        let (me, req) = (self.me.0, self.cur_req);
+        ctx.observe(lock.0, |obs| {
+            if obs.enabled() {
+                obs.emit(me, ProtocolEvent::RequestStart { req, mode, upgrade });
+            }
+        });
+    }
+
+    /// Close the current request span. The simulator delivers grants with
+    /// zero transport hops from the application's viewpoint (hop counts are
+    /// a cluster-frame concept), so spans carry `hops: 0` here; hop
+    /// distributions come from the cluster runtime.
+    fn close_span(&mut self, ctx: &mut Ctx<'_, Wire>, lock: LockId) {
+        let (me, req) = (self.me.0, self.cur_req);
+        ctx.observe(lock.0, |obs| {
+            if obs.enabled() {
+                obs.emit(me, ProtocolEvent::RequestGrant { req, hops: 0 });
+            }
+        });
     }
 
     fn sample_around(mean: Micros, rng: &mut impl Rng) -> Micros {
@@ -182,6 +220,7 @@ impl AppActor {
             let mut events = Vec::new();
             self.requests_issued += 1;
             self.issue_time = ctx.now();
+            self.open_span(ctx, lock, mode, false);
             let AppActor { stack, out, .. } = self;
             ctx.observe(lock.0, |obs| {
                 stack.acquire(lock, mode, out, &mut events, obs)
@@ -193,6 +232,7 @@ impl AppActor {
             if events.contains(&ProtoEvent::Granted(lock)) {
                 // Local admission (Rule 2 fast path): zero latency.
                 self.request_latency.record(0);
+                self.close_span(ctx, lock);
                 self.step += 1;
                 continue;
             }
@@ -240,6 +280,7 @@ impl AppActor {
                     assert_eq!(plan.locks[self.step].0, lock, "grant for awaited lock");
                     self.request_latency
                         .record(ctx.now().saturating_sub(self.issue_time));
+                    self.close_span(ctx, lock);
                     self.step += 1;
                     self.advance_acquisition(ctx);
                 }
@@ -252,6 +293,7 @@ impl AppActor {
                     );
                     self.request_latency
                         .record(ctx.now().saturating_sub(self.issue_time));
+                    self.close_span(ctx, lock);
                     self.upgrades_done += 1;
                     self.phase = Phase::InCsUpgraded;
                     let cs = Self::sample_around(self.params.cs_mean / 2, ctx.rng());
@@ -298,6 +340,7 @@ impl Actor for AppActor {
                     self.phase = Phase::Upgrading;
                     self.requests_issued += 1;
                     self.issue_time = ctx.now();
+                    self.open_span(ctx, LockId::TABLE, Mode::Write, true);
                     let mut events = Vec::new();
                     let AppActor { stack, out, .. } = self;
                     ctx.observe(LockId::TABLE.0, |obs| {

@@ -27,4 +27,7 @@ DLM_CHAOS_CASES="${DLM_CHAOS_CASES:-4}" cargo test -q -p dlm-cluster --test chao
 echo "==> model-check gate: check gate"
 cargo run --release -q -p dlm-check --bin check -- gate
 
+echo "==> request-span smoke: capture + reconstruct a 4-node cluster trace"
+cargo run --release -q -p dlm-harness --bin spans -- 4
+
 echo "All checks passed."

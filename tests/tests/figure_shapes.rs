@@ -2,7 +2,7 @@
 //! paper's evaluation must hold on reduced (fast) sweeps. These are the
 //! executable version of EXPERIMENTS.md.
 
-use dlm_harness::{ablations, all_figures, fig10, fig7, fig8, fig9, FigureOptions};
+use dlm_harness::{ablations, all_figures, fig10, fig7, fig8, fig9, latency_tail, FigureOptions};
 
 fn opts() -> FigureOptions {
     FigureOptions::quick()
@@ -23,6 +23,7 @@ fn shared_plan_matches_standalone_figures() {
         fig9(&serial_opts),
         fig10(&serial_opts),
         ablations(&serial_opts),
+        latency_tail(&serial_opts),
     ];
     assert_eq!(shared.len(), standalone.len());
     for (a, b) in shared.iter().zip(&standalone) {
