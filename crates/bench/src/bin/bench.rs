@@ -202,6 +202,47 @@ fn main() {
         }
     }
 
+    // 3d. Model-checker exploration throughput: distinct states per second
+    //     on a fixed 5-node / 2-lock symmetric scenario, serial vs a
+    //     2-worker frontier (both under the canonical quotient, so the
+    //     state count — and therefore the work — is identical). On a
+    //     single-core host the parallel number mostly prices the frontier
+    //     machinery; on real cores it shows the speedup.
+    {
+        use dlm_check::{explore_with, Op, Options, Scenario};
+        let leaf = || {
+            vec![
+                Op::Acquire(Mode::Write),
+                Op::Release,
+                Op::AcquireOn(1, Mode::Write),
+                Op::ReleaseOn(1),
+            ]
+        };
+        let scenario = Scenario::star(
+            5,
+            vec![vec![], leaf(), leaf(), leaf(), leaf()],
+            dlm_core::ProtocolConfig::paper(),
+        );
+        let check_reps = if smoke { 1 } else { 3 };
+        for (label, workers) in [("serial", 1usize), ("w2", 2)] {
+            let mut states = 0usize;
+            let ns = best_ns(check_reps, || {
+                let r = explore_with(
+                    &scenario,
+                    Options::exhaustive(1_000_000)
+                        .with_symmetry(true)
+                        .with_workers(workers),
+                );
+                assert!(r.verified() && !r.truncated);
+                states = r.states;
+            });
+            results.push((
+                format!("check_states_per_sec_{label}"),
+                states as f64 / (ns / 1e9),
+            ));
+        }
+    }
+
     // 4. One end-to-end workload point per paper figure.
     let points: Vec<(&str, WorkloadParams)> = vec![
         (

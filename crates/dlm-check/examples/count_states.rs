@@ -1,8 +1,45 @@
-//! Print exploration statistics for the readers/writer star, with and
-//! without partial-order reduction (the source of the counts quoted in
-//! `EXPERIMENTS.md`).
+//! Print exploration statistics quoted in `EXPERIMENTS.md`: the
+//! partial-order-reduction counts for the readers/writer star, and the
+//! symmetry-reduction before/after table (nodes × locks × states ×
+//! wall-clock × workers) for symmetric star scenarios.
 use dlm_check::{explore_with, Op, Options, Scenario};
 use dlm_core::{Mode, ProtocolConfig};
+
+/// A star with `n - 1` identical leaves, each write-locking `locks` lock
+/// objects in sequence — maximal symmetry (automorphism group (n-1)!).
+fn symmetric_star(n: usize, locks: u32) -> Scenario {
+    let mut leaf = Vec::new();
+    for lock in 0..locks {
+        leaf.push(Op::AcquireOn(lock, Mode::Write));
+        leaf.push(Op::ReleaseOn(lock));
+    }
+    let mut scripts = vec![Vec::new()];
+    for _ in 1..n {
+        scripts.push(leaf.clone());
+    }
+    Scenario::star(n, scripts, ProtocolConfig::paper())
+}
+
+fn row(label: &str, s: &Scenario, budget: usize, symmetry: bool, workers: usize) {
+    let r = explore_with(
+        s,
+        Options::exhaustive(budget)
+            .with_symmetry(symmetry)
+            .with_workers(workers),
+    );
+    let states = if r.truncated {
+        format!(">{} (truncated)", r.states)
+    } else {
+        r.states.to_string()
+    };
+    println!(
+        "{label:28} sym={} w={workers} group={:3} states={states:20} verified={} {:.2}s",
+        if symmetry { "on " } else { "off" },
+        r.group_order,
+        r.verified() && !r.truncated,
+        r.elapsed_secs
+    );
+}
 
 fn main() {
     let s = Scenario::star(
@@ -35,4 +72,14 @@ fn main() {
         off.states as f64 / on.states.max(1) as f64,
         off.terminal_fingerprints == on.terminal_fingerprints
     );
+
+    println!("\nsymmetry reduction (plain BFS vs canonical quotient):");
+    let budget = 4_000_000;
+    for (nodes, locks) in [(4usize, 1u32), (5, 1), (5, 2), (6, 2)] {
+        let s = symmetric_star(nodes, locks);
+        let label = format!("star n={nodes} locks={locks}");
+        row(&label, &s, budget, false, 1);
+        row(&label, &s, budget, true, 1);
+        row(&label, &s, budget, true, 2);
+    }
 }

@@ -9,6 +9,12 @@
 //! options:
 //!   --reduction on|off|both   search mode (default both: run and compare)
 //!   --budget N                max distinct states (default 4000000)
+//!   --max-states N            alias for --budget
+//!   --max-seconds S           wall-clock budget (float seconds)
+//!   --workers N               parallel exploration workers (default 1)
+//!   --symmetry on|off         canonicalize states under node relabeling
+//!   --stats                   per-run statistics (steals, dedup, sym hits)
+//!   --progress                live states-per-second reporting on stderr
 //!   --jsonl PATH              write the first counterexample as dlm-trace JSONL
 //!   --topology star|chain|btree   (family) initial tree shape
 //!   --nodes N                 (family) node count
@@ -16,9 +22,11 @@
 //!   --modes IR,R,U,IW,W       (family) acquire-mode alphabet
 //! ```
 //!
-//! Exit status is 0 when every run matches its expected outcome (named
-//! scenarios carry one; families and ad-hoc runs expect full verification)
-//! and 1 otherwise, so the bin doubles as a CI gate.
+//! Exit status: 0 when every run matches its expected outcome (named
+//! scenarios carry one; families and ad-hoc runs expect full verification),
+//! 1 when a violation / unexpected outcome was found, 2 on usage errors,
+//! and 3 when a state or time budget ran out before the search finished —
+//! so callers can tell "provably broken" from "not proven within budget".
 
 use dlm_check::enumerate::{Family, Topology};
 use dlm_check::{
@@ -26,6 +34,11 @@ use dlm_check::{
     Scenario, Schedule,
 };
 use dlm_core::{Mode, ProtocolConfig};
+
+const EXIT_OK: i32 = 0;
+const EXIT_FAIL: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_BUDGET: i32 = 3;
 
 /// What a named scenario is supposed to produce.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -49,6 +62,10 @@ struct Named {
     name: &'static str,
     about: &'static str,
     expected: Expected,
+    /// Heavy scenarios are skipped by the plain gate loop (they need
+    /// symmetry reduction to finish in gate time) and exercised by the
+    /// dedicated acceptance section instead.
+    heavy: bool,
     build: fn() -> Scenario,
 }
 
@@ -56,11 +73,32 @@ fn acquire_release(mode: Mode) -> Vec<Op> {
     vec![Op::Acquire(mode), Op::Release]
 }
 
+/// The symmetry-acceptance scenario: a 5-node star whose four leaves run the
+/// same script against two lock objects. The full state space is far beyond
+/// the gate budget, but the scenario's automorphism group has order 4! = 24,
+/// so the canonical quotient is gate-sized.
+fn two_locks() -> Scenario {
+    let leaf = || {
+        vec![
+            Op::Acquire(Mode::Write),
+            Op::Release,
+            Op::AcquireOn(1, Mode::Write),
+            Op::ReleaseOn(1),
+        ]
+    };
+    Scenario::star(
+        5,
+        vec![vec![], leaf(), leaf(), leaf(), leaf()],
+        ProtocolConfig::paper(),
+    )
+}
+
 const NAMED: &[Named] = &[
     Named {
         name: "two_writers",
         about: "two W requests race through a shared parent",
         expected: Expected::Verified,
+        heavy: false,
         build: || {
             Scenario::star(
                 3,
@@ -77,6 +115,7 @@ const NAMED: &[Named] = &[
         name: "readers_writer",
         about: "two readers and a writer on a star",
         expected: Expected::Verified,
+        heavy: false,
         build: || {
             Scenario::star(
                 3,
@@ -93,6 +132,7 @@ const NAMED: &[Named] = &[
         name: "upgrade_race",
         about: "a U→W upgrade racing a reader",
         expected: Expected::Verified,
+        heavy: false,
         build: || {
             Scenario::star(
                 3,
@@ -109,6 +149,7 @@ const NAMED: &[Named] = &[
         name: "chain_freeze",
         about: "4-node chain: forwarding, freezing, token movement",
         expected: Expected::Verified,
+        heavy: false,
         build: || {
             Scenario::chain(
                 4,
@@ -126,6 +167,7 @@ const NAMED: &[Named] = &[
         name: "grant_release_race",
         about: "release racing a grant from the moved token (ack counters)",
         expected: Expected::Verified,
+        heavy: false,
         build: || {
             Scenario::star(
                 3,
@@ -142,6 +184,7 @@ const NAMED: &[Named] = &[
         name: "deadlock",
         about: "a reader that never releases strands a writer (liveness)",
         expected: Expected::Deadlock,
+        heavy: false,
         build: || {
             Scenario::star(
                 3,
@@ -158,6 +201,7 @@ const NAMED: &[Named] = &[
         name: "seeded_bug",
         about: "test-only stale-release bug: mutual exclusion breaks",
         expected: Expected::Violation,
+        heavy: false,
         build: || {
             Scenario::star(
                 3,
@@ -170,11 +214,23 @@ const NAMED: &[Named] = &[
             )
         },
     },
+    Named {
+        name: "two_locks",
+        about: "5-node star, 4 symmetric leaves on two lock objects (try --symmetry on)",
+        expected: Expected::Verified,
+        heavy: true,
+        build: two_locks,
+    },
 ];
 
 struct Cli {
     reduction: Option<Reduction>, // None = both
     budget: usize,
+    max_seconds: Option<f64>,
+    workers: usize,
+    symmetry: bool,
+    stats: bool,
+    progress: bool,
     jsonl: Option<String>,
     topology: Topology,
     nodes: usize,
@@ -183,36 +239,60 @@ struct Cli {
     rest: Vec<String>,
 }
 
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            reduction: None,
+            budget: 4_000_000,
+            max_seconds: None,
+            workers: 1,
+            symmetry: false,
+            stats: false,
+            progress: false,
+            jsonl: None,
+            topology: Topology::Star,
+            nodes: 3,
+            pairs: 2,
+            modes: vec![
+                Mode::IntentRead,
+                Mode::Read,
+                Mode::Upgrade,
+                Mode::IntentWrite,
+                Mode::Write,
+            ],
+            rest: Vec::new(),
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!("{}", include_usage());
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 fn include_usage() -> &'static str {
     "usage: check list
-       check scenario <name> [--reduction on|off|both] [--budget N] [--jsonl PATH]
+       check scenario <name> [--reduction on|off|both] [--budget N] [--max-seconds S]
+                      [--workers N] [--symmetry on|off] [--stats] [--progress] [--jsonl PATH]
        check family [--topology star|chain|btree] [--nodes N] [--pairs N] \
-[--modes IR,R,..] [--reduction ..] [--budget N]
-       check gate"
+[--modes IR,R,..] [--reduction ..] [--budget N] [--workers N] [--symmetry on|off]
+       check gate
+exit codes: 0 ok, 1 violation/unexpected outcome, 2 usage, 3 budget exhausted"
+}
+
+fn parse_on_off(flag: &str, v: &str) -> bool {
+    match v {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("{flag} takes on|off, got {other:?}");
+            usage()
+        }
+    }
 }
 
 fn parse_cli(args: &[String]) -> Cli {
-    let mut cli = Cli {
-        reduction: None,
-        budget: 4_000_000,
-        jsonl: None,
-        topology: Topology::Star,
-        nodes: 3,
-        pairs: 2,
-        modes: vec![
-            Mode::IntentRead,
-            Mode::Read,
-            Mode::Upgrade,
-            Mode::IntentWrite,
-            Mode::Write,
-        ],
-        rest: Vec::new(),
-    };
+    let mut cli = Cli::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -233,12 +313,31 @@ fn parse_cli(args: &[String]) -> Cli {
                     }
                 }
             }
-            "--budget" => {
-                cli.budget = value("--budget").parse().unwrap_or_else(|_| {
-                    eprintln!("--budget takes a number");
+            "--budget" | "--max-states" => {
+                cli.budget = value(a).parse().unwrap_or_else(|_| {
+                    eprintln!("{a} takes a number");
                     usage()
                 })
             }
+            "--max-seconds" => {
+                cli.max_seconds = Some(value("--max-seconds").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-seconds takes a number of seconds");
+                    usage()
+                }))
+            }
+            "--workers" => {
+                cli.workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers takes a number");
+                    usage()
+                });
+                if cli.workers == 0 {
+                    eprintln!("--workers must be at least 1");
+                    usage()
+                }
+            }
+            "--symmetry" => cli.symmetry = parse_on_off("--symmetry", &value("--symmetry")),
+            "--stats" => cli.stats = true,
+            "--progress" => cli.progress = true,
             "--jsonl" => cli.jsonl = Some(value("--jsonl")),
             "--topology" => {
                 let v = value("--topology");
@@ -281,14 +380,22 @@ fn parse_cli(args: &[String]) -> Cli {
     cli
 }
 
-fn options(reduction: Reduction, budget: usize) -> Options {
-    match reduction {
-        Reduction::Off => Options::exhaustive(budget),
-        Reduction::On => Options::reduced(budget),
+fn options(cli: &Cli, reduction: Reduction) -> Options {
+    let base = match reduction {
+        Reduction::Off => Options::exhaustive(cli.budget),
+        Reduction::On => Options::reduced(cli.budget),
+    };
+    let mut opts = base
+        .with_workers(cli.workers)
+        .with_symmetry(cli.symmetry)
+        .with_progress(cli.progress);
+    if let Some(s) = cli.max_seconds {
+        opts = opts.with_max_seconds(s);
     }
+    opts
 }
 
-fn print_stats(label: &str, r: &CheckReport) {
+fn print_stats(label: &str, r: &CheckReport, detailed: bool) {
     println!(
         "  [{label}] states={} transitions={} terminals={} violations={} deadlocks={}{}",
         r.states,
@@ -298,6 +405,25 @@ fn print_stats(label: &str, r: &CheckReport) {
         r.deadlocks.len(),
         if r.truncated { " (TRUNCATED)" } else { "" },
     );
+    if detailed {
+        let rate = if r.elapsed_secs > 0.0 {
+            r.states as f64 / r.elapsed_secs
+        } else {
+            0.0
+        };
+        println!(
+            "  [{label}] workers={} group_order={} sym_hits={} dedup_hits={} steals={} \
+             dedup_ratio={:.3} elapsed={:.3}s ({:.0} states/s)",
+            r.workers,
+            r.group_order,
+            r.sym_hits,
+            r.dedup_hits,
+            r.steals,
+            r.dedup_ratio(),
+            r.elapsed_secs,
+            rate,
+        );
+    }
 }
 
 fn outcome(r: &CheckReport) -> Expected {
@@ -365,7 +491,7 @@ fn run_modes(s: &Scenario, cli: &Cli) -> (Vec<(Reduction, CheckReport)>, bool) {
     };
     let reports: Vec<(Reduction, CheckReport)> = modes
         .iter()
-        .map(|&m| (m, explore_with(s, options(m, cli.budget))))
+        .map(|&m| (m, explore_with(s, options(cli, m))))
         .collect();
     let mut agree = true;
     if let [(_, off), (_, on)] = &reports[..] {
@@ -405,17 +531,17 @@ fn cmd_list() -> i32 {
             n.about
         );
     }
-    0
+    EXIT_OK
 }
 
 fn cmd_scenario(cli: &Cli) -> i32 {
     let Some(name) = cli.rest.first() else {
         eprintln!("check scenario: which one? (see `check list`)");
-        return 2;
+        return EXIT_USAGE;
     };
     let Some(named) = NAMED.iter().find(|n| n.name == *name) else {
         eprintln!("unknown scenario {name:?} (see `check list`)");
-        return 2;
+        return EXIT_USAGE;
     };
     let s = (named.build)();
     println!(
@@ -424,11 +550,15 @@ fn cmd_scenario(cli: &Cli) -> i32 {
     );
     let (reports, agree) = run_modes(&s, cli);
     let mut ok = agree;
+    let mut exhausted = false;
     for (mode, r) in &reports {
-        print_stats(&mode.to_string(), r);
+        print_stats(&mode.to_string(), r, cli.stats);
         if r.truncated {
-            println!("  !! truncated at {} states; raise --budget", r.states);
-            ok = false;
+            println!(
+                "  budget exhausted at {} states ({:.1}s); raise --budget / --max-seconds",
+                r.states, r.elapsed_secs
+            );
+            exhausted = true;
         } else if outcome(r) != named.expected {
             println!("  !! expected {}, got {}", named.expected, outcome(r));
             ok = false;
@@ -439,11 +569,15 @@ fn cmd_scenario(cli: &Cli) -> i32 {
             ok = false;
         }
     }
-    println!("{}", if ok { "OK" } else { "FAILED" });
-    if ok {
-        0
+    if !ok {
+        println!("FAILED");
+        EXIT_FAIL
+    } else if exhausted {
+        println!("BUDGET EXHAUSTED");
+        EXIT_BUDGET
     } else {
-        1
+        println!("OK");
+        EXIT_OK
     }
 }
 
@@ -475,7 +609,7 @@ fn cmd_family(cli: &Cli) -> i32 {
     let mut truncated = 0usize;
     let mut failed = 0usize;
     for (i, s) in scenarios.iter().enumerate() {
-        let r = explore_with(s, options(reduction, cli.budget));
+        let r = explore_with(s, options(cli, reduction));
         states += r.states;
         transitions += r.transitions;
         terminals += r.terminals;
@@ -503,29 +637,135 @@ fn cmd_family(cli: &Cli) -> i32 {
         truncated,
         failed
     );
-    if failed == 0 {
-        println!("OK");
-        0
-    } else {
+    if failed > 0 {
         println!("FAILED");
-        1
+        EXIT_FAIL
+    } else if truncated > 0 {
+        println!("BUDGET EXHAUSTED");
+        EXIT_BUDGET
+    } else {
+        println!("OK");
+        EXIT_OK
     }
 }
 
-/// The CI gate: every named scenario in both modes (cross-checked), plus a
-/// small star family sweep. Budgets are sized to finish in seconds.
+/// Differential gate: the parallel BFS frontier must agree with the serial
+/// one — same canonical state count, same verdict, same minimal schedule
+/// length, same terminal fingerprints — at every worker count, with and
+/// without symmetry reduction.
+fn gate_differential() -> i32 {
+    let mut status = EXIT_OK;
+    let cases = [
+        "two_writers",
+        "grant_release_race",
+        "deadlock",
+        "seeded_bug",
+    ];
+    for name in cases {
+        let n = NAMED.iter().find(|n| n.name == name).unwrap();
+        let s = (n.build)();
+        for symmetry in [false, true] {
+            let base = explore_with(&s, Options::exhaustive(1_000_000).with_symmetry(symmetry));
+            let base_len = first_schedule(&base).map(|(_, sch)| sch.0.len());
+            for workers in [2, 4, 8] {
+                let par = explore_with(
+                    &s,
+                    Options::exhaustive(1_000_000)
+                        .with_symmetry(symmetry)
+                        .with_workers(workers),
+                );
+                let par_len = first_schedule(&par).map(|(_, sch)| sch.0.len());
+                let mut ok = true;
+                if par.states != base.states {
+                    println!(
+                        "gate: {name} sym={symmetry} w={workers}: states {} != serial {}",
+                        par.states, base.states
+                    );
+                    ok = false;
+                }
+                if outcome(&par) != outcome(&base) {
+                    println!(
+                        "gate: {name} sym={symmetry} w={workers}: outcome {} != serial {}",
+                        outcome(&par),
+                        outcome(&base)
+                    );
+                    ok = false;
+                }
+                if par.terminal_fingerprints != base.terminal_fingerprints {
+                    println!("gate: {name} sym={symmetry} w={workers}: terminal sets differ");
+                    ok = false;
+                }
+                if par_len != base_len {
+                    println!(
+                        "gate: {name} sym={symmetry} w={workers}: schedule length {par_len:?} \
+                         != serial {base_len:?}"
+                    );
+                    ok = false;
+                }
+                if !ok {
+                    status = EXIT_FAIL;
+                }
+            }
+        }
+        println!(
+            "gate: differential {name:20} {}",
+            if status == EXIT_OK { "ok" } else { "FAILED" }
+        );
+    }
+    status
+}
+
+/// Acceptance gate: the 5-node / 2-lock symmetric scenario is out of reach
+/// for the plain serial search at the gate budget, but the canonical
+/// quotient (group order 24) checks clean under parallel workers.
+fn gate_acceptance() -> i32 {
+    let s = two_locks();
+    let budget = 60_000;
+    let plain = explore_with(&s, Options::exhaustive(budget));
+    if !plain.truncated {
+        println!(
+            "gate: two_locks: plain search finished in {} states — scenario too small \
+             to demonstrate reduction",
+            plain.states
+        );
+        return EXIT_FAIL;
+    }
+    let sym = explore_with(
+        &s,
+        Options::exhaustive(budget)
+            .with_symmetry(true)
+            .with_workers(2),
+    );
+    if sym.truncated {
+        println!(
+            "gate: two_locks: symmetric search still truncated at {} states",
+            sym.states
+        );
+        return EXIT_FAIL;
+    }
+    if !sym.verified() {
+        println!("gate: two_locks: expected verified, got {}", outcome(&sym));
+        return EXIT_FAIL;
+    }
+    println!(
+        "gate: acceptance two_locks    ok (plain truncated at {}, canonical quotient {} states, \
+         group order {}, {:.1}s)",
+        plain.states, sym.states, sym.group_order, sym.elapsed_secs
+    );
+    EXIT_OK
+}
+
+/// The CI gate: every named scenario in both modes (cross-checked), a small
+/// star family sweep, the serial-vs-parallel differential, and the symmetry
+/// acceptance scenario. Budgets are sized to finish in seconds.
 fn cmd_gate() -> i32 {
-    let mut status = 0;
-    for n in NAMED {
+    let mut status = EXIT_OK;
+    for n in NAMED.iter().filter(|n| !n.heavy) {
         let cli = Cli {
-            reduction: None,
             budget: 1_000_000,
-            jsonl: None,
-            topology: Topology::Star,
-            nodes: 3,
-            pairs: 2,
             modes: Vec::new(),
             rest: vec![n.name.to_string()],
+            ..Cli::default()
         };
         let s = (n.build)();
         let (reports, agree) = run_modes(&s, &cli);
@@ -543,29 +783,24 @@ fn cmd_gate() -> i32 {
         }
         println!("gate: {:20} {}", n.name, if ok { "ok" } else { "FAILED" });
         if !ok {
-            status = 1;
+            status = EXIT_FAIL;
         }
     }
     let fam_cli = Cli {
         reduction: Some(Reduction::Off),
         budget: 200_000,
-        jsonl: None,
-        topology: Topology::Star,
-        nodes: 3,
-        pairs: 2,
-        modes: vec![
-            Mode::IntentRead,
-            Mode::Read,
-            Mode::Upgrade,
-            Mode::IntentWrite,
-            Mode::Write,
-        ],
-        rest: Vec::new(),
+        ..Cli::default()
     };
-    if cmd_family(&fam_cli) != 0 {
-        status = 1;
+    if cmd_family(&fam_cli) != EXIT_OK {
+        status = EXIT_FAIL;
     }
-    if status == 0 {
+    if gate_differential() != EXIT_OK {
+        status = EXIT_FAIL;
+    }
+    if gate_acceptance() != EXIT_OK {
+        status = EXIT_FAIL;
+    }
+    if status == EXIT_OK {
         println!("gate: OK");
     } else {
         println!("gate: FAILED");

@@ -1,0 +1,175 @@
+//! Symmetry reduction: canonical state fingerprints under node relabeling.
+//!
+//! Two system states that differ only by a permutation of *interchangeable*
+//! nodes satisfy exactly the same invariants — mutual exclusion, copyset
+//! consistency, FIFO grant order and deadlock-freedom are all preserved by a
+//! bijective renaming of node identities, because `dlm-core` only ever
+//! compares [`NodeId`]s for equality (never for order) and every per-node
+//! `FlatMap`/copyset re-sorts under the new labels. Exploring one member of
+//! each equivalence class therefore suffices (the stateright
+//! `Representative` idiom); the class representative is the member with the
+//! smallest structural fingerprint.
+//!
+//! Interchangeable means: swapping the nodes maps the *initial* state to
+//! itself — same parent (probable-owner) tree and same scripts. The set of
+//! such permutations forms a group (the automorphism group of the labelled
+//! scenario), and the canonicalization map is constant on orbits precisely
+//! because groups are closed under composition and inverse: for any group
+//! member σ, `{π ∘ σ | π ∈ G} = G`, hence the min over the orbit of `σ(s)`
+//! equals the min over the orbit of `s`.
+
+use crate::scenario::Scenario;
+use crate::state::State;
+use dlm_core::{Fingerprint, NodeId};
+use std::collections::BTreeMap;
+
+/// Enumerating automorphisms is brute force over all `n!` candidate
+/// permutations, so it is capped at a node count where that stays
+/// instantaneous (8! = 40320 candidates, each checked in O(n + script
+/// length)). Scenarios beyond the cap get the trivial group — sound, just
+/// unreduced.
+const MAX_BRUTE_NODES: usize = 8;
+
+/// The automorphism group of a scenario's labelled initial state: every node
+/// permutation that fixes the parent tree and the script assignment.
+///
+/// Computed once per scenario and shared (read-only) by all exploration
+/// workers. The identity is stored implicitly; `perms` holds only the
+/// non-identity members.
+#[derive(Debug, Clone)]
+pub struct SymmetryGroup {
+    /// Non-identity automorphisms, each as `perm[i] = new label of node i`.
+    perms: Vec<Vec<u32>>,
+}
+
+impl SymmetryGroup {
+    /// The trivial group (no reduction; canonical fingerprint = raw
+    /// fingerprint).
+    pub fn trivial() -> Self {
+        SymmetryGroup { perms: Vec::new() }
+    }
+
+    /// Compute the automorphism group of `scenario`: all permutations π with
+    /// `scripts[π(i)] == scripts[i]` and `parents[π(i)] == π(parents[i])`
+    /// (so the root maps to the root). Falls back to the trivial group above
+    /// [`MAX_BRUTE_NODES`] nodes.
+    pub fn of(scenario: &Scenario) -> Self {
+        let n = scenario.parents.len();
+        if n > MAX_BRUTE_NODES {
+            return SymmetryGroup::trivial();
+        }
+        let mut perms = Vec::new();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        // Heap's algorithm, checking each permutation against the scenario.
+        let mut c = vec![0usize; n];
+        if is_automorphism(scenario, &perm) && !is_identity(&perm) {
+            perms.push(perm.clone());
+        }
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                if is_automorphism(scenario, &perm) && !is_identity(&perm) {
+                    perms.push(perm.clone());
+                }
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        perms.sort_unstable();
+        SymmetryGroup { perms }
+    }
+
+    /// Group order, counting the identity.
+    pub fn order(&self) -> usize {
+        self.perms.len() + 1
+    }
+
+    /// True if only the identity is present (no reduction possible).
+    pub fn is_trivial(&self) -> bool {
+        self.perms.is_empty()
+    }
+
+    /// The non-identity members (for tests and diagnostics).
+    pub fn members(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.perms.iter().map(|p| p.as_slice())
+    }
+}
+
+fn is_identity(perm: &[u32]) -> bool {
+    perm.iter().enumerate().all(|(i, &p)| p == i as u32)
+}
+
+/// Check that `perm` maps the scenario's labelled initial state to itself.
+fn is_automorphism(scenario: &Scenario, perm: &[u32]) -> bool {
+    scenario.parents.iter().enumerate().all(|(i, parent)| {
+        let mapped = parent.map(|p| perm[p as usize]);
+        scenario.parents[perm[i] as usize] == mapped
+    }) && scenario
+        .scripts
+        .iter()
+        .enumerate()
+        .all(|(i, script)| scenario.scripts[perm[i] as usize] == *script)
+}
+
+/// Relabel every node identity in `state` through `perm` (node `i` becomes
+/// node `perm[i]`). For an automorphism this yields a reachable, invariant-
+/// equivalent state; the function itself is well-defined for any bijection.
+pub fn permute_state(state: &State, perm: &[u32]) -> State {
+    let map = |id: NodeId| NodeId(perm[id.0 as usize]);
+    let nodes = state
+        .nodes
+        .iter()
+        .map(|lock_nodes| {
+            let mut out = lock_nodes.clone();
+            for node in lock_nodes {
+                out[perm[node.id().0 as usize] as usize] = node.relabeled(map);
+            }
+            out
+        })
+        .collect();
+    let mut channels = BTreeMap::new();
+    for (&(lock, from, to), q) in &state.channels {
+        channels.insert(
+            (lock, perm[from as usize], perm[to as usize]),
+            q.iter().map(|m| m.relabeled(map)).collect(),
+        );
+    }
+    let mut pos = state.pos.clone();
+    for (i, &p) in state.pos.iter().enumerate() {
+        pos[perm[i] as usize] = p;
+    }
+    State {
+        nodes,
+        channels,
+        pos,
+    }
+}
+
+/// Canonical (symmetry-quotient) fingerprinting.
+pub trait Canonicalize {
+    /// The minimum fingerprint over this state's orbit under `group`: equal
+    /// for any two states that are node-permutations of each other, so the
+    /// seen-set keyed by it explores one representative per orbit.
+    fn canonical_fingerprint(&self, group: &SymmetryGroup) -> Fingerprint;
+}
+
+impl Canonicalize for State {
+    fn canonical_fingerprint(&self, group: &SymmetryGroup) -> Fingerprint {
+        let mut min = self.fingerprint();
+        for perm in group.members() {
+            let fp = permute_state(self, perm).fingerprint();
+            if fp < min {
+                min = fp;
+            }
+        }
+        min
+    }
+}

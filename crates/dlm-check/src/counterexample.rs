@@ -33,7 +33,8 @@ pub struct Replay {
     /// the (1-based) step that committed them.
     pub fifo_errors: Vec<(usize, AuditError)>,
     /// Audit errors in the final state (in-flight–aware safety audit, plus
-    /// the quiescent audit when the final state is quiet).
+    /// the quiescent audit when the final state is quiet), across every
+    /// lock object.
     pub final_errors: Vec<AuditError>,
 }
 
@@ -68,12 +69,20 @@ pub fn replay(scenario: &Scenario, schedule: &Schedule) -> Replay {
         states.push(step.state);
     }
     let last = states.last().unwrap();
-    let mut final_errors = audit(&last.nodes, &last.in_flight(), false);
+    let mut final_errors = Vec::new();
+    for lock in 0..last.locks() {
+        final_errors.extend(audit(
+            &last.nodes[lock],
+            &last.in_flight(lock as u32),
+            false,
+        ));
+    }
     if last.quiet() {
-        let quiescent = audit(&last.nodes, &[], true);
-        for e in quiescent {
-            if !final_errors.contains(&e) {
-                final_errors.push(e);
+        for lock_nodes in &last.nodes {
+            for e in audit(lock_nodes, &[], true) {
+                if !final_errors.contains(&e) {
+                    final_errors.push(e);
+                }
             }
         }
     }
@@ -86,16 +95,23 @@ pub fn replay(scenario: &Scenario, schedule: &Schedule) -> Replay {
 
 /// Replay `schedule` with `dlm-trace` observers attached, producing the
 /// protocol event stream of the counterexample execution. Each record's
-/// `at` is the 1-based schedule step that emitted it (`lock` is 0: the
-/// checker drives a single lock object), so the stream lines up with the
+/// `at` is the 1-based schedule step that emitted it and `lock` the lock
+/// object the step executed on, so the stream lines up with the
 /// [`walkthrough`] and round-trips through `dlm_trace::jsonl`.
 pub fn schedule_trace(scenario: &Scenario, schedule: &Schedule) -> Vec<TraceRecord> {
     let mut recorder = VecRecorder::new();
     let mut state = State::initial(scenario);
     for (k, &action) in schedule.0.iter().enumerate() {
+        let lock = match action {
+            Action::Deliver { lock, .. } => lock,
+            Action::Script { node } => scenario.scripts[node as usize]
+                .get(state.pos[node as usize])
+                .map(|op| op.lock())
+                .unwrap_or(0),
+        };
         let mut stamp = Stamp {
             at: (k + 1) as u64,
-            lock: 0,
+            lock,
             sink: &mut recorder,
         };
         state = state.apply_observed(scenario, action, &mut stamp).state;
@@ -129,14 +145,18 @@ fn describe_message(m: &Message) -> String {
 
 fn describe_action(state: &State, scenario: &Scenario, action: Action) -> String {
     match action {
-        Action::Deliver { from, to } => {
+        Action::Deliver { lock, from, to } => {
             let head = state
                 .channels
-                .get(&(from, to))
+                .get(&(lock, from, to))
                 .and_then(|q| q.front())
                 .map(describe_message)
                 .unwrap_or_else(|| "<empty channel>".into());
-            format!("deliver n{from}→n{to}: {head}")
+            if lock == 0 {
+                format!("deliver n{from}→n{to}: {head}")
+            } else {
+                format!("deliver n{from}→n{to}@L{lock}: {head}")
+            }
         }
         Action::Script { node } => {
             let op = scenario.scripts[node as usize]
@@ -148,8 +168,8 @@ fn describe_action(state: &State, scenario: &Scenario, action: Action) -> String
     }
 }
 
-fn render_node(state: &State, i: usize) -> String {
-    let n = &state.nodes[i];
+fn render_node(state: &State, lock: usize, i: usize) -> String {
+    let n = &state.nodes[lock][i];
     let mut s = format!("n{i}");
     if n.has_token() {
         s.push_str("[T]");
@@ -179,17 +199,29 @@ fn render_node(state: &State, i: usize) -> String {
 }
 
 fn render_state(state: &State) -> String {
-    let nodes: Vec<String> = (0..state.nodes.len())
-        .map(|i| render_node(state, i))
-        .collect();
-    let mut s = nodes.join(" | ");
+    let mut lines = Vec::new();
+    for lock in 0..state.locks() {
+        let nodes: Vec<String> = (0..state.node_count())
+            .map(|i| render_node(state, lock, i))
+            .collect();
+        if state.locks() == 1 {
+            lines.push(nodes.join(" | "));
+        } else {
+            lines.push(format!("L{lock}: {}", nodes.join(" | ")));
+        }
+    }
+    let mut s = lines.join("\n    ");
     if !state.channels.is_empty() {
         let chans: Vec<String> = state
             .channels
             .iter()
-            .map(|(&(f, t), q)| {
+            .map(|(&(l, f, t), q)| {
                 let msgs: Vec<String> = q.iter().map(describe_message).collect();
-                format!("n{f}→n{t}: {}", msgs.join(", "))
+                if l == 0 {
+                    format!("n{f}→n{t}: {}", msgs.join(", "))
+                } else {
+                    format!("n{f}→n{t}@L{l}: {}", msgs.join(", "))
+                }
             })
             .collect();
         s.push_str(&format!("\n    in flight: {}", chans.join(" ⋮ ")));

@@ -12,12 +12,16 @@
 //! order from any state where both are enabled reaches the same state.
 //! Exploring both orders (as the exhaustive search does) is redundant.
 //!
-//! The *processes* of the reduction are the ordered channels `Chan(x→y)`
-//! (whose transitions are that channel's deliveries, executing at `y`) and
-//! the per-node scripts `Scr(i)`; each process has at most one enabled
-//! transition per state. Two transitions are **dependent** iff they execute
-//! at the same node; send→delivery causality is captured separately by
-//! stamping each message with the vector clock of its sending transition.
+//! The *processes* of the reduction are the ordered per-lock channels
+//! `Chan(ℓ, x→y)` (whose transitions are that channel's deliveries,
+//! executing at `y`) and the per-node scripts `Scr(i)`; each process has at
+//! most one enabled transition per state. Two transitions are **dependent**
+//! iff they execute at the same node (conservative across locks: same-node
+//! transitions on different locks touch disjoint protocol state, but
+//! keeping the relation node-keyed is sound and keeps the script cursor —
+//! which cross-lock script ops share — trivially ordered); send→delivery
+//! causality is captured separately by stamping each message with the
+//! vector clock of its sending transition.
 //!
 //! # What the reduction preserves, and how
 //!
@@ -39,17 +43,17 @@
 //! overlapping and another does not — and both are in the same trace class.
 //! An interleaving-state audit alone would therefore miss mutual-exclusion
 //! violations under reduction. The checker closes this gap structurally:
-//! it tracks every critical section (a node's held-mode interval) with the
-//! vector clocks of its opening and closing transitions, and at the end of
-//! each explored path tests every incompatible pair of sections at distinct
-//! nodes for happens-before order. If neither section's close happens
-//! before the other's open, some linearization of the trace puts both
-//! holders in one state — the standard predictive-race argument — and the
-//! checker *synthesizes* that linearization (the causal past of both opens,
-//! in stack order, then the two opens) as a replayable witness schedule
-//! whose final state genuinely fails the safety audit. Reduced runs thus
-//! detect every mutual-exclusion violation the exhaustive search can, even
-//! on interleavings they never walk.
+//! it tracks every critical section (a node's held-mode interval on one
+//! lock) with the vector clocks of its opening and closing transitions, and
+//! at the end of each explored path tests every incompatible same-lock pair
+//! of sections at distinct nodes for happens-before order. If neither
+//! section's close happens before the other's open, some linearization of
+//! the trace puts both holders in one state — the standard predictive-race
+//! argument — and the checker *synthesizes* that linearization (the causal
+//! past of both opens, in stack order, then the two opens) as a replayable
+//! witness schedule whose final state genuinely fails the safety audit.
+//! Reduced runs thus detect every mutual-exclusion violation the exhaustive
+//! search can, even on interleavings they never walk.
 //!
 //! # The algorithm
 //!
@@ -65,14 +69,50 @@
 //! executes. The search is stateless (no pruning on revisited states —
 //! caching is unsound combined with backtrack sets), so it counts
 //! *distinct* states and *transitions* separately.
+//!
+//! # Parallelism: fork-frontier
+//!
+//! With `Options::workers > 1` the search runs in two phases. A sequential
+//! **builder** explores the first [`FORK_DEPTH`] levels with a *universal*
+//! persistent set — every awake enabled transition is taken, not just the
+//! backtrack set. Universality is what makes the cut sound: any backtrack
+//! point a deeper exploration would insert into a frozen prefix frame is
+//! already satisfied, because everything awake there is explored by some
+//! job (and sleeping processes are covered by the sibling branch that put
+//! them to sleep, exactly as in the sequential algorithm). Each depth-K
+//! prefix becomes a **job**: the action sequence plus the entry sleep set,
+//! carried as process *keys* (lock/channel/node tuples) rather than ids,
+//! since each worker interns process ids in its own encounter order.
+//! Workers draw jobs from a shared pool, replay the prefix with full
+//! vector-clock and critical-section bookkeeping, and run the unmodified
+//! sequential `visit` on the suffix. Distinct-state counts, violation
+//! dedup and terminal sets live in lock-striped shared sets, so the
+//! reported verdict and terminal fingerprints are identical to the
+//! sequential run; with one worker the pool degenerates to the exact
+//! sequential algorithm.
+//!
+//! # Symmetry
+//!
+//! With `Options::symmetry`, the distinct-state, violation-dedup and
+//! terminal sets are keyed by canonical fingerprints ([`crate::canon`]).
+//! The DFS itself is stateless, so canonical keying never prunes paths —
+//! it only merges permutation-twin states in the *counts and verdict
+//! sets*, making them comparable with the symmetry-reduced BFS.
 
+use crate::canon::{Canonicalize, SymmetryGroup};
 use crate::counterexample::Schedule;
-use crate::explore::{record_terminal, CheckReport, Options, Reduction, Violation};
+use crate::explore::{
+    audit_state, frozen_residue_state, waiting_nodes, CheckReport, Deadlock, Options, Reduction,
+    Violation,
+};
 use crate::scenario::Scenario;
 use crate::state::{Action, State};
-use dlm_core::{audit, Effect, Mode};
+use dlm_core::{Effect, Fingerprint, Mode};
 use dlm_modes::compatible;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Interned vector clocks (indexed by process id, values are 1-based
 /// positions in the executed stack).
@@ -130,8 +170,28 @@ impl Clocks {
 }
 
 /// Message clocks mirror `State::channels` exactly: one send-clock per
-/// in-flight message.
-type MsgClocks = BTreeMap<(u32, u32), VecDeque<ClockId>>;
+/// in-flight message, keyed `(lock, from, to)`.
+type MsgClocks = BTreeMap<(u32, u32, u32), VecDeque<ClockId>>;
+
+/// Worker-independent process identity: `(kind, lock, a, b)` with
+/// `Scr(node) = (0, 0, node, 0)` and `Chan(lock, from→to) = (1, lock, from,
+/// to)`. Jobs carry sleep sets as keys because interned ids depend on each
+/// worker's encounter order.
+type ProcKey = (u8, u32, u32, u32);
+
+fn proc_key(action: Action) -> ProcKey {
+    match action {
+        Action::Script { node } => (0, 0, node, 0),
+        Action::Deliver { lock, from, to } => (1, lock, from, to),
+    }
+}
+
+fn key_node(key: ProcKey) -> u32 {
+    match key.0 {
+        0 => key.2,
+        _ => key.3,
+    }
+}
 
 /// One executed transition on the current DFS path.
 struct Exec {
@@ -140,9 +200,10 @@ struct Exec {
 }
 
 /// A critical section on the current DFS path: one contiguous held-mode
-/// interval at one node, bracketed by the vector clocks of the transitions
-/// that opened and (if closed) closed it.
+/// interval at one node on one lock, bracketed by the vector clocks of the
+/// transitions that opened and (if closed) closed it.
 struct Section {
+    lock: u32,
     node: u32,
     mode: Mode,
     /// 0-based stack position and clock of the opening transition.
@@ -161,12 +222,176 @@ struct Frame {
     sleep: BTreeSet<usize>,
 }
 
-struct Explorer<'a> {
+/// A unit of parallel work: a depth-[`FORK_DEPTH`] prefix plus the sleep
+/// set the sequential search would enter it with.
+struct Job {
+    prefix: Vec<Action>,
+    sleep: Vec<ProcKey>,
+}
+
+/// Builder cut depth. Shallow enough that the universal prefix adds little
+/// over the reduced search, deep enough to yield many more jobs than
+/// workers (branching ≥ 2 per level in any contended scenario).
+const FORK_DEPTH: usize = 3;
+
+/// Number of stripes in the shared seen/flagged sets.
+const STRIPES: usize = 16;
+
+/// Verdict accumulators shared by every worker.
+struct Results {
+    violations: Vec<Violation>,
+    deadlocks: Vec<Deadlock>,
+    terminal_fps: BTreeSet<Fingerprint>,
+    terminals: usize,
+}
+
+/// Exploration state shared across workers (and used single-threaded by the
+/// sequential path, so both paths run literally the same code).
+struct Shared<'a> {
     scenario: &'a Scenario,
     opts: Options,
-    report: CheckReport,
+    group: SymmetryGroup,
+    symmetry: bool,
+    seen: Vec<Mutex<HashSet<u128>>>,
+    flagged: Vec<Mutex<HashSet<u128>>>,
+    states: AtomicUsize,
+    transitions: AtomicUsize,
+    sym_hits: AtomicU64,
+    dedup_hits: AtomicU64,
+    truncated: AtomicBool,
+    aborted: AtomicBool,
+    results: Mutex<Results>,
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+enum Note {
+    /// Newly counted distinct state.
+    New,
+    /// Already counted.
+    Known,
+    /// New, but over the state budget: abort.
+    OverBudget,
+}
+
+impl Shared<'_> {
+    /// The fingerprint key for the shared sets: canonical under symmetry.
+    fn canon(&self, state: &State) -> Fingerprint {
+        if self.symmetry {
+            let raw = state.fingerprint();
+            let canon = state.canonical_fingerprint(&self.group);
+            if canon != raw {
+                self.sym_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            canon
+        } else {
+            state.fingerprint()
+        }
+    }
+
+    fn stripe(set: &[Mutex<HashSet<u128>>], fp: Fingerprint) -> &Mutex<HashSet<u128>> {
+        &set[(fp.0 as usize) & (STRIPES - 1)]
+    }
+
+    /// Count `fp` as a distinct state (idempotent), enforcing the budget.
+    fn note_state(&self, fp: Fingerprint) -> Note {
+        let newly = Shared::stripe(&self.seen, fp)
+            .lock()
+            .expect("seen stripe poisoned")
+            .insert(fp.0);
+        if !newly {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Note::Known;
+        }
+        if self
+            .states
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                (c < self.opts.max_states).then_some(c + 1)
+            })
+            .is_err()
+        {
+            self.truncated.store(true, Ordering::SeqCst);
+            self.aborted.store(true, Ordering::SeqCst);
+            return Note::OverBudget;
+        }
+        Note::New
+    }
+
+    /// Dedup violating states; true if `fp` was not yet flagged.
+    fn flag(&self, fp: Fingerprint) -> bool {
+        Shared::stripe(&self.flagged, fp)
+            .lock()
+            .expect("flagged stripe poisoned")
+            .insert(fp.0)
+    }
+
+    fn violations_full(&self) -> bool {
+        self.results
+            .lock()
+            .expect("results poisoned")
+            .violations
+            .len()
+            >= CheckReport::MAX_RECORDED
+    }
+
+    fn record_violation(&self, errors: Vec<dlm_core::AuditError>, schedule: Schedule) {
+        let mut results = self.results.lock().expect("results poisoned");
+        if results.violations.len() < CheckReport::MAX_RECORDED {
+            results.violations.push(Violation { errors, schedule });
+        }
+    }
+
+    /// Classify a terminal state (dedup by fingerprint) — the DPOR analogue
+    /// of the BFS level-barrier terminal handling.
+    fn record_terminal(&self, state: &State, fp: Fingerprint, schedule: impl FnOnce() -> Schedule) {
+        let mut results = self.results.lock().expect("results poisoned");
+        if !results.terminal_fps.insert(fp) {
+            return;
+        }
+        results.terminals += 1;
+        let stuck_scripts: Vec<usize> = (0..state.pos.len())
+            .filter(|&i| state.pos[i] < self.scenario.scripts[i].len())
+            .collect();
+        let waiting = waiting_nodes(state);
+        if !stuck_scripts.is_empty() || !waiting.is_empty() {
+            if results.deadlocks.len() < CheckReport::MAX_RECORDED {
+                results.deadlocks.push(Deadlock {
+                    stuck_scripts,
+                    waiting,
+                    schedule: schedule(),
+                });
+            }
+            return;
+        }
+        // A clean terminal: full quiescent audit, plus freeze convergence —
+        // every path ends in a terminal, so a frozen node here is a frozen
+        // node from which no thaw is reachable.
+        let mut errors = audit_state(state, true);
+        errors.extend(frozen_residue_state(state));
+        if !errors.is_empty() && results.violations.len() < CheckReport::MAX_RECORDED {
+            results.violations.push(Violation {
+                errors,
+                schedule: schedule(),
+            });
+        }
+    }
+
+    fn transition_budget_left(&self) -> bool {
+        self.transitions.load(Ordering::Relaxed) < self.opts.transition_budget()
+    }
+
+    fn over_time(&self, start: &Instant) -> bool {
+        match self.opts.max_seconds {
+            Some(limit) => start.elapsed().as_secs_f64() >= limit,
+            None => false,
+        }
+    }
+}
+
+struct Explorer<'a, 'b> {
+    shared: &'b Shared<'a>,
     clocks: Clocks,
-    proc_ids: BTreeMap<(u8, u32, u32), usize>,
+    proc_ids: BTreeMap<ProcKey, usize>,
+    proc_keys: Vec<ProcKey>,
     /// The (static) executing node of each process.
     proc_node: Vec<u32>,
     proc_clock: Vec<ClockId>,
@@ -174,68 +399,209 @@ struct Explorer<'a> {
     stack: Vec<Exec>,
     frames: Vec<Frame>,
     sections: Vec<Section>,
-    /// Index into `sections` of each node's currently open section.
+    /// Index into `sections` of each `(lock, node)`'s currently open
+    /// section, flattened as `lock * n + node`.
     open: Vec<Option<usize>>,
-    seen: HashSet<u128>,
-    flagged: HashSet<u128>,
-    aborted: bool,
+    /// `Some(k)`: builder mode — cut at depth `k`, emit jobs, branch
+    /// universally above the cut.
+    fork_depth: Option<usize>,
+    jobs_out: Vec<Job>,
+    start: Instant,
 }
 
 /// Run the reduced exploration.
 pub(crate) fn run(scenario: &Scenario, opts: Options) -> CheckReport {
-    let mut report = CheckReport {
-        states: 0,
-        transitions: 0,
-        terminals: 0,
-        violations: Vec::new(),
-        deadlocks: Vec::new(),
-        truncated: false,
-        reduction: Reduction::On,
-        terminal_fingerprints: BTreeSet::new(),
+    let start = Instant::now();
+    let workers = opts.workers.max(1);
+    let group = if opts.symmetry {
+        SymmetryGroup::of(scenario)
+    } else {
+        SymmetryGroup::trivial()
     };
+    let symmetry = opts.symmetry && !group.is_trivial();
+
+    let mut report = CheckReport::new(Reduction::On);
+    report.workers = workers;
+    report.group_order = group.order();
     if opts.max_states == 0 {
         report.truncated = true;
+        report.elapsed_secs = start.elapsed().as_secs_f64();
         return report;
     }
-    let mut explorer = Explorer {
+
+    let shared = Shared {
         scenario,
         opts,
-        report,
-        clocks: Clocks::new(),
-        proc_ids: BTreeMap::new(),
-        proc_node: Vec::new(),
-        proc_clock: Vec::new(),
-        node_clock: vec![ZERO; scenario.parents.len()],
-        stack: Vec::new(),
-        frames: Vec::new(),
-        sections: Vec::new(),
-        open: vec![None; scenario.parents.len()],
-        seen: HashSet::new(),
-        flagged: HashSet::new(),
-        aborted: false,
+        group,
+        symmetry,
+        seen: (0..STRIPES).map(|_| Mutex::new(HashSet::new())).collect(),
+        flagged: (0..STRIPES).map(|_| Mutex::new(HashSet::new())).collect(),
+        states: AtomicUsize::new(0),
+        transitions: AtomicUsize::new(0),
+        sym_hits: AtomicU64::new(0),
+        dedup_hits: AtomicU64::new(0),
+        truncated: AtomicBool::new(false),
+        aborted: AtomicBool::new(false),
+        results: Mutex::new(Results {
+            violations: Vec::new(),
+            deadlocks: Vec::new(),
+            terminal_fps: BTreeSet::new(),
+            terminals: 0,
+        }),
+        jobs: Mutex::new(VecDeque::new()),
     };
-    explorer.visit(State::initial(scenario), MsgClocks::new(), BTreeSet::new());
-    explorer.report
+
+    if workers == 1 {
+        let mut explorer = Explorer::new(&shared, None, start);
+        explorer.visit(State::initial(scenario), MsgClocks::new(), BTreeSet::new());
+    } else {
+        let mut builder = Explorer::new(&shared, Some(FORK_DEPTH), start);
+        builder.visit(State::initial(scenario), MsgClocks::new(), BTreeSet::new());
+        *shared.jobs.lock().expect("jobs poisoned") = builder.jobs_out.drain(..).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    if shared.aborted.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let job = shared.jobs.lock().expect("jobs poisoned").pop_front();
+                    let Some(job) = job else { return };
+                    let mut explorer = Explorer::new(&shared, None, start);
+                    explorer.run_job(job);
+                });
+            }
+        });
+    }
+
+    let results = shared.results.into_inner().expect("results poisoned");
+    report.states = shared.states.load(Ordering::SeqCst);
+    report.transitions = shared.transitions.load(Ordering::SeqCst);
+    report.terminals = results.terminals;
+    report.terminal_fingerprints = results.terminal_fps;
+    report.violations = results.violations;
+    report.deadlocks = results.deadlocks;
+    report.truncated = shared.truncated.load(Ordering::SeqCst);
+    report.sym_hits = shared.sym_hits.load(Ordering::SeqCst);
+    report.dedup_hits = shared.dedup_hits.load(Ordering::SeqCst);
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report
 }
 
-impl Explorer<'_> {
-    fn intern(&mut self, action: Action) -> usize {
-        let key = match action {
-            Action::Script { node } => (0u8, node, 0u32),
-            Action::Deliver { from, to } => (1u8, from, to),
-        };
+impl<'a, 'b> Explorer<'a, 'b> {
+    fn new(shared: &'b Shared<'a>, fork_depth: Option<usize>, start: Instant) -> Self {
+        let n = shared.scenario.parents.len();
+        let locks = shared.scenario.locks as usize;
+        Explorer {
+            shared,
+            clocks: Clocks::new(),
+            proc_ids: BTreeMap::new(),
+            proc_keys: Vec::new(),
+            proc_node: Vec::new(),
+            proc_clock: Vec::new(),
+            node_clock: vec![ZERO; n],
+            stack: Vec::new(),
+            frames: Vec::new(),
+            sections: Vec::new(),
+            open: vec![None; locks * n],
+            fork_depth,
+            jobs_out: Vec::new(),
+            start,
+        }
+    }
+
+    fn intern(&mut self, key: ProcKey) -> usize {
         let next = self.proc_ids.len();
         let id = *self.proc_ids.entry(key).or_insert(next);
         if self.proc_clock.len() <= id {
             self.proc_clock.resize(id + 1, ZERO);
             self.proc_node.resize(id + 1, 0);
-            self.proc_node[id] = action.node();
+            self.proc_keys.resize(id + 1, (0, 0, 0, 0));
+            self.proc_node[id] = key_node(key);
+            self.proc_keys[id] = key;
         }
         id
     }
 
     fn current_schedule(&self) -> Schedule {
         Schedule(self.stack.iter().map(|e| e.action).collect())
+    }
+
+    fn aborted(&self) -> bool {
+        self.shared.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Replay a job's prefix with full clock/section bookkeeping (no
+    /// save/restore — the prefix persists for the job's lifetime), then run
+    /// the sequential search on the suffix.
+    fn run_job(&mut self, job: Job) {
+        let scenario = self.shared.scenario;
+        let mut state = State::initial(scenario);
+        let mut mclocks = MsgClocks::new();
+        for &action in &job.prefix {
+            let enabled = state.enabled_actions(scenario);
+            debug_assert!(enabled.contains(&action), "job prefix action enabled");
+            let procs: Vec<usize> = enabled.iter().map(|&a| self.intern(proc_key(a))).collect();
+            let proc_id = self.intern(proc_key(action));
+            let step = state.apply(scenario, action);
+            self.shared.transitions.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(step.fifo_errors.is_empty(), "job prefixes are FIFO-clean");
+
+            let index = (self.stack.len() + 1) as u32;
+            let node = action.node() as usize;
+            let mut c = self.node_clock[node];
+            if let Action::Deliver { lock, from, to } = action {
+                let q = mclocks
+                    .get_mut(&(lock, from, to))
+                    .expect("message clocks mirror channels");
+                let send_clock = q.pop_front().expect("non-empty channel");
+                if q.is_empty() {
+                    mclocks.remove(&(lock, from, to));
+                }
+                c = self.clocks.join(c, send_clock);
+            }
+            let clock = self.clocks.with(c, proc_id, index);
+            for effect in &step.effects {
+                if let Effect::Send { to, .. } = effect {
+                    mclocks
+                        .entry((step.lock, action.node(), to.0))
+                        .or_default()
+                        .push_back(clock);
+                }
+            }
+            self.proc_clock[proc_id] = clock;
+            self.node_clock[node] = clock;
+
+            let pos = self.stack.len();
+            let slot = step.lock as usize * state.node_count() + node;
+            let pre_held = state.nodes[step.lock as usize][node].held();
+            let post_held = step.state.nodes[step.lock as usize][node].held();
+            if pre_held != post_held {
+                if let Some(si) = self.open[slot].take() {
+                    self.sections[si].end = Some((pos, clock));
+                }
+                if post_held != Mode::NoLock {
+                    self.open[slot] = Some(self.sections.len());
+                    self.sections.push(Section {
+                        lock: step.lock,
+                        node: node as u32,
+                        mode: post_held,
+                        start: (pos, clock),
+                        end: None,
+                    });
+                }
+            }
+            self.frames.push(Frame {
+                enabled,
+                procs,
+                backtrack: BTreeSet::new(),
+                done: BTreeSet::new(),
+                sleep: BTreeSet::new(),
+            });
+            self.stack.push(Exec { action, proc_id });
+            state = step.state;
+        }
+        let sleep: BTreeSet<usize> = job.sleep.iter().map(|&k| self.intern(k)).collect();
+        self.visit(state, mclocks, sleep);
     }
 
     /// The Flanagan–Godefroid backtrack scan, run once per visited prefix:
@@ -253,12 +619,12 @@ impl Explorer<'_> {
         // transition of a reordered continuation — the race is always
         // mediated by its enabling delivery, which the scan sees as an
         // enabled candidate at the prefix where it exists.
-        for t in state.enabled_actions(self.scenario) {
-            let p = self.intern(t);
+        for t in state.enabled_actions(self.shared.scenario) {
+            let p = self.intern(proc_key(t));
             let mut c = self.proc_clock[p];
-            if let Action::Deliver { from, to } = t {
+            if let Action::Deliver { lock, from, to } = t {
                 let head = mclocks
-                    .get(&(from, to))
+                    .get(&(lock, from, to))
                     .and_then(|q| q.front())
                     .copied()
                     .expect("message clocks mirror channels");
@@ -345,85 +711,99 @@ impl Explorer<'_> {
         Schedule(acts)
     }
 
-    /// At the end of an explored path: test every incompatible pair of
-    /// critical sections at distinct nodes for happens-before order, and
-    /// report each unordered pair with its synthesized witness schedule.
+    /// At the end of an explored path: test every incompatible same-lock
+    /// pair of critical sections at distinct nodes for happens-before
+    /// order, and report each unordered pair with its synthesized witness
+    /// schedule.
     fn check_overlaps(&mut self) {
         for i in 0..self.sections.len() {
             for j in i + 1..self.sections.len() {
                 let (a, b) = (&self.sections[i], &self.sections[j]);
-                if a.node == b.node || compatible(a.mode, b.mode) {
+                if a.lock != b.lock || a.node == b.node || compatible(a.mode, b.mode) {
                     continue;
                 }
                 if self.closes_before(a, b) || self.closes_before(b, a) {
                     continue;
                 }
-                if self.report.violations.len() >= CheckReport::MAX_RECORDED {
+                if self.shared.violations_full() {
                     return;
                 }
                 let schedule = self.witness(a, b);
-                let mut st = State::initial(self.scenario);
+                let mut st = State::initial(self.shared.scenario);
                 for &act in &schedule.0 {
-                    st = st.apply(self.scenario, act).state;
+                    st = st.apply(self.shared.scenario, act).state;
                 }
-                if !self.flagged.insert(st.fingerprint().0) {
+                if !self.shared.flag(self.shared.canon(&st)) {
                     continue;
                 }
-                let errors = audit(&st.nodes, &st.in_flight(), false);
+                let errors = audit_state(&st, false);
                 debug_assert!(
                     !errors.is_empty(),
                     "witness for an unordered incompatible pair must fail the audit"
                 );
                 if !errors.is_empty() {
-                    self.report.violations.push(Violation { errors, schedule });
+                    self.shared.record_violation(errors, schedule);
                 }
             }
         }
     }
 
     fn visit(&mut self, state: State, mclocks: MsgClocks, sleep: BTreeSet<usize>) {
-        if self.aborted {
+        if self.aborted() {
             return;
         }
-        let fp = state.fingerprint();
-        if self.seen.insert(fp.0) {
-            if self.report.states == self.opts.max_states {
-                self.report.truncated = true;
-                self.aborted = true;
+        if let Some(cut) = self.fork_depth {
+            if self.stack.len() >= cut {
+                self.jobs_out.push(Job {
+                    prefix: self.stack.iter().map(|e| e.action).collect(),
+                    sleep: sleep.iter().map(|&p| self.proc_keys[p]).collect(),
+                });
                 return;
             }
-            self.report.states += 1;
+        }
+        let fp = self.shared.canon(&state);
+        if matches!(self.shared.note_state(fp), Note::OverBudget) {
+            return;
         }
 
-        let errors = audit(&state.nodes, &state.in_flight(), false);
+        let errors = audit_state(&state, false);
         if !errors.is_empty() {
-            if self.flagged.insert(fp.0) && self.report.violations.len() < CheckReport::MAX_RECORDED
-            {
+            if self.shared.flag(fp) {
                 let schedule = self.current_schedule();
-                self.report.violations.push(Violation { errors, schedule });
+                self.shared.record_violation(errors, schedule);
             }
             return; // do not expand an already-broken state
         }
 
-        let enabled = state.enabled_actions(self.scenario);
+        let enabled = state.enabled_actions(self.shared.scenario);
         if enabled.is_empty() {
             let schedule = self.current_schedule();
-            record_terminal(&mut self.report, self.scenario, &state, fp, || schedule);
+            self.shared.record_terminal(&state, fp, || schedule);
             self.check_overlaps();
             return;
         }
 
-        let procs: Vec<usize> = enabled.iter().map(|&a| self.intern(a)).collect();
+        let procs: Vec<usize> = enabled.iter().map(|&a| self.intern(proc_key(a))).collect();
         // Sleep-set–blocked: every continuation from here is a sibling
         // branch's job; this prefix's trace classes are covered there.
         let Some(first_awake) = (0..procs.len()).find(|&i| !sleep.contains(&procs[i])) else {
             return;
         };
 
-        self.scan(&state, &mclocks);
+        let universal = self.fork_depth.is_some();
+        if !universal {
+            // Backtrack insertions above the fork cut are satisfied by
+            // construction (everything awake is explored), so the builder
+            // skips the scan.
+            self.scan(&state, &mclocks);
+        }
 
         let mut backtrack = BTreeSet::new();
-        backtrack.insert(first_awake);
+        if universal {
+            backtrack.extend(0..procs.len());
+        } else {
+            backtrack.insert(first_awake);
+        }
         self.frames.push(Frame {
             enabled,
             procs,
@@ -446,26 +826,26 @@ impl Explorer<'_> {
                 continue; // already explored from here, or covered by a sibling
             }
 
-            if self.report.transitions >= self.opts.transition_budget() {
-                self.report.truncated = true;
-                self.aborted = true;
+            if !self.shared.transition_budget_left() || self.shared.over_time(&self.start) {
+                self.shared.truncated.store(true, Ordering::SeqCst);
+                self.shared.aborted.store(true, Ordering::SeqCst);
                 break;
             }
-            let step = state.apply(self.scenario, action);
-            self.report.transitions += 1;
+            let step = state.apply(self.shared.scenario, action);
+            self.shared.transitions.fetch_add(1, Ordering::Relaxed);
 
             // Vector-clock bookkeeping for the executed transition.
             let index = (self.stack.len() + 1) as u32;
             let node = action.node() as usize;
             let mut c = self.node_clock[node];
             let mut child_mclocks = mclocks.clone();
-            if let Action::Deliver { from, to } = action {
+            if let Action::Deliver { lock, from, to } = action {
                 let q = child_mclocks
-                    .get_mut(&(from, to))
+                    .get_mut(&(lock, from, to))
                     .expect("message clocks mirror channels");
                 let send_clock = q.pop_front().expect("non-empty channel");
                 if q.is_empty() {
-                    child_mclocks.remove(&(from, to));
+                    child_mclocks.remove(&(lock, from, to));
                 }
                 c = self.clocks.join(c, send_clock);
             }
@@ -473,7 +853,7 @@ impl Explorer<'_> {
             for effect in &step.effects {
                 if let Effect::Send { to, .. } = effect {
                     child_mclocks
-                        .entry((action.node(), to.0))
+                        .entry((step.lock, action.node(), to.0))
                         .or_default()
                         .push_back(clock);
                 }
@@ -483,21 +863,25 @@ impl Explorer<'_> {
             self.proc_clock[proc_id] = clock;
             self.node_clock[node] = clock;
 
-            // Critical-section bookkeeping: a held-mode change closes the
-            // node's open section and/or opens a new one.
+            // Critical-section bookkeeping: a held-mode change on the
+            // executing lock closes the (lock, node) open section and/or
+            // opens a new one.
             let pos = self.stack.len();
-            let (pre_held, post_held) = (state.nodes[node].held(), step.state.nodes[node].held());
-            let saved_open = self.open[node];
+            let slot = step.lock as usize * state.node_count() + node;
+            let pre_held = state.nodes[step.lock as usize][node].held();
+            let post_held = step.state.nodes[step.lock as usize][node].held();
+            let saved_open = self.open[slot];
             let mut closed = None;
             let mut opened = false;
             if pre_held != post_held {
-                if let Some(si) = self.open[node].take() {
+                if let Some(si) = self.open[slot].take() {
                     self.sections[si].end = Some((pos, clock));
                     closed = Some(si);
                 }
                 if post_held != Mode::NoLock {
-                    self.open[node] = Some(self.sections.len());
+                    self.open[slot] = Some(self.sections.len());
                     self.sections.push(Section {
+                        lock: step.lock,
                         node: node as u32,
                         mode: post_held,
                         start: (pos, clock),
@@ -516,30 +900,22 @@ impl Explorer<'_> {
                     .filter(|&q| self.proc_node[q] != action.node())
                     .collect();
                 self.visit(step.state, child_mclocks, child_sleep);
-            } else {
-                let sfp = step.state.fingerprint();
-                if self.flagged.insert(sfp.0)
-                    && self.report.violations.len() < CheckReport::MAX_RECORDED
-                {
-                    let schedule = self.current_schedule();
-                    self.report.violations.push(Violation {
-                        errors: step.fifo_errors,
-                        schedule,
-                    });
-                }
+            } else if self.shared.flag(self.shared.canon(&step.state)) {
+                let schedule = self.current_schedule();
+                self.shared.record_violation(step.fifo_errors, schedule);
             }
 
             self.stack.pop();
             if opened {
                 self.sections.pop();
             }
-            self.open[node] = saved_open;
+            self.open[slot] = saved_open;
             if let Some(si) = closed {
                 self.sections[si].end = None;
             }
             self.proc_clock[proc_id] = saved_proc;
             self.node_clock[node] = saved_node;
-            if self.aborted {
+            if self.aborted() {
                 break;
             }
             self.frames[depth].sleep.insert(proc_id);

@@ -1,10 +1,53 @@
-//! The exploration drivers: exhaustive BFS and the DPOR-reduced search.
+//! The exploration drivers: parallel symmetry-reduced BFS and the
+//! DPOR-reduced search.
+//!
+//! # Parallel frontier
+//!
+//! The exhaustive search is a **level-synchronous** breadth-first
+//! exploration: all states at depth `d` are processed before any state at
+//! depth `d+1`. Within a level, work is distributed over `Options::workers`
+//! threads, each owning a deque of pending states; a worker that drains its
+//! own deque steals the back half of a victim's (classic work stealing, so
+//! load imbalance from uneven branching self-corrects). The seen set is
+//! sharded by fingerprint prefix into independently locked maps, so
+//! concurrent inserts rarely contend.
+//!
+//! Level synchrony is what keeps counterexamples **minimal and
+//! deterministic** regardless of worker count or steal order:
+//!
+//! * a state's depth of first discovery is its true BFS depth (no cross-level
+//!   races), so every reported schedule is shortest-possible;
+//! * when two same-level parents generate the same successor, the recorded
+//!   parent pointer is the lexicographic minimum of `(parent fingerprint,
+//!   action)` — a commutative, associative choice, so the final parent tree
+//!   is independent of arrival order;
+//! * violations, deadlocks and terminals are collected per level and merged
+//!   in sorted order at the level barrier, so the recorded set (and the cap)
+//!   never depends on thread scheduling.
+//!
+//! # Symmetry reduction
+//!
+//! With `Options::symmetry`, the seen set is keyed by the **canonical**
+//! fingerprint (minimum over the scenario's automorphism group, see
+//! [`crate::canon`]): permutation-equivalent states collapse to one
+//! representative, shrinking the explored space by up to the group order.
+//! Counterexample schedules are reconstructed by forward replay: the stored
+//! parent chain lives in representative space, so each step replays the
+//! recorded action when it matches and otherwise scans the (deterministically
+//! ordered) enabled actions for the first one whose successor canonicalizes
+//! to the next fingerprint in the chain — one must exist, because the group
+//! is closed under composition. The reconstructed schedule is a *concrete*
+//! path of the same length as the quotient path, so minimality is preserved.
 
+use crate::canon::{Canonicalize, SymmetryGroup};
 use crate::counterexample::Schedule;
 use crate::scenario::Scenario;
 use crate::state::{Action, State};
 use dlm_core::{audit, frozen_residue, AuditError, Fingerprint};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// Which state-space reduction to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +84,16 @@ pub struct Options {
     /// re-traverse states; this bounds total work). `None` = derived as
     /// `32 × max_states`.
     pub max_transitions: Option<usize>,
+    /// Number of exploration worker threads (clamped to ≥ 1). `1` is the
+    /// serial baseline the differential tests compare against.
+    pub workers: usize,
+    /// Key the seen set by canonical (symmetry-quotient) fingerprints,
+    /// exploring one representative per node-permutation orbit.
+    pub symmetry: bool,
+    /// Optional wall-clock budget; exceeding it truncates the run.
+    pub max_seconds: Option<f64>,
+    /// Emit progress lines (states, states/sec) to stderr while exploring.
+    pub progress: bool,
 }
 
 impl Options {
@@ -50,16 +103,43 @@ impl Options {
             max_states,
             reduction: Reduction::Off,
             max_transitions: None,
+            workers: 1,
+            symmetry: false,
+            max_seconds: None,
+            progress: false,
         }
     }
 
     /// Reduced exploration with the given state budget.
     pub fn reduced(max_states: usize) -> Self {
         Options {
-            max_states,
             reduction: Reduction::On,
-            max_transitions: None,
+            ..Options::exhaustive(max_states)
         }
+    }
+
+    /// This configuration with `workers` exploration threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// This configuration with symmetry reduction switched on/off.
+    pub fn with_symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// This configuration with a wall-clock budget.
+    pub fn with_max_seconds(mut self, seconds: f64) -> Self {
+        self.max_seconds = Some(seconds);
+        self
+    }
+
+    /// This configuration with progress reporting on stderr.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
     }
 
     pub(crate) fn transition_budget(&self) -> usize {
@@ -97,7 +177,7 @@ impl std::fmt::Display for Violation {
 pub struct Deadlock {
     /// Nodes whose scripts did not run to completion.
     pub stuck_scripts: Vec<usize>,
-    /// Nodes with a pending, never-granted request.
+    /// Nodes with a pending, never-granted request (on any lock).
     pub waiting: Vec<u32>,
     /// Actions from the initial state into the deadlocked terminal state.
     pub schedule: Schedule,
@@ -116,9 +196,14 @@ impl std::fmt::Display for Deadlock {
 }
 
 /// Result of an exploration.
+///
+/// Marked `#[must_use]`: a dropped report silently discards the verdict of
+/// an entire model-checking run.
+#[must_use = "a CheckReport carries the verification verdict; inspect verified()/violations instead of dropping it"]
 #[derive(Debug, Clone)]
 pub struct CheckReport {
-    /// Distinct states visited.
+    /// Distinct states visited (canonical representatives when symmetry
+    /// reduction is on).
     pub states: usize,
     /// Transitions executed (the reduced search may execute several
     /// transitions into one already-counted state).
@@ -131,13 +216,29 @@ pub struct CheckReport {
     pub violations: Vec<Violation>,
     /// Deadlocks, each with a replayable schedule. Same cap.
     pub deadlocks: Vec<Deadlock>,
-    /// True if the exploration hit a budget before completing.
+    /// True if the exploration hit a budget (states, transitions or wall
+    /// clock) before completing.
     pub truncated: bool,
     /// The reduction mode this report was produced under.
     pub reduction: Reduction,
-    /// Fingerprints of all terminal states (the reduction-soundness
-    /// property tests compare these across reduction modes).
+    /// Fingerprints of all terminal states (canonical when symmetry is on;
+    /// the reduction-soundness property tests compare these across
+    /// reduction modes).
     pub terminal_fingerprints: BTreeSet<Fingerprint>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Order of the symmetry group applied (1 = no reduction).
+    pub group_order: usize,
+    /// Work-stealing events between worker deques.
+    pub steals: u64,
+    /// Generated successors whose raw fingerprint differed from their
+    /// canonical fingerprint (i.e. states the symmetry reduction actually
+    /// relabeled).
+    pub sym_hits: u64,
+    /// Generated successors that were already in the seen set.
+    pub dedup_hits: u64,
+    /// Wall-clock exploration time.
+    pub elapsed_secs: f64,
 }
 
 impl CheckReport {
@@ -145,7 +246,7 @@ impl CheckReport {
     /// stored schedules are bounded).
     pub const MAX_RECORDED: usize = 32;
 
-    fn new(reduction: Reduction) -> Self {
+    pub(crate) fn new(reduction: Reduction) -> Self {
         CheckReport {
             states: 0,
             transitions: 0,
@@ -155,13 +256,30 @@ impl CheckReport {
             truncated: false,
             reduction,
             terminal_fingerprints: BTreeSet::new(),
+            workers: 1,
+            group_order: 1,
+            steals: 0,
+            sym_hits: 0,
+            dedup_hits: 0,
+            elapsed_secs: 0.0,
         }
     }
 
     /// True when the scenario is fully verified: no violations, no
     /// deadlocks, and the exploration completed within budget.
+    #[must_use = "the verification verdict must be acted on, not dropped"]
     pub fn verified(&self) -> bool {
         self.violations.is_empty() && self.deadlocks.is_empty() && !self.truncated
+    }
+
+    /// Dedup ratio: fraction of generated successors that were already
+    /// known (higher = denser state graph and/or more symmetry collapse).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.transitions as f64
+        }
     }
 }
 
@@ -182,128 +300,657 @@ pub fn explore_with(scenario: &Scenario, opts: Options) -> CheckReport {
     }
 }
 
-/// Classify a terminal state, updating the report. Shared by both drivers.
-pub(crate) fn record_terminal(
-    report: &mut CheckReport,
-    scenario: &Scenario,
-    state: &State,
-    fp: Fingerprint,
-    schedule: impl FnOnce() -> Schedule,
-) {
-    if !report.terminal_fingerprints.insert(fp) {
-        return;
+/// Audit every lock object of `state` (each is an independent protocol
+/// instance with its own in-flight messages).
+pub(crate) fn audit_state(state: &State, quiescent: bool) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    for lock in 0..state.locks() {
+        errors.extend(audit(
+            &state.nodes[lock],
+            &state.in_flight(lock as u32),
+            quiescent,
+        ));
     }
-    report.terminals += 1;
-    let stuck_scripts: Vec<usize> = (0..state.pos.len())
-        .filter(|&i| state.pos[i] < scenario.scripts[i].len())
-        .collect();
-    let waiting: Vec<u32> = state
+    errors
+}
+
+/// Freeze-convergence residue across every lock object.
+pub(crate) fn frozen_residue_state(state: &State) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    for lock_nodes in &state.nodes {
+        errors.extend(frozen_residue(lock_nodes));
+    }
+    errors
+}
+
+/// Nodes with a pending, never-granted request on any lock (sorted, deduped).
+pub(crate) fn waiting_nodes(state: &State) -> Vec<u32> {
+    let mut waiting: Vec<u32> = state
         .nodes
         .iter()
-        .filter(|nd| nd.pending().is_some())
-        .map(|nd| nd.id().0)
+        .flat_map(|lock_nodes| {
+            lock_nodes
+                .iter()
+                .filter(|nd| nd.pending().is_some())
+                .map(|nd| nd.id().0)
+        })
         .collect();
-    if !stuck_scripts.is_empty() || !waiting.is_empty() {
-        if report.deadlocks.len() < CheckReport::MAX_RECORDED {
-            report.deadlocks.push(Deadlock {
-                stuck_scripts,
-                waiting,
-                schedule: schedule(),
-            });
+    waiting.sort_unstable();
+    waiting.dedup();
+    waiting
+}
+
+/// Number of seen-set shards (fingerprint low bits select the shard); a
+/// power of two well above any realistic worker count, so concurrent
+/// inserts almost never contend on the same lock.
+const SHARDS: usize = 64;
+
+/// Seen-set entry: BFS depth plus the (lexicographically minimal) parent
+/// link used for counterexample reconstruction.
+struct Entry {
+    parent: Option<(Fingerprint, Action)>,
+    depth: u32,
+}
+
+/// The lock-striped seen set.
+struct Seen {
+    shards: Vec<Mutex<HashMap<Fingerprint, Entry>>>,
+}
+
+enum Admit {
+    /// New state, admitted under budget: expand it.
+    Inserted,
+    /// Already known (possibly with an improved parent link).
+    Known,
+    /// New state, but the state budget is exhausted.
+    OverBudget,
+}
+
+impl Seen {
+    fn new() -> Self {
+        Seen {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
-        return;
     }
-    // A clean terminal: full quiescent audit, plus freeze convergence —
-    // every path ends in a terminal, so a frozen node here is a frozen
-    // node from which no thaw is reachable.
-    let mut errors = audit(&state.nodes, &[], true);
-    errors.extend(frozen_residue(&state.nodes));
-    if !errors.is_empty() && report.violations.len() < CheckReport::MAX_RECORDED {
-        report.violations.push(Violation {
-            errors,
-            schedule: schedule(),
-        });
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<Fingerprint, Entry>> {
+        &self.shards[(fp.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Record `fp` at `depth` with parent link `parent`, admitting at most
+    /// `max` states overall (`count` is the shared admitted-state counter).
+    ///
+    /// If `fp` is already present at the same depth, the stored parent link
+    /// is replaced iff the new one is lexicographically smaller — the
+    /// arrival-order-independent tie-break that makes reconstruction
+    /// deterministic under any worker interleaving.
+    fn admit(
+        &self,
+        fp: Fingerprint,
+        parent: Option<(Fingerprint, Action)>,
+        depth: u32,
+        count: &AtomicUsize,
+        max: usize,
+    ) -> Admit {
+        let mut shard = self.shard(fp).lock().expect("seen shard poisoned");
+        match shard.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let cur = e.get_mut();
+                if cur.depth == depth {
+                    if let (Some(new), Some(old)) = (parent, cur.parent) {
+                        if new < old {
+                            cur.parent = Some(new);
+                        }
+                    }
+                }
+                Admit::Known
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if count
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                        (c < max).then_some(c + 1)
+                    })
+                    .is_err()
+                {
+                    return Admit::OverBudget;
+                }
+                v.insert(Entry { parent, depth });
+                Admit::Inserted
+            }
+        }
+    }
+
+    fn entry_parent(&self, fp: Fingerprint) -> Option<Option<(Fingerprint, Action)>> {
+        self.shard(fp)
+            .lock()
+            .expect("seen shard poisoned")
+            .get(&fp)
+            .map(|e| e.parent)
     }
 }
 
-/// Breadth-first exhaustive exploration. BFS (rather than the seed's DFS)
-/// so that the parent-pointer chain to any violating or deadlocked state is
-/// a *shortest* schedule — counterexamples come out minimal by construction.
-fn bfs(scenario: &Scenario, opts: Options) -> CheckReport {
-    let mut report = CheckReport::new(Reduction::Off);
-    let initial = State::initial(scenario);
-    let initial_fp = initial.fingerprint();
+/// A level-batch record: something report-worthy found while processing one
+/// state, resolved into a full `Violation`/`Deadlock` (schedule included)
+/// only after exploration ends, and only for the ≤ MAX_RECORDED survivors.
+#[derive(Clone, Copy)]
+enum Pending {
+    /// Audit errors in the (reachable) state at `fp`; schedule length `len`.
+    StateAudit { fp: Fingerprint, len: u32 },
+    /// A FIFO overtake on the transition `hint` out of the state at `base`;
+    /// schedule length `len` (= base depth + 1).
+    Fifo {
+        base: Fingerprint,
+        hint: Action,
+        len: u32,
+    },
+    /// A deadlocked terminal at `fp`.
+    DeadEnd { fp: Fingerprint, len: u32 },
+    /// A quiescent terminal at `fp` whose final audit failed.
+    TerminalAudit { fp: Fingerprint, len: u32 },
+    /// A clean terminal at `fp` (needs no schedule, only the fp set).
+    Terminal { fp: Fingerprint },
+}
 
-    // fp → (parent fp, action into this state); the root maps to None.
-    let mut visited: HashMap<Fingerprint, Option<(Fingerprint, Action)>> = HashMap::new();
-    let mut frontier: VecDeque<(State, Fingerprint)> = VecDeque::new();
-    visited.insert(initial_fp, None);
-    report.states = 1;
-    if opts.max_states == 0 {
-        report.truncated = true;
-        return report;
+impl Pending {
+    /// Deterministic within-level merge order: schedule length first (so
+    /// minimal counterexamples survive the cap), then kind, then identity.
+    fn key(&self) -> (u32, u8, u128, Option<Action>) {
+        match *self {
+            Pending::StateAudit { fp, len } => (len, 0, fp.0, None),
+            Pending::Fifo { base, hint, len } => (len, 1, base.0, Some(hint)),
+            Pending::TerminalAudit { fp, len } => (len, 2, fp.0, None),
+            Pending::DeadEnd { fp, len } => (len, 3, fp.0, None),
+            Pending::Terminal { fp } => (u32::MAX, 4, fp.0, None),
+        }
     }
-    frontier.push_back((initial, initial_fp));
+}
 
-    let path = |visited: &HashMap<Fingerprint, Option<(Fingerprint, Action)>>,
-                mut fp: Fingerprint| {
-        let mut actions = Vec::new();
-        while let Some(&Some((parent, action))) = visited.get(&fp) {
-            actions.push(action);
-            fp = parent;
+/// Deterministically merged per-level records (owned by worker 0 at the
+/// level barrier, resolved into the report after the join).
+struct Records {
+    terminal_fps: BTreeSet<Fingerprint>,
+    terminals: usize,
+    violations: Vec<Pending>,
+    deadlocks: Vec<Pending>,
+}
+
+/// Shared exploration context (borrowed by every worker).
+struct Ctx<'a> {
+    scenario: &'a Scenario,
+    group: &'a SymmetryGroup,
+    opts: Options,
+    seen: Seen,
+    /// Current-level work deques, one per worker.
+    deques: Vec<Mutex<VecDeque<Item>>>,
+    /// Next-level hand-off buffers, one per worker.
+    next: Vec<Mutex<Vec<Item>>>,
+    /// Per-level record hand-off buffers, one per worker.
+    pending: Vec<Mutex<Vec<Pending>>>,
+    records: Mutex<Records>,
+    states: AtomicUsize,
+    transitions: AtomicU64,
+    steals: AtomicU64,
+    sym_hits: AtomicU64,
+    dedup_hits: AtomicU64,
+    truncated: AtomicBool,
+    stop: AtomicBool,
+    done: AtomicBool,
+    barrier: Barrier,
+    start: Instant,
+}
+
+struct Item {
+    state: State,
+    /// Canonical fingerprint (raw when symmetry is off).
+    fp: Fingerprint,
+    depth: u32,
+}
+
+impl Ctx<'_> {
+    fn canon_fp(&self, state: &State) -> (Fingerprint, Fingerprint) {
+        let raw = state.fingerprint();
+        if self.opts.symmetry && !self.group.is_trivial() {
+            (raw, state.canonical_fingerprint(self.group))
+        } else {
+            (raw, raw)
         }
-        actions.reverse();
-        Schedule(actions)
-    };
+    }
 
-    while let Some((state, fp)) = frontier.pop_front() {
-        // Safety in every reachable state.
-        let errors = audit(&state.nodes, &state.in_flight(), false);
-        if !errors.is_empty() {
-            if report.violations.len() < CheckReport::MAX_RECORDED {
-                report.violations.push(Violation {
-                    errors,
-                    schedule: path(&visited, fp),
-                });
+    /// Pop from worker `w`'s deque, stealing the back half of another
+    /// worker's deque when empty. `None` = the level is drained (successors
+    /// only ever land in next-level buffers, so no work can reappear).
+    fn pop(&self, w: usize) -> Option<Item> {
+        if let Some(item) = self.deques[w].lock().expect("deque poisoned").pop_front() {
+            return Some(item);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            let stolen = {
+                let mut q = self.deques[victim].lock().expect("deque poisoned");
+                let len = q.len();
+                if len == 0 {
+                    continue;
+                }
+                q.split_off(len / 2)
+            };
+            if !stolen.is_empty() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                let mut mine = self.deques[w].lock().expect("deque poisoned");
+                mine.extend(stolen);
+                if let Some(item) = mine.pop_front() {
+                    return Some(item);
+                }
             }
-            continue; // do not expand an already-broken state
         }
+        None
+    }
 
-        let enabled = state.enabled_actions(scenario);
+    /// Process one current-level state: audit it, classify terminals, and
+    /// expand enabled actions into next-level items.
+    fn process(&self, item: Item, my_next: &mut Vec<Item>, my_pending: &mut Vec<Pending>) {
+        let Item { state, fp, depth } = item;
+        // Safety in every reachable state.
+        if !audit_state(&state, false).is_empty() {
+            my_pending.push(Pending::StateAudit { fp, len: depth });
+            return; // do not expand an already-broken state
+        }
+        let enabled = state.enabled_actions(self.scenario);
         if enabled.is_empty() {
-            record_terminal(&mut report, scenario, &state, fp, || path(&visited, fp));
-            continue;
+            let stuck = (0..state.pos.len()).any(|i| state.pos[i] < self.scenario.scripts[i].len());
+            if stuck || !waiting_nodes(&state).is_empty() {
+                my_pending.push(Pending::DeadEnd { fp, len: depth });
+            } else {
+                let mut errors = audit_state(&state, true);
+                errors.extend(frozen_residue_state(&state));
+                if errors.is_empty() {
+                    my_pending.push(Pending::Terminal { fp });
+                } else {
+                    my_pending.push(Pending::TerminalAudit { fp, len: depth });
+                }
+            }
+            return;
         }
-
         for action in enabled {
-            let step = state.apply(scenario, action);
-            report.transitions += 1;
-            let next_fp = step.state.fingerprint();
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = state.apply(self.scenario, action);
+            self.transitions.fetch_add(1, Ordering::Relaxed);
             if !step.fifo_errors.is_empty() {
                 // A FIFO overtake is a property of the transition, not the
                 // successor state; report it with the path including the
                 // offending action and do not continue past it.
-                if report.violations.len() < CheckReport::MAX_RECORDED {
-                    let mut schedule = path(&visited, fp);
-                    schedule.0.push(action);
-                    report.violations.push(Violation {
-                        errors: step.fifo_errors,
-                        schedule,
-                    });
+                my_pending.push(Pending::Fifo {
+                    base: fp,
+                    hint: action,
+                    len: depth + 1,
+                });
+                continue;
+            }
+            let (raw, canon) = self.canon_fp(&step.state);
+            if canon != raw {
+                self.sym_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.seen.admit(
+                canon,
+                Some((fp, action)),
+                depth + 1,
+                &self.states,
+                self.opts.max_states,
+            ) {
+                Admit::Inserted => my_next.push(Item {
+                    state: step.state,
+                    fp: canon,
+                    depth: depth + 1,
+                }),
+                Admit::Known => {
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                continue;
+                Admit::OverBudget => {
+                    self.truncated.store(true, Ordering::Relaxed);
+                }
             }
-            if visited.contains_key(&next_fp) {
-                continue;
-            }
-            if report.states == opts.max_states {
-                report.truncated = true;
-                continue;
-            }
-            visited.insert(next_fp, Some((fp, action)));
-            report.states += 1;
-            frontier.push_back((step.state, next_fp));
         }
     }
+
+    /// Merge the level's records and redistribute the next frontier
+    /// (executed by worker 0 alone, between the two level barriers).
+    fn level_transition(&self) {
+        let mut batch: Vec<Pending> = Vec::new();
+        for slot in &self.pending {
+            batch.append(&mut slot.lock().expect("pending poisoned"));
+        }
+        batch.sort_by_key(|p| p.key());
+        let mut records = self.records.lock().expect("records poisoned");
+        for p in batch {
+            match p {
+                Pending::StateAudit { .. } | Pending::Fifo { .. } => {
+                    if records.violations.len() < CheckReport::MAX_RECORDED {
+                        records.violations.push(p);
+                    }
+                }
+                Pending::DeadEnd { fp, .. } => {
+                    if records.terminal_fps.insert(fp) {
+                        records.terminals += 1;
+                        if records.deadlocks.len() < CheckReport::MAX_RECORDED {
+                            records.deadlocks.push(p);
+                        }
+                    }
+                }
+                Pending::TerminalAudit { fp, .. } => {
+                    if records.terminal_fps.insert(fp) {
+                        records.terminals += 1;
+                        if records.violations.len() < CheckReport::MAX_RECORDED {
+                            records.violations.push(p);
+                        }
+                    }
+                }
+                Pending::Terminal { fp } => {
+                    if records.terminal_fps.insert(fp) {
+                        records.terminals += 1;
+                    }
+                }
+            }
+        }
+        drop(records);
+        let mut all: Vec<Item> = Vec::new();
+        for slot in &self.next {
+            all.append(&mut slot.lock().expect("next poisoned"));
+        }
+        if all.is_empty() || self.stop.load(Ordering::Relaxed) {
+            self.done.store(true, Ordering::Relaxed);
+            return;
+        }
+        let n = self.deques.len();
+        let chunk = all.len().div_ceil(n);
+        let mut all = all.into_iter();
+        for deque in &self.deques {
+            let mut q = deque.lock().expect("deque poisoned");
+            debug_assert!(q.is_empty());
+            q.extend(all.by_ref().take(chunk));
+        }
+    }
+
+    fn over_time(&self) -> bool {
+        match self.opts.max_seconds {
+            Some(limit) => self.start.elapsed().as_secs_f64() >= limit,
+            None => false,
+        }
+    }
+}
+
+/// One exploration worker: drain the level (stealing as needed), hand off
+/// next-level items and records, and let worker 0 run the level transition.
+fn worker(ctx: &Ctx<'_>, w: usize) {
+    let mut my_next: Vec<Item> = Vec::new();
+    let mut my_pending: Vec<Pending> = Vec::new();
+    let mut last_report = Instant::now();
+    let mut last_states = 0usize;
+    loop {
+        while let Some(item) = ctx.pop(w) {
+            if ctx.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            ctx.process(item, &mut my_next, &mut my_pending);
+            if ctx.over_time() {
+                ctx.truncated.store(true, Ordering::Relaxed);
+                ctx.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        *ctx.next[w].lock().expect("next poisoned") = std::mem::take(&mut my_next);
+        *ctx.pending[w].lock().expect("pending poisoned") = std::mem::take(&mut my_pending);
+        ctx.barrier.wait();
+        if w == 0 {
+            ctx.level_transition();
+            if ctx.opts.progress && last_report.elapsed().as_secs_f64() >= 1.0 {
+                let states = ctx.states.load(Ordering::Relaxed);
+                let rate = (states - last_states) as f64 / last_report.elapsed().as_secs_f64();
+                eprintln!(
+                    "  … {} states, {} transitions, {:.0} states/s",
+                    states,
+                    ctx.transitions.load(Ordering::Relaxed),
+                    rate
+                );
+                last_report = Instant::now();
+                last_states = states;
+            }
+        }
+        ctx.barrier.wait();
+        if ctx.done.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+/// Level-synchronous, work-stealing breadth-first exploration (see the
+/// module docs for the determinism argument). BFS (rather than the seed's
+/// DFS) so that the parent chain to any violating or deadlocked state is a
+/// *shortest* schedule — counterexamples come out minimal by construction.
+fn bfs(scenario: &Scenario, opts: Options) -> CheckReport {
+    let start = Instant::now();
+    let group = if opts.symmetry {
+        SymmetryGroup::of(scenario)
+    } else {
+        SymmetryGroup::trivial()
+    };
+    let workers = opts.workers.max(1);
+
+    let mut report = CheckReport::new(Reduction::Off);
+    report.workers = workers;
+    report.group_order = group.order();
+    report.states = 1;
+    if opts.max_states == 0 {
+        report.truncated = true;
+        report.elapsed_secs = start.elapsed().as_secs_f64();
+        return report;
+    }
+
+    let initial = State::initial(scenario);
+    let fp0 = if opts.symmetry && !group.is_trivial() {
+        initial.canonical_fingerprint(&group)
+    } else {
+        initial.fingerprint()
+    };
+
+    let ctx = Ctx {
+        scenario,
+        group: &group,
+        opts,
+        seen: Seen::new(),
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        next: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        pending: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        records: Mutex::new(Records {
+            terminal_fps: BTreeSet::new(),
+            terminals: 0,
+            violations: Vec::new(),
+            deadlocks: Vec::new(),
+        }),
+        states: AtomicUsize::new(0),
+        transitions: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        sym_hits: AtomicU64::new(0),
+        dedup_hits: AtomicU64::new(0),
+        truncated: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        barrier: Barrier::new(workers),
+        start,
+    };
+    match ctx.seen.admit(fp0, None, 0, &ctx.states, opts.max_states) {
+        Admit::Inserted => {}
+        _ => unreachable!("initial admit into empty seen set with max_states >= 1"),
+    }
+    ctx.deques[0]
+        .lock()
+        .expect("deque poisoned")
+        .push_back(Item {
+            state: initial,
+            fp: fp0,
+            depth: 0,
+        });
+
+    if workers == 1 {
+        worker(&ctx, 0);
+    } else {
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let ctx = &ctx;
+                s.spawn(move || worker(ctx, w));
+            }
+        });
+    }
+
+    let records = ctx.records.into_inner().expect("records poisoned");
+    report.states = ctx.states.load(Ordering::SeqCst);
+    report.transitions = ctx.transitions.load(Ordering::SeqCst) as usize;
+    report.terminals = records.terminals;
+    report.terminal_fingerprints = records.terminal_fps;
+    report.truncated = ctx.truncated.load(Ordering::SeqCst);
+    report.steals = ctx.steals.load(Ordering::SeqCst);
+    report.sym_hits = ctx.sym_hits.load(Ordering::SeqCst);
+    report.dedup_hits = ctx.dedup_hits.load(Ordering::SeqCst);
+
+    // Resolve the surviving records into concrete schedules by forward
+    // replay through representative space.
+    let resolve = Resolver {
+        scenario,
+        group: &group,
+        symmetry: opts.symmetry && !group.is_trivial(),
+        seen: &ctx.seen,
+    };
+    for p in records.violations {
+        match p {
+            Pending::StateAudit { fp, .. } => {
+                let (schedule, end) = resolve.path_to(fp);
+                report.violations.push(Violation {
+                    errors: audit_state(&end, false),
+                    schedule,
+                });
+            }
+            Pending::Fifo { base, hint, .. } => {
+                let (schedule, errors) = resolve.fifo_path(base, hint);
+                report.violations.push(Violation { errors, schedule });
+            }
+            Pending::TerminalAudit { fp, .. } => {
+                let (schedule, end) = resolve.path_to(fp);
+                let mut errors = audit_state(&end, true);
+                errors.extend(frozen_residue_state(&end));
+                report.violations.push(Violation { errors, schedule });
+            }
+            Pending::DeadEnd { .. } | Pending::Terminal { .. } => unreachable!(),
+        }
+    }
+    for p in records.deadlocks {
+        if let Pending::DeadEnd { fp, .. } = p {
+            let (schedule, end) = resolve.path_to(fp);
+            let stuck_scripts: Vec<usize> = (0..end.pos.len())
+                .filter(|&i| end.pos[i] < scenario.scripts[i].len())
+                .collect();
+            report.deadlocks.push(Deadlock {
+                stuck_scripts,
+                waiting: waiting_nodes(&end),
+                schedule,
+            });
+        }
+    }
+    report.elapsed_secs = start.elapsed().as_secs_f64();
     report
+}
+
+/// Schedule reconstruction through the (possibly symmetry-quotiented) seen
+/// set: walk parent fingerprints backwards, then replay forwards, taking
+/// the recorded action when it reproduces the next canonical fingerprint
+/// and otherwise the smallest enabled action that does (guaranteed to
+/// exist by group closure — see the module docs).
+struct Resolver<'a> {
+    scenario: &'a Scenario,
+    group: &'a SymmetryGroup,
+    symmetry: bool,
+    seen: &'a Seen,
+}
+
+impl Resolver<'_> {
+    fn canon(&self, state: &State) -> Fingerprint {
+        if self.symmetry {
+            state.canonical_fingerprint(self.group)
+        } else {
+            state.fingerprint()
+        }
+    }
+
+    /// The canonical-fingerprint chain from the root to `fp`, with each
+    /// step's recorded (representative-space) action as a replay hint.
+    fn chain_to(&self, mut fp: Fingerprint) -> Vec<(Fingerprint, Option<Action>)> {
+        let mut chain = Vec::new();
+        loop {
+            let parent = self
+                .seen
+                .entry_parent(fp)
+                .expect("recorded state is in the seen set");
+            match parent {
+                Some((pfp, action)) => {
+                    chain.push((fp, Some(action)));
+                    fp = pfp;
+                }
+                None => {
+                    chain.push((fp, None));
+                    break;
+                }
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Advance `state` by one action whose successor canonicalizes to
+    /// `target` without committing a FIFO violation; prefers `hint`.
+    fn advance(&self, state: &State, target: Fingerprint, hint: Option<Action>) -> (Action, State) {
+        let enabled = state.enabled_actions(self.scenario);
+        let candidates = hint
+            .filter(|h| enabled.contains(h))
+            .into_iter()
+            .chain(enabled.iter().copied());
+        for action in candidates {
+            let step = state.apply(self.scenario, action);
+            if step.fifo_errors.is_empty() && self.canon(&step.state) == target {
+                return (action, step.state);
+            }
+        }
+        unreachable!("group closure guarantees a matching concrete action")
+    }
+
+    /// Concrete minimal path to the state recorded at canonical `fp`.
+    fn path_to(&self, fp: Fingerprint) -> (Schedule, State) {
+        let chain = self.chain_to(fp);
+        let mut state = State::initial(self.scenario);
+        let mut actions = Vec::with_capacity(chain.len() - 1);
+        for &(target, hint) in &chain[1..] {
+            let (action, next) = self.advance(&state, target, hint);
+            actions.push(action);
+            state = next;
+        }
+        (Schedule(actions), state)
+    }
+
+    /// Concrete path ending in a FIFO-violating transition out of the state
+    /// at canonical `base`; returns the schedule (violating action included)
+    /// and the recomputed FIFO errors.
+    fn fifo_path(&self, base: Fingerprint, hint: Action) -> (Schedule, Vec<AuditError>) {
+        let (mut schedule, state) = self.path_to(base);
+        let enabled = state.enabled_actions(self.scenario);
+        let candidates = Some(hint)
+            .filter(|h| enabled.contains(h))
+            .into_iter()
+            .chain(enabled.iter().copied());
+        for action in candidates {
+            let step = state.apply(self.scenario, action);
+            if !step.fifo_errors.is_empty() {
+                schedule.0.push(action);
+                return (schedule, step.fifo_errors);
+            }
+        }
+        unreachable!("recorded FIFO violation must be reproducible from its base state")
+    }
 }

@@ -1,6 +1,6 @@
 //! The explored system state and its transition function.
 
-use crate::scenario::{Op, Scenario};
+use crate::scenario::{OpKind, Scenario};
 use dlm_core::{
     fifo_overtakes, AuditError, Effect, Fingerprint, FpHasher, GrantInfo, HierNode, InFlight,
     Message, Mode, NodeId,
@@ -11,16 +11,21 @@ use std::collections::{BTreeMap, VecDeque};
 /// FIFO channel, or run a node's next script operation. Either way exactly
 /// one node executes, which is what makes actions at distinct nodes
 /// commute (the basis of the partial-order reduction in [`crate::dpor`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Action {
-    /// Deliver the head message of channel `from → to` (executes at `to`).
+    /// Deliver the head message of lock `lock`'s channel `from → to`
+    /// (executes at `to`). Channels are per lock object: messages of
+    /// different locks never block each other.
     Deliver {
+        /// The lock object whose protocol instance this message belongs to.
+        lock: u32,
         /// Sending endpoint of the channel.
         from: u32,
         /// Receiving endpoint (the executing node).
         to: u32,
     },
-    /// Run node `node`'s next script operation.
+    /// Run node `node`'s next script operation (on whatever lock that op
+    /// names).
     Script {
         /// The executing node.
         node: u32,
@@ -40,21 +45,29 @@ impl Action {
 impl std::fmt::Display for Action {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Action::Deliver { from, to } => write!(f, "deliver n{from}→n{to}"),
+            Action::Deliver { lock: 0, from, to } => write!(f, "deliver n{from}→n{to}"),
+            Action::Deliver { lock, from, to } => write!(f, "deliver n{from}→n{to}@L{lock}"),
             Action::Script { node } => write!(f, "script n{node}"),
         }
     }
 }
 
-/// The full system state: every node, every channel, every script cursor.
+/// The full system state: every lock's node array, every channel, every
+/// script cursor.
 #[derive(Clone)]
 pub struct State {
-    /// Per-node protocol state.
-    pub nodes: Vec<HierNode>,
-    /// FIFO per ordered channel (from, to). Empty channels are removed so
-    /// the map is canonical.
-    pub channels: BTreeMap<(u32, u32), VecDeque<Message>>,
-    /// Next unexecuted op per node.
+    /// Per-lock, per-node protocol state: `nodes[lock][node]`. Each lock
+    /// object is an independent instance of the protocol over the same node
+    /// set (the common multi-lock deployment the paper's §1 motivates: one
+    /// hierarchy per lockable resource).
+    pub nodes: Vec<Vec<HierNode>>,
+    /// FIFO per ordered channel `(lock, from, to)`. Empty channels are
+    /// removed so the map is canonical. Keying by lock makes links
+    /// per-lock-FIFO rather than per-pair-FIFO — a relaxation of a shared
+    /// transport that covers strictly more interleavings, so anything
+    /// verified here also holds on a multiplexed link.
+    pub channels: BTreeMap<(u32, u32, u32), VecDeque<Message>>,
+    /// Next unexecuted op per node (scripts are per node, spanning locks).
     pub pos: Vec<usize>,
 }
 
@@ -68,16 +81,35 @@ pub struct Step {
     /// Per-lock FIFO grant-order violations committed by this transition
     /// (checked against the executing node's pre-transition queue).
     pub fifo_errors: Vec<AuditError>,
+    /// The lock object the transition executed on.
+    pub lock: u32,
 }
 
 impl State {
-    /// The initial state of a scenario: fresh nodes, no messages in flight.
+    /// The initial state of a scenario: fresh nodes for every lock, no
+    /// messages in flight.
     pub fn initial(scenario: &Scenario) -> Self {
+        let one = scenario.initial_nodes();
+        let mut nodes = Vec::with_capacity(scenario.locks as usize);
+        for _ in 0..scenario.locks.saturating_sub(1) {
+            nodes.push(one.clone());
+        }
+        nodes.push(one);
         State {
-            nodes: scenario.initial_nodes(),
+            nodes,
             channels: BTreeMap::new(),
             pos: vec![0; scenario.parents.len()],
         }
+    }
+
+    /// Number of lock objects.
+    pub fn locks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes[0].len()
     }
 
     /// Structural 128-bit digest of the complete state (nodes feed every
@@ -85,11 +117,15 @@ impl State {
     pub fn fingerprint(&self) -> Fingerprint {
         let mut h = FpHasher::new();
         h.write_usize(self.nodes.len());
-        for n in &self.nodes {
-            h.write(n);
+        for lock_nodes in &self.nodes {
+            h.write_usize(lock_nodes.len());
+            for n in lock_nodes {
+                h.write(n);
+            }
         }
         h.write_usize(self.channels.len());
-        for (&(from, to), q) in &self.channels {
+        for (&(lock, from, to), q) in &self.channels {
+            h.write_u32(lock);
             h.write_u32(from);
             h.write_u32(to);
             h.write_usize(q.len());
@@ -103,11 +139,12 @@ impl State {
         h.finish()
     }
 
-    /// All in-flight messages, for the global audit.
-    pub fn in_flight(&self) -> Vec<InFlight> {
+    /// All in-flight messages of one lock object, for its global audit.
+    pub fn in_flight(&self, lock: u32) -> Vec<InFlight> {
         self.channels
             .iter()
-            .flat_map(|(&(from, to), q)| {
+            .filter(|(&(l, _, _), _)| l == lock)
+            .flat_map(|(&(_, from, to), q)| {
                 q.iter().map(move |m| InFlight {
                     from: NodeId(from),
                     to: NodeId(to),
@@ -117,21 +154,23 @@ impl State {
             .collect()
     }
 
-    /// True when nothing is in flight (part of the terminal condition).
+    /// True when nothing is in flight on any lock (part of the terminal
+    /// condition).
     pub fn quiet(&self) -> bool {
         self.channels.is_empty()
     }
 
     /// Whether node `i`'s next script op is currently enabled.
     pub fn script_enabled(&self, scenario: &Scenario, i: usize) -> bool {
-        let Some(&op) = scenario.scripts[i].get(self.pos[i]) else {
+        let Some(op) = scenario.scripts[i].get(self.pos[i]) else {
             return false;
         };
-        let node = &self.nodes[i];
-        match op {
-            Op::Acquire(_) => node.held() == Mode::NoLock && node.pending().is_none(),
-            Op::Release => node.held() != Mode::NoLock && !node.pending_is_upgrade(),
-            Op::Upgrade => node.held() == Mode::Upgrade && node.pending().is_none(),
+        let (lock, kind) = op.parts();
+        let node = &self.nodes[lock as usize][i];
+        match kind {
+            OpKind::Acquire(_) => node.held() == Mode::NoLock && node.pending().is_none(),
+            OpKind::Release => node.held() != Mode::NoLock && !node.pending_is_upgrade(),
+            OpKind::Upgrade => node.held() == Mode::Upgrade && node.pending().is_none(),
         }
     }
 
@@ -141,9 +180,9 @@ impl State {
         let mut out: Vec<Action> = self
             .channels
             .keys()
-            .map(|&(from, to)| Action::Deliver { from, to })
+            .map(|&(lock, from, to)| Action::Deliver { lock, from, to })
             .collect();
-        for i in 0..self.nodes.len() {
+        for i in 0..self.pos.len() {
             if self.script_enabled(scenario, i) {
                 out.push(Action::Script { node: i as u32 });
             }
@@ -171,64 +210,66 @@ impl State {
     ) -> Step {
         let mut next = self.clone();
         let executor = action.node() as usize;
-        let pre = self.nodes[executor].clone();
         // Effects land in a stack-inline sink first; only the surviving
         // `Step.effects` Vec is heap-allocated (it is consumed downstream by
         // the DPOR explorer and counterexample replay, so it stays owned).
         let mut buf = dlm_core::EffectBuf::new();
-        let delivered = match action {
-            Action::Deliver { from, to } => {
+        let (lock, delivered) = match action {
+            Action::Deliver { lock, from, to } => {
                 let q = next
                     .channels
-                    .get_mut(&(from, to))
+                    .get_mut(&(lock, from, to))
                     .expect("delivery on existing channel");
                 let message = q.pop_front().expect("delivery from non-empty channel");
                 if q.is_empty() {
-                    next.channels.remove(&(from, to));
+                    next.channels.remove(&(lock, from, to));
                 }
-                next.nodes[to as usize].on_message_into(
+                next.nodes[lock as usize][to as usize].on_message_into(
                     NodeId(from),
                     message.clone(),
                     &mut buf,
                     obs,
                 );
-                Some(message)
+                (lock, Some(message))
             }
             Action::Script { node } => {
                 let i = node as usize;
                 assert!(self.script_enabled(scenario, i), "script op not enabled");
-                let op = scenario.scripts[i][self.pos[i]];
+                let (lock, kind) = scenario.scripts[i][self.pos[i]].parts();
                 next.pos[i] += 1;
-                match op {
-                    Op::Acquire(mode) => next.nodes[i]
+                let node_state = &mut next.nodes[lock as usize][i];
+                match kind {
+                    OpKind::Acquire(mode) => node_state
                         .on_acquire_into(mode, 0, &mut buf, obs)
                         .expect("enabled acquire"),
-                    Op::Release => next.nodes[i]
+                    OpKind::Release => node_state
                         .on_release_into(&mut buf, obs)
                         .expect("enabled release"),
-                    Op::Upgrade => next.nodes[i]
+                    OpKind::Upgrade => node_state
                         .on_upgrade_into(&mut buf, obs)
                         .expect("enabled upgrade"),
                 };
-                None
+                (lock, None)
             }
         };
+        let pre = &self.nodes[lock as usize][executor];
         let effects = buf.take_vec();
         for effect in &effects {
             if let Effect::Send { to, message } = effect {
                 next.channels
-                    .entry((action.node(), to.0))
+                    .entry((lock, action.node(), to.0))
                     .or_default()
                     .push_back(message.clone());
             }
             // Granted/Upgraded are implicit in node state (held mode).
         }
-        let grants = grant_infos(&pre, &effects, delivered.as_ref());
-        let fifo_errors = fifo_overtakes(&pre, &grants);
+        let grants = grant_infos(pre, &effects, delivered.as_ref());
+        let fifo_errors = fifo_overtakes(pre, &grants);
         Step {
             state: next,
             effects,
             fifo_errors,
+            lock,
         }
     }
 }

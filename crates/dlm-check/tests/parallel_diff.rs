@@ -1,0 +1,522 @@
+//! Differential and symmetry-soundness tests for the parallel,
+//! symmetry-reduced exploration engine.
+//!
+//! Three pillars:
+//!
+//! 1. **Canonicalization soundness** (proptest): for random reachable
+//!    states `s` and random automorphisms σ of the scenario,
+//!    `canon(σ(s)) == canon(s)`, relabeling commutes with the transition
+//!    function (`σ(apply(s, a)) == apply(σ(s), σ(a))`), and invariant
+//!    verdicts are permutation-invariant.
+//! 2. **Serial vs parallel differential**: at 2, 4 and 8 workers — with and
+//!    without symmetry — the BFS frontier reports the same state count, the
+//!    same verdict, the same terminal fingerprint set and the same minimal
+//!    counterexample schedule length as the single-threaded search. The
+//!    DPOR engine must agree on verdicts and terminal sets (its visited
+//!    state count legitimately varies with the fork frontier).
+//! 3. **Acceptance**: the 5-node / 2-lock symmetric scenario exceeds the
+//!    serial state budget but its canonical quotient (automorphism group of
+//!    order 4! = 24) verifies clean under parallel workers.
+
+use dlm_check::{
+    explore_with, permute_state, replay, Action, Canonicalize, Op, Options, Scenario, State,
+    SymmetryGroup,
+};
+use dlm_core::{audit, Mode, ProtocolConfig};
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::IntentRead),
+        Just(Mode::Read),
+        Just(Mode::Upgrade),
+        Just(Mode::IntentWrite),
+        Just(Mode::Write),
+    ]
+}
+
+/// A symmetric star scenario: every leaf runs the same script, so the
+/// automorphism group is the full symmetric group on the leaves.
+fn symmetric_star_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        3usize..=5,
+        proptest::collection::vec((mode_strategy(), any::<bool>(), 0u32..2), 1..3),
+    )
+        .prop_map(|(n, ops)| {
+            let mut script = Vec::new();
+            for (mode, upgrade, lock) in ops {
+                script.push(Op::AcquireOn(lock, mode));
+                if mode == Mode::Upgrade && upgrade {
+                    script.push(Op::UpgradeOn(lock));
+                }
+                script.push(Op::ReleaseOn(lock));
+            }
+            let mut scripts = vec![Vec::new()];
+            for _ in 1..n {
+                scripts.push(script.clone());
+            }
+            Scenario::star(n, scripts, ProtocolConfig::paper())
+        })
+}
+
+/// Walk a pseudo-random path from the initial state, picking each step by
+/// indexing the (deterministically ordered) enabled-action list.
+fn random_walk(scenario: &Scenario, picks: &[usize]) -> State {
+    let mut state = State::initial(scenario);
+    for &p in picks {
+        let actions = state.enabled_actions(scenario);
+        if actions.is_empty() {
+            break;
+        }
+        state = state.apply(scenario, actions[p % actions.len()]).state;
+    }
+    state
+}
+
+fn permute_action(action: Action, perm: &[u32]) -> Action {
+    match action {
+        Action::Deliver { lock, from, to } => Action::Deliver {
+            lock,
+            from: perm[from as usize],
+            to: perm[to as usize],
+        },
+        Action::Script { node } => Action::Script {
+            node: perm[node as usize],
+        },
+    }
+}
+
+/// True when the state violates any safety invariant on any lock object
+/// (the property canonicalization must preserve).
+fn unsafe_state(state: &State) -> bool {
+    (0..state.locks())
+        .any(|lock| !audit(&state.nodes[lock], &state.in_flight(lock as u32), false).is_empty())
+}
+
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    /// `canon(σ(s)) == canon(s)` for every automorphism σ: the canonical
+    /// fingerprint is constant on orbits, which is exactly the property
+    /// that makes the symmetry-quotient seen-set sound.
+    #[test]
+    fn canonical_fingerprint_is_orbit_invariant(
+        scenario in symmetric_star_strategy(),
+        picks in proptest::collection::vec(0usize..64, 0..12),
+    ) {
+        let group = SymmetryGroup::of(&scenario);
+        prop_assert!(!group.is_trivial(), "symmetric star must have symmetry");
+        let s = random_walk(&scenario, &picks);
+        let canon = s.canonical_fingerprint(&group);
+        for perm in group.members() {
+            let permuted = permute_state(&s, perm);
+            prop_assert_eq!(
+                permuted.canonical_fingerprint(&group),
+                canon,
+                "canon not orbit-invariant under {:?}",
+                perm
+            );
+        }
+    }
+
+    /// Relabeling commutes with the transition function: the protocol never
+    /// looks at the *value* of a node id, so σ(apply(s, a)) == apply(σ(s),
+    /// σ(a)), and the FIFO audit emitted by the step is label-independent.
+    #[test]
+    fn relabeling_commutes_with_apply(
+        scenario in symmetric_star_strategy(),
+        picks in proptest::collection::vec(0usize..64, 0..10),
+        which in 0usize..64,
+    ) {
+        let group = SymmetryGroup::of(&scenario);
+        let s = random_walk(&scenario, &picks);
+        let actions = s.enabled_actions(&scenario);
+        // Terminal states have nothing to commute; the property holds vacuously.
+        if !actions.is_empty() {
+            let action = actions[which % actions.len()];
+            let step = s.apply(&scenario, action);
+            for perm in group.members() {
+                let permuted_then_step =
+                    permute_state(&s, perm).apply(&scenario, permute_action(action, perm));
+                let step_then_permuted = permute_state(&step.state, perm);
+                prop_assert_eq!(
+                    permuted_then_step.state.fingerprint(),
+                    step_then_permuted.fingerprint(),
+                    "apply does not commute with {:?}",
+                    perm
+                );
+                prop_assert_eq!(
+                    permuted_then_step.fifo_errors.len(),
+                    step.fifo_errors.len(),
+                    "fifo verdicts differ under {:?}",
+                    perm
+                );
+            }
+        }
+    }
+
+    /// Safety verdicts are permutation-invariant: a relabeled state is
+    /// unsafe iff the original is. Together with orbit-invariant
+    /// canonicalization this means exploring one representative per orbit
+    /// misses no violation.
+    #[test]
+    fn safety_verdict_is_permutation_invariant(
+        scenario in symmetric_star_strategy(),
+        picks in proptest::collection::vec(0usize..64, 0..12),
+    ) {
+        let group = SymmetryGroup::of(&scenario);
+        let s = random_walk(&scenario, &picks);
+        let verdict = unsafe_state(&s);
+        for perm in group.members() {
+            prop_assert_eq!(
+                unsafe_state(&permute_state(&s, perm)),
+                verdict,
+                "safety verdict changed under {:?}",
+                perm
+            );
+        }
+    }
+}
+
+fn acquire_release(mode: Mode) -> Vec<Op> {
+    vec![Op::Acquire(mode), Op::Release]
+}
+
+/// The differential corpus: small scenarios covering a verified race, a
+/// multi-mode race, a liveness failure and a seeded safety violation.
+fn corpus() -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "two_writers",
+            Scenario::star(
+                3,
+                vec![
+                    vec![],
+                    acquire_release(Mode::Write),
+                    acquire_release(Mode::Write),
+                ],
+                ProtocolConfig::paper(),
+            ),
+        ),
+        (
+            "grant_release_race",
+            Scenario::star(
+                3,
+                vec![
+                    acquire_release(Mode::IntentRead),
+                    vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
+                    acquire_release(Mode::Read),
+                ],
+                ProtocolConfig::paper(),
+            ),
+        ),
+        (
+            "deadlock",
+            Scenario::star(
+                3,
+                vec![
+                    vec![],
+                    vec![Op::Acquire(Mode::Read)],
+                    acquire_release(Mode::Write),
+                ],
+                ProtocolConfig::paper(),
+            ),
+        ),
+        (
+            "seeded_bug",
+            Scenario::star(
+                3,
+                vec![
+                    acquire_release(Mode::Read),
+                    acquire_release(Mode::IntentRead),
+                    vec![Op::Acquire(Mode::Upgrade), Op::Upgrade, Op::Release],
+                ],
+                ProtocolConfig::paper().with_seeded_stale_release_bug(),
+            ),
+        ),
+    ]
+}
+
+fn schedule_len(r: &dlm_check::CheckReport) -> Option<usize> {
+    r.violations
+        .first()
+        .map(|v| v.schedule.0.len())
+        .or_else(|| r.deadlocks.first().map(|d| d.schedule.0.len()))
+}
+
+/// The parallel BFS frontier is a pure implementation change: identical
+/// state count, verdicts, terminal set and minimal schedule length at
+/// every worker count, with and without the symmetry quotient.
+#[test]
+fn parallel_bfs_matches_serial_exactly() {
+    for (name, s) in corpus() {
+        for symmetry in [false, true] {
+            let base = explore_with(&s, Options::exhaustive(1_000_000).with_symmetry(symmetry));
+            assert!(!base.truncated, "{name}: serial truncated");
+            for workers in [2, 4, 8] {
+                let par = explore_with(
+                    &s,
+                    Options::exhaustive(1_000_000)
+                        .with_symmetry(symmetry)
+                        .with_workers(workers),
+                );
+                assert!(!par.truncated, "{name} w={workers}: truncated");
+                assert_eq!(
+                    par.states, base.states,
+                    "{name} sym={symmetry} w={workers}: state count"
+                );
+                assert_eq!(
+                    par.verified(),
+                    base.verified(),
+                    "{name} sym={symmetry} w={workers}: verdict"
+                );
+                assert_eq!(
+                    par.violations.len(),
+                    base.violations.len(),
+                    "{name} sym={symmetry} w={workers}: violation count"
+                );
+                assert_eq!(
+                    par.deadlocks.len(),
+                    base.deadlocks.len(),
+                    "{name} sym={symmetry} w={workers}: deadlock count"
+                );
+                assert_eq!(
+                    par.terminal_fingerprints, base.terminal_fingerprints,
+                    "{name} sym={symmetry} w={workers}: terminal sets"
+                );
+                assert_eq!(
+                    schedule_len(&par),
+                    schedule_len(&base),
+                    "{name} sym={symmetry} w={workers}: minimal schedule length"
+                );
+            }
+        }
+    }
+}
+
+/// The DPOR engine under fork-frontier parallelism must reach the same
+/// verdicts and terminal states; its *visited* count may exceed the
+/// sequential run because prefix frames use the universal persistent set.
+#[test]
+fn parallel_dpor_matches_serial_verdicts() {
+    for (name, s) in corpus() {
+        for symmetry in [false, true] {
+            let base = explore_with(&s, Options::reduced(1_000_000).with_symmetry(symmetry));
+            assert!(!base.truncated, "{name}: serial truncated");
+            for workers in [2, 4] {
+                let par = explore_with(
+                    &s,
+                    Options::reduced(1_000_000)
+                        .with_symmetry(symmetry)
+                        .with_workers(workers),
+                );
+                assert!(!par.truncated, "{name} w={workers}: truncated");
+                assert_eq!(
+                    par.verified(),
+                    base.verified(),
+                    "{name} sym={symmetry} w={workers}: verdict"
+                );
+                assert_eq!(
+                    par.violations.is_empty(),
+                    base.violations.is_empty(),
+                    "{name} sym={symmetry} w={workers}: violations"
+                );
+                assert_eq!(
+                    par.deadlocks.is_empty(),
+                    base.deadlocks.is_empty(),
+                    "{name} sym={symmetry} w={workers}: deadlocks"
+                );
+                assert_eq!(
+                    par.terminal_fingerprints, base.terminal_fingerprints,
+                    "{name} sym={symmetry} w={workers}: terminal sets"
+                );
+                assert!(
+                    par.states >= base.states,
+                    "{name} sym={symmetry} w={workers}: parallel DPOR explored fewer states"
+                );
+            }
+        }
+    }
+}
+
+/// The seeded stale-release bug found through the parallel, symmetry-
+/// reduced path replays to the same genuine safety violation at the same
+/// minimal depth the serial exhaustive search reports.
+#[test]
+fn seeded_bug_counterexample_survives_parallel_symmetry() {
+    let s = corpus().remove(3).1;
+    let serial = explore_with(&s, Options::exhaustive(1_000_000));
+    let serial_len = schedule_len(&serial).expect("serial search finds the seeded bug");
+    for (symmetry, workers) in [(false, 4), (true, 1), (true, 4), (true, 8)] {
+        let r = explore_with(
+            &s,
+            Options::exhaustive(1_000_000)
+                .with_symmetry(symmetry)
+                .with_workers(workers),
+        );
+        let v = r
+            .violations
+            .first()
+            .unwrap_or_else(|| panic!("sym={symmetry} w={workers}: no violation"));
+        assert_eq!(
+            v.schedule.0.len(),
+            serial_len,
+            "sym={symmetry} w={workers}: minimal counterexample length"
+        );
+        let replayed = replay(&s, &v.schedule);
+        assert!(
+            !replayed.errors().is_empty(),
+            "sym={symmetry} w={workers}: schedule does not replay to a real violation"
+        );
+    }
+}
+
+/// A 2-lock scenario with no lock-ordering discipline *in the safe order*
+/// verifies clean; reversing the acquisition order on one node produces a
+/// genuine cross-lock hold-and-wait deadlock, visible to every engine and
+/// worker count.
+#[test]
+fn cross_lock_hold_and_wait_deadlock_is_detected() {
+    let safe = Scenario::star(
+        3,
+        vec![
+            vec![],
+            vec![
+                Op::Acquire(Mode::Write),
+                Op::AcquireOn(1, Mode::Write),
+                Op::ReleaseOn(1),
+                Op::Release,
+            ],
+            vec![
+                Op::Acquire(Mode::Write),
+                Op::AcquireOn(1, Mode::Write),
+                Op::ReleaseOn(1),
+                Op::Release,
+            ],
+        ],
+        ProtocolConfig::paper(),
+    );
+    assert_eq!(safe.locks, 2);
+    let r = explore_with(&safe, Options::exhaustive(1_000_000));
+    assert!(!r.truncated);
+    assert!(
+        r.verified(),
+        "consistent lock order must verify: {:?}",
+        r.deadlocks.first()
+    );
+
+    let unsafe_order = Scenario::star(
+        3,
+        vec![
+            vec![],
+            vec![
+                Op::Acquire(Mode::Write),
+                Op::AcquireOn(1, Mode::Write),
+                Op::ReleaseOn(1),
+                Op::Release,
+            ],
+            vec![
+                Op::AcquireOn(1, Mode::Write),
+                Op::Acquire(Mode::Write),
+                Op::Release,
+                Op::ReleaseOn(1),
+            ],
+        ],
+        ProtocolConfig::paper(),
+    );
+    for workers in [1, 4] {
+        for reduced in [false, true] {
+            let opts = if reduced {
+                Options::reduced(1_000_000)
+            } else {
+                Options::exhaustive(1_000_000)
+            };
+            let r = explore_with(&unsafe_order, opts.with_workers(workers));
+            assert!(!r.truncated);
+            assert!(
+                !r.deadlocks.is_empty(),
+                "w={workers} reduced={reduced}: cross-lock deadlock missed"
+            );
+            assert!(
+                r.violations.is_empty(),
+                "w={workers} reduced={reduced}: hold-and-wait is a liveness bug, not safety"
+            );
+        }
+    }
+}
+
+/// Acceptance: the 5-node / 2-lock symmetric scenario truncates the plain
+/// serial search at the budget, while the canonical quotient (group order
+/// 24) completes under parallel workers with every invariant passing.
+#[test]
+fn symmetric_two_lock_scenario_needs_the_quotient() {
+    let leaf = || {
+        vec![
+            Op::Acquire(Mode::Write),
+            Op::Release,
+            Op::AcquireOn(1, Mode::Write),
+            Op::ReleaseOn(1),
+        ]
+    };
+    let s = Scenario::star(
+        5,
+        vec![vec![], leaf(), leaf(), leaf(), leaf()],
+        ProtocolConfig::paper(),
+    );
+    assert_eq!(s.locks, 2);
+    assert_eq!(SymmetryGroup::of(&s).order(), 24);
+
+    let budget = 60_000;
+    let plain = explore_with(&s, Options::exhaustive(budget));
+    assert!(
+        plain.truncated,
+        "plain search must exceed the budget (finished at {})",
+        plain.states
+    );
+
+    let sym = explore_with(
+        &s,
+        Options::exhaustive(budget)
+            .with_symmetry(true)
+            .with_workers(2),
+    );
+    assert!(!sym.truncated, "quotient must fit: {} states", sym.states);
+    assert!(sym.verified(), "all invariants must pass");
+    assert_eq!(sym.group_order, 24);
+    assert!(
+        sym.states * 10 < budget,
+        "quotient ({}) should be far below the budget",
+        sym.states
+    );
+
+    // The quotient agrees with itself across worker counts.
+    let sym8 = explore_with(
+        &s,
+        Options::exhaustive(budget)
+            .with_symmetry(true)
+            .with_workers(8),
+    );
+    assert_eq!(sym8.states, sym.states);
+    assert_eq!(sym8.terminal_fingerprints, sym.terminal_fingerprints);
+}
+
+/// The wall-clock budget reports truncation rather than hanging: a
+/// zero-second budget stops almost immediately and marks the report.
+#[test]
+fn time_budget_truncates_cleanly() {
+    let s = corpus().remove(0).1;
+    let r = explore_with(
+        &s,
+        Options::exhaustive(1_000_000)
+            .with_workers(2)
+            .with_max_seconds(0.0),
+    );
+    assert!(r.truncated, "zero time budget must truncate");
+}

@@ -99,6 +99,7 @@ impl<T> EffectBuf<T> {
     }
 
     /// Iterate the buffered effects in push order without consuming them.
+    #[must_use = "iterating the buffered effects has no effect on the buffer; dropping the iterator silently discards the protocol's output"]
     pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
         self.inline[..self.inline_len]
             .iter()
@@ -108,6 +109,7 @@ impl<T> EffectBuf<T> {
 
     /// Remove and yield the buffered effects in push order, leaving the
     /// buffer empty (and its spill capacity intact) for reuse.
+    #[must_use = "the drained effects are the protocol's instructions to its runtime; dropping them un-executed loses messages"]
     pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
         let n = self.inline_len;
         self.inline_len = 0;
@@ -128,6 +130,7 @@ impl<T> EffectBuf<T> {
 
     /// Drain into a fresh `Vec` (the compatibility shim the `Vec`-returning
     /// wrappers are built on).
+    #[must_use = "the drained effects are the protocol's instructions to its runtime; dropping them un-executed loses messages"]
     pub fn take_vec(&mut self) -> Vec<T> {
         self.drain().collect()
     }

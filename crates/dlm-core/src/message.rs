@@ -108,7 +108,40 @@ pub enum Message {
     },
 }
 
+impl QueuedRequest {
+    /// This request with its originator mapped through `map` (model-checker
+    /// symmetry reduction; see [`crate::HierNode::relabeled`]).
+    pub fn relabeled(&self, map: impl Fn(NodeId) -> NodeId) -> QueuedRequest {
+        QueuedRequest {
+            from: map(self.from),
+            ..*self
+        }
+    }
+}
+
 impl Message {
+    /// This message with every embedded node identity mapped through `map`
+    /// (model-checker symmetry reduction; see
+    /// [`crate::HierNode::relabeled`]). Only requests and token transfers
+    /// carry node ids; the other variants are returned unchanged.
+    pub fn relabeled(&self, map: impl Fn(NodeId) -> NodeId) -> Message {
+        match self {
+            Message::Request(req) => Message::Request(req.relabeled(map)),
+            Message::Token {
+                mode,
+                granter_owned,
+                queue,
+                frozen,
+            } => Message::Token {
+                mode: *mode,
+                granter_owned: *granter_owned,
+                queue: queue.iter().map(|q| q.relabeled(&map)).collect(),
+                frozen: *frozen,
+            },
+            other => other.clone(),
+        }
+    }
+
     /// Short tag for metrics (message counts per kind).
     pub fn kind(&self) -> MessageKind {
         match self {

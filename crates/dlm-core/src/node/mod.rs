@@ -288,6 +288,57 @@ impl HierNode {
         }
         ack < self.grants_sent.get(&child).copied().unwrap_or(0)
     }
+
+    /// A copy of this node with every node identity (its own id, the parent
+    /// link, copyset/frozen-sent/grant-counter keys, and queued or pending
+    /// requesters) mapped through `map`.
+    ///
+    /// The protocol never orders or compares node ids except for equality, so
+    /// relabelling through a bijection commutes with every entry point: for a
+    /// permutation σ, `σ(n).on_message(σ(from), σ(m))` produces `σ` of the
+    /// effects of `n.on_message(from, m)`. The model checker's symmetry
+    /// reduction (`dlm-check`) relies on exactly this equivariance to collapse
+    /// permuted clusters into one canonical state. Sorted flat maps are
+    /// rebuilt, so iteration order stays canonical under the new labels.
+    pub fn relabeled(&self, map: impl Fn(NodeId) -> NodeId) -> HierNode {
+        let relabel_req = |q: &QueuedRequest| QueuedRequest {
+            from: map(q.from),
+            ..*q
+        };
+        let mut copyset = CopySet::new();
+        for (child, mode) in self.copyset.iter() {
+            copyset.insert(map(child), mode);
+        }
+        let mut frozen_sent = FlatMap::new();
+        for (child, set) in self.frozen_sent.iter() {
+            frozen_sent.insert(map(child), set);
+        }
+        let mut grants_sent = FlatMap::new();
+        for (peer, count) in self.grants_sent.iter() {
+            grants_sent.insert(map(peer), count);
+        }
+        let mut grants_received = FlatMap::new();
+        for (peer, count) in self.grants_received.iter() {
+            grants_received.insert(map(peer), count);
+        }
+        HierNode {
+            id: map(self.id),
+            config: self.config,
+            parent: self.parent.map(&map),
+            has_token: self.has_token,
+            held: self.held,
+            owned: self.owned,
+            pending: self.pending.as_ref().map(relabel_req),
+            copyset,
+            queue: self.queue.iter().map(relabel_req).collect(),
+            frozen: self.frozen,
+            frozen_sent,
+            grants_sent,
+            grants_received,
+            registered: self.registered,
+            anomalies: self.anomalies,
+        }
+    }
 }
 
 impl crate::fingerprint::Fingerprintable for HierNode {

@@ -1,52 +1,78 @@
 #!/usr/bin/env bash
-# Bench-regression smoke gate: re-measures the protocol churn numbers with a
+# Bench-regression smoke gate: re-measures the gated numbers with a
 # BENCH_SMOKE=1 run (the churn section keeps its full budget under smoke, so
 # the numbers are comparable with the committed full-budget baseline) and
-# fails if churn_ir_ns_per_op regressed more than 25% against the baseline
-# committed in BENCH_sim.json.
+# fails on regressions beyond the threshold against the baseline committed
+# in BENCH_sim.json:
+#
+#   churn_ir_ns_per_op           lower is better   (+threshold% ceiling)
+#   check_states_per_sec_serial  higher is better  (-threshold% floor)
 #
 # The baseline is read from git (HEAD), not the working tree, because
-# scripts/bench.sh overwrites BENCH_sim.json in place.
+# scripts/bench.sh overwrites BENCH_sim.json in place. A metric missing
+# from the committed baseline is skipped (first run after adding one).
 #
 # Usage: scripts/bench_gate.sh [threshold-percent]   (default 25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${1:-25}"
-METRIC="churn_ir_ns_per_op"
+METRIC_LOW="churn_ir_ns_per_op"
+METRIC_HIGH="check_states_per_sec_serial"
+
 OUT="$(mktemp -t bench_gate.XXXXXX.json)"
-trap 'rm -f "$OUT"' EXIT
+BASELINE_JSON="$(mktemp -t bench_base.XXXXXX.json)"
+trap 'rm -f "$OUT" "$BASELINE_JSON"' EXIT
 
 extract() { # extract <metric> <file>
   awk -F': ' -v m="\"$1\"" '$0 ~ m { gsub(/[ ,]/, "", $2); print $2 }' "$2"
 }
 
-BASELINE_JSON="$(mktemp -t bench_base.XXXXXX.json)"
-trap 'rm -f "$OUT" "$BASELINE_JSON"' EXIT
 git show HEAD:BENCH_sim.json > "$BASELINE_JSON"
-base="$(extract "$METRIC" "$BASELINE_JSON")"
-if [[ -z "$base" ]]; then
-  echo "bench_gate: no $METRIC in committed BENCH_sim.json; skipping" >&2
+base_low="$(extract "$METRIC_LOW" "$BASELINE_JSON")"
+base_high="$(extract "$METRIC_HIGH" "$BASELINE_JSON")"
+if [[ -z "$base_low" && -z "$base_high" ]]; then
+  echo "bench_gate: no gated metrics in committed BENCH_sim.json; skipping" >&2
   exit 0
 fi
 
-limit="$(awk -v b="$base" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 + t / 100) }')"
+limit_low=""
+floor_high=""
+if [[ -n "$base_low" ]]; then
+  limit_low="$(awk -v b="$base_low" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 + t / 100) }')"
+fi
+if [[ -n "$base_high" ]]; then
+  floor_high="$(awk -v b="$base_high" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 - t / 100) }')"
+fi
 
 # Two attempts: a shared CI runner can have a noisy neighbour for the first
 # measurement; a true regression fails both.
 for attempt in 1 2; do
   echo "==> bench_gate: BENCH_SMOKE=1 bench -> $OUT (attempt $attempt)"
   BENCH_SMOKE=1 cargo run --release -q -p bench --bin bench "$OUT" >/dev/null
-  new="$(extract "$METRIC" "$OUT")"
-  if [[ -z "$new" ]]; then
-    echo "bench_gate: smoke run produced no $METRIC" >&2
-    exit 1
+  ok=1
+  if [[ -n "$base_low" ]]; then
+    new="$(extract "$METRIC_LOW" "$OUT")"
+    if [[ -z "$new" ]]; then
+      echo "bench_gate: smoke run produced no $METRIC_LOW" >&2
+      exit 1
+    fi
+    echo "bench_gate: $METRIC_LOW baseline=${base_low}ns new=${new}ns limit=${limit_low}ns (+${THRESHOLD}%)"
+    awk -v n="$new" -v l="$limit_low" 'BEGIN { exit !(n <= l) }' || ok=0
   fi
-  echo "bench_gate: $METRIC baseline=${base}ns new=${new}ns limit=${limit}ns (+${THRESHOLD}%)"
-  if awk -v n="$new" -v l="$limit" 'BEGIN { exit !(n <= l) }'; then
+  if [[ -n "$base_high" ]]; then
+    new="$(extract "$METRIC_HIGH" "$OUT")"
+    if [[ -z "$new" ]]; then
+      echo "bench_gate: smoke run produced no $METRIC_HIGH" >&2
+      exit 1
+    fi
+    echo "bench_gate: $METRIC_HIGH baseline=${base_high}/s new=${new}/s floor=${floor_high}/s (-${THRESHOLD}%)"
+    awk -v n="$new" -v f="$floor_high" 'BEGIN { exit !(n >= f) }' || ok=0
+  fi
+  if [[ "$ok" == 1 ]]; then
     echo "bench_gate: OK"
     exit 0
   fi
 done
-echo "bench_gate: FAIL — $METRIC regressed ${new}ns > ${limit}ns on both attempts" >&2
+echo "bench_gate: FAIL — a gated metric regressed past the threshold on both attempts" >&2
 exit 1

@@ -24,8 +24,12 @@ cargo test -q --workspace
 echo "==> chaos smoke: seeded lossy-link schedules (DLM_CHAOS_CASES=${DLM_CHAOS_CASES:-4})"
 DLM_CHAOS_CASES="${DLM_CHAOS_CASES:-4}" cargo test -q -p dlm-cluster --test chaos
 
-echo "==> model-check gate: check gate"
+echo "==> model-check gate: check gate (serial/parallel differential + symmetry acceptance)"
 cargo run --release -q -p dlm-check --bin check -- gate
+
+echo "==> model-check parallel smoke: two_locks under --symmetry on --workers 2"
+cargo run --release -q -p dlm-check --bin check -- \
+  scenario two_locks --reduction off --symmetry on --workers 2 --stats
 
 echo "==> request-span smoke: capture + reconstruct a 4-node cluster trace"
 cargo run --release -q -p dlm-harness --bin spans -- 4
