@@ -1,0 +1,51 @@
+//! CLI driver for the millions-of-locks service benchmark
+//! ([`bench::shard_churn_run`]): one sharded node, a pipelined client, and
+//! acquire/release churn over a large key space.
+//!
+//! Usage: `cargo run --release -p bench --bin shard_churn [-- <locks> <ops> <shards> <window>]`
+//!
+//! Defaults to 1.5 M locks / 4 M ops / 8 shards / a 4096-op window — the
+//! same configuration the persisted baseline (`bench` bin) records — and
+//! runs both uniform and zipfian (YCSB theta 0.99) key popularity.
+//! `BENCH_SMOKE=1` shrinks the run to 10 k locks / 50 k ops for CI.
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (mut locks, mut ops): (u32, u64) = if smoke {
+        (10_000, 50_000)
+    } else {
+        (1_500_000, 4_000_000)
+    };
+    let mut shards = 8usize;
+    let mut window = 4096usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed: Result<(), Box<dyn std::error::Error>> = (|| {
+        if let Some(v) = args.first() {
+            locks = v.parse()?;
+        }
+        if let Some(v) = args.get(1) {
+            ops = v.parse()?;
+        }
+        if let Some(v) = args.get(2) {
+            shards = v.parse()?;
+        }
+        if let Some(v) = args.get(3) {
+            window = v.parse()?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("usage: shard_churn [<locks> <ops> <shards> <window>] ({e})");
+        std::process::exit(2);
+    }
+
+    println!("shard_churn: {locks} locks, {ops} ops, {shards} shards, window {window}");
+    for (label, theta) in [("uniform", None), ("zipf(0.99)", Some(0.99))] {
+        let r = bench::shard_churn_run(locks, ops, shards, window, theta, 0xBEEF);
+        let p = r.acquire_latency.percentiles();
+        println!(
+            "  {label:<10} {:>9.0} ops/sec  {:>8} distinct locks  acquire p50/p95/p99 = {}/{}/{} us",
+            r.ops_per_sec, r.distinct_locks, p.p50, p.p95, p.p99
+        );
+    }
+}

@@ -137,3 +137,46 @@ fn metrics_snapshot_reflects_api_traffic() {
     }
     c.shutdown();
 }
+
+/// The service-level pipeline: bulk operations on distinct locks through a
+/// sharded node, correlated back by `(lock, tag)`, interoperating with the
+/// blocking LockSet surface over the same cluster.
+#[test]
+fn pipeline_interoperates_with_locksets() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 2,
+        locks: 128,
+        shards: 2,
+        ..Default::default()
+    });
+    let mut pipe = dlm_api::pipeline(&c, 1);
+    for l in 0..128u32 {
+        pipe.submit_acquire(LockId(l), Mode::Write, l as u64)
+            .unwrap();
+    }
+    for _ in 0..128 {
+        let comp = pipe.recv().unwrap();
+        assert_eq!(comp.result, Ok(()), "lock {:?}", comp.lock);
+        assert_eq!(comp.lock.0 as u64, comp.tag, "completion correlates");
+    }
+    // While node 1 holds lock 7, node 0's LockSet cannot try-take it …
+    let set = LockSet::new(c.handle(0), LockId(7));
+    assert!(!set.try_lock(Mode::Write).unwrap());
+    // … and after the pipelined release it can.
+    pipe.submit_release(LockId(7), 999).unwrap();
+    pipe.flush().unwrap();
+    assert_eq!(pipe.recv().unwrap().tag, 999);
+    set.lock(Mode::Write).unwrap();
+    set.unlock().unwrap();
+    for l in (0..128u32).filter(|&l| l != 7) {
+        pipe.submit_release(LockId(l), l as u64).unwrap();
+    }
+    pipe.flush().unwrap();
+    while pipe.outstanding() > 0 {
+        assert!(pipe.recv().unwrap().result.is_ok());
+    }
+    c.quiesce(Duration::from_millis(10));
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+    assert_eq!(report.replies_dropped, 0);
+}

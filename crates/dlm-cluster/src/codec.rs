@@ -29,6 +29,22 @@
 //! the protocol state machine, its structural fingerprints, and the model
 //! checker never see request ids. The lock id stays first in both layouts,
 //! which keeps the reliability shim's `peek_lock` valid for either.
+//!
+//! Coalesced links pack several correlated frames into one *container*
+//! frame ([`encode_container_into`] / [`decode_container_into`]):
+//!
+//! ```text
+//! u32  CONTAINER_MARKER (0xFFFF_FFFF)
+//! u16  sub-frame count (≥ 1)
+//! ...  count × (u32 length | correlated frame bytes)
+//! ```
+//!
+//! The marker occupies the lock-id slot, and `u32::MAX` is reserved — it is
+//! the transport sentinel ([`crate::transport::TRANSPORT_LOCK`]), never a
+//! real lock — so a receiver (and the reliability shim's `peek_lock`)
+//! distinguishes a container from a bare frame by its first four bytes
+//! alone. The container travels as one wire frame through the reliability
+//! shim: one sequence number, one ack, one retransmission unit.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dlm_core::{LockId, Message, Mode, ModeSet, NodeId, QueuedRequest};
@@ -271,6 +287,76 @@ fn get_body(frame: &mut Bytes) -> Result<Message, DecodeError> {
     Ok(message)
 }
 
+/// First four bytes of a container frame. Reserved: no protocol frame
+/// carries this lock id (it is the transport trace sentinel).
+pub const CONTAINER_MARKER: u32 = u32::MAX;
+
+/// Does this wire frame carry a coalesced container rather than a single
+/// protocol frame?
+pub fn is_container(frame: &Bytes) -> bool {
+    frame
+        .as_ref()
+        .get(0..4)
+        .is_some_and(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) == CONTAINER_MARKER)
+}
+
+/// Pack `frames` (each a correlated frame from [`encode_corr_into`]) into
+/// one container frame built inside `scratch`.
+///
+/// Panics if `frames` is empty or longer than `u16::MAX` (the runtime's
+/// coalesce buffers flush well below that).
+pub fn encode_container_into(frames: &[Bytes], scratch: &mut BytesMut) -> Bytes {
+    assert!(!frames.is_empty(), "container needs at least one frame");
+    assert!(frames.len() <= u16::MAX as usize, "container overflow");
+    scratch.clear();
+    let buf = scratch;
+    buf.put_u32_le(CONTAINER_MARKER);
+    buf.put_u16_le(frames.len() as u16);
+    for f in frames {
+        debug_assert!(!is_container(f), "containers do not nest");
+        buf.put_u32_le(f.len() as u32);
+        buf.put_slice(f.as_ref());
+    }
+    buf.take_frame()
+}
+
+/// Unpack a container frame into its sub-frames, appended to `out` (which
+/// is cleared first). Each sub-frame is a self-contained correlated frame
+/// for [`decode_corr`]. Trailing garbage, a zero count, and truncation all
+/// error — a container is exact or it is rejected whole.
+pub fn decode_container_into(frame: Bytes, out: &mut Vec<Bytes>) -> Result<(), DecodeError> {
+    out.clear();
+    let b = frame.as_ref();
+    if b.len() < 6 {
+        return Err(DecodeError::Truncated);
+    }
+    let marker = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    if marker != CONTAINER_MARKER {
+        return Err(DecodeError::BadTag(0));
+    }
+    let count = u16::from_le_bytes([b[4], b[5]]) as usize;
+    if count == 0 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut pos = 6usize;
+    for _ in 0..count {
+        let Some(hdr) = b.get(pos..pos + 4) else {
+            return Err(DecodeError::Truncated);
+        };
+        let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+        pos += 4;
+        if b.len() < pos + len {
+            return Err(DecodeError::Truncated);
+        }
+        out.push(frame.slice(pos..pos + len));
+        pos += len;
+    }
+    if pos != b.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +482,61 @@ mod tests {
         // unless its payload happens to pad it out; a 6-byte grant errors.
         let plain = encode(LockId(0), &Message::Grant { mode: Mode::Read });
         assert!(decode_corr(plain).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip_and_preserve_order() {
+        let frames: Vec<Bytes> = (0..5u32)
+            .map(|i| {
+                encode_corr(
+                    LockId(i),
+                    (3u64 << 32) | (i as u64 + 1),
+                    i as u16,
+                    &Message::Grant { mode: Mode::Read },
+                )
+            })
+            .collect();
+        let mut scratch = BytesMut::with_capacity(64);
+        let container = encode_container_into(&frames, &mut scratch);
+        assert!(is_container(&container));
+        assert!(!is_container(&frames[0]), "bare frames are not containers");
+        let mut out = Vec::new();
+        decode_container_into(container, &mut out).expect("container decodes");
+        assert_eq!(out.len(), 5);
+        for (i, sub) in out.into_iter().enumerate() {
+            assert_eq!(sub, frames[i], "sub-frame {i} byte-identical");
+            let (lock, req, hops, msg) = decode_corr(sub).expect("sub-frame decodes");
+            assert_eq!(lock, LockId(i as u32));
+            assert_eq!(req, (3u64 << 32) | (i as u64 + 1));
+            assert_eq!(hops, i as u16);
+            assert_eq!(msg, Message::Grant { mode: Mode::Read });
+        }
+    }
+
+    #[test]
+    fn container_truncations_and_bad_shapes_error() {
+        let frames = vec![encode_corr(LockId(1), 7, 1, &Message::Grant { mode: Mode::Read }); 3];
+        let mut scratch = BytesMut::new();
+        let container = encode_container_into(&frames, &mut scratch);
+        let mut out = Vec::new();
+        for cut in 0..container.len() {
+            assert!(
+                decode_container_into(container.slice(0..cut), &mut out).is_err(),
+                "a {cut}-byte container prefix must not decode"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = BytesMut::new();
+        padded.put_slice(container.as_ref());
+        padded.put_u8(0);
+        assert!(decode_container_into(padded.freeze(), &mut out).is_err());
+        // A zero-count container is rejected.
+        let mut empty = BytesMut::new();
+        empty.put_u32_le(CONTAINER_MARKER);
+        empty.put_u16_le(0);
+        assert!(decode_container_into(empty.freeze(), &mut out).is_err());
+        // A bare frame is not a container.
+        assert!(decode_container_into(frames[0].clone(), &mut out).is_err());
     }
 
     #[test]

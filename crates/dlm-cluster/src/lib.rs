@@ -1,9 +1,11 @@
-//! A thread-per-node, channel-connected **in-process cluster** running the
+//! A sharded, channel-connected **in-process cluster** running the
 //! hierarchical locking protocol — the "real concurrency" counterpart to the
 //! deterministic simulator in `dlm-sim`, standing in for the paper's
 //! TCP/MPI testbeds.
 //!
-//! * every node is an OS thread owning its per-lock [`dlm_core::HierNode`]s,
+//! * every node runs one worker thread per [`shard`] (default one), each
+//!   owning the [`dlm_core::HierNode`]s of the locks hashing to it —
+//!   created lazily, so a node can host millions of mostly-idle locks,
 //! * links are a pluggable [`transport::Transport`] — perfect channels,
 //!   constant-latency routing, or seeded fault injection
 //!   ([`TransportKind`]); every protocol message is round-tripped through
@@ -13,8 +15,14 @@
 //!   reliable links the protocol assumes on top of a lossy transport:
 //!   per-link sequence numbers, cumulative acks, retransmission with capped
 //!   exponential backoff, and receive-side dedup/reorder buffering,
+//! * protocol frames sharing a destination within one worker batch are
+//!   coalesced into a single container wire frame
+//!   ([`codec::encode_container_into`]) — one transport handoff, one
+//!   reliability sequence number per batch per link,
 //! * applications drive nodes through cloneable blocking [`NodeHandle`]s
-//!   (`acquire` / `release` / `upgrade`).
+//!   (`acquire` / `release` / `upgrade`) or the batched [`Pipeline`]
+//!   (`submit_*` / [`Completion`]s), both guarded per shard by a bounded
+//!   admission gate that sheds overload as [`ClusterError::Overloaded`].
 //!
 //! The runtime exists to demonstrate the protocol under true parallelism
 //! (`cargo run --example cluster_demo`), to cross-validate the simulator
@@ -29,9 +37,10 @@ pub mod codec;
 mod handle;
 mod reliable;
 mod runtime;
+pub mod shard;
 pub mod transport;
 
-pub use handle::{ClusterError, NodeHandle};
+pub use handle::{ClusterError, Completion, NodeHandle, Pipeline};
 pub use reliable::ReliableConfig;
 pub use runtime::{Cluster, ClusterConfig, ClusterReport, LinkReport};
 pub use transport::{FaultConfig, TransportKind};

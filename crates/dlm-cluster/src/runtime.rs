@@ -1,9 +1,38 @@
-//! The cluster runtime: node threads, the pluggable transport, the optional
-//! reliability shim, and lifecycle management.
+//! The cluster runtime: sharded per-node worker threads, the pluggable
+//! transport, the optional reliability shim, per-link frame coalescing, and
+//! lifecycle management.
+//!
+//! # Sharded workers
+//!
+//! Every node runs [`ClusterConfig::shards`] worker threads; lock `L` is
+//! owned by shard [`crate::shard::shard_of`]`(L)` on *every* node, so a
+//! frame for `L` goes straight from the sending worker to the owning worker
+//! of the destination node with no cross-thread handoff in between. The
+//! transport address space is therefore *worker slots*
+//! (`node * shards + shard`), not nodes; fault tallies and trace events are
+//! folded back to node granularity.
+//!
+//! Each worker owns its shard's protocol instances (created lazily on first
+//! touch, so a node can host millions of mostly-idle locks), its own
+//! [`EffectBuf`] and codec scratch, its own reliability endpoint, and a
+//! bounded application-ingress gate ([`crate::shard::ShardGate`]) that sheds
+//! new load with [`ClusterError::Overloaded`] instead of queueing without
+//! bound.
+//!
+//! # Coalescing
+//!
+//! A worker drains its input channel in batches. Outgoing protocol frames
+//! produced while processing one batch are buffered per destination and
+//! flushed at batch end: several protocol frames to the same peer travel as
+//! one container wire frame ([`crate::codec::encode_container_into`]) — one
+//! transport handoff, one reliability sequence number, one ack. Per-link
+//! [`LinkReport::proto_sent`]/[`LinkReport::wire_sent`] counters report the
+//! achieved packing ratio.
 
 use crate::codec;
-use crate::handle::{ClusterError, NodeHandle, Reply};
+use crate::handle::{ClusterError, Completion, NodeHandle, OpKind, PipeOp, Reply};
 use crate::reliable::{Endpoint, PeerSnapshot, ReliableConfig};
+use crate::shard::{effective_shards, FastMap, ShardGate};
 use crate::transport::{
     Delayed, Direct, Faulty, LinkFaults, Transport, TransportKind, TRANSPORT_LOCK,
 };
@@ -17,22 +46,28 @@ use dlm_trace::{
     merge_records, NullObserver, Observer, ProtocolEvent, Recorder, RingRecorder, Stamp,
     TraceRecord,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Upper bound on inputs a worker processes before it flushes its coalesce
+/// buffers (and reliability acks). Large enough to pack hot links well,
+/// small enough to keep retransmission ticks timely.
+const BATCH: usize = 256;
+
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
-    /// Number of node threads.
+    /// Number of nodes.
     pub nodes: usize,
-    /// Number of lock objects hosted (ids `0..locks`).
+    /// Number of lock objects hosted (ids `0..locks`). Protocol state is
+    /// created lazily on first touch, so this may be in the millions.
     pub locks: usize,
     /// Protocol feature toggles.
     pub protocol: ProtocolConfig,
-    /// The interconnect carrying encoded frames between nodes; see
+    /// The interconnect carrying encoded frames between workers; see
     /// [`TransportKind`].
     pub transport: TransportKind,
     /// When set, every protocol frame travels through the per-link
@@ -40,11 +75,23 @@ pub struct ClusterConfig {
     /// dedup/reorder buffering) — required for a clean run over
     /// [`TransportKind::Faulty`] links with a non-zero drop rate.
     pub reliable: Option<ReliableConfig>,
-    /// Per-node flight-recorder capacity for structured protocol events;
-    /// `0` disables tracing (node threads then pay one branch per event
-    /// site). Retained records are merged at shutdown into
+    /// Per-worker flight-recorder capacity for structured protocol events;
+    /// `0` disables tracing (workers then pay one branch per event site).
+    /// Retained records are merged at shutdown into
     /// [`ClusterReport::trace`].
     pub trace_capacity: usize,
+    /// Worker threads per node, rounded up to a power of two. Lock-id →
+    /// shard assignment is the splittable hash in [`crate::shard`]; `1`
+    /// (the default) reproduces the classic one-thread-per-node runtime.
+    pub shards: usize,
+    /// Bound on queued application operations per shard worker; operations
+    /// beyond it are refused with [`ClusterError::Overloaded`]. Network
+    /// frames are never gated.
+    pub shard_queue: usize,
+    /// Pack protocol frames sharing a destination within one input batch
+    /// into a single container wire frame. On by default; turn off to
+    /// measure the per-frame transport cost it amortizes.
+    pub coalesce: bool,
 }
 
 impl Default for ClusterConfig {
@@ -56,13 +103,16 @@ impl Default for ClusterConfig {
             transport: TransportKind::Direct,
             reliable: None,
             trace_capacity: 0,
+            shards: 1,
+            shard_queue: 8192,
+            coalesce: true,
         }
     }
 }
 
-/// What a node thread receives.
+/// What a worker thread receives.
 pub(crate) enum Input {
-    /// An encoded wire frame from `from`.
+    /// An encoded wire frame from worker slot `from`.
     Net { from: NodeId, frame: Bytes },
     /// Application request: acquire `lock` in `mode`; answer on `reply`.
     Acquire {
@@ -82,13 +132,21 @@ pub(crate) enum Input {
     Upgrade { lock: LockId, reply: Reply },
     /// Application request: release `lock`.
     Release { lock: LockId, reply: Reply },
-    /// Tear down the node thread; it returns its protocol states.
+    /// A pipelined batch of operations. Outcomes settled while processing
+    /// the batch are answered as one vector on `tx`; deferred grants follow
+    /// later as singleton vectors.
+    Ops {
+        ops: Vec<PipeOp>,
+        tx: Sender<Vec<Completion>>,
+    },
+    /// Tear down the worker thread; it returns its protocol states.
     Shutdown,
 }
 
-/// Per-directed-link telemetry merged from the reliability endpoints and the
-/// transport's fault tallies at shutdown. All counters are zero unless the
-/// corresponding machinery was configured ([`ClusterConfig::reliable`],
+/// Per-directed-link telemetry merged from the reliability endpoints, the
+/// coalescing counters, and the transport's fault tallies at shutdown.
+/// Reliability and fault counters are zero unless the corresponding
+/// machinery was configured ([`ClusterConfig::reliable`],
 /// [`TransportKind::Faulty`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkReport {
@@ -96,7 +154,9 @@ pub struct LinkReport {
     pub from: u32,
     /// Receiver.
     pub to: u32,
-    /// Data frames originally sent (retransmissions not included).
+    /// Data frames originally sent (retransmissions not included). With
+    /// coalescing this counts *wire* frames, so it equals
+    /// [`Self::wire_sent`] on a reliable link.
     pub data_sent: u64,
     /// Retransmissions of unacked data frames.
     pub retransmits: u64,
@@ -112,6 +172,11 @@ pub struct LinkReport {
     pub duplicated: u64,
     /// Frames the transport held back past later traffic.
     pub reordered: u64,
+    /// Protocol frames carried over this link (the payload count).
+    pub proto_sent: u64,
+    /// Physical wire frames that carried them; `proto_sent / wire_sent`
+    /// is the link's coalescing ratio (1.0 with coalescing off).
+    pub wire_sent: u64,
 }
 
 /// Final report of a shut-down cluster.
@@ -121,7 +186,8 @@ pub struct ClusterReport {
     /// link-layer frames and not counted here; see [`Self::links`]).
     pub messages_sent: u64,
     /// Per-lock audit findings on the final states (with the cluster
-    /// quiesced, these should all be empty).
+    /// quiesced, these should all be empty). Locks never touched by any
+    /// node hold their initial state by construction and are skipped.
     pub audit_errors: Vec<AuditError>,
     /// Merged structured event trace (wall-clock µs since cluster start;
     /// empty when [`ClusterConfig::trace_capacity`] is 0). Ordered by
@@ -129,7 +195,7 @@ pub struct ClusterReport {
     /// events that no lock can claim carry the sentinel lock id
     /// [`TRANSPORT_LOCK`].
     pub trace: Vec<TraceRecord>,
-    /// Events evicted from the per-node flight recorders before shutdown
+    /// Events evicted from the per-worker flight recorders before shutdown
     /// (0 means [`Self::trace`] is complete).
     pub trace_dropped: u64,
     /// Completion replies whose application-side receiver had already gone
@@ -137,14 +203,14 @@ pub struct ClusterReport {
     /// caller never saw its outcome.
     pub replies_dropped: u64,
     /// Frames that arrived but could not be decoded (truncated, bad tag,
-    /// bad reliability header). The receiving node counts them and keeps
+    /// bad reliability header). The receiving worker counts them and keeps
     /// serving; on a healthy in-process transport this is always 0.
     pub decode_errors: u64,
-    /// Per-link reliability/fault counters, sorted by `(from, to)`; empty
-    /// when neither the reliability shim nor fault injection was active.
+    /// Per-link reliability/coalescing/fault counters, sorted by
+    /// `(from, to)`; empty when no link carried anything to report.
     pub links: Vec<LinkReport>,
     /// Wall-clock latency (µs) of every completed application acquire and
-    /// upgrade, merged across nodes: issue at the node thread → grant
+    /// upgrade, merged across nodes: issue at the worker thread → grant
     /// delivered to the waiter.
     pub acquire_latency: Histogram,
     /// Causal network hops on each completed operation's granting chain
@@ -152,29 +218,36 @@ pub struct ClusterReport {
     pub acquire_hops: Histogram,
 }
 
-/// An in-process cluster of protocol nodes.
+/// An in-process cluster of protocol nodes, each running one worker thread
+/// per shard.
 pub struct Cluster {
+    /// One input channel per worker slot (`node * shards + shard`).
     inputs: Vec<Sender<Input>>,
+    /// One admission gate per worker slot.
+    gates: Vec<Arc<ShardGate>>,
     joins: Vec<JoinHandle<NodeExit>>,
     transport: Arc<dyn Transport>,
     messages: Arc<AtomicU64>,
     replies_dropped: Arc<AtomicU64>,
     /// Physical frames created but not yet fully processed by their
-    /// receiving node (includes frames parked inside the transport).
+    /// receiving worker (includes frames parked inside the transport and
+    /// protocol frames buffered for coalescing).
     in_flight: Arc<AtomicU64>,
     /// Data sequences sent but not yet cumulatively acked (reliability shim
     /// only; 0 otherwise).
     unacked: Arc<AtomicU64>,
-    /// Per-node request metrics, shared with the node threads so
+    /// Per-worker-slot request metrics, shared with the workers so
     /// [`Cluster::metrics_snapshot`] can read them live. Each mutex is
     /// touched once per completed *operation* (not per message), so the
     /// steady-state message path never contends on it.
     metrics: Vec<Arc<Mutex<NodeMetrics>>>,
-    locks: usize,
+    nodes: usize,
+    shards: usize,
+    protocol: ProtocolConfig,
 }
 
-/// Per-node operation metrics: request latency/hop distributions and
-/// operation counters. Owned by the node thread, read by
+/// Per-worker operation metrics: request latency/hop distributions and
+/// operation counters. Owned by the worker thread, read by
 /// [`Cluster::metrics_snapshot`] under a short-lived mutex.
 #[derive(Debug, Default)]
 struct NodeMetrics {
@@ -182,7 +255,8 @@ struct NodeMetrics {
     acquire_latency: Histogram,
     /// Causal hop depth of the frame that delivered each grant.
     acquire_hops: Histogram,
-    /// Completed acquire operations (blocking and try fast path).
+    /// Completed acquire operations (blocking, pipelined, and try fast
+    /// path).
     acquires: u64,
     /// Completed Rule 7 upgrades.
     upgrades: u64,
@@ -190,13 +264,23 @@ struct NodeMetrics {
     releases: u64,
 }
 
-/// What a node thread hands back at shutdown.
+/// Per-peer coalescing counters a worker hands back at exit.
+struct CoalesceStat {
+    peer: u32,
+    proto_sent: u64,
+    wire_sent: u64,
+}
+
+/// What a worker thread hands back at shutdown.
 struct NodeExit {
-    locks: Vec<HierNode>,
+    /// This shard's protocol instances, keyed by lock id (only locks the
+    /// worker ever touched).
+    locks: FastMap<u32, HierNode>,
     trace: Vec<TraceRecord>,
     trace_dropped: u64,
     decode_errors: u64,
     links: Vec<PeerSnapshot>,
+    coalesce: Vec<CoalesceStat>,
 }
 
 impl Cluster {
@@ -204,17 +288,22 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.nodes >= 1);
         assert!(config.locks >= 1);
+        let shards = effective_shards(config.shards);
+        let slots = config.nodes * shards;
         let messages = Arc::new(AtomicU64::new(0));
         let replies_dropped = Arc::new(AtomicU64::new(0));
         let in_flight = Arc::new(AtomicU64::new(0));
         let unacked = Arc::new(AtomicU64::new(0));
-        // One epoch shared by every node thread, so wall-clock trace stamps
-        // are comparable across threads and merge into one timeline.
+        // One epoch shared by every worker thread, so wall-clock trace
+        // stamps are comparable across threads and merge into one timeline.
         let epoch = Instant::now();
 
         let channels: Vec<(Sender<Input>, Receiver<Input>)> =
-            (0..config.nodes).map(|_| unbounded()).collect();
+            (0..slots).map(|_| unbounded()).collect();
         let inputs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let gates: Vec<Arc<ShardGate>> = (0..slots)
+            .map(|_| Arc::new(ShardGate::new(config.shard_queue)))
+            .collect();
 
         let transport: Arc<dyn Transport> = match config.transport {
             TransportKind::Direct => Arc::new(Direct::new(inputs.clone(), Arc::clone(&in_flight))),
@@ -226,45 +315,54 @@ impl Cluster {
                 Arc::clone(&in_flight),
                 faults,
                 config.nodes,
+                shards,
                 config.trace_capacity,
                 epoch,
             )),
         };
 
-        let metrics: Vec<Arc<Mutex<NodeMetrics>>> = (0..config.nodes)
+        let metrics: Vec<Arc<Mutex<NodeMetrics>>> = (0..slots)
             .map(|_| Arc::new(Mutex::new(NodeMetrics::default())))
             .collect();
 
-        let mut joins = Vec::with_capacity(config.nodes);
-        for (i, (_, rx)) in channels.into_iter().enumerate() {
-            let me = NodeId(i as u32);
+        let mut joins = Vec::with_capacity(slots);
+        for (slot, (_, rx)) in channels.into_iter().enumerate() {
+            let me = NodeId((slot / shards) as u32);
+            let shard = (slot % shards) as u32;
             let link = Arc::clone(&transport);
             let counter = Arc::clone(&messages);
             let gauge = Arc::clone(&in_flight);
             let unacked_gauge = Arc::clone(&unacked);
-            let node_metrics = Arc::clone(&metrics[i]);
+            let dropped = Arc::clone(&replies_dropped);
+            let slot_metrics = Arc::clone(&metrics[slot]);
+            let gate = Arc::clone(&gates[slot]);
             let cfg = config;
             let join = std::thread::Builder::new()
-                .name(format!("dlm-node-{i}"))
+                .name(format!("dlm-node-{}.{}", me.0, shard))
                 .spawn(move || {
-                    node_loop(
+                    worker_loop(
                         me,
+                        shard,
+                        shards as u32,
                         cfg,
                         rx,
                         link,
                         counter,
                         gauge,
                         unacked_gauge,
+                        dropped,
                         epoch,
-                        node_metrics,
+                        slot_metrics,
+                        gate,
                     )
                 })
-                .expect("spawn node thread");
+                .expect("spawn worker thread");
             joins.push(join);
         }
 
         Cluster {
             inputs,
+            gates,
             joins,
             transport,
             messages,
@@ -272,27 +370,36 @@ impl Cluster {
             in_flight,
             unacked,
             metrics,
-            locks: config.locks,
+            nodes: config.nodes,
+            shards,
+            protocol: config.protocol,
         }
     }
 
     /// A cloneable blocking handle to node `id`.
     pub fn handle(&self, id: u32) -> NodeHandle {
+        let base = id as usize * self.shards;
         NodeHandle::new(
             NodeId(id),
-            self.inputs[id as usize].clone(),
+            self.inputs[base..base + self.shards].to_vec(),
+            self.gates[base..base + self.shards].to_vec(),
             Arc::clone(&self.replies_dropped),
         )
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.inputs.len()
+        self.nodes
     }
 
     /// Always false (a cluster has at least one node).
     pub fn is_empty(&self) -> bool {
-        self.inputs.is_empty()
+        self.nodes == 0
+    }
+
+    /// Worker threads per node (the effective, power-of-two shard count).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Protocol messages transmitted so far.
@@ -308,11 +415,12 @@ impl Cluster {
 
     /// Render a Prometheus-text-format snapshot of the cluster's live
     /// metrics: global counters and gauges, per-node operation counters,
-    /// and cluster-wide acquire-latency / hops-per-acquire summaries with
-    /// p50/p95/p99 quantiles.
+    /// per-shard queue/ops/rejection series, and cluster-wide
+    /// acquire-latency / hops-per-acquire summaries with p50/p95/p99
+    /// quantiles.
     ///
-    /// Safe to call at any time; each node's metrics mutex is held only long
-    /// enough to copy its histograms out.
+    /// Safe to call at any time; each worker's metrics mutex is held only
+    /// long enough to copy its histograms out.
     pub fn metrics_snapshot(&self) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(1024);
@@ -351,15 +459,24 @@ impl Cluster {
             self.unacked.load(Ordering::Relaxed),
         );
 
+        // Per-worker copies, folded into per-node aggregates below.
         let mut latency = Histogram::new();
         let mut hops = Histogram::new();
-        let mut per_node: Vec<(u64, u64, u64)> = Vec::with_capacity(self.metrics.len());
+        let mut per_slot: Vec<(u64, u64, u64)> = Vec::with_capacity(self.metrics.len());
         for m in &self.metrics {
             let m = m.lock().expect("metrics mutex");
             latency.merge(&m.acquire_latency);
             hops.merge(&m.acquire_hops);
-            per_node.push((m.acquires, m.upgrades, m.releases));
+            per_slot.push((m.acquires, m.upgrades, m.releases));
         }
+        let per_node: Vec<(u64, u64, u64)> = per_slot
+            .chunks(self.shards)
+            .map(|c| {
+                c.iter().fold((0, 0, 0), |acc, row| {
+                    (acc.0 + row.0, acc.1 + row.1, acc.2 + row.2)
+                })
+            })
+            .collect();
         for (name, help, pick) in [
             (
                 "dlm_acquires_total",
@@ -376,6 +493,39 @@ impl Cluster {
                 let _ = writeln!(out, "{name}{{node=\"{node}\"}} {v}");
             }
         }
+
+        // Per-shard series: queue depth and rejections from the admission
+        // gates, completed operations from the worker metrics.
+        for (name, help, kind) in [
+            (
+                "dlm_shard_queue_depth",
+                "Application operations queued per shard worker.",
+                "gauge",
+            ),
+            (
+                "dlm_shard_rejections_total",
+                "Operations refused because a shard queue was full.",
+                "counter",
+            ),
+            (
+                "dlm_shard_ops_total",
+                "Operations completed per shard worker.",
+                "counter",
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (slot, (gate, row)) in self.gates.iter().zip(&per_slot).enumerate() {
+                let (node, shard) = (slot / self.shards, slot % self.shards);
+                let v = match name {
+                    "dlm_shard_queue_depth" => gate.depth(),
+                    "dlm_shard_rejections_total" => gate.rejections(),
+                    _ => row.0 + row.1 + row.2,
+                };
+                let _ = writeln!(out, "{name}{{node=\"{node}\",shard=\"{shard}\"}} {v}");
+            }
+        }
+
         for (name, help, h) in [
             (
                 "dlm_acquire_latency_us",
@@ -401,15 +551,19 @@ impl Cluster {
         out
     }
 
-    /// Test hook: push a raw wire frame into the cluster as if `from` had
-    /// sent it to `to`. The frame takes the normal transport path (so it is
-    /// subject to delay and fault injection) and counts as a physical frame
-    /// but not as a protocol message — fault-injection tests use this to
-    /// exercise the decode-error and reliability paths.
+    /// Test hook: push a raw wire frame into the cluster as if node `from`
+    /// had sent it to node `to` (shard-0 workers on both ends). The frame
+    /// takes the normal transport path (so it is subject to delay and fault
+    /// injection) and counts as a physical frame but not as a protocol
+    /// message — fault-injection tests use this to exercise the
+    /// decode-error and reliability paths.
     pub fn inject_frame(&self, from: u32, to: u32, frame: Vec<u8>) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
-        self.transport
-            .send(NodeId(from), NodeId(to), Bytes::from(frame));
+        self.transport.send(
+            NodeId(from * self.shards as u32),
+            NodeId(to * self.shards as u32),
+            Bytes::from(frame),
+        );
     }
 
     /// Quiescence wait: returns once the message counter has stayed stable
@@ -426,9 +580,10 @@ impl Cluster {
     ///
     /// "Idle" consults the in-flight gauge, not just the send counter: a
     /// frame parked in a [`TransportKind::Delayed`] router (or a dropped
-    /// frame awaiting retransmission) produces no sends for longer than a
-    /// small `idle` window, and judging by counter stability alone would
-    /// declare quiescence while the cluster still owes itself traffic.
+    /// frame awaiting retransmission, or a protocol frame buffered for
+    /// coalescing) produces no sends for longer than a small `idle` window,
+    /// and judging by counter stability alone would declare quiescence
+    /// while the cluster still owes itself traffic.
     pub fn quiesce_within(&self, idle: Duration, timeout: Duration) -> u64 {
         let start = Instant::now();
         let tick = (idle / 8).max(Duration::from_micros(200)).min(idle);
@@ -458,9 +613,9 @@ impl Cluster {
     ///    no data sequence is unacked, so nothing is still parked in a
     ///    router heap or a retransmission queue.
     /// 2. *Stop the transport* — any straggler still parked is flushed into
-    ///    its destination channel while the node threads are alive.
-    /// 3. *Stop the nodes* — `Shutdown` is queued behind the flushed
-    ///    frames, so every node processes all delivered traffic first.
+    ///    its destination channel while the worker threads are alive.
+    /// 3. *Stop the workers* — `Shutdown` is queued behind the flushed
+    ///    frames, so every worker processes all delivered traffic first.
     ///
     /// The original teardown ran 3 before 2 and lost parked frames: nodes
     /// exited, then the router flushed into channels nobody would read,
@@ -479,26 +634,48 @@ impl Cluster {
         for tx in &self.inputs {
             let _ = tx.send(Input::Shutdown);
         }
-        let mut states: Vec<Vec<HierNode>> = Vec::with_capacity(self.joins.len());
+        // One state map per node, merged from its workers (disjoint by
+        // shard assignment).
+        let mut states: Vec<HashMap<u32, HierNode>> =
+            (0..self.nodes).map(|_| HashMap::new()).collect();
         let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len() + 1);
         let mut trace_dropped = transport_report.trace_dropped;
         let mut decode_errors = 0;
         let mut per_node: Vec<(u32, Vec<PeerSnapshot>)> = Vec::new();
-        for (i, join) in self.joins.into_iter().enumerate() {
-            let exit = join.join().expect("node thread panicked");
-            states.push(exit.locks);
+        let mut coalesce: Vec<(u32, Vec<CoalesceStat>)> = Vec::new();
+        for (slot, join) in self.joins.into_iter().enumerate() {
+            let node = (slot / self.shards) as u32;
+            let exit = join.join().expect("worker thread panicked");
+            states[node as usize].extend(exit.locks);
             traces.push(exit.trace);
             trace_dropped += exit.trace_dropped;
             decode_errors += exit.decode_errors;
             if !exit.links.is_empty() {
-                per_node.push((i as u32, exit.links));
+                per_node.push((node, exit.links));
+            }
+            if !exit.coalesce.is_empty() {
+                coalesce.push((node, exit.coalesce));
             }
         }
         traces.push(transport_report.trace);
 
+        // Audit every lock any node ever touched; an untouched lock holds
+        // its initial (token-at-node-0) state on every node by
+        // construction. Nodes that never touched a *touched* lock
+        // contribute a synthesized initial state.
+        let touched: BTreeSet<u32> = states.iter().flat_map(|m| m.keys().copied()).collect();
+        let fresh = |node: usize| {
+            if node == 0 {
+                HierNode::with_token(NodeId(0), self.protocol)
+            } else {
+                HierNode::new(NodeId(node as u32), NodeId(0), self.protocol)
+            }
+        };
         let mut audit_errors = Vec::new();
-        for lock in 0..self.locks {
-            let nodes: Vec<HierNode> = states.iter().map(|s| s[lock].clone()).collect();
+        for lock in touched {
+            let nodes: Vec<HierNode> = (0..self.nodes)
+                .map(|n| states[n].get(&lock).cloned().unwrap_or_else(|| fresh(n)))
+                .collect();
             audit_errors.extend(audit(&nodes, &[], true));
         }
         let mut acquire_latency = Histogram::new();
@@ -515,16 +692,20 @@ impl Cluster {
             trace_dropped,
             replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
             decode_errors,
-            links: merge_links(&per_node, &transport_report.faults),
+            links: merge_links(&per_node, &transport_report.faults, &coalesce),
             acquire_latency,
             acquire_hops,
         }
     }
 }
 
-/// Combine per-node reliability snapshots and transport fault tallies into
-/// one directed-link table.
-fn merge_links(per_node: &[(u32, Vec<PeerSnapshot>)], faults: &[LinkFaults]) -> Vec<LinkReport> {
+/// Combine per-worker reliability snapshots, coalescing counters, and
+/// transport fault tallies into one directed-link table.
+fn merge_links(
+    per_node: &[(u32, Vec<PeerSnapshot>)],
+    faults: &[LinkFaults],
+    coalesce: &[(u32, Vec<CoalesceStat>)],
+) -> Vec<LinkReport> {
     fn slot(map: &mut BTreeMap<(u32, u32), LinkReport>, from: u32, to: u32) -> &mut LinkReport {
         map.entry((from, to)).or_insert_with(|| LinkReport {
             from,
@@ -547,6 +728,13 @@ fn merge_links(per_node: &[(u32, Vec<PeerSnapshot>)], faults: &[LinkFaults]) -> 
             rx.reorders_buffered += s.reorders_buffered;
         }
     }
+    for (node, stats) in coalesce {
+        for c in stats {
+            let link = slot(&mut map, *node, c.peer);
+            link.proto_sent += c.proto_sent;
+            link.wire_sent += c.wire_sent;
+        }
+    }
     for f in faults {
         let link = slot(&mut map, f.from, f.to);
         link.dropped += f.dropped;
@@ -560,40 +748,71 @@ fn merge_links(per_node: &[(u32, Vec<PeerSnapshot>)], faults: &[LinkFaults]) -> 
 /// identity and issue time used for grant-side metrics and trace events.
 struct Waiter {
     reply: Reply,
-    /// Request id assigned at issue (`node << 32 | per-node counter`).
+    /// Request id assigned at issue (`node << 32 | per-worker counter`).
     req: u64,
     /// Wall-clock issue time, for the acquire-latency histogram.
     started: Instant,
 }
 
-/// Long-lived per-node-thread state threaded through every protocol entry
+/// Long-lived per-worker-thread state threaded through every protocol entry
 /// point: trace recorder, application waiters, reliability endpoint, encode
-/// scratch, effect sink, shared metrics, and the request-id allocator.
+/// scratch, effect sink, coalesce buffers, shared metrics, and the
+/// request-id allocator.
 ///
 /// Bundling these lets [`NodeCtx::flush`] — the one place effects become
 /// frames, grants, and metrics — borrow them together without a
 /// ten-argument function.
 struct NodeCtx<'a> {
     me: NodeId,
+    /// The node's shard count — the stride of this worker's request-id
+    /// counter and the slot-to-node divisor for transport addresses.
+    shards: u32,
     epoch: Instant,
     recorder: Option<RingRecorder>,
-    waiters: HashMap<LockId, Waiter>,
+    /// Application waiters keyed by `(lock, request id)`. The protocol
+    /// still admits one *pending* operation per lock per node (enforced via
+    /// `active`), but the key shape keeps every waiter's identity distinct
+    /// across locks — any number of locks can have an operation in flight
+    /// concurrently from one node.
+    waiters: FastMap<(u32, u64), Waiter>,
+    /// The outstanding request id per lock, if any ([`ClusterError::Busy`]
+    /// guards it).
+    active: FastMap<u32, u64>,
     endpoint: Option<Endpoint>,
     encode_scratch: bytes::BytesMut,
+    container_scratch: bytes::BytesMut,
     effect_buf: EffectBuf,
     metrics: &'a Mutex<NodeMetrics>,
     messages: Arc<AtomicU64>,
+    in_flight: Arc<AtomicU64>,
+    replies_dropped: Arc<AtomicU64>,
     next_req: u64,
+    /// Coalescing state: per-peer-node buffered protocol frames, the peers
+    /// with a non-empty buffer (in first-touch order), and per-peer packing
+    /// counters.
+    coalesce_on: bool,
+    pending: Vec<Vec<Bytes>>,
+    pending_peers: Vec<u32>,
+    proto_sent: Vec<u64>,
+    wire_sent: Vec<u64>,
+    /// Completions settled synchronously while processing one pipelined
+    /// [`Input::Ops`] chunk, shipped to the client as a single channel send
+    /// at chunk end. Deferred grants (waiters completed by later network
+    /// traffic) bypass this and send singletons.
+    comp_batch: Vec<Completion>,
 }
 
 impl NodeCtx<'_> {
-    /// Allocate a fresh, never-zero request id: `node << 32 | counter`.
+    /// Allocate a fresh, never-zero request id: `node << 32 | counter`,
+    /// where the counter is strided by the shard count so workers of one
+    /// node never collide (worker `s` issues `s + shards`, `s + 2·shards`,
+    /// …; the counter wraps at 32 bits).
     fn alloc_req(&mut self) -> u64 {
-        self.next_req += 1;
-        ((self.me.0 as u64) << 32) | self.next_req
+        self.next_req += self.shards as u64;
+        ((self.me.0 as u64) << 32) | (self.next_req & 0xFFFF_FFFF)
     }
 
-    /// Record one span/transport event at this node, if tracing is on.
+    /// Record one span/transport event at this worker, if tracing is on.
     fn trace(&mut self, lock: u32, event: ProtocolEvent) {
         if let Some(ring) = &mut self.recorder {
             ring.record(
@@ -606,7 +825,7 @@ impl NodeCtx<'_> {
     }
 
     /// Drive one protocol entry point, stamping its events with wall-clock
-    /// µs since the cluster epoch when this node records a trace.
+    /// µs since the cluster epoch when this worker records a trace.
     fn observed<T>(
         &mut self,
         lock: LockId,
@@ -625,24 +844,66 @@ impl NodeCtx<'_> {
         }
     }
 
+    /// Fast path for a protocol step whose only effect is the local grant
+    /// (the token is here and nothing conflicts — the case a well-sharded
+    /// single node hits millions of times per second): complete the reply
+    /// immediately and skip the waiter registration the generic path would
+    /// insert and remove again within the same call. Returns the reply back
+    /// when the step produced anything else and the slow path must run.
+    fn fast_grant(&mut self, lock: LockId, req: u64, reply: Reply) -> Option<Reply> {
+        let upgraded = match (self.effect_buf.len(), self.effect_buf.iter().next()) {
+            (1, Some(Effect::Granted { .. })) => false,
+            (1, Some(Effect::Upgraded)) => true,
+            _ => return Some(reply),
+        };
+        self.effect_buf.clear();
+        {
+            let mut m = self.metrics.lock().expect("metrics mutex");
+            // A same-call grant never left the worker; its service time is
+            // below the histogram's µs resolution, so record it as 0 rather
+            // than pay two `Instant::now` reads per fast-path op.
+            m.acquire_latency.record(0);
+            m.acquire_hops.record(0);
+            if upgraded {
+                m.upgrades += 1;
+            } else {
+                m.acquires += 1;
+            }
+        }
+        if self.recorder.is_some() {
+            self.trace(lock.0, ProtocolEvent::RequestGrant { req, hops: 0 });
+        }
+        reply.complete_into(Ok(()), &mut self.comp_batch);
+        None
+    }
+
     /// Drain the effects of one protocol entry point. Sends are encoded
     /// with the correlated frame header — `req` is the request chain being
     /// extended (0 = uncorrelated) and `hops` the causal depth of whatever
-    /// triggered this step, so outgoing frames carry `hops + 1` — wrapped
-    /// by the reliability endpoint when one is configured, and put on the
-    /// wire. Grants complete the lock's waiting application call, record
-    /// its latency/hop metrics, and close its trace span.
+    /// triggered this step, so outgoing frames carry `hops + 1`. With
+    /// coalescing on, encoded frames are buffered per destination (raising
+    /// the in-flight gauge so quiescence can't be declared under them) and
+    /// flushed at batch end; otherwise they are wrapped and transmitted
+    /// immediately. Grants complete the lock's waiting application call,
+    /// record its latency/hop metrics, and close its trace span.
     fn flush(&mut self, lock: LockId, req: u64, hops: u16, put: &dyn Fn(NodeId, Bytes)) {
         let NodeCtx {
             me,
             epoch,
             recorder,
             waiters,
+            active,
             endpoint,
             encode_scratch,
             effect_buf,
             metrics,
             messages,
+            in_flight,
+            coalesce_on,
+            pending,
+            pending_peers,
+            proto_sent,
+            wire_sent,
             ..
         } = self;
         for effect in effect_buf.drain() {
@@ -657,14 +918,31 @@ impl NodeCtx<'_> {
                         &message,
                         encode_scratch,
                     );
-                    let frame = match endpoint {
-                        Some(ep) => ep.wrap_data(to, lock.0, payload, Instant::now()),
-                        None => payload,
-                    };
-                    put(to, frame);
+                    if *coalesce_on {
+                        // The buffered frame is already owed to the wire:
+                        // raise the gauge now so a quiescence probe between
+                        // here and the batch-end flush sees a busy cluster.
+                        in_flight.fetch_add(1, Ordering::Relaxed);
+                        let buf = &mut pending[to.index()];
+                        if buf.is_empty() {
+                            pending_peers.push(to.0);
+                        }
+                        buf.push(payload);
+                    } else {
+                        proto_sent[to.index()] += 1;
+                        wire_sent[to.index()] += 1;
+                        let frame = match endpoint {
+                            Some(ep) => ep.wrap_data(to, lock.0, payload, Instant::now()),
+                            None => payload,
+                        };
+                        put(to, frame);
+                    }
                 }
                 Effect::Granted { .. } | Effect::Upgraded => {
-                    if let Some(w) = waiters.remove(&lock) {
+                    if let Some(req0) = active.remove(&lock.0) {
+                        let w = waiters
+                            .remove(&(lock.0, req0))
+                            .expect("active op has a registered waiter");
                         let latency = w.started.elapsed().as_micros() as u64;
                         {
                             let mut m = metrics.lock().expect("metrics mutex");
@@ -693,257 +971,507 @@ impl NodeCtx<'_> {
             }
         }
     }
+
+    /// Transmit every coalesce buffer: one wire frame per destination with
+    /// pending traffic (a container when more than one protocol frame is
+    /// packed). Called at the end of each input batch.
+    fn flush_pending(&mut self, put: &dyn Fn(NodeId, Bytes)) {
+        if self.pending_peers.is_empty() {
+            return;
+        }
+        let NodeCtx {
+            endpoint,
+            container_scratch,
+            in_flight,
+            pending,
+            pending_peers,
+            proto_sent,
+            wire_sent,
+            ..
+        } = self;
+        for &peer in pending_peers.iter() {
+            let frames = &mut pending[peer as usize];
+            let k = frames.len();
+            debug_assert!(k > 0, "registered peer has buffered frames");
+            let payload = if k == 1 {
+                frames.pop().expect("one frame")
+            } else {
+                let c = codec::encode_container_into(frames, container_scratch);
+                frames.clear();
+                c
+            };
+            proto_sent[peer as usize] += k as u64;
+            wire_sent[peer as usize] += 1;
+            // Containers peek as TRANSPORT_LOCK (their marker occupies the
+            // lock-id slot); single frames keep their lock for trace
+            // stamping of retransmissions.
+            let lock = payload
+                .as_ref()
+                .get(0..4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .unwrap_or(TRANSPORT_LOCK);
+            let to = NodeId(peer);
+            let frame = match endpoint {
+                Some(ep) => ep.wrap_data(to, lock, payload, Instant::now()),
+                None => payload,
+            };
+            put(to, frame);
+            // The physical frame replaced k buffered protocol frames on the
+            // gauge; `put` raised it by one, settle the difference after so
+            // the gauge never transiently reads idle.
+            in_flight.fetch_sub(k as u64, Ordering::Relaxed);
+        }
+        pending_peers.clear();
+    }
+}
+
+/// This worker's protocol instance for `lock`, created on first touch
+/// (node 0 holds every token initially).
+fn lock_state(
+    locks: &mut FastMap<u32, HierNode>,
+    me: NodeId,
+    protocol: ProtocolConfig,
+    lock: LockId,
+) -> &mut HierNode {
+    locks.entry(lock.0).or_insert_with(|| {
+        if me == NodeId(0) {
+            HierNode::with_token(me, protocol)
+        } else {
+            HierNode::new(me, NodeId(0), protocol)
+        }
+    })
+}
+
+/// Process one blocking-or-pipelined acquire.
+fn do_acquire(
+    ctx: &mut NodeCtx<'_>,
+    locks: &mut FastMap<u32, HierNode>,
+    protocol: ProtocolConfig,
+    lock: LockId,
+    mode: Mode,
+    reply: Reply,
+    put: &dyn Fn(NodeId, Bytes),
+) {
+    // A second outstanding op on this lock would race the protocol's
+    // single-pending model; refuse loudly instead. Operations on *other*
+    // locks are unaffected — waiters are keyed `(lock, req)`.
+    if ctx.active.contains_key(&lock.0) {
+        reply.complete_into(Err(ClusterError::Busy), &mut ctx.comp_batch);
+        return;
+    }
+    let req = ctx.alloc_req();
+    ctx.trace(
+        lock.0,
+        ProtocolEvent::RequestStart {
+            req,
+            mode,
+            upgrade: false,
+        },
+    );
+    let node = lock_state(locks, ctx.me, protocol, lock);
+    let result = ctx.observed(lock, |obs, buf| node.on_acquire_into(mode, 0, buf, obs));
+    match result {
+        Ok(()) => {
+            let Some(reply) = ctx.fast_grant(lock, req, reply) else {
+                return;
+            };
+            // Only ops that actually wait pay for a start timestamp.
+            let started = Instant::now();
+            ctx.active.insert(lock.0, req);
+            ctx.waiters.insert(
+                (lock.0, req),
+                Waiter {
+                    reply,
+                    req,
+                    started,
+                },
+            );
+            ctx.flush(lock, req, 0, put);
+        }
+        Err(e) => reply.complete_into(Err(ClusterError::Acquire(e)), &mut ctx.comp_batch),
+    }
+}
+
+/// Process one blocking-or-pipelined Rule 7 upgrade.
+fn do_upgrade(
+    ctx: &mut NodeCtx<'_>,
+    locks: &mut FastMap<u32, HierNode>,
+    protocol: ProtocolConfig,
+    lock: LockId,
+    reply: Reply,
+    put: &dyn Fn(NodeId, Bytes),
+) {
+    if ctx.active.contains_key(&lock.0) {
+        reply.complete_into(Err(ClusterError::Busy), &mut ctx.comp_batch);
+        return;
+    }
+    let req = ctx.alloc_req();
+    ctx.trace(
+        lock.0,
+        ProtocolEvent::RequestStart {
+            req,
+            mode: Mode::Write,
+            upgrade: true,
+        },
+    );
+    let node = lock_state(locks, ctx.me, protocol, lock);
+    let result = ctx.observed(lock, |obs, buf| node.on_upgrade_into(buf, obs));
+    match result {
+        Ok(()) => {
+            let Some(reply) = ctx.fast_grant(lock, req, reply) else {
+                return;
+            };
+            let started = Instant::now();
+            ctx.active.insert(lock.0, req);
+            ctx.waiters.insert(
+                (lock.0, req),
+                Waiter {
+                    reply,
+                    req,
+                    started,
+                },
+            );
+            ctx.flush(lock, req, 0, put);
+        }
+        Err(e) => reply.complete_into(Err(ClusterError::Upgrade(e)), &mut ctx.comp_batch),
+    }
+}
+
+/// Process one blocking-or-pipelined release.
+fn do_release(
+    ctx: &mut NodeCtx<'_>,
+    locks: &mut FastMap<u32, HierNode>,
+    protocol: ProtocolConfig,
+    lock: LockId,
+    reply: Reply,
+    put: &dyn Fn(NodeId, Bytes),
+) {
+    let node = lock_state(locks, ctx.me, protocol, lock);
+    let result = ctx.observed(lock, |obs, buf| node.on_release_into(buf, obs));
+    match result {
+        Ok(()) => {
+            // Releases open no span: their frames travel with req 0
+            // (uncorrelated).
+            ctx.flush(lock, 0, 0, put);
+            ctx.metrics.lock().expect("metrics mutex").releases += 1;
+            reply.complete_into(Ok(()), &mut ctx.comp_batch);
+        }
+        Err(e) => reply.complete_into(Err(ClusterError::Release(e)), &mut ctx.comp_batch),
+    }
+}
+
+/// Decode and apply one correlated protocol frame (possibly one sub-frame
+/// of a container). Returns false if the frame was malformed.
+fn on_protocol_frame(
+    ctx: &mut NodeCtx<'_>,
+    locks: &mut FastMap<u32, HierNode>,
+    protocol: ProtocolConfig,
+    from: NodeId,
+    payload: Bytes,
+    put: &dyn Fn(NodeId, Bytes),
+) -> bool {
+    match codec::decode_corr(payload) {
+        Ok((lock, req, hops, message)) => {
+            // One network leg of request `req`'s causal chain landed here;
+            // record it before the handler so the hop precedes its
+            // consequences.
+            if req != 0 {
+                ctx.trace(
+                    lock.0,
+                    ProtocolEvent::RequestHop {
+                        req,
+                        hop: hops as u32,
+                    },
+                );
+            }
+            let node = lock_state(locks, ctx.me, protocol, lock);
+            ctx.observed(lock, |obs, buf| {
+                node.on_message_into(from, message, buf, obs)
+            });
+            ctx.flush(lock, req, hops, put);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Handle one worker input. Returns false when the worker should exit.
+#[allow(clippy::too_many_arguments)]
+fn handle_input(
+    input: Input,
+    ctx: &mut NodeCtx<'_>,
+    locks: &mut FastMap<u32, HierNode>,
+    config: &ClusterConfig,
+    gate: &ShardGate,
+    decode_errors: &mut u64,
+    inbox: &mut Vec<Bytes>,
+    subframes: &mut Vec<Bytes>,
+    rel_events: &mut Vec<(u32, ProtocolEvent)>,
+    in_flight: &AtomicU64,
+    put: &dyn Fn(NodeId, Bytes),
+) -> bool {
+    match input {
+        Input::Net { from, frame } => {
+            // Transport addresses are worker slots; fold back to the node.
+            let from = NodeId(from.0 / ctx.shards);
+            let mut direct = None;
+            let mut malformed = false;
+            match ctx.endpoint.as_mut() {
+                Some(ep) => {
+                    malformed = ep
+                        .on_frame(
+                            from,
+                            frame,
+                            &mut |payload| inbox.push(payload),
+                            &mut |lock, event| rel_events.push((lock, event)),
+                        )
+                        .is_err();
+                }
+                None => direct = Some(frame),
+            }
+            for payload in direct.into_iter().chain(inbox.drain(..)) {
+                if codec::is_container(&payload) {
+                    match codec::decode_container_into(payload, subframes) {
+                        Ok(()) => {
+                            for sub in subframes.drain(..) {
+                                if !on_protocol_frame(ctx, locks, config.protocol, from, sub, put) {
+                                    malformed = true;
+                                }
+                            }
+                        }
+                        Err(_) => malformed = true,
+                    }
+                } else if !on_protocol_frame(ctx, locks, config.protocol, from, payload, put) {
+                    malformed = true;
+                }
+            }
+            if malformed {
+                *decode_errors += 1;
+                ctx.trace(TRANSPORT_LOCK, ProtocolEvent::DecodeError { from: from.0 });
+            }
+            // This physical frame is fully absorbed; any traffic it caused
+            // has already raised the gauge above.
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+            true
+        }
+        Input::Acquire { lock, mode, reply } => {
+            gate.leave(1);
+            do_acquire(ctx, locks, config.protocol, lock, mode, reply, put);
+            true
+        }
+        Input::TryAcquire { lock, mode, reply } => {
+            gate.leave(1);
+            let node = lock_state(locks, ctx.me, config.protocol, lock);
+            if node.can_admit_locally(mode) {
+                let req = ctx.alloc_req();
+                ctx.trace(
+                    lock.0,
+                    ProtocolEvent::RequestStart {
+                        req,
+                        mode,
+                        upgrade: false,
+                    },
+                );
+                ctx.observed(lock, |obs, buf| {
+                    node.on_acquire_into(mode, 0, buf, obs)
+                        .expect("local admit is well-formed")
+                });
+                // `can_admit_locally` promises "zero messages": the admit
+                // may produce only the local grant, never a Send.
+                debug_assert!(
+                    ctx.effect_buf
+                        .iter()
+                        .all(|e| matches!(e, Effect::Granted { .. })),
+                    "try_acquire fast path emitted network traffic"
+                );
+                // The fast path registers no waiter, so close the span and
+                // count the zero-message, zero-hop grant here.
+                ctx.flush(lock, req, 0, put);
+                {
+                    let mut m = ctx.metrics.lock().expect("metrics mutex");
+                    m.acquire_latency.record(0);
+                    m.acquire_hops.record(0);
+                    m.acquires += 1;
+                }
+                ctx.trace(lock.0, ProtocolEvent::RequestGrant { req, hops: 0 });
+                reply.complete(true);
+            } else {
+                reply.complete(false);
+            }
+            true
+        }
+        Input::Upgrade { lock, reply } => {
+            gate.leave(1);
+            do_upgrade(ctx, locks, config.protocol, lock, reply, put);
+            true
+        }
+        Input::Release { lock, reply } => {
+            gate.leave(1);
+            do_release(ctx, locks, config.protocol, lock, reply, put);
+            true
+        }
+        Input::Ops { ops, tx } => {
+            gate.leave(ops.len());
+            // Synchronously-settled outcomes accumulate in the chunk batch
+            // and ship as one channel send below; only deferred grants pay
+            // a per-completion send (later, when they resolve).
+            debug_assert!(ctx.comp_batch.is_empty());
+            ctx.comp_batch.reserve(ops.len());
+            for op in ops {
+                let reply = Reply::shared(tx.clone(), op.lock, op.tag, &ctx.replies_dropped);
+                match op.kind {
+                    OpKind::Acquire(mode) => {
+                        do_acquire(ctx, locks, config.protocol, op.lock, mode, reply, put)
+                    }
+                    OpKind::Upgrade => do_upgrade(ctx, locks, config.protocol, op.lock, reply, put),
+                    OpKind::Release => do_release(ctx, locks, config.protocol, op.lock, reply, put),
+                }
+            }
+            if !ctx.comp_batch.is_empty() {
+                let n = ctx.comp_batch.len() as u64;
+                if tx.send(std::mem::take(&mut ctx.comp_batch)).is_err() {
+                    ctx.replies_dropped.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            true
+        }
+        Input::Shutdown => false,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn node_loop(
+fn worker_loop(
     me: NodeId,
+    shard: u32,
+    shards: u32,
     config: ClusterConfig,
     rx: Receiver<Input>,
     transport: Arc<dyn Transport>,
     messages: Arc<AtomicU64>,
     in_flight: Arc<AtomicU64>,
     unacked: Arc<AtomicU64>,
+    replies_dropped: Arc<AtomicU64>,
     epoch: Instant,
     metrics: Arc<Mutex<NodeMetrics>>,
+    gate: Arc<ShardGate>,
 ) -> NodeExit {
-    let mut locks: Vec<HierNode> = (0..config.locks)
-        .map(|_| {
-            if me == NodeId(0) {
-                HierNode::with_token(me, config.protocol)
-            } else {
-                HierNode::new(me, NodeId(0), config.protocol)
-            }
-        })
-        .collect();
+    // This shard's protocol instances, created on first touch: a node
+    // hosting a million locks pays only for the ones it uses. The table is
+    // pre-sized to the shard's expected share so a million-lock churn run
+    // never stalls on mid-run rehashes of a multi-hundred-megabyte map.
+    let mut locks: FastMap<u32, HierNode> =
+        FastMap::with_capacity_and_hasher(config.locks / shards as usize + 1, Default::default());
     let mut ctx = NodeCtx {
         me,
+        shards,
         epoch,
         recorder: (config.trace_capacity > 0).then(|| RingRecorder::new(config.trace_capacity)),
-        // Application waiters per lock: at most one outstanding op per lock
-        // — enforced below with `ClusterError::Busy`, never by silent
-        // clobbering.
-        waiters: HashMap::new(),
+        waiters: FastMap::default(),
+        active: FastMap::default(),
         endpoint: config
             .reliable
             .map(|cfg| Endpoint::new(me, config.nodes, cfg, Arc::clone(&unacked))),
-        // One long-lived encode buffer per node thread: every outgoing
-        // frame is built in place and copied out, so steady-state
-        // transmission does no buffer growth.
+        // One long-lived encode buffer per worker: every outgoing frame is
+        // built in place and copied out, so steady-state transmission does
+        // no buffer growth. The container scratch is separate because a
+        // container is assembled from frames the encode scratch already
+        // produced.
         encode_scratch: bytes::BytesMut::with_capacity(64),
-        // One long-lived effect sink per node thread: every protocol entry
-        // point drains into it via the `*_into` API, so steady-state
-        // protocol steps do no heap allocation for effects.
+        container_scratch: bytes::BytesMut::with_capacity(256),
+        // One long-lived effect sink per worker: every protocol entry point
+        // drains into it via the `*_into` API, so steady-state protocol
+        // steps do no heap allocation for effects.
         effect_buf: EffectBuf::new(),
         metrics: &metrics,
         messages,
-        next_req: 0,
+        in_flight: Arc::clone(&in_flight),
+        replies_dropped,
+        next_req: shard as u64,
+        coalesce_on: config.coalesce,
+        pending: (0..config.nodes).map(|_| Vec::new()).collect(),
+        pending_peers: Vec::with_capacity(config.nodes),
+        proto_sent: vec![0; config.nodes],
+        wire_sent: vec![0; config.nodes],
+        comp_batch: Vec::new(),
     };
     let mut decode_errors: u64 = 0;
 
-    // Every physical frame leaving this node raises the in-flight gauge;
-    // the gauge falls when the receiving node finishes processing it (or
-    // when the transport kills it).
+    // Every physical frame leaving this worker raises the in-flight gauge;
+    // the gauge falls when the receiving worker finishes processing it (or
+    // when the transport kills it). Peers are addressed by node; the slot
+    // is the same shard on the destination (lock → shard is
+    // node-independent, so lock state for this shard's locks lives on this
+    // shard everywhere).
+    let my_slot = NodeId(me.0 * shards + shard);
     let put = |to: NodeId, frame: Bytes| {
         in_flight.fetch_add(1, Ordering::Relaxed);
-        transport.send(me, to, frame);
+        transport.send(my_slot, NodeId(to.0 * shards + shard), frame);
     };
 
-    // Reused per-iteration scratch for the reliability shim's outputs.
+    // Reused per-iteration scratch for the reliability shim's outputs and
+    // container unpacking.
     let mut inbox: Vec<Bytes> = Vec::new();
+    let mut subframes: Vec<Bytes> = Vec::new();
     let mut rel_events: Vec<(u32, ProtocolEvent)> = Vec::new();
 
-    loop {
+    'outer: loop {
         // With unacked frames outstanding, sleep only until the earliest
         // retransmission deadline; otherwise block until input arrives.
-        let input = match ctx.endpoint.as_ref().and_then(Endpoint::next_due) {
+        let first = match ctx.endpoint.as_ref().and_then(Endpoint::next_due) {
             Some(due) => match rx.recv_timeout(due.saturating_duration_since(Instant::now())) {
                 Ok(input) => Some(input),
                 Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Disconnected) => break 'outer,
             },
             None => match rx.recv() {
                 Ok(input) => Some(input),
-                Err(_) => break,
+                Err(_) => break 'outer,
             },
         };
-        match input {
-            Some(Input::Net { from, frame }) => {
-                let mut direct = None;
-                let mut malformed = false;
-                match ctx.endpoint.as_mut() {
-                    Some(ep) => {
-                        malformed = ep
-                            .on_frame(
-                                from,
-                                frame,
-                                &mut |payload| inbox.push(payload),
-                                &mut |lock, event| rel_events.push((lock, event)),
-                            )
-                            .is_err();
+        // Drain a batch: the first (blocking) input plus whatever else is
+        // already queued, bounded so coalesce flushes and retransmission
+        // ticks stay timely under sustained load.
+        let mut stop = false;
+        if let Some(input) = first {
+            stop = !handle_input(
+                input,
+                &mut ctx,
+                &mut locks,
+                &config,
+                &gate,
+                &mut decode_errors,
+                &mut inbox,
+                &mut subframes,
+                &mut rel_events,
+                &in_flight,
+                &put,
+            );
+            let mut drained = 1;
+            while !stop && drained < BATCH {
+                match rx.try_recv() {
+                    Ok(input) => {
+                        stop = !handle_input(
+                            input,
+                            &mut ctx,
+                            &mut locks,
+                            &config,
+                            &gate,
+                            &mut decode_errors,
+                            &mut inbox,
+                            &mut subframes,
+                            &mut rel_events,
+                            &in_flight,
+                            &put,
+                        );
+                        drained += 1;
                     }
-                    None => direct = Some(frame),
-                }
-                for payload in direct.into_iter().chain(inbox.drain(..)) {
-                    match codec::decode_corr(payload) {
-                        Ok((lock, req, hops, message)) => {
-                            // One network leg of request `req`'s causal
-                            // chain landed here; record it before the
-                            // handler so the hop precedes its consequences.
-                            if req != 0 {
-                                ctx.trace(
-                                    lock.0,
-                                    ProtocolEvent::RequestHop {
-                                        req,
-                                        hop: hops as u32,
-                                    },
-                                );
-                            }
-                            ctx.observed(lock, |obs, buf| {
-                                locks[lock.index()].on_message_into(from, message, buf, obs)
-                            });
-                            ctx.flush(lock, req, hops, &put);
-                        }
-                        // A malformed frame is the sender's bug (or an
-                        // injected fault), not a reason to take this node
-                        // down: count it, trace it, keep serving.
-                        Err(_) => malformed = true,
-                    }
-                }
-                if malformed {
-                    decode_errors += 1;
-                    ctx.trace(TRANSPORT_LOCK, ProtocolEvent::DecodeError { from: from.0 });
-                }
-                // This physical frame is fully absorbed; any traffic it
-                // caused has already raised the gauge above.
-                in_flight.fetch_sub(1, Ordering::Relaxed);
-            }
-            Some(Input::Acquire { lock, mode, reply }) => {
-                // A second outstanding op on this lock would clobber the
-                // first caller's reply channel; refuse loudly instead.
-                if ctx.waiters.contains_key(&lock) {
-                    reply.complete(Err(ClusterError::Busy));
-                } else {
-                    let req = ctx.alloc_req();
-                    let started = Instant::now();
-                    ctx.trace(
-                        lock.0,
-                        ProtocolEvent::RequestStart {
-                            req,
-                            mode,
-                            upgrade: false,
-                        },
-                    );
-                    let result = ctx.observed(lock, |obs, buf| {
-                        locks[lock.index()].on_acquire_into(mode, 0, buf, obs)
-                    });
-                    match result {
-                        Ok(()) => {
-                            ctx.waiters.insert(
-                                lock,
-                                Waiter {
-                                    reply,
-                                    req,
-                                    started,
-                                },
-                            );
-                            ctx.flush(lock, req, 0, &put);
-                        }
-                        Err(e) => reply.complete(Err(ClusterError::Acquire(e))),
-                    }
+                    Err(_) => break,
                 }
             }
-            Some(Input::TryAcquire { lock, mode, reply }) => {
-                let node = &mut locks[lock.index()];
-                if node.can_admit_locally(mode) {
-                    let req = ctx.alloc_req();
-                    ctx.trace(
-                        lock.0,
-                        ProtocolEvent::RequestStart {
-                            req,
-                            mode,
-                            upgrade: false,
-                        },
-                    );
-                    ctx.observed(lock, |obs, buf| {
-                        node.on_acquire_into(mode, 0, buf, obs)
-                            .expect("local admit is well-formed")
-                    });
-                    // `can_admit_locally` promises "zero messages": the
-                    // admit may produce only the local grant, never a Send.
-                    debug_assert!(
-                        ctx.effect_buf
-                            .iter()
-                            .all(|e| matches!(e, Effect::Granted { .. })),
-                        "try_acquire fast path emitted network traffic"
-                    );
-                    // The fast path registers no waiter, so close the span
-                    // and count the zero-message, zero-hop grant here.
-                    ctx.flush(lock, req, 0, &put);
-                    {
-                        let mut m = ctx.metrics.lock().expect("metrics mutex");
-                        m.acquire_latency.record(0);
-                        m.acquire_hops.record(0);
-                        m.acquires += 1;
-                    }
-                    ctx.trace(lock.0, ProtocolEvent::RequestGrant { req, hops: 0 });
-                    reply.complete(true);
-                } else {
-                    reply.complete(false);
-                }
-            }
-            Some(Input::Upgrade { lock, reply }) => {
-                if ctx.waiters.contains_key(&lock) {
-                    reply.complete(Err(ClusterError::Busy));
-                } else {
-                    let req = ctx.alloc_req();
-                    let started = Instant::now();
-                    ctx.trace(
-                        lock.0,
-                        ProtocolEvent::RequestStart {
-                            req,
-                            mode: Mode::Write,
-                            upgrade: true,
-                        },
-                    );
-                    let result = ctx.observed(lock, |obs, buf| {
-                        locks[lock.index()].on_upgrade_into(buf, obs)
-                    });
-                    match result {
-                        Ok(()) => {
-                            ctx.waiters.insert(
-                                lock,
-                                Waiter {
-                                    reply,
-                                    req,
-                                    started,
-                                },
-                            );
-                            ctx.flush(lock, req, 0, &put);
-                        }
-                        Err(e) => reply.complete(Err(ClusterError::Upgrade(e))),
-                    }
-                }
-            }
-            Some(Input::Release { lock, reply }) => {
-                let result = ctx.observed(lock, |obs, buf| {
-                    locks[lock.index()].on_release_into(buf, obs)
-                });
-                match result {
-                    Ok(()) => {
-                        // Releases open no span: their frames travel with
-                        // req 0 (uncorrelated).
-                        ctx.flush(lock, 0, 0, &put);
-                        ctx.metrics.lock().expect("metrics mutex").releases += 1;
-                        reply.complete(Ok(()));
-                    }
-                    Err(e) => reply.complete(Err(ClusterError::Release(e))),
-                }
-            }
-            Some(Input::Shutdown) => break,
-            // Timeout: fall through to the retransmission tick.
-            None => {}
         }
+        // Batch boundary: transmit coalesced traffic, then let the
+        // reliability shim retransmit and flush acks.
+        ctx.flush_pending(&put);
         if let Some(ep) = ctx.endpoint.as_mut() {
             let now = Instant::now();
             if ep.next_due().is_some_and(|due| due <= now) {
@@ -960,6 +1488,9 @@ fn node_loop(
             }
             rel_events.clear();
         }
+        if stop {
+            break;
+        }
     }
     let (trace, trace_dropped) = match ctx.recorder {
         Some(ring) => {
@@ -968,11 +1499,24 @@ fn node_loop(
         }
         None => (Vec::new(), 0),
     };
+    let coalesce = ctx
+        .proto_sent
+        .iter()
+        .zip(ctx.wire_sent.iter())
+        .enumerate()
+        .filter(|(_, (&p, &w))| p + w > 0)
+        .map(|(peer, (&p, &w))| CoalesceStat {
+            peer: peer as u32,
+            proto_sent: p,
+            wire_sent: w,
+        })
+        .collect();
     NodeExit {
         locks,
         trace,
         trace_dropped,
         decode_errors,
         links: ctx.endpoint.map(|ep| ep.snapshots()).unwrap_or_default(),
+        coalesce,
     }
 }

@@ -304,6 +304,7 @@ impl Faulty {
         in_flight: Arc<AtomicU64>,
         config: FaultConfig,
         nodes: usize,
+        shards: usize,
         trace_capacity: usize,
         epoch: Instant,
     ) -> Self {
@@ -311,6 +312,7 @@ impl Faulty {
             rng: SplitMix64::new(config.seed),
             config,
             nodes,
+            shards,
             tallies: vec![LinkFaults::default(); nodes * nodes],
             recorder: (trace_capacity > 0).then(|| RingRecorder::new(trace_capacity)),
             epoch,
@@ -334,16 +336,26 @@ struct FaultState {
     rng: SplitMix64,
     config: FaultConfig,
     nodes: usize,
+    /// Worker slots per node: transport addresses are worker slots
+    /// (`node * shards + shard`), but faults are reported per node link, so
+    /// tallies and trace events divide the slot back down.
+    shards: usize,
     tallies: Vec<LinkFaults>,
     recorder: Option<RingRecorder>,
     epoch: Instant,
 }
 
 impl FaultState {
+    /// Node id owning worker slot `slot`.
+    fn node_of(&self, slot: NodeId) -> u32 {
+        slot.0 / self.shards as u32
+    }
+
     fn tally(&mut self, from: NodeId, to: NodeId) -> &mut LinkFaults {
-        let slot = &mut self.tallies[from.index() * self.nodes + to.index()];
-        slot.from = from.0;
-        slot.to = to.0;
+        let (from, to) = (self.node_of(from), self.node_of(to));
+        let slot = &mut self.tallies[from as usize * self.nodes + to as usize];
+        slot.from = from;
+        slot.to = to;
         slot
     }
 }
@@ -376,12 +388,13 @@ fn router_loop(
             if f.rng.chance(f.config.drop) {
                 f.tally(from, to).dropped += 1;
                 in_flight.fetch_sub(1, Ordering::Relaxed);
+                let (from_node, to_node) = (f.node_of(from), f.node_of(to));
                 if let Some(ring) = &mut f.recorder {
                     ring.record(
                         f.epoch.elapsed().as_micros() as u64,
                         TRANSPORT_LOCK,
-                        from.0,
-                        ProtocolEvent::FrameDropped { to: to.0 },
+                        from_node,
+                        ProtocolEvent::FrameDropped { to: to_node },
                     );
                 }
                 return;

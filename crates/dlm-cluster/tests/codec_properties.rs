@@ -3,9 +3,17 @@
 //! to back through one reused scratch buffer — the cluster runtime's
 //! per-node encode path. A frame must be a self-contained snapshot; reusing
 //! the builder for the next frame must never corrupt an earlier one.
+//!
+//! Also covers the coalescing container format (arbitrary packings
+//! round-trip sub-frame-exact) and the shard-routing hash (deterministic,
+//! in range, and prefix-stable across power-of-two worker counts).
 
 use bytes::BytesMut;
-use dlm_cluster::codec::{decode, encode, encode_into};
+use dlm_cluster::codec::{
+    decode, decode_container_into, decode_corr, encode, encode_container_into, encode_corr_into,
+    encode_into, is_container,
+};
+use dlm_cluster::shard::{effective_shards, shard_of};
 use dlm_core::{LockId, Message, Mode, ModeSet, NodeId, QueuedRequest};
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -104,5 +112,55 @@ proptest! {
                 frame.len()
             );
         }
+    }
+
+    /// Arbitrary packings of correlated frames round-trip through a
+    /// container: the unpacked sub-frames are byte-identical, in order, and
+    /// each still decodes to its original span and message. Bare frames are
+    /// never mistaken for containers.
+    #[test]
+    fn containers_round_trip_arbitrary_packings(
+        batch in proptest::collection::vec(
+            (any::<u32>(), any::<u64>(), any::<u16>(), arb_message()),
+            1..40,
+        ),
+    ) {
+        let mut scratch = BytesMut::new();
+        let frames: Vec<_> = batch
+            .iter()
+            .map(|(lock, req, hops, msg)| {
+                encode_corr_into(LockId(*lock), *req, *hops, msg, &mut scratch)
+            })
+            .collect();
+        for frame in &frames {
+            prop_assert!(!is_container(frame), "bare frame misdetected");
+        }
+        let container = encode_container_into(&frames, &mut scratch);
+        prop_assert!(is_container(&container));
+        let mut out = Vec::new();
+        decode_container_into(container, &mut out).expect("valid container");
+        prop_assert_eq!(out.len(), batch.len());
+        for (sub, (lock, req, hops, msg)) in out.into_iter().zip(&batch) {
+            let (l2, r2, h2, m2) = decode_corr(sub).expect("sub-frame decodes");
+            prop_assert_eq!(l2, LockId(*lock));
+            prop_assert_eq!(r2, *req);
+            prop_assert_eq!(h2, *hops);
+            prop_assert_eq!(&m2, msg);
+        }
+    }
+
+    /// Shard routing is a pure function of the lock id, lands in range for
+    /// every power-of-two worker count, and is splittable: the assignment
+    /// under a smaller count is the masked assignment under any larger one
+    /// (so growing the pool never reshuffles locks arbitrarily).
+    #[test]
+    fn shard_routing_is_stable_and_splittable(lock in any::<u32>(), shift in 0u32..7) {
+        let small = 1usize << shift;
+        let big = small * 8;
+        let s = shard_of(LockId(lock), small);
+        prop_assert!(s < small);
+        prop_assert_eq!(s, shard_of(LockId(lock), small), "deterministic");
+        prop_assert_eq!(s, shard_of(LockId(lock), big) & (small - 1), "splittable");
+        prop_assert_eq!(effective_shards(small), small, "powers of two are kept");
     }
 }

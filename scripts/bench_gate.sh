@@ -7,6 +7,7 @@
 #
 #   churn_ir_ns_per_op           lower is better   (+threshold% ceiling)
 #   check_states_per_sec_serial  higher is better  (-threshold% floor)
+#   shard_ops_per_sec            higher is better  (-threshold% floor)
 #
 # The baseline is read from git (HEAD), not the working tree, because
 # scripts/bench.sh overwrites BENCH_sim.json in place. A metric missing
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 THRESHOLD="${1:-25}"
 METRIC_LOW="churn_ir_ns_per_op"
-METRIC_HIGH="check_states_per_sec_serial"
+METRICS_HIGH="check_states_per_sec_serial shard_ops_per_sec"
 
 OUT="$(mktemp -t bench_gate.XXXXXX.json)"
 BASELINE_JSON="$(mktemp -t bench_base.XXXXXX.json)"
@@ -30,19 +31,20 @@ extract() { # extract <metric> <file>
 
 git show HEAD:BENCH_sim.json > "$BASELINE_JSON"
 base_low="$(extract "$METRIC_LOW" "$BASELINE_JSON")"
-base_high="$(extract "$METRIC_HIGH" "$BASELINE_JSON")"
-if [[ -z "$base_low" && -z "$base_high" ]]; then
+any_high=""
+for m in $METRICS_HIGH; do
+  if [[ -n "$(extract "$m" "$BASELINE_JSON")" ]]; then
+    any_high=1
+  fi
+done
+if [[ -z "$base_low" && -z "$any_high" ]]; then
   echo "bench_gate: no gated metrics in committed BENCH_sim.json; skipping" >&2
   exit 0
 fi
 
 limit_low=""
-floor_high=""
 if [[ -n "$base_low" ]]; then
   limit_low="$(awk -v b="$base_low" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 + t / 100) }')"
-fi
-if [[ -n "$base_high" ]]; then
-  floor_high="$(awk -v b="$base_high" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 - t / 100) }')"
 fi
 
 # Two attempts: a shared CI runner can have a noisy neighbour for the first
@@ -60,15 +62,20 @@ for attempt in 1 2; do
     echo "bench_gate: $METRIC_LOW baseline=${base_low}ns new=${new}ns limit=${limit_low}ns (+${THRESHOLD}%)"
     awk -v n="$new" -v l="$limit_low" 'BEGIN { exit !(n <= l) }' || ok=0
   fi
-  if [[ -n "$base_high" ]]; then
-    new="$(extract "$METRIC_HIGH" "$OUT")"
+  for m in $METRICS_HIGH; do
+    base="$(extract "$m" "$BASELINE_JSON")"
+    if [[ -z "$base" ]]; then
+      continue
+    fi
+    floor="$(awk -v b="$base" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 - t / 100) }')"
+    new="$(extract "$m" "$OUT")"
     if [[ -z "$new" ]]; then
-      echo "bench_gate: smoke run produced no $METRIC_HIGH" >&2
+      echo "bench_gate: smoke run produced no $m" >&2
       exit 1
     fi
-    echo "bench_gate: $METRIC_HIGH baseline=${base_high}/s new=${new}/s floor=${floor_high}/s (-${THRESHOLD}%)"
-    awk -v n="$new" -v f="$floor_high" 'BEGIN { exit !(n >= f) }' || ok=0
-  fi
+    echo "bench_gate: $m baseline=${base}/s new=${new}/s floor=${floor}/s (-${THRESHOLD}%)"
+    awk -v n="$new" -v f="$floor" 'BEGIN { exit !(n >= f) }' || ok=0
+  done
   if [[ "$ok" == 1 ]]; then
     echo "bench_gate: OK"
     exit 0

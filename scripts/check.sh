@@ -34,4 +34,7 @@ cargo run --release -q -p dlm-check --bin check -- \
 echo "==> request-span smoke: capture + reconstruct a 4-node cluster trace"
 cargo run --release -q -p dlm-harness --bin spans -- 4
 
+echo "==> shard-churn smoke: sharded service under pipelined churn (BENCH_SMOKE=1)"
+BENCH_SMOKE=1 cargo run --release -q -p bench --bin shard_churn
+
 echo "All checks passed."
