@@ -8,7 +8,7 @@
 
 use bench::{
     churn, cluster_roundtrips, copyset_churn, effectbuf_alloc_run, effectbuf_reuse_run, flood_run,
-    freeze_lut_run, freeze_scan_run, sample_messages,
+    freeze_lut_run, freeze_scan_run, sample_messages, socket_roundtrips, socket_workload_run,
 };
 use dlm_cluster::codec::{decode, encode_into};
 use dlm_cluster::{ClusterConfig, FaultConfig, ReliableConfig, TransportKind};
@@ -163,8 +163,13 @@ fn main() {
     //     the reliability shim's framing overhead on a perfect link, and a
     //     10%-lossy link where the retransmission timeout sets the floor.
     {
-        let rounds = if smoke { 50 } else { 400 };
-        let lossy_rounds = if smoke { 20 } else { 100 };
+        // Full budget even under BENCH_SMOKE: these are gated by
+        // scripts/bench_gate.sh against the committed full-budget baseline,
+        // and a shrunk lossy run is not comparable — the seeded drop
+        // pattern over the first N rounds can be consistently unluckier
+        // than the long-run average. A few ms per metric either way.
+        let rounds = 400;
+        let lossy_rounds = 100;
         let configs: [(&str, u32, ClusterConfig); 4] = [
             (
                 "cluster_direct_roundtrip_ns",
@@ -213,6 +218,38 @@ fn main() {
             });
             results.push((label.into(), ns / n as f64));
         }
+    }
+
+    // 3c2. The same exchange over a **real kernel socket**: write-lock
+    //      ping-pong between two socket-backed members on loopback. TCP
+    //      prices the full wire stack (framing, nonblocking event loop,
+    //      syscalls, loopback scheduling); lossy UDP adds the 2 ms WAN
+    //      retransmission floor whenever a datagram actually vanishes.
+    {
+        // Gated metrics: full budget under BENCH_SMOKE (see 3c).
+        let rounds = 100;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (messages, ns) = socket_roundtrips(None, rounds);
+            std::hint::black_box(messages);
+            best = best.min(ns);
+        }
+        // Each round is two cross-wire token handoffs.
+        results.push((
+            "socket_tcp_roundtrip_ns".into(),
+            best / (rounds as f64 * 2.0),
+        ));
+        let lossy_rounds = 30;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (messages, ns) = socket_roundtrips(Some((0.10, 0xC1A0)), lossy_rounds);
+            std::hint::black_box(messages);
+            best = best.min(ns);
+        }
+        results.push((
+            "socket_udp_lossy_roundtrip_ns".into(),
+            best / (lossy_rounds as f64 * 2.0),
+        ));
     }
 
     // 3d. Model-checker exploration throughput: distinct states per second
@@ -310,6 +347,23 @@ fn main() {
             assert!(report.complete());
         });
         results.push((format!("{label}_ms"), ns / 1e6));
+    }
+
+    // 4b. The Figure 7 workload point measured over a **real socket
+    //     cluster**: four in-process members, every frame over loopback
+    //     TCP, think times compressed 1000x so the wire and protocol —
+    //     not the sleeps — dominate. End-to-end workload phase only
+    //     (member spawn, quiescence, and audit excluded).
+    {
+        let mut params = figure_point(4, ProtocolKind::Hier, ops);
+        params.seed = 0x50CC;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (messages, ns) = socket_workload_run(&params, 1000);
+            std::hint::black_box(messages);
+            best = best.min(ns);
+        }
+        results.push(("socket_fig7_linux_n4_ms".into(), best / 1e6));
     }
 
     let mut json = String::from("{\n  \"schema\": \"dlm-bench/v1\",\n");

@@ -29,21 +29,31 @@
 //! (same state machines, byte-identical rules, different scheduler), and —
 //! with [`TransportKind::Faulty`] — to show the protocol surviving an
 //! adversarial network that drops, duplicates, and reorders frames.
+//!
+//! Beyond the in-process cluster, the [`socket`] module puts the same
+//! worker loop on a real wire: [`Node`] runs one cluster member per
+//! process over TCP or UDP loopback/LAN sockets (the paper's actual
+//! experimental setup), with the `dlm-node` binary and harness driver in
+//! `dlm-harness` spawning and measuring multi-process clusters end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 mod handle;
+mod node;
 mod reliable;
 mod runtime;
 pub mod shard;
+pub mod socket;
 pub mod transport;
 
 pub use handle::{ClusterError, Completion, NodeHandle, Pipeline};
-pub use reliable::ReliableConfig;
+pub use node::{audit_process_states, Node, NodeConfig, NodeReport};
+pub use reliable::{ReliableConfig, TransportClass};
 pub use runtime::{Cluster, ClusterConfig, ClusterReport, LinkReport};
-pub use transport::{FaultConfig, TransportKind};
+pub use socket::{SocketConfig, SocketMode, SocketTransport};
+pub use transport::{FaultConfig, SocketLinkStat, TransportKind};
 
 pub use dlm_core::{LockId, Mode, NodeId};
 pub use dlm_trace::TraceRecord;

@@ -1,0 +1,362 @@
+//! One cluster member as its own process: the socket-backed node runtime.
+//!
+//! [`Cluster`](crate::Cluster) spawns every node of the system inside one
+//! process; [`Node`] spawns exactly one member — its shard workers, its
+//! input channels, and a [`SocketTransport`] that carries frames to the
+//! other members over TCP or UDP. N `Node`s (in N processes, or several in
+//! one process for tests and benches) form the same cluster the in-process
+//! runtime simulates, running the identical `worker_loop`.
+//!
+//! What necessarily changes versus `Cluster`:
+//!
+//! * **Reliability is always on.** Frames in wire transit are invisible to
+//!   this process's in-flight gauge (see the gauge discipline in
+//!   [`crate::socket`]), so quiescence leans on the sender's unacked
+//!   gauge — which only exists with the shim. `Node::new` therefore treats
+//!   [`ClusterConfig::reliable`]`: None` as [`crate::ReliableConfig::auto`],
+//!   and
+//!   resolves auto to the socket (WAN) RTO floor.
+//! * **Shutdown is local.** A `Node` can only report its own per-lock
+//!   states; the global audit needs every member's. [`NodeReport::states`]
+//!   carries them out (portably via
+//!   [`HierNode::encode_state`](dlm_core::HierNode::encode_state) for the
+//!   multi-process harness), and [`audit_process_states`] reassembles and
+//!   audits a full cluster's worth.
+//!
+//! Callers coordinate global quiescence themselves: poll every member's
+//! [`Node::is_idle`] / [`Node::messages_sent`] until all are idle at once
+//! and the message sum is stable, then shut all members down.
+
+use crate::reliable::{PeerSnapshot, TransportClass};
+use crate::runtime::{
+    merge_links, worker_loop, ClusterConfig, CoalesceStat, Input, LinkReport, NodeExit, NodeMetrics,
+};
+use crate::shard::{effective_shards, ShardGate};
+use crate::socket::{SocketConfig, SocketTransport};
+use crate::transport::Transport;
+use crate::NodeHandle;
+use crossbeam::channel::{unbounded, Sender};
+use dlm_core::{audit, AuditError, HierNode, NodeId, ProtocolConfig};
+use dlm_metrics::Histogram;
+use dlm_trace::{merge_records, TraceRecord};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of one socket-backed cluster member.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The cluster-wide parameters — node count, locks, shards, protocol,
+    /// reliability, tracing, coalescing. Every member must use identical
+    /// values. [`ClusterConfig::transport`] is ignored (the wire is
+    /// [`Self::socket`]); `reliable: None` means automatic (see module
+    /// docs).
+    pub cluster: ClusterConfig,
+    /// This member's identity and the cluster's socket addresses.
+    pub socket: SocketConfig,
+}
+
+/// Final report of one shut-down member. The fields mirror
+/// [`crate::ClusterReport`] restricted to what a single process can know;
+/// there is no local audit because auditing needs every member's states —
+/// see [`audit_process_states`].
+#[derive(Debug)]
+pub struct NodeReport {
+    /// Protocol messages this member transmitted.
+    pub messages_sent: u64,
+    /// This member's final per-lock protocol states (only locks it ever
+    /// touched).
+    pub states: Vec<(u32, HierNode)>,
+    /// Frames that arrived but could not be decoded.
+    pub decode_errors: u64,
+    /// Completion replies whose application-side receiver had gone away.
+    pub replies_dropped: u64,
+    /// Per-link reliability/coalescing/wire counters involving this member.
+    pub links: Vec<LinkReport>,
+    /// This member's merged structured event trace.
+    pub trace: Vec<TraceRecord>,
+    /// Events evicted from the flight recorders before shutdown.
+    pub trace_dropped: u64,
+    /// Issue-to-grant latency (µs) of this member's completed operations.
+    pub acquire_latency: Histogram,
+    /// Causal hops of this member's completed operations.
+    pub acquire_hops: Histogram,
+}
+
+/// One socket-backed cluster member: this process's shard workers plus a
+/// [`SocketTransport`] to the other members.
+pub struct Node {
+    inputs: Vec<Sender<Input>>,
+    gates: Vec<Arc<ShardGate>>,
+    joins: Vec<JoinHandle<NodeExit>>,
+    transport: Arc<SocketTransport>,
+    messages: Arc<AtomicU64>,
+    replies_dropped: Arc<AtomicU64>,
+    in_flight: Arc<AtomicU64>,
+    unacked: Arc<AtomicU64>,
+    metrics: Vec<Arc<Mutex<NodeMetrics>>>,
+    me: u32,
+    shards: usize,
+}
+
+impl Node {
+    /// Bind this member's socket and spawn its shard workers. Peers that
+    /// are not up yet are dialed in the background (see
+    /// [`SocketConfig::connect_timeout`]); operations issued before a link
+    /// is established wait in that link's write queue.
+    pub fn new(config: NodeConfig) -> std::io::Result<Node> {
+        let mut cluster = config.cluster;
+        assert!(cluster.nodes >= 1);
+        assert!(cluster.locks >= 1);
+        assert_eq!(
+            cluster.nodes,
+            config.socket.addrs.len(),
+            "one socket address per node"
+        );
+        assert!((config.socket.me as usize) < cluster.nodes);
+        // Sockets always run the reliability shim (module docs); an auto
+        // or absent config resolves to the WAN floor here.
+        cluster.reliable = Some(
+            cluster
+                .reliable
+                .unwrap_or_default()
+                .resolved_for(TransportClass::Socket),
+        );
+        let me = config.socket.me;
+        let shards = effective_shards(cluster.shards);
+        let messages = Arc::new(AtomicU64::new(0));
+        let replies_dropped = Arc::new(AtomicU64::new(0));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let unacked = Arc::new(AtomicU64::new(0));
+        let epoch = Instant::now();
+
+        let channels: Vec<_> = (0..shards).map(|_| unbounded()).collect();
+        let inputs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let gates: Vec<Arc<ShardGate>> = (0..shards)
+            .map(|_| Arc::new(ShardGate::new(cluster.shard_queue)))
+            .collect();
+        let transport = SocketTransport::bind(
+            config.socket,
+            inputs.clone(),
+            Arc::clone(&in_flight),
+            shards,
+        )?;
+
+        let metrics: Vec<Arc<Mutex<NodeMetrics>>> = (0..shards)
+            .map(|_| Arc::new(Mutex::new(NodeMetrics::default())))
+            .collect();
+        let mut joins = Vec::with_capacity(shards);
+        for (shard, (_, rx)) in channels.into_iter().enumerate() {
+            let link: Arc<dyn Transport> = transport.clone();
+            let counter = Arc::clone(&messages);
+            let gauge = Arc::clone(&in_flight);
+            let unacked_gauge = Arc::clone(&unacked);
+            let dropped = Arc::clone(&replies_dropped);
+            let gate = Arc::clone(&gates[shard]);
+            let metrics = Arc::clone(&metrics[shard]);
+            let cfg = cluster;
+            let join = std::thread::Builder::new()
+                .name(format!("dlm-proc-{me}.{shard}"))
+                .spawn(move || {
+                    worker_loop(
+                        NodeId(me),
+                        shard as u32,
+                        shards as u32,
+                        cfg,
+                        rx,
+                        link,
+                        counter,
+                        gauge,
+                        unacked_gauge,
+                        dropped,
+                        epoch,
+                        metrics,
+                        gate,
+                    )
+                })
+                .expect("spawn worker thread");
+            joins.push(join);
+        }
+
+        Ok(Node {
+            inputs,
+            gates,
+            joins,
+            transport,
+            messages,
+            replies_dropped,
+            in_flight,
+            unacked,
+            metrics,
+            me,
+            shards,
+        })
+    }
+
+    /// This member's node id.
+    pub fn id(&self) -> u32 {
+        self.me
+    }
+
+    /// A cloneable blocking handle to this member's application interface.
+    pub fn handle(&self) -> NodeHandle {
+        NodeHandle::new(
+            NodeId(self.me),
+            self.inputs.clone(),
+            self.gates.clone(),
+            Arc::clone(&self.replies_dropped),
+        )
+    }
+
+    /// Protocol messages this member transmitted so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// True when this member owes the cluster nothing it knows about: no
+    /// frame in local flight and no data sequence awaiting a peer's ack.
+    /// Global quiescence needs *every* member idle at once with a stable
+    /// global message count — one member's idle is necessary, not
+    /// sufficient.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.load(Ordering::Relaxed) == 0 && self.unacked.load(Ordering::Relaxed) == 0
+    }
+
+    /// Local quiescence wait, mirroring
+    /// [`Cluster::quiesce_within`](crate::Cluster::quiesce_within): returns
+    /// the message count once this member has been idle with a stable
+    /// counter for `idle`, or whatever it is at `timeout`.
+    pub fn quiesce_within(&self, idle: Duration, timeout: Duration) -> u64 {
+        let start = Instant::now();
+        let tick = (idle / 8).max(Duration::from_micros(200)).min(idle);
+        let mut last = self.messages_sent();
+        let mut stable_since = Instant::now();
+        loop {
+            if start.elapsed() >= timeout {
+                return self.messages_sent();
+            }
+            std::thread::sleep(tick);
+            let count = self.messages_sent();
+            if count != last || !self.is_idle() {
+                last = count;
+                stable_since = Instant::now();
+            } else if stable_since.elapsed() >= idle {
+                return count;
+            }
+        }
+    }
+
+    /// Shut this member down and collect its final report. Same teardown
+    /// order as the in-process cluster: drain (bounded), stop the
+    /// transport (final wire flush), then stop the workers. The caller is
+    /// responsible for only shutting down a *globally* quiescent cluster;
+    /// a member with unacked data to an already-dead peer gives up after
+    /// the bounded drain.
+    pub fn shutdown(self) -> NodeReport {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !self.is_idle() {
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let transport_report = self.transport.shutdown();
+        for tx in &self.inputs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        let mut states: HashMap<u32, HierNode> = HashMap::new();
+        let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len() + 1);
+        let mut trace_dropped = transport_report.trace_dropped;
+        let mut decode_errors = 0;
+        let mut snaps: Vec<PeerSnapshot> = Vec::new();
+        let mut coalesce: Vec<CoalesceStat> = Vec::new();
+        let mut acquire_latency = Histogram::new();
+        let mut acquire_hops = Histogram::new();
+        for m in &self.metrics {
+            let m = m.lock().expect("metrics mutex");
+            acquire_latency.merge(&m.acquire_latency);
+            acquire_hops.merge(&m.acquire_hops);
+        }
+        for join in self.joins {
+            let exit = join.join().expect("worker thread panicked");
+            states.extend(exit.locks);
+            traces.push(exit.trace);
+            trace_dropped += exit.trace_dropped;
+            decode_errors += exit.decode_errors;
+            snaps.extend(exit.links);
+            coalesce.extend(exit.coalesce);
+        }
+        traces.push(transport_report.trace);
+        let per_node = [(self.me, snaps)];
+        let coalesce = [(self.me, coalesce)];
+        let mut states: Vec<(u32, HierNode)> = states.into_iter().collect();
+        states.sort_by_key(|(lock, _)| *lock);
+        NodeReport {
+            messages_sent: self.messages.load(Ordering::Relaxed),
+            states,
+            decode_errors,
+            replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
+            links: merge_links(
+                &per_node,
+                &transport_report.faults,
+                &coalesce,
+                &transport_report.socket,
+            ),
+            trace: merge_records(traces),
+            trace_dropped,
+            acquire_latency,
+            acquire_hops,
+        }
+    }
+
+    /// Worker threads per node (the effective shard count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// Audit a whole cluster from its members' reported states.
+///
+/// `states[n]` is member `n`'s [`NodeReport::states`] (decoded with
+/// [`HierNode::decode_state`](dlm_core::HierNode::decode_state) when they
+/// crossed a process boundary). Locks a member never touched contribute a
+/// synthesized initial state, exactly as
+/// [`Cluster::shutdown`](crate::Cluster::shutdown) does; the audit runs
+/// with `quiescent = true`, so the cluster must have been globally
+/// quiescent when the states were captured.
+pub fn audit_process_states(
+    protocol: ProtocolConfig,
+    states: &[Vec<(u32, HierNode)>],
+) -> Vec<AuditError> {
+    let nodes = states.len();
+    let touched: BTreeSet<u32> = states
+        .iter()
+        .flat_map(|s| s.iter().map(|(lock, _)| *lock))
+        .collect();
+    let by_node: Vec<HashMap<u32, &HierNode>> = states
+        .iter()
+        .map(|s| s.iter().map(|(lock, node)| (*lock, node)).collect())
+        .collect();
+    let fresh = |node: usize| {
+        if node == 0 {
+            HierNode::with_token(NodeId(0), protocol)
+        } else {
+            HierNode::new(NodeId(node as u32), NodeId(0), protocol)
+        }
+    };
+    let mut errors = Vec::new();
+    for lock in touched {
+        let members: Vec<HierNode> = (0..nodes)
+            .map(|n| {
+                by_node[n]
+                    .get(&lock)
+                    .map(|s| (*s).clone())
+                    .unwrap_or_else(|| fresh(n))
+            })
+            .collect();
+        errors.extend(audit(&members, &[], true));
+    }
+    errors
+}

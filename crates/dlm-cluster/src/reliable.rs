@@ -49,9 +49,24 @@ pub struct ReliableConfig {
 }
 
 impl Default for ReliableConfig {
+    /// The automatic config: the runtime picks the floor per transport
+    /// class at construction (see [`ReliableConfig::resolved_for`]), so
+    /// channel clusters get the in-process floor and socket clusters the
+    /// WAN floor without the caller tuning anything.
     fn default() -> Self {
-        Self::in_process()
+        Self::auto()
     }
+}
+
+/// The broad latency class of a transport, used to pick a retransmission
+/// floor automatically (see [`ReliableConfig::auto`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportClass {
+    /// Channel handoffs inside one process: µs round trips.
+    InProcess,
+    /// Real sockets (TCP/UDP), even on loopback: syscalls, wakeup latency
+    /// and possibly a wire on the path.
+    Socket,
 }
 
 impl ReliableConfig {
@@ -82,6 +97,36 @@ impl ReliableConfig {
     pub fn with_rto(mut self, rto: Duration) -> Self {
         self.rto = rto;
         self
+    }
+
+    /// Defer the RTO choice to the runtime: a zero-RTO sentinel that the
+    /// cluster/node constructors resolve to [`Self::in_process`] or
+    /// [`Self::wan`] depending on the transport actually in use. Workers
+    /// never see an unresolved auto config — an [`Endpoint`] built from one
+    /// would retransmit instantly.
+    pub fn auto() -> Self {
+        ReliableConfig {
+            rto: Duration::ZERO,
+            rto_cap: Duration::from_millis(64),
+        }
+    }
+
+    /// True for the [`Self::auto`] sentinel.
+    pub fn is_auto(&self) -> bool {
+        self.rto == Duration::ZERO
+    }
+
+    /// Resolve the [`Self::auto`] sentinel against a transport class:
+    /// in-process channels get the 400 µs floor, sockets the 2 ms WAN
+    /// floor. Explicit (non-auto) configs pass through untouched.
+    pub fn resolved_for(self, class: TransportClass) -> Self {
+        if !self.is_auto() {
+            return self;
+        }
+        match class {
+            TransportClass::InProcess => Self::in_process(),
+            TransportClass::Socket => Self::wan(),
+        }
     }
 }
 
@@ -154,6 +199,10 @@ impl Endpoint {
         config: ReliableConfig,
         unacked_gauge: Arc<AtomicU64>,
     ) -> Self {
+        debug_assert!(
+            !config.is_auto(),
+            "ReliableConfig::auto must be resolved before an Endpoint is built"
+        );
         Endpoint {
             me,
             config,
@@ -379,9 +428,31 @@ mod tests {
         Endpoint::new(
             NodeId(me),
             3,
-            ReliableConfig::default(),
+            ReliableConfig::in_process(),
             Arc::new(AtomicU64::new(0)),
         )
+    }
+
+    #[test]
+    fn auto_config_resolves_per_transport_class() {
+        let auto = ReliableConfig::default();
+        assert!(auto.is_auto(), "the default defers to the transport class");
+        assert_eq!(
+            auto.resolved_for(TransportClass::InProcess).rto,
+            ReliableConfig::in_process().rto,
+            "channel transports get the in-process floor"
+        );
+        assert_eq!(
+            auto.resolved_for(TransportClass::Socket).rto,
+            ReliableConfig::wan().rto,
+            "socket transports get the WAN floor"
+        );
+        // Explicit configs pass through untouched.
+        let explicit = ReliableConfig::wan().with_rto(Duration::from_millis(7));
+        assert_eq!(
+            explicit.resolved_for(TransportClass::InProcess).rto,
+            Duration::from_millis(7)
+        );
     }
 
     fn collect_delivered(

@@ -31,10 +31,10 @@
 
 use crate::codec;
 use crate::handle::{ClusterError, Completion, NodeHandle, OpKind, PipeOp, Reply};
-use crate::reliable::{Endpoint, PeerSnapshot, ReliableConfig};
+use crate::reliable::{Endpoint, PeerSnapshot, ReliableConfig, TransportClass};
 use crate::shard::{effective_shards, FastMap, ShardGate};
 use crate::transport::{
-    Delayed, Direct, Faulty, LinkFaults, Transport, TransportKind, TRANSPORT_LOCK,
+    Delayed, Direct, Faulty, LinkFaults, SocketLinkStat, Transport, TransportKind, TRANSPORT_LOCK,
 };
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -177,6 +177,12 @@ pub struct LinkReport {
     /// Physical wire frames that carried them; `proto_sent / wire_sent`
     /// is the link's coalescing ratio (1.0 with coalescing off).
     pub wire_sent: u64,
+    /// Payload bytes observed on a real wire for this link (socket
+    /// transports only; 0 in-process).
+    pub wire_bytes: u64,
+    /// Socket connection losses observed on this link (peer reset, EOF
+    /// mid-stream, or a write failure); the node keeps serving after each.
+    pub resets: u64,
 }
 
 /// Final report of a shut-down cluster.
@@ -250,44 +256,50 @@ pub struct Cluster {
 /// operation counters. Owned by the worker thread, read by
 /// [`Cluster::metrics_snapshot`] under a short-lived mutex.
 #[derive(Debug, Default)]
-struct NodeMetrics {
+pub(crate) struct NodeMetrics {
     /// Wall-clock µs, issue → grant, for completed acquires and upgrades.
-    acquire_latency: Histogram,
+    pub(crate) acquire_latency: Histogram,
     /// Causal hop depth of the frame that delivered each grant.
-    acquire_hops: Histogram,
+    pub(crate) acquire_hops: Histogram,
     /// Completed acquire operations (blocking, pipelined, and try fast
     /// path).
-    acquires: u64,
+    pub(crate) acquires: u64,
     /// Completed Rule 7 upgrades.
-    upgrades: u64,
+    pub(crate) upgrades: u64,
     /// Completed releases.
-    releases: u64,
+    pub(crate) releases: u64,
 }
 
 /// Per-peer coalescing counters a worker hands back at exit.
-struct CoalesceStat {
-    peer: u32,
-    proto_sent: u64,
-    wire_sent: u64,
+pub(crate) struct CoalesceStat {
+    pub(crate) peer: u32,
+    pub(crate) proto_sent: u64,
+    pub(crate) wire_sent: u64,
 }
 
 /// What a worker thread hands back at shutdown.
-struct NodeExit {
+pub(crate) struct NodeExit {
     /// This shard's protocol instances, keyed by lock id (only locks the
     /// worker ever touched).
-    locks: FastMap<u32, HierNode>,
-    trace: Vec<TraceRecord>,
-    trace_dropped: u64,
-    decode_errors: u64,
-    links: Vec<PeerSnapshot>,
-    coalesce: Vec<CoalesceStat>,
+    pub(crate) locks: FastMap<u32, HierNode>,
+    pub(crate) trace: Vec<TraceRecord>,
+    pub(crate) trace_dropped: u64,
+    pub(crate) decode_errors: u64,
+    pub(crate) links: Vec<PeerSnapshot>,
+    pub(crate) coalesce: Vec<CoalesceStat>,
 }
 
 impl Cluster {
     /// Spawn the cluster. Node 0 initially holds every token.
-    pub fn new(config: ClusterConfig) -> Self {
+    pub fn new(mut config: ClusterConfig) -> Self {
         assert!(config.nodes >= 1);
         assert!(config.locks >= 1);
+        // Every in-process transport is a channel handoff; an auto reliable
+        // config resolves to the in-process RTO floor here (sockets resolve
+        // to the WAN floor in `Node::new`).
+        config.reliable = config
+            .reliable
+            .map(|cfg| cfg.resolved_for(TransportClass::InProcess));
         let shards = effective_shards(config.shards);
         let slots = config.nodes * shards;
         let messages = Arc::new(AtomicU64::new(0));
@@ -692,19 +704,26 @@ impl Cluster {
             trace_dropped,
             replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
             decode_errors,
-            links: merge_links(&per_node, &transport_report.faults, &coalesce),
+            links: merge_links(
+                &per_node,
+                &transport_report.faults,
+                &coalesce,
+                &transport_report.socket,
+            ),
             acquire_latency,
             acquire_hops,
         }
     }
 }
 
-/// Combine per-worker reliability snapshots, coalescing counters, and
-/// transport fault tallies into one directed-link table.
-fn merge_links(
+/// Combine per-worker reliability snapshots, coalescing counters,
+/// transport fault tallies, and socket wire counters into one
+/// directed-link table.
+pub(crate) fn merge_links(
     per_node: &[(u32, Vec<PeerSnapshot>)],
     faults: &[LinkFaults],
     coalesce: &[(u32, Vec<CoalesceStat>)],
+    socket: &[SocketLinkStat],
 ) -> Vec<LinkReport> {
     fn slot(map: &mut BTreeMap<(u32, u32), LinkReport>, from: u32, to: u32) -> &mut LinkReport {
         map.entry((from, to)).or_insert_with(|| LinkReport {
@@ -740,6 +759,11 @@ fn merge_links(
         link.dropped += f.dropped;
         link.duplicated += f.duplicated;
         link.reordered += f.reordered;
+    }
+    for s in socket {
+        let link = slot(&mut map, s.from, s.to);
+        link.wire_bytes += s.bytes;
+        link.resets += s.resets;
     }
     map.into_values().collect()
 }
@@ -1340,7 +1364,7 @@ fn handle_input(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+pub(crate) fn worker_loop(
     me: NodeId,
     shard: u32,
     shards: u32,

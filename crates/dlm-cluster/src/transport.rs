@@ -113,6 +113,26 @@ pub struct LinkFaults {
     pub reordered: u64,
 }
 
+/// Wire-level counters for one directed socket link, as observed by the
+/// reporting process (sent when `from` is the local node, received when
+/// `to` is). Counts are *wire* frames after coalescing — one wire frame may
+/// carry a whole container of protocol frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketLinkStat {
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node.
+    pub to: u32,
+    /// Wire frames observed on this directed link.
+    pub frames: u64,
+    /// Payload bytes observed (excluding the wire header).
+    pub bytes: u64,
+    /// Connection losses observed on the link's underlying connection
+    /// (peer reset, EOF mid-stream, or a write failure); the node keeps
+    /// serving after each.
+    pub resets: u64,
+}
+
 /// What a transport hands back when it stops.
 #[derive(Debug, Default)]
 pub struct TransportReport {
@@ -123,6 +143,9 @@ pub struct TransportReport {
     pub trace_dropped: u64,
     /// Per-link fault tallies (links with at least one fault).
     pub faults: Vec<LinkFaults>,
+    /// Per-link wire counters (socket transports only; empty for the
+    /// in-process transports).
+    pub socket: Vec<SocketLinkStat>,
 }
 
 /// A cluster interconnect: carries encoded frames between node threads.

@@ -3,6 +3,7 @@
 mod acquire;
 mod handlers;
 mod queue;
+mod state;
 
 use crate::config::ProtocolConfig;
 use crate::flatmap::{CopySet, FlatMap, MAP_INLINE};

@@ -12,6 +12,12 @@
 //! Every binary prints an aligned table and writes a TSV under `results/`.
 //! Runs are averaged over a small fixed seed set; everything is
 //! deterministic.
+//!
+//! Beyond the simulator, the [`sockload`] module drives the same workload
+//! over a **real socket cluster**: the `dlm-node` binary runs one member
+//! per process and the `dlm-harness` binary spawns, drives, measures, and
+//! audits an N-process loopback cluster end to end (Figures 7–10 and the
+//! shard-churn workload over TCP).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +25,7 @@
 mod figure;
 mod figures;
 mod pool;
+pub mod sockload;
 
 pub use figure::{render_table, write_tsv, Figure, Series};
 pub use figures::{ablations, all_figures, fig10, fig7, fig8, fig9, latency_tail, FigureOptions};

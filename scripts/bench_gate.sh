@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Bench-regression smoke gate: re-measures the gated numbers with a
-# BENCH_SMOKE=1 run (the churn section keeps its full budget under smoke, so
-# the numbers are comparable with the committed full-budget baseline) and
+# BENCH_SMOKE=1 run (the churn, cluster-roundtrip, and socket-roundtrip
+# sections keep their full budgets under smoke, so the numbers are
+# comparable with the committed full-budget baseline) and
 # fails on regressions beyond the threshold against the baseline committed
 # in BENCH_sim.json:
 #
-#   churn_ir_ns_per_op           lower is better   (+threshold% ceiling)
-#   check_states_per_sec_serial  higher is better  (-threshold% floor)
-#   shard_ops_per_sec            higher is better  (-threshold% floor)
+#   lower is better  (+threshold% ceiling):
+#     churn_ir_ns_per_op
+#     cluster_direct_roundtrip_ns        cluster_reliable_roundtrip_ns
+#     cluster_lossy10_roundtrip_ns       cluster_lossy10_wan_rto_roundtrip_ns
+#     socket_tcp_roundtrip_ns            socket_udp_lossy_roundtrip_ns
+#   higher is better (-threshold% floor):
+#     check_states_per_sec_serial        shard_ops_per_sec
 #
 # The baseline is read from git (HEAD), not the working tree, because
 # scripts/bench.sh overwrites BENCH_sim.json in place. A metric missing
@@ -18,7 +23,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${1:-25}"
-METRIC_LOW="churn_ir_ns_per_op"
+METRICS_LOW="churn_ir_ns_per_op
+cluster_direct_roundtrip_ns
+cluster_reliable_roundtrip_ns
+cluster_lossy10_roundtrip_ns
+cluster_lossy10_wan_rto_roundtrip_ns
+socket_tcp_roundtrip_ns
+socket_udp_lossy_roundtrip_ns"
 METRICS_HIGH="check_states_per_sec_serial shard_ops_per_sec"
 
 OUT="$(mktemp -t bench_gate.XXXXXX.json)"
@@ -30,21 +41,15 @@ extract() { # extract <metric> <file>
 }
 
 git show HEAD:BENCH_sim.json > "$BASELINE_JSON"
-base_low="$(extract "$METRIC_LOW" "$BASELINE_JSON")"
-any_high=""
-for m in $METRICS_HIGH; do
+any_gated=""
+for m in $METRICS_LOW $METRICS_HIGH; do
   if [[ -n "$(extract "$m" "$BASELINE_JSON")" ]]; then
-    any_high=1
+    any_gated=1
   fi
 done
-if [[ -z "$base_low" && -z "$any_high" ]]; then
+if [[ -z "$any_gated" ]]; then
   echo "bench_gate: no gated metrics in committed BENCH_sim.json; skipping" >&2
   exit 0
-fi
-
-limit_low=""
-if [[ -n "$base_low" ]]; then
-  limit_low="$(awk -v b="$base_low" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 + t / 100) }')"
 fi
 
 # Two attempts: a shared CI runner can have a noisy neighbour for the first
@@ -53,15 +58,20 @@ for attempt in 1 2; do
   echo "==> bench_gate: BENCH_SMOKE=1 bench -> $OUT (attempt $attempt)"
   BENCH_SMOKE=1 cargo run --release -q -p bench --bin bench "$OUT" >/dev/null
   ok=1
-  if [[ -n "$base_low" ]]; then
-    new="$(extract "$METRIC_LOW" "$OUT")"
+  for m in $METRICS_LOW; do
+    base="$(extract "$m" "$BASELINE_JSON")"
+    if [[ -z "$base" ]]; then
+      continue
+    fi
+    limit="$(awk -v b="$base" -v t="$THRESHOLD" 'BEGIN { printf "%.1f", b * (1 + t / 100) }')"
+    new="$(extract "$m" "$OUT")"
     if [[ -z "$new" ]]; then
-      echo "bench_gate: smoke run produced no $METRIC_LOW" >&2
+      echo "bench_gate: smoke run produced no $m" >&2
       exit 1
     fi
-    echo "bench_gate: $METRIC_LOW baseline=${base_low}ns new=${new}ns limit=${limit_low}ns (+${THRESHOLD}%)"
-    awk -v n="$new" -v l="$limit_low" 'BEGIN { exit !(n <= l) }' || ok=0
-  fi
+    echo "bench_gate: $m baseline=${base}ns new=${new}ns limit=${limit}ns (+${THRESHOLD}%)"
+    awk -v n="$new" -v l="$limit" 'BEGIN { exit !(n <= l) }' || ok=0
+  done
   for m in $METRICS_HIGH; do
     base="$(extract "$m" "$BASELINE_JSON")"
     if [[ -z "$base" ]]; then

@@ -37,4 +37,8 @@ cargo run --release -q -p dlm-harness --bin spans -- 4
 echo "==> shard-churn smoke: sharded service under pipelined churn (BENCH_SMOKE=1)"
 BENCH_SMOKE=1 cargo run --release -q -p bench --bin shard_churn
 
+echo "==> socket-cluster smoke: 3 dlm-node processes over TCP loopback (bounded deadline)"
+cargo build --release -q -p dlm-harness --bin dlm-node
+cargo run --release -q -p dlm-harness --bin dlm-harness -- --smoke
+
 echo "All checks passed."

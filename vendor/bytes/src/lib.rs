@@ -44,10 +44,16 @@ pub trait BufMut {
 }
 
 /// Immutable shared byte buffer with a read cursor.
+///
+/// `pos..end` delimit the live view inside the shared allocation, so
+/// [`Bytes::slice`] is zero-copy: sub-views share the same `Arc` with
+/// narrowed bounds instead of reallocating. A receive path can freeze one
+/// big read buffer and hand out per-frame views without copying payloads.
 #[derive(Debug, Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
     pos: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -56,12 +62,13 @@ impl Bytes {
         Bytes {
             data: Arc::from(&[][..]),
             pos: 0,
+            end: 0,
         }
     }
 
     /// Unread length.
     pub fn len(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.pos
     }
 
     /// True when fully consumed (or empty).
@@ -70,11 +77,15 @@ impl Bytes {
     }
 
     /// A new view of the sub-range `range` of the unread bytes.
+    ///
+    /// Zero-copy: the view shares this buffer's allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        let view = &self.as_ref()[range];
+        assert!(range.start <= range.end, "Bytes: inverted slice range");
+        assert!(range.end <= self.len(), "Bytes: slice out of bounds");
         Bytes {
-            data: Arc::from(view),
-            pos: 0,
+            data: Arc::clone(&self.data),
+            pos: self.pos + range.start,
+            end: self.pos + range.end,
         }
     }
 
@@ -94,7 +105,7 @@ impl Default for Bytes {
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.pos..self.end]
     }
 }
 
@@ -108,9 +119,11 @@ impl Eq for Bytes {}
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
         Bytes {
             data: Arc::from(v.into_boxed_slice()),
             pos: 0,
+            end,
         }
     }
 }
@@ -182,9 +195,11 @@ impl BytesMut {
     /// long-lived encoder reuses one builder allocation across frames
     /// instead of growing a fresh `BytesMut` per frame.
     pub fn take_frame(&mut self) -> Bytes {
+        let end = self.data.len();
         let frame = Bytes {
             data: Arc::from(&self.data[..]),
             pos: 0,
+            end,
         };
         self.data.clear();
         frame
@@ -194,6 +209,12 @@ impl BytesMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -226,6 +247,27 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.get_u8(), 2);
         assert_eq!(f.len(), 4, "slicing does not consume the source");
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[10, 20, 30, 40, 50]);
+        let f = b.freeze();
+        let s = f.slice(1..4);
+        assert_eq!(s.as_ref(), &[20, 30, 40]);
+        // Zero-copy: the view points into the same allocation.
+        assert!(std::ptr::eq(&f.as_ref()[1], &s.as_ref()[0]));
+        let mut nested = s.slice(1..2);
+        assert_eq!(nested.get_u8(), 30);
+        assert_eq!(nested.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let f = Bytes::from(vec![1, 2, 3]);
+        let _ = f.slice(1..5);
     }
 
     #[test]
