@@ -8,7 +8,8 @@
 
 use bench::{
     churn, cluster_roundtrips, copyset_churn, effectbuf_alloc_run, effectbuf_reuse_run, flood_run,
-    freeze_lut_run, freeze_scan_run, sample_messages, socket_roundtrips, socket_workload_run,
+    freeze_lut_run, freeze_scan_run, recovery_latency_run, sample_messages, socket_roundtrips,
+    socket_workload_run,
 };
 use dlm_cluster::codec::{decode, encode_into};
 use dlm_cluster::{ClusterConfig, FaultConfig, ReliableConfig, TransportKind};
@@ -218,6 +219,18 @@ fn main() {
             });
             results.push((label.into(), ns / n as f64));
         }
+    }
+
+    // 3c3. Crash recovery: wall-clock from killing the token holder of a
+    //      4-member in-process cluster to a survivor's first Write grant
+    //      in the regenerated epoch (scan → plan → repair wave → R1
+    //      re-reports → token regeneration). Gated by
+    //      scripts/bench_gate.sh; full budget under BENCH_SMOKE.
+    {
+        let ms = best_ns(5, || {
+            std::hint::black_box(recovery_latency_run(4));
+        }) / 1e6;
+        results.push(("recovery_latency_ms".into(), ms));
     }
 
     // 3c2. The same exchange over a **real kernel socket**: write-lock

@@ -139,17 +139,24 @@ pub fn permute_state(state: &State, perm: &[u32]) -> State {
     for (&(lock, from, to), q) in &state.channels {
         channels.insert(
             (lock, perm[from as usize], perm[to as usize]),
-            q.iter().map(|m| m.relabeled(map)).collect(),
+            q.iter()
+                .map(|(epoch, m)| (*epoch, m.relabeled(map)))
+                .collect(),
         );
     }
     let mut pos = state.pos.clone();
     for (i, &p) in state.pos.iter().enumerate() {
         pos[perm[i] as usize] = p;
     }
+    let mut crashed = state.crashed.clone();
+    for (i, &c) in state.crashed.iter().enumerate() {
+        crashed[perm[i] as usize] = c;
+    }
     State {
         nodes,
         channels,
         pos,
+        crashed,
     }
 }
 

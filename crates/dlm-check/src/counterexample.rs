@@ -3,7 +3,7 @@
 
 use crate::scenario::Scenario;
 use crate::state::{Action, State};
-use dlm_core::{audit, AuditError, Message, Mode};
+use dlm_core::{AuditError, Message, Mode};
 use dlm_trace::{Stamp, TraceRecord, VecRecorder};
 
 /// A replayable schedule: the exact sequence of actions (deliveries and
@@ -71,15 +71,11 @@ pub fn replay(scenario: &Scenario, schedule: &Schedule) -> Replay {
     let last = states.last().unwrap();
     let mut final_errors = Vec::new();
     for lock in 0..last.locks() {
-        final_errors.extend(audit(
-            &last.nodes[lock],
-            &last.in_flight(lock as u32),
-            false,
-        ));
+        final_errors.extend(last.audit_lock(lock as u32, false));
     }
     if last.quiet() {
-        for lock_nodes in &last.nodes {
-            for e in audit(lock_nodes, &[], true) {
+        for lock in 0..last.locks() {
+            for e in last.audit_lock(lock as u32, true) {
                 if !final_errors.contains(&e) {
                     final_errors.push(e);
                 }
@@ -140,6 +136,24 @@ fn describe_message(m: &Message) -> String {
             format!("release(owned→{}, ack {ack})", mode_str(*new_owned))
         }
         Message::SetFrozen { modes } => format!("set-frozen({modes:?})"),
+        Message::Recover {
+            dead,
+            new_root,
+            epoch,
+            ..
+        } => format!("recover(dead {dead}, root {new_root}, epoch {epoch})"),
+    }
+}
+
+/// An in-flight frame with its epoch stamp (the stamp is shown only when it
+/// differs from the pre-crash generation 0, keeping crash-free walkthroughs
+/// unchanged).
+fn describe_frame(frame: &(u32, Message)) -> String {
+    let (epoch, message) = frame;
+    if *epoch == 0 {
+        describe_message(message)
+    } else {
+        format!("{}@e{epoch}", describe_message(message))
     }
 }
 
@@ -150,7 +164,7 @@ fn describe_action(state: &State, scenario: &Scenario, action: Action) -> String
                 .channels
                 .get(&(lock, from, to))
                 .and_then(|q| q.front())
-                .map(describe_message)
+                .map(describe_frame)
                 .unwrap_or_else(|| "<empty channel>".into());
             if lock == 0 {
                 format!("deliver n{from}→n{to}: {head}")
@@ -169,10 +183,16 @@ fn describe_action(state: &State, scenario: &Scenario, action: Action) -> String
 }
 
 fn render_node(state: &State, lock: usize, i: usize) -> String {
+    if state.crashed[i] {
+        return format!("n{i} ✗dead");
+    }
     let n = &state.nodes[lock][i];
     let mut s = format!("n{i}");
     if n.has_token() {
         s.push_str("[T]");
+    }
+    if n.epoch() != 0 {
+        s.push_str(&format!("@e{}", n.epoch()));
     }
     s.push_str(&format!(" held={}", mode_str(n.held())));
     if n.owned() != n.held() {
@@ -216,7 +236,7 @@ fn render_state(state: &State) -> String {
             .channels
             .iter()
             .map(|(&(l, f, t), q)| {
-                let msgs: Vec<String> = q.iter().map(describe_message).collect();
+                let msgs: Vec<String> = q.iter().map(describe_frame).collect();
                 if l == 0 {
                     format!("n{f}→n{t}: {}", msgs.join(", "))
                 } else {

@@ -349,7 +349,7 @@ impl Shared<'_> {
         }
         results.terminals += 1;
         let stuck_scripts: Vec<usize> = (0..state.pos.len())
-            .filter(|&i| state.pos[i] < self.scenario.scripts[i].len())
+            .filter(|&i| state.pos[i] < self.scenario.scripts[i].len() && !state.crashed[i])
             .collect();
         let waiting = waiting_nodes(state);
         if !stuck_scripts.is_empty() || !waiting.is_empty() {

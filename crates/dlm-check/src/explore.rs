@@ -43,7 +43,7 @@ use crate::canon::{Canonicalize, SymmetryGroup};
 use crate::counterexample::Schedule;
 use crate::scenario::Scenario;
 use crate::state::{Action, State};
-use dlm_core::{audit, frozen_residue, AuditError, Fingerprint};
+use dlm_core::{frozen_residue, AuditError, Fingerprint};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -292,38 +292,48 @@ pub fn explore(scenario: &Scenario, max_states: usize) -> CheckReport {
 }
 
 /// Explore `scenario` under explicit [`Options`].
+///
+/// Scenarios containing a crash op always use the exhaustive search: a
+/// crash transition runs the view change at every survivor at once, so it
+/// commutes with nothing and the partial-order reduction would be unsound
+/// under its node-keyed dependence relation.
 pub fn explore_with(scenario: &Scenario, opts: Options) -> CheckReport {
     assert_eq!(scenario.scripts.len(), scenario.parents.len());
     match opts.reduction {
         Reduction::Off => bfs(scenario, opts),
+        Reduction::On if scenario.has_crash() => bfs(scenario, opts),
         Reduction::On => crate::dpor::run(scenario, opts),
     }
 }
 
 /// Audit every lock object of `state` (each is an independent protocol
-/// instance with its own in-flight messages).
+/// instance with its own in-flight messages; crashed nodes are excluded).
 pub(crate) fn audit_state(state: &State, quiescent: bool) -> Vec<AuditError> {
     let mut errors = Vec::new();
     for lock in 0..state.locks() {
-        errors.extend(audit(
-            &state.nodes[lock],
-            &state.in_flight(lock as u32),
-            quiescent,
-        ));
+        errors.extend(state.audit_lock(lock as u32, quiescent));
     }
     errors
 }
 
-/// Freeze-convergence residue across every lock object.
+/// Freeze-convergence residue across every lock object. A crashed node
+/// frozen at the moment of death stays frozen forever — that is not a
+/// convergence failure (survivors reset their freeze state in the R1
+/// repair, so residue on a *survivor* is still a real violation).
 pub(crate) fn frozen_residue_state(state: &State) -> Vec<AuditError> {
     let mut errors = Vec::new();
     for lock_nodes in &state.nodes {
-        errors.extend(frozen_residue(lock_nodes));
+        errors.extend(frozen_residue(lock_nodes).into_iter().filter(|e| {
+            !matches!(e, AuditError::FrozenResidue { node, .. }
+                if state.crashed[node.index()])
+        }));
     }
     errors
 }
 
-/// Nodes with a pending, never-granted request on any lock (sorted, deduped).
+/// Nodes with a pending, never-granted request on any lock (sorted,
+/// deduped). A crashed node's pending request is not a wait — nobody is
+/// waiting on the answer.
 pub(crate) fn waiting_nodes(state: &State) -> Vec<u32> {
     let mut waiting: Vec<u32> = state
         .nodes
@@ -331,8 +341,9 @@ pub(crate) fn waiting_nodes(state: &State) -> Vec<u32> {
         .flat_map(|lock_nodes| {
             lock_nodes
                 .iter()
-                .filter(|nd| nd.pending().is_some())
-                .map(|nd| nd.id().0)
+                .enumerate()
+                .filter(|(i, nd)| nd.pending().is_some() && !state.crashed[*i])
+                .map(|(_, nd)| nd.id().0)
         })
         .collect();
     waiting.sort_unstable();
@@ -557,7 +568,8 @@ impl Ctx<'_> {
         }
         let enabled = state.enabled_actions(self.scenario);
         if enabled.is_empty() {
-            let stuck = (0..state.pos.len()).any(|i| state.pos[i] < self.scenario.scripts[i].len());
+            let stuck = (0..state.pos.len())
+                .any(|i| state.pos[i] < self.scenario.scripts[i].len() && !state.crashed[i]);
             if stuck || !waiting_nodes(&state).is_empty() {
                 my_pending.push(Pending::DeadEnd { fp, len: depth });
             } else {
@@ -846,7 +858,7 @@ fn bfs(scenario: &Scenario, opts: Options) -> CheckReport {
         if let Pending::DeadEnd { fp, .. } = p {
             let (schedule, end) = resolve.path_to(fp);
             let stuck_scripts: Vec<usize> = (0..end.pos.len())
-                .filter(|&i| end.pos[i] < scenario.scripts[i].len())
+                .filter(|&i| end.pos[i] < scenario.scripts[i].len() && !end.crashed[i])
                 .collect();
             report.deadlocks.push(Deadlock {
                 stuck_scripts,

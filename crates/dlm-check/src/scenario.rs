@@ -23,6 +23,14 @@ pub enum Op {
     ReleaseOn(u32),
     /// Rule 7 upgrade on the named lock.
     UpgradeOn(u32),
+    /// This node crashes: its inbound frames are dropped, its outbound
+    /// frames stay in flight (stamped with the old epoch, to be fenced),
+    /// and the surviving nodes atomically run the DESIGN.md §17 view change
+    /// on **every** lock object — epoch bump, tree flatten, token
+    /// regeneration when the token died with this node. Enabled while at
+    /// least one other node is still alive. Ops after `Crash` in the same
+    /// script never run.
+    Crash,
 }
 
 /// The lock-independent body of an [`Op`].
@@ -31,23 +39,26 @@ pub(crate) enum OpKind {
     Acquire(Mode),
     Release,
     Upgrade,
+    Crash,
 }
 
 impl Op {
     /// The lock object this op acts on.
     pub fn lock(&self) -> u32 {
         match *self {
-            Op::Acquire(_) | Op::Release | Op::Upgrade => 0,
+            Op::Acquire(_) | Op::Release | Op::Upgrade | Op::Crash => 0,
             Op::AcquireOn(l, _) | Op::ReleaseOn(l) | Op::UpgradeOn(l) => l,
         }
     }
 
-    /// Split into (lock, kind).
+    /// Split into (lock, kind). A `Crash` spans every lock; its nominal
+    /// lock is 0.
     pub(crate) fn parts(&self) -> (u32, OpKind) {
         match *self {
             Op::Acquire(m) => (0, OpKind::Acquire(m)),
             Op::Release => (0, OpKind::Release),
             Op::Upgrade => (0, OpKind::Upgrade),
+            Op::Crash => (0, OpKind::Crash),
             Op::AcquireOn(l, m) => (l, OpKind::Acquire(m)),
             Op::ReleaseOn(l) => (l, OpKind::Release),
             Op::UpgradeOn(l) => (l, OpKind::Upgrade),
@@ -62,6 +73,7 @@ impl std::fmt::Display for Op {
             OpKind::Acquire(m) => write!(f, "acquire({m})")?,
             OpKind::Release => write!(f, "release")?,
             OpKind::Upgrade => write!(f, "upgrade")?,
+            OpKind::Crash => return write!(f, "crash"),
         }
         if lock != 0 {
             write!(f, "@L{lock}")?;
@@ -153,6 +165,17 @@ impl Scenario {
             .unwrap_or(1);
         self.locks = self.locks.max(needed);
         self
+    }
+
+    /// True when any script contains a [`Op::Crash`]. Crash transitions
+    /// execute at every survivor at once, so they commute with nothing;
+    /// the DPOR search falls back to the exhaustive search for such
+    /// scenarios (see [`crate::explore_with`]).
+    pub fn has_crash(&self) -> bool {
+        self.scripts
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, Op::Crash))
     }
 
     /// This scenario with (at least) `locks` lock objects.

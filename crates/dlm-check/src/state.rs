@@ -61,14 +61,22 @@ pub struct State {
     /// set (the common multi-lock deployment the paper's §1 motivates: one
     /// hierarchy per lockable resource).
     pub nodes: Vec<Vec<HierNode>>,
-    /// FIFO per ordered channel `(lock, from, to)`. Empty channels are
-    /// removed so the map is canonical. Keying by lock makes links
-    /// per-lock-FIFO rather than per-pair-FIFO — a relaxation of a shared
-    /// transport that covers strictly more interleavings, so anything
-    /// verified here also holds on a multiplexed link.
-    pub channels: BTreeMap<(u32, u32, u32), VecDeque<Message>>,
+    /// FIFO per ordered channel `(lock, from, to)`. Each in-flight frame is
+    /// `(epoch, message)` — stamped with the sender's epoch at transmit
+    /// time, exactly as the cluster transport stamps its correlation
+    /// header; delivery goes through the Rule R3 fence
+    /// ([`HierNode::on_frame_into`]). Empty channels are removed so the map
+    /// is canonical. Keying by lock makes links per-lock-FIFO rather than
+    /// per-pair-FIFO — a relaxation of a shared transport that covers
+    /// strictly more interleavings, so anything verified here also holds on
+    /// a multiplexed link.
+    pub channels: BTreeMap<(u32, u32, u32), VecDeque<(u32, Message)>>,
     /// Next unexecuted op per node (scripts are per node, spanning locks).
     pub pos: Vec<usize>,
+    /// `crashed[i]` — node `i` executed its [`OpKind::Crash`] op: it takes
+    /// no further transitions, frames addressed to it vanish, and it is
+    /// excluded from audits and deadlock detection.
+    pub crashed: Vec<bool>,
 }
 
 /// The result of applying one [`Action`].
@@ -76,13 +84,17 @@ pub struct Step {
     /// The successor state.
     pub state: State,
     /// The effects the executing node returned (sends already absorbed
-    /// into `state.channels`, in order).
+    /// into `state.channels`, in order). Empty for fenced deliveries and
+    /// crash transitions.
     pub effects: Vec<Effect>,
     /// Per-lock FIFO grant-order violations committed by this transition
     /// (checked against the executing node's pre-transition queue).
     pub fifo_errors: Vec<AuditError>,
-    /// The lock object the transition executed on.
+    /// The lock object the transition executed on (0 for a crash, which
+    /// spans every lock).
     pub lock: u32,
+    /// A delivery was dropped by the Rule R3 epoch fence.
+    pub fenced: bool,
 }
 
 impl State {
@@ -99,6 +111,7 @@ impl State {
             nodes,
             channels: BTreeMap::new(),
             pos: vec![0; scenario.parents.len()],
+            crashed: vec![false; scenario.parents.len()],
         }
     }
 
@@ -129,12 +142,16 @@ impl State {
             h.write_u32(from);
             h.write_u32(to);
             h.write_usize(q.len());
-            for m in q {
+            for (epoch, m) in q {
+                h.write_u32(*epoch);
                 h.write(m);
             }
         }
         for &p in &self.pos {
             h.write_usize(p);
+        }
+        for &c in &self.crashed {
+            h.write_u32(c as u32);
         }
         h.finish()
     }
@@ -145,13 +162,33 @@ impl State {
             .iter()
             .filter(|(&(l, _, _), _)| l == lock)
             .flat_map(|(&(_, from, to), q)| {
-                q.iter().map(move |m| InFlight {
+                q.iter().map(move |(epoch, m)| InFlight {
                     from: NodeId(from),
                     to: NodeId(to),
+                    epoch: *epoch,
                     message: m.clone(),
                 })
             })
             .collect()
+    }
+
+    /// Audit one lock object, excluding crashed nodes (the audit resolves
+    /// nodes by id, so a survivor-only snapshot is well-formed). Stale
+    /// frames still in flight *from* a crashed node are included — the
+    /// per-epoch token count is exactly what makes them harmless.
+    pub fn audit_lock(&self, lock: u32, quiescent: bool) -> Vec<AuditError> {
+        let in_flight = self.in_flight(lock);
+        if self.crashed.iter().any(|&c| c) {
+            let survivors: Vec<HierNode> = self.nodes[lock as usize]
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !self.crashed[i])
+                .map(|(_, n)| n.clone())
+                .collect();
+            dlm_core::audit(&survivors, &in_flight, quiescent)
+        } else {
+            dlm_core::audit(&self.nodes[lock as usize], &in_flight, quiescent)
+        }
     }
 
     /// True when nothing is in flight on any lock (part of the terminal
@@ -162,6 +199,9 @@ impl State {
 
     /// Whether node `i`'s next script op is currently enabled.
     pub fn script_enabled(&self, scenario: &Scenario, i: usize) -> bool {
+        if self.crashed[i] {
+            return false;
+        }
         let Some(op) = scenario.scripts[i].get(self.pos[i]) else {
             return false;
         };
@@ -171,6 +211,9 @@ impl State {
             OpKind::Acquire(_) => node.held() == Mode::NoLock && node.pending().is_none(),
             OpKind::Release => node.held() != Mode::NoLock && !node.pending_is_upgrade(),
             OpKind::Upgrade => node.held() == Mode::Upgrade && node.pending().is_none(),
+            // Crashing the last live node leaves no survivor to regenerate
+            // the token — not a meaningful schedule.
+            OpKind::Crash => self.crashed.iter().enumerate().any(|(j, &c)| j != i && !c),
         }
     }
 
@@ -220,16 +263,28 @@ impl State {
                     .channels
                     .get_mut(&(lock, from, to))
                     .expect("delivery on existing channel");
-                let message = q.pop_front().expect("delivery from non-empty channel");
+                let (epoch, message) = q.pop_front().expect("delivery from non-empty channel");
                 if q.is_empty() {
                     next.channels.remove(&(lock, from, to));
                 }
-                next.nodes[lock as usize][to as usize].on_message_into(
+                let accepted = next.nodes[lock as usize][to as usize].on_frame_into(
                     NodeId(from),
+                    epoch,
                     message.clone(),
                     &mut buf,
                     obs,
                 );
+                if !accepted {
+                    // Rule R3 fence: the frame is dropped, nothing changed
+                    // but the channel.
+                    return Step {
+                        state: next,
+                        effects: Vec::new(),
+                        fifo_errors: Vec::new(),
+                        lock,
+                        fenced: true,
+                    };
+                }
                 (lock, Some(message))
             }
             Action::Script { node } => {
@@ -237,6 +292,16 @@ impl State {
                 assert!(self.script_enabled(scenario, i), "script op not enabled");
                 let (lock, kind) = scenario.scripts[i][self.pos[i]].parts();
                 next.pos[i] += 1;
+                if matches!(kind, OpKind::Crash) {
+                    next.crash(i, obs);
+                    return Step {
+                        state: next,
+                        effects: Vec::new(),
+                        fifo_errors: Vec::new(),
+                        lock: 0,
+                        fenced: false,
+                    };
+                }
                 let node_state = &mut next.nodes[lock as usize][i];
                 match kind {
                     OpKind::Acquire(mode) => node_state
@@ -248,18 +313,17 @@ impl State {
                     OpKind::Upgrade => node_state
                         .on_upgrade_into(&mut buf, obs)
                         .expect("enabled upgrade"),
+                    OpKind::Crash => unreachable!("handled above"),
                 };
                 (lock, None)
             }
         };
         let pre = &self.nodes[lock as usize][executor];
         let effects = buf.take_vec();
+        let sender_epoch = next.nodes[lock as usize][executor].epoch();
         for effect in &effects {
             if let Effect::Send { to, message } = effect {
-                next.channels
-                    .entry((lock, action.node(), to.0))
-                    .or_default()
-                    .push_back(message.clone());
+                next.absorb_send(lock, executor as u32, to.0, sender_epoch, message.clone());
             }
             // Granted/Upgraded are implicit in node state (held mode).
         }
@@ -270,6 +334,69 @@ impl State {
             effects,
             fifo_errors,
             lock,
+            fenced: false,
+        }
+    }
+
+    /// Append a send to its channel, stamped with the sender's epoch.
+    /// Frames addressed to a crashed node vanish (a dead host receives
+    /// nothing), keeping the channel map free of undeliverable entries.
+    fn absorb_send(&mut self, lock: u32, from: u32, to: u32, epoch: u32, message: Message) {
+        if self.crashed[to as usize] {
+            return;
+        }
+        self.channels
+            .entry((lock, from, to))
+            .or_default()
+            .push_back((epoch, message));
+    }
+
+    /// The crash transition (see [`crate::scenario::Op::Crash`]): node
+    /// `dead` stops, its inbound frames vanish, its outbound frames remain
+    /// in flight at the old epoch, and every survivor runs the §17 view
+    /// change on every lock — mirroring a cluster whose failure detector
+    /// has fired at each member. Per lock, the new root is the surviving
+    /// holder at the highest epoch when one exists, otherwise the lowest
+    /// surviving id, exactly as `dlm_cluster::plan_recovery` plans it.
+    fn crash(&mut self, dead: usize, obs: &mut dyn dlm_core::Observer) {
+        self.crashed[dead] = true;
+        self.channels.retain(|&(_, _, to), _| to != dead as u32);
+        let survivors: Vec<NodeId> = (0..self.node_count())
+            .filter(|&i| !self.crashed[i])
+            .map(|i| NodeId(i as u32))
+            .collect();
+        for lock in 0..self.locks() {
+            let max_epoch = survivors
+                .iter()
+                .map(|s| self.nodes[lock][s.index()].epoch())
+                .max()
+                .unwrap_or(0);
+            let new_root = survivors
+                .iter()
+                .copied()
+                .find(|s| {
+                    let n = &self.nodes[lock][s.index()];
+                    n.has_token() && n.epoch() == max_epoch
+                })
+                .unwrap_or(survivors[0]);
+            let new_epoch = max_epoch + 1;
+            for &s in &survivors {
+                let mut buf = dlm_core::EffectBuf::new();
+                self.nodes[lock][s.index()].on_peer_down_into(
+                    NodeId(dead as u32),
+                    new_root,
+                    new_epoch,
+                    &survivors,
+                    &mut buf,
+                    &mut *obs,
+                );
+                let epoch = self.nodes[lock][s.index()].epoch();
+                for effect in buf.drain() {
+                    if let Effect::Send { to, message } = effect {
+                        self.absorb_send(lock as u32, s.0, to.0, epoch, message);
+                    }
+                }
+            }
         }
     }
 }

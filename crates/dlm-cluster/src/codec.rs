@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! u32  lock id
-//! u8   message tag (1=Request 2=Grant 3=Token 4=Release 5=SetFrozen)
+//! u8   message tag (1=Request 2=Grant 3=Token 4=Release 5=SetFrozen 6=Recover)
 //! ...  tag-specific payload
 //! ```
 //!
@@ -21,9 +21,14 @@
 //! u32  lock id
 //! u64  request id  (0 = uncorrelated)
 //! u16  causal hop count of this frame
+//! u32  sender's epoch for this lock (crash recovery, DESIGN.md §17)
 //! u8   message tag
 //! ...  tag-specific payload
 //! ```
+//!
+//! The epoch stamp lives in the frame header, not in the message body: the
+//! receiver fences a mismatched stamp *before* interpreting the payload,
+//! exactly like `HierNode::on_frame_into`.
 //!
 //! Correlation lives in the frame header — not in `dlm_core::Message` — so
 //! the protocol state machine, its structural fingerprints, and the model
@@ -160,12 +165,14 @@ pub fn encode_into(lock: LockId, message: &Message, scratch: &mut BytesMut) -> B
 }
 
 /// Encode `(lock, message)` with the request-correlation header: `req` is the
-/// request id whose causal chain this frame extends (0 = uncorrelated) and
-/// `hops` is the frame's causal depth (1 = the requester's own first send).
+/// request id whose causal chain this frame extends (0 = uncorrelated),
+/// `hops` is the frame's causal depth (1 = the requester's own first send)
+/// and `epoch` is the sender's crash-recovery epoch for this lock.
 pub fn encode_corr_into(
     lock: LockId,
     req: u64,
     hops: u16,
+    epoch: u32,
     message: &Message,
     scratch: &mut BytesMut,
 ) -> Bytes {
@@ -174,13 +181,21 @@ pub fn encode_corr_into(
     buf.put_u32_le(lock.0);
     buf.put_u64_le(req);
     buf.put_u16_le(hops);
+    buf.put_u32_le(epoch);
     put_body(buf, message);
     buf.take_frame()
 }
 
 /// Allocating convenience wrapper over [`encode_corr_into`] (tests, tools).
-pub fn encode_corr(lock: LockId, req: u64, hops: u16, message: &Message) -> Bytes {
-    encode_corr_into(lock, req, hops, message, &mut BytesMut::with_capacity(48))
+pub fn encode_corr(lock: LockId, req: u64, hops: u16, epoch: u32, message: &Message) -> Bytes {
+    encode_corr_into(
+        lock,
+        req,
+        hops,
+        epoch,
+        message,
+        &mut BytesMut::with_capacity(48),
+    )
 }
 
 fn put_body(buf: &mut BytesMut, message: &Message) {
@@ -217,6 +232,21 @@ fn put_body(buf: &mut BytesMut, message: &Message) {
             buf.put_u8(5);
             put_modeset(buf, *modes);
         }
+        Message::Recover {
+            dead,
+            new_root,
+            epoch,
+            survivors,
+        } => {
+            buf.put_u8(6);
+            buf.put_u32_le(dead.0);
+            buf.put_u32_le(new_root.0);
+            buf.put_u32_le(*epoch);
+            buf.put_u16_le(survivors.len() as u16);
+            for s in survivors {
+                buf.put_u32_le(s.0);
+            }
+        }
     }
 }
 
@@ -230,16 +260,17 @@ pub fn decode(mut frame: Bytes) -> Result<(LockId, Message), DecodeError> {
     Ok((lock, message))
 }
 
-/// Decode a correlated frame back into `(lock, req, hops, message)`.
-pub fn decode_corr(mut frame: Bytes) -> Result<(LockId, u64, u16, Message), DecodeError> {
-    if frame.remaining() < 15 {
+/// Decode a correlated frame back into `(lock, req, hops, epoch, message)`.
+pub fn decode_corr(mut frame: Bytes) -> Result<(LockId, u64, u16, u32, Message), DecodeError> {
+    if frame.remaining() < 19 {
         return Err(DecodeError::Truncated);
     }
     let lock = LockId(frame.get_u32_le());
     let req = frame.get_u64_le();
     let hops = frame.get_u16_le();
+    let epoch = frame.get_u32_le();
     let message = get_body(&mut frame)?;
-    Ok((lock, req, hops, message))
+    Ok((lock, req, hops, epoch, message))
 }
 
 fn get_body(frame: &mut Bytes) -> Result<Message, DecodeError> {
@@ -282,6 +313,25 @@ fn get_body(frame: &mut Bytes) -> Result<Message, DecodeError> {
         5 => Message::SetFrozen {
             modes: get_modeset(frame)?,
         },
+        6 => {
+            if frame.remaining() < 14 {
+                return Err(DecodeError::Truncated);
+            }
+            let dead = NodeId(frame.get_u32_le());
+            let new_root = NodeId(frame.get_u32_le());
+            let epoch = frame.get_u32_le();
+            let len = frame.get_u16_le() as usize;
+            if frame.remaining() < len * 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let survivors = (0..len).map(|_| NodeId(frame.get_u32_le())).collect();
+            Message::Recover {
+                dead,
+                new_root,
+                epoch,
+                survivors,
+            }
+        }
         t => return Err(DecodeError::BadTag(t)),
     };
     Ok(message)
@@ -415,6 +465,15 @@ mod tests {
                 modes: ModeSet::ALL,
             },
         );
+        round_trip(
+            LockId(4),
+            Message::Recover {
+                dead: NodeId(3),
+                new_root: NodeId(0),
+                epoch: 9,
+                survivors: vec![NodeId(0), NodeId(1), NodeId(2)],
+            },
+        );
     }
 
     #[test]
@@ -458,20 +517,21 @@ mod tests {
             priority: 3,
         });
         let req = (7u64 << 32) | 42;
-        let frame = encode_corr(LockId(11), req, 5, &msg);
+        let frame = encode_corr(LockId(11), req, 5, 2, &msg);
         // Lock id stays in bytes 0..4 so `peek_lock` works on either layout.
         assert_eq!(&frame.as_ref()[0..4], &11u32.to_le_bytes());
-        let (lock, r, hops, m) = decode_corr(frame).expect("decodes");
+        let (lock, r, hops, epoch, m) = decode_corr(frame).expect("decodes");
         assert_eq!(lock, LockId(11));
         assert_eq!(r, req);
         assert_eq!(hops, 5);
+        assert_eq!(epoch, 2);
         assert_eq!(m, msg);
     }
 
     #[test]
     fn corr_truncated_frames_error() {
-        let frame = encode_corr(LockId(0), 1, 1, &Message::Grant { mode: Mode::Read });
-        assert_eq!(frame.len(), 16, "corr grant frame is 16 bytes");
+        let frame = encode_corr(LockId(0), 1, 1, 0, &Message::Grant { mode: Mode::Read });
+        assert_eq!(frame.len(), 20, "corr grant frame is 20 bytes");
         for cut in 0..frame.len() {
             assert!(
                 decode_corr(frame.slice(0..cut)).is_err(),
@@ -492,6 +552,7 @@ mod tests {
                     LockId(i),
                     (3u64 << 32) | (i as u64 + 1),
                     i as u16,
+                    i,
                     &Message::Grant { mode: Mode::Read },
                 )
             })
@@ -505,17 +566,18 @@ mod tests {
         assert_eq!(out.len(), 5);
         for (i, sub) in out.into_iter().enumerate() {
             assert_eq!(sub, frames[i], "sub-frame {i} byte-identical");
-            let (lock, req, hops, msg) = decode_corr(sub).expect("sub-frame decodes");
+            let (lock, req, hops, epoch, msg) = decode_corr(sub).expect("sub-frame decodes");
             assert_eq!(lock, LockId(i as u32));
             assert_eq!(req, (3u64 << 32) | (i as u64 + 1));
             assert_eq!(hops, i as u16);
+            assert_eq!(epoch, i as u32);
             assert_eq!(msg, Message::Grant { mode: Mode::Read });
         }
     }
 
     #[test]
     fn container_truncations_and_bad_shapes_error() {
-        let frames = vec![encode_corr(LockId(1), 7, 1, &Message::Grant { mode: Mode::Read }); 3];
+        let frames = vec![encode_corr(LockId(1), 7, 1, 0, &Message::Grant { mode: Mode::Read }); 3];
         let mut scratch = BytesMut::new();
         let container = encode_container_into(&frames, &mut scratch);
         let mut out = Vec::new();

@@ -32,6 +32,11 @@ pub enum ClusterError {
     Overloaded,
     /// The node thread is gone (cluster shut down).
     Disconnected,
+    /// The lock's worker died mid-operation — its node crashed (or the
+    /// worker thread panicked) while this operation was queued or waiting.
+    /// The failure detector ([`crate::Cluster::suspects`]) will flag the
+    /// node; the operation can be retried on a survivor after recovery.
+    WorkerDied,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -47,6 +52,9 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "shard ingress queue is full; operation shed")
             }
             ClusterError::Disconnected => write!(f, "cluster is shut down"),
+            ClusterError::WorkerDied => {
+                write!(f, "the lock's worker died (node crash or worker panic)")
+            }
         }
     }
 }

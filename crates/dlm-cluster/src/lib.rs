@@ -49,9 +49,9 @@ pub mod socket;
 pub mod transport;
 
 pub use handle::{ClusterError, Completion, NodeHandle, Pipeline};
-pub use node::{audit_process_states, Node, NodeConfig, NodeReport};
+pub use node::{audit_process_states, audit_surviving_states, Node, NodeConfig, NodeReport};
 pub use reliable::{ReliableConfig, TransportClass};
-pub use runtime::{Cluster, ClusterConfig, ClusterReport, LinkReport};
+pub use runtime::{plan_recovery, Cluster, ClusterConfig, ClusterReport, LinkReport, ScanReport};
 pub use socket::{SocketConfig, SocketMode, SocketTransport};
 pub use transport::{FaultConfig, SocketLinkStat, TransportKind};
 

@@ -35,6 +35,7 @@ use crate::shard::{effective_shards, ShardGate};
 use crate::socket::{SocketConfig, SocketTransport};
 use crate::transport::Transport;
 use crate::NodeHandle;
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use dlm_core::{audit, AuditError, HierNode, NodeId, ProtocolConfig};
 use dlm_metrics::Histogram;
@@ -69,8 +70,16 @@ pub struct NodeReport {
     /// This member's final per-lock protocol states (only locks it ever
     /// touched).
     pub states: Vec<(u32, HierNode)>,
-    /// Frames that arrived but could not be decoded.
+    /// Frames that arrived but could not be decoded — payload-level
+    /// failures counted by the workers plus wire-level reassembly failures
+    /// counted by the socket transport.
     pub decode_errors: u64,
+    /// Stale-generation frames fenced by epoch rule R3 (see
+    /// [`crate::ClusterReport::frames_fenced`]).
+    pub frames_fenced: u64,
+    /// Worker threads that panicked instead of returning state at
+    /// shutdown (see [`crate::ClusterReport::workers_died`]).
+    pub workers_died: u64,
     /// Completion replies whose application-side receiver had gone away.
     pub replies_dropped: u64,
     /// Per-link reliability/coalescing/wire counters involving this member.
@@ -147,6 +156,7 @@ impl Node {
         let metrics: Vec<Arc<Mutex<NodeMetrics>>> = (0..shards)
             .map(|_| Arc::new(Mutex::new(NodeMetrics::default())))
             .collect();
+        let beats: Arc<Vec<AtomicU64>> = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
         let mut joins = Vec::with_capacity(shards);
         for (shard, (_, rx)) in channels.into_iter().enumerate() {
             let link: Arc<dyn Transport> = transport.clone();
@@ -156,6 +166,7 @@ impl Node {
             let dropped = Arc::clone(&replies_dropped);
             let gate = Arc::clone(&gates[shard]);
             let metrics = Arc::clone(&metrics[shard]);
+            let shard_beats = Arc::clone(&beats);
             let cfg = cluster;
             let join = std::thread::Builder::new()
                 .name(format!("dlm-proc-{me}.{shard}"))
@@ -174,6 +185,8 @@ impl Node {
                         epoch,
                         metrics,
                         gate,
+                        shard_beats,
+                        shard,
                     )
                 })
                 .expect("spawn worker thread");
@@ -269,7 +282,9 @@ impl Node {
         let mut states: HashMap<u32, HierNode> = HashMap::new();
         let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len() + 1);
         let mut trace_dropped = transport_report.trace_dropped;
-        let mut decode_errors = 0;
+        let mut decode_errors = transport_report.wire_decode_errors;
+        let mut frames_fenced = 0;
+        let mut workers_died: u64 = 0;
         let mut snaps: Vec<PeerSnapshot> = Vec::new();
         let mut coalesce: Vec<CoalesceStat> = Vec::new();
         let mut acquire_latency = Histogram::new();
@@ -280,11 +295,20 @@ impl Node {
             acquire_hops.merge(&m.acquire_hops);
         }
         for join in self.joins {
-            let exit = join.join().expect("worker thread panicked");
+            // A panicked worker is reported, not propagated; its shard's
+            // state is gone, exactly as if it crashed.
+            let exit = match join.join() {
+                Ok(exit) => exit,
+                Err(_) => {
+                    workers_died += 1;
+                    continue;
+                }
+            };
             states.extend(exit.locks);
             traces.push(exit.trace);
             trace_dropped += exit.trace_dropped;
             decode_errors += exit.decode_errors;
+            frames_fenced += exit.frames_fenced;
             snaps.extend(exit.links);
             coalesce.extend(exit.coalesce);
         }
@@ -297,6 +321,8 @@ impl Node {
             messages_sent: self.messages.load(Ordering::Relaxed),
             states,
             decode_errors,
+            frames_fenced,
+            workers_died,
             replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
             links: merge_links(
                 &per_node,
@@ -315,6 +341,90 @@ impl Node {
     pub fn shards(&self) -> usize {
         self.shards
     }
+
+    /// Simulate this member's crash: its workers abandon their protocol
+    /// state and fail waiting callers with
+    /// [`crate::ClusterError::WorkerDied`], and the wire is torn down so
+    /// peers observe the TCP connections dying *now* — their
+    /// [`Node::suspects`] detectors flag this member. Consumes the node;
+    /// a dead member reports nothing.
+    pub fn crash(self) {
+        for tx in &self.inputs {
+            let _ = tx.send(Input::Die);
+        }
+        let _ = self.transport.shutdown();
+        for tx in &self.inputs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        for join in self.joins {
+            let _ = join.join();
+        }
+    }
+
+    /// Report `(lock, has_token, epoch)` for every lock this member hosts;
+    /// `(self.id(), self.scan_locks())` is one input row for
+    /// [`crate::plan_recovery`]. Only meaningful on a quiescent member.
+    pub fn scan_locks(&self) -> Vec<(u32, bool, u32)> {
+        let (tx, rx) = unbounded();
+        for input in &self.inputs {
+            let _ = input.send(Input::Scan(tx.clone()));
+        }
+        drop(tx);
+        let mut rows = Vec::new();
+        for _ in 0..self.shards {
+            let Ok((_, mut shard_rows)) = rx.recv_timeout(Duration::from_secs(5)) else {
+                break;
+            };
+            rows.append(&mut shard_rows);
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Apply a repair wave planned by [`crate::plan_recovery`] around the
+    /// crashed member `dead` (DESIGN.md §17): isolates the dead link end,
+    /// then repairs every planned lock this member's workers own. Every
+    /// surviving member must apply the same wave; quiesce all survivors
+    /// afterwards before relying on the repaired state.
+    pub fn repair(&self, dead: u32, survivors: &[u32], plans: &[(u32, u32, u32)]) {
+        let survivors: Arc<Vec<NodeId>> = Arc::new(survivors.iter().map(|&n| NodeId(n)).collect());
+        let plans: Arc<Vec<(u32, u32, u32)>> = Arc::new(plans.to_vec());
+        for input in &self.inputs {
+            let _ = input.send(Input::Isolate { dead: NodeId(dead) });
+            let _ = input.send(Input::PeerDown {
+                dead: NodeId(dead),
+                survivors: Arc::clone(&survivors),
+                plans: Arc::clone(&plans),
+            });
+        }
+    }
+
+    /// Socket-path failure detector: peers whose TCP link to this member
+    /// has died at least once (connection reset, EOF mid-stream, or a
+    /// write failure). A killed member process shows up here on every
+    /// survivor it was connected to.
+    pub fn suspects(&self) -> Vec<u32> {
+        self.transport
+            .peer_resets()
+            .iter()
+            .enumerate()
+            .filter(|&(peer, &resets)| peer as u32 != self.me && resets > 0)
+            .map(|(peer, _)| peer as u32)
+            .collect()
+    }
+
+    /// Test hook: push a raw wire payload into this member's shard-0
+    /// worker as if node `from` had sent it, bypassing the socket (so
+    /// tests can exercise the decode-error and epoch-fence paths without a
+    /// cooperating remote).
+    #[doc(hidden)]
+    pub fn inject_frame(&self, from: u32, frame: Vec<u8>) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _ = self.inputs[0].send(Input::Net {
+            from: NodeId(from * self.shards as u32),
+            frame: Bytes::from(frame),
+        });
+    }
 }
 
 /// Audit a whole cluster from its members' reported states.
@@ -329,6 +439,21 @@ impl Node {
 pub fn audit_process_states(
     protocol: ProtocolConfig,
     states: &[Vec<(u32, HierNode)>],
+) -> Vec<AuditError> {
+    audit_surviving_states(protocol, states, &[])
+}
+
+/// [`audit_process_states`] for a cluster that lost members: `crashed`
+/// lists the member ids that died. A dead member contributes no states
+/// (pass its slot empty) and is excluded from the audit rather than
+/// synthesized fresh — resurrecting it at epoch 0 would re-create the very
+/// token the recovery's new epoch replaced. The per-lock audit runs over
+/// the survivors only (the audit resolves nodes by id, so a survivor-only
+/// snapshot is well-formed).
+pub fn audit_surviving_states(
+    protocol: ProtocolConfig,
+    states: &[Vec<(u32, HierNode)>],
+    crashed: &[u32],
 ) -> Vec<AuditError> {
     let nodes = states.len();
     let touched: BTreeSet<u32> = states
@@ -349,6 +474,7 @@ pub fn audit_process_states(
     let mut errors = Vec::new();
     for lock in touched {
         let members: Vec<HierNode> = (0..nodes)
+            .filter(|n| !crashed.contains(&(*n as u32)))
             .map(|n| {
                 by_node[n]
                     .get(&lock)

@@ -167,6 +167,10 @@ struct Peer {
     pending_ack: bool,
     dups_suppressed: u64,
     reorders_buffered: u64,
+    /// The peer is known dead ([`Endpoint::forget_peer`]): frames to it
+    /// are sent fire-and-forget (never registered for retransmission) and
+    /// nothing from it is awaited.
+    dead: bool,
 }
 
 /// Per-peer reliability counters, reported at node exit.
@@ -239,15 +243,38 @@ impl Endpoint {
         // This frame carries the freshest ack; no bare ack needed.
         peer.pending_ack = false;
         let frame = Self::build_data(&mut self.scratch, seq, peer.recv_next, &payload);
-        peer.unacked.push_back(Unacked {
-            seq,
-            lock,
-            payload,
-            due: now + rto,
-            attempts: 0,
-        });
-        self.unacked_gauge.fetch_add(1, Ordering::Relaxed);
+        // A dead peer will never ack: sending is harmless (the transport
+        // discards or the crashed worker drains it), but registering for
+        // retransmission would hold the unacked gauge — and quiescence —
+        // hostage forever.
+        if !peer.dead {
+            peer.unacked.push_back(Unacked {
+                seq,
+                lock,
+                payload,
+                due: now + rto,
+                attempts: 0,
+            });
+            self.unacked_gauge.fetch_add(1, Ordering::Relaxed);
+        }
         frame
+    }
+
+    /// Link-layer obituary for `dead`: drop every frame awaiting its ack
+    /// (releasing their claims on the unacked gauge), discard its reorder
+    /// buffer, and mark the link so future sends to it are
+    /// fire-and-forget. Idempotent; the counters survive for the final
+    /// link report.
+    pub(crate) fn forget_peer(&mut self, dead: NodeId) {
+        let Some(peer) = self.peers.get_mut(dead.index()) else {
+            return;
+        };
+        self.unacked_gauge
+            .fetch_sub(peer.unacked.len() as u64, Ordering::Relaxed);
+        peer.unacked.clear();
+        peer.reorder.clear();
+        peer.pending_ack = false;
+        peer.dead = true;
     }
 
     /// Process one incoming wire frame from `from`. In-order payloads (and
@@ -608,6 +635,7 @@ mod tests {
                     LockId(l),
                     (7 << 32) | l as u64,
                     l as u16,
+                    0,
                     &Message::Grant {
                         mode: dlm_core::Mode::Read,
                     },

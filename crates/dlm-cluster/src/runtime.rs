@@ -32,7 +32,7 @@
 use crate::codec;
 use crate::handle::{ClusterError, Completion, NodeHandle, OpKind, PipeOp, Reply};
 use crate::reliable::{Endpoint, PeerSnapshot, ReliableConfig, TransportClass};
-use crate::shard::{effective_shards, FastMap, ShardGate};
+use crate::shard::{effective_shards, shard_of, FastMap, ShardGate};
 use crate::transport::{
     Delayed, Direct, Faulty, LinkFaults, SocketLinkStat, Transport, TransportKind, TRANSPORT_LOCK,
 };
@@ -56,6 +56,11 @@ use std::time::{Duration, Instant};
 /// buffers (and reliability acks). Large enough to pack hot links well,
 /// small enough to keep retransmission ticks timely.
 const BATCH: usize = 256;
+
+/// How often an otherwise idle worker wakes to refresh its heartbeat stamp.
+/// Bounds failure-detection latency from below: [`Cluster::suspects`] should
+/// use a staleness threshold of several multiples of this.
+const HEARTBEAT: Duration = Duration::from_millis(25);
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +144,38 @@ pub(crate) enum Input {
         ops: Vec<PipeOp>,
         tx: Sender<Vec<Completion>>,
     },
+    /// Simulated node crash: the worker abandons its protocol state and
+    /// enters a silent drain loop — incoming frames are discarded and
+    /// application operations fail with [`ClusterError::WorkerDied`] —
+    /// until `Shutdown`. It stops heartbeating, which is how the failure
+    /// detector notices.
+    Die,
+    /// Link-layer obituary: stop retransmitting to (and expecting acks
+    /// from) `dead`, whose silence would otherwise hold the unacked gauge —
+    /// and with it quiescence — hostage forever.
+    Isolate { dead: NodeId },
+    /// Report `(lock, has_token, epoch)` for every lock this worker hosts,
+    /// tagged with the worker's node id. The recovery coordinator scans
+    /// survivors with this before planning a repair wave.
+    Scan(Sender<ScanReport>),
+    /// Recovery wave (DESIGN.md §17): repair every planned lock owned by
+    /// this worker around the crashed node. Plans are
+    /// `(lock, new_root, new_epoch)`.
+    PeerDown {
+        dead: NodeId,
+        survivors: Arc<Vec<NodeId>>,
+        plans: Arc<Vec<(u32, u32, u32)>>,
+    },
+    /// Test hook: panic the worker thread, exercising the shutdown path
+    /// that reports [`ClusterReport::workers_died`] instead of propagating
+    /// the panic.
+    Panic,
+    /// Test hook: tear down the registered application waiter for the
+    /// outstanding operation on `lock`, leaving the operation active in
+    /// the protocol. The caller sees its reply channel close; the grant,
+    /// when it arrives, has nobody to answer and must be counted in
+    /// [`ClusterReport::replies_dropped`] instead of panicking the worker.
+    OrphanWaiter { lock: LockId },
     /// Tear down the worker thread; it returns its protocol states.
     Shutdown,
 }
@@ -212,6 +249,17 @@ pub struct ClusterReport {
     /// bad reliability header). The receiving worker counts them and keeps
     /// serving; on a healthy in-process transport this is always 0.
     pub decode_errors: u64,
+    /// Stale-generation frames fenced by epoch rule R3 (DESIGN.md §17): a
+    /// non-`Recover` frame stamped with an epoch other than the receiving
+    /// node's was dropped without touching protocol state. Non-zero only
+    /// after a crash recovery raced in-flight traffic — which is the fence
+    /// doing its job.
+    pub frames_fenced: u64,
+    /// Worker threads that terminated by panicking instead of returning
+    /// their state at shutdown. Reported (and their states excluded from
+    /// the audit) rather than propagating the panic; the live-cluster
+    /// analogue is [`ClusterError::WorkerDied`].
+    pub workers_died: u64,
     /// Per-link reliability/coalescing/fault counters, sorted by
     /// `(from, to)`; empty when no link carried anything to report.
     pub links: Vec<LinkReport>,
@@ -247,7 +295,15 @@ pub struct Cluster {
     /// touched once per completed *operation* (not per message), so the
     /// steady-state message path never contends on it.
     metrics: Vec<Arc<Mutex<NodeMetrics>>>,
+    /// Per-worker-slot heartbeat stamps (µs since `epoch`), refreshed by
+    /// every worker loop iteration; [`Cluster::suspects`] reads them.
+    beats: Arc<Vec<AtomicU64>>,
+    epoch: Instant,
+    /// Nodes administratively crashed via [`Cluster::crash_node`]; their
+    /// final states are excluded from the shutdown audit.
+    crashed: Mutex<BTreeSet<u32>>,
     nodes: usize,
+    locks: usize,
     shards: usize,
     protocol: ProtocolConfig,
 }
@@ -280,11 +336,12 @@ pub(crate) struct CoalesceStat {
 /// What a worker thread hands back at shutdown.
 pub(crate) struct NodeExit {
     /// This shard's protocol instances, keyed by lock id (only locks the
-    /// worker ever touched).
+    /// worker ever touched; empty if the worker crashed).
     pub(crate) locks: FastMap<u32, HierNode>,
     pub(crate) trace: Vec<TraceRecord>,
     pub(crate) trace_dropped: u64,
     pub(crate) decode_errors: u64,
+    pub(crate) frames_fenced: u64,
     pub(crate) links: Vec<PeerSnapshot>,
     pub(crate) coalesce: Vec<CoalesceStat>,
 }
@@ -336,6 +393,7 @@ impl Cluster {
         let metrics: Vec<Arc<Mutex<NodeMetrics>>> = (0..slots)
             .map(|_| Arc::new(Mutex::new(NodeMetrics::default())))
             .collect();
+        let beats: Arc<Vec<AtomicU64>> = Arc::new((0..slots).map(|_| AtomicU64::new(0)).collect());
 
         let mut joins = Vec::with_capacity(slots);
         for (slot, (_, rx)) in channels.into_iter().enumerate() {
@@ -348,6 +406,7 @@ impl Cluster {
             let dropped = Arc::clone(&replies_dropped);
             let slot_metrics = Arc::clone(&metrics[slot]);
             let gate = Arc::clone(&gates[slot]);
+            let slot_beats = Arc::clone(&beats);
             let cfg = config;
             let join = std::thread::Builder::new()
                 .name(format!("dlm-node-{}.{}", me.0, shard))
@@ -366,6 +425,8 @@ impl Cluster {
                         epoch,
                         slot_metrics,
                         gate,
+                        slot_beats,
+                        slot,
                     )
                 })
                 .expect("spawn worker thread");
@@ -382,7 +443,11 @@ impl Cluster {
             in_flight,
             unacked,
             metrics,
+            beats,
+            epoch,
+            crashed: Mutex::new(BTreeSet::new()),
             nodes: config.nodes,
+            locks: config.locks,
             shards,
             protocol: config.protocol,
         }
@@ -578,6 +643,143 @@ impl Cluster {
         );
     }
 
+    /// Simulate the crash of node `id`: its workers abandon their protocol
+    /// state, fail their waiting callers with
+    /// [`ClusterError::WorkerDied`], and go silent — they stop
+    /// heartbeating (so [`Self::suspects`] flags the node) but keep
+    /// draining their input channels so the in-flight accounting stays
+    /// truthful. Every surviving worker's link layer is simultaneously
+    /// told to stop expecting acks from the dead node
+    /// ([`Input::Isolate`]), so quiescence still converges.
+    ///
+    /// The node's final state is excluded from the shutdown audit; call
+    /// [`Self::recover`] to repair the survivors around it.
+    pub fn crash_node(&self, id: u32) {
+        self.crashed.lock().expect("crashed mutex").insert(id);
+        let base = id as usize * self.shards;
+        for (slot, tx) in self.inputs.iter().enumerate() {
+            if slot >= base && slot < base + self.shards {
+                let _ = tx.send(Input::Die);
+            } else {
+                let _ = tx.send(Input::Isolate { dead: NodeId(id) });
+            }
+        }
+    }
+
+    /// Heartbeat failure detector: node ids with at least one worker whose
+    /// heartbeat stamp is older than `stale` or whose thread has
+    /// terminated outright (panicked). Healthy workers refresh their
+    /// stamps at least every 25 ms ([`HEARTBEAT`]), so thresholds of a few
+    /// hundred milliseconds give a detector with no false positives on an
+    /// unloaded machine.
+    pub fn suspects(&self, stale: Duration) -> Vec<u32> {
+        let now = self.epoch.elapsed().as_micros() as u64;
+        let stale_us = stale.as_micros() as u64;
+        let mut out = Vec::new();
+        for node in 0..self.nodes {
+            let base = node * self.shards;
+            let dead = (0..self.shards).any(|s| {
+                let slot = base + s;
+                self.joins[slot].is_finished()
+                    || now.saturating_sub(self.beats[slot].load(Ordering::Relaxed)) > stale_us
+            });
+            if dead {
+                out.push(node as u32);
+            }
+        }
+        out
+    }
+
+    /// Recover the survivors around crashed node `dead` (DESIGN.md §17):
+    ///
+    /// 1. *Quiesce* — the scan below is only race-free with no token in
+    ///    flight. (Crashed workers keep draining their channels and
+    ///    [`Self::crash_node`] already isolated the dead link ends, so
+    ///    this converges.)
+    /// 2. *Scan* — every surviving worker reports `(lock, has_token,
+    ///    epoch)` for the locks it hosts.
+    /// 3. *Plan* — per affected lock: the next epoch is one past the
+    ///    highest epoch seen, and the new root is the surviving token
+    ///    holder at that epoch if any, else the lowest-numbered survivor
+    ///    (which will regenerate the token, Rule R2). If node 0 died,
+    ///    every lock is affected: untouched locks' initial tokens lived
+    ///    there implicitly.
+    /// 4. *Repair* — broadcast the wave ([`Input::PeerDown`]) and wait for
+    ///    it to settle.
+    ///
+    /// Returns the number of locks repaired.
+    pub fn recover(&self, dead: u32) -> usize {
+        self.recover_within(dead, Duration::from_millis(20))
+    }
+
+    /// [`Self::recover`] with a caller-chosen quiescence idle window for
+    /// the settle phases (steps 1 and 4). The default 20 ms is safe margin
+    /// for chaos tests on loaded machines; latency measurements use a
+    /// tighter window so the settle constant does not drown the actual
+    /// scan/repair fan-out being measured.
+    pub fn recover_within(&self, dead: u32, idle: Duration) -> usize {
+        self.quiesce_within(idle, Duration::from_secs(10));
+        let crashed = self.crashed.lock().expect("crashed mutex").clone();
+        let survivors: Vec<NodeId> = (0..self.nodes as u32)
+            .filter(|n| !crashed.contains(n))
+            .map(NodeId)
+            .collect();
+        let (tx, rx) = unbounded();
+        let mut expected = 0usize;
+        for node in &survivors {
+            let base = node.index() * self.shards;
+            for slot in base..base + self.shards {
+                let _ = self.inputs[slot].send(Input::Scan(tx.clone()));
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let mut rows: Vec<ScanReport> = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            let Ok(row) = rx.recv_timeout(Duration::from_secs(5)) else {
+                break;
+            };
+            rows.push(row);
+        }
+        let survivor_ids: Vec<u32> = survivors.iter().map(|n| n.0).collect();
+        let plans: Arc<Vec<(u32, u32, u32)>> =
+            Arc::new(plan_recovery(&rows, dead, &survivor_ids, self.locks));
+        let survivors = Arc::new(survivors);
+        for node in survivors.iter() {
+            let base = node.index() * self.shards;
+            for slot in base..base + self.shards {
+                let _ = self.inputs[slot].send(Input::PeerDown {
+                    dead: NodeId(dead),
+                    survivors: Arc::clone(&survivors),
+                    plans: Arc::clone(&plans),
+                });
+            }
+        }
+        self.quiesce_within(idle, Duration::from_secs(10));
+        plans.len()
+    }
+
+    /// Test hook: make one worker thread of `node` panic, exercising the
+    /// shutdown path that counts [`ClusterReport::workers_died`] instead
+    /// of propagating the panic. The node's (now partial) state is
+    /// excluded from the shutdown audit, like a crashed node's.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self, node: u32) {
+        self.crashed.lock().expect("crashed mutex").insert(node);
+        let _ = self.inputs[node as usize * self.shards].send(Input::Panic);
+    }
+
+    /// Test hook: tear down the application waiter registered for the
+    /// outstanding operation on `lock` at `node` (see
+    /// [`Input::OrphanWaiter`]). The blocked caller observes
+    /// [`ClusterError::Disconnected`]; the eventual grant is counted in
+    /// [`ClusterReport::replies_dropped`] instead of panicking the worker.
+    #[doc(hidden)]
+    pub fn orphan_waiter(&self, node: u32, lock: LockId) {
+        let shard = shard_of(lock, self.shards);
+        let _ = self.inputs[node as usize * self.shards + shard].send(Input::OrphanWaiter { lock });
+    }
+
     /// Quiescence wait: returns once the message counter has stayed stable
     /// for `idle` *and* no physical frame is in flight or awaiting ack,
     /// bounded by a generous default timeout. Use after all application
@@ -648,20 +850,32 @@ impl Cluster {
         }
         // One state map per node, merged from its workers (disjoint by
         // shard assignment).
+        let crashed = self.crashed.lock().expect("crashed mutex").clone();
         let mut states: Vec<HashMap<u32, HierNode>> =
             (0..self.nodes).map(|_| HashMap::new()).collect();
         let mut traces: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.joins.len() + 1);
         let mut trace_dropped = transport_report.trace_dropped;
         let mut decode_errors = 0;
+        let mut frames_fenced = 0;
+        let mut workers_died: u64 = 0;
         let mut per_node: Vec<(u32, Vec<PeerSnapshot>)> = Vec::new();
         let mut coalesce: Vec<(u32, Vec<CoalesceStat>)> = Vec::new();
         for (slot, join) in self.joins.into_iter().enumerate() {
             let node = (slot / self.shards) as u32;
-            let exit = join.join().expect("worker thread panicked");
+            // A worker that panicked is reported, not propagated: its
+            // shard's state is simply gone, exactly as if the node crashed.
+            let exit = match join.join() {
+                Ok(exit) => exit,
+                Err(_) => {
+                    workers_died += 1;
+                    continue;
+                }
+            };
             states[node as usize].extend(exit.locks);
             traces.push(exit.trace);
             trace_dropped += exit.trace_dropped;
             decode_errors += exit.decode_errors;
+            frames_fenced += exit.frames_fenced;
             if !exit.links.is_empty() {
                 per_node.push((node, exit.links));
             }
@@ -674,7 +888,10 @@ impl Cluster {
         // Audit every lock any node ever touched; an untouched lock holds
         // its initial (token-at-node-0) state on every node by
         // construction. Nodes that never touched a *touched* lock
-        // contribute a synthesized initial state.
+        // contribute a synthesized initial state. Crashed nodes are
+        // excluded: their state died with them, and after a recovery wave
+        // the survivors form a complete, self-consistent hierarchy on
+        // their own.
         let touched: BTreeSet<u32> = states.iter().flat_map(|m| m.keys().copied()).collect();
         let fresh = |node: usize| {
             if node == 0 {
@@ -683,10 +900,14 @@ impl Cluster {
                 HierNode::new(NodeId(node as u32), NodeId(0), self.protocol)
             }
         };
+        let survivors: Vec<usize> = (0..self.nodes)
+            .filter(|n| !crashed.contains(&(*n as u32)))
+            .collect();
         let mut audit_errors = Vec::new();
         for lock in touched {
-            let nodes: Vec<HierNode> = (0..self.nodes)
-                .map(|n| states[n].get(&lock).cloned().unwrap_or_else(|| fresh(n)))
+            let nodes: Vec<HierNode> = survivors
+                .iter()
+                .map(|&n| states[n].get(&lock).cloned().unwrap_or_else(|| fresh(n)))
                 .collect();
             audit_errors.extend(audit(&nodes, &[], true));
         }
@@ -704,6 +925,8 @@ impl Cluster {
             trace_dropped,
             replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
             decode_errors,
+            frames_fenced,
+            workers_died,
             links: merge_links(
                 &per_node,
                 &transport_report.faults,
@@ -714,6 +937,58 @@ impl Cluster {
             acquire_hops,
         }
     }
+}
+
+/// One survivor's recovery scan report: its node id plus a `(lock,
+/// has_token, epoch)` row for every lock its workers host. Produced by
+/// [`Input::Scan`] in-process and by [`crate::Node::scan_locks`] in the
+/// multi-process path; consumed by [`plan_recovery`].
+pub type ScanReport = (u32, Vec<(u32, bool, u32)>);
+
+/// Turn survivor scan rows into a repair plan: one `(lock, new_root,
+/// new_epoch)` triple per affected lock.
+///
+/// `rows` is one `(node, [(lock, has_token, epoch)])` entry per surviving
+/// worker ([`Input::Scan`] output, or a [`crate::Node::scan_locks`] report
+/// per member in the multi-process path). Per lock, the next epoch is one
+/// past the highest epoch any survivor reported, and the new root is the
+/// surviving token holder at that epoch if there is one — otherwise the
+/// lowest-numbered survivor, which will regenerate the token (Rule R2).
+/// When node 0 died, every lock in `0..locks` is affected: locks nobody
+/// ever touched held their initial token at node 0 implicitly.
+///
+/// Shared by [`Cluster::recover`], the socket-node recovery path, and the
+/// multi-process harness, so all three plan identically.
+pub fn plan_recovery(
+    rows: &[ScanReport],
+    dead: u32,
+    survivors: &[u32],
+    locks: usize,
+) -> Vec<(u32, u32, u32)> {
+    // Per lock: the highest epoch seen and the surviving token holder at
+    // that epoch, if any.
+    let mut per_lock: BTreeMap<u32, (u32, Option<u32>)> = BTreeMap::new();
+    for (node, entries) in rows {
+        for &(lock, has_token, epoch) in entries {
+            let entry = per_lock.entry(lock).or_insert((epoch, None));
+            if epoch > entry.0 {
+                *entry = (epoch, None);
+            }
+            if has_token && epoch == entry.0 {
+                entry.1 = Some(*node);
+            }
+        }
+    }
+    if dead == 0 {
+        for lock in 0..locks as u32 {
+            per_lock.entry(lock).or_insert((0, None));
+        }
+    }
+    let fallback = survivors.first().copied().unwrap_or(0);
+    per_lock
+        .into_iter()
+        .map(|(lock, (epoch, holder))| (lock, holder.unwrap_or(fallback), epoch + 1))
+        .collect()
 }
 
 /// Combine per-worker reliability snapshots, coalescing counters,
@@ -788,10 +1063,16 @@ struct Waiter {
 /// ten-argument function.
 struct NodeCtx<'a> {
     me: NodeId,
+    /// This worker's shard index — used to filter recovery plans down to
+    /// the locks this worker owns.
+    shard: u32,
     /// The node's shard count — the stride of this worker's request-id
     /// counter and the slot-to-node divisor for transport addresses.
     shards: u32,
     epoch: Instant,
+    /// Frames dropped by the epoch fence (Rule R3); folded into
+    /// [`ClusterReport::frames_fenced`] at shutdown.
+    fenced: u64,
     recorder: Option<RingRecorder>,
     /// Application waiters keyed by `(lock, request id)`. The protocol
     /// still admits one *pending* operation per lock per node (enforced via
@@ -910,7 +1191,14 @@ impl NodeCtx<'_> {
     /// flushed at batch end; otherwise they are wrapped and transmitted
     /// immediately. Grants complete the lock's waiting application call,
     /// record its latency/hop metrics, and close its trace span.
-    fn flush(&mut self, lock: LockId, req: u64, hops: u16, put: &dyn Fn(NodeId, Bytes)) {
+    fn flush(
+        &mut self,
+        lock: LockId,
+        req: u64,
+        hops: u16,
+        node_epoch: u32,
+        put: &dyn Fn(NodeId, Bytes),
+    ) {
         let NodeCtx {
             me,
             epoch,
@@ -923,6 +1211,7 @@ impl NodeCtx<'_> {
             metrics,
             messages,
             in_flight,
+            replies_dropped,
             coalesce_on,
             pending,
             pending_peers,
@@ -939,6 +1228,7 @@ impl NodeCtx<'_> {
                         lock,
                         req,
                         hops.saturating_add(1),
+                        node_epoch,
                         &message,
                         encode_scratch,
                     );
@@ -964,9 +1254,14 @@ impl NodeCtx<'_> {
                 }
                 Effect::Granted { .. } | Effect::Upgraded => {
                     if let Some(req0) = active.remove(&lock.0) {
-                        let w = waiters
-                            .remove(&(lock.0, req0))
-                            .expect("active op has a registered waiter");
+                        // A grant without a matching waiter can occur after a
+                        // recovery wave re-issues an operation whose original
+                        // waiter was already torn down; count the dropped
+                        // completion instead of panicking the worker.
+                        let Some(w) = waiters.remove(&(lock.0, req0)) else {
+                            replies_dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
                         let latency = w.started.elapsed().as_micros() as u64;
                         {
                             let mut m = metrics.lock().expect("metrics mutex");
@@ -1094,6 +1389,7 @@ fn do_acquire(
     );
     let node = lock_state(locks, ctx.me, protocol, lock);
     let result = ctx.observed(lock, |obs, buf| node.on_acquire_into(mode, 0, buf, obs));
+    let node_epoch = node.epoch();
     match result {
         Ok(()) => {
             let Some(reply) = ctx.fast_grant(lock, req, reply) else {
@@ -1110,7 +1406,7 @@ fn do_acquire(
                     started,
                 },
             );
-            ctx.flush(lock, req, 0, put);
+            ctx.flush(lock, req, 0, node_epoch, put);
         }
         Err(e) => reply.complete_into(Err(ClusterError::Acquire(e)), &mut ctx.comp_batch),
     }
@@ -1140,6 +1436,7 @@ fn do_upgrade(
     );
     let node = lock_state(locks, ctx.me, protocol, lock);
     let result = ctx.observed(lock, |obs, buf| node.on_upgrade_into(buf, obs));
+    let node_epoch = node.epoch();
     match result {
         Ok(()) => {
             let Some(reply) = ctx.fast_grant(lock, req, reply) else {
@@ -1155,7 +1452,7 @@ fn do_upgrade(
                     started,
                 },
             );
-            ctx.flush(lock, req, 0, put);
+            ctx.flush(lock, req, 0, node_epoch, put);
         }
         Err(e) => reply.complete_into(Err(ClusterError::Upgrade(e)), &mut ctx.comp_batch),
     }
@@ -1172,11 +1469,12 @@ fn do_release(
 ) {
     let node = lock_state(locks, ctx.me, protocol, lock);
     let result = ctx.observed(lock, |obs, buf| node.on_release_into(buf, obs));
+    let node_epoch = node.epoch();
     match result {
         Ok(()) => {
             // Releases open no span: their frames travel with req 0
             // (uncorrelated).
-            ctx.flush(lock, 0, 0, put);
+            ctx.flush(lock, 0, 0, node_epoch, put);
             ctx.metrics.lock().expect("metrics mutex").releases += 1;
             reply.complete_into(Ok(()), &mut ctx.comp_batch);
         }
@@ -1195,7 +1493,7 @@ fn on_protocol_frame(
     put: &dyn Fn(NodeId, Bytes),
 ) -> bool {
     match codec::decode_corr(payload) {
-        Ok((lock, req, hops, message)) => {
+        Ok((lock, req, hops, frame_epoch, message)) => {
             // One network leg of request `req`'s causal chain landed here;
             // record it before the handler so the hop precedes its
             // consequences.
@@ -1209,17 +1507,36 @@ fn on_protocol_frame(
                 );
             }
             let node = lock_state(locks, ctx.me, protocol, lock);
-            ctx.observed(lock, |obs, buf| {
-                node.on_message_into(from, message, buf, obs)
+            // Rule R3: frames stamped with a generation other than the
+            // receiving node's are fenced (dropped) instead of delivered;
+            // `Recover` frames bypass the fence because they *install* the
+            // new generation.
+            let delivered = ctx.observed(lock, |obs, buf| {
+                node.on_frame_into(from, frame_epoch, message, buf, obs)
             });
-            ctx.flush(lock, req, hops, put);
+            if !delivered {
+                ctx.fenced += 1;
+            }
+            let node_epoch = node.epoch();
+            ctx.flush(lock, req, hops, node_epoch, put);
             true
         }
         Err(_) => false,
     }
 }
 
-/// Handle one worker input. Returns false when the worker should exit.
+/// What the worker loop should do after one input.
+#[derive(PartialEq, Eq)]
+enum Flow {
+    /// Keep serving.
+    Run,
+    /// Clean shutdown: return protocol state.
+    Stop,
+    /// Simulated crash: abandon state and enter the silent drain loop.
+    Crash,
+}
+
+/// Handle one worker input.
 #[allow(clippy::too_many_arguments)]
 fn handle_input(
     input: Input,
@@ -1233,7 +1550,7 @@ fn handle_input(
     rel_events: &mut Vec<(u32, ProtocolEvent)>,
     in_flight: &AtomicU64,
     put: &dyn Fn(NodeId, Bytes),
-) -> bool {
+) -> Flow {
     match input {
         Input::Net { from, frame } => {
             // Transport addresses are worker slots; fold back to the node.
@@ -1276,12 +1593,12 @@ fn handle_input(
             // This physical frame is fully absorbed; any traffic it caused
             // has already raised the gauge above.
             in_flight.fetch_sub(1, Ordering::Relaxed);
-            true
+            Flow::Run
         }
         Input::Acquire { lock, mode, reply } => {
             gate.leave(1);
             do_acquire(ctx, locks, config.protocol, lock, mode, reply, put);
-            true
+            Flow::Run
         }
         Input::TryAcquire { lock, mode, reply } => {
             gate.leave(1);
@@ -1310,7 +1627,8 @@ fn handle_input(
                 );
                 // The fast path registers no waiter, so close the span and
                 // count the zero-message, zero-hop grant here.
-                ctx.flush(lock, req, 0, put);
+                let node_epoch = node.epoch();
+                ctx.flush(lock, req, 0, node_epoch, put);
                 {
                     let mut m = ctx.metrics.lock().expect("metrics mutex");
                     m.acquire_latency.record(0);
@@ -1322,17 +1640,17 @@ fn handle_input(
             } else {
                 reply.complete(false);
             }
-            true
+            Flow::Run
         }
         Input::Upgrade { lock, reply } => {
             gate.leave(1);
             do_upgrade(ctx, locks, config.protocol, lock, reply, put);
-            true
+            Flow::Run
         }
         Input::Release { lock, reply } => {
             gate.leave(1);
             do_release(ctx, locks, config.protocol, lock, reply, put);
-            true
+            Flow::Run
         }
         Input::Ops { ops, tx } => {
             gate.leave(ops.len());
@@ -1357,9 +1675,64 @@ fn handle_input(
                     ctx.replies_dropped.fetch_add(n, Ordering::Relaxed);
                 }
             }
-            true
+            Flow::Run
         }
-        Input::Shutdown => false,
+        Input::Die => Flow::Crash,
+        Input::Panic => panic!("injected worker panic (Input::Panic test hook)"),
+        Input::OrphanWaiter { lock } => {
+            if let Some(&req) = ctx.active.get(&lock.0) {
+                // Dropping the Reply un-completed closes the caller's
+                // channel; `active` stays, so the eventual grant exercises
+                // the orphaned-completion accounting in `flush`.
+                ctx.waiters.remove(&(lock.0, req));
+            }
+            Flow::Run
+        }
+        Input::Isolate { dead } => {
+            if let Some(ep) = ctx.endpoint.as_mut() {
+                ep.forget_peer(dead);
+            }
+            Flow::Run
+        }
+        Input::Scan(tx) => {
+            let rows: Vec<(u32, bool, u32)> = locks
+                .iter()
+                .map(|(&l, n)| (l, n.has_token(), n.epoch()))
+                .collect();
+            // The coordinator may have timed out and gone; that is its
+            // problem, not ours.
+            let _ = tx.send((ctx.me.0, rows));
+            Flow::Run
+        }
+        Input::PeerDown {
+            dead,
+            survivors,
+            plans,
+        } => {
+            ctx.trace(
+                TRANSPORT_LOCK,
+                ProtocolEvent::NodeSuspected { node: dead.0 },
+            );
+            // The link layer must stop expecting acks from the dead node
+            // even if no explicit `Isolate` preceded this wave.
+            if let Some(ep) = ctx.endpoint.as_mut() {
+                ep.forget_peer(dead);
+            }
+            for &(lock, new_root, new_epoch) in plans.iter() {
+                if shard_of(LockId(lock), ctx.shards as usize) != ctx.shard as usize {
+                    continue;
+                }
+                let lock = LockId(lock);
+                let node = lock_state(locks, ctx.me, config.protocol, lock);
+                ctx.observed(lock, |obs, buf| {
+                    node.on_peer_down_into(dead, NodeId(new_root), new_epoch, &survivors, buf, obs)
+                });
+                let node_epoch = node.epoch();
+                ctx.flush(lock, 0, 0, node_epoch, put);
+            }
+            Flow::Run
+        }
+        Input::Shutdown => Flow::Stop,
     }
 }
 
@@ -1378,6 +1751,8 @@ pub(crate) fn worker_loop(
     epoch: Instant,
     metrics: Arc<Mutex<NodeMetrics>>,
     gate: Arc<ShardGate>,
+    beats: Arc<Vec<AtomicU64>>,
+    beat_slot: usize,
 ) -> NodeExit {
     // This shard's protocol instances, created on first touch: a node
     // hosting a million locks pays only for the ones it uses. The table is
@@ -1387,8 +1762,10 @@ pub(crate) fn worker_loop(
         FastMap::with_capacity_and_hasher(config.locks / shards as usize + 1, Default::default());
     let mut ctx = NodeCtx {
         me,
+        shard,
         shards,
         epoch,
+        fenced: 0,
         recorder: (config.trace_capacity > 0).then(|| RingRecorder::new(config.trace_capacity)),
         waiters: FastMap::default(),
         active: FastMap::default(),
@@ -1439,25 +1816,28 @@ pub(crate) fn worker_loop(
     let mut rel_events: Vec<(u32, ProtocolEvent)> = Vec::new();
 
     'outer: loop {
+        // Refresh the heartbeat every iteration; a worker that stops
+        // looping (crashed, panicked, wedged) goes stale and the failure
+        // detector flags its node.
+        beats[beat_slot].store(epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
         // With unacked frames outstanding, sleep only until the earliest
-        // retransmission deadline; otherwise block until input arrives.
-        let first = match ctx.endpoint.as_ref().and_then(Endpoint::next_due) {
-            Some(due) => match rx.recv_timeout(due.saturating_duration_since(Instant::now())) {
-                Ok(input) => Some(input),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break 'outer,
-            },
-            None => match rx.recv() {
-                Ok(input) => Some(input),
-                Err(_) => break 'outer,
-            },
+        // retransmission deadline; either way wake at least every
+        // `HEARTBEAT` so the stamp above stays fresh while idle.
+        let wait = match ctx.endpoint.as_ref().and_then(Endpoint::next_due) {
+            Some(due) => due.saturating_duration_since(Instant::now()).min(HEARTBEAT),
+            None => HEARTBEAT,
+        };
+        let first = match rx.recv_timeout(wait) {
+            Ok(input) => Some(input),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break 'outer,
         };
         // Drain a batch: the first (blocking) input plus whatever else is
         // already queued, bounded so coalesce flushes and retransmission
         // ticks stay timely under sustained load.
-        let mut stop = false;
+        let mut flow = Flow::Run;
         if let Some(input) = first {
-            stop = !handle_input(
+            flow = handle_input(
                 input,
                 &mut ctx,
                 &mut locks,
@@ -1471,10 +1851,10 @@ pub(crate) fn worker_loop(
                 &put,
             );
             let mut drained = 1;
-            while !stop && drained < BATCH {
+            while flow == Flow::Run && drained < BATCH {
                 match rx.try_recv() {
                     Ok(input) => {
-                        stop = !handle_input(
+                        flow = handle_input(
                             input,
                             &mut ctx,
                             &mut locks,
@@ -1492,6 +1872,48 @@ pub(crate) fn worker_loop(
                     Err(_) => break,
                 }
             }
+        }
+        if flow == Flow::Crash {
+            // Simulated node death. Everything buffered dies with the node
+            // *before* the batch-boundary flush below would transmit it: a
+            // crashed node sends nothing, ever again.
+            for (_, w) in ctx.waiters.drain() {
+                w.reply.complete(Err(ClusterError::WorkerDied));
+            }
+            ctx.active.clear();
+            for &peer in &ctx.pending_peers {
+                let k = ctx.pending[peer as usize].len() as u64;
+                ctx.pending[peer as usize].clear();
+                in_flight.fetch_sub(k, Ordering::Relaxed);
+            }
+            ctx.pending_peers.clear();
+            ctx.effect_buf.clear();
+            // Stop owing the link layer anything (and release whatever it
+            // still counted against the unacked gauge on our behalf).
+            if let Some(ep) = ctx.endpoint.as_mut() {
+                for n in 0..config.nodes as u32 {
+                    ep.forget_peer(NodeId(n));
+                }
+            }
+            crashed_loop(&rx, &gate, &in_flight);
+            let (trace, trace_dropped) = match ctx.recorder {
+                Some(ring) => {
+                    let dropped = ring.dropped();
+                    (ring.into_records(), dropped)
+                }
+                None => (Vec::new(), 0),
+            };
+            // An empty lock map: a dead node's state is gone, and the
+            // shutdown audit must not see it.
+            return NodeExit {
+                locks: FastMap::default(),
+                trace,
+                trace_dropped,
+                decode_errors,
+                frames_fenced: ctx.fenced,
+                links: Vec::new(),
+                coalesce: Vec::new(),
+            };
         }
         // Batch boundary: transmit coalesced traffic, then let the
         // reliability shim retransmit and flush acks.
@@ -1512,7 +1934,7 @@ pub(crate) fn worker_loop(
             }
             rel_events.clear();
         }
-        if stop {
+        if flow == Flow::Stop {
             break;
         }
     }
@@ -1540,7 +1962,53 @@ pub(crate) fn worker_loop(
         trace,
         trace_dropped,
         decode_errors,
+        frames_fenced: ctx.fenced,
         links: ctx.endpoint.map(|ep| ep.snapshots()).unwrap_or_default(),
         coalesce,
+    }
+}
+
+/// The post-crash drain loop: a dead node neither sends nor processes, but
+/// it must keep *consuming* so the cluster's accounting stays truthful —
+/// every arriving physical frame still decrements the in-flight gauge, and
+/// every application operation is refused with
+/// [`ClusterError::WorkerDied`] instead of hanging its caller. Exits on
+/// `Shutdown` (or channel closure).
+fn crashed_loop(rx: &Receiver<Input>, gate: &ShardGate, in_flight: &AtomicU64) {
+    loop {
+        match rx.recv() {
+            Ok(Input::Net { .. }) => {
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+            }
+            Ok(Input::Acquire { reply, .. })
+            | Ok(Input::Upgrade { reply, .. })
+            | Ok(Input::Release { reply, .. }) => {
+                gate.leave(1);
+                reply.complete(Err(ClusterError::WorkerDied));
+            }
+            Ok(Input::TryAcquire { reply, .. }) => {
+                gate.leave(1);
+                reply.complete(false);
+            }
+            Ok(Input::Ops { ops, tx }) => {
+                gate.leave(ops.len());
+                let comps: Vec<Completion> = ops
+                    .iter()
+                    .map(|op| Completion {
+                        lock: op.lock,
+                        tag: op.tag,
+                        result: Err(ClusterError::WorkerDied),
+                    })
+                    .collect();
+                let _ = tx.send(comps);
+            }
+            Ok(Input::Scan(_))
+            | Ok(Input::Die)
+            | Ok(Input::Isolate { .. })
+            | Ok(Input::PeerDown { .. })
+            | Ok(Input::Panic)
+            | Ok(Input::OrphanWaiter { .. }) => {}
+            Ok(Input::Shutdown) | Err(_) => break,
+        }
     }
 }

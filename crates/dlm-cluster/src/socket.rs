@@ -134,6 +134,11 @@ impl SocketConfig {
 pub(crate) enum WireError {
     /// Frame length beyond [`MAX_WIRE_FRAME`].
     Oversized,
+    /// The buffered byte stream contradicts its own framing (a header or
+    /// payload slice falls outside the bytes actually present). A healthy
+    /// TCP stream cannot produce this; a corrupted or adversarial one can,
+    /// and it must kill the connection, not the process.
+    Corrupt,
 }
 
 /// Per-connection receive buffer with partial-frame reassembly.
@@ -171,15 +176,25 @@ impl WireBuf {
         &mut self,
         deliver: &mut dyn FnMut(u32, u32, Bytes),
     ) -> Result<(), WireError> {
+        // Every header word is read through this bounds-checked helper:
+        // bytes arriving off a real wire are attacker-controlled input, and
+        // a short or lying buffer must surface as [`WireError::Corrupt`]
+        // (killing the connection), never as a slice panic killing the
+        // process.
+        fn word(data: &[u8], pos: usize) -> Result<u32, WireError> {
+            match data.get(pos..pos + 4) {
+                Some(b) => Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+                None => Err(WireError::Corrupt),
+            }
+        }
         let data = self.buf.as_ref();
         let mut consumed = 0usize;
         while data.len() - consumed >= WIRE_HEADER {
-            let rest = &data[consumed..];
-            let len = u32::from_le_bytes(rest[0..4].try_into().expect("4-byte length")) as usize;
+            let len = word(data, consumed)? as usize;
             if len > MAX_WIRE_FRAME {
                 return Err(WireError::Oversized);
             }
-            if rest.len() < WIRE_HEADER + len {
+            if data.len() - consumed < WIRE_HEADER + len {
                 break;
             }
             consumed += WIRE_HEADER + len;
@@ -197,13 +212,16 @@ impl WireBuf {
         let data = snapshot.as_ref();
         let mut pos = 0usize;
         while pos < consumed {
-            let len =
-                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4-byte length")) as usize;
-            let from = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let to = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().expect("4 bytes"));
-            let payload = snapshot.slice(pos + WIRE_HEADER..pos + WIRE_HEADER + len);
+            let len = word(data, pos)? as usize;
+            let from = word(data, pos + 4)?;
+            let to = word(data, pos + 8)?;
+            let end = pos + WIRE_HEADER + len;
+            if end > snapshot.len() {
+                return Err(WireError::Corrupt);
+            }
+            let payload = snapshot.slice(pos + WIRE_HEADER..end);
             deliver(from, to, payload);
-            pos += WIRE_HEADER + len;
+            pos = end;
         }
         Ok(())
     }
@@ -357,6 +375,10 @@ pub struct SocketTransport {
     local: Vec<Sender<Input>>,
     in_flight: Arc<AtomicU64>,
     stats: Vec<PeerStat>,
+    /// Connections killed because their byte stream failed to reassemble
+    /// into frames ([`WireError`]); surfaced via
+    /// [`TransportReport::wire_decode_errors`].
+    decode_errors: AtomicU64,
     wire: Wire,
     shutting_down: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -397,6 +419,7 @@ impl SocketTransport {
                     local,
                     in_flight,
                     stats,
+                    decode_errors: AtomicU64::new(0),
                     wire: Wire::Tcp { queues, streams },
                     shutting_down,
                     threads: Mutex::new(Vec::new()),
@@ -440,6 +463,7 @@ impl SocketTransport {
                     local,
                     in_flight,
                     stats,
+                    decode_errors: AtomicU64::new(0),
                     wire: Wire::Udp {
                         socket,
                         loss,
@@ -572,6 +596,16 @@ impl SocketTransport {
         let _ = reg_txs[peer % reg_txs.len()].send(conn);
     }
 
+    /// Live per-peer connection-loss counts, indexed by node id. The
+    /// socket-path failure detector ([`crate::Node::suspects`]) reads
+    /// this: a peer whose process died shows a reset on its link.
+    pub(crate) fn peer_resets(&self) -> Vec<u64> {
+        self.stats
+            .iter()
+            .map(|s| s.resets.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Mark a connection dead: bump the pair's reset counters and close its
     /// write queue so senders drop instead of blocking on a peer that is
     /// gone. The node itself keeps serving.
@@ -662,9 +696,14 @@ impl SocketTransport {
                     self.deliver_local(from_slot, to_slot, payload);
                 });
                 if drained.is_err() {
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
                     self.kill_conn(conn);
                 }
             }
+            // Drop killed connections: holding the dead stream open would
+            // leak its descriptor for the node's lifetime and hide the
+            // close from the remote peer's failure detector.
+            conns.retain(|c| c.alive);
             if draining {
                 // Final flush: leave only once every live connection's
                 // queue and write buffer are empty (bounded by the caller's
@@ -794,7 +833,10 @@ impl Transport for SocketTransport {
                 q.close();
             }
         }
-        let mut report = TransportReport::default();
+        let mut report = TransportReport {
+            wire_decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            ..TransportReport::default()
+        };
         for (peer, stat) in self.stats.iter().enumerate() {
             if peer == self.me {
                 continue;

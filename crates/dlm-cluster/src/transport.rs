@@ -146,6 +146,10 @@ pub struct TransportReport {
     /// Per-link wire counters (socket transports only; empty for the
     /// in-process transports).
     pub socket: Vec<SocketLinkStat>,
+    /// Connections a socket transport killed because their byte stream
+    /// failed frame reassembly (truncated/corrupt/oversized framing);
+    /// always 0 for the in-process transports.
+    pub wire_decode_errors: u64,
 }
 
 /// A cluster interconnect: carries encoded frames between node threads.

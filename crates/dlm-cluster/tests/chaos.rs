@@ -230,6 +230,127 @@ fn quiesce_waits_out_parked_frames() {
     assert_clean(&report);
 }
 
+/// Wait until the heartbeat failure detector flags `node`, bounded.
+fn await_suspect(c: &Cluster, node: u32) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !c.suspects(Duration::from_millis(300)).contains(&node) {
+        assert!(
+            Instant::now() < deadline,
+            "detector never flagged node {node}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The tentpole scenario on the in-process faulty transport: a seeded
+/// crash of the token holder in a 4-node lossy cluster, with a survivor's
+/// write acquire parked at the dead node. The heartbeat detector flags the
+/// crash, recovery regenerates the token in a new epoch (DESIGN.md §17),
+/// the parked acquire completes via the R1 re-issue, every survivor keeps
+/// serving, and the final audit is clean.
+#[test]
+fn token_holder_crash_recovers_with_epoch_fencing() {
+    for seed in [5, 17] {
+        let c = lossy_cluster(seed, 0.05, 4, 1);
+        let h1 = c.handle(1);
+        // Pull the token (and a held W) onto node 1, the victim.
+        h1.acquire(LockId::TABLE, Mode::Write).unwrap();
+        // Node 2's W must queue remotely at the holder — a caller whose
+        // outcome is owed by the node about to die.
+        let h2 = c.handle(2);
+        let parked = {
+            let h2 = h2.clone();
+            std::thread::spawn(move || h2.acquire(LockId::TABLE, Mode::Write))
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        c.crash_node(1);
+        await_suspect(&c, 1);
+        let repaired = c.recover(1);
+        assert!(
+            repaired >= 1,
+            "seed {seed}: the crashed holder's lock must be repaired"
+        );
+        parked
+            .join()
+            .unwrap()
+            .expect("parked acquire completes after recovery (R1 re-issue)");
+        h2.release(LockId::TABLE).unwrap();
+        for n in [0, 2, 3] {
+            let h = c.handle(n);
+            h.acquire(LockId::TABLE, Mode::Write).unwrap();
+            h.release(LockId::TABLE).unwrap();
+        }
+        c.quiesce(Duration::from_millis(5));
+        let report = c.shutdown();
+        assert!(
+            report.audit_errors.is_empty(),
+            "seed {seed}: {:?}",
+            report.audit_errors
+        );
+        assert_eq!(report.replies_dropped, 0, "seed {seed}");
+        assert_eq!(report.decode_errors, 0, "seed {seed}");
+    }
+}
+
+/// A panicking worker thread must not take the cluster down: the failure
+/// detector flags its node (a finished thread is the strongest heartbeat
+/// silence), the other nodes keep serving, and shutdown reports the death
+/// in `workers_died` instead of propagating the panic.
+#[test]
+fn worker_panic_is_reported_not_propagated() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 3,
+        ..Default::default()
+    });
+    let h0 = c.handle(0);
+    h0.acquire(LockId::TABLE, Mode::Write).unwrap();
+    h0.release(LockId::TABLE).unwrap();
+    c.inject_worker_panic(2);
+    await_suspect(&c, 2);
+    let h1 = c.handle(1);
+    h1.acquire(LockId::TABLE, Mode::Read).unwrap();
+    h1.release(LockId::TABLE).unwrap();
+    let report = c.shutdown();
+    assert_eq!(report.workers_died, 1, "the panicked worker is counted");
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+    assert_eq!(report.replies_dropped, 0);
+}
+
+/// A grant arriving for an operation whose application waiter is already
+/// gone must be counted in `replies_dropped`, not panic the worker — the
+/// runtime used to `expect` a registered waiter for every active op.
+#[test]
+fn orphaned_grant_is_counted_not_fatal() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 2,
+        ..Default::default()
+    });
+    let h0 = c.handle(0);
+    h0.acquire(LockId::TABLE, Mode::Write).unwrap();
+    let h1 = c.handle(1);
+    let parked = {
+        let h1 = h1.clone();
+        std::thread::spawn(move || h1.acquire(LockId::TABLE, Mode::Write))
+    };
+    // Let the request go pending at node 1, then tear down its waiter.
+    std::thread::sleep(Duration::from_millis(50));
+    c.orphan_waiter(1, LockId::TABLE);
+    assert_eq!(
+        parked.join().unwrap(),
+        Err(ClusterError::Disconnected),
+        "the orphaned caller sees its channel close"
+    );
+    // The release hands node 1 the token; the resulting grant has nobody
+    // to answer. The worker must survive it and keep serving.
+    h0.release(LockId::TABLE).unwrap();
+    c.quiesce(Duration::from_millis(5));
+    assert_eq!(c.replies_dropped(), 1, "the orphaned grant is accounted");
+    h1.release(LockId::TABLE).unwrap();
+    let report = c.shutdown();
+    assert!(report.audit_errors.is_empty(), "{:?}", report.audit_errors);
+    assert_eq!(report.workers_died, 0, "no worker panicked");
+}
+
 fn cases(default: u32) -> u32 {
     // Honor the workspace-wide knob, but chaos cases spin real clusters
     // with real timeouts — cap what CI's blanket setting can inflict.

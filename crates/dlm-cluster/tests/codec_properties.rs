@@ -65,6 +65,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         (arb_mode(), any::<u64>()).prop_map(|(new_owned, ack)| Message::Release { new_owned, ack }),
         arb_modeset().prop_map(|modes| Message::SetFrozen { modes }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u32>(), 0..8),
+        )
+            .prop_map(|(dead, new_root, epoch, survivors)| Message::Recover {
+                dead: NodeId(dead),
+                new_root: NodeId(new_root),
+                epoch,
+                survivors: survivors.into_iter().map(NodeId).collect(),
+            }),
     ]
 }
 
@@ -116,20 +128,20 @@ proptest! {
 
     /// Arbitrary packings of correlated frames round-trip through a
     /// container: the unpacked sub-frames are byte-identical, in order, and
-    /// each still decodes to its original span and message. Bare frames are
-    /// never mistaken for containers.
+    /// each still decodes to its original span, epoch stamp and message.
+    /// Bare frames are never mistaken for containers.
     #[test]
     fn containers_round_trip_arbitrary_packings(
         batch in proptest::collection::vec(
-            (any::<u32>(), any::<u64>(), any::<u16>(), arb_message()),
+            ((any::<u32>(), any::<u64>()), (any::<u16>(), any::<u32>()), arb_message()),
             1..40,
         ),
     ) {
         let mut scratch = BytesMut::new();
         let frames: Vec<_> = batch
             .iter()
-            .map(|(lock, req, hops, msg)| {
-                encode_corr_into(LockId(*lock), *req, *hops, msg, &mut scratch)
+            .map(|((lock, req), (hops, epoch), msg)| {
+                encode_corr_into(LockId(*lock), *req, *hops, *epoch, msg, &mut scratch)
             })
             .collect();
         for frame in &frames {
@@ -140,11 +152,12 @@ proptest! {
         let mut out = Vec::new();
         decode_container_into(container, &mut out).expect("valid container");
         prop_assert_eq!(out.len(), batch.len());
-        for (sub, (lock, req, hops, msg)) in out.into_iter().zip(&batch) {
-            let (l2, r2, h2, m2) = decode_corr(sub).expect("sub-frame decodes");
+        for (sub, ((lock, req), (hops, epoch), msg)) in out.into_iter().zip(&batch) {
+            let (l2, r2, h2, e2, m2) = decode_corr(sub).expect("sub-frame decodes");
             prop_assert_eq!(l2, LockId(*lock));
             prop_assert_eq!(r2, *req);
             prop_assert_eq!(h2, *hops);
+            prop_assert_eq!(e2, *epoch);
             prop_assert_eq!(&m2, msg);
         }
     }

@@ -10,7 +10,10 @@
 //! the portable state codec before auditing, exactly as the multi-process
 //! harness does.
 
-use dlm_cluster::{audit_process_states, codec, ClusterConfig, Node, NodeConfig, SocketConfig};
+use dlm_cluster::{
+    audit_process_states, audit_surviving_states, codec, plan_recovery, ClusterConfig, Node,
+    NodeConfig, ScanReport, SocketConfig,
+};
 use dlm_core::{HierNode, LockId, Message, Mode, NodeId, ProtocolConfig, QueuedRequest};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
@@ -51,14 +54,19 @@ fn member_config(nodes: usize, locks: usize) -> ClusterConfig {
 /// message count — the cross-process quiescence criterion (each member's
 /// own idleness is necessary but not sufficient).
 fn quiesce_all(nodes: &[Node], timeout: Duration) {
+    quiesce_refs(&nodes.iter().collect::<Vec<_>>(), timeout)
+}
+
+/// [`quiesce_all`] over borrowed members (a survivor subset).
+fn quiesce_refs(nodes: &[&Node], timeout: Duration) {
     let start = Instant::now();
     let window = Duration::from_millis(30);
-    let mut last: u64 = nodes.iter().map(Node::messages_sent).sum();
+    let mut last: u64 = nodes.iter().map(|n| n.messages_sent()).sum();
     let mut stable_since = Instant::now();
     while start.elapsed() < timeout {
         std::thread::sleep(Duration::from_millis(2));
-        let sum: u64 = nodes.iter().map(Node::messages_sent).sum();
-        let all_idle = nodes.iter().all(Node::is_idle);
+        let sum: u64 = nodes.iter().map(|n| n.messages_sent()).sum();
+        let all_idle = nodes.iter().all(|n| n.is_idle());
         if sum != last || !all_idle {
             last = sum;
             stable_since = Instant::now();
@@ -252,6 +260,7 @@ fn split_container_then_peer_drop_keeps_node_serving() {
             LockId(lock),
             req,
             0,
+            0,
             &Message::Request(QueuedRequest {
                 from: NodeId(1),
                 mode: Mode::Read,
@@ -381,4 +390,206 @@ fn udp_chaos_survives_ten_percent_loss() {
         assert!(dropped > 0, "seed {seed}: no datagram ever dropped");
         assert!(retransmits > 0, "seed {seed}: drops but no retransmissions");
     }
+}
+
+/// Byte-level corruption regression: a wire frame whose length word lies
+/// (far beyond any legal frame) must kill only that connection — counted
+/// as a wire decode error plus a link reset — and a well-framed frame
+/// whose *payload* is garbage must be counted by the worker's codec
+/// without killing anything. The original parser `expect`ed its way
+/// through the header words and would panic the transport thread instead.
+#[test]
+fn malformed_frames_are_counted_not_fatal() {
+    let cluster = member_config(2, 1);
+    let addrs = reserve_tcp_addrs(2);
+    let node = Node::new(NodeConfig {
+        cluster,
+        socket: SocketConfig::tcp(0, addrs.clone()),
+    })
+    .expect("bind member");
+    let h = node.handle();
+    h.acquire(LockId(0), Mode::Read).expect("local read");
+
+    let mut peer = FakePeer::dial(addrs[0], 1);
+    // Payload-level garbage first: well-framed, parseable reliability
+    // header, unparseable protocol payload — it reaches the worker's
+    // codec, is counted there, and the connection survives it.
+    let frame = wire_frame(1, 0, &reliable_data(0, 0, &[0xFF; 9]));
+    peer.stream
+        .write_all(&frame)
+        .expect("write garbage payload");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Then a wire-level lie: a header promising four gigabytes of frame.
+    let mut lie = Vec::new();
+    lie.extend_from_slice(&u32::MAX.to_le_bytes());
+    lie.extend_from_slice(&1u32.to_le_bytes());
+    lie.extend_from_slice(&0u32.to_le_bytes());
+    lie.extend_from_slice(b"trailing noise");
+    peer.stream.write_all(&lie).expect("write lying header");
+    // The node's only legal answer is to drop the connection.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut scratch = [0u8; 64];
+        match peer.stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+        assert!(
+            Instant::now() < deadline,
+            "poisoned connection was never torn down"
+        );
+    }
+
+    // The node keeps serving local operations throughout.
+    h.release(LockId(0)).expect("local release");
+    h.acquire(LockId(0), Mode::Write).expect("local write");
+    h.release(LockId(0)).expect("local release");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let report = node.shutdown();
+    assert!(
+        report.decode_errors >= 2,
+        "wire lie + payload garbage must both be counted, saw {}",
+        report.decode_errors
+    );
+    let resets: u64 = report.links.iter().map(|l| l.resets).sum();
+    assert!(
+        resets >= 1,
+        "the poisoned connection never counted as a reset"
+    );
+    assert_eq!(report.workers_died, 0);
+    assert_eq!(report.replies_dropped, 0);
+}
+
+/// The tentpole scenario over real TCP: the token holder of a four-member
+/// loopback cluster is killed while another member's Write acquire is
+/// parked at it. Every survivor's socket detector observes the dead
+/// connection, an external coordinator scans the survivors, plans with
+/// [`plan_recovery`], and broadcasts the repair wave; the parked acquire
+/// then completes in the regenerated epoch, the survivor scan shows
+/// exactly one token (in epoch 1), and the reassembled survivor audit is
+/// clean.
+#[test]
+fn tcp_token_holder_crash_recovers_to_new_epoch() {
+    let cluster = member_config(4, 1);
+    let addrs = reserve_tcp_addrs(4);
+    let mut nodes: Vec<Option<Node>> = (0..4u32)
+        .map(|me| {
+            Some(
+                Node::new(NodeConfig {
+                    cluster,
+                    socket: SocketConfig::tcp(me, addrs.clone()),
+                })
+                .expect("bind member"),
+            )
+        })
+        .collect();
+
+    // Pull the token onto member 1 and hold Write there, then park
+    // member 2's Write behind it.
+    let h1 = nodes[1].as_ref().expect("member 1").handle();
+    h1.acquire(LockId(0), Mode::Write).expect("pull token to 1");
+    let h2 = nodes[2].as_ref().expect("member 2").handle();
+    let parked = {
+        let h2 = h2.clone();
+        std::thread::spawn(move || h2.acquire(LockId(0), Mode::Write))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Kill the holder mid-conversation; every survivor must suspect it.
+    nodes[1].take().expect("member 1").crash();
+    let survivors = [0u32, 2, 3];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let all_saw = survivors.iter().all(|&n| {
+            nodes[n as usize]
+                .as_ref()
+                .expect("survivor")
+                .suspects()
+                .contains(&1)
+        });
+        if all_saw {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "socket detectors never flagged the dead member"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Coordinator: scan the survivors, plan, broadcast the repair wave —
+    // the same three steps the multi-process harness driver performs.
+    let rows: Vec<ScanReport> = survivors
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                nodes[n as usize].as_ref().expect("survivor").scan_locks(),
+            )
+        })
+        .collect();
+    let plans = plan_recovery(&rows, 1, &survivors, cluster.locks);
+    assert!(!plans.is_empty(), "the dead holder's lock must be planned");
+    for &n in &survivors {
+        nodes[n as usize]
+            .as_ref()
+            .expect("survivor")
+            .repair(1, &survivors, &plans);
+    }
+
+    // The parked acquire is re-issued by its surviving originator and
+    // completes against the regenerated token.
+    parked
+        .join()
+        .expect("join parked thread")
+        .expect("parked Write completes in the new epoch");
+    h2.release(LockId(0)).expect("release recovered Write");
+    // Every survivor still serializes Writes through the new tree.
+    for &n in &survivors {
+        let h = nodes[n as usize].as_ref().expect("survivor").handle();
+        h.acquire(LockId(0), Mode::Write)
+            .expect("post-recovery Write");
+        h.release(LockId(0)).expect("post-recovery release");
+    }
+    let alive: Vec<&Node> = survivors
+        .iter()
+        .map(|&n| nodes[n as usize].as_ref().expect("survivor"))
+        .collect();
+    quiesce_refs(&alive, Duration::from_secs(30));
+
+    // Exactly one token across the survivors, living in the new epoch.
+    let tokens: Vec<(u32, u32, u32)> = survivors
+        .iter()
+        .flat_map(|&n| {
+            nodes[n as usize]
+                .as_ref()
+                .expect("survivor")
+                .scan_locks()
+                .into_iter()
+                .filter(|&(_, has, _)| has)
+                .map(move |(lock, _, epoch)| (n, lock, epoch))
+        })
+        .collect();
+    assert_eq!(
+        tokens.len(),
+        1,
+        "exactly one token after recovery: {tokens:?}"
+    );
+    assert_eq!(tokens[0].2, 1, "the regenerated token lives in epoch 1");
+
+    let mut all_states: Vec<Vec<(u32, HierNode)>> = vec![Vec::new(); 4];
+    for &n in &survivors {
+        let report = nodes[n as usize].take().expect("survivor").shutdown();
+        assert_eq!(report.workers_died, 0, "member {n} lost a worker");
+        assert_eq!(report.replies_dropped, 0, "member {n} dropped a reply");
+        all_states[n as usize] = round_trip_states(&report.states, cluster.protocol);
+    }
+    let errors = audit_surviving_states(cluster.protocol, &all_states, &[1]);
+    assert!(errors.is_empty(), "{errors:?}");
 }

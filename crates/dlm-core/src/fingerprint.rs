@@ -262,6 +262,21 @@ impl Fingerprintable for Message {
                 h.write_u8(4);
                 modes.fingerprint_into(h);
             }
+            Message::Recover {
+                dead,
+                new_root,
+                epoch,
+                survivors,
+            } => {
+                h.write_u8(5);
+                dead.fingerprint_into(h);
+                new_root.fingerprint_into(h);
+                h.write_u32(*epoch);
+                h.write_usize(survivors.len());
+                for s in survivors {
+                    s.fingerprint_into(h);
+                }
+            }
         }
     }
 }

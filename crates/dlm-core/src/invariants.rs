@@ -13,7 +13,7 @@ use crate::ids::NodeId;
 use crate::message::Message;
 use crate::node::HierNode;
 use dlm_modes::{compatible, Mode, ModeSet};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// A message in flight between two nodes, for audit purposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,10 @@ pub struct InFlight {
     pub from: NodeId,
     /// Receiver.
     pub to: NodeId,
+    /// The sender's epoch when the frame was emitted (0 before any crash).
+    /// The receiver fences mismatches (DESIGN.md §17 Rule R3), so the audit
+    /// counts tokens per epoch rather than globally.
+    pub epoch: u32,
     /// Payload.
     pub message: Message,
 }
@@ -39,6 +43,16 @@ pub enum AuditError {
     },
     /// The number of tokens (node-resident plus in-flight) is not one.
     TokenCount(usize),
+    /// More than one token exists *within a single epoch* — regeneration
+    /// raced a live token of the same generation, which fencing cannot
+    /// neutralise. (Across epochs, a stale token alongside a regenerated one
+    /// is legal: the stale one is fenced on arrival.)
+    TokenEpochCount {
+        /// The generation with the surplus.
+        epoch: u32,
+        /// Tokens counted in that generation (resident plus in-flight).
+        count: usize,
+    },
     /// A token-holding node has a parent, or a tokenless node has none.
     ParentTokenMismatch(NodeId),
     /// A node's cached owned mode disagrees with `join(held, copyset)`.
@@ -91,6 +105,9 @@ impl std::fmt::Display for AuditError {
                 a.0, a.1, b.0, b.1
             ),
             AuditError::TokenCount(n) => write!(f, "{n} tokens in the system (expected 1)"),
+            AuditError::TokenEpochCount { epoch, count } => {
+                write!(f, "{count} tokens in epoch {epoch} (expected at most 1)")
+            }
             AuditError::ParentTokenMismatch(n) => {
                 write!(f, "{n}: parent/token flag mismatch")
             }
@@ -146,14 +163,32 @@ pub fn audit(nodes: &[HierNode], in_flight: &[InFlight], quiescent: bool) -> Vec
         }
     }
 
-    // Exactly one token, counting in-flight transfers.
-    let resident = nodes.iter().filter(|n| n.has_token()).count();
-    let flying = in_flight
-        .iter()
-        .filter(|m| matches!(m.message, Message::Token { .. }))
-        .count();
-    if resident + flying != 1 {
-        errors.push(AuditError::TokenCount(resident + flying));
+    // Exactly one token — counted *per epoch*, since crash recovery may
+    // legally leave a fenced old-generation token in flight alongside the
+    // regenerated one (DESIGN.md §17). Within any single epoch a second
+    // token is always an error; the current generation (max node epoch)
+    // must converge to exactly one, which mid-repair interleavings can
+    // only violate transiently, so that half is gated on quiescence.
+    let mut per_epoch: BTreeMap<u32, usize> = BTreeMap::new();
+    for n in nodes.iter().filter(|n| n.has_token()) {
+        *per_epoch.entry(n.epoch()).or_default() += 1;
+    }
+    for m in in_flight {
+        if matches!(m.message, Message::Token { .. }) {
+            *per_epoch.entry(m.epoch).or_default() += 1;
+        }
+    }
+    for (&epoch, &count) in &per_epoch {
+        if count > 1 {
+            errors.push(AuditError::TokenEpochCount { epoch, count });
+        }
+    }
+    let max_epoch = nodes.iter().map(|n| n.epoch()).max().unwrap_or(0);
+    let single_epoch =
+        nodes.iter().all(|n| n.epoch() == max_epoch) && per_epoch.keys().all(|&e| e == max_epoch);
+    let current = per_epoch.get(&max_epoch).copied().unwrap_or(0);
+    if (single_epoch || quiescent) && current != 1 {
+        errors.push(AuditError::TokenCount(current));
     }
 
     for n in nodes {
@@ -351,6 +386,7 @@ mod tests {
         let flight = InFlight {
             from: NodeId(0),
             to: NodeId(1),
+            epoch: 0,
             message: Message::Token {
                 mode: Mode::Write,
                 granter_owned: Mode::NoLock,

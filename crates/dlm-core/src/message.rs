@@ -106,6 +106,27 @@ pub enum Message {
         /// The new frozen set (replaces, not merges).
         modes: ModeSet,
     },
+
+    /// Crash-recovery view change (Rule R1, DESIGN.md §17): `dead` has been
+    /// declared crashed and the lock's state moves to generation `epoch`,
+    /// rooted at `new_root`. Every survivor gossips this to every other
+    /// survivor *before* any other new-epoch frame, so FIFO channels
+    /// guarantee a receiver has repaired before it sees post-recovery
+    /// traffic. Processing is idempotent: a receiver already at (or past)
+    /// `epoch` ignores it.
+    Recover {
+        /// The crashed node being excised from the tree.
+        dead: NodeId,
+        /// Token home in the new epoch: the surviving token holder if one
+        /// exists, otherwise the designated regenerator.
+        new_root: NodeId,
+        /// The new generation number (strictly greater than any epoch the
+        /// lock has used before).
+        epoch: u32,
+        /// Surviving membership, so a gossip-triggered repair can gossip
+        /// onward exactly like a detector-triggered one.
+        survivors: Vec<NodeId>,
+    },
 }
 
 impl QueuedRequest {
@@ -138,6 +159,17 @@ impl Message {
                 queue: queue.iter().map(|q| q.relabeled(&map)).collect(),
                 frozen: *frozen,
             },
+            Message::Recover {
+                dead,
+                new_root,
+                epoch,
+                survivors,
+            } => Message::Recover {
+                dead: map(*dead),
+                new_root: map(*new_root),
+                epoch: *epoch,
+                survivors: survivors.iter().map(|&s| map(s)).collect(),
+            },
             other => other.clone(),
         }
     }
@@ -150,6 +182,7 @@ impl Message {
             Message::Token { .. } => MessageKind::Token,
             Message::Release { .. } => MessageKind::Release,
             Message::SetFrozen { .. } => MessageKind::Freeze,
+            Message::Recover { .. } => MessageKind::Recover,
         }
     }
 }
@@ -167,15 +200,18 @@ pub enum MessageKind {
     Release,
     /// [`Message::SetFrozen`]
     Freeze,
+    /// [`Message::Recover`]
+    Recover,
 }
 
 /// All message kinds, for tally tables.
-pub const ALL_MESSAGE_KINDS: [MessageKind; 5] = [
+pub const ALL_MESSAGE_KINDS: [MessageKind; 6] = [
     MessageKind::Request,
     MessageKind::Grant,
     MessageKind::Token,
     MessageKind::Release,
     MessageKind::Freeze,
+    MessageKind::Recover,
 ];
 
 impl MessageKind {
@@ -187,6 +223,7 @@ impl MessageKind {
             MessageKind::Token => "token",
             MessageKind::Release => "release",
             MessageKind::Freeze => "freeze",
+            MessageKind::Recover => "recover",
         }
     }
 }
@@ -227,6 +264,36 @@ mod tests {
             }
             .kind(),
             MessageKind::Freeze
+        );
+        assert_eq!(
+            Message::Recover {
+                dead: NodeId(2),
+                new_root: NodeId(0),
+                epoch: 1,
+                survivors: vec![NodeId(0), NodeId(1)],
+            }
+            .kind(),
+            MessageKind::Recover
+        );
+    }
+
+    #[test]
+    fn recover_relabels_every_identity() {
+        let m = Message::Recover {
+            dead: NodeId(2),
+            new_root: NodeId(0),
+            epoch: 3,
+            survivors: vec![NodeId(0), NodeId(1)],
+        };
+        let swapped = m.relabeled(|n| NodeId(n.0 + 10));
+        assert_eq!(
+            swapped,
+            Message::Recover {
+                dead: NodeId(12),
+                new_root: NodeId(10),
+                epoch: 3,
+                survivors: vec![NodeId(10), NodeId(11)],
+            }
         );
     }
 

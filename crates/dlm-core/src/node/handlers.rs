@@ -56,6 +56,12 @@ impl HierNode {
                 self.handle_release(from, new_owned, ack, effects, obs)
             }
             Message::SetFrozen { modes } => self.handle_set_frozen(modes, effects, obs),
+            Message::Recover {
+                dead,
+                new_root,
+                epoch,
+                survivors,
+            } => self.on_peer_down_into(dead, new_root, epoch, &survivors, effects, obs),
         }
     }
 
@@ -104,6 +110,14 @@ impl HierNode {
         effects: &mut EffectBuf,
         obs: &mut O,
     ) {
+        if self.queue.iter().any(|q| q.from == req.from) {
+            // A node has at most one outstanding request, so a second
+            // arrival from the same originator can only be a crash-recovery
+            // re-issue (Rule R1) racing a queue entry that survived — either
+            // carried here by a token transfer or kept by a surviving-holder
+            // root. Keep the original's FIFO position, drop the duplicate.
+            return;
+        }
         let eff_owned = if req.upgrade {
             self.owned_excluding(req.from)
         } else {

@@ -3,6 +3,7 @@
 mod acquire;
 mod handlers;
 mod queue;
+mod recovery;
 mod state;
 
 use crate::config::ProtocolConfig;
@@ -96,6 +97,12 @@ pub struct HierNode {
     /// Count of defensively handled impossible-by-design situations (e.g. a
     /// node receiving its own already-answered request). Zero in every test.
     anomalies: u64,
+    /// Crash-recovery generation number (DESIGN.md §17). Starts at 0 and is
+    /// bumped by every view change (`on_peer_down` / `Message::Recover`).
+    /// Frames are stamped with the sender's epoch at send time; a receiver
+    /// fences (drops) any frame whose stamp differs from its own epoch, so a
+    /// token or grant from a dead generation can never resurrect authority.
+    epoch: u32,
 }
 
 impl HierNode {
@@ -117,6 +124,7 @@ impl HierNode {
             grants_received: FlatMap::new(),
             registered: false,
             anomalies: 0,
+            epoch: 0,
         }
     }
 
@@ -195,6 +203,13 @@ impl HierNode {
     /// modelled semantics — asserted by the property tests.
     pub fn anomalies(&self) -> u64 {
         self.anomalies
+    }
+
+    /// The crash-recovery generation this node is operating in (0 until the
+    /// first view change; see DESIGN.md §17). Runtimes stamp this value onto
+    /// every frame they transmit for this lock.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// The protocol configuration this node runs.
@@ -338,6 +353,7 @@ impl HierNode {
             grants_received,
             registered: self.registered,
             anomalies: self.anomalies,
+            epoch: self.epoch,
         }
     }
 }
@@ -363,6 +379,7 @@ impl crate::fingerprint::Fingerprintable for HierNode {
             grants_received,
             registered,
             anomalies,
+            epoch,
         } = self;
         h.write(id);
         h.write(config);
@@ -404,6 +421,7 @@ impl crate::fingerprint::Fingerprintable for HierNode {
         }
         h.write_bool(*registered);
         h.write_u64(*anomalies);
+        h.write_u32(*epoch);
     }
 }
 

@@ -22,7 +22,15 @@ use dlm_modes::{Mode, ModeSet, ALL_MODES};
 use std::collections::VecDeque;
 
 /// Layout version; bump on any change to the byte format.
-const STATE_VERSION: u8 = 1;
+///
+/// v2 added the crash-recovery `epoch` (a `u32` directly after the node id)
+/// and a trailing copy of the version byte. The decoder still accepts v1
+/// blobs — a pre-recovery peer's state is a valid epoch-0 state — but never
+/// mixes layouts: the version appears at both ends of a v2 blob, so a
+/// version byte promising one layout over the other's body fails the
+/// trailer or exact-length check even where the two layouts would otherwise
+/// re-align.
+const STATE_VERSION: u8 = 2;
 
 const FLAG_HAS_TOKEN: u8 = 1 << 0;
 const FLAG_PARENT: u8 = 1 << 1;
@@ -114,6 +122,7 @@ impl HierNode {
     pub fn encode_state(&self, out: &mut Vec<u8>) {
         out.push(STATE_VERSION);
         put_u32(out, self.id.0);
+        put_u32(out, self.epoch);
         let mut flags = 0u8;
         if self.has_token {
             flags |= FLAG_HAS_TOKEN;
@@ -162,6 +171,7 @@ impl HierNode {
             put_u32(out, node.0);
             put_u64(out, count);
         }
+        out.push(STATE_VERSION);
     }
 
     /// Reconstruct a node from bytes written by [`HierNode::encode_state`].
@@ -171,10 +181,12 @@ impl HierNode {
     /// input or an unknown layout version — never panics.
     pub fn decode_state(buf: &[u8], config: ProtocolConfig) -> Option<HierNode> {
         let mut c = Cursor { buf, pos: 0 };
-        if c.u8()? != STATE_VERSION {
+        let version = c.u8()?;
+        if version == 0 || version > STATE_VERSION {
             return None;
         }
         let id = NodeId(c.u32()?);
+        let epoch = if version >= 2 { c.u32()? } else { 0 };
         let flags = c.u8()?;
         if flags & !(FLAG_HAS_TOKEN | FLAG_PARENT | FLAG_PENDING | FLAG_REGISTERED) != 0 {
             return None;
@@ -221,12 +233,16 @@ impl HierNode {
             let node = NodeId(c.u32()?);
             grants_received.insert(node, c.u64()?);
         }
+        if version >= 2 && c.u8()? != version {
+            return None;
+        }
         if c.pos != buf.len() {
             return None;
         }
         Some(HierNode {
             id,
             config,
+            epoch,
             parent,
             has_token: flags & FLAG_HAS_TOKEN != 0,
             held,
@@ -316,8 +332,70 @@ mod tests {
         let mut wrong_version = bytes.clone();
         wrong_version[0] = 99;
         assert!(HierNode::decode_state(&wrong_version, config).is_none());
+        wrong_version[0] = 0;
+        assert!(HierNode::decode_state(&wrong_version, config).is_none());
         let mut trailing = bytes;
         trailing.push(0);
         assert!(HierNode::decode_state(&trailing, config).is_none());
+    }
+
+    /// A v2 blob with its epoch bytes and trailer spliced out is exactly a
+    /// v1 blob; the decoder accepts it with epoch 0.
+    fn as_v1(bytes: &[u8]) -> Vec<u8> {
+        let mut v1 = bytes.to_vec();
+        v1[0] = 1;
+        v1.drain(5..9); // the epoch u32 sits directly after the id u32
+        v1.pop(); // v1 has no trailing version byte
+        v1
+    }
+
+    #[test]
+    fn v1_blobs_decode_with_epoch_zero() {
+        let config = ProtocolConfig::paper();
+        let mut node = HierNode::with_token(NodeId(0), config);
+        let _ = node.on_peer_down(NodeId(1), NodeId(0), 7, &[NodeId(0)]);
+        assert_eq!(node.epoch(), 7);
+        let v1 = as_v1(&encoded(&node));
+        let back = HierNode::decode_state(&v1, config).expect("v1 decodes");
+        assert_eq!(back.epoch(), 0, "v1 predates epochs");
+        assert_eq!(back.id(), node.id());
+        assert_eq!(back.has_token(), node.has_token());
+    }
+
+    proptest::proptest! {
+        /// Epochs survive the round trip, and a blob whose version byte
+        /// promises the *other* layout is rejected in both directions —
+        /// a cross-version epoch can never be smuggled through the codec.
+        #[test]
+        fn epoch_round_trips_and_cross_version_is_rejected(
+            epoch in 0u32..=u32::MAX,
+            id in 0u32..64,
+        ) {
+            let config = ProtocolConfig::paper();
+            let mut node = HierNode::with_token(NodeId(id), config);
+            if epoch > 0 {
+                let _ = node.on_peer_down(
+                    NodeId(id + 1), NodeId(id), epoch, &[NodeId(id)],
+                );
+            }
+            let v2 = encoded(&node);
+            let back = HierNode::decode_state(&v2, config).expect("v2 decodes");
+            proptest::prop_assert_eq!(back.epoch(), epoch);
+            proptest::prop_assert_eq!(&encoded(&back), &v2);
+
+            // v2 body labelled v1: the epoch bytes shift the whole layout.
+            let mut mislabelled = v2.clone();
+            mislabelled[0] = 1;
+            proptest::prop_assert!(
+                HierNode::decode_state(&mislabelled, config).is_none()
+            );
+            // v1 body labelled v2: the decoder expects epoch bytes that are
+            // not there.
+            let mut v1 = as_v1(&v2);
+            v1[0] = 2;
+            proptest::prop_assert!(
+                HierNode::decode_state(&v1, config).is_none()
+            );
+        }
     }
 }

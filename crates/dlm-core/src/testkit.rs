@@ -276,6 +276,7 @@ impl LockStepNet {
     /// this a single pass with no temporary.
     fn absorb_scratch(&mut self, from: NodeId) {
         let LockStepNet {
+            nodes,
             scratch,
             inbox,
             granted,
@@ -283,11 +284,17 @@ impl LockStepNet {
             messages_sent,
             ..
         } = self;
+        let epoch = nodes[from.index()].epoch();
         for effect in scratch.drain() {
             match effect {
                 Effect::Send { to, message } => {
                     *messages_sent += 1;
-                    inbox.push_back(InFlight { from, to, message });
+                    inbox.push_back(InFlight {
+                        from,
+                        to,
+                        epoch,
+                        message,
+                    });
                 }
                 Effect::Granted { mode } => granted.push((from, mode)),
                 Effect::Upgraded => upgraded.push(from),

@@ -19,9 +19,18 @@
 //! | `run <entries> <cs_us> <idle_us> <ops> <seed> <scale> <hot>` | `done <ops> <acquires>` |
 //! | `churn <ops>` | `done <ops> <acquires>` |
 //! | `idle?` | `idle <messages>` or `busy <messages>` |
+//! | `acquire <lock> <ir\|iw\|r\|u\|w>` | `ok` (blocks until granted) |
+//! | `release <lock>` | `ok` |
+//! | `scan` | `locks <lock>:<has_token>:<epoch> …` |
+//! | `suspects` | `suspects <id> …` |
+//! | `repair <dead> <surv,…> <lock:root:epoch,…\|->` | `ok` |
 //! | `shutdown` | `lat …`, `state …`×, `link …`×, `exit …`, then exits |
+//!
+//! The crash commands let the driver choreograph a member-kill recovery:
+//! kill one process, poll the survivors' `suspects`, `scan` them, plan
+//! centrally ([`dlm_cluster::plan_recovery`]), and broadcast `repair`.
 
-use dlm_cluster::{Node, NodeConfig, SocketConfig};
+use dlm_cluster::{LockId, Mode, Node, NodeConfig, SocketConfig};
 use dlm_harness::sockload::{
     hex_encode, member_cluster_config, run_member_churn, run_member_workload,
 };
@@ -164,6 +173,78 @@ fn main() {
             Some("idle?") => {
                 let state = if node.is_idle() { "idle" } else { "busy" };
                 say(&mut out, &format!("{state} {}", node.messages_sent()));
+            }
+            Some("acquire") => {
+                let lock: u32 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("acquire wants: lock mode");
+                let mode = match words.next() {
+                    Some("ir") => Mode::IntentRead,
+                    Some("iw") => Mode::IntentWrite,
+                    Some("r") => Mode::Read,
+                    Some("u") => Mode::Upgrade,
+                    Some("w") => Mode::Write,
+                    other => panic!("acquire: bad mode {other:?}"),
+                };
+                handle.acquire(LockId(lock), mode).expect("acquire");
+                say(&mut out, "ok");
+            }
+            Some("release") => {
+                let lock: u32 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("release wants: lock");
+                handle.release(LockId(lock)).expect("release");
+                say(&mut out, "ok");
+            }
+            Some("scan") => {
+                let body = node
+                    .scan_locks()
+                    .iter()
+                    .map(|(l, has, e)| format!("{l}:{}:{e}", u32::from(*has)))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                say(&mut out, &format!("locks {body}"));
+            }
+            Some("suspects") => {
+                let body = node
+                    .suspects()
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                say(&mut out, &format!("suspects {body}"));
+            }
+            Some("repair") => {
+                let dead: u32 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("repair wants: dead survivors plans");
+                let survivors: Vec<u32> = words
+                    .next()
+                    .expect("repair survivors")
+                    .split(',')
+                    .map(|w| w.parse().expect("survivor id"))
+                    .collect();
+                let plans_word = words.next().expect("repair plans");
+                let plans: Vec<(u32, u32, u32)> = if plans_word == "-" {
+                    Vec::new()
+                } else {
+                    plans_word
+                        .split(',')
+                        .map(|p| {
+                            let mut it = p.split(':').map(|w| w.parse().expect("plan field"));
+                            (
+                                it.next().expect("plan lock"),
+                                it.next().expect("plan root"),
+                                it.next().expect("plan epoch"),
+                            )
+                        })
+                        .collect()
+                };
+                node.repair(dead, &survivors, &plans);
+                say(&mut out, "ok");
             }
             Some("shutdown") => {
                 let report = node.shutdown();

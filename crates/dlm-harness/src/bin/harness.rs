@@ -12,13 +12,19 @@
 //!
 //! ```text
 //! dlm-harness [--nodes 4] [--scale 100] [--shards 1] [--udp <loss>]
-//!             [--out results] [--smoke]
+//!             [--out results] [--smoke] [--crash-smoke <seed>]
 //! ```
 //!
 //! `--smoke` runs a bounded 3-process TCP sanity check (tiny workload,
 //! hard deadline, non-zero exit on any audit error) for CI.
+//! `--crash-smoke <seed>` runs the bounded crash-recovery check: a
+//! 3-process TCP cluster, a seed-chosen member holding the table token is
+//! SIGKILLed, the survivors' failure detectors must flag it, the driver
+//! choreographs the scan/plan/repair wave, and the run fails unless Write
+//! service resumes with exactly one token in the new epoch and a clean
+//! survivor audit.
 
-use dlm_cluster::audit_process_states;
+use dlm_cluster::{audit_process_states, audit_surviving_states, plan_recovery, ScanReport};
 use dlm_core::{HierNode, ProtocolConfig};
 use dlm_harness::sockload::hex_decode;
 use dlm_metrics::Histogram;
@@ -35,6 +41,7 @@ struct Args {
     udp: Option<f64>,
     out: String,
     smoke: bool,
+    crash_smoke: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +52,7 @@ fn parse_args() -> Args {
         udp: None,
         out: "results".into(),
         smoke: false,
+        crash_smoke: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +64,7 @@ fn parse_args() -> Args {
             "--udp" => args.udp = Some(value().parse().expect("--udp")),
             "--out" => args.out = value(),
             "--smoke" => args.smoke = true,
+            "--crash-smoke" => args.crash_smoke = Some(value().parse().expect("--crash-smoke")),
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -368,9 +377,215 @@ fn run_workload_figure(
     FigureRow { name, stats }
 }
 
+/// The `--crash-smoke` run: SIGKILL a token-holding member of a 3-process
+/// TCP cluster and drive the recovery protocol end to end from the
+/// outside, exactly as an operator (or supervisor) would: poll the
+/// survivors' failure detectors, scan, plan centrally, broadcast the
+/// repair wave, and verify restored service plus a clean reassembled
+/// audit. Exits non-zero on any failure.
+fn crash_smoke(seed: u64, args: &Args) {
+    let nodes = 3usize;
+    let locks = 1usize;
+    let protocol = ProtocolConfig::paper();
+    // Seeded victim among the non-zero members; it pulls the table token
+    // with a held Write so its death forces R2 token regeneration.
+    let victim = 1 + (seed % (nodes as u64 - 1)) as usize;
+    let survivors: Vec<u32> = (0..nodes as u32).filter(|&n| n != victim as u32).collect();
+    let surv_csv = survivors
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut cluster = Cluster::spawn(
+        nodes,
+        locks,
+        args.shards,
+        args.udp,
+        Instant::now() + Duration::from_secs(60),
+    );
+    cluster.send(victim, "acquire 0 w");
+    let line = cluster.recv(victim);
+    if line != "ok" {
+        cluster.fail(&format!("victim acquire: expected ok, got {line:?}"));
+    }
+
+    let killed_at = Instant::now();
+    let _ = cluster.members[victim].child.kill();
+    let _ = cluster.members[victim].child.wait();
+
+    // Failure detection: every survivor's socket detector must flag the
+    // victim (its connections died with the process).
+    loop {
+        let mut all_saw = true;
+        for &s in &survivors {
+            cluster.send(s as usize, "suspects");
+            let line = cluster.recv(s as usize);
+            let flagged = line
+                .strip_prefix("suspects")
+                .map(|rest| {
+                    rest.split_whitespace()
+                        .any(|w| w.parse::<u32>() == Ok(victim as u32))
+                })
+                .unwrap_or(false);
+            all_saw &= flagged;
+        }
+        if all_saw {
+            break;
+        }
+        if Instant::now() >= cluster.deadline {
+            cluster.fail("survivors never suspected the killed member");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Scan → plan → repair: the driver is the recovery coordinator.
+    let mut rows: Vec<ScanReport> = Vec::new();
+    for &s in &survivors {
+        cluster.send(s as usize, "scan");
+        let line = cluster.recv(s as usize);
+        let Some(body) = line.strip_prefix("locks") else {
+            cluster.fail(&format!("member {s}: expected locks, got {line:?}"));
+        };
+        let locks_row: Vec<(u32, bool, u32)> = body
+            .split_whitespace()
+            .map(|item| {
+                let mut it = item.split(':');
+                let lock: u32 = it.next().and_then(|w| w.parse().ok()).expect("scan lock");
+                let has: u32 = it.next().and_then(|w| w.parse().ok()).expect("scan token");
+                let epoch: u32 = it.next().and_then(|w| w.parse().ok()).expect("scan epoch");
+                (lock, has != 0, epoch)
+            })
+            .collect();
+        rows.push((s, locks_row));
+    }
+    let plans = plan_recovery(&rows, victim as u32, &survivors, locks);
+    if plans.is_empty() {
+        cluster.fail("the dead holder's lock was not planned for repair");
+    }
+    let plans_csv = plans
+        .iter()
+        .map(|(l, r, e)| format!("{l}:{r}:{e}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    for &s in &survivors {
+        cluster.send(
+            s as usize,
+            &format!("repair {victim} {surv_csv} {plans_csv}"),
+        );
+        let line = cluster.recv(s as usize);
+        if line != "ok" {
+            cluster.fail(&format!("member {s}: repair failed: {line:?}"));
+        }
+    }
+
+    // Restored service: every survivor write-cycles the repaired lock.
+    for &s in &survivors {
+        for command in ["acquire 0 w", "release 0"] {
+            cluster.send(s as usize, command);
+            let line = cluster.recv(s as usize);
+            if line != "ok" {
+                cluster.fail(&format!("member {s}: {command}: {line:?}"));
+            }
+        }
+    }
+    let recovery_ms = killed_at.elapsed().as_millis();
+
+    // Exactly one token across the survivors, in the regenerated epoch.
+    let mut tokens: Vec<(u32, u32, u32)> = Vec::new();
+    for &s in &survivors {
+        cluster.send(s as usize, "scan");
+        let line = cluster.recv(s as usize);
+        for item in line.strip_prefix("locks").unwrap_or("").split_whitespace() {
+            let mut it = item.split(':');
+            let lock: u32 = it.next().and_then(|w| w.parse().ok()).expect("scan lock");
+            let has: u32 = it.next().and_then(|w| w.parse().ok()).expect("scan token");
+            let epoch: u32 = it.next().and_then(|w| w.parse().ok()).expect("scan epoch");
+            if has != 0 {
+                tokens.push((s, lock, epoch));
+            }
+        }
+    }
+    if tokens.len() != 1 || tokens[0].2 < 1 {
+        cluster.fail(&format!("expected one token in epoch >= 1, got {tokens:?}"));
+    }
+
+    // Global quiescence over the survivors, then shutdown + audit.
+    let mut last_sum = u64::MAX;
+    loop {
+        let mut all_idle = true;
+        let mut sum = 0u64;
+        for &s in &survivors {
+            cluster.send(s as usize, "idle?");
+            let line = cluster.recv(s as usize);
+            let (state, count) = line.split_once(' ').unwrap_or(("busy", "0"));
+            all_idle &= state == "idle";
+            sum += count.parse::<u64>().unwrap_or(0);
+        }
+        if all_idle && sum == last_sum {
+            break;
+        }
+        last_sum = sum;
+        if Instant::now() >= cluster.deadline {
+            cluster.fail("survivors never reached quiescence");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut all_states: Vec<Vec<(u32, HierNode)>> = vec![Vec::new(); nodes];
+    let mut decode_errors = 0u64;
+    let mut replies_dropped = 0u64;
+    for &s in &survivors {
+        cluster.send(s as usize, "shutdown");
+        loop {
+            let line = cluster.recv(s as usize);
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("lat") | Some("link") => {}
+                Some("state") => {
+                    let lock: u32 = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+                    let hex = words.next().unwrap_or("");
+                    let Some(bytes) = hex_decode(hex) else {
+                        cluster.fail(&format!("member {s}: undecodable state hex"));
+                    };
+                    let Some(node) = HierNode::decode_state(&bytes, protocol) else {
+                        cluster.fail(&format!("member {s}: undecodable state for lock {lock}"));
+                    };
+                    all_states[s as usize].push((lock, node));
+                }
+                Some("exit") => {
+                    let nums: Vec<u64> = words.map(|w| w.parse().expect("exit counters")).collect();
+                    decode_errors += nums[1];
+                    replies_dropped += nums[2];
+                    break;
+                }
+                _ => cluster.fail(&format!("member {s}: unexpected line {line:?}")),
+            }
+        }
+    }
+    for m in &mut cluster.members {
+        let _ = m.child.wait();
+    }
+    let errors = audit_surviving_states(protocol, &all_states, &[victim as u32]);
+    assert!(errors.is_empty(), "crash-smoke audit: {errors:?}");
+    assert_eq!(decode_errors, 0, "crash-smoke saw malformed frames");
+    assert_eq!(replies_dropped, 0, "crash-smoke dropped a reply");
+    println!(
+        "crash-smoke ok: seed {seed} killed member {victim}, {} survivors recovered \
+         to epoch {} in {recovery_ms} ms (one token at member {})",
+        survivors.len(),
+        tokens[0].2,
+        tokens[0].0
+    );
+}
+
 fn main() {
     let args = parse_args();
 
+    if let Some(seed) = args.crash_smoke {
+        crash_smoke(seed, &args);
+        return;
+    }
     if args.smoke {
         // CI sanity check: 3 processes, tiny Figure-7 workload, hard
         // deadline, loud non-zero exit on any audit or decode error.

@@ -1,0 +1,12 @@
+//! Regenerate the crash-recovery latency figure (ms from killing a member
+//! to restored Write service, vs cluster size, token-holder and leaf
+//! crashes) on the in-process cluster runtime.
+
+use dlm_harness::{recovery, render_table, write_tsv, FigureOptions};
+
+fn main() {
+    let fig = recovery(&FigureOptions::default());
+    print!("{}", render_table(&fig));
+    let path = write_tsv(&fig, std::path::Path::new("results")).expect("write tsv");
+    eprintln!("wrote {}", path.display());
+}

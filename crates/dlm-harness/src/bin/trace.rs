@@ -133,6 +133,13 @@ fn concise(event: &ProtocolEvent) -> String {
         }
         RequestHop { req, hop } => format!("request {req:#x} hop {hop} lands"),
         RequestGrant { req, hops } => format!("closes request {req:#x} after {hops} hops"),
+        NodeSuspected { node } => format!("suspects n{node} dead"),
+        EpochBump { epoch } => format!("enters epoch {epoch}"),
+        TokenRegenerated { epoch } => format!("regenerates the token (epoch {epoch})"),
+        StaleEpochFenced { from, epoch } => {
+            format!("fences stale epoch-{epoch} frame from n{from}")
+        }
+        RecoverSent { to, epoch } => format!("gossips recover (epoch {epoch}) to n{to}"),
     }
 }
 

@@ -422,6 +422,80 @@ pub fn ablations(opts: &FigureOptions) -> Figure {
     single(skeleton_ablations(), ablation_points(0), opts)
 }
 
+/// Node counts for the crash-recovery sweep. In-process clusters spawn
+/// one worker thread per member, so the sweep tops out below the
+/// simulator figures' 120 nodes.
+pub const RECOVERY_NODES: [usize; 6] = [2, 4, 8, 16, 24, 32];
+
+/// Crash-recovery latency figure: wall-clock milliseconds from killing a
+/// member to a survivor's first Write grant in the regenerated epoch,
+/// versus cluster size. Two series: crashing the **token holder** (the
+/// worst case — the new root must regenerate the token and absorb every
+/// survivor's R1 re-report) and crashing a **leaf** that never touched
+/// the lock (the floor — the view change and link repair without token
+/// regeneration).
+///
+/// Unlike Figures 7–10 this runs the in-process cluster runtime (real
+/// threads, channel transport) rather than the virtual-time simulator:
+/// recovery cost is scan/repair fan-out plus the re-report wave, which
+/// only exists in the runtime. `opts.seeds` sets the repetitions averaged
+/// per point (the runtime is deterministic in outcome but not in
+/// scheduling).
+pub fn recovery(opts: &FigureOptions) -> Figure {
+    use dlm_cluster::{Cluster, ClusterConfig, LockId};
+    use dlm_core::Mode;
+    let series_cfg = [("token holder", true), ("leaf", false)];
+    let mut series = Vec::new();
+    for (label, crash_holder) in series_cfg {
+        let mut values = Vec::new();
+        for &n in &RECOVERY_NODES {
+            let mut total_ms = 0.0;
+            for _ in 0..opts.seeds.max(1) {
+                let cluster = Cluster::new(ClusterConfig {
+                    nodes: n,
+                    locks: 1,
+                    ..Default::default()
+                });
+                if crash_holder {
+                    // Pull the token onto the victim; the lazy release
+                    // leaves it there.
+                    let h = cluster.handle(1);
+                    h.acquire(LockId(0), Mode::Write).expect("pull token");
+                    h.release(LockId(0)).expect("release at victim");
+                }
+                let start = std::time::Instant::now();
+                cluster.crash_node(1);
+                // Tight 2 ms settle windows: the default 20 ms margin
+                // would drown the scan/repair fan-out being plotted.
+                cluster.recover_within(1, std::time::Duration::from_millis(2));
+                let h0 = cluster.handle(0);
+                h0.acquire(LockId(0), Mode::Write).expect("recovered Write");
+                total_ms += start.elapsed().as_secs_f64() * 1e3;
+                h0.release(LockId(0)).expect("release");
+                let report = cluster.shutdown();
+                assert!(
+                    report.audit_errors.is_empty(),
+                    "recovery figure audit (n={n}): {:?}",
+                    report.audit_errors
+                );
+            }
+            values.push(total_ms / opts.seeds.max(1) as f64);
+        }
+        series.push(Series {
+            label: label.into(),
+            values,
+        });
+    }
+    Figure {
+        name: "recovery".into(),
+        title: "Crash-Recovery Latency (in-process cluster)".into(),
+        x_label: "nodes".into(),
+        y_label: "ms from kill to restored Write service".into(),
+        x: RECOVERY_NODES.iter().map(|&n| n as f64).collect(),
+        series,
+    }
+}
+
 /// Every figure plus the ablations from **one shared plan**: Figures 7 and 8
 /// read their metrics off the same Linux-cluster runs, 9 and 10 off the same
 /// SP runs, so the whole set costs roughly half the simulations of calling

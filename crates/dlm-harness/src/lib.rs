@@ -28,5 +28,8 @@ mod pool;
 pub mod sockload;
 
 pub use figure::{render_table, write_tsv, Figure, Series};
-pub use figures::{ablations, all_figures, fig10, fig7, fig8, fig9, latency_tail, FigureOptions};
+pub use figures::{
+    ablations, all_figures, fig10, fig7, fig8, fig9, latency_tail, recovery, FigureOptions,
+    RECOVERY_NODES,
+};
 pub use pool::run_jobs;

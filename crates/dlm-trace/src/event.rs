@@ -18,6 +18,8 @@ pub enum SendClass {
     Release,
     /// A `SetFrozen` frame (Rule 6 freeze distribution).
     Freeze,
+    /// A `Recover` frame (Rule R1 crash-recovery view change gossip).
+    Recover,
 }
 
 impl SendClass {
@@ -29,6 +31,7 @@ impl SendClass {
             SendClass::Token => "token",
             SendClass::Release => "release",
             SendClass::Freeze => "freeze",
+            SendClass::Recover => "recover",
         }
     }
 }
@@ -225,6 +228,40 @@ pub enum ProtocolEvent {
         /// Network legs on the granting chain.
         hops: u32,
     },
+    /// Failure detection: the detector (heartbeat timeout, worker death or
+    /// connection loss) declared `node` crashed and recovery is about to
+    /// start.
+    NodeSuspected {
+        /// The node suspected of having crashed.
+        node: u32,
+    },
+    /// Crash recovery (Rule R1): this node adopted a new generation number —
+    /// every frame stamped with an older epoch is fenced from here on.
+    EpochBump {
+        /// The newly adopted epoch.
+        epoch: u32,
+    },
+    /// Crash recovery (Rule R2): this node manufactured a replacement token
+    /// for a lock whose token died with the crashed owner.
+    TokenRegenerated {
+        /// The epoch the regenerated token belongs to.
+        epoch: u32,
+    },
+    /// Crash recovery (Rule R3): an incoming frame carried a stale (or
+    /// future) epoch and was dropped instead of delivered.
+    StaleEpochFenced {
+        /// The frame's sender.
+        from: u32,
+        /// The epoch stamped on the fenced frame.
+        epoch: u32,
+    },
+    /// Crash recovery (Rule R1): this node gossiped the view change to `to`.
+    RecoverSent {
+        /// Receiver of the gossip frame.
+        to: u32,
+        /// The epoch being announced.
+        epoch: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -255,6 +292,11 @@ impl ProtocolEvent {
             ProtocolEvent::RequestStart { .. } => "request_start",
             ProtocolEvent::RequestHop { .. } => "request_hop",
             ProtocolEvent::RequestGrant { .. } => "request_grant",
+            ProtocolEvent::NodeSuspected { .. } => "node_suspected",
+            ProtocolEvent::EpochBump { .. } => "epoch_bump",
+            ProtocolEvent::TokenRegenerated { .. } => "token_regenerated",
+            ProtocolEvent::StaleEpochFenced { .. } => "stale_epoch_fenced",
+            ProtocolEvent::RecoverSent { .. } => "recover_sent",
         }
     }
 
@@ -288,6 +330,11 @@ impl ProtocolEvent {
             ProtocolEvent::RequestStart { .. }
             | ProtocolEvent::RequestHop { .. }
             | ProtocolEvent::RequestGrant { .. } => "request-span",
+            ProtocolEvent::NodeSuspected { .. } => "recovery-detect",
+            ProtocolEvent::EpochBump { .. }
+            | ProtocolEvent::TokenRegenerated { .. }
+            | ProtocolEvent::StaleEpochFenced { .. }
+            | ProtocolEvent::RecoverSent { .. } => "recovery-epoch",
         }
     }
 
@@ -301,6 +348,7 @@ impl ProtocolEvent {
             ProtocolEvent::TokenSent { .. } => Some(SendClass::Token),
             ProtocolEvent::ReleaseSent { .. } => Some(SendClass::Release),
             ProtocolEvent::FreezeSent { .. } => Some(SendClass::Freeze),
+            ProtocolEvent::RecoverSent { .. } => Some(SendClass::Recover),
             _ => None,
         }
     }
@@ -324,6 +372,9 @@ impl ProtocolEvent {
             ProtocolEvent::DupSuppressed { from, .. } | ProtocolEvent::DecodeError { from } => {
                 Some(*from)
             }
+            ProtocolEvent::NodeSuspected { node } => Some(*node),
+            ProtocolEvent::StaleEpochFenced { from, .. } => Some(*from),
+            ProtocolEvent::RecoverSent { to, .. } => Some(*to),
             _ => None,
         }
     }
@@ -434,6 +485,11 @@ pub(crate) fn one_of_each() -> Vec<ProtocolEvent> {
             req: (3u64 << 32) | 17,
             hops: 3,
         },
+        ProtocolEvent::NodeSuspected { node: 4 },
+        ProtocolEvent::EpochBump { epoch: 2 },
+        ProtocolEvent::TokenRegenerated { epoch: 2 },
+        ProtocolEvent::StaleEpochFenced { from: 4, epoch: 1 },
+        ProtocolEvent::RecoverSent { to: 1, epoch: 2 },
     ]
 }
 
@@ -454,7 +510,11 @@ mod tests {
             .iter()
             .filter_map(|e| e.send_class())
             .collect();
-        assert_eq!(classes.len(), 5, "request/grant/token/release/freeze");
+        assert_eq!(
+            classes.len(),
+            6,
+            "request/grant/token/release/freeze/recover"
+        );
     }
 
     #[test]

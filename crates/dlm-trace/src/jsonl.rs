@@ -230,6 +230,18 @@ pub fn record_to_json(r: &TraceRecord) -> String {
         ProtocolEvent::RequestGrant { req, hops } => {
             o.num("req", *req).num("hops", *hops as u64);
         }
+        ProtocolEvent::NodeSuspected { node } => {
+            o.num("suspect", *node as u64);
+        }
+        ProtocolEvent::EpochBump { epoch } | ProtocolEvent::TokenRegenerated { epoch } => {
+            o.num("epoch", *epoch as u64);
+        }
+        ProtocolEvent::StaleEpochFenced { from, epoch } => {
+            o.num("from", *from as u64).num("epoch", *epoch as u64);
+        }
+        ProtocolEvent::RecoverSent { to, epoch } => {
+            o.num("to", *to as u64).num("epoch", *epoch as u64);
+        }
     }
     o.finish()
 }
@@ -517,6 +529,23 @@ pub fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "request_grant" => ProtocolEvent::RequestGrant {
             req: f.num("req")?,
             hops: f.u32("hops")?,
+        },
+        "node_suspected" => ProtocolEvent::NodeSuspected {
+            node: f.u32("suspect")?,
+        },
+        "epoch_bump" => ProtocolEvent::EpochBump {
+            epoch: f.u32("epoch")?,
+        },
+        "token_regenerated" => ProtocolEvent::TokenRegenerated {
+            epoch: f.u32("epoch")?,
+        },
+        "stale_epoch_fenced" => ProtocolEvent::StaleEpochFenced {
+            from: f.u32("from")?,
+            epoch: f.u32("epoch")?,
+        },
+        "recover_sent" => ProtocolEvent::RecoverSent {
+            to: f.u32("to")?,
+            epoch: f.u32("epoch")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };

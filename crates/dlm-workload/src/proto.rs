@@ -241,6 +241,8 @@ pub fn wire_kind(wire: &Wire) -> &'static str {
                 Message::Release { .. } => "release.entry",
                 Message::SetFrozen { .. } if table => "freeze.table",
                 Message::SetFrozen { .. } => "freeze.entry",
+                Message::Recover { .. } if table => "recover.table",
+                Message::Recover { .. } => "recover.entry",
             }
         }
         Wire::Naimi { message, lock } => {

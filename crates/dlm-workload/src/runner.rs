@@ -138,6 +138,9 @@ pub fn audit_hier_run(params: &WorkloadParams) -> (WorkloadReport, Vec<AuditErro
                 Wire::Hier { lock: l, message } if *l == lock => Some(InFlight {
                     from,
                     to,
+                    // The discrete-event sim never crashes nodes, so every
+                    // frame belongs to the initial generation.
+                    epoch: 0,
                     message: message.clone(),
                 }),
                 _ => None,

@@ -11,6 +11,7 @@
 #     cluster_direct_roundtrip_ns        cluster_reliable_roundtrip_ns
 #     cluster_lossy10_roundtrip_ns       cluster_lossy10_wan_rto_roundtrip_ns
 #     socket_tcp_roundtrip_ns            socket_udp_lossy_roundtrip_ns
+#     recovery_latency_ms
 #   higher is better (-threshold% floor):
 #     check_states_per_sec_serial        shard_ops_per_sec
 #
@@ -29,7 +30,8 @@ cluster_reliable_roundtrip_ns
 cluster_lossy10_roundtrip_ns
 cluster_lossy10_wan_rto_roundtrip_ns
 socket_tcp_roundtrip_ns
-socket_udp_lossy_roundtrip_ns"
+socket_udp_lossy_roundtrip_ns
+recovery_latency_ms"
 METRICS_HIGH="check_states_per_sec_serial shard_ops_per_sec"
 
 OUT="$(mktemp -t bench_gate.XXXXXX.json)"
@@ -69,7 +71,7 @@ for attempt in 1 2; do
       echo "bench_gate: smoke run produced no $m" >&2
       exit 1
     fi
-    echo "bench_gate: $m baseline=${base}ns new=${new}ns limit=${limit}ns (+${THRESHOLD}%)"
+    echo "bench_gate: $m baseline=${base} new=${new} limit=${limit} (+${THRESHOLD}%)"
     awk -v n="$new" -v l="$limit" 'BEGIN { exit !(n <= l) }' || ok=0
   done
   for m in $METRICS_HIGH; do

@@ -41,4 +41,7 @@ echo "==> socket-cluster smoke: 3 dlm-node processes over TCP loopback (bounded 
 cargo build --release -q -p dlm-harness --bin dlm-node
 cargo run --release -q -p dlm-harness --bin dlm-harness -- --smoke
 
+echo "==> crash-recovery smoke: SIGKILL the token holder of 3 dlm-node processes, audit the recovery (seed ${DLM_CRASH_SEED:-7})"
+cargo run --release -q -p dlm-harness --bin dlm-harness -- --crash-smoke "${DLM_CRASH_SEED:-7}"
+
 echo "All checks passed."
